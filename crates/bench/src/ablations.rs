@@ -1,0 +1,356 @@
+//! Ablation studies for the design choices DESIGN.md calls out — not in
+//! the paper's figures, but probing the mechanisms behind them.
+
+use eclipse_core::{EclipseConfig, EclipseSim, SchedulerKind};
+use eclipse_ring::{Ring, Router, RoutingMode};
+use eclipse_sched::LafConfig;
+use eclipse_util::{HashKey, GB};
+use eclipse_workloads::{AppKind, CostModel};
+
+/// Routing ablation: average lookup hops, one-hop vs Chord fingers
+/// (§II-A sets m so one-hop routing is enabled; this shows what the
+/// classic finger table would have cost).
+pub fn routing_hops(nodes: usize, lookups: usize) -> (f64, f64) {
+    let ring = Ring::with_servers(nodes, "route");
+    let ids = ring.node_ids();
+    let mut totals = [0usize; 2];
+    for (mode_idx, mode) in [RoutingMode::OneHop, RoutingMode::Chord].iter().enumerate() {
+        let router = Router::build(&ring, *mode).expect("ring non-empty");
+        for i in 0..lookups {
+            let key = HashKey::of_name(&format!("lookup-{i}"));
+            let from = ids[i % ids.len()];
+            totals[mode_idx] += router.hops(&ring, from, key).expect("resolves");
+        }
+    }
+    (totals[0] as f64 / lookups as f64, totals[1] as f64 / lookups as f64)
+}
+
+/// Finger-table size sweep (the paper's m knob): average lookup hops as
+/// the routing table shrinks from the full membership to a handful of
+/// fingers.
+pub fn finger_size_sweep(nodes: usize, lookups: usize) -> Vec<(String, f64)> {
+    let ring = Ring::with_servers(nodes, "m");
+    let ids = ring.node_ids();
+    let modes: Vec<(String, RoutingMode)> = vec![
+        (format!("one-hop (m={nodes})"), RoutingMode::OneHop),
+        ("chord (m=64)".to_string(), RoutingMode::Chord),
+        ("partial m=16".to_string(), RoutingMode::Partial(16)),
+        ("partial m=8".to_string(), RoutingMode::Partial(8)),
+        ("partial m=4".to_string(), RoutingMode::Partial(4)),
+    ];
+    modes
+        .into_iter()
+        .map(|(label, mode)| {
+            let router = Router::build(&ring, mode).expect("ring non-empty");
+            let total: usize = (0..lookups)
+                .map(|i| {
+                    let key = HashKey::of_name(&format!("look{i}"));
+                    router.hops(&ring, ids[i % ids.len()], key).expect("resolves")
+                })
+                .sum();
+            (label, total as f64 / lookups as f64)
+        })
+        .collect()
+}
+
+/// Moving-average weight sweep: hit ratio and tasks/slot stdev per α
+/// under the Fig. 7 skewed workload at a fixed 1 GB cache.
+pub fn alpha_sweep(tasks: usize) -> Vec<(f64, f64, f64)> {
+    [0.0, 0.001, 0.01, 0.1, 1.0]
+        .iter()
+        .map(|&alpha| {
+            let mut sim = EclipseSim::new(
+                EclipseConfig::paper_defaults(SchedulerKind::Laf(LafConfig {
+                    alpha,
+                    ..Default::default()
+                }))
+                .with_cache(GB),
+            );
+            let trace = crate::fig7::skewed_trace(tasks, 4096, 7);
+            let bytes = (90.0 * GB as f64 / 6410.0) as u64;
+            sim.run_trace(&trace, bytes, &CostModel::eclipse(AppKind::Grep));
+            (alpha, sim.cache_hit_ratio(), sim.tasks_per_slot_stdev())
+        })
+        .collect()
+}
+
+/// Box-kernel bandwidth sweep: same workload, varying `k`.
+pub fn bandwidth_sweep(tasks: usize) -> Vec<(usize, f64, f64)> {
+    [1usize, 4, 8, 32, 128]
+        .iter()
+        .map(|&k| {
+            let mut sim = EclipseSim::new(
+                EclipseConfig::paper_defaults(SchedulerKind::Laf(LafConfig {
+                    bandwidth: k,
+                    ..Default::default()
+                }))
+                .with_cache(GB),
+            );
+            let trace = crate::fig7::skewed_trace(tasks, 4096, 7);
+            let bytes = (90.0 * GB as f64 / 6410.0) as u64;
+            sim.run_trace(&trace, bytes, &CostModel::eclipse(AppKind::Grep));
+            (k, sim.cache_hit_ratio(), sim.tasks_per_slot_stdev())
+        })
+        .collect()
+}
+
+/// Misplaced-cache migration ablation (§II-E): a workload whose hot spot
+/// *shifts* midway; with migration on, entries stranded by the range
+/// re-cut move to their new home. Returns (hit ratio off, hit ratio on).
+pub fn migration_ablation(tasks: usize) -> (f64, f64) {
+    let run = |migration: bool| {
+        let mut cfg = EclipseConfig::paper_defaults(SchedulerKind::Laf(LafConfig {
+            alpha: 0.5, // adapt fast so ranges actually move
+            window: 64,
+            ..Default::default()
+        }))
+        .with_cache(GB);
+        cfg.migration = migration;
+        let mut sim = EclipseSim::new(cfg);
+        let bytes = (90.0 * GB as f64 / 6410.0) as u64;
+        let cost = CostModel::eclipse(AppKind::Grep);
+        // Phase 1: hot spot at 0.3.
+        let t1 = crate::fig7::skewed_trace(tasks / 2, 1024, 3);
+        sim.run_trace(&t1, bytes, &cost);
+        // Phase 2: hot spot moves (different seed region by reusing the
+        // bimodal's other mode via fresh draws).
+        let t2 = crate::fig7::skewed_trace(tasks / 2, 1024, 4);
+        sim.run_trace(&t2, bytes, &cost);
+        sim.cache_hit_ratio()
+    };
+    (run(false), run(true))
+}
+
+/// Record-level reduce-skew ablation (paper §I): the same word-count
+/// job with uniform vs Zipf reducer shares. Returns (uniform seconds,
+/// skewed seconds).
+pub fn reduce_skew(zipf_exponent: f64) -> (f64, f64) {
+    use eclipse_core::JobSpec;
+    let run = |skew: f64| {
+        let mut sim = EclipseSim::new(
+            EclipseConfig::paper_defaults(SchedulerKind::Laf(LafConfig::default()))
+                .with_reduce_skew(skew),
+        );
+        sim.upload("text", 100 * GB);
+        sim.run_job(&JobSpec::batch(AppKind::WordCount, "text")).elapsed
+    };
+    (run(0.0), run(zipf_exponent))
+}
+
+/// Streaming-arrivals ablation: a Poisson stream of jobs over a small
+/// set of Zipf-popular datasets (the production-trace pattern the paper
+/// cites: >30% of jobs repeat). Returns (mean job latency LAF, mean job
+/// latency delay, LAF hit ratio, delay hit ratio).
+pub fn streaming(jobs: usize, seed: u64) -> (f64, f64, f64, f64) {
+    use eclipse_core::JobSpec;
+    use eclipse_sched::DelayConfig;
+    use eclipse_workloads::{arrivals, ArrivalConfig};
+    let cfg = ArrivalConfig { rate: 0.01, ..Default::default() };
+    let stream = arrivals(&cfg, jobs, seed);
+    let run = |kind: SchedulerKind| {
+        let mut sim = EclipseSim::new(EclipseConfig::paper_defaults(kind).with_cache(GB));
+        for d in 0..cfg.datasets {
+            sim.upload(&format!("ds{d}"), 15 * GB);
+        }
+        let mut latency_sum = 0.0;
+        for job in &stream {
+            sim.advance_to(job.at);
+            let report = sim.run_job(&JobSpec::batch(job.app, format!("ds{}", job.dataset)));
+            latency_sum += report.elapsed;
+        }
+        (latency_sum / stream.len() as f64, sim.cache_hit_ratio())
+    };
+    let (laf_lat, laf_hit) = run(SchedulerKind::Laf(LafConfig::default()));
+    let (delay_lat, delay_hit) = run(SchedulerKind::Delay(DelayConfig::default()));
+    (laf_lat, delay_lat, laf_hit, delay_hit)
+}
+
+/// Heterogeneous-cluster ablation: a quarter of the nodes run at the
+/// given speed factor; compares LAF and delay makespans on a uniform
+/// word-count job. LAF's work-conserving pulls absorb stragglers; the
+/// delay scheduler's locality waits amplify them.
+pub fn heterogeneity(slow_factor: f64) -> (f64, f64) {
+    let (laf, delay, _) = heterogeneity_with_speculation(slow_factor);
+    (laf, delay)
+}
+
+/// Like [`heterogeneity`], additionally measuring delay scheduling with
+/// Hadoop-style speculative execution — the rival skew mitigation the
+/// paper's related work cites.
+pub fn heterogeneity_with_speculation(slow_factor: f64) -> (f64, f64, f64) {
+    use eclipse_core::JobSpec;
+    use eclipse_sched::DelayConfig;
+    let mut speeds = vec![1.0; 40];
+    for s in speeds.iter_mut().take(10) {
+        *s = slow_factor;
+    }
+    let run = |kind: SchedulerKind, speculation: bool| {
+        let mut sim = EclipseSim::new(
+            EclipseConfig::paper_defaults(kind)
+                .with_node_speeds(speeds.clone())
+                .with_speculation(speculation),
+        );
+        sim.upload("data", 100 * GB);
+        sim.run_job(&JobSpec::batch(AppKind::WordCount, "data")).elapsed
+    };
+    (
+        run(SchedulerKind::Laf(LafConfig::default()), false),
+        run(SchedulerKind::Delay(DelayConfig::default()), false),
+        run(SchedulerKind::Delay(DelayConfig::default()), true),
+    )
+}
+
+/// Spill-buffer size sweep (the paper's 32 MB knob, §II-D): for a fixed
+/// intermediate stream, smaller buffers spill more often (finer pipeline
+/// overlap, more per-spill overhead). Returns (buffer MB, spill count)
+/// rows for one 1 GB map task over 64 partitions.
+pub fn spill_buffer_sweep() -> Vec<(u64, u64)> {
+    use eclipse_core::SpillBuffer;
+    use eclipse_util::MB;
+    [4u64, 8, 16, 32, 64, 128]
+        .iter()
+        .map(|&mb| {
+            let mut buf: SpillBuffer<()> = SpillBuffer::new(64, mb * MB);
+            for i in 0..8192u64 {
+                let key = HashKey::of_name(&format!("rec{i}"));
+                buf.push(key, 128 * 1024, None); // 1 GB total
+            }
+            let spills = buf.spill_count() + buf.flush().len() as u64;
+            (mb, spills)
+        })
+        .collect()
+}
+
+/// Failure-injection ablation: recovery seconds and post-failure job
+/// slowdown as stored data grows.
+pub fn recovery_cost(data_gb: &[u64]) -> Vec<(u64, f64)> {
+    data_gb
+        .iter()
+        .map(|&gb| {
+            let mut sim = EclipseSim::new(EclipseConfig::paper_defaults(SchedulerKind::Laf(
+                LafConfig::default(),
+            )));
+            sim.upload("data", gb * GB);
+            let victim = sim.ring().node_ids()[1];
+            let secs = sim.fail_node(victim);
+            (gb, secs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hop_beats_chord_hops() {
+        let (one_hop, chord) = routing_hops(40, 2000);
+        assert!(one_hop <= 1.0);
+        assert!(chord > one_hop, "chord {chord} one-hop {one_hop}");
+        assert!(chord < 8.0, "chord should be O(log 40): {chord}");
+    }
+
+    #[test]
+    fn smaller_finger_tables_cost_more_hops() {
+        let rows = finger_size_sweep(40, 1000);
+        let hops: Vec<f64> = rows.iter().map(|(_, h)| *h).collect();
+        assert!(hops[0] <= 1.0, "one-hop {:?}", rows);
+        // Monotone (weakly) as the table shrinks.
+        for w in hops.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9, "{rows:?}");
+        }
+        assert!(hops[4] > hops[1], "m=4 must redirect more than full chord");
+    }
+
+    #[test]
+    fn alpha_extremes_behave() {
+        let rows = alpha_sweep(1200);
+        assert_eq!(rows.len(), 5);
+        let stdev_a0 = rows[0].2;
+        let stdev_a1 = rows[4].2;
+        // α=1 (pure balance) at least as balanced as α=0 (static).
+        assert!(stdev_a1 <= stdev_a0 + 0.5, "a1 {stdev_a1} a0 {stdev_a0}");
+    }
+
+    #[test]
+    fn migration_does_not_hurt_hits() {
+        let (off, on) = migration_ablation(1200);
+        assert!(on >= off - 0.02, "migration on {on} off {off}");
+    }
+
+    #[test]
+    fn reduce_skew_stretches_the_tail() {
+        let (uniform, skewed) = reduce_skew(1.0);
+        assert!(
+            skewed > uniform,
+            "skewed reducers must slow the job: {skewed} vs {uniform}"
+        );
+    }
+
+    #[test]
+    fn streaming_reuse_across_jobs() {
+        let (laf_lat, delay_lat, laf_hit, delay_hit) = streaming(12, 11);
+        // Repeated datasets give both schedulers real cache reuse …
+        assert!(laf_hit > 0.25, "laf hit {laf_hit}");
+        assert!(delay_hit > 0.25, "delay hit {delay_hit}");
+        // … and with 120-block jobs on 320 slots there is no queueing
+        // for LAF to fix, so static ranges (perfect locality) may edge
+        // it — LAF must merely stay competitive here; its wins live in
+        // the pressured regimes (Figs. 6–8).
+        assert!(
+            laf_lat <= delay_lat * 1.25,
+            "laf {laf_lat:.1}s delay {delay_lat:.1}s"
+        );
+    }
+
+    #[test]
+    fn stragglers_hurt_delay_more() {
+        let (laf_slow, delay_slow) = heterogeneity(0.4);
+        let (laf_base, delay_base) = heterogeneity(1.0);
+        // Slow nodes slow everyone down …
+        assert!(laf_slow > laf_base);
+        assert!(delay_slow > delay_base);
+        // … but the delay scheduler degrades at least as hard as LAF.
+        let laf_blowup = laf_slow / laf_base;
+        let delay_blowup = delay_slow / delay_base;
+        assert!(
+            delay_blowup >= laf_blowup * 0.98,
+            "laf ×{laf_blowup:.2} delay ×{delay_blowup:.2}"
+        );
+    }
+
+    #[test]
+    fn speculation_recovers_some_straggler_loss() {
+        let (laf, delay, delay_spec) = heterogeneity_with_speculation(0.4);
+        // Speculation is roughly a wash here: backup copies burn fast
+        // slots that other tasks wanted (its classic cost) while trimming
+        // straggler tails. It must stay within a couple of percent either
+        // way, and LAF without speculation stays competitive with
+        // speculation-assisted delay.
+        assert!(delay_spec <= delay * 1.02, "spec {delay_spec} delay {delay}");
+        assert!(laf <= delay_spec * 1.10, "laf {laf} vs delay+spec {delay_spec}");
+    }
+
+    #[test]
+    fn recovery_cost_grows_with_data() {
+        let rows = recovery_cost(&[8, 64]);
+        assert!(rows[1].1 > rows[0].1, "{rows:?}");
+        assert!(rows[0].1 > 0.0);
+    }
+
+    #[test]
+    fn smaller_spill_buffers_spill_more() {
+        let rows = spill_buffer_sweep();
+        for w in rows.windows(2) {
+            assert!(w[0].1 >= w[1].1, "{rows:?}");
+        }
+        assert!(rows[0].1 > rows[5].1, "{rows:?}");
+    }
+
+    #[test]
+    fn bandwidth_sweep_runs() {
+        let rows = bandwidth_sweep(800);
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|(_, hr, sd)| *hr >= 0.0 && *sd >= 0.0));
+    }
+}

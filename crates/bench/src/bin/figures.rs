@@ -1,0 +1,374 @@
+//! Regenerate every figure of the paper's evaluation as text tables.
+//!
+//! ```text
+//! figures [fig5|fig6|fig7|fig8|fig9|fig10|ablations|all] [--scale X]
+//! ```
+//!
+//! `--scale` multiplies every dataset size (1.0 = the paper's 250 GB /
+//! 15 GB configuration — the default; use e.g. `--scale 0.1` for a quick
+//! pass). Task counts scale with the data.
+
+use eclipse_bench::{ablations, fig10, fig5, fig6, fig7, fig8, fig9};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Write one CSV file into the `--csv` directory, if set.
+fn write_csv(dir: &Option<PathBuf>, name: &str, header: &str, rows: &[String]) {
+    let Some(dir) = dir else { return };
+    std::fs::create_dir_all(dir).expect("create csv dir");
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").unwrap();
+    for r in rows {
+        writeln!(f, "{r}").unwrap();
+    }
+    eprintln!("wrote {}", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut scale = 1.0f64;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--scale needs a number"));
+            }
+            "--csv" => {
+                csv_dir = Some(PathBuf::from(
+                    it.next().expect("--csv needs a directory").clone(),
+                ));
+            }
+            other => which = other.to_string(),
+        }
+    }
+    CSV_DIR.with(|c| *c.borrow_mut() = csv_dir);
+    let all = which == "all";
+    if all || which == "fig5" {
+        print_fig5(scale);
+    }
+    if all || which == "fig6" {
+        print_fig6(scale);
+    }
+    if all || which == "fig7" {
+        print_fig7(scale);
+    }
+    if all || which == "fig8" {
+        print_fig8(scale);
+    }
+    if all || which == "fig9" {
+        print_fig9(scale);
+    }
+    if all || which == "fig10" {
+        print_fig10(scale);
+    }
+    if all || which == "ablations" {
+        print_ablations();
+    }
+}
+
+thread_local! {
+    static CSV_DIR: std::cell::RefCell<Option<PathBuf>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn csv(name: &str, header: &str, rows: Vec<String>) {
+    CSV_DIR.with(|c| write_csv(&c.borrow(), name, header, &rows));
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn print_fig5(scale: f64) {
+    header("Figure 5 — IO throughput, DHT FS vs HDFS (DFSIO)");
+    println!("{:>6} | {:>12} {:>12} | {:>12} {:>12}", "nodes", "DHT MB/s(a)", "HDFS MB/s(a)", "DHT MB/s(b)", "HDFS MB/s(b)");
+    println!("{:-<6}-+-{:-<25}-+-{:-<25}", "", "", "");
+    let rows = fig5::fig5(scale);
+    for r in &rows {
+        println!(
+            "{:>6} | {:>12.1} {:>12.1} | {:>12.1} {:>12.1}",
+            r.nodes, r.dht_per_task, r.hdfs_per_task, r.dht_per_job, r.hdfs_per_job
+        );
+    }
+    println!("(a) bytes / map-task read time   (b) bytes / job time");
+    csv(
+        "fig5",
+        "nodes,dht_per_task_mbps,hdfs_per_task_mbps,dht_per_job_mbps,hdfs_per_job_mbps",
+        rows.iter()
+            .map(|r| {
+                format!(
+                    "{},{:.2},{:.2},{:.2},{:.2}",
+                    r.nodes, r.dht_per_task, r.hdfs_per_task, r.dht_per_job, r.hdfs_per_job
+                )
+            })
+            .collect(),
+    );
+    println!("\n--- §III-A concurrency probe (38 nodes, per-job MB/s) ---");
+    println!("{:>5} | {:>10} {:>10}", "jobs", "DHT", "HDFS");
+    for (jobs, dht, hdfs) in fig5::fig5_concurrency(scale) {
+        println!("{jobs:>5} | {dht:>10.1} {hdfs:>10.1}");
+    }
+}
+
+fn print_fig6(scale: f64) {
+    header("Figure 6(a) — LAF vs Delay, non-iterative jobs (cold caches)");
+    println!("{:>16} | {:>10} {:>10}", "app", "LAF s", "Delay s");
+    let rows_a = fig6::fig6a(scale);
+    for r in &rows_a {
+        println!("{:>16} | {:>10.0} {:>10.0}", r.app.name(), r.laf_secs, r.delay_secs);
+    }
+    csv(
+        "fig6a",
+        "app,laf_s,delay_s",
+        rows_a
+            .iter()
+            .map(|r| format!("{},{:.1},{:.1}", r.app.name(), r.laf_secs, r.delay_secs))
+            .collect(),
+    );
+    header("Figure 6(b) — iterative jobs, 5 iterations, ±oCache");
+    println!(
+        "{:>12} | {:>9} {:>12} {:>9} {:>12}",
+        "app", "LAF", "LAF+oCache", "Delay", "Delay+oCache"
+    );
+    let rows_b = fig6::fig6b(scale);
+    for r in &rows_b {
+        println!(
+            "{:>12} | {:>9.0} {:>12.0} {:>9.0} {:>12.0}",
+            r.app.name(),
+            r.laf_secs,
+            r.laf_ocache_secs,
+            r.delay_secs,
+            r.delay_ocache_secs
+        );
+    }
+    csv(
+        "fig6b",
+        "app,laf_s,laf_ocache_s,delay_s,delay_ocache_s",
+        rows_b
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{:.1},{:.1},{:.1},{:.1}",
+                    r.app.name(),
+                    r.laf_secs,
+                    r.laf_ocache_secs,
+                    r.delay_secs,
+                    r.delay_ocache_secs
+                )
+            })
+            .collect(),
+    );
+}
+
+fn print_fig7(scale: f64) {
+    header("Figure 7 — skewed grep: exec time (a) and cache hit ratio (b)");
+    println!(
+        "{:>12} | {:>9} | {:>9} {:>7} {:>12}",
+        "policy", "cache GB", "exec s", "hit", "stdev t/slot"
+    );
+    let rows = fig7::fig7(scale);
+    for r in &rows {
+        println!(
+            "{:>12} | {:>9.1} | {:>9.1} {:>7.3} {:>12.2}",
+            r.policy, r.cache_gb, r.exec_secs, r.hit_ratio, r.tasks_per_slot_stdev
+        );
+    }
+    csv(
+        "fig7",
+        "policy,cache_gb,exec_s,hit_ratio,tasks_per_slot_stdev",
+        rows.iter()
+            .map(|r| {
+                format!(
+                    "{},{},{:.2},{:.4},{:.3}",
+                    r.policy, r.cache_gb, r.exec_secs, r.hit_ratio, r.tasks_per_slot_stdev
+                )
+            })
+            .collect(),
+    );
+}
+
+fn print_fig8(scale: f64) {
+    header("Figure 8 — seven concurrent jobs, cache-size sweep");
+    let (rows, summaries) = fig8::fig8(scale);
+    println!("{:>8} | {:>8} | {:>14} | {:>9}", "policy", "cache", "job", "exec s");
+    for r in &rows {
+        println!(
+            "{:>8} | {:>7}G | {:>14} | {:>9.0}",
+            r.policy, r.cache_gb, r.job_label, r.exec_secs
+        );
+    }
+    println!("\nper-configuration summary:");
+    println!("{:>8} | {:>8} | {:>10} | {:>8}", "policy", "cache", "makespan", "hit");
+    for s in &summaries {
+        println!(
+            "{:>8} | {:>7}G | {:>10.0} | {:>8.3}",
+            s.policy, s.cache_gb, s.batch_makespan, s.hit_ratio
+        );
+    }
+    csv(
+        "fig8_jobs",
+        "policy,cache_gb,job,exec_s",
+        rows.iter()
+            .map(|r| format!("{},{},{},{:.1}", r.policy, r.cache_gb, r.job_label, r.exec_secs))
+            .collect(),
+    );
+    csv(
+        "fig8_summary",
+        "policy,cache_gb,makespan_s,hit_ratio",
+        summaries
+            .iter()
+            .map(|s| {
+                format!("{},{},{:.1},{:.4}", s.policy, s.cache_gb, s.batch_makespan, s.hit_ratio)
+            })
+            .collect(),
+    );
+}
+
+fn print_fig9(scale: f64) {
+    header("Figure 9 — EclipseMR vs Hadoop vs Spark (normalized to slowest)");
+    println!(
+        "{:>20} | {:>9} {:>6} | {:>9} {:>6} | {:>9} {:>6}",
+        "app", "Eclipse s", "norm", "Spark s", "norm", "Hadoop s", "norm"
+    );
+    let rows = fig9::fig9(scale);
+    csv(
+        "fig9",
+        "app,eclipse_s,spark_s,hadoop_s",
+        rows.iter()
+            .map(|r| {
+                format!(
+                    "{},{:.1},{:.1},{}",
+                    r.app.name(),
+                    r.eclipse_secs,
+                    r.spark_secs,
+                    r.hadoop_secs.map(|h| format!("{h:.1}")).unwrap_or_default()
+                )
+            })
+            .collect(),
+    );
+    for r in rows {
+        let (e, s, h) = r.normalized();
+        let (hs, hn) = match (r.hadoop_secs, h) {
+            (Some(secs), Some(n)) => (format!("{secs:9.0}"), format!("{n:6.2}")),
+            _ => ("  omitted".to_string(), "     -".to_string()),
+        };
+        println!(
+            "{:>20} | {:>9.0} {:>6.2} | {:>9.0} {:>6.2} | {} {}",
+            r.app.name(),
+            r.eclipse_secs,
+            e,
+            r.spark_secs,
+            s,
+            hs,
+            hn
+        );
+    }
+}
+
+fn print_fig10(scale: f64) {
+    header("Figure 10 — per-iteration times (10 iterations)");
+    let series = fig10::fig10(scale);
+    csv(
+        "fig10",
+        "app,system,iteration,secs",
+        series
+            .iter()
+            .flat_map(|s| {
+                let app = s.app.name();
+                s.eclipse
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, v)| format!("{app},eclipse,{},{v:.1}", i + 1))
+                    .chain(
+                        s.spark
+                            .iter()
+                            .enumerate()
+                            .map(move |(i, v)| format!("{app},spark,{},{v:.1}", i + 1)),
+                    )
+            })
+            .collect(),
+    );
+    for s in series {
+        println!("\n{}:", s.app.name());
+        print!("  iter    ");
+        for i in 1..=10 {
+            print!("{i:>8}");
+        }
+        println!();
+        print!("  eclipse ");
+        for v in &s.eclipse {
+            print!("{v:>8.0}");
+        }
+        println!();
+        print!("  spark   ");
+        for v in &s.spark {
+            print!("{v:>8.0}");
+        }
+        println!();
+    }
+}
+
+fn print_ablations() {
+    header("Ablation — DHT routing: one-hop vs Chord fingers (40 nodes)");
+    let (one, chord) = ablations::routing_hops(40, 4000);
+    println!("avg hops: one-hop {one:.2}, chord {chord:.2}");
+
+    header("Ablation — finger-table size (the paper's m knob, 40 nodes)");
+    println!("{:>16} | {:>9}", "table", "avg hops");
+    for (label, hops) in ablations::finger_size_sweep(40, 2000) {
+        println!("{label:>16} | {hops:>9.2}");
+    }
+
+    header("Ablation — LAF α sweep (skewed grep, 1 GB cache)");
+    println!("{:>8} | {:>8} {:>12}", "alpha", "hit", "stdev t/slot");
+    for (a, hit, stdev) in ablations::alpha_sweep(3000) {
+        println!("{a:>8.3} | {hit:>8.3} {stdev:>12.2}");
+    }
+
+    header("Ablation — box-kernel bandwidth k sweep");
+    println!("{:>6} | {:>8} {:>12}", "k", "hit", "stdev t/slot");
+    for (k, hit, stdev) in ablations::bandwidth_sweep(3000) {
+        println!("{k:>6} | {hit:>8.3} {stdev:>12.2}");
+    }
+
+    header("Ablation — misplaced-cache migration (shifting hot spot)");
+    let (off, on) = ablations::migration_ablation(3000);
+    println!("hit ratio: migration off {off:.3}, on {on:.3}");
+
+    header("Ablation — heterogeneous cluster (10 of 40 nodes slowed)");
+    println!("{:>12} | {:>9} {:>9}", "slow factor", "LAF s", "Delay s");
+    for factor in [1.0, 0.7, 0.4] {
+        let (laf, delay) = ablations::heterogeneity(factor);
+        println!("{factor:>12.1} | {laf:>9.0} {delay:>9.0}");
+    }
+
+    header("Ablation — spill-buffer size (1 GB map output, 64 partitions)");
+    println!("{:>10} | {:>8}", "buffer MB", "spills");
+    for (mb, spills) in ablations::spill_buffer_sweep() {
+        println!("{mb:>10} | {spills:>8}");
+    }
+
+    header("Ablation — record-level reduce skew (word count)");
+    println!("{:>12} | {:>10} {:>10}", "zipf s", "uniform s", "skewed s");
+    for s in [0.5, 1.0, 1.5] {
+        let (uniform, skewed) = ablations::reduce_skew(s);
+        println!("{s:>12.1} | {uniform:>10.0} {skewed:>10.0}");
+    }
+
+    header("Ablation — streaming arrivals (Zipf-popular datasets)");
+    let (laf_lat, delay_lat, laf_hit, delay_hit) = ablations::streaming(16, 42);
+    println!("LAF:   mean latency {laf_lat:>7.1}s, hit ratio {laf_hit:.3}");
+    println!("Delay: mean latency {delay_lat:>7.1}s, hit ratio {delay_hit:.3}");
+
+    header("Ablation — failure recovery cost vs stored data");
+    println!("{:>8} | {:>12}", "data GB", "recovery s");
+    for (gb, secs) in ablations::recovery_cost(&[8, 32, 128, 250]) {
+        println!("{gb:>8} | {secs:>12.1}");
+    }
+}

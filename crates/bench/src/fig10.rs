@@ -1,0 +1,132 @@
+//! Fig. 10 — Per-iteration execution time of the iterative applications
+//! (k-means, logistic regression, page rank; 10 iterations), EclipseMR
+//! vs Spark.
+//!
+//! Shapes to reproduce (§III-F):
+//! * Spark's **first** iteration is much slower than its later ones
+//!   (RDD construction).
+//! * For k-means and logistic regression EclipseMR's subsequent
+//!   iterations are ~3× faster than Spark's.
+//! * For page rank Spark's subsequent iterations beat EclipseMR (which
+//!   writes ~input-sized iteration outputs to the DHT FS), but EclipseMR
+//!   stays within ~30%; Spark's **last** iteration is slower because it
+//!   finally writes output to disk.
+
+use eclipse_baselines::{SparkConfig, SparkSim};
+use eclipse_core::{EclipseConfig, EclipseSim, JobSpec, SchedulerKind};
+use eclipse_sched::LafConfig;
+use eclipse_util::GB;
+use eclipse_workloads::AppKind;
+
+/// Per-iteration series for one application.
+#[derive(Clone, Debug)]
+pub struct Fig10Series {
+    pub app: AppKind,
+    pub eclipse: Vec<f64>,
+    pub spark: Vec<f64>,
+}
+
+/// Reproduce Fig. 10 (all three panels), 10 iterations each.
+pub fn fig10(scale: f64) -> Vec<Fig10Series> {
+    let big = ((250.0 * scale).max(1.0) * GB as f64) as u64;
+    let small = ((15.0 * scale).max(0.5) * GB as f64) as u64;
+    [
+        (AppKind::KMeans, big),
+        (AppKind::LogisticRegression, big),
+        (AppKind::PageRank, small),
+    ]
+    .iter()
+    .map(|&(app, bytes)| {
+        let spec = JobSpec::iterative(app, "input", 10);
+
+        let mut eclipse = EclipseSim::new(EclipseConfig::paper_defaults(
+            SchedulerKind::Laf(LafConfig::default()),
+        ));
+        eclipse.upload("input", bytes);
+        let e = eclipse.run_job(&spec).iteration_times;
+
+        let mut spark = SparkSim::new(SparkConfig::paper_defaults());
+        spark.upload("input", bytes);
+        let s = spark.run_job(&spec).iteration_times;
+
+        Fig10Series { app, eclipse: e, spark: s }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_for(rows: &[Fig10Series], app: AppKind) -> &Fig10Series {
+        rows.iter().find(|s| s.app == app).unwrap()
+    }
+
+    #[test]
+    fn spark_first_iteration_is_slowest_prefix() {
+        let rows = fig10(1.0);
+        for s in &rows {
+            assert_eq!(s.spark.len(), 10);
+            assert_eq!(s.eclipse.len(), 10);
+            let mid = s.spark[4];
+            assert!(
+                s.spark[0] > mid,
+                "{:?}: spark iter0 {} vs mid {mid}",
+                s.app,
+                s.spark[0]
+            );
+        }
+    }
+
+    #[test]
+    fn kmeans_and_logreg_subsequent_iterations_favor_eclipse() {
+        let rows = fig10(1.0);
+        for app in [AppKind::KMeans, AppKind::LogisticRegression] {
+            let s = series_for(&rows, app);
+            // Compare steady-state iterations (index 3..9).
+            let e_mid: f64 = s.eclipse[3..].iter().sum::<f64>() / 7.0;
+            let sp_mid: f64 = s.spark[3..].iter().sum::<f64>() / 7.0;
+            assert!(
+                sp_mid > 1.8 * e_mid,
+                "{app:?}: eclipse {e_mid} spark {sp_mid} — expected ≥1.8×"
+            );
+        }
+    }
+
+    #[test]
+    fn pagerank_subsequent_iterations_favor_spark_but_bounded() {
+        let rows = fig10(1.0);
+        let s = series_for(&rows, AppKind::PageRank);
+        let e_mid: f64 = s.eclipse[3..9].iter().sum::<f64>() / 6.0;
+        let sp_mid: f64 = s.spark[3..9].iter().sum::<f64>() / 6.0;
+        assert!(sp_mid < e_mid, "spark steady {sp_mid} vs eclipse {e_mid}");
+        assert!(
+            e_mid < 1.6 * sp_mid,
+            "eclipse must stay within ~modest factor: {e_mid} vs {sp_mid}"
+        );
+        // Spark's final iteration pays the output write.
+        assert!(s.spark[9] > s.spark[5], "last {} mid {}", s.spark[9], s.spark[5]);
+    }
+
+    #[test]
+    fn eclipse_iterations_speed_up_after_first() {
+        let rows = fig10(1.0);
+        for s in &rows {
+            // 250 GB inputs exceed the 40 GB cluster cache, so k-means
+            // and LR iterations stay flat (the paper's Fig. 10(a)/(b)
+            // EclipseMR lines are likewise flat); no iteration may get
+            // meaningfully slower.
+            assert!(
+                s.eclipse[2] <= s.eclipse[0] * 1.03,
+                "{:?}: iter2 {} iter0 {}",
+                s.app,
+                s.eclipse[2],
+                s.eclipse[0]
+            );
+        }
+        // Page rank's 15 GB input fits the cache: later iterations are
+        // strictly faster than the cold first one.
+        let pr = series_for(&rows, AppKind::PageRank);
+        assert!(pr.eclipse[2] < pr.eclipse[0], "{:?}", pr.eclipse);
+    }
+}

@@ -1,0 +1,98 @@
+//! Fig. 5 — IO throughput of the DHT file system vs HDFS while varying
+//! the number of data nodes (6, 14, 22, 30, 38).
+//!
+//! (a) bytes / map-task read time: raw local-disk bandwidth, overheads
+//!     excluded — the two file systems tie.
+//! (b) bytes / job execution time: NameNode lookups, container init and
+//!     job scheduling included — the DHT FS pulls ahead.
+
+use eclipse_baselines::{dfsio_dht, dfsio_hdfs};
+use eclipse_util::GB;
+
+/// One row of Fig. 5 (both panels).
+#[derive(Clone, Copy, Debug)]
+pub struct Fig5Row {
+    pub nodes: usize,
+    /// Fig. 5(a) series, MB/s.
+    pub dht_per_task: f64,
+    pub hdfs_per_task: f64,
+    /// Fig. 5(b) series, MB/s.
+    pub dht_per_job: f64,
+    pub hdfs_per_job: f64,
+}
+
+/// The paper's node counts.
+pub const NODE_COUNTS: [usize; 5] = [6, 14, 22, 30, 38];
+
+/// Reproduce Fig. 5. `scale` multiplies the per-node data volume
+/// (1 GB/node at scale 1.0, the DFSIO default of one file per node).
+pub fn fig5(scale: f64) -> Vec<Fig5Row> {
+    NODE_COUNTS
+        .iter()
+        .map(|&nodes| {
+            let bytes = ((nodes as f64 * scale).max(0.25) * GB as f64) as u64;
+            let dht = dfsio_dht(nodes, bytes, 1);
+            let hdfs = dfsio_hdfs(nodes, bytes, 1, 7.0);
+            Fig5Row {
+                nodes,
+                dht_per_task: dht.per_task_throughput,
+                hdfs_per_task: hdfs.per_task_throughput,
+                dht_per_job: dht.per_job_throughput,
+                hdfs_per_job: hdfs.per_job_throughput,
+            }
+        })
+        .collect()
+}
+
+/// The §III-A concurrency probe: per-job throughput as concurrent DFSIO
+/// jobs increase. Returns (jobs, dht MB/s, hdfs MB/s) rows.
+pub fn fig5_concurrency(scale: f64) -> Vec<(usize, f64, f64)> {
+    let nodes = 38;
+    let bytes = ((14.0 * scale).max(0.25) * GB as f64) as u64;
+    [1usize, 2, 4, 8]
+        .iter()
+        .map(|&jobs| {
+            let dht = dfsio_dht(nodes, bytes, jobs);
+            let hdfs = dfsio_hdfs(nodes, bytes, jobs, 7.0);
+            (jobs, dht.per_job_throughput, hdfs.per_job_throughput)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        let rows = fig5(0.25);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            // (a): parity within 5%.
+            let ratio = r.dht_per_task / r.hdfs_per_task;
+            assert!((0.95..1.05).contains(&ratio), "nodes {} ratio {ratio}", r.nodes);
+            // (b): DHT clearly ahead.
+            assert!(
+                r.dht_per_job > 1.3 * r.hdfs_per_job,
+                "nodes {}: dht {} hdfs {}",
+                r.nodes,
+                r.dht_per_job,
+                r.hdfs_per_job
+            );
+        }
+        // Throughput grows with node count in both panels.
+        assert!(rows[4].dht_per_job > rows[0].dht_per_job);
+        assert!(rows[4].dht_per_task > rows[0].dht_per_task);
+    }
+
+    #[test]
+    fn concurrency_hurts_hdfs_more() {
+        let rows = fig5_concurrency(0.25);
+        let (j1, dht1, hdfs1) = rows[0];
+        let (j8, dht8, hdfs8) = rows[3];
+        assert_eq!((j1, j8), (1, 8));
+        let dht_drop = dht1 / dht8;
+        let hdfs_drop = hdfs1 / hdfs8;
+        assert!(hdfs_drop > dht_drop, "hdfs {hdfs_drop} dht {dht_drop}");
+    }
+}

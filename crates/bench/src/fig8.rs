@@ -1,0 +1,131 @@
+//! Fig. 8 — Multiple concurrent jobs competing for resources.
+//!
+//! The paper's batch: 2 grep + 2 word count + 1 page rank + 1 sort +
+//! 1 k-means submitted simultaneously; word count and grep share one
+//! 15 GB input, the others have their own 15 GB datasets; cache per
+//! server ∈ {1, 4, 8} GB; 32 MB spill buffers. Findings: LAF beats
+//! delay at every cache size; hit ratios converge as the cache grows
+//! (≈69% at 8 GB for both); with small caches delay's static ranges
+//! overload some servers and waste cache on them.
+
+use eclipse_core::{EclipseConfig, EclipseSim, JobSpec, SchedulerKind};
+use eclipse_sched::{DelayConfig, LafConfig};
+use eclipse_util::GB;
+use eclipse_workloads::AppKind;
+
+/// One measured bar of Fig. 8: a job's execution time under one policy
+/// and cache size.
+#[derive(Clone, Debug)]
+pub struct Fig8Row {
+    pub policy: &'static str,
+    pub cache_gb: u64,
+    pub job_label: String,
+    pub exec_secs: f64,
+}
+
+/// Summary per (policy, cache): the overall cache hit ratio.
+#[derive(Clone, Debug)]
+pub struct Fig8Summary {
+    pub policy: &'static str,
+    pub cache_gb: u64,
+    pub hit_ratio: f64,
+    pub batch_makespan: f64,
+}
+
+/// The paper's batch of 7 jobs.
+fn batch() -> Vec<(String, JobSpec)> {
+    vec![
+        ("grep-1".into(), JobSpec::batch(AppKind::Grep, "shared-text")),
+        ("grep-2".into(), JobSpec::batch(AppKind::Grep, "shared-text")),
+        ("wordcount-1".into(), JobSpec::batch(AppKind::WordCount, "shared-text")),
+        ("wordcount-2".into(), JobSpec::batch(AppKind::WordCount, "shared-text")),
+        ("pagerank".into(), JobSpec::iterative(AppKind::PageRank, "graph", 2)),
+        ("sort".into(), JobSpec::batch(AppKind::Sort, "sort-data")),
+        ("kmeans".into(), JobSpec::iterative(AppKind::KMeans, "points", 5)),
+    ]
+}
+
+/// Reproduce Fig. 8; returns (per-job rows, per-configuration summaries).
+pub fn fig8(scale: f64) -> (Vec<Fig8Row>, Vec<Fig8Summary>) {
+    let input_bytes = ((15.0 * scale).max(0.5) * GB as f64) as u64;
+    let mut rows = Vec::new();
+    let mut summaries = Vec::new();
+    let policies: Vec<(&'static str, SchedulerKind)> = vec![
+        ("LAF", SchedulerKind::Laf(LafConfig::default())),
+        ("Delay", SchedulerKind::Delay(DelayConfig::default())),
+    ];
+    for (name, kind) in policies {
+        for cache_gb in [1u64, 4, 8] {
+            let mut sim = EclipseSim::new(
+                EclipseConfig::paper_defaults(kind.clone()).with_cache(cache_gb * GB),
+            );
+            sim.upload("shared-text", input_bytes);
+            sim.upload("graph", input_bytes);
+            sim.upload("sort-data", input_bytes);
+            sim.upload("points", input_bytes);
+            let jobs = batch();
+            let specs: Vec<JobSpec> = jobs.iter().map(|(_, s)| s.clone()).collect();
+            let reports = sim.run_concurrent(&specs);
+            let mut makespan: f64 = 0.0;
+            for ((label, _), report) in jobs.iter().zip(&reports) {
+                makespan = makespan.max(report.elapsed);
+                rows.push(Fig8Row {
+                    policy: name,
+                    cache_gb,
+                    job_label: label.clone(),
+                    exec_secs: report.elapsed,
+                });
+            }
+            summaries.push(Fig8Summary {
+                policy: name,
+                cache_gb,
+                hit_ratio: sim.cache_hit_ratio(),
+                batch_makespan: makespan,
+            });
+        }
+    }
+    (rows, summaries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laf_wins_at_every_cache_size() {
+        let (_, summaries) = fig8(0.2);
+        for cache_gb in [1u64, 4, 8] {
+            let laf = summaries
+                .iter()
+                .find(|s| s.policy == "LAF" && s.cache_gb == cache_gb)
+                .unwrap();
+            let delay = summaries
+                .iter()
+                .find(|s| s.policy == "Delay" && s.cache_gb == cache_gb)
+                .unwrap();
+            assert!(
+                laf.batch_makespan <= delay.batch_makespan * 1.02,
+                "cache {cache_gb}: laf {} delay {}",
+                laf.batch_makespan,
+                delay.batch_makespan
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_cache_helps() {
+        let (_, summaries) = fig8(0.2);
+        let laf1 = summaries.iter().find(|s| s.policy == "LAF" && s.cache_gb == 1).unwrap();
+        let laf8 = summaries.iter().find(|s| s.policy == "LAF" && s.cache_gb == 8).unwrap();
+        assert!(laf8.hit_ratio >= laf1.hit_ratio, "1GB {} 8GB {}", laf1.hit_ratio, laf8.hit_ratio);
+        assert!(laf8.batch_makespan <= laf1.batch_makespan * 1.02);
+    }
+
+    #[test]
+    fn all_seven_jobs_reported() {
+        let (rows, _) = fig8(0.2);
+        // 7 jobs × 2 policies × 3 cache sizes.
+        assert_eq!(rows.len(), 42);
+        assert!(rows.iter().all(|r| r.exec_secs > 0.0));
+    }
+}

@@ -1,0 +1,168 @@
+//! Fig. 9 — EclipseMR vs Hadoop vs Spark across six applications,
+//! normalized to the slowest framework per application.
+//!
+//! Paper setup: 250 GB datasets (15 GB for page rank), OS/buffer caches
+//! emptied; iterative configs: k-means 5 iterations, page rank 2,
+//! logistic regression 10; 1 GB cache/server for the iterative apps.
+//! Findings: EclipseMR fastest everywhere except page rank, where Spark
+//! is ~15% faster (big iteration outputs that EclipseMR persists to the
+//! DHT FS); Hadoop omitted for k-means/LR ("an order of magnitude
+//! slower"); Spark slightly worse than Hadoop on several non-iterative
+//! ETL jobs, sort in particular.
+
+use eclipse_baselines::{HadoopConfig, HadoopSim, SparkConfig, SparkSim};
+use eclipse_core::{EclipseConfig, EclipseSim, JobSpec, SchedulerKind};
+use eclipse_sched::LafConfig;
+use eclipse_util::GB;
+use eclipse_workloads::AppKind;
+
+/// One application's times on each framework (seconds; `None` = omitted
+/// as in the paper).
+#[derive(Clone, Debug)]
+pub struct Fig9Row {
+    pub app: AppKind,
+    pub eclipse_secs: f64,
+    pub spark_secs: f64,
+    pub hadoop_secs: Option<f64>,
+}
+
+impl Fig9Row {
+    /// The slowest measured framework (the normalization base).
+    pub fn slowest(&self) -> f64 {
+        self.eclipse_secs.max(self.spark_secs).max(self.hadoop_secs.unwrap_or(0.0))
+    }
+
+    pub fn normalized(&self) -> (f64, f64, Option<f64>) {
+        let base = self.slowest();
+        (
+            self.eclipse_secs / base,
+            self.spark_secs / base,
+            self.hadoop_secs.map(|h| h / base),
+        )
+    }
+}
+
+/// (app, iterations, dataset bytes at scale 1.0).
+fn cases(scale: f64) -> Vec<(AppKind, u32, u64)> {
+    let big = ((250.0 * scale).max(1.0) * GB as f64) as u64;
+    let small = ((15.0 * scale).max(0.5) * GB as f64) as u64;
+    vec![
+        (AppKind::InvertedIndex, 1, big),
+        (AppKind::WordCount, 1, big),
+        (AppKind::Sort, 1, big),
+        (AppKind::KMeans, 5, big),
+        (AppKind::LogisticRegression, 10, big),
+        (AppKind::PageRank, 2, small),
+    ]
+}
+
+/// Reproduce Fig. 9.
+pub fn fig9(scale: f64) -> Vec<Fig9Row> {
+    cases(scale)
+        .into_iter()
+        .map(|(app, iterations, bytes)| {
+            let spec = if iterations > 1 {
+                JobSpec::iterative(app, "input", iterations)
+            } else {
+                JobSpec::batch(app, "input")
+            };
+
+            let mut eclipse = EclipseSim::new(EclipseConfig::paper_defaults(
+                SchedulerKind::Laf(LafConfig::default()),
+            ));
+            eclipse.upload("input", bytes);
+            let eclipse_secs = eclipse.run_job(&spec).elapsed;
+
+            let mut spark = SparkSim::new(SparkConfig::paper_defaults());
+            spark.upload("input", bytes);
+            let spark_secs = spark.run_job(&spec).elapsed;
+
+            // Hadoop omitted for k-means and logistic regression, as in
+            // the paper.
+            let hadoop_secs = if matches!(app, AppKind::KMeans | AppKind::LogisticRegression) {
+                None
+            } else {
+                let mut hadoop = HadoopSim::new(HadoopConfig::paper_defaults());
+                hadoop.upload("input", bytes);
+                Some(hadoop.run_job(&spec).elapsed)
+            };
+
+            Fig9Row { app, eclipse_secs, spark_secs, hadoop_secs }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eclipse_fastest_except_pagerank() {
+        let rows = fig9(1.0);
+        for row in &rows {
+            match row.app {
+                AppKind::PageRank => {
+                    // Spark within striking distance or ahead (paper:
+                    // Spark ~15% faster; EclipseMR "at most 30% slower").
+                    assert!(
+                        row.eclipse_secs < row.spark_secs * 1.45,
+                        "pagerank: eclipse {} spark {}",
+                        row.eclipse_secs,
+                        row.spark_secs
+                    );
+                }
+                _ => {
+                    assert!(
+                        row.eclipse_secs < row.spark_secs,
+                        "{:?}: eclipse {} spark {}",
+                        row.app,
+                        row.eclipse_secs,
+                        row.spark_secs
+                    );
+                    if let Some(h) = row.hadoop_secs {
+                        assert!(
+                            row.eclipse_secs < h,
+                            "{:?}: eclipse {} hadoop {h}",
+                            row.app,
+                            row.eclipse_secs
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spark_worse_than_hadoop_on_sort() {
+        let rows = fig9(1.0);
+        let sort = rows.iter().find(|r| r.app == AppKind::Sort).unwrap();
+        let hadoop = sort.hadoop_secs.unwrap();
+        assert!(
+            sort.spark_secs > hadoop * 0.9,
+            "spark {} hadoop {hadoop} — Spark should not win sort clearly",
+            sort.spark_secs
+        );
+    }
+
+    #[test]
+    fn kmeans_speedup_over_spark_is_large() {
+        let rows = fig9(1.0);
+        let km = rows.iter().find(|r| r.app == AppKind::KMeans).unwrap();
+        // Paper: ~3.5×. Accept anything ≥ 2×.
+        let speedup = km.spark_secs / km.eclipse_secs;
+        assert!(speedup >= 2.0, "kmeans speedup {speedup}");
+        assert!(km.hadoop_secs.is_none(), "Hadoop omitted for kmeans");
+    }
+
+    #[test]
+    fn normalization() {
+        let row = Fig9Row {
+            app: AppKind::Sort,
+            eclipse_secs: 50.0,
+            spark_secs: 100.0,
+            hadoop_secs: Some(80.0),
+        };
+        let (e, s, h) = row.normalized();
+        assert_eq!((e, s, h), (0.5, 1.0, Some(0.8)));
+    }
+}

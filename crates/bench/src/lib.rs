@@ -1,0 +1,15 @@
+//! # eclipse-bench
+//!
+//! The benchmark harness reproducing every figure in the paper's
+//! evaluation (Figs. 5–10) plus ablations of the design choices. Each
+//! figure is a pure function from a `scale` factor (data-volume
+//! multiplier; 1.0 = the paper's sizes) to the figure's series, consumed
+//! by the `figures` binary, by the criterion benches, and by shape tests.
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;

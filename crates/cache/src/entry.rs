@@ -1,0 +1,100 @@
+//! Cache entry identities.
+//!
+//! EclipseMR's distributed in-memory cache has two partitions (§II-B):
+//!
+//! * **iCache** — input file blocks, cached *implicitly* when a map task
+//!   reads them. Keyed by the block.
+//! * **oCache** — intermediate results and iteration outputs, cached
+//!   *explicitly* by applications and "tagged with their metadata
+//!   (application ID, user-assigned ID for cached data)".
+//!
+//! Both kinds are located on the ring by a hash key, so the scheduler's
+//! range table can find them without a central directory.
+
+use eclipse_util::HashKey;
+
+/// Tag identifying an explicitly cached object in oCache.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct OutputTag {
+    /// Application identifier (e.g. "pagerank").
+    pub app: String,
+    /// User-assigned identifier for the cached object (e.g.
+    /// "iter3/part-00012").
+    pub tag: String,
+}
+
+impl OutputTag {
+    pub fn new(app: impl Into<String>, tag: impl Into<String>) -> OutputTag {
+        OutputTag { app: app.into(), tag: tag.into() }
+    }
+
+    /// Ring key of the tagged object: hash of `app` and `tag` together.
+    pub fn hash_key(&self) -> HashKey {
+        let mut buf = Vec::with_capacity(self.app.len() + self.tag.len() + 1);
+        buf.extend_from_slice(self.app.as_bytes());
+        buf.push(0);
+        buf.extend_from_slice(self.tag.as_bytes());
+        HashKey::of_bytes(&buf)
+    }
+}
+
+/// Identity of any cached object.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum CacheKey {
+    /// iCache: an input block, identified by its placement hash key.
+    /// (We key by the ring hash key rather than `BlockId` so cache and
+    /// scheduler agree byte-for-byte on placement.)
+    Input(HashKey),
+    /// oCache: a tagged intermediate result or iteration output.
+    Output(OutputTag),
+}
+
+impl CacheKey {
+    /// The ring position used to locate this entry.
+    pub fn hash_key(&self) -> HashKey {
+        match self {
+            CacheKey::Input(k) => *k,
+            CacheKey::Output(t) => t.hash_key(),
+        }
+    }
+
+    pub fn is_input(&self) -> bool {
+        matches!(self, CacheKey::Input(_))
+    }
+
+    pub fn is_output(&self) -> bool {
+        matches!(self, CacheKey::Output(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_tag_key_depends_on_both_parts() {
+        let a = OutputTag::new("pagerank", "iter1").hash_key();
+        let b = OutputTag::new("pagerank", "iter2").hash_key();
+        let c = OutputTag::new("kmeans", "iter1").hash_key();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, OutputTag::new("pagerank", "iter1").hash_key());
+    }
+
+    #[test]
+    fn tag_separator_prevents_ambiguity() {
+        // ("ab", "c") must differ from ("a", "bc").
+        let x = OutputTag::new("ab", "c").hash_key();
+        let y = OutputTag::new("a", "bc").hash_key();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn cache_key_kinds() {
+        let i = CacheKey::Input(HashKey(5));
+        let o = CacheKey::Output(OutputTag::new("a", "b"));
+        assert!(i.is_input() && !i.is_output());
+        assert!(o.is_output() && !o.is_input());
+        assert_eq!(i.hash_key(), HashKey(5));
+    }
+}

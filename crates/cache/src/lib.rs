@@ -1,0 +1,18 @@
+//! # eclipse-cache
+//!
+//! EclipseMR's distributed in-memory cache (the paper's outer ring):
+//! per-server LRU caches with a shared byte budget per node, split into
+//! the implicit input-block partition (iCache) and the explicit tagged-
+//! output partition (oCache, TTL-invalidated), addressed cluster-wide by
+//! a scheduler-owned hash-key range table. Includes the optional
+//! misplaced-entry migration pass from §II-E.
+
+pub mod distcache;
+pub mod entry;
+pub mod lru;
+pub mod node_cache;
+
+pub use distcache::DistributedCache;
+pub use entry::{CacheKey, OutputTag};
+pub use lru::{CacheStats, LruCache};
+pub use node_cache::NodeCache;

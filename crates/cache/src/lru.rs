@@ -1,0 +1,321 @@
+//! Byte-budgeted LRU cache with optional TTL expiry.
+//!
+//! The paper: "each worker server caches only a certain number of
+//! recently accessed data objects using the LRU cache replacement policy"
+//! (§II-E); oCache entries "are invalidated by time-to-live (TTL) which
+//! can be set by applications" (§II-C).
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+#[derive(Clone, Debug)]
+struct Slot {
+    bytes: u64,
+    /// Recency stamp; larger = more recent.
+    seq: u64,
+    /// Absolute expiry time in seconds; `None` = never.
+    expires: Option<f64>,
+}
+
+/// Statistics kept by an [`LruCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+    pub expirations: u64,
+    pub rejected: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio over all lookups (0 when no lookups occurred).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A byte-capacity LRU cache. Keys are opaque; values are only sizes —
+/// payloads for the live executor ride in a side table, keeping this
+/// structure shared between the simulator and the live path.
+///
+/// ```
+/// use eclipse_cache::LruCache;
+///
+/// let mut cache = LruCache::new(100);
+/// cache.put("block-a", 60, 0.0, None);
+/// cache.put("block-b", 60, 1.0, None); // evicts block-a (LRU, over budget)
+/// assert!(cache.get(&"block-a", 2.0).is_none());
+/// assert_eq!(cache.get(&"block-b", 2.0), Some(60));
+/// assert!(cache.used() <= cache.capacity());
+/// ```
+#[derive(Clone, Debug)]
+pub struct LruCache<K: Eq + Hash + Ord + Clone> {
+    capacity: u64,
+    used: u64,
+    seq: u64,
+    entries: HashMap<K, Slot>,
+    /// seq -> key, ordered oldest-first for eviction.
+    order: BTreeMap<u64, K>,
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Ord + Clone> LruCache<K> {
+    /// A cache holding at most `capacity` bytes. A zero-capacity cache is
+    /// legal and rejects every insertion (the paper's "cache size 0"
+    /// sweep point in Fig. 7).
+    pub fn new(capacity: u64) -> LruCache<K> {
+        LruCache {
+            capacity,
+            used: 0,
+            seq: 0,
+            entries: HashMap::new(),
+            order: BTreeMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn touch(&mut self, key: &K) {
+        if let Some(slot) = self.entries.get_mut(key) {
+            self.order.remove(&slot.seq);
+            self.seq += 1;
+            slot.seq = self.seq;
+            self.order.insert(self.seq, key.clone());
+        }
+    }
+
+    fn remove_entry(&mut self, key: &K) -> Option<Slot> {
+        let slot = self.entries.remove(key)?;
+        self.order.remove(&slot.seq);
+        self.used -= slot.bytes;
+        Some(slot)
+    }
+
+    /// Look up `key` at time `now`. A TTL-expired entry counts as a miss
+    /// and is dropped. Hits refresh recency. Returns the entry size on a
+    /// hit.
+    pub fn get(&mut self, key: &K, now: f64) -> Option<u64> {
+        match self.entries.get(key) {
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+            Some(slot) => {
+                if slot.expires.is_some_and(|e| now >= e) {
+                    self.remove_entry(key);
+                    self.stats.expirations += 1;
+                    self.stats.misses += 1;
+                    None
+                } else {
+                    let bytes = slot.bytes;
+                    self.touch(key);
+                    self.stats.hits += 1;
+                    Some(bytes)
+                }
+            }
+        }
+    }
+
+    /// Peek without affecting recency or statistics.
+    pub fn contains(&self, key: &K, now: f64) -> bool {
+        self.entries.get(key).is_some_and(|s| !s.expires.is_some_and(|e| now >= e))
+    }
+
+    /// Insert `key` of `bytes` size, evicting LRU entries to fit.
+    /// `ttl` is seconds from `now` (`None` = no expiry). An object larger
+    /// than the whole capacity is rejected (returns false).
+    /// Re-inserting an existing key updates size/TTL and refreshes
+    /// recency.
+    pub fn put(&mut self, key: K, bytes: u64, now: f64, ttl: Option<f64>) -> bool {
+        if bytes > self.capacity {
+            self.stats.rejected += 1;
+            return false;
+        }
+        self.remove_entry(&key);
+        while self.used + bytes > self.capacity {
+            // Evict the least-recently-used entry.
+            let (&oldest, _) = self.order.iter().next().expect("used > 0 implies entries");
+            let victim = self.order[&oldest].clone();
+            self.remove_entry(&victim);
+            self.stats.evictions += 1;
+        }
+        self.seq += 1;
+        self.order.insert(self.seq, key.clone());
+        self.entries.insert(
+            key,
+            Slot { bytes, seq: self.seq, expires: ttl.map(|t| now + t) },
+        );
+        self.used += bytes;
+        self.stats.insertions += 1;
+        true
+    }
+
+    /// Remove `key` explicitly; returns its size if present.
+    pub fn invalidate(&mut self, key: &K) -> Option<u64> {
+        self.remove_entry(key).map(|s| s.bytes)
+    }
+
+    /// Drop every expired entry at time `now`; returns the count.
+    pub fn expire(&mut self, now: f64) -> usize {
+        let dead: Vec<K> = self
+            .entries
+            .iter()
+            .filter(|(_, s)| s.expires.is_some_and(|e| now >= e))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &dead {
+            self.remove_entry(k);
+            self.stats.expirations += 1;
+        }
+        dead.len()
+    }
+
+    /// Iterate over resident keys (no particular order).
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.entries.keys()
+    }
+
+    /// Drop everything (used when emptying caches between experiments,
+    /// as the paper does before each run).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_recency() {
+        let mut c = LruCache::new(100);
+        assert!(c.put("a", 40, 0.0, None));
+        assert!(c.put("b", 40, 0.0, None));
+        assert_eq!(c.get(&"a", 1.0), Some(40)); // a is now most recent
+        assert!(c.put("c", 40, 2.0, None)); // evicts b (LRU)
+        assert!(c.contains(&"a", 2.0));
+        assert!(!c.contains(&"b", 2.0));
+        assert!(c.contains(&"c", 2.0));
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = LruCache::new(100);
+        for i in 0..50u32 {
+            c.put(i, 30, i as f64, None);
+            assert!(c.used() <= 100, "used {} after insert {}", c.used(), i);
+        }
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn oversized_object_rejected() {
+        let mut c = LruCache::new(10);
+        assert!(!c.put("big", 11, 0.0, None));
+        assert_eq!(c.stats().rejected, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut c: LruCache<u32> = LruCache::new(0);
+        assert!(!c.put(1, 1, 0.0, None));
+        assert_eq!(c.get(&1, 0.0), None);
+    }
+
+    #[test]
+    fn ttl_expiry_on_get() {
+        let mut c = LruCache::new(100);
+        c.put("x", 10, 0.0, Some(5.0));
+        assert_eq!(c.get(&"x", 4.9), Some(10));
+        assert_eq!(c.get(&"x", 5.0), None);
+        assert_eq!(c.stats().expirations, 1);
+    }
+
+    #[test]
+    fn ttl_bulk_expire() {
+        let mut c = LruCache::new(100);
+        c.put("a", 10, 0.0, Some(1.0));
+        c.put("b", 10, 0.0, Some(2.0));
+        c.put("c", 10, 0.0, None);
+        assert_eq!(c.expire(1.5), 1);
+        assert_eq!(c.expire(10.0), 1);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(&"c", 100.0));
+    }
+
+    #[test]
+    fn reinsert_updates_size() {
+        let mut c = LruCache::new(100);
+        c.put("k", 60, 0.0, None);
+        c.put("k", 20, 1.0, None);
+        assert_eq!(c.used(), 20);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let mut c = LruCache::new(100);
+        c.put("a", 25, 0.0, None);
+        assert_eq!(c.invalidate(&"a"), Some(25));
+        assert_eq!(c.invalidate(&"a"), None);
+        c.put("b", 25, 0.0, None);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let mut c = LruCache::new(100);
+        c.put("a", 10, 0.0, None);
+        c.get(&"a", 0.0);
+        c.get(&"a", 0.0);
+        c.get(&"z", 0.0);
+        assert!((c.stats().hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        let empty: LruCache<u8> = LruCache::new(10);
+        assert_eq!(empty.stats().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn eviction_order_is_lru_not_fifo() {
+        let mut c = LruCache::new(30);
+        c.put("a", 10, 0.0, None);
+        c.put("b", 10, 1.0, None);
+        c.put("c", 10, 2.0, None);
+        c.get(&"a", 3.0); // refresh a — b is now oldest
+        c.put("d", 10, 4.0, None);
+        assert!(c.contains(&"a", 5.0));
+        assert!(!c.contains(&"b", 5.0));
+    }
+}

@@ -1,0 +1,207 @@
+//! Per-server cache: one byte budget shared by the iCache and oCache
+//! partitions, with per-partition statistics and an optional payload
+//! side-table for the live executor.
+
+use crate::entry::CacheKey;
+use crate::lru::{CacheStats, LruCache};
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// One worker server's in-memory cache.
+#[derive(Clone, Debug)]
+pub struct NodeCache {
+    lru: LruCache<CacheKey>,
+    /// iCache lookup stats (input blocks).
+    input_stats: CacheStats,
+    /// oCache lookup stats (tagged outputs).
+    output_stats: CacheStats,
+    /// Real payloads for the live executor; the simulator leaves this
+    /// empty and only meters bytes.
+    payloads: HashMap<CacheKey, Bytes>,
+}
+
+impl NodeCache {
+    pub fn new(capacity: u64) -> NodeCache {
+        NodeCache {
+            lru: LruCache::new(capacity),
+            input_stats: CacheStats::default(),
+            output_stats: CacheStats::default(),
+            payloads: HashMap::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.lru.capacity()
+    }
+
+    pub fn used(&self) -> u64 {
+        self.lru.used()
+    }
+
+    fn stats_for(&mut self, key: &CacheKey) -> &mut CacheStats {
+        if key.is_input() {
+            &mut self.input_stats
+        } else {
+            &mut self.output_stats
+        }
+    }
+
+    /// Look up an entry; returns its byte size on a hit.
+    pub fn get(&mut self, key: &CacheKey, now: f64) -> Option<u64> {
+        let hit = self.lru.get(key, now);
+        let stats = self.stats_for(key);
+        match hit {
+            Some(b) => {
+                stats.hits += 1;
+                Some(b)
+            }
+            None => {
+                stats.misses += 1;
+                self.payloads.remove(key);
+                None
+            }
+        }
+    }
+
+    /// Look up and return the real payload (live executor path).
+    pub fn get_payload(&mut self, key: &CacheKey, now: f64) -> Option<Bytes> {
+        self.get(key, now)?;
+        self.payloads.get(key).cloned()
+    }
+
+    /// Cache a metered entry (simulator path).
+    pub fn put(&mut self, key: CacheKey, bytes: u64, now: f64, ttl: Option<f64>) -> bool {
+        let ok = self.lru.put(key.clone(), bytes, now, ttl);
+        if ok {
+            self.stats_for(&key).insertions += 1;
+            self.gc_payloads();
+        }
+        ok
+    }
+
+    /// Cache a real payload (live executor path).
+    pub fn put_payload(&mut self, key: CacheKey, data: Bytes, now: f64, ttl: Option<f64>) -> bool {
+        let ok = self.put(key.clone(), data.len() as u64, now, ttl);
+        if ok {
+            self.payloads.insert(key, data);
+        }
+        ok
+    }
+
+    /// Drop payloads whose index entry was evicted.
+    fn gc_payloads(&mut self) {
+        if self.payloads.is_empty() {
+            return;
+        }
+        // `contains` at -inf ignores TTL, testing only index residency.
+        self.payloads.retain(|k, _| self.lru.contains(k, f64::NEG_INFINITY));
+    }
+
+    pub fn contains(&self, key: &CacheKey, now: f64) -> bool {
+        self.lru.contains(key, now)
+    }
+
+    pub fn invalidate(&mut self, key: &CacheKey) -> Option<u64> {
+        self.payloads.remove(key);
+        self.lru.invalidate(key)
+    }
+
+    /// Evict everything (cold-cache experiment setup).
+    pub fn clear(&mut self) {
+        self.lru.clear();
+        self.payloads.clear();
+    }
+
+    /// Resident keys, no particular order.
+    pub fn keys(&self) -> Vec<CacheKey> {
+        self.lru.keys().cloned().collect()
+    }
+
+    /// iCache statistics (input-block lookups).
+    pub fn input_stats(&self) -> CacheStats {
+        self.input_stats
+    }
+
+    /// oCache statistics (tagged-output lookups).
+    pub fn output_stats(&self) -> CacheStats {
+        self.output_stats
+    }
+
+    /// Combined statistics from the underlying LRU.
+    pub fn stats(&self) -> CacheStats {
+        self.lru.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::OutputTag;
+    use eclipse_util::HashKey;
+
+    fn ik(v: u64) -> CacheKey {
+        CacheKey::Input(HashKey(v))
+    }
+    fn ok_(tag: &str) -> CacheKey {
+        CacheKey::Output(OutputTag::new("app", tag))
+    }
+
+    #[test]
+    fn partitions_share_capacity() {
+        let mut c = NodeCache::new(100);
+        assert!(c.put(ik(1), 60, 0.0, None));
+        assert!(c.put(ok_("t"), 60, 1.0, None)); // must evict the input entry
+        assert!(!c.contains(&ik(1), 1.0));
+        assert!(c.contains(&ok_("t"), 1.0));
+        assert!(c.used() <= 100);
+    }
+
+    #[test]
+    fn per_partition_stats() {
+        let mut c = NodeCache::new(100);
+        c.put(ik(1), 10, 0.0, None);
+        c.get(&ik(1), 0.0);
+        c.get(&ik(2), 0.0);
+        c.get(&ok_("x"), 0.0);
+        assert_eq!(c.input_stats().hits, 1);
+        assert_eq!(c.input_stats().misses, 1);
+        assert_eq!(c.output_stats().misses, 1);
+        assert_eq!(c.output_stats().hits, 0);
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let mut c = NodeCache::new(100);
+        assert!(c.put_payload(ok_("r"), Bytes::from_static(b"result"), 0.0, None));
+        assert_eq!(c.get_payload(&ok_("r"), 1.0).unwrap(), Bytes::from_static(b"result"));
+        assert_eq!(c.get_payload(&ok_("zzz"), 1.0), None);
+    }
+
+    #[test]
+    fn payload_dropped_with_eviction() {
+        let mut c = NodeCache::new(10);
+        c.put_payload(ok_("a"), Bytes::from(vec![0u8; 10]), 0.0, None);
+        c.put_payload(ok_("b"), Bytes::from(vec![0u8; 10]), 1.0, None); // evicts a
+        assert_eq!(c.get_payload(&ok_("a"), 2.0), None);
+        assert!(c.get_payload(&ok_("b"), 2.0).is_some());
+    }
+
+    #[test]
+    fn ttl_applies_to_outputs() {
+        let mut c = NodeCache::new(100);
+        c.put(ok_("temp"), 5, 0.0, Some(10.0));
+        assert!(c.get(&ok_("temp"), 9.0).is_some());
+        assert!(c.get(&ok_("temp"), 11.0).is_none());
+    }
+
+    #[test]
+    fn clear_resets_contents_not_stats() {
+        let mut c = NodeCache::new(100);
+        c.put(ik(1), 10, 0.0, None);
+        c.get(&ik(1), 0.0);
+        c.clear();
+        assert!(!c.contains(&ik(1), 0.0));
+        assert_eq!(c.input_stats().hits, 1, "stats survive clears");
+        assert_eq!(c.used(), 0);
+    }
+}

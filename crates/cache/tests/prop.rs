@@ -1,0 +1,172 @@
+//! Model-based property tests: the production [`LruCache`] must behave
+//! byte-for-byte like a naive reference implementation under arbitrary
+//! operation sequences, and the distributed layer must never lose or
+//! duplicate entries during migration.
+
+use eclipse_cache::{CacheKey, DistributedCache, LruCache, OutputTag};
+use eclipse_ring::Ring;
+use eclipse_util::HashKey;
+use proptest::prelude::*;
+
+/// A deliberately simple reference LRU: O(n) everything, obviously
+/// correct.
+struct RefLru {
+    capacity: u64,
+    /// (key, bytes, expires), most-recently-used LAST.
+    entries: Vec<(u32, u64, Option<f64>)>,
+}
+
+impl RefLru {
+    fn new(capacity: u64) -> RefLru {
+        RefLru { capacity, entries: Vec::new() }
+    }
+
+    fn used(&self) -> u64 {
+        self.entries.iter().map(|e| e.1).sum()
+    }
+
+    fn get(&mut self, key: u32, now: f64) -> Option<u64> {
+        let idx = self.entries.iter().position(|e| e.0 == key)?;
+        if self.entries[idx].2.is_some_and(|e| now >= e) {
+            self.entries.remove(idx);
+            return None;
+        }
+        let e = self.entries.remove(idx);
+        let bytes = e.1;
+        self.entries.push(e);
+        Some(bytes)
+    }
+
+    fn put(&mut self, key: u32, bytes: u64, now: f64, ttl: Option<f64>) -> bool {
+        if bytes > self.capacity {
+            return false;
+        }
+        if let Some(idx) = self.entries.iter().position(|e| e.0 == key) {
+            self.entries.remove(idx);
+        }
+        while self.used() + bytes > self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, bytes, ttl.map(|t| now + t)));
+        true
+    }
+
+    fn invalidate(&mut self, key: u32) -> Option<u64> {
+        let idx = self.entries.iter().position(|e| e.0 == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+}
+
+/// One randomized cache operation.
+#[derive(Clone, Debug)]
+enum Op {
+    Get(u32),
+    Put(u32, u64, Option<u16>),
+    Invalidate(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..20).prop_map(Op::Get),
+        (0u32..20, 1u64..60, prop::option::of(1u16..50))
+            .prop_map(|(k, b, t)| Op::Put(k, b, t)),
+        (0u32..20).prop_map(Op::Invalidate),
+    ]
+}
+
+proptest! {
+    /// The production LRU and the reference agree on every observable
+    /// result of every operation, at monotone timestamps.
+    #[test]
+    fn lru_matches_reference_model(
+        ops in prop::collection::vec(op_strategy(), 1..200),
+        capacity in 1u64..200,
+    ) {
+        let mut real: LruCache<u32> = LruCache::new(capacity);
+        let mut model = RefLru::new(capacity);
+        for (i, op) in ops.iter().enumerate() {
+            let now = i as f64;
+            match op {
+                Op::Get(k) => {
+                    prop_assert_eq!(real.get(k, now), model.get(*k, now), "get {} at {}", k, i);
+                }
+                Op::Put(k, b, ttl) => {
+                    let ttl = ttl.map(|t| t as f64);
+                    prop_assert_eq!(
+                        real.put(*k, *b, now, ttl),
+                        model.put(*k, *b, now, ttl),
+                        "put {} at {}", k, i
+                    );
+                }
+                Op::Invalidate(k) => {
+                    prop_assert_eq!(real.invalidate(k), model.invalidate(*k), "inv {} at {}", k, i);
+                }
+            }
+            prop_assert_eq!(real.used(), model.used(), "used mismatch after op {}", i);
+            prop_assert!(real.used() <= capacity);
+        }
+    }
+
+    /// Migration conserves entries: nothing is lost, nothing duplicated,
+    /// and afterwards no rescued entry is misplaced with respect to the
+    /// new table (entries whose new home is not a neighbor stay put, as
+    /// the paper's neighbor-only option dictates).
+    #[test]
+    fn migration_conserves_entries(
+        keys in prop::collection::vec(any::<u64>(), 1..60),
+        rotate in 1usize..5,
+    ) {
+        let ring = Ring::with_servers_evenly_spaced(8, "m");
+        let mut cache = DistributedCache::new(&ring, 1 << 20);
+        for (i, &k) in keys.iter().enumerate() {
+            cache.put_at_home(CacheKey::Input(HashKey(k)), 100, i as f64, None);
+        }
+        let resident_before: usize =
+            (0..8).map(|i| cache.node(eclipse_ring::NodeId(i)).keys().len()).sum();
+
+        // Rotate the range table by `rotate` positions: every entry's
+        // home moves to the rotate-th neighbor.
+        let old = cache.ranges().to_vec();
+        let rotated: Vec<_> = (0..old.len())
+            .map(|i| (old[(i + rotate) % old.len()].0, old[i].1))
+            .collect();
+        cache.set_ranges(rotated);
+
+        let (moved, bytes) = cache.migrate_misplaced(100.0);
+        prop_assert_eq!(bytes, moved as u64 * 100);
+        let resident_after: usize =
+            (0..8).map(|i| cache.node(eclipse_ring::NodeId(i)).keys().len()).sum();
+        prop_assert_eq!(resident_before, resident_after, "entries lost or duplicated");
+        if rotate == 1 {
+            // Single-step rotation: every misplaced entry has a neighbor
+            // home, so migration clears all misplacement.
+            prop_assert_eq!(cache.misplaced_entries(), 0);
+        }
+    }
+
+    /// oCache tags with TTLs expire exactly like input entries.
+    #[test]
+    fn tagged_entries_respect_ttl(
+        tags in prop::collection::vec("[a-z]{1,6}", 1..30),
+        ttl in 1.0f64..50.0,
+    ) {
+        let ring = Ring::with_servers_evenly_spaced(4, "m");
+        let mut cache = DistributedCache::new(&ring, 1 << 20);
+        for t in &tags {
+            cache.put_at_home(
+                CacheKey::Output(OutputTag::new("app", t.clone())),
+                10,
+                0.0,
+                Some(ttl),
+            );
+        }
+        for t in &tags {
+            let key = CacheKey::Output(OutputTag::new("app", t.clone()));
+            prop_assert!(cache.get_at_home(&key, ttl - 0.01).is_some());
+        }
+        for t in &tags {
+            let key = CacheKey::Output(OutputTag::new("app", t.clone()));
+            prop_assert!(cache.get_at_home(&key, ttl + 0.01).is_none());
+        }
+    }
+}

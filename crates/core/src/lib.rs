@@ -1,0 +1,20 @@
+//! # eclipse-core
+//!
+//! The EclipseMR MapReduce engine: job/task model, proactive shuffle,
+//! the simulator-driven executor that reproduces the paper's cluster
+//! experiments, and a live multithreaded executor that runs real
+//! map/reduce functions over real data with the same placement logic.
+
+pub mod job;
+pub mod live;
+pub mod resource_manager;
+pub mod shuffle;
+pub mod sim_exec;
+pub mod timeline;
+
+pub use job::{JobId, JobReport, JobSpec, ReadSource, ReusePolicy};
+pub use live::{LiveCluster, LiveConfig, LiveStats, MapReduce};
+pub use resource_manager::{ResourceManager, RmError, TickOutcome};
+pub use shuffle::{Spill, SpillBuffer};
+pub use timeline::{TaskEvent, TaskKind, Timeline};
+pub use sim_exec::{EclipseConfig, EclipseSim, SchedulerKind};

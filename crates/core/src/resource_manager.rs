@@ -1,0 +1,286 @@
+//! The resource manager (paper §II): "responsible for server join,
+//! leave, failure recovery, and file upload", elected by the ring
+//! election together with the job scheduler, and notified through the
+//! neighbor heartbeat protocol.
+//!
+//! This module ties those pieces into one deterministic state machine:
+//! heartbeats come in, silence is detected, the ring shrinks, blocks are
+//! re-replicated from predecessor/successor copies, coordinators are
+//! re-elected if one of them died, and joiners are admitted with a
+//! minimal-disruption key handoff. Both executors can host it; the tests
+//! drive it standalone.
+
+use eclipse_dhtfs::{DhtFs, FsError, RecoveryCopy};
+use eclipse_ring::{
+    ClusterView, Coordinators, HeartbeatMonitor, MembershipEvent, NodeId, RingError, ServerInfo,
+};
+
+/// What the resource manager decided during one `tick`.
+#[derive(Clone, Debug, Default)]
+pub struct TickOutcome {
+    /// Nodes declared dead this tick (heartbeat silence).
+    pub failed: Vec<NodeId>,
+    /// Re-replication copies to execute for the failures.
+    pub recovery: Vec<RecoveryCopy>,
+    /// New coordinators, if an election ran.
+    pub reelected: Option<Coordinators>,
+}
+
+/// Errors from resource-manager operations.
+#[derive(Debug)]
+pub enum RmError {
+    Ring(RingError),
+    Fs(FsError),
+}
+
+impl From<RingError> for RmError {
+    fn from(e: RingError) -> Self {
+        RmError::Ring(e)
+    }
+}
+impl From<FsError> for RmError {
+    fn from(e: FsError) -> Self {
+        RmError::Fs(e)
+    }
+}
+
+impl std::fmt::Display for RmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RmError::Ring(e) => write!(f, "ring: {e}"),
+            RmError::Fs(e) => write!(f, "fs: {e}"),
+        }
+    }
+}
+impl std::error::Error for RmError {}
+
+/// The coordinator state machine.
+pub struct ResourceManager {
+    view: ClusterView,
+    fs: DhtFs,
+    heartbeats: HeartbeatMonitor,
+    /// Seconds of silence before a node is declared failed.
+    timeout: f64,
+    epoch_at_last_election: u64,
+}
+
+impl ResourceManager {
+    /// Stand up the manager over an existing file system. Every current
+    /// member is assumed alive at time `now`.
+    pub fn new(fs: DhtFs, heartbeat_timeout: f64, now: f64) -> ResourceManager {
+        let view = ClusterView::new(fs.ring().clone());
+        let mut heartbeats = HeartbeatMonitor::new(heartbeat_timeout);
+        for id in fs.ring().node_ids() {
+            heartbeats.heartbeat(id, now);
+        }
+        ResourceManager {
+            epoch_at_last_election: view.epoch(),
+            view,
+            fs,
+            heartbeats,
+            timeout: heartbeat_timeout,
+        }
+    }
+
+    pub fn fs(&self) -> &DhtFs {
+        &self.fs
+    }
+
+    pub fn fs_mut(&mut self) -> &mut DhtFs {
+        &mut self.fs
+    }
+
+    pub fn coordinators(&self) -> Option<Coordinators> {
+        self.view.coordinators()
+    }
+
+    pub fn members(&self) -> Vec<NodeId> {
+        self.view.ring().node_ids()
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.view.epoch()
+    }
+
+    /// A worker's periodic heartbeat.
+    pub fn heartbeat(&mut self, node: NodeId, now: f64) {
+        self.heartbeats.heartbeat(node, now);
+    }
+
+    /// Admit a joining server at time `now`. The DHT FS does not move
+    /// existing blocks (consistent hashing keeps disruption minimal; new
+    /// writes flow to the joiner), but membership, heartbeats and the
+    /// election all see it immediately.
+    pub fn join(&mut self, info: ServerInfo, now: f64) -> Result<(), RmError> {
+        self.fs.join(info.clone())?;
+        self.view.apply(MembershipEvent::Join(info.clone()))?;
+        self.heartbeats.heartbeat(info.id, now);
+        Ok(())
+    }
+
+    /// Graceful leave: like a failure, but announced — data is still
+    /// re-replicated off the leaver (it may power down immediately).
+    pub fn leave(&mut self, node: NodeId) -> Result<Vec<RecoveryCopy>, RmError> {
+        self.heartbeats.forget(node);
+        let plan = self.fs.fail_node(node)?;
+        self.view.apply(MembershipEvent::Leave(node))?;
+        Ok(plan)
+    }
+
+    /// Advance to time `now`: detect heartbeat silences, recover each
+    /// failure, and re-elect if a coordinator died.
+    pub fn tick(&mut self, now: f64) -> Result<TickOutcome, RmError> {
+        let mut outcome = TickOutcome::default();
+        for dead in self.heartbeats.expired(now) {
+            // A node may have been removed by leave() already.
+            if !self.view.ring().contains(dead) {
+                continue;
+            }
+            outcome.failed.push(dead);
+            outcome.recovery.extend(self.fs.fail_node(dead)?);
+            self.view.apply(MembershipEvent::Fail(dead))?;
+        }
+        if self.view.epoch() != self.epoch_at_last_election {
+            self.epoch_at_last_election = self.view.epoch();
+            outcome.reelected = self.view.coordinators();
+        }
+        Ok(outcome)
+    }
+
+    /// Upload a file through the manager (the paper routes uploads via
+    /// the resource manager).
+    pub fn upload(&mut self, name: &str, owner: &str, bytes: u64) -> Result<(), RmError> {
+        self.fs.upload(name, owner, bytes)?;
+        Ok(())
+    }
+
+    /// Heartbeat timeout currently in force.
+    pub fn timeout(&self) -> f64 {
+        self.timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclipse_dhtfs::DhtFsConfig;
+    use eclipse_ring::Ring;
+    use eclipse_util::{HashKey, GB};
+
+    fn manager(nodes: usize) -> ResourceManager {
+        let ring = Ring::with_servers_evenly_spaced(nodes, "rm");
+        let mut fs = DhtFs::new(ring, DhtFsConfig::default());
+        fs.upload("data", "ops", 4 * GB).unwrap();
+        ResourceManager::new(fs, 3.0, 0.0)
+    }
+
+    /// Drive heartbeats for every member except `silent` up to `t`.
+    fn beat_all_except(rm: &mut ResourceManager, silent: &[NodeId], t: f64) {
+        for id in rm.members() {
+            if !silent.contains(&id) {
+                rm.heartbeat(id, t);
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_cluster_ticks_quietly() {
+        let mut rm = manager(8);
+        for step in 1..10 {
+            let t = step as f64;
+            beat_all_except(&mut rm, &[], t);
+            let out = rm.tick(t).unwrap();
+            assert!(out.failed.is_empty());
+            assert!(out.recovery.is_empty());
+            assert!(out.reelected.is_none());
+        }
+        assert_eq!(rm.members().len(), 8);
+    }
+
+    #[test]
+    fn silence_triggers_failure_and_recovery() {
+        let mut rm = manager(8);
+        let victim = rm.members()[3];
+        for step in 1..=5 {
+            let t = step as f64;
+            beat_all_except(&mut rm, &[victim], t);
+        }
+        let out = rm.tick(5.0).unwrap();
+        assert_eq!(out.failed, vec![victim]);
+        assert!(!out.recovery.is_empty(), "victim held replicas");
+        assert!(!rm.members().contains(&victim));
+        // Replication restored.
+        let meta = rm.fs().stat("data").unwrap().clone();
+        for b in &meta.blocks {
+            assert_eq!(rm.fs().block_holders(b.id).unwrap().len(), 3);
+        }
+    }
+
+    #[test]
+    fn coordinator_death_reelects() {
+        let mut rm = manager(6);
+        let coords = rm.coordinators().unwrap();
+        for step in 1..=5 {
+            beat_all_except(&mut rm, &[coords.scheduler], step as f64);
+        }
+        let out = rm.tick(5.0).unwrap();
+        assert_eq!(out.failed, vec![coords.scheduler]);
+        let new = out.reelected.expect("election ran");
+        assert_ne!(new.scheduler, coords.scheduler);
+        assert!(rm.members().contains(&new.scheduler));
+    }
+
+    #[test]
+    fn graceful_leave_recovers_without_timeout() {
+        let mut rm = manager(8);
+        let leaver = rm.members()[1];
+        let plan = rm.leave(leaver).unwrap();
+        assert!(!plan.is_empty());
+        assert!(!rm.members().contains(&leaver));
+        // The leaver produces no later "failure" — survivors keep
+        // heartbeating, and the tick stays quiet.
+        beat_all_except(&mut rm, &[], 100.0);
+        let out = rm.tick(100.0).unwrap();
+        assert!(out.failed.is_empty());
+    }
+
+    #[test]
+    fn join_extends_membership_and_heartbeats() {
+        let mut rm = manager(4);
+        let newbie = ServerInfo::at_key(NodeId(99), "joiner", HashKey(0x1234_5678_0000_0000));
+        rm.join(newbie, 10.0).unwrap();
+        assert_eq!(rm.members().len(), 5);
+        // The joiner heartbeats like everyone else; silence kills it too.
+        beat_all_except(&mut rm, &[NodeId(99)], 20.0);
+        let out = rm.tick(20.0).unwrap();
+        assert_eq!(out.failed, vec![NodeId(99)]);
+    }
+
+    #[test]
+    fn cascading_failures_until_minimum() {
+        let mut rm = manager(8);
+        for round in 0..5 {
+            let victim = rm.members()[0];
+            let t = 10.0 * (round + 1) as f64;
+            for sub in 0..5 {
+                beat_all_except(&mut rm, &[victim], t + sub as f64);
+            }
+            let out = rm.tick(t + 4.0).unwrap();
+            assert_eq!(out.failed, vec![victim], "round {round}");
+        }
+        assert_eq!(rm.members().len(), 3);
+        // Data still fully replicated on the 3 survivors.
+        let meta = rm.fs().stat("data").unwrap().clone();
+        for b in &meta.blocks {
+            assert_eq!(rm.fs().block_holders(b.id).unwrap().len(), 3);
+        }
+    }
+
+    #[test]
+    fn upload_via_manager() {
+        let mut rm = manager(4);
+        rm.upload("new-file", "ops", GB).unwrap();
+        assert!(rm.fs().exists("new-file"));
+        assert!(matches!(rm.upload("new-file", "ops", GB), Err(RmError::Fs(_))));
+    }
+}

@@ -1,0 +1,1401 @@
+//! The simulator-driven EclipseMR executor.
+//!
+//! Drives the production control-plane crates — ring, DHT FS, distributed
+//! cache, LAF/delay schedulers, proactive shuffle — against the
+//! discrete-event cluster substrate. Every *decision* (who runs what,
+//! where data is read, what gets cached) is made by the same code the
+//! live executor uses; the simulator only answers "when does it finish",
+//! which is what lets this reproduce the paper's 40-node / 250 GB
+//! experiments on one machine.
+
+use crate::job::{JobReport, JobSpec, ReadSource};
+use crate::timeline::{TaskEvent, TaskKind, Timeline};
+use eclipse_cache::{CacheKey, DistributedCache, LruCache, OutputTag};
+use eclipse_dhtfs::{BlockInfo, DhtFs, DhtFsConfig};
+use eclipse_ring::{NodeId, Ring};
+use eclipse_sched::{DelayConfig, DelayScheduler, LafConfig, LafScheduler};
+use eclipse_sim::{ClusterConfig, SimCluster, SimTime};
+use eclipse_util::{HashKey, GB};
+use eclipse_workloads::CostModel;
+
+/// Which scheduling policy the executor runs.
+#[derive(Clone, Debug)]
+pub enum SchedulerKind {
+    Laf(LafConfig),
+    Delay(DelayConfig),
+}
+
+/// Executor configuration.
+#[derive(Clone, Debug)]
+pub struct EclipseConfig {
+    pub cluster: ClusterConfig,
+    pub scheduler: SchedulerKind,
+    /// Distributed in-memory cache bytes per server.
+    pub cache_per_node: u64,
+    /// Modeled OS page-cache bytes per server. The paper's Fig. 6(b)
+    /// finding — oCache does not beat the page cache for iteration
+    /// outputs — emerges from this.
+    pub page_cache_per_node: u64,
+    /// DHT FS replication beyond the primary (2 in the paper).
+    pub replicas: usize,
+    /// Enable the §II-E misplaced-cache migration pass after every LAF
+    /// re-partition (disabled in the paper's experiments).
+    pub migration: bool,
+    pub block_size: u64,
+    /// Per-node CPU speed factors (padded with 1.0) — a heterogeneous /
+    /// straggler cluster. Empty = homogeneous, the paper's testbed.
+    pub node_speeds: Vec<f64>,
+    /// Record-level reduce skew: Zipf exponent over reduce partitions
+    /// (0 = uniform, the default; ~0.8 models word count's Zipf word
+    /// frequencies — the paper's §I record-level skew).
+    pub reduce_skew: f64,
+    /// Hadoop-style speculative execution: when a map task lands on a
+    /// below-nominal-speed node while a faster node has an idle slot, a
+    /// backup copy runs there and the earlier finisher wins. Off by
+    /// default (EclipseMR proper relies on LAF instead; the paper cites
+    /// speculative scheduling as the rival approach to skew).
+    pub speculation: bool,
+}
+
+impl EclipseConfig {
+    /// The paper's testbed: 40 nodes, 1 GB cache/server, 128 MB blocks,
+    /// two replicas, migration off.
+    pub fn paper_defaults(scheduler: SchedulerKind) -> EclipseConfig {
+        EclipseConfig {
+            cluster: ClusterConfig::paper_testbed(),
+            scheduler,
+            cache_per_node: GB,
+            // The OS page cache is shared with shuffle spills, iteration
+            // outputs and every other write on the node; under a running
+            // MapReduce workload its effective residency for *input*
+            // blocks is small — and the paper's protocol empties it
+            // between jobs anyway.
+            page_cache_per_node: 2 * GB,
+            replicas: 2,
+            migration: false,
+            block_size: eclipse_util::DEFAULT_BLOCK_SIZE,
+            node_speeds: Vec::new(),
+            speculation: false,
+            reduce_skew: 0.0,
+        }
+    }
+
+    /// Make some nodes slow: a heterogeneous cluster for the straggler
+    /// ablation.
+    pub fn with_node_speeds(mut self, speeds: Vec<f64>) -> EclipseConfig {
+        self.node_speeds = speeds;
+        self
+    }
+
+    pub fn with_speculation(mut self, on: bool) -> EclipseConfig {
+        self.speculation = on;
+        self
+    }
+
+    pub fn with_reduce_skew(mut self, zipf_exponent: f64) -> EclipseConfig {
+        self.reduce_skew = zipf_exponent;
+        self
+    }
+
+    pub fn with_nodes(mut self, nodes: usize) -> EclipseConfig {
+        self.cluster.nodes = nodes;
+        self
+    }
+
+    pub fn with_cache(mut self, bytes_per_node: u64) -> EclipseConfig {
+        self.cache_per_node = bytes_per_node;
+        self
+    }
+}
+
+enum Sched {
+    Laf(LafScheduler),
+    Delay(DelayScheduler),
+}
+
+/// Simulated EclipseMR deployment.
+pub struct EclipseSim {
+    cfg: EclipseConfig,
+    ring: Ring,
+    cluster: SimCluster,
+    fs: DhtFs,
+    cache: DistributedCache,
+    sched: Sched,
+    /// Per-node OS page cache of recently written/read disk data.
+    page_cache: Vec<LruCache<HashKey>>,
+    /// Nodes still in the ring (failed nodes keep their index but never
+    /// pull tasks again).
+    alive: Vec<bool>,
+    /// Recorded task events when enabled via [`record_timeline`].
+    timeline: Option<Timeline>,
+    /// Current submission clock.
+    clock: f64,
+    repartitions_seen: u64,
+}
+
+/// Pending tasks bucketed by the server whose range currently covers
+/// them, in global submission order. Servers *pull*: the earliest-free
+/// server takes the oldest task in its own bucket, or steals the oldest
+/// pending task cluster-wide when its bucket is empty.
+struct PullQueue<T> {
+    buckets: Vec<std::collections::VecDeque<(u64, T)>>,
+    /// Last time each bucket's own server launched one of its tasks
+    /// (Spark's delay timer resets on every local launch).
+    last_local: Vec<f64>,
+    len: usize,
+}
+
+impl<T> PullQueue<T> {
+    fn new(nodes: usize) -> PullQueue<T> {
+        PullQueue {
+            buckets: (0..nodes).map(|_| std::collections::VecDeque::new()).collect(),
+            last_local: vec![0.0; nodes],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, bucket: usize, seq: u64, item: T) {
+        self.buckets[bucket].push_back((seq, item));
+        self.len += 1;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Oldest task in `bucket` (locality pull) at time `t`.
+    fn pop_local(&mut self, bucket: usize, t: f64) -> Option<(u64, T)> {
+        let item = self.buckets[bucket].pop_front();
+        if item.is_some() {
+            self.len -= 1;
+            self.last_local[bucket] = t;
+        }
+        item
+    }
+
+    /// Oldest pending task cluster-wide (unconditional steal — LAF never
+    /// idles a slot).
+    fn pop_oldest(&mut self) -> Option<(u64, T)> {
+        let bucket = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.front().map(|(seq, _)| (*seq, i)))
+            .min()
+            .map(|(_, i)| i)?;
+        let item = self.buckets[bucket].pop_front();
+        if item.is_some() {
+            self.len -= 1;
+        }
+        item
+    }
+
+    /// Oldest task among buckets whose delay timer has expired at `t`:
+    /// a bucket is stealable only if its own server has not launched a
+    /// local task within the last `wait` seconds. A hot bucket that keeps
+    /// launching locally never yields its tasks — Spark's launch-reset
+    /// pathology, the reason delay scheduling keeps its cache hits but
+    /// loses the load balance.
+    fn pop_oldest_expired(&mut self, t: f64, wait: f64) -> Option<(u64, T)> {
+        let bucket = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| !b.is_empty() && t - self.last_local[*i] >= wait)
+            .filter_map(|(i, b)| b.front().map(|(seq, _)| (*seq, i)))
+            .min()
+            .map(|(_, i)| i)?;
+        let item = self.buckets[bucket].pop_front();
+        if item.is_some() {
+            self.len -= 1;
+        }
+        item
+    }
+
+    /// Earliest time any nonempty bucket's delay timer expires.
+    fn earliest_expiry(&self, wait: f64) -> Option<f64> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(i, _)| self.last_local[i] + wait)
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// Re-assign every pending task to a new bucket (after a LAF
+    /// re-partition), preserving global order within buckets.
+    fn rebucket(&mut self, mut bucket_of: impl FnMut(&T) -> usize) {
+        let mut all: Vec<(u64, T)> =
+            self.buckets.iter_mut().flat_map(|b| b.drain(..)).collect();
+        all.sort_by_key(|(seq, _)| *seq);
+        for (seq, item) in all {
+            let b = bucket_of(&item);
+            self.buckets[b].push_back((seq, item));
+        }
+    }
+}
+
+/// One pull decision: which task the freed server takes and when it may
+/// start (delayed when the server stole past its locality wait).
+struct Pulled<T> {
+    item: T,
+    not_before: f64,
+    #[allow(dead_code)]
+    stolen: bool,
+}
+
+/// Outcome of a pull attempt.
+enum PullOutcome<T> {
+    Task(Pulled<T>),
+    /// Nothing local and nothing stealable yet: the server's slots idle
+    /// until this time (the delay scheduler declining offers).
+    Blocked(f64),
+}
+
+impl EclipseSim {
+    pub fn new(cfg: EclipseConfig) -> EclipseSim {
+        let ring = Ring::with_servers_evenly_spaced(cfg.cluster.nodes, "worker");
+        let cluster = SimCluster::with_speeds(cfg.cluster, &cfg.node_speeds);
+        let fs = DhtFs::new(
+            ring.clone(),
+            DhtFsConfig { block_size: cfg.block_size, replicas: cfg.replicas },
+        );
+        let cache = DistributedCache::new(&ring, cfg.cache_per_node);
+        let sched = match &cfg.scheduler {
+            SchedulerKind::Laf(c) => Sched::Laf(LafScheduler::new(&ring, *c)),
+            SchedulerKind::Delay(c) => Sched::Delay(DelayScheduler::new(&ring, *c)),
+        };
+        let page_cache =
+            (0..cfg.cluster.nodes).map(|_| LruCache::new(cfg.page_cache_per_node)).collect();
+        let alive = vec![true; cfg.cluster.nodes];
+        EclipseSim {
+            cfg,
+            ring,
+            cluster,
+            fs,
+            cache,
+            sched,
+            page_cache,
+            alive,
+            timeline: None,
+            clock: 0.0,
+            repartitions_seen: 0,
+        }
+    }
+
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    pub fn fs(&self) -> &DhtFs {
+        &self.fs
+    }
+
+    pub fn cache(&self) -> &DistributedCache {
+        &self.cache
+    }
+
+    pub fn cluster(&self) -> &SimCluster {
+        &self.cluster
+    }
+
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Start (or restart) recording per-task events.
+    pub fn record_timeline(&mut self) {
+        self.timeline = Some(Timeline::default());
+    }
+
+    /// The recorded timeline, if recording was enabled.
+    pub fn timeline(&self) -> Option<&Timeline> {
+        self.timeline.as_ref()
+    }
+
+    fn log_task(&mut self, kind: TaskKind, node: u32, start: f64, end: f64, source: Option<&'static str>) {
+        if let Some(t) = self.timeline.as_mut() {
+            t.push(TaskEvent { kind, node, start, end, source });
+        }
+    }
+
+    /// Advance the submission clock to at least `t` (job arrivals in a
+    /// stream: the next job may not be submitted before its arrival
+    /// time, but a backlogged cluster keeps its later clock).
+    pub fn advance_to(&mut self, t: f64) {
+        if t > self.clock {
+            self.clock = t;
+        }
+    }
+
+    /// Upload an input file to the DHT file system (charged as free —
+    /// the paper's experiments pre-load inputs).
+    pub fn upload(&mut self, name: &str, bytes: u64) {
+        self.fs.upload(name, "hibench", bytes).expect("upload");
+    }
+
+    /// Empty the distributed in-memory caches and the page caches — the
+    /// paper's cold-cache protocol before each run.
+    pub fn drop_caches(&mut self) {
+        self.cache.clear_all();
+        for pc in &mut self.page_cache {
+            pc.clear();
+        }
+    }
+
+    /// Empty only the OS page caches — the paper's per-job protocol
+    /// (the distributed in-memory cache is the system under test and
+    /// stays warm across jobs in the Fig. 7/8 sweeps).
+    pub fn drop_page_caches(&mut self) {
+        for pc in &mut self.page_cache {
+            pc.clear();
+        }
+    }
+
+    /// Hit ratio of the distributed cache since construction.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        self.cache.hit_ratio()
+    }
+
+    /// Tasks-per-slot standard deviation across all map slots (§III-C).
+    pub fn tasks_per_slot_stdev(&self) -> f64 {
+        let counts: Vec<f64> = self
+            .cluster
+            .map_tasks_per_slot()
+            .iter()
+            .map(|&c| c as f64)
+            .collect();
+        eclipse_util::stats::stdev(&counts)
+    }
+
+    fn node_count(&self) -> usize {
+        self.cfg.cluster.nodes
+    }
+
+    /// The earliest-free node and its free time (the next pull event),
+    /// skipping nodes blocked by the delay scheduler until their timer.
+    fn next_puller(&self, floor: f64, blocked: &[f64]) -> (usize, f64) {
+        self.cluster
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.alive[*i])
+            .map(|(i, n)| {
+                let free = n.map_slots.next_free(SimTime(floor)).secs().max(blocked[i]);
+                // Ties (several nodes with a free slot at the same time)
+                // go to the node with the most idle slots: resource
+                // offers rotate over the cluster instead of letting node
+                // 0 drain its whole slot pool first — which would steal
+                // the other nodes' local tasks on small jobs.
+                let idle = n.map_slots.idle_slots(SimTime(free));
+                (i, free, idle)
+            })
+            .min_by(|a, b| {
+                a.1.partial_cmp(&b.1).unwrap().then(b.2.cmp(&a.2)).then(a.0.cmp(&b.0))
+            })
+            .map(|(i, free, _)| (i, free))
+            .expect("at least one alive node")
+    }
+
+    /// A full-speed node with an idle map slot at `t`, if any (the
+    /// speculation target).
+    fn idle_fast_node(&self, t: f64) -> Option<usize> {
+        self.cluster
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| {
+                self.alive[*i]
+                    && self.cluster.speed_of(*i) >= 1.0
+                    && n.map_slots.idle_slots(SimTime(t)) > 0
+            })
+            .max_by_key(|(i, n)| (n.map_slots.idle_slots(SimTime(t)), usize::MAX - i))
+            .map(|(i, _)| i)
+    }
+
+    /// Let the freed server `node` pull a task at time `t` under the
+    /// configured policy, recording scheduler state updates.
+    fn pull_task<T: Clone>(
+        &mut self,
+        queue: &mut PullQueue<T>,
+        node: usize,
+        t: f64,
+        key_of: impl Fn(&T) -> HashKey,
+    ) -> Option<PullOutcome<T>> {
+        match &mut self.sched {
+            Sched::Laf(laf) => {
+                let pulled = match queue.pop_local(node, t) {
+                    Some((_, item)) => Pulled { item, not_before: t, stolen: false },
+                    None => {
+                        let (_, item) = queue.pop_oldest()?;
+                        Pulled { item, not_before: t, stolen: true }
+                    }
+                };
+                // Record the access; a re-partition re-buckets the
+                // pending tasks and moves the cache ranges.
+                let before = laf.repartitions();
+                laf.assign(key_of(&pulled.item));
+                if laf.repartitions() != before {
+                    self.repartitions_seen += 1;
+                    let ranges = laf.ranges().to_vec();
+                    self.cache.set_ranges(ranges.clone());
+                    if self.cfg.migration {
+                        self.cache.migrate_misplaced(t);
+                    }
+                    queue.rebucket(|item| {
+                        let k = key_of(item);
+                        ranges
+                            .iter()
+                            .find(|(_, r)| r.contains(k))
+                            .map(|(n, _)| n.index())
+                            .expect("ranges tile the ring")
+                    });
+                }
+                Some(PullOutcome::Task(pulled))
+            }
+            Sched::Delay(delay) => match queue.pop_local(node, t) {
+                Some((_, item)) => {
+                    Some(PullOutcome::Task(Pulled { item, not_before: t, stolen: false }))
+                }
+                None => {
+                    // Delay scheduling: a non-matching server may only
+                    // steal from a bucket whose delay timer expired — and
+                    // every local launch resets that timer, so a busy hot
+                    // bucket keeps its tasks (and its cache hits) while
+                    // its server grinds through them (Spark's launch-
+                    // reset pathology, the 2.86× slowdown of §III-C).
+                    let wait = delay.config().effective_wait();
+                    match queue.pop_oldest_expired(t, wait) {
+                        Some((_, item)) => {
+                            Some(PullOutcome::Task(Pulled { item, not_before: t, stolen: true }))
+                        }
+                        None => {
+                            let until = queue.earliest_expiry(wait).unwrap_or(t);
+                            Some(PullOutcome::Blocked(until.max(t + 1e-3)))
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    /// Acquire one map task's input bytes at `at` on `exec`; returns
+    /// (completion time, source). Consults, in order: distributed
+    /// in-memory cache on the executing server, OS page cache, then the
+    /// DHT file system (local or remote replica).
+    fn read_input(
+        &mut self,
+        exec: NodeId,
+        block: &BlockInfo,
+        at: f64,
+        cache_input: bool,
+        report: &mut JobReport,
+    ) -> f64 {
+        let key = CacheKey::Input(block.key);
+        report.cache_lookups += 1;
+        if self.cache.node_mut(exec).get(&key, at).is_some() {
+            report.cache_hits += 1;
+            report.record_read(ReadSource::LocalCache, block.size);
+            return self.cluster.mem_read(SimTime(at), exec.index(), block.size).secs();
+        }
+        if self.page_cache[exec.index()].get(&block.key, at).is_some() {
+            report.record_read(ReadSource::PageCache, block.size);
+            let done = self.cluster.mem_read(SimTime(at), exec.index(), block.size).secs();
+            if cache_input {
+                self.cache.node_mut(exec).put(key, block.size, at, None);
+            }
+            return done;
+        }
+        // Read the replica whose disk frees earliest — the reader holds a
+        // copy itself whenever the cache range has not drifted past the
+        // predecessor/successor arcs (§II-E's misalignment discussion).
+        let holder = {
+            let holders = self.fs.block_holders(block.id).expect("block exists");
+            if holders.contains(&exec) {
+                exec
+            } else {
+                holders
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        let fa = self.cluster.nodes[a.index()].disk.available_at(SimTime(at)).secs();
+                        let fb = self.cluster.nodes[b.index()].disk.available_at(SimTime(at)).secs();
+                        fa.partial_cmp(&fb).unwrap().then(a.cmp(&b))
+                    })
+                    .expect("replicated")
+            }
+        };
+        let done = if holder == exec {
+            report.record_read(ReadSource::LocalDisk, block.size);
+            self.cluster.disk_read(SimTime(at), exec.index(), block.size).secs()
+        } else {
+            report.record_read(ReadSource::RemoteDisk, block.size);
+            self.cluster
+                .remote_disk_read(SimTime(at), holder.index(), exec.index(), block.size)
+                .secs()
+        };
+        // Disk reads populate the OS page cache on the executing node and
+        // (policy permitting) the distributed in-memory cache.
+        self.page_cache[exec.index()].put(block.key, block.size, at, None);
+        if cache_input {
+            self.cache.node_mut(exec).put(key, block.size, at, None);
+        }
+        done
+    }
+
+    /// Ring node that hosts reduce partition `r` of `total` (reducers run
+    /// where the intermediate hash keys land in the DHT FS, §II-C).
+    fn reducer_node(&self, r: usize, total: usize) -> NodeId {
+        let key = HashKey::from_unit((r as f64 + 0.5) / total as f64);
+        self.ring.owner_of(key).expect("ring non-empty").id
+    }
+
+    /// Run one MapReduce round; returns the report. `extra_input_per_map`
+    /// models iteration state read by every map task (e.g. previous page
+    /// rank ranks); `iter_tag` labels oCache entries for this round.
+    fn run_round(
+        &mut self,
+        spec: &JobSpec,
+        cost: &CostModel,
+        submit: f64,
+        extra_input_per_map: u64,
+        prev_iter_tag: Option<&str>,
+        iter_tag: Option<&str>,
+    ) -> JobReport {
+        let mut report = JobReport::default();
+        report.tasks_per_node = vec![0; self.node_count()];
+        let meta = self.fs.open(&spec.input, &spec.user).expect("input uploaded").clone();
+        let reducers = spec.reducers.max(1);
+
+        // ---- Map phase --------------------------------------------------
+        // Placement is interleaved with execution: the scheduler sees the
+        // cluster's true slot horizons for every decision, exactly as the
+        // live system does when servers pull tasks as slots free.
+        let mut map_phase_end = submit;
+        let mut reducer_ready = vec![submit; reducers];
+        let reducer_nodes: Vec<NodeId> =
+            (0..reducers).map(|r| self.reducer_node(r, reducers)).collect();
+        let mut shuffle_bytes_total = 0u64;
+
+        // Seed the pull queue: tasks bucketed by current range owners.
+        let mut queue: PullQueue<BlockInfo> = PullQueue::new(self.node_count());
+        let owner_ranges: Vec<(NodeId, eclipse_util::KeyRange)> = match &self.sched {
+            Sched::Laf(laf) => laf.ranges().to_vec(),
+            Sched::Delay(d) => d.ranges().to_vec(),
+        };
+        for (seq, block) in meta.blocks.iter().enumerate() {
+            let bucket = owner_ranges
+                .iter()
+                .find(|(_, r)| r.contains(block.key))
+                .map(|(n, _)| n.index())
+                .expect("ranges tile the ring");
+            queue.push(bucket, seq as u64, *block);
+        }
+
+        let mut blocked = vec![submit; self.node_count()];
+        while !queue.is_empty() {
+            let (node, t) = self.next_puller(submit, &blocked);
+            let pulled = match self.pull_task(&mut queue, node, t, |b| b.key) {
+                Some(PullOutcome::Task(p)) => p,
+                Some(PullOutcome::Blocked(until)) => {
+                    blocked[node] = until;
+                    continue;
+                }
+                None => break,
+            };
+            let exec = NodeId(node as u32);
+            let block = pulled.item;
+            report.tasks_per_node[exec.index()] += 1;
+            report.map_tasks += 1;
+            let slot_start = self.cluster.nodes[exec.index()]
+                .map_slots
+                .next_free(SimTime(pulled.not_before))
+                .secs();
+            // Input block read.
+            let before_sources = report.read_bytes.clone();
+            let mut io_done =
+                self.read_input(exec, &block, slot_start, spec.reuse.cache_input, &mut report);
+            let source = report
+                .read_bytes
+                .iter()
+                .find(|(k, v)| before_sources.get(*k).copied().unwrap_or(0) < **v)
+                .map(|(k, _)| *k);
+            // Iteration-state read (previous round's output share).
+            if extra_input_per_map > 0 {
+                io_done = io_done.max(self.read_iter_state(
+                    exec,
+                    extra_input_per_map,
+                    slot_start,
+                    spec,
+                    prev_iter_tag,
+                    &mut report,
+                ));
+            }
+            let cpu = self.cluster.cpu_time(exec.index(), cost.map_cpu_secs(block.size));
+            let dur = (io_done - slot_start).max(0.0) + cpu;
+            let (start, mut end) = self.cluster.nodes[exec.index()]
+                .map_slots
+                .run(SimTime(pulled.not_before), dur);
+            debug_assert!((start.secs() - slot_start).abs() < 1e-6);
+            // Speculative execution: back up a straggling copy on an
+            // idle full-speed node; the earlier finisher wins.
+            if self.cfg.speculation && self.cluster.speed_of(exec.index()) < 1.0 {
+                if let Some(backup) = self.idle_fast_node(slot_start) {
+                    let b_cpu = self.cluster.cpu_time(backup, cost.map_cpu_secs(block.size));
+                    // The backup reads remotely from a replica (never
+                    // cached there) — charge a conservative remote read.
+                    let b_io = self.cluster.disk_latency(backup, block.size)
+                        + self.cluster.net_latency(exec.index(), backup, block.size);
+                    let (_, b_end) = self.cluster.nodes[backup]
+                        .map_slots
+                        .run(SimTime(slot_start), b_io + b_cpu);
+                    if b_end.secs() < end.secs() {
+                        end = b_end;
+                    }
+                }
+            }
+            map_phase_end = map_phase_end.max(end.secs());
+            self.log_task(TaskKind::Map, exec.0, start.secs(), end.secs(), source);
+
+            // ---- Proactive shuffle (overlapped with the map) ------------
+            let im = cost.intermediate_bytes(block.size);
+            if im > 0 {
+                let share = im / reducers as u64;
+                for (r, &dest) in reducer_nodes.iter().enumerate() {
+                    let bytes = if r == 0 { im - share * (reducers as u64 - 1) } else { share };
+                    if bytes == 0 {
+                        continue;
+                    }
+                    shuffle_bytes_total += bytes;
+                    // Push begins while the map runs (spill pipeline): the
+                    // network reservation starts at the map's start.
+                    let net_done =
+                        self.cluster.network.transfer(start, exec.index(), dest.index(), bytes);
+                    // Intermediate results persist in the reducer-side DHT
+                    // FS (and hence its page cache). Latency-only: these
+                    // writes happen chronologically between other nodes'
+                    // reservations, so pushing the disk horizon here would
+                    // corrupt the FIFO model.
+                    let disk_done = net_done.secs() + self.cluster.disk_latency(dest.index(), bytes);
+                    let ready = end.secs().max(disk_done);
+                    reducer_ready[r] = reducer_ready[r].max(ready);
+                }
+            } else {
+                for r in 0..reducers {
+                    reducer_ready[r] = reducer_ready[r].max(end.secs());
+                }
+            }
+        }
+        report.map_elapsed = map_phase_end - submit;
+        report.shuffle_bytes = shuffle_bytes_total;
+
+        // ---- Reduce phase -----------------------------------------------
+        let total_im: u64 = cost.intermediate_bytes(meta.size);
+        let iter_out_total = cost.iter_output_bytes(meta.size);
+        let shares = CostModel::reducer_shares(total_im, reducers, self.cfg.reduce_skew);
+        let mut job_end = map_phase_end;
+        for (r, &node) in reducer_nodes.iter().enumerate() {
+            report.reduce_tasks += 1;
+            let bytes = shares[r];
+            // Freshly spilled data is in the reducer's page cache.
+            let read_done = if bytes > 0 {
+                self.cluster.mem_read(SimTime(reducer_ready[r]), node.index(), bytes).secs()
+            } else {
+                reducer_ready[r]
+            };
+            let cpu = self.cluster.cpu_time(node.index(), cost.reduce_cpu_secs(bytes));
+            let dur = (read_done - reducer_ready[r]).max(0.0) + cpu;
+            let (red_start, end) =
+                self.cluster.nodes[node.index()].reduce_slots.run(SimTime(reducer_ready[r]), dur);
+            self.log_task(TaskKind::Reduce, node.0, red_start.secs(), end.secs(), None);
+            // Output write: final job output or iteration output.
+            let out_bytes = if iter_out_total > 0 && spec.iterations > 1 {
+                iter_out_total / reducers as u64
+            } else {
+                cost.output_bytes(bytes) / 1.max(1)
+            };
+            let mut end_t = end.secs();
+            if out_bytes > 0 {
+                let wrote =
+                    self.cluster.disk_read(SimTime(end.secs()), node.index(), out_bytes).secs();
+                // Writes land in the page cache (the Fig. 6(b) effect) and
+                // optionally in oCache under this iteration's tag.
+                let out_key = HashKey::of_name(&format!("{}/iterout/{r}", spec.input));
+                self.page_cache[node.index()].put(out_key, out_bytes, end.secs(), None);
+                if spec.reuse.cache_outputs {
+                    if let Some(tag) = iter_tag {
+                        let okey = CacheKey::Output(OutputTag::new(
+                            spec.app.name(),
+                            format!("{tag}/{r}"),
+                        ));
+                        self.cache.node_mut(node).put(
+                            okey,
+                            out_bytes,
+                            end.secs(),
+                            spec.reuse.ocache_ttl,
+                        );
+                    }
+                }
+                end_t = end_t.max(wrote);
+            }
+            job_end = job_end.max(end_t);
+        }
+
+        report.elapsed = job_end - submit;
+        report
+    }
+
+    /// Read this map task's share of the previous iteration's output:
+    /// oCache first (if the application cached it), then the page cache
+    /// (it was just written through the DHT FS), then disk.
+    fn read_iter_state(
+        &mut self,
+        exec: NodeId,
+        bytes: u64,
+        at: f64,
+        spec: &JobSpec,
+        prev_iter_tag: Option<&str>,
+        report: &mut JobReport,
+    ) -> f64 {
+        if spec.reuse.cache_outputs {
+            if let Some(tag) = prev_iter_tag {
+                // Iteration-output shares are tagged per reducer and live
+                // on the reducer's node; a map task resolves its share's
+                // home by hash key — no central directory (§II-B).
+                let reducers = spec.reducers.max(1);
+                let r = exec.index() % reducers;
+                let home = self.reducer_node(r, reducers);
+                let okey =
+                    CacheKey::Output(OutputTag::new(spec.app.name(), format!("{tag}/{r}")));
+                report.cache_lookups += 1;
+                if self.cache.node_mut(home).get(&okey, at).is_some() {
+                    // Iteration state is consumed in fine-grained shares
+                    // interleaved with the map work; charge it at memory
+                    // speed without a bulk transfer (each task's slice is
+                    // small and pipelined — modeling it as a full remote
+                    // copy per task would double-count the shuffle that
+                    // already moved the data).
+                    report.cache_hits += 1;
+                    report.record_read(ReadSource::LocalCache, bytes);
+                    return self.cluster.mem_read(SimTime(at), exec.index(), bytes).secs();
+                }
+            }
+        }
+        let state_key = HashKey::of_name(&format!("{}/iterstate/{}", spec.input, exec.0));
+        if self.page_cache[exec.index()].get(&state_key, at).is_some() {
+            report.record_read(ReadSource::PageCache, bytes);
+            return self.cluster.mem_read(SimTime(at), exec.index(), bytes).secs();
+        }
+        report.record_read(ReadSource::LocalDisk, bytes);
+        let done = self.cluster.disk_read(SimTime(at), exec.index(), bytes).secs();
+        self.page_cache[exec.index()].put(state_key, bytes, at, None);
+        done
+    }
+
+    /// Run a (possibly iterative) job to completion. Advances the clock.
+    pub fn run_job(&mut self, spec: &JobSpec) -> JobReport {
+        let cost = CostModel::eclipse(spec.app);
+        self.run_job_with_cost(spec, &cost)
+    }
+
+    /// Run with an explicit cost model (baselines reuse this executor
+    /// with JVM-calibrated models).
+    pub fn run_job_with_cost(&mut self, spec: &JobSpec, cost: &CostModel) -> JobReport {
+        let submit = self.clock;
+        if spec.iterations <= 1 {
+            let report = self.run_round(spec, cost, submit, 0, None, None);
+            self.clock = submit + report.elapsed;
+            return report;
+        }
+        // Iterative driver: each round reads the input and the previous
+        // round's output, and writes this round's output.
+        let meta_size = self.fs.stat(&spec.input).expect("input uploaded").size;
+        let blocks = eclipse_util::num_blocks(meta_size, self.cfg.block_size).max(1);
+        let iter_out = cost.iter_output_bytes(meta_size);
+        let mut combined = JobReport::default();
+        combined.tasks_per_node = vec![0; self.node_count()];
+        let mut at = submit;
+        for iter in 0..spec.iterations {
+            let prev_tag = (iter > 0).then(|| format!("iter{}", iter - 1));
+            let tag = format!("iter{iter}");
+            let extra = if iter > 0 { iter_out / blocks } else { 0 };
+            let r = self.run_round(spec, cost, at, extra, prev_tag.as_deref(), Some(&tag));
+            // Iteration k's output supersedes iteration k-1's: invalidate
+            // the stale tags so they stop evicting useful input blocks
+            // (the application-controlled invalidation of §II-C).
+            if spec.reuse.cache_outputs && iter > 0 {
+                let reducers = spec.reducers.max(1);
+                for rr in 0..reducers {
+                    let okey = CacheKey::Output(OutputTag::new(
+                        spec.app.name(),
+                        format!("iter{}/{rr}", iter - 1),
+                    ));
+                    let home = self.reducer_node(rr, reducers);
+                    self.cache.node_mut(home).invalidate(&okey);
+                }
+            }
+            at += r.elapsed;
+            combined.iteration_times.push(r.elapsed);
+            combined.map_tasks += r.map_tasks;
+            combined.reduce_tasks += r.reduce_tasks;
+            combined.cache_hits += r.cache_hits;
+            combined.cache_lookups += r.cache_lookups;
+            combined.shuffle_bytes += r.shuffle_bytes;
+            for (k, v) in r.read_bytes {
+                *combined.read_bytes.entry(k).or_insert(0) += v;
+            }
+            for (i, c) in r.tasks_per_node.iter().enumerate() {
+                combined.tasks_per_node[i] += c;
+            }
+            combined.map_elapsed += r.map_elapsed;
+        }
+        combined.elapsed = at - submit;
+        self.clock = at;
+        combined
+    }
+
+    /// Run a raw access trace: each entry is one map task that reads a
+    /// block-sized object at the given ring key (the Fig. 7 skewed-grep
+    /// harness, where tasks repeatedly access a non-uniform key
+    /// population). Objects live in the DHT FS at their key's owner (and
+    /// its replicas) and are cached in iCache on access.
+    pub fn run_trace(
+        &mut self,
+        keys: &[HashKey],
+        bytes_per_access: u64,
+        cost: &CostModel,
+    ) -> JobReport {
+        let submit = self.clock;
+        let mut report = JobReport::default();
+        report.tasks_per_node = vec![0; self.node_count()];
+        let mut end_max = submit;
+        // Bucket the trace by current range owners; servers pull.
+        let mut queue: PullQueue<HashKey> = PullQueue::new(self.node_count());
+        let owner_ranges: Vec<(NodeId, eclipse_util::KeyRange)> = match &self.sched {
+            Sched::Laf(laf) => laf.ranges().to_vec(),
+            Sched::Delay(d) => d.ranges().to_vec(),
+        };
+        for (seq, &hkey) in keys.iter().enumerate() {
+            let bucket = owner_ranges
+                .iter()
+                .find(|(_, r)| r.contains(hkey))
+                .map(|(n, _)| n.index())
+                .expect("ranges tile the ring");
+            queue.push(bucket, seq as u64, hkey);
+        }
+        let mut blocked = vec![submit; self.node_count()];
+        while !queue.is_empty() {
+            let (node, t) = self.next_puller(submit, &blocked);
+            let pulled = match self.pull_task(&mut queue, node, t, |k| *k) {
+                Some(PullOutcome::Task(p)) => p,
+                Some(PullOutcome::Blocked(until)) => {
+                    blocked[node] = until;
+                    continue;
+                }
+                None => break,
+            };
+            let exec = NodeId(node as u32);
+            let hkey = pulled.item;
+            report.tasks_per_node[exec.index()] += 1;
+            report.map_tasks += 1;
+            let slot_start = self.cluster.nodes[exec.index()]
+                .map_slots
+                .next_free(SimTime(pulled.not_before))
+                .secs();
+            // Data acquisition: iCache → page cache → DHT FS replica.
+            let key = CacheKey::Input(hkey);
+            report.cache_lookups += 1;
+            let io_done = if self.cache.node_mut(exec).get(&key, slot_start).is_some() {
+                report.cache_hits += 1;
+                report.record_read(ReadSource::LocalCache, bytes_per_access);
+                self.cluster.mem_read(SimTime(slot_start), exec.index(), bytes_per_access).secs()
+            } else if self.page_cache[exec.index()].get(&hkey, slot_start).is_some() {
+                report.record_read(ReadSource::PageCache, bytes_per_access);
+                let d = self
+                    .cluster
+                    .mem_read(SimTime(slot_start), exec.index(), bytes_per_access)
+                    .secs();
+                self.cache.node_mut(exec).put(key, bytes_per_access, slot_start, None);
+                d
+            } else {
+                let holders = self.ring.replica_set(hkey, self.cfg.replicas).expect("ring");
+                let src = if holders.contains(&exec) {
+                    exec
+                } else {
+                    holders
+                        .iter()
+                        .copied()
+                        .min_by(|&a, &b| {
+                            let fa = self.cluster.nodes[a.index()]
+                                .disk
+                                .available_at(SimTime(slot_start))
+                                .secs();
+                            let fb = self.cluster.nodes[b.index()]
+                                .disk
+                                .available_at(SimTime(slot_start))
+                                .secs();
+                            fa.partial_cmp(&fb).unwrap().then(a.cmp(&b))
+                        })
+                        .expect("replicated")
+                };
+                let d = if src == exec {
+                    report.record_read(ReadSource::LocalDisk, bytes_per_access);
+                    self.cluster
+                        .disk_read(SimTime(slot_start), exec.index(), bytes_per_access)
+                        .secs()
+                } else {
+                    report.record_read(ReadSource::RemoteDisk, bytes_per_access);
+                    self.cluster
+                        .remote_disk_read(
+                            SimTime(slot_start),
+                            src.index(),
+                            exec.index(),
+                            bytes_per_access,
+                        )
+                        .secs()
+                };
+                self.page_cache[exec.index()].put(hkey, bytes_per_access, slot_start, None);
+                self.cache.node_mut(exec).put(key, bytes_per_access, slot_start, None);
+                d
+            };
+            let cpu = self.cluster.cpu_time(exec.index(), cost.map_cpu_secs(bytes_per_access));
+            let dur = (io_done - slot_start).max(0.0) + cpu;
+            let (_, end) =
+                self.cluster.nodes[exec.index()].map_slots.run(SimTime(pulled.not_before), dur);
+            end_max = end_max.max(end.secs());
+        }
+        report.map_elapsed = end_max - submit;
+        report.elapsed = end_max - submit;
+        self.clock = end_max;
+        report
+    }
+
+    /// Run several jobs concurrently: all submitted at the same instant,
+    /// competing for slots, disks and the network (Fig. 8's setup).
+    /// Returns one report per job, order-matched to `specs`.
+    pub fn run_concurrent(&mut self, specs: &[JobSpec]) -> Vec<JobReport> {
+        // One merged pull loop over every job's map tasks (iterative jobs
+        // contribute one pass per iteration), interleaved round-robin in
+        // submission order. Approximation vs. the sequential driver:
+        // iteration barriers inside a job are relaxed — pass k+1's tasks
+        // are eligible while pass k drains. The contention picture (slots,
+        // disks, caches shared by seven jobs) is what Fig. 8 measures.
+        let submit = self.clock;
+        let n_jobs = specs.len();
+        let mut reports: Vec<JobReport> = specs
+            .iter()
+            .map(|_| JobReport { tasks_per_node: vec![0; self.node_count()], ..Default::default() })
+            .collect();
+        let costs: Vec<CostModel> = specs.iter().map(|s| CostModel::eclipse(s.app)).collect();
+        let metas: Vec<_> = specs
+            .iter()
+            .map(|s| self.fs.open(&s.input, &s.user).expect("input uploaded").clone())
+            .collect();
+
+        // Round-robin merge of every job's passes of map tasks.
+        let owner_ranges: Vec<(NodeId, eclipse_util::KeyRange)> = match &self.sched {
+            Sched::Laf(laf) => laf.ranges().to_vec(),
+            Sched::Delay(d) => d.ranges().to_vec(),
+        };
+        let mut queue: PullQueue<(usize, BlockInfo, u32)> = PullQueue::new(self.node_count());
+        let mut cursors: Vec<(u32, usize)> = vec![(0, 0); n_jobs]; // (pass, block idx)
+        let mut seq = 0u64;
+        loop {
+            let mut progressed = false;
+            for (j, spec) in specs.iter().enumerate() {
+                let (pass, idx) = cursors[j];
+                if pass >= spec.iterations.max(1) {
+                    continue;
+                }
+                let block = metas[j].blocks[idx];
+                let bucket = owner_ranges
+                    .iter()
+                    .find(|(_, r)| r.contains(block.key))
+                    .map(|(n, _)| n.index())
+                    .expect("ranges tile the ring");
+                queue.push(bucket, seq, (j, block, pass));
+                seq += 1;
+                progressed = true;
+                cursors[j] = if idx + 1 == metas[j].blocks.len() {
+                    (pass + 1, 0)
+                } else {
+                    (pass, idx + 1)
+                };
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        // ---- Merged map phase -------------------------------------------
+        let mut map_end = vec![submit; n_jobs];
+        let mut blocked = vec![submit; self.node_count()];
+        while !queue.is_empty() {
+            let (node, t) = self.next_puller(submit, &blocked);
+            let pulled = match self.pull_task(&mut queue, node, t, |(_, b, _)| b.key) {
+                Some(PullOutcome::Task(p)) => p,
+                Some(PullOutcome::Blocked(until)) => {
+                    blocked[node] = until;
+                    continue;
+                }
+                None => break,
+            };
+            let (j, block, _pass) = pulled.item;
+            let exec = NodeId(node as u32);
+            reports[j].tasks_per_node[exec.index()] += 1;
+            reports[j].map_tasks += 1;
+            let slot_start = self.cluster.nodes[exec.index()]
+                .map_slots
+                .next_free(SimTime(pulled.not_before))
+                .secs();
+            let io_done = self.read_input(
+                exec,
+                &block,
+                slot_start,
+                specs[j].reuse.cache_input,
+                &mut reports[j],
+            );
+            let cpu =
+                self.cluster.cpu_time(exec.index(), costs[j].map_cpu_secs(block.size));
+            let dur = (io_done - slot_start).max(0.0) + cpu;
+            let (_, end) = self.cluster.nodes[exec.index()]
+                .map_slots
+                .run(SimTime(pulled.not_before), dur);
+            map_end[j] = map_end[j].max(end.secs());
+        }
+
+        // ---- Per-job reduce phases --------------------------------------
+        for (j, spec) in specs.iter().enumerate() {
+            let reducers = spec.reducers.max(1);
+            let passes = spec.iterations.max(1) as u64;
+            let total_im = costs[j].intermediate_bytes(metas[j].size) * passes;
+            reports[j].shuffle_bytes = total_im;
+            let mut job_end = map_end[j];
+            for r in 0..reducers {
+                reports[j].reduce_tasks += 1;
+                let node = self.reducer_node(r, reducers);
+                let share = total_im / reducers as u64;
+                // Shuffle push happened during the maps (proactive);
+                // charge the reducer-side arrival as a latency from the
+                // map end plus the pipeline residue.
+                let ready = map_end[j];
+                let read_done = if share > 0 {
+                    self.cluster.mem_read(SimTime(ready), node.index(), share).secs()
+                } else {
+                    ready
+                };
+                let cpu = self.cluster.cpu_time(node.index(), costs[j].reduce_cpu_secs(share));
+                let dur = (read_done - ready).max(0.0) + cpu;
+                let (_, end) =
+                    self.cluster.nodes[node.index()].reduce_slots.run(SimTime(ready), dur);
+                let out = costs[j].output_bytes(share);
+                let mut end_t = end.secs();
+                if out > 0 {
+                    end_t += self.cluster.disk_latency(node.index(), out);
+                }
+                job_end = job_end.max(end_t);
+            }
+            reports[j].map_elapsed = map_end[j] - submit;
+            reports[j].elapsed = job_end - submit;
+        }
+        self.clock = submit + reports.iter().map(|r| r.elapsed).fold(0.0, f64::max);
+        reports
+    }
+
+    /// Admit a new server: fresh hardware in the simulator, a new ring
+    /// position in the DHT FS (existing blocks stay put), a new cache
+    /// shard, and re-cut scheduler ranges. Returns the node id.
+    pub fn join_node(&mut self, name: &str) -> NodeId {
+        let idx = self.cluster.add_node();
+        let id = NodeId(idx as u32);
+        self.alive.push(true);
+        self.page_cache.push(LruCache::new(self.cfg.page_cache_per_node));
+        self.cache.add_node(self.cfg.cache_per_node);
+        // Ring position by name hash — joiners cannot preserve even
+        // spacing, and don't need to: consistent hashing moves only the
+        // joiner's new arc.
+        let mut info = eclipse_ring::ServerInfo::from_name(id, name);
+        let mut salt = 0u32;
+        while self.fs.ring().members().any(|s| s.key == info.key) {
+            salt += 1;
+            info = eclipse_ring::ServerInfo::from_name(id, format!("{name}+{salt}"));
+        }
+        self.fs.join(info).expect("fresh node id");
+        self.ring = self.fs.ring().clone();
+        self.cfg.cluster.nodes += 1;
+        match &mut self.sched {
+            Sched::Laf(laf) => {
+                laf.set_nodes(&self.ring);
+                self.cache.set_ranges(laf.ranges().to_vec());
+            }
+            Sched::Delay(_) => {
+                let d = DelayScheduler::new(
+                    &self.ring,
+                    match &self.cfg.scheduler {
+                        SchedulerKind::Delay(c) => *c,
+                        _ => DelayConfig::default(),
+                    },
+                );
+                self.cache.set_ranges(d.ranges().to_vec());
+                self.sched = Sched::Delay(d);
+            }
+        }
+        id
+    }
+
+    /// Kill a node: removes it from the ring, re-replicates its blocks
+    /// (charging recovery traffic), and rebuilds the schedulers. Returns
+    /// the simulated seconds the recovery copies took.
+    pub fn fail_node(&mut self, node: NodeId) -> f64 {
+        let plan = self.fs.fail_node(node).expect("node is a member");
+        let start = self.clock;
+        let mut done = start;
+        for copy in &plan {
+            let read = self.cluster.disk_read(SimTime(start), copy.from.index(), copy.bytes);
+            let moved =
+                self.cluster.network.transfer(read, copy.from.index(), copy.to.index(), copy.bytes);
+            let wrote = self.cluster.disk_read(SimTime(moved.secs()), copy.to.index(), copy.bytes);
+            done = done.max(wrote.secs());
+        }
+        self.ring.remove(node).ok();
+        self.alive[node.index()] = false;
+        // Rebuild ring-derived state. (DhtFs already removed it.)
+        self.ring = self.fs.ring().clone();
+        match &mut self.sched {
+            Sched::Laf(laf) => laf.set_nodes(&self.ring),
+            Sched::Delay(_) => {
+                self.sched = Sched::Delay(DelayScheduler::new(
+                    &self.ring,
+                    match &self.cfg.scheduler {
+                        SchedulerKind::Delay(c) => *c,
+                        _ => DelayConfig::default(),
+                    },
+                ));
+            }
+        }
+        self.clock = done;
+        done - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclipse_util::MB;
+    use eclipse_workloads::AppKind;
+
+    fn sim(scheduler: SchedulerKind, nodes: usize) -> EclipseSim {
+        EclipseSim::new(EclipseConfig::paper_defaults(scheduler).with_nodes(nodes))
+    }
+
+    fn laf() -> SchedulerKind {
+        SchedulerKind::Laf(LafConfig::default())
+    }
+
+    fn delay() -> SchedulerKind {
+        SchedulerKind::Delay(DelayConfig::default())
+    }
+
+    #[test]
+    fn grep_runs_and_reports() {
+        let mut s = sim(laf(), 8);
+        s.upload("text", 4 * GB);
+        let r = s.run_job(&JobSpec::batch(AppKind::Grep, "text"));
+        assert_eq!(r.map_tasks, 32, "4 GB / 128 MB blocks");
+        assert!(r.elapsed > 0.0);
+        assert!(r.map_elapsed <= r.elapsed);
+        let total_read: u64 = r.read_bytes.values().sum();
+        assert_eq!(total_read, 4 * GB);
+        assert_eq!(r.tasks_per_node.iter().sum::<u64>(), 32);
+    }
+
+    #[test]
+    fn second_identical_job_hits_cache_and_speeds_up() {
+        let mut s = sim(laf(), 8);
+        s.upload("text", 2 * GB); // 16 blocks; 8 GB of cache cluster-wide
+        let cold = s.run_job(&JobSpec::batch(AppKind::WordCount, "text"));
+        let warm = s.run_job(&JobSpec::batch(AppKind::WordCount, "text"));
+        assert_eq!(cold.cache_hits, 0);
+        assert!(warm.cache_hits > 0, "second run must reuse iCache");
+        assert!(warm.hit_ratio() > 0.8, "hit ratio {}", warm.hit_ratio());
+        assert!(warm.elapsed <= cold.elapsed, "warm {} cold {}", warm.elapsed, cold.elapsed);
+        assert!(warm.read_bytes.get("local_cache").copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn laf_balances_better_than_delay_on_skew() {
+        // A hot-spot trace: delay's static ranges overload the hot arc's
+        // owner while LAF re-cuts ranges (and work-conserving pulls
+        // spread the backlog).
+        use eclipse_workloads::{AppKind, CostModel, KeyDist, KeySampler};
+        let cost = CostModel::eclipse(AppKind::Grep);
+        let mut stdevs = Vec::new();
+        for kind in [laf(), delay()] {
+            let mut s = EclipseSim::new(EclipseConfig::paper_defaults(kind).with_nodes(10));
+            let mut sampler =
+                KeySampler::new(KeyDist::Hotspot { center: 0.35, stddev: 0.02 }, 9);
+            for _ in 0..8 {
+                let trace = sampler.sample_n(300);
+                s.run_trace(&trace, 8 * MB, &cost);
+            }
+            stdevs.push(s.tasks_per_slot_stdev());
+        }
+        assert!(
+            stdevs[0] < stdevs[1],
+            "laf stdev {} delay stdev {}",
+            stdevs[0],
+            stdevs[1]
+        );
+    }
+
+    #[test]
+    fn iterative_job_reports_per_iteration() {
+        let mut s = sim(laf(), 8);
+        s.upload("points", 2 * GB);
+        let r = s.run_job(&JobSpec::iterative(AppKind::KMeans, "points", 5).with_reducers(8));
+        assert_eq!(r.iteration_times.len(), 5);
+        assert!(r.elapsed > 0.0);
+        // Later iterations benefit from iCache (2 GB fits in 8 GB total).
+        let first = r.iteration_times[0];
+        let later = r.iteration_times[2];
+        assert!(later < first, "iter3 {later} vs iter1 {first}");
+        assert!((r.iteration_times.iter().sum::<f64>() - r.elapsed).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sort_shuffles_everything() {
+        let mut s = sim(laf(), 4);
+        s.upload("data", GB);
+        let r = s.run_job(&JobSpec::batch(AppKind::Sort, "data").with_reducers(16));
+        assert_eq!(r.shuffle_bytes, GB);
+        let g = {
+            let mut s2 = sim(laf(), 4);
+            s2.upload("data", GB);
+            s2.run_job(&JobSpec::batch(AppKind::Grep, "data").with_reducers(16))
+        };
+        assert!(g.shuffle_bytes < GB / 100);
+    }
+
+    #[test]
+    fn concurrent_jobs_contend() {
+        let mut s = sim(laf(), 4);
+        s.upload("a", GB);
+        s.upload("b", GB);
+        let solo = {
+            let mut s2 = sim(laf(), 4);
+            s2.upload("a", GB);
+            s2.run_job(&JobSpec::batch(AppKind::WordCount, "a")).elapsed
+        };
+        let reports = s.run_concurrent(&[
+            JobSpec::batch(AppKind::WordCount, "a"),
+            JobSpec::batch(AppKind::WordCount, "b"),
+        ]);
+        assert_eq!(reports.len(), 2);
+        // Two jobs through the same slots: at least one must take longer
+        // than the job running alone.
+        let slowest = reports.iter().map(|r| r.elapsed).fold(0.0, f64::max);
+        assert!(slowest > solo, "slowest {slowest} vs solo {solo}");
+    }
+
+    #[test]
+    fn failure_recovery_charges_time_and_shrinks_ring() {
+        let mut s = sim(laf(), 8);
+        s.upload("data", 4 * GB);
+        let victim = s.ring().node_ids()[3];
+        let recovery = s.fail_node(victim);
+        assert!(recovery > 0.0, "copies take time");
+        assert_eq!(s.ring().len(), 7);
+        // Jobs still run after the failure.
+        let r = s.run_job(&JobSpec::batch(AppKind::Grep, "data"));
+        assert_eq!(r.map_tasks, 32);
+        assert!(r.tasks_per_node[victim.index()] == 0, "dead node got tasks");
+    }
+
+    #[test]
+    fn joined_node_receives_tasks() {
+        let mut s = sim(laf(), 6);
+        s.upload("data", 4 * GB);
+        s.run_job(&JobSpec::batch(AppKind::Grep, "data"));
+        let newbie = s.join_node("late-arrival");
+        assert_eq!(s.ring().len(), 7);
+        let r = s.run_job(&JobSpec::batch(AppKind::Grep, "data"));
+        assert_eq!(r.read_bytes.values().sum::<u64>(), 4 * GB);
+        assert!(
+            r.tasks_per_node[newbie.index()] > 0,
+            "joiner idle: {:?}",
+            r.tasks_per_node
+        );
+        // New uploads place blocks on the joiner too.
+        s.upload("fresh", 8 * GB);
+        let holds_fresh = s
+            .fs()
+            .stat("fresh")
+            .unwrap()
+            .blocks
+            .iter()
+            .any(|b| s.fs().block_holders(b.id).unwrap().contains(&newbie));
+        assert!(holds_fresh, "joiner owns no new blocks");
+    }
+
+    #[test]
+    fn join_then_fail_round_trip() {
+        let mut s = sim(laf(), 5);
+        s.upload("data", 2 * GB);
+        let newbie = s.join_node("n5");
+        s.upload("after-join", 2 * GB);
+        let recovery = s.fail_node(newbie);
+        assert!(recovery >= 0.0);
+        assert_eq!(s.ring().len(), 5);
+        let r = s.run_job(&JobSpec::batch(AppKind::Grep, "after-join"));
+        assert_eq!(r.read_bytes.values().sum::<u64>(), 2 * GB);
+        assert_eq!(r.tasks_per_node[newbie.index()], 0);
+    }
+
+    #[test]
+    fn zero_cache_still_works() {
+        let mut s = EclipseSim::new(
+            EclipseConfig::paper_defaults(laf()).with_nodes(4).with_cache(0),
+        );
+        s.upload("x", GB);
+        let a = s.run_job(&JobSpec::batch(AppKind::Grep, "x"));
+        let b = s.run_job(&JobSpec::batch(AppKind::Grep, "x"));
+        assert_eq!(a.cache_hits + b.cache_hits, 0);
+        assert!(b.elapsed > 0.0);
+    }
+
+    #[test]
+    fn timeline_records_every_task() {
+        let mut s = sim(laf(), 6);
+        s.upload("data", 2 * GB);
+        s.record_timeline();
+        let r = s.run_job(&JobSpec::batch(AppKind::WordCount, "data").with_reducers(8));
+        let t = s.timeline().expect("recording enabled");
+        use crate::timeline::TaskKind;
+        let maps = t.events.iter().filter(|e| e.kind == TaskKind::Map).count();
+        let reduces = t.events.iter().filter(|e| e.kind == TaskKind::Reduce).count();
+        assert_eq!(maps as u64, r.map_tasks);
+        assert_eq!(reduces as u64, r.reduce_tasks);
+        // Every span lies within the job window and is well-formed.
+        for e in &t.events {
+            assert!(e.end >= e.start);
+            assert!(e.end <= r.elapsed + 1e-6, "task past job end");
+        }
+        // Map events carry read sources; cold run = disk.
+        assert!(t
+            .events
+            .iter()
+            .filter(|e| e.kind == TaskKind::Map)
+            .all(|e| e.source.is_some()));
+        // The utilization profile peaks above one busy task.
+        let peak = t.utilization_profile(1.0).iter().map(|(_, b)| *b).max().unwrap();
+        assert!(peak >= 2, "peak busy {peak}");
+    }
+
+    #[test]
+    fn small_file_single_block() {
+        let mut s = sim(laf(), 4);
+        s.upload("tiny", 5 * MB);
+        let r = s.run_job(&JobSpec::batch(AppKind::Grep, "tiny"));
+        assert_eq!(r.map_tasks, 1);
+    }
+}

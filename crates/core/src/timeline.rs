@@ -1,0 +1,151 @@
+//! Per-task execution timelines — the observability layer over the
+//! simulated executor. When enabled, every map and reduce task records
+//! (node, start, end, read source), from which utilization profiles,
+//! straggler analyses and Gantt-style exports are derived.
+
+use serde::Serialize;
+
+/// Task flavor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum TaskKind {
+    Map,
+    Reduce,
+}
+
+/// One executed task.
+#[derive(Clone, Debug, Serialize)]
+pub struct TaskEvent {
+    pub kind: TaskKind,
+    /// Executing node index.
+    pub node: u32,
+    /// Start / end in simulated seconds.
+    pub start: f64,
+    pub end: f64,
+    /// Where the input bytes came from ("local_disk", "local_cache", …);
+    /// `None` for reduce tasks.
+    pub source: Option<&'static str>,
+}
+
+impl TaskEvent {
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A recorded execution timeline.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Timeline {
+    pub events: Vec<TaskEvent>,
+}
+
+impl Timeline {
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn push(&mut self, e: TaskEvent) {
+        self.events.push(e);
+    }
+
+    /// Cluster-wide busy-slot count sampled every `bucket` seconds from
+    /// 0 to the last task end — the utilization curve.
+    pub fn utilization_profile(&self, bucket: f64) -> Vec<(f64, usize)> {
+        assert!(bucket > 0.0);
+        let horizon = self.events.iter().map(|e| e.end).fold(0.0f64, f64::max);
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while t <= horizon {
+            let busy = self.events.iter().filter(|e| e.start <= t && t < e.end).count();
+            out.push((t, busy));
+            t += bucket;
+        }
+        out
+    }
+
+    /// The `n` longest tasks (straggler inspection), longest first.
+    pub fn stragglers(&self, n: usize) -> Vec<&TaskEvent> {
+        let mut sorted: Vec<&TaskEvent> = self.events.iter().collect();
+        sorted.sort_by(|a, b| b.duration().partial_cmp(&a.duration()).unwrap());
+        sorted.truncate(n);
+        sorted
+    }
+
+    /// Tasks per node (matches `JobReport::tasks_per_node` when a single
+    /// job was recorded).
+    pub fn tasks_per_node(&self, nodes: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; nodes];
+        for e in &self.events {
+            if (e.node as usize) < nodes {
+                counts[e.node as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// CSV rows (`kind,node,start,end,source`) for external tooling.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("kind,node,start,end,source\n");
+        for e in &self.events {
+            s.push_str(&format!(
+                "{:?},{},{:.3},{:.3},{}\n",
+                e.kind,
+                e.node,
+                e.start,
+                e.end,
+                e.source.unwrap_or("")
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(node: u32, start: f64, end: f64) -> TaskEvent {
+        TaskEvent { kind: TaskKind::Map, node, start, end, source: Some("local_disk") }
+    }
+
+    #[test]
+    fn utilization_counts_overlaps() {
+        let mut t = Timeline::default();
+        t.push(ev(0, 0.0, 10.0));
+        t.push(ev(1, 5.0, 15.0));
+        let profile = t.utilization_profile(5.0);
+        // Samples at t = 0, 5, 10, 15.
+        assert_eq!(profile.len(), 4);
+        assert_eq!(profile[0].1, 1);
+        assert_eq!(profile[1].1, 2);
+        assert_eq!(profile[2].1, 1);
+        assert_eq!(profile[3].1, 0);
+    }
+
+    #[test]
+    fn stragglers_sorted_by_duration() {
+        let mut t = Timeline::default();
+        t.push(ev(0, 0.0, 1.0));
+        t.push(ev(1, 0.0, 9.0));
+        t.push(ev(2, 0.0, 4.0));
+        let s = t.stragglers(2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].node, 1);
+        assert_eq!(s[1].node, 2);
+    }
+
+    #[test]
+    fn per_node_counts_and_csv() {
+        let mut t = Timeline::default();
+        t.push(ev(0, 0.0, 1.0));
+        t.push(ev(0, 1.0, 2.0));
+        t.push(ev(3, 0.0, 1.0));
+        assert_eq!(t.tasks_per_node(4), vec![2, 0, 0, 1]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.starts_with("kind,node,start,end,source"));
+    }
+}

@@ -1,0 +1,361 @@
+//! Persistent intermediate-result store (paper §II-C).
+//!
+//! EclipseMR stores map-task intermediate results **on the reducer side**
+//! in the DHT file system so failed tasks can restart and later jobs can
+//! reuse them: "we store the intermediate results in persistent file
+//! systems as in Hadoop ... The stored intermediate results are
+//! invalidated by time-to-live (TTL) which can be set by applications,
+//! and they are not replicated by default."
+//!
+//! This module is that store: spill segments keyed by
+//! (job, map task, partition), placed on the server owning the
+//! partition's hash key, TTL-invalidated, unreplicated by default with an
+//! opt-in replication knob.
+
+use eclipse_ring::{NodeId, Ring, RingError};
+use eclipse_util::HashKey;
+use std::collections::BTreeMap;
+
+/// Identity of one spill segment.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SegmentId {
+    /// Producing job.
+    pub job: u64,
+    /// Producing map task index.
+    pub map_task: u64,
+    /// Reduce partition the segment belongs to.
+    pub partition: u32,
+}
+
+impl SegmentId {
+    /// Ring placement key: reducer partitions own equal slices of the
+    /// ring, so the partition index determines the key (this is what
+    /// lets reduce tasks be scheduled "where the intermediate results
+    /// are stored" before the map phase even finishes).
+    pub fn hash_key(&self, partitions: u32) -> HashKey {
+        let p = self.partition.min(partitions.saturating_sub(1));
+        HashKey::from_unit((p as f64 + 0.5) / partitions.max(1) as f64)
+    }
+}
+
+/// One stored segment's metadata.
+#[derive(Clone, Debug)]
+struct Segment {
+    bytes: u64,
+    holders: Vec<NodeId>,
+    /// Absolute expiry (seconds); `None` = keep until invalidated.
+    expires: Option<f64>,
+}
+
+/// Configuration for the intermediate store.
+#[derive(Clone, Copy, Debug)]
+pub struct IntermediateConfig {
+    /// Reduce partitions (fixes the key layout).
+    pub partitions: u32,
+    /// Extra replicas per segment. The paper's default is 0 —
+    /// intermediate results "are not replicated by default".
+    pub replicas: usize,
+    /// Default TTL seconds applied when the producer does not set one.
+    pub default_ttl: Option<f64>,
+}
+
+impl Default for IntermediateConfig {
+    fn default() -> Self {
+        IntermediateConfig { partitions: 64, replicas: 0, default_ttl: None }
+    }
+}
+
+/// The reducer-side intermediate-result store.
+#[derive(Clone, Debug)]
+pub struct IntermediateStore {
+    cfg: IntermediateConfig,
+    ring: Ring,
+    segments: BTreeMap<SegmentId, Segment>,
+    /// Bytes stored per node.
+    node_bytes: BTreeMap<NodeId, u64>,
+    expired_count: u64,
+}
+
+impl IntermediateStore {
+    pub fn new(ring: Ring, cfg: IntermediateConfig) -> IntermediateStore {
+        assert!(cfg.partitions > 0);
+        IntermediateStore {
+            cfg,
+            ring,
+            segments: BTreeMap::new(),
+            node_bytes: BTreeMap::new(),
+            expired_count: 0,
+        }
+    }
+
+    pub fn config(&self) -> &IntermediateConfig {
+        &self.cfg
+    }
+
+    /// The server a partition's segments live on (and where its reduce
+    /// task runs).
+    pub fn partition_home(&self, partition: u32) -> Result<NodeId, RingError> {
+        let key = SegmentId { job: 0, map_task: 0, partition }.hash_key(self.cfg.partitions);
+        Ok(self.ring.owner_of(key)?.id)
+    }
+
+    /// Persist a spill segment at time `now`. Returns the holder nodes
+    /// (owner first; more if replication is enabled).
+    pub fn put(
+        &mut self,
+        id: SegmentId,
+        bytes: u64,
+        now: f64,
+        ttl: Option<f64>,
+    ) -> Result<Vec<NodeId>, RingError> {
+        let key = id.hash_key(self.cfg.partitions);
+        let holders = self.ring.replica_set(key, self.cfg.replicas)?;
+        for &h in &holders {
+            *self.node_bytes.entry(h).or_insert(0) += bytes;
+        }
+        let expires = ttl.or(self.cfg.default_ttl).map(|t| now + t);
+        if let Some(old) = self
+            .segments
+            .insert(id, Segment { bytes, holders: holders.clone(), expires })
+        {
+            for &h in &old.holders {
+                if let Some(b) = self.node_bytes.get_mut(&h) {
+                    *b = b.saturating_sub(old.bytes);
+                }
+            }
+        }
+        Ok(holders)
+    }
+
+    /// Look up a segment at time `now`; expired segments read as absent
+    /// (and are dropped).
+    pub fn get(&mut self, id: SegmentId, now: f64) -> Option<(u64, Vec<NodeId>)> {
+        let expired = match self.segments.get(&id) {
+            None => return None,
+            Some(s) => s.expires.is_some_and(|e| now >= e),
+        };
+        if expired {
+            self.remove(id);
+            self.expired_count += 1;
+            return None;
+        }
+        let s = &self.segments[&id];
+        Some((s.bytes, s.holders.clone()))
+    }
+
+    /// Every live segment of `partition` for `job` at time `now` — what a
+    /// restarted reduce task re-reads instead of re-running its mappers.
+    pub fn partition_segments(&mut self, job: u64, partition: u32, now: f64) -> Vec<SegmentId> {
+        let ids: Vec<SegmentId> = self
+            .segments
+            .range(
+                SegmentId { job, map_task: 0, partition: 0 }
+                    ..SegmentId { job: job + 1, map_task: 0, partition: 0 },
+            )
+            .filter(|(id, _)| id.partition == partition)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.into_iter().filter(|&id| self.get(id, now).is_some()).collect()
+    }
+
+    /// Explicitly invalidate a segment (application-driven).
+    pub fn remove(&mut self, id: SegmentId) -> bool {
+        match self.segments.remove(&id) {
+            None => false,
+            Some(s) => {
+                for &h in &s.holders {
+                    if let Some(b) = self.node_bytes.get_mut(&h) {
+                        *b = b.saturating_sub(s.bytes);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Drop every segment belonging to `job` (job cleanup).
+    pub fn remove_job(&mut self, job: u64) -> usize {
+        let ids: Vec<SegmentId> = self
+            .segments
+            .range(
+                SegmentId { job, map_task: 0, partition: 0 }
+                    ..SegmentId { job: job + 1, map_task: 0, partition: 0 },
+            )
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &ids {
+            self.remove(*id);
+        }
+        ids.len()
+    }
+
+    /// Purge expired segments at time `now`; returns the count.
+    pub fn expire(&mut self, now: f64) -> usize {
+        let dead: Vec<SegmentId> = self
+            .segments
+            .iter()
+            .filter(|(_, s)| s.expires.is_some_and(|e| now >= e))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &dead {
+            self.remove(*id);
+        }
+        self.expired_count += dead.len() as u64;
+        dead.len()
+    }
+
+    /// Unreplicated segments on a failed node are lost — the paper's
+    /// stated trade-off ("they are not replicated by default"): the
+    /// affected map tasks must re-run. Returns the lost segment ids.
+    pub fn fail_node(&mut self, node: NodeId) -> Vec<SegmentId> {
+        let mut lost = Vec::new();
+        let ids: Vec<SegmentId> = self.segments.keys().copied().collect();
+        for id in ids {
+            let s = self.segments.get_mut(&id).expect("just listed");
+            if let Some(pos) = s.holders.iter().position(|&h| h == node) {
+                s.holders.remove(pos);
+                if s.holders.is_empty() {
+                    lost.push(id);
+                }
+            }
+        }
+        for id in &lost {
+            self.segments.remove(id);
+        }
+        self.node_bytes.remove(&node);
+        lost
+    }
+
+    pub fn bytes_on(&self, node: NodeId) -> u64 {
+        self.node_bytes.get(&node).copied().unwrap_or(0)
+    }
+
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    pub fn expired_count(&self) -> u64 {
+        self.expired_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclipse_util::MB;
+
+    fn store(replicas: usize) -> IntermediateStore {
+        IntermediateStore::new(
+            Ring::with_servers_evenly_spaced(8, "s"),
+            IntermediateConfig { partitions: 16, replicas, default_ttl: None },
+        )
+    }
+
+    fn seg(job: u64, map: u64, p: u32) -> SegmentId {
+        SegmentId { job, map_task: map, partition: p }
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_placement() {
+        let mut s = store(0);
+        let holders = s.put(seg(1, 0, 3), 32 * MB, 0.0, None).unwrap();
+        assert_eq!(holders.len(), 1, "unreplicated by default");
+        assert_eq!(holders[0], s.partition_home(3).unwrap());
+        let (bytes, hs) = s.get(seg(1, 0, 3), 10.0).unwrap();
+        assert_eq!(bytes, 32 * MB);
+        assert_eq!(hs, holders);
+    }
+
+    #[test]
+    fn same_partition_same_home() {
+        let mut s = store(0);
+        let a = s.put(seg(1, 0, 5), MB, 0.0, None).unwrap();
+        let b = s.put(seg(1, 7, 5), MB, 0.0, None).unwrap();
+        let c = s.put(seg(2, 3, 5), MB, 0.0, None).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b, c, "partition key is job-independent");
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let mut s = store(0);
+        s.put(seg(1, 0, 0), MB, 0.0, Some(5.0)).unwrap();
+        s.put(seg(1, 1, 0), MB, 0.0, None).unwrap();
+        assert!(s.get(seg(1, 0, 0), 4.9).is_some());
+        assert!(s.get(seg(1, 0, 0), 5.0).is_none(), "expired on read");
+        assert_eq!(s.expire(100.0), 0, "already dropped; the other never expires");
+        assert!(s.get(seg(1, 1, 0), 100.0).is_some());
+        assert_eq!(s.expired_count(), 1);
+    }
+
+    #[test]
+    fn default_ttl_applies() {
+        let mut s = IntermediateStore::new(
+            Ring::with_servers_evenly_spaced(4, "s"),
+            IntermediateConfig { partitions: 4, replicas: 0, default_ttl: Some(10.0) },
+        );
+        s.put(seg(1, 0, 1), MB, 0.0, None).unwrap();
+        assert!(s.get(seg(1, 0, 1), 9.0).is_some());
+        assert!(s.get(seg(1, 0, 1), 11.0).is_none());
+    }
+
+    #[test]
+    fn partition_segments_lists_live_only() {
+        let mut s = store(0);
+        for m in 0..5 {
+            s.put(seg(7, m, 2), MB, 0.0, if m == 0 { Some(1.0) } else { None }).unwrap();
+        }
+        s.put(seg(7, 9, 3), MB, 0.0, None).unwrap(); // other partition
+        s.put(seg(8, 0, 2), MB, 0.0, None).unwrap(); // other job
+        let live = s.partition_segments(7, 2, 2.0);
+        assert_eq!(live.len(), 4, "one expired, others excluded by job/partition");
+        assert!(live.iter().all(|id| id.job == 7 && id.partition == 2));
+    }
+
+    #[test]
+    fn job_cleanup() {
+        let mut s = store(0);
+        for m in 0..4 {
+            s.put(seg(3, m, (m % 16) as u32), MB, 0.0, None).unwrap();
+        }
+        s.put(seg(4, 0, 0), MB, 0.0, None).unwrap();
+        assert_eq!(s.remove_job(3), 4);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn unreplicated_segments_lost_on_failure() {
+        let mut s = store(0);
+        let holders = s.put(seg(1, 0, 6), MB, 0.0, None).unwrap();
+        let lost = s.fail_node(holders[0]);
+        assert_eq!(lost, vec![seg(1, 0, 6)]);
+        assert!(s.get(seg(1, 0, 6), 0.0).is_none());
+    }
+
+    #[test]
+    fn replicated_segments_survive_failure() {
+        let mut s = store(2);
+        let holders = s.put(seg(1, 0, 6), MB, 0.0, None).unwrap();
+        assert_eq!(holders.len(), 3);
+        let lost = s.fail_node(holders[0]);
+        assert!(lost.is_empty());
+        let (_, survivors) = s.get(seg(1, 0, 6), 0.0).unwrap();
+        assert_eq!(survivors.len(), 2);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut s = store(0);
+        let holders = s.put(seg(1, 0, 2), 10 * MB, 0.0, None).unwrap();
+        assert_eq!(s.bytes_on(holders[0]), 10 * MB);
+        // Overwrite shrinks accounting.
+        s.put(seg(1, 0, 2), 4 * MB, 1.0, None).unwrap();
+        assert_eq!(s.bytes_on(holders[0]), 4 * MB);
+        s.remove(seg(1, 0, 2));
+        assert_eq!(s.bytes_on(holders[0]), 0);
+    }
+}

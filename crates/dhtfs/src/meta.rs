@@ -1,0 +1,119 @@
+//! File metadata: name, owner, size and per-block hash keys.
+//!
+//! As in the paper (§II-A): "we store metadata about a file including
+//! file name, owner, file size, and partitioning information in a
+//! decentralized manner" — the metadata record lives on the server whose
+//! DHT-FS range covers the *file name's* hash key, while each block lives
+//! on the server covering that *block's* hash key.
+
+use eclipse_util::{num_blocks, HashKey};
+
+/// Identifies one block of one file.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct BlockId {
+    /// Hash key of the file name.
+    pub file: HashKey,
+    /// Block index within the file.
+    pub index: u64,
+}
+
+/// Descriptor of one fixed-size block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockInfo {
+    pub id: BlockId,
+    /// Ring placement key: `HashKey::of_block(file_name, index)`.
+    pub key: HashKey,
+    /// Bytes in this block (only the final block may be short).
+    pub size: u64,
+}
+
+/// Decentralized file metadata record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FileMetadata {
+    pub name: String,
+    /// Hash key of the file name — also the metadata placement key.
+    pub key: HashKey,
+    /// Owning user (access-permission subject; checked on open).
+    pub owner: String,
+    pub size: u64,
+    pub block_size: u64,
+    pub blocks: Vec<BlockInfo>,
+}
+
+impl FileMetadata {
+    /// Partition a file of `size` bytes into `block_size` blocks and
+    /// compute each block's ring key.
+    ///
+    /// # Panics
+    /// Panics if `block_size == 0`.
+    pub fn partition(name: &str, owner: &str, size: u64, block_size: u64) -> FileMetadata {
+        assert!(block_size > 0, "block size must be positive");
+        let key = HashKey::of_name(name);
+        let n = num_blocks(size, block_size);
+        let mut blocks = Vec::with_capacity(n as usize);
+        for index in 0..n {
+            let remaining = size - index * block_size;
+            blocks.push(BlockInfo {
+                id: BlockId { file: key, index },
+                key: HashKey::of_block(name, index),
+                size: remaining.min(block_size),
+            });
+        }
+        FileMetadata {
+            name: name.to_string(),
+            key,
+            owner: owner.to_string(),
+            size,
+            block_size,
+            blocks,
+        }
+    }
+
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclipse_util::{DEFAULT_BLOCK_SIZE, GB, MB};
+
+    #[test]
+    fn partition_block_math() {
+        let m = FileMetadata::partition("f", "alice", 300 * MB, 128 * MB);
+        assert_eq!(m.num_blocks(), 3);
+        assert_eq!(m.blocks[0].size, 128 * MB);
+        assert_eq!(m.blocks[1].size, 128 * MB);
+        assert_eq!(m.blocks[2].size, 44 * MB);
+        assert_eq!(m.blocks[2].id.index, 2);
+        let total: u64 = m.blocks.iter().map(|b| b.size).sum();
+        assert_eq!(total, 300 * MB);
+    }
+
+    #[test]
+    fn empty_file_has_no_blocks() {
+        let m = FileMetadata::partition("empty", "bob", 0, DEFAULT_BLOCK_SIZE);
+        assert_eq!(m.num_blocks(), 0);
+        assert_eq!(m.size, 0);
+    }
+
+    #[test]
+    fn paper_dataset_partitions_to_2000_blocks() {
+        let m = FileMetadata::partition("hibench-text", "hibench", 250 * GB, DEFAULT_BLOCK_SIZE);
+        assert_eq!(m.num_blocks(), 2000);
+    }
+
+    #[test]
+    fn block_keys_differ_from_file_key() {
+        let m = FileMetadata::partition("f.dat", "u", 256 * MB, 128 * MB);
+        assert_ne!(m.blocks[0].key, m.key);
+        assert_ne!(m.blocks[0].key, m.blocks[1].key);
+    }
+
+    #[test]
+    fn metadata_key_is_name_hash() {
+        let m = FileMetadata::partition("some/file", "u", 1, 1);
+        assert_eq!(m.key, HashKey::of_name("some/file"));
+    }
+}

@@ -1,0 +1,130 @@
+//! In-memory block payload store for the live executor.
+//!
+//! Each virtual node owns one shard; the live executor writes real block
+//! payloads here ("local disk" contents). `bytes::Bytes` keeps cross-node
+//! reads zero-copy. Thread-safe: the live executor runs one thread per
+//! virtual node.
+
+use crate::meta::BlockId;
+use bytes::Bytes;
+use eclipse_ring::NodeId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Payload store for every node in a live cluster.
+#[derive(Debug, Default)]
+pub struct BlockStore {
+    shards: RwLock<HashMap<NodeId, HashMap<BlockId, Bytes>>>,
+}
+
+impl BlockStore {
+    pub fn new() -> BlockStore {
+        BlockStore::default()
+    }
+
+    /// Write a block payload to `node`'s shard (primary or replica).
+    pub fn put(&self, node: NodeId, id: BlockId, data: Bytes) {
+        self.shards.write().entry(node).or_default().insert(id, data);
+    }
+
+    /// Read a block from `node`'s shard; `None` if that node holds no
+    /// copy.
+    pub fn get(&self, node: NodeId, id: BlockId) -> Option<Bytes> {
+        self.shards.read().get(&node)?.get(&id).cloned()
+    }
+
+    /// Does `node` hold block `id`?
+    pub fn holds(&self, node: NodeId, id: BlockId) -> bool {
+        self.shards.read().get(&node).is_some_and(|s| s.contains_key(&id))
+    }
+
+    /// Drop every payload on `node` (crash simulation).
+    pub fn wipe_node(&self, node: NodeId) {
+        self.shards.write().remove(&node);
+    }
+
+    /// Copy a block between shards (recovery). Returns false when the
+    /// source copy is missing.
+    pub fn copy(&self, id: BlockId, from: NodeId, to: NodeId) -> bool {
+        let data = match self.get(from, id) {
+            Some(d) => d,
+            None => return false,
+        };
+        self.put(to, id, data);
+        true
+    }
+
+    /// Bytes stored on a node.
+    pub fn bytes_on(&self, node: NodeId) -> u64 {
+        self.shards
+            .read()
+            .get(&node)
+            .map(|s| s.values().map(|b| b.len() as u64).sum())
+            .unwrap_or(0)
+    }
+
+    /// Number of block copies stored cluster-wide.
+    pub fn total_copies(&self) -> usize {
+        self.shards.read().values().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclipse_util::HashKey;
+
+    fn bid(i: u64) -> BlockId {
+        BlockId { file: HashKey(42), index: i }
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = BlockStore::new();
+        store.put(NodeId(0), bid(0), Bytes::from_static(b"hello"));
+        assert_eq!(store.get(NodeId(0), bid(0)).unwrap(), Bytes::from_static(b"hello"));
+        assert!(store.get(NodeId(1), bid(0)).is_none());
+        assert!(store.get(NodeId(0), bid(1)).is_none());
+        assert!(store.holds(NodeId(0), bid(0)));
+    }
+
+    #[test]
+    fn copy_between_nodes() {
+        let store = BlockStore::new();
+        store.put(NodeId(0), bid(7), Bytes::from_static(b"payload"));
+        assert!(store.copy(bid(7), NodeId(0), NodeId(3)));
+        assert!(store.holds(NodeId(3), bid(7)));
+        assert!(!store.copy(bid(9), NodeId(0), NodeId(3)), "missing source");
+    }
+
+    #[test]
+    fn wipe_simulates_crash() {
+        let store = BlockStore::new();
+        store.put(NodeId(2), bid(0), Bytes::from_static(b"x"));
+        store.put(NodeId(2), bid(1), Bytes::from_static(b"y"));
+        assert_eq!(store.bytes_on(NodeId(2)), 2);
+        store.wipe_node(NodeId(2));
+        assert_eq!(store.bytes_on(NodeId(2)), 0);
+        assert_eq!(store.total_copies(), 0);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        use std::sync::Arc;
+        let store = Arc::new(BlockStore::new());
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let s = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    s.put(NodeId(t), bid(i), Bytes::from(vec![t as u8; 16]));
+                    assert!(s.holds(NodeId(t), bid(i)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.total_copies(), 800);
+    }
+}

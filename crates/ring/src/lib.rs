@@ -1,0 +1,19 @@
+//! # eclipse-ring
+//!
+//! The consistent-hash ring substrate shared by EclipseMR's two ring
+//! layers (the DHT file system and the distributed in-memory cache):
+//! sorted membership with ownership arcs, Chord finger tables with both
+//! one-hop and logarithmic routing, replica placement, heartbeats, and the
+//! coordinator election.
+
+pub mod finger;
+pub mod membership;
+pub mod node;
+pub mod ring;
+pub mod stabilize;
+
+pub use finger::{FingerTable, Router, RoutingMode};
+pub use membership::{ring_election, ClusterView, Coordinators, HeartbeatMonitor, MembershipEvent};
+pub use node::{NodeId, ServerInfo};
+pub use ring::{Ring, RingError};
+pub use stabilize::{ChordNet, SUCCESSOR_LIST_LEN};

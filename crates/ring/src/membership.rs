@@ -1,0 +1,269 @@
+//! Cluster membership: join/leave/failure events, neighbor heartbeats,
+//! and the distributed election that picks the job scheduler and resource
+//! manager ("the job scheduler and the resource manager are selected by a
+//! distributed election algorithm", paper §II).
+
+use crate::node::{NodeId, ServerInfo};
+use crate::ring::{Ring, RingError};
+use std::collections::BTreeMap;
+
+/// A membership change.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MembershipEvent {
+    Join(ServerInfo),
+    /// Graceful leave.
+    Leave(NodeId),
+    /// Crash detected by heartbeat timeout.
+    Fail(NodeId),
+}
+
+/// Coordinator roles assigned by election.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Coordinators {
+    pub scheduler: NodeId,
+    pub resource_manager: NodeId,
+}
+
+/// Chang–Roberts style ring election. The token circulates clockwise
+/// carrying the largest ring key seen; the node whose own key returns to
+/// it wins. Returns the winner and the number of messages exchanged
+/// (useful for the election-cost test).
+///
+/// Deterministic: the winner is always the member with the greatest ring
+/// position, regardless of initiator.
+pub fn ring_election(ring: &Ring, initiator: NodeId) -> Result<(NodeId, usize), RingError> {
+    if !ring.contains(initiator) {
+        return Err(RingError::UnknownNode(initiator));
+    }
+    let n = ring.len();
+    if n == 1 {
+        return Ok((initiator, 0));
+    }
+    let mut messages = 0usize;
+    let mut at = initiator;
+    let mut candidate = initiator;
+    let mut candidate_key = ring.key_of(initiator)?;
+    // The token needs at most 2n hops: n to find the max, n to confirm.
+    for _ in 0..(2 * n + 1) {
+        let next = ring.successor(at)?.id;
+        messages += 1;
+        if next == candidate {
+            // Token returned to the candidate: elected.
+            return Ok((candidate, messages));
+        }
+        let next_key = ring.key_of(next)?;
+        if next_key > candidate_key {
+            candidate = next;
+            candidate_key = next_key;
+        }
+        at = next;
+    }
+    unreachable!("election failed to terminate");
+}
+
+/// Live view of the cluster: the ring plus elected coordinators and an
+/// epoch bumped on every membership change. The epoch lets downstream
+/// components (finger tables, scheduler ranges) notice staleness cheaply.
+#[derive(Clone, Debug)]
+pub struct ClusterView {
+    ring: Ring,
+    epoch: u64,
+    coordinators: Option<Coordinators>,
+}
+
+impl ClusterView {
+    pub fn new(ring: Ring) -> ClusterView {
+        let mut view = ClusterView { ring, epoch: 0, coordinators: None };
+        view.reelect();
+        view
+    }
+
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn coordinators(&self) -> Option<Coordinators> {
+        self.coordinators
+    }
+
+    /// Apply a membership event; bumps the epoch and re-elects if a
+    /// coordinator was lost (or on first join).
+    pub fn apply(&mut self, event: MembershipEvent) -> Result<(), RingError> {
+        match event {
+            MembershipEvent::Join(info) => {
+                self.ring.insert(info)?;
+            }
+            MembershipEvent::Leave(id) | MembershipEvent::Fail(id) => {
+                self.ring.remove(id)?;
+            }
+        }
+        self.epoch += 1;
+        let lost_coordinator = match self.coordinators {
+            Some(c) => !self.ring.contains(c.scheduler) || !self.ring.contains(c.resource_manager),
+            None => true,
+        };
+        if lost_coordinator {
+            self.reelect();
+        }
+        Ok(())
+    }
+
+    /// Run the election: the winner becomes scheduler, its successor the
+    /// resource manager (any worker can hold either role, §II).
+    pub fn reelect(&mut self) {
+        self.coordinators = None;
+        if self.ring.is_empty() {
+            return;
+        }
+        let initiator = self.ring.node_ids()[0];
+        let (winner, _) = ring_election(&self.ring, initiator).expect("member initiator");
+        let rm = if self.ring.len() > 1 {
+            self.ring.successor(winner).expect("member").id
+        } else {
+            winner
+        };
+        self.coordinators = Some(Coordinators { scheduler: winner, resource_manager: rm });
+    }
+}
+
+/// Neighbor heartbeat failure detector. Servers exchange heartbeats with
+/// their direct ring neighbors (§II-A); a node silent for longer than the
+/// timeout is declared failed.
+#[derive(Clone, Debug)]
+pub struct HeartbeatMonitor {
+    last_heard: BTreeMap<NodeId, f64>,
+    timeout: f64,
+}
+
+impl HeartbeatMonitor {
+    /// `timeout` is in seconds of (simulated or wall) time.
+    pub fn new(timeout: f64) -> HeartbeatMonitor {
+        assert!(timeout > 0.0);
+        HeartbeatMonitor { last_heard: BTreeMap::new(), timeout }
+    }
+
+    /// Register (or refresh) a node at time `now`.
+    pub fn heartbeat(&mut self, node: NodeId, now: f64) {
+        self.last_heard.insert(node, now);
+    }
+
+    /// Remove a node from monitoring (leave/known failure).
+    pub fn forget(&mut self, node: NodeId) {
+        self.last_heard.remove(&node);
+    }
+
+    /// Nodes whose last heartbeat is older than the timeout at `now`.
+    /// Detected nodes are removed from the monitor so each failure is
+    /// reported once.
+    pub fn expired(&mut self, now: f64) -> Vec<NodeId> {
+        let dead: Vec<NodeId> = self
+            .last_heard
+            .iter()
+            .filter(|(_, &t)| now - t > self.timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &dead {
+            self.last_heard.remove(id);
+        }
+        dead
+    }
+
+    pub fn tracked(&self) -> usize {
+        self.last_heard.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclipse_util::HashKey;
+
+    fn ring_n(n: usize) -> Ring {
+        Ring::with_servers(n, "m")
+    }
+
+    #[test]
+    fn election_winner_is_max_key_regardless_of_initiator() {
+        let ring = ring_n(12);
+        let max_key_node =
+            ring.members().max_by_key(|s| s.key).map(|s| s.id).unwrap();
+        for init in ring.node_ids() {
+            let (winner, msgs) = ring_election(&ring, init).unwrap();
+            assert_eq!(winner, max_key_node, "initiator {init}");
+            assert!(msgs <= 2 * ring.len(), "messages {msgs}");
+        }
+    }
+
+    #[test]
+    fn election_single_node() {
+        let mut ring = Ring::new();
+        ring.insert(ServerInfo::at_key(NodeId(0), "solo", HashKey(1))).unwrap();
+        let (w, m) = ring_election(&ring, NodeId(0)).unwrap();
+        assert_eq!(w, NodeId(0));
+        assert_eq!(m, 0);
+    }
+
+    #[test]
+    fn view_reelects_on_coordinator_failure() {
+        let mut view = ClusterView::new(ring_n(8));
+        let before = view.coordinators().unwrap();
+        view.apply(MembershipEvent::Fail(before.scheduler)).unwrap();
+        let after = view.coordinators().unwrap();
+        assert_ne!(after.scheduler, before.scheduler);
+        assert!(view.ring().contains(after.scheduler));
+        assert!(view.ring().contains(after.resource_manager));
+        assert_eq!(view.epoch(), 1);
+    }
+
+    #[test]
+    fn view_keeps_coordinators_on_worker_failure() {
+        let mut view = ClusterView::new(ring_n(8));
+        let coords = view.coordinators().unwrap();
+        // Fail a node that is neither coordinator.
+        let victim = view
+            .ring()
+            .node_ids()
+            .into_iter()
+            .find(|&id| id != coords.scheduler && id != coords.resource_manager)
+            .unwrap();
+        view.apply(MembershipEvent::Fail(victim)).unwrap();
+        assert_eq!(view.coordinators().unwrap(), coords);
+    }
+
+    #[test]
+    fn view_join_bumps_epoch() {
+        let mut view = ClusterView::new(ring_n(3));
+        let e0 = view.epoch();
+        view.apply(MembershipEvent::Join(ServerInfo::from_name(NodeId(99), "joiner")))
+            .unwrap();
+        assert_eq!(view.epoch(), e0 + 1);
+        assert_eq!(view.ring().len(), 4);
+    }
+
+    #[test]
+    fn heartbeat_detects_silence() {
+        let mut hb = HeartbeatMonitor::new(3.0);
+        hb.heartbeat(NodeId(0), 0.0);
+        hb.heartbeat(NodeId(1), 0.0);
+        assert!(hb.expired(2.0).is_empty());
+        hb.heartbeat(NodeId(1), 2.0);
+        let dead = hb.expired(4.0);
+        assert_eq!(dead, vec![NodeId(0)]);
+        // Reported once only.
+        assert!(hb.expired(10.0).contains(&NodeId(1)));
+        assert!(hb.expired(100.0).is_empty());
+    }
+
+    #[test]
+    fn heartbeat_forget() {
+        let mut hb = HeartbeatMonitor::new(1.0);
+        hb.heartbeat(NodeId(5), 0.0);
+        hb.forget(NodeId(5));
+        assert_eq!(hb.tracked(), 0);
+        assert!(hb.expired(100.0).is_empty());
+    }
+}

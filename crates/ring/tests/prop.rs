@@ -1,0 +1,120 @@
+//! Property tests for consistent-hashing invariants.
+
+use eclipse_ring::{NodeId, Ring, Router, RoutingMode, ServerInfo};
+use eclipse_util::HashKey;
+use proptest::prelude::*;
+
+/// Build a ring from distinct (id, key) pairs.
+fn ring_from(pairs: &[(u32, u64)]) -> Ring {
+    let mut r = Ring::new();
+    for &(id, key) in pairs {
+        // Skip duplicates instead of failing: the strategy below already
+        // dedups, this is belt-and-braces.
+        let _ = r.insert(ServerInfo::at_key(NodeId(id), format!("n{id}"), HashKey(key)));
+    }
+    r
+}
+
+/// Strategy: 1..32 members with unique ids and unique keys.
+fn members() -> impl Strategy<Value = Vec<(u32, u64)>> {
+    prop::collection::btree_map(any::<u64>(), Just(()), 1..32).prop_map(|m| {
+        m.into_keys().enumerate().map(|(i, k)| (i as u32, k)).collect()
+    })
+}
+
+proptest! {
+    /// Ownership ranges tile the ring for any membership.
+    #[test]
+    fn ranges_tile(pairs in members(), probes in prop::collection::vec(any::<u64>(), 1..64)) {
+        let ring = ring_from(&pairs);
+        let ranges = ring.ranges();
+        let total: u128 = ranges.iter().map(|(_, r)| r.len()).sum();
+        prop_assert_eq!(total, 1u128 << 64);
+        for p in probes {
+            let owners = ranges.iter().filter(|(_, r)| r.contains(HashKey(p))).count();
+            prop_assert_eq!(owners, 1);
+            // owner_of agrees with the range map.
+            let owner = ring.owner_of(HashKey(p)).unwrap().id;
+            let via_ranges = ranges.iter().find(|(_, r)| r.contains(HashKey(p))).unwrap().0;
+            prop_assert_eq!(owner, via_ranges);
+        }
+    }
+
+    /// Consistent hashing moves only the joiner's keys: after a join,
+    /// every key either keeps its owner or moves to the new node.
+    #[test]
+    fn join_is_minimal_disruption(
+        pairs in members(),
+        new_key: u64,
+        probes in prop::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let mut ring = ring_from(&pairs);
+        prop_assume!(ring.members().all(|s| s.key != HashKey(new_key)));
+        let before: Vec<(u64, NodeId)> =
+            probes.iter().map(|&p| (p, ring.owner_of(HashKey(p)).unwrap().id)).collect();
+        let new_id = NodeId(10_000);
+        ring.insert(ServerInfo::at_key(new_id, "joiner", HashKey(new_key))).unwrap();
+        for (p, old) in before {
+            let now = ring.owner_of(HashKey(p)).unwrap().id;
+            prop_assert!(now == old || now == new_id, "key {} moved {} -> {}", p, old, now);
+        }
+    }
+
+    /// After a leave, only keys owned by the departed node change owner.
+    #[test]
+    fn leave_is_minimal_disruption(
+        pairs in members(),
+        probes in prop::collection::vec(any::<u64>(), 1..64),
+        victim_sel: prop::sample::Index,
+    ) {
+        let mut ring = ring_from(&pairs);
+        prop_assume!(ring.len() >= 2);
+        let ids = ring.node_ids();
+        let victim = ids[victim_sel.index(ids.len())];
+        let before: Vec<(u64, NodeId)> =
+            probes.iter().map(|&p| (p, ring.owner_of(HashKey(p)).unwrap().id)).collect();
+        ring.remove(victim).unwrap();
+        for (p, old) in before {
+            let now = ring.owner_of(HashKey(p)).unwrap().id;
+            if old == victim {
+                prop_assert!(now != victim);
+            } else {
+                prop_assert_eq!(now, old, "non-victim key {} moved", p);
+            }
+        }
+    }
+
+    /// Replica sets contain no duplicates and always start with the owner.
+    #[test]
+    fn replica_sets_distinct(pairs in members(), key: u64, replicas in 0usize..6) {
+        let ring = ring_from(&pairs);
+        let set = ring.replica_set(HashKey(key), replicas).unwrap();
+        prop_assert_eq!(set[0], ring.owner_of(HashKey(key)).unwrap().id);
+        let mut dedup = set.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), set.len(), "duplicates in replica set");
+        prop_assert!(set.len() <= ring.len());
+        prop_assert!(set.len() <= replicas + 1);
+    }
+
+    /// Both routing modes always terminate at the true owner.
+    #[test]
+    fn routing_reaches_owner(pairs in members(), key: u64, start_sel: prop::sample::Index) {
+        let ring = ring_from(&pairs);
+        let ids = ring.node_ids();
+        let start = ids[start_sel.index(ids.len())];
+        let owner = ring.owner_of(HashKey(key)).unwrap().id;
+        for mode in [RoutingMode::OneHop, RoutingMode::Chord] {
+            let router = Router::build(&ring, mode).unwrap();
+            let path = router.route(&ring, start, HashKey(key)).unwrap();
+            match path.last() {
+                Some(&last) => prop_assert_eq!(last, owner),
+                None => prop_assert_eq!(start, owner),
+            }
+            if mode == RoutingMode::OneHop {
+                prop_assert!(path.len() <= 1);
+            }
+        }
+    }
+}

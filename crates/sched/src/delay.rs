@@ -1,0 +1,242 @@
+//! The delay-scheduling variant (paper §II-F) — EclipseMR's in-framework
+//! baseline, modeled on Spark's delay scheduler.
+//!
+//! Differences from LAF:
+//! * The cache hash-key ranges are **static**, permanently aligned with
+//!   the DHT file system ring — they never adapt to the workload.
+//! * A task prefers the server whose (static) range covers its key; if
+//!   that server has no free slot the task **waits** up to
+//!   `wait_threshold` seconds (5 s, the Spark default cited by the
+//!   paper) before being reassigned to any idle server.
+
+use eclipse_ring::{NodeId, Ring};
+use eclipse_util::{HashKey, KeyRange};
+
+/// Delay-scheduler parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DelayConfig {
+    /// Seconds a task waits for its locality-preferred server *per
+    /// locality level* (Spark's `spark.locality.wait` = 5 s in the
+    /// paper).
+    pub wait_threshold: f64,
+    /// Locality levels the wait is paid through before the task truly
+    /// gives up (Spark demotes process-local → node-local → rack-local,
+    /// waiting the threshold at each level).
+    pub locality_levels: u32,
+}
+
+impl Default for DelayConfig {
+    fn default() -> Self {
+        DelayConfig { wait_threshold: 5.0, locality_levels: 3 }
+    }
+}
+
+impl DelayConfig {
+    /// Total wait a task tolerates before abandoning locality.
+    pub fn effective_wait(&self) -> f64 {
+        self.wait_threshold * self.locality_levels.max(1) as f64
+    }
+}
+
+/// What the policy tells the executor to do with a task.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DelayDecision {
+    /// Run on the preferred server now (it has a free slot).
+    RunPreferred(NodeId),
+    /// Preferred server busy, but it frees up within the threshold:
+    /// wait until `until` then run there.
+    WaitFor { node: NodeId, until: f64 },
+    /// Waited past the threshold: run on the fallback server instead.
+    Fallback(NodeId),
+}
+
+impl DelayDecision {
+    /// The server the task ultimately runs on.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            DelayDecision::RunPreferred(n) => n,
+            DelayDecision::WaitFor { node, .. } => node,
+            DelayDecision::Fallback(n) => n,
+        }
+    }
+
+    /// Did the task run on its locality-preferred server?
+    pub fn is_local(&self) -> bool {
+        !matches!(self, DelayDecision::Fallback(_))
+    }
+}
+
+/// The delay scheduling policy. Stateless besides the static range table;
+/// the executor supplies per-node availability times.
+#[derive(Clone, Debug)]
+pub struct DelayScheduler {
+    cfg: DelayConfig,
+    ranges: Vec<(NodeId, KeyRange)>,
+    /// Tasks that gave up locality (fallback count).
+    fallbacks: u64,
+    waits: u64,
+    immediate: u64,
+}
+
+impl DelayScheduler {
+    /// Ranges are fixed to the file-system ring at construction.
+    pub fn new(ring: &Ring, cfg: DelayConfig) -> DelayScheduler {
+        assert!(!ring.is_empty());
+        DelayScheduler { cfg, ranges: ring.ranges(), fallbacks: 0, waits: 0, immediate: 0 }
+    }
+
+    pub fn config(&self) -> &DelayConfig {
+        &self.cfg
+    }
+
+    pub fn ranges(&self) -> &[(NodeId, KeyRange)] {
+        &self.ranges
+    }
+
+    /// The locality-preferred server for `hkey` under the static ranges.
+    pub fn preferred(&self, hkey: HashKey) -> NodeId {
+        self.ranges
+            .iter()
+            .find(|(_, r)| r.contains(hkey))
+            .map(|(n, _)| *n)
+            .expect("static ranges tile the ring")
+    }
+
+    /// Decide placement for a task submitted at `now`.
+    ///
+    /// `free_at(node)` must return the earliest time `node` has a free
+    /// slot (`now` or earlier means idle). The fallback server is the one
+    /// with the earliest free slot, ties broken by node order —
+    /// "the task is reassigned to another server as in Spark's delay
+    /// scheduling".
+    pub fn decide<F>(&mut self, hkey: HashKey, now: f64, mut free_at: F) -> DelayDecision
+    where
+        F: FnMut(NodeId) -> f64,
+    {
+        let pref = self.preferred(hkey);
+        let pref_free = free_at(pref);
+        if pref_free <= now {
+            self.immediate += 1;
+            return DelayDecision::RunPreferred(pref);
+        }
+        // Earliest-free alternative. The scheduler reevaluates a waiting
+        // task when slots free elsewhere, so the wait that matters is the
+        // preferred server's backlog *relative to* the best alternative:
+        // the task keeps its locality unless switching would save more
+        // than the threshold.
+        let fallback = self
+            .ranges
+            .iter()
+            .map(|(n, _)| *n)
+            .min_by(|&a, &b| {
+                free_at(a).partial_cmp(&free_at(b)).unwrap().then(a.cmp(&b))
+            })
+            .expect("non-empty");
+        let best_free = free_at(fallback).max(now);
+        if pref_free - best_free <= self.cfg.effective_wait() {
+            self.waits += 1;
+            return DelayDecision::WaitFor { node: pref, until: pref_free };
+        }
+        self.fallbacks += 1;
+        DelayDecision::Fallback(fallback)
+    }
+
+    /// Tasks that ran immediately on the preferred server.
+    pub fn immediate_count(&self) -> u64 {
+        self.immediate
+    }
+
+    /// Tasks that waited (≤ threshold) for the preferred server.
+    pub fn wait_count(&self) -> u64 {
+        self.waits
+    }
+
+    /// Tasks that abandoned locality.
+    pub fn fallback_count(&self) -> u64 {
+        self.fallbacks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(n: usize) -> DelayScheduler {
+        DelayScheduler::new(&Ring::with_servers(n, "d"), DelayConfig::default())
+    }
+
+    #[test]
+    fn idle_preferred_runs_immediately() {
+        let mut s = sched(4);
+        let k = HashKey::of_name("blk");
+        let pref = s.preferred(k);
+        let d = s.decide(k, 10.0, |_| 0.0);
+        assert_eq!(d, DelayDecision::RunPreferred(pref));
+        assert!(d.is_local());
+        assert_eq!(s.immediate_count(), 1);
+    }
+
+    #[test]
+    fn busy_preferred_waits_within_threshold() {
+        let mut s = sched(4);
+        let k = HashKey::of_name("blk");
+        let pref = s.preferred(k);
+        let d = s.decide(k, 10.0, |n| if n == pref { 13.0 } else { 10.0 });
+        assert_eq!(d, DelayDecision::WaitFor { node: pref, until: 13.0 });
+        assert!(d.is_local());
+        assert_eq!(s.wait_count(), 1);
+    }
+
+    #[test]
+    fn long_wait_falls_back_to_earliest_free() {
+        let mut s = sched(4);
+        let k = HashKey::of_name("blk");
+        let pref = s.preferred(k);
+        let idle = s.ranges().iter().map(|(n, _)| *n).find(|&n| n != pref).unwrap();
+        let d = s.decide(k, 10.0, |n| {
+            if n == pref {
+                100.0
+            } else if n == idle {
+                10.0
+            } else {
+                11.0
+            }
+        });
+        assert_eq!(d, DelayDecision::Fallback(idle));
+        assert!(!d.is_local());
+        assert_eq!(s.fallback_count(), 1);
+    }
+
+    #[test]
+    fn boundary_wait_exactly_threshold() {
+        let mut s = sched(2);
+        let k = HashKey::of_name("b");
+        let pref = s.preferred(k);
+        // Exactly at the effective wait (3 levels × 5 s): still waits.
+        let d = s.decide(k, 0.0, |n| if n == pref { 15.0 } else { 0.0 });
+        assert!(matches!(d, DelayDecision::WaitFor { .. }));
+        // Past it: falls back.
+        let d2 = s.decide(k, 0.0, |n| if n == pref { 15.001 } else { 0.0 });
+        assert!(matches!(d2, DelayDecision::Fallback(_)));
+    }
+
+    #[test]
+    fn static_ranges_match_ring() {
+        let ring = Ring::with_servers(6, "d");
+        let s = DelayScheduler::new(&ring, DelayConfig::default());
+        for i in 0..50u64 {
+            let k = HashKey::of_name(&format!("p{i}"));
+            assert_eq!(s.preferred(k), ring.owner_of(k).unwrap().id);
+        }
+    }
+
+    #[test]
+    fn same_key_always_same_preferred() {
+        let s = sched(8);
+        let k = HashKey::of_name("sticky");
+        let p = s.preferred(k);
+        for _ in 0..10 {
+            assert_eq!(s.preferred(k), p, "static ranges never move");
+        }
+    }
+}

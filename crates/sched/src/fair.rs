@@ -1,0 +1,134 @@
+//! Hadoop-style fair scheduler baseline (used by the Hadoop comparison
+//! model, §III-E: "We use the default fair scheduling in Hadoop").
+//!
+//! Simplified to the decision that matters for the evaluation: a task
+//! prefers a server that physically stores one of its input block's
+//! replicas (HDFS locality), falling back to the least-loaded server.
+//! There is no hash-range structure and no delay wait.
+
+use eclipse_ring::NodeId;
+
+/// Fair scheduler over `n` workers.
+#[derive(Clone, Debug)]
+pub struct FairScheduler {
+    nodes: usize,
+    local_hits: u64,
+    remote: u64,
+}
+
+/// Outcome of a fair-scheduling decision.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FairDecision {
+    pub node: NodeId,
+    /// Did the task land on a replica holder?
+    pub data_local: bool,
+}
+
+impl FairScheduler {
+    pub fn new(nodes: usize) -> FairScheduler {
+        assert!(nodes > 0);
+        FairScheduler { nodes, local_hits: 0, remote: 0 }
+    }
+
+    /// Place a task whose input replicas live on `holders`.
+    ///
+    /// `free_at(node)` gives the earliest slot availability. The decision:
+    /// the earliest-free replica holder if any holder frees up no later
+    /// than the globally earliest-free server, otherwise the globally
+    /// earliest-free server (fairness beats locality — Hadoop's fair
+    /// scheduler does not wait).
+    pub fn decide<F>(&mut self, holders: &[NodeId], now: f64, mut free_at: F) -> FairDecision
+    where
+        F: FnMut(NodeId) -> f64,
+    {
+        let all_best = (0..self.nodes as u32)
+            .map(NodeId)
+            .min_by(|&a, &b| free_at(a).partial_cmp(&free_at(b)).unwrap().then(a.cmp(&b)))
+            .expect("nodes > 0");
+        let holder_best = holders
+            .iter()
+            .copied()
+            .min_by(|&a, &b| free_at(a).partial_cmp(&free_at(b)).unwrap().then(a.cmp(&b)));
+        let global_free = free_at(all_best).max(now);
+        match holder_best {
+            Some(h) if free_at(h).max(now) <= global_free => {
+                self.local_hits += 1;
+                FairDecision { node: h, data_local: true }
+            }
+            _ => {
+                self.remote += 1;
+                FairDecision { node: all_best, data_local: holders.contains(&all_best) }
+            }
+        }
+    }
+
+    pub fn local_hits(&self) -> u64 {
+        self.local_hits
+    }
+
+    pub fn remote_assignments(&self) -> u64 {
+        self.remote
+    }
+
+    /// Fraction of decisions that achieved data locality.
+    pub fn locality_ratio(&self) -> f64 {
+        let total = self.local_hits + self.remote;
+        if total == 0 {
+            0.0
+        } else {
+            self.local_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefers_idle_holder() {
+        let mut s = FairScheduler::new(4);
+        let d = s.decide(&[NodeId(2)], 0.0, |_| 0.0);
+        assert_eq!(d.node, NodeId(2));
+        assert!(d.data_local);
+        assert_eq!(s.local_hits(), 1);
+    }
+
+    #[test]
+    fn busy_holder_loses_to_idle_stranger() {
+        let mut s = FairScheduler::new(4);
+        let d = s.decide(&[NodeId(2)], 0.0, |n| if n == NodeId(2) { 50.0 } else { 0.0 });
+        assert_eq!(d.node, NodeId(0), "earliest-free non-holder, ties by id");
+        assert!(!d.data_local);
+        assert_eq!(s.remote_assignments(), 1);
+    }
+
+    #[test]
+    fn picks_least_loaded_holder_among_many() {
+        let mut s = FairScheduler::new(4);
+        let d = s.decide(&[NodeId(1), NodeId(3)], 0.0, |n| match n {
+            NodeId(1) => 5.0,
+            NodeId(3) => 2.0,
+            _ => 2.0,
+        });
+        // Holder 3 frees at the same time as the global best → locality.
+        assert_eq!(d.node, NodeId(3));
+        assert!(d.data_local);
+    }
+
+    #[test]
+    fn no_holders_goes_least_loaded() {
+        let mut s = FairScheduler::new(3);
+        let d = s.decide(&[], 0.0, |n| n.0 as f64);
+        assert_eq!(d.node, NodeId(0));
+        assert!(!d.data_local);
+    }
+
+    #[test]
+    fn locality_ratio_accumulates() {
+        let mut s = FairScheduler::new(2);
+        s.decide(&[NodeId(0)], 0.0, |_| 0.0);
+        s.decide(&[NodeId(0)], 0.0, |n| if n == NodeId(0) { 9.0 } else { 0.0 });
+        assert!((s.locality_ratio() - 0.5).abs() < 1e-12);
+    }
+}

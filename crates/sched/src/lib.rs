@@ -1,0 +1,19 @@
+//! # eclipse-sched
+//!
+//! EclipseMR's job schedulers:
+//!
+//! * [`LafScheduler`] — the paper's contribution (Algorithm 1): box-kernel
+//!   density estimation + exponential moving average + equally-probable
+//!   CDF partitioning of the cache hash-key ranges.
+//! * [`DelayScheduler`] — the Spark-style delay-scheduling variant the
+//!   paper implements inside EclipseMR as its baseline (§II-F).
+//! * [`FairScheduler`] — the Hadoop fair-scheduler decision used by the
+//!   Hadoop comparison model (§III-E).
+
+pub mod delay;
+pub mod fair;
+pub mod laf;
+
+pub use delay::{DelayConfig, DelayDecision, DelayScheduler};
+pub use fair::{FairDecision, FairScheduler};
+pub use laf::{LafConfig, LafScheduler};

@@ -1,0 +1,22 @@
+//! # eclipse-sim
+//!
+//! Discrete-event cluster substrate for the EclipseMR reproduction.
+//! The paper's evaluation ran on a 40-node cluster we do not have; this
+//! crate supplies a deterministic simulated replacement: an event queue
+//! with simulated time, FIFO serial resources (HDDs, memory channels,
+//! NICs, switch uplinks), per-node task-slot pools, and a two-level
+//! switched network, all calibrated to the paper's hardware.
+//!
+//! The scheduling/placement *decisions* are made by the production crates
+//! (`eclipse-ring`, `eclipse-sched`, `eclipse-cache`, `eclipse-dhtfs`);
+//! this crate only answers "when does that finish?".
+
+pub mod cluster;
+pub mod network;
+pub mod resource;
+pub mod time;
+
+pub use cluster::{ClusterConfig, NodeConfig, SimCluster, SimNode};
+pub use network::{Network, NetworkConfig};
+pub use resource::{SerialResource, SlotPool};
+pub use time::{EventQueue, SimTime};

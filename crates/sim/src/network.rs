@@ -1,0 +1,217 @@
+//! Two-level switched network model.
+//!
+//! The paper's testbed: 20 nodes per 1 GbE rack switch, two rack switches
+//! joined by a third 1 GbE switch. We model four serial resources per
+//! transfer path — sender NIC (out), receiver NIC (in), and for
+//! cross-rack traffic the source rack's uplink and the destination rack's
+//! downlink. A transfer reserves the full byte count on every resource on
+//! its path and completes at the latest of the reservations
+//! (store-and-forward at each contended device).
+
+use crate::resource::SerialResource;
+use crate::time::SimTime;
+
+/// Network calibration constants.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkConfig {
+    /// Per-node NIC bandwidth, bytes/s (1 GbE ≈ 117 MB/s).
+    pub nic_bw: f64,
+    /// Rack-to-core uplink bandwidth, bytes/s (also 1 GbE in the paper).
+    pub uplink_bw: f64,
+    /// Fixed per-transfer latency, seconds.
+    pub latency: f64,
+    /// Nodes per rack (20 in the paper).
+    pub nodes_per_rack: usize,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            nic_bw: 117.0 * 1024.0 * 1024.0,
+            uplink_bw: 117.0 * 1024.0 * 1024.0,
+            latency: 0.000_1,
+            nodes_per_rack: 20,
+        }
+    }
+}
+
+/// The simulated fabric for `n` nodes.
+#[derive(Clone, Debug)]
+pub struct Network {
+    cfg: NetworkConfig,
+    rack_of: Vec<usize>,
+    nic_out: Vec<SerialResource>,
+    nic_in: Vec<SerialResource>,
+    uplink_up: Vec<SerialResource>,
+    uplink_down: Vec<SerialResource>,
+    transfers: u64,
+    bytes_total: u64,
+    bytes_cross_rack: u64,
+}
+
+impl Network {
+    pub fn new(nodes: usize, cfg: NetworkConfig) -> Network {
+        assert!(nodes > 0);
+        assert!(cfg.nodes_per_rack > 0);
+        let racks = nodes.div_ceil(cfg.nodes_per_rack);
+        let rack_of = (0..nodes).map(|i| i / cfg.nodes_per_rack).collect();
+        Network {
+            cfg,
+            rack_of,
+            nic_out: vec![SerialResource::new(cfg.nic_bw, cfg.latency); nodes],
+            nic_in: vec![SerialResource::new(cfg.nic_bw, cfg.latency); nodes],
+            uplink_up: vec![SerialResource::new(cfg.uplink_bw, 0.0); racks],
+            uplink_down: vec![SerialResource::new(cfg.uplink_bw, 0.0); racks],
+            transfers: 0,
+            bytes_total: 0,
+            bytes_cross_rack: 0,
+        }
+    }
+
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.rack_of.len()
+    }
+
+    pub fn racks(&self) -> usize {
+        self.uplink_up.len()
+    }
+
+    pub fn rack_of(&self, node: usize) -> usize {
+        self.rack_of[node]
+    }
+
+    pub fn same_rack(&self, a: usize, b: usize) -> bool {
+        self.rack_of[a] == self.rack_of[b]
+    }
+
+    /// Admit a new node: a fresh NIC pair, racked after the existing
+    /// nodes (a new rack is added when the current one is full).
+    pub fn add_node(&mut self) -> usize {
+        let id = self.rack_of.len();
+        let rack = id / self.cfg.nodes_per_rack;
+        self.rack_of.push(rack);
+        self.nic_out.push(SerialResource::new(self.cfg.nic_bw, self.cfg.latency));
+        self.nic_in.push(SerialResource::new(self.cfg.nic_bw, self.cfg.latency));
+        while self.uplink_up.len() <= rack {
+            self.uplink_up.push(SerialResource::new(self.cfg.uplink_bw, 0.0));
+            self.uplink_down.push(SerialResource::new(self.cfg.uplink_bw, 0.0));
+        }
+        id
+    }
+
+    /// Reserve a transfer of `bytes` from `from` to `to` starting at
+    /// `now`; returns the completion time. Local "transfers" (from == to)
+    /// are free (handled by the caller's memory model) and return `now`.
+    pub fn transfer(&mut self, now: SimTime, from: usize, to: usize, bytes: u64) -> SimTime {
+        if from == to {
+            return now;
+        }
+        self.transfers += 1;
+        self.bytes_total += bytes;
+        let mut done = self.nic_out[from].reserve(now, bytes);
+        if !self.same_rack(from, to) {
+            self.bytes_cross_rack += bytes;
+            let up = self.uplink_up[self.rack_of[from]].reserve(now, bytes);
+            let downr = self.uplink_down[self.rack_of[to]].reserve(now, bytes);
+            done = done.max(up).max(downr);
+        }
+        let rx = self.nic_in[to].reserve(now, bytes);
+        done.max(rx)
+    }
+
+    /// Total bytes moved so far.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_total
+    }
+
+    /// Bytes that crossed the rack boundary.
+    pub fn bytes_cross_rack(&self) -> u64 {
+        self.bytes_cross_rack
+    }
+
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_small() -> NetworkConfig {
+        NetworkConfig { nic_bw: 100.0, uplink_bw: 100.0, latency: 0.0, nodes_per_rack: 2 }
+    }
+
+    #[test]
+    fn rack_assignment() {
+        let net = Network::new(5, cfg_small());
+        assert_eq!(net.racks(), 3);
+        assert_eq!(net.rack_of(0), 0);
+        assert_eq!(net.rack_of(1), 0);
+        assert_eq!(net.rack_of(2), 1);
+        assert_eq!(net.rack_of(4), 2);
+        assert!(net.same_rack(0, 1));
+        assert!(!net.same_rack(1, 2));
+    }
+
+    #[test]
+    fn same_rack_transfer_is_nic_bound() {
+        let mut net = Network::new(4, cfg_small());
+        let done = net.transfer(SimTime(0.0), 0, 1, 100);
+        assert!((done.secs() - 1.0).abs() < 1e-12);
+        assert_eq!(net.bytes_cross_rack(), 0);
+    }
+
+    #[test]
+    fn cross_rack_transfer_reserves_uplinks() {
+        let mut net = Network::new(4, cfg_small());
+        let done = net.transfer(SimTime(0.0), 0, 2, 100);
+        assert!((done.secs() - 1.0).abs() < 1e-12);
+        assert_eq!(net.bytes_cross_rack(), 100);
+        // A second cross-rack transfer from the same rack contends on the
+        // uplink even though it uses a different sender NIC.
+        let done2 = net.transfer(SimTime(0.0), 1, 3, 100);
+        assert!((done2.secs() - 2.0).abs() < 1e-12, "uplink contention, got {done2}");
+    }
+
+    #[test]
+    fn sender_nic_serializes_two_outgoing() {
+        let mut net = Network::new(4, cfg_small());
+        let d1 = net.transfer(SimTime(0.0), 0, 1, 100);
+        let d2 = net.transfer(SimTime(0.0), 0, 1, 100);
+        assert!(d2.secs() > d1.secs());
+        assert!((d2.secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn receiver_nic_serializes_two_incoming() {
+        let mut net = Network::new(4, cfg_small());
+        net.transfer(SimTime(0.0), 0, 1, 100);
+        let d2 = net.transfer(SimTime(0.0), 2, 1, 100);
+        // Different rack for node 2, but the shared constraint is node 1's
+        // inbound NIC.
+        assert!((d2.secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_transfer_is_free() {
+        let mut net = Network::new(2, cfg_small());
+        let d = net.transfer(SimTime(5.0), 1, 1, 1_000_000);
+        assert_eq!(d.secs(), 5.0);
+        assert_eq!(net.transfers(), 0);
+    }
+
+    #[test]
+    fn default_config_matches_paper_hardware() {
+        let cfg = NetworkConfig::default();
+        assert_eq!(cfg.nodes_per_rack, 20);
+        // 1 GbE ≈ 117 MB/s.
+        assert!((cfg.nic_bw / (1024.0 * 1024.0) - 117.0).abs() < 1e-9);
+        let net = Network::new(40, cfg);
+        assert_eq!(net.racks(), 2);
+    }
+}

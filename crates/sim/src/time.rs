@@ -1,0 +1,195 @@
+//! Simulated time and the deterministic event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulated wall-clock time in seconds.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    #[inline]
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn after(self, dt: f64) -> SimTime {
+        debug_assert!(dt >= 0.0, "negative delay {dt}");
+        SimTime(self.0 + dt)
+    }
+
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest time pops first;
+        // ties break by insertion order (lower seq first) for determinism.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// Events at equal times pop in insertion order, so simulations are fully
+/// reproducible run to run.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> EventQueue<E> {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO, popped: 0 }
+    }
+
+    /// Current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.popped
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` precedes the current simulation time (causality).
+    pub fn push(&mut self, at: SimTime, event: E) {
+        assert!(
+            at.0 >= self.now.0,
+            "scheduling into the past: at={} now={}",
+            at.0,
+            self.now.0
+        );
+        self.heap.push(Scheduled { time: at.0, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Schedule `event` `dt` seconds from now.
+    pub fn push_after(&mut self, dt: f64, event: E) {
+        let at = self.now.after(dt);
+        self.push(at, event);
+    }
+
+    /// Pop the earliest event, advancing simulated time to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        self.now = SimTime(s.time);
+        self.popped += 1;
+        Some((self.now, s.event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(3.0), "c");
+        q.push(SimTime(1.0), "a");
+        q.push(SimTime(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now().secs(), 3.0);
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(SimTime(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn time_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.push_after(1.5, ());
+        assert_eq!(q.now().secs(), 0.0);
+        q.pop();
+        assert_eq!(q.now().secs(), 1.5);
+        q.push_after(0.5, ());
+        q.pop();
+        assert_eq!(q.now().secs(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(2.0), ());
+        q.pop();
+        q.push(SimTime(1.0), ());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(1.0), 1);
+        q.push(SimTime(4.0), 4);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(SimTime(2.0), 2);
+        q.push(SimTime(3.0), 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 4);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the simulation substrate: FIFO causality,
+//! conservation of busy time, slot-pool parallelism bounds, and network
+//! path monotonicity.
+
+use eclipse_sim::{EventQueue, Network, NetworkConfig, SerialResource, SimTime, SlotPool};
+use proptest::prelude::*;
+
+proptest! {
+    /// A serial resource never finishes a request before its submission,
+    /// completions are FIFO-monotone, and total busy time equals the sum
+    /// of service times.
+    #[test]
+    fn serial_resource_fifo(
+        reqs in prop::collection::vec((0.0f64..100.0, 1u64..10_000), 1..60),
+        rate in 1.0f64..1000.0,
+        per_request in 0.0f64..0.5,
+    ) {
+        let mut r = SerialResource::new(rate, per_request);
+        // Submit in nondecreasing time order (the model's contract).
+        let mut sorted = reqs.clone();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut last_done = 0.0f64;
+        let mut service_sum = 0.0f64;
+        for (t, bytes) in &sorted {
+            let done = r.reserve(SimTime(*t), *bytes);
+            let service = per_request + *bytes as f64 / rate;
+            service_sum += service;
+            prop_assert!(done.secs() >= *t + service - 1e-9, "finished early");
+            prop_assert!(done.secs() >= last_done, "FIFO order violated");
+            last_done = done.secs();
+        }
+        prop_assert!((r.busy_seconds() - service_sum).abs() < 1e-6);
+        prop_assert_eq!(r.requests(), sorted.len() as u64);
+    }
+
+    /// A slot pool with n slots never runs more than n tasks at once:
+    /// total busy time across overlapping intervals respects capacity.
+    #[test]
+    fn slot_pool_respects_parallelism(
+        durs in prop::collection::vec(0.1f64..10.0, 1..50),
+        slots in 1usize..8,
+    ) {
+        let mut p = SlotPool::new(slots);
+        let mut intervals = Vec::new();
+        for d in &durs {
+            let (s, e) = p.run(SimTime(0.0), *d);
+            intervals.push((s.secs(), e.secs()));
+        }
+        // At any task start, strictly fewer than `slots` other tasks may
+        // be running.
+        for &(s, _) in &intervals {
+            let overlapping = intervals
+                .iter()
+                .filter(|&&(os, oe)| os <= s && s < oe)
+                .count();
+            prop_assert!(overlapping <= slots, "{overlapping} > {slots} at {s}");
+        }
+        // Work conservation: makespan ≥ total work / slots.
+        let total: f64 = durs.iter().sum();
+        prop_assert!(p.makespan().secs() >= total / slots as f64 - 1e-9);
+        prop_assert_eq!(p.total_tasks(), durs.len() as u64);
+    }
+
+    /// Network transfers take at least bytes/min(bandwidth) and never
+    /// complete before submission; cross-rack accounting is consistent.
+    #[test]
+    fn network_transfer_bounds(
+        transfers in prop::collection::vec((0usize..6, 0usize..6, 1u64..1_000_000), 1..40),
+    ) {
+        let cfg = NetworkConfig { nic_bw: 1e6, uplink_bw: 5e5, latency: 0.001, nodes_per_rack: 2 };
+        let mut net = Network::new(6, cfg);
+        let mut expected_cross = 0u64;
+        let mut expected_total = 0u64;
+        for (i, &(from, to, bytes)) in transfers.iter().enumerate() {
+            let now = i as f64 * 0.01;
+            let done = net.transfer(SimTime(now), from, to, bytes);
+            if from == to {
+                prop_assert_eq!(done.secs(), now);
+                continue;
+            }
+            expected_total += bytes;
+            let min_rate = if net.same_rack(from, to) { 1e6 } else { 5e5 };
+            prop_assert!(
+                done.secs() >= now + bytes as f64 / min_rate - 1e-9,
+                "faster than the bottleneck link"
+            );
+            if !net.same_rack(from, to) {
+                expected_cross += bytes;
+            }
+        }
+        prop_assert_eq!(net.bytes_total(), expected_total);
+        prop_assert_eq!(net.bytes_cross_rack(), expected_cross);
+    }
+
+    /// The event queue pops every event exactly once, in time order, with
+    /// FIFO tie-breaking.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0.0f64..1000.0, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(SimTime(*t), i);
+        }
+        let mut popped = Vec::new();
+        let mut last = (f64::NEG_INFINITY, 0usize);
+        while let Some((t, i)) = q.pop() {
+            // Time nondecreasing; equal times in insertion order.
+            prop_assert!(t.secs() >= last.0);
+            if t.secs() == last.0 {
+                prop_assert!(i > last.1, "FIFO tie-break violated");
+            }
+            last = (t.secs(), i);
+            popped.push(i);
+        }
+        popped.sort_unstable();
+        prop_assert_eq!(popped, (0..times.len()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,271 @@
+//! Ring coordinates: 64-bit hash keys and half-open wrapping key ranges.
+//!
+//! Both of EclipseMR's rings (the DHT file system and the distributed
+//! in-memory cache) live in the same circular key space. We project SHA-1
+//! digests onto `u64` (see [`crate::sha1::Digest::prefix_u64`]); all range
+//! arithmetic wraps modulo 2^64.
+
+use crate::sha1::sha1;
+use serde::{Deserialize, Serialize};
+
+/// A position on the consistent-hash ring.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct HashKey(pub u64);
+
+impl HashKey {
+    /// Minimum key (0).
+    pub const MIN: HashKey = HashKey(0);
+    /// Maximum key (2^64 - 1).
+    pub const MAX: HashKey = HashKey(u64::MAX);
+
+    /// Hash arbitrary bytes onto the ring with SHA-1.
+    pub fn of_bytes(data: &[u8]) -> HashKey {
+        HashKey(sha1(data).prefix_u64())
+    }
+
+    /// Hash a name (file name, cache tag, server id) onto the ring.
+    pub fn of_name(name: &str) -> HashKey {
+        Self::of_bytes(name.as_bytes())
+    }
+
+    /// Hash the `index`-th block of the named file onto the ring.
+    ///
+    /// The paper spreads a file's blocks over the ring by hashing each
+    /// block individually (§II-A: "the partitioned file blocks are
+    /// distributed across servers based on their hash keys").
+    pub fn of_block(file: &str, index: u64) -> HashKey {
+        let mut buf = Vec::with_capacity(file.len() + 9);
+        buf.extend_from_slice(file.as_bytes());
+        buf.push(b'#');
+        buf.extend_from_slice(&index.to_be_bytes());
+        Self::of_bytes(&buf)
+    }
+
+    /// Clockwise distance from `self` to `other` (wrapping).
+    #[inline]
+    pub fn distance_to(self, other: HashKey) -> u64 {
+        other.0.wrapping_sub(self.0)
+    }
+
+    /// The key `offset` steps clockwise from `self` (wrapping).
+    #[inline]
+    pub fn offset(self, offset: u64) -> HashKey {
+        HashKey(self.0.wrapping_add(offset))
+    }
+
+    /// Chord finger target: `self + 2^i` (wrapping).
+    #[inline]
+    pub fn finger(self, i: u32) -> HashKey {
+        debug_assert!(i < 64);
+        HashKey(self.0.wrapping_add(1u64 << i))
+    }
+
+    /// Fraction of the full ring represented by this key, in `[0, 1)`.
+    /// Useful for histograms over the key space.
+    #[inline]
+    pub fn as_unit(self) -> f64 {
+        self.0 as f64 / 2f64.powi(64)
+    }
+
+    /// The key at `frac` (in `[0,1)`) of the way around the ring.
+    #[inline]
+    pub fn from_unit(frac: f64) -> HashKey {
+        let clamped = frac.clamp(0.0, 1.0);
+        if clamped >= 1.0 {
+            HashKey::MAX
+        } else {
+            HashKey((clamped * 2f64.powi(64)) as u64)
+        }
+    }
+}
+
+impl std::fmt::Debug for HashKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HK({:#018x})", self.0)
+    }
+}
+
+impl std::fmt::Display for HashKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+impl From<u64> for HashKey {
+    fn from(v: u64) -> Self {
+        HashKey(v)
+    }
+}
+
+/// A half-open arc `[start, end)` on the ring, possibly wrapping through 0.
+///
+/// Degenerate cases follow the paper's semantics:
+/// * `start == end` denotes the **empty** range by default — the LAF
+///   scheduler produces empty ranges for servers squeezed out by hot keys
+///   ("divide the hash key space into [0,40), [40,40), [40,40), [40,140)",
+///   §II-E). Use [`KeyRange::full`] for the whole-ring range.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct KeyRange {
+    start: HashKey,
+    end: HashKey,
+    /// Distinguishes the empty range from the full ring (both have
+    /// `start == end`).
+    full: bool,
+}
+
+impl KeyRange {
+    /// The half-open arc `[start, end)`. If `start == end` this is empty.
+    pub fn new(start: HashKey, end: HashKey) -> KeyRange {
+        KeyRange { start, end, full: false }
+    }
+
+    /// The whole ring, anchored at `start`.
+    pub fn full(start: HashKey) -> KeyRange {
+        KeyRange { start, end: start, full: true }
+    }
+
+    /// The empty range anchored at `at`.
+    pub fn empty(at: HashKey) -> KeyRange {
+        KeyRange { start: at, end: at, full: false }
+    }
+
+    #[inline]
+    pub fn start(&self) -> HashKey {
+        self.start
+    }
+
+    #[inline]
+    pub fn end(&self) -> HashKey {
+        self.end
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end && !self.full
+    }
+
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// Number of keys contained (as u128 since the full ring holds 2^64).
+    pub fn len(&self) -> u128 {
+        if self.full {
+            1u128 << 64
+        } else {
+            self.start.distance_to(self.end) as u128
+        }
+    }
+
+    /// Does the arc contain `key`?
+    #[inline]
+    pub fn contains(&self, key: HashKey) -> bool {
+        if self.full {
+            return true;
+        }
+        if self.start == self.end {
+            return false;
+        }
+        // Wrapping containment: key is inside iff its clockwise distance
+        // from start is smaller than the arc length.
+        self.start.distance_to(key) < self.start.distance_to(self.end)
+    }
+
+    /// Fraction of the ring covered, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        self.len() as f64 / 2f64.powi(64)
+    }
+}
+
+impl std::fmt::Display for KeyRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.full {
+            write!(f, "[{}..full..{})", self.start, self.end)
+        } else {
+            write!(f, "[{}, {})", self.start, self.end)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_non_wrapping() {
+        let r = KeyRange::new(HashKey(10), HashKey(20));
+        assert!(!r.contains(HashKey(9)));
+        assert!(r.contains(HashKey(10)));
+        assert!(r.contains(HashKey(19)));
+        assert!(!r.contains(HashKey(20)));
+        assert_eq!(r.len(), 10);
+    }
+
+    #[test]
+    fn contains_wrapping() {
+        let r = KeyRange::new(HashKey(u64::MAX - 5), HashKey(5));
+        assert!(r.contains(HashKey(u64::MAX - 5)));
+        assert!(r.contains(HashKey(u64::MAX)));
+        assert!(r.contains(HashKey(0)));
+        assert!(r.contains(HashKey(4)));
+        assert!(!r.contains(HashKey(5)));
+        assert!(!r.contains(HashKey(100)));
+        assert_eq!(r.len(), 11);
+    }
+
+    #[test]
+    fn empty_and_full() {
+        let e = KeyRange::empty(HashKey(7));
+        assert!(e.is_empty());
+        assert!(!e.contains(HashKey(7)));
+        assert_eq!(e.len(), 0);
+
+        let f = KeyRange::full(HashKey(7));
+        assert!(f.is_full());
+        assert!(f.contains(HashKey(7)));
+        assert!(f.contains(HashKey(0)));
+        assert_eq!(f.len(), 1u128 << 64);
+        assert_eq!(f.fraction(), 1.0);
+    }
+
+    #[test]
+    fn block_keys_spread() {
+        // Adjacent blocks of the same file should land far apart: that is
+        // the paper's fix for input-block skew.
+        let a = HashKey::of_block("input.txt", 0);
+        let b = HashKey::of_block("input.txt", 1);
+        assert_ne!(a, b);
+        // Not adjacent (overwhelmingly likely for a good hash).
+        assert!(a.distance_to(b) > 1_000_000 && b.distance_to(a) > 1_000_000);
+    }
+
+    #[test]
+    fn unit_roundtrip() {
+        for v in [0u64, 1, 42, u64::MAX / 2, u64::MAX - 1] {
+            let k = HashKey(v);
+            let back = HashKey::from_unit(k.as_unit());
+            // f64 has 53 bits of mantissa: allow coarse error.
+            let err = back.0.abs_diff(k.0);
+            assert!(err < (1u64 << 12), "v={v} err={err}");
+        }
+        assert_eq!(HashKey::from_unit(1.0), HashKey::MAX);
+        assert_eq!(HashKey::from_unit(0.0), HashKey(0));
+    }
+
+    #[test]
+    fn finger_wraps() {
+        let k = HashKey(u64::MAX);
+        assert_eq!(k.finger(0), HashKey(0));
+        assert_eq!(k.finger(1), HashKey(1));
+        assert_eq!(HashKey(0).finger(63), HashKey(1 << 63));
+    }
+
+    #[test]
+    fn of_name_is_deterministic() {
+        assert_eq!(HashKey::of_name("foo"), HashKey::of_name("foo"));
+        assert_ne!(HashKey::of_name("foo"), HashKey::of_name("bar"));
+    }
+}

@@ -1,0 +1,335 @@
+//! Per-application cost models for the simulator.
+//!
+//! The simulator never executes user code at paper scale; instead each
+//! application is characterized by throughput and data-volume ratios that
+//! determine how long map/reduce work takes and how many bytes shuffle.
+//! Rates are calibrated to land EclipseMR's absolute job times in the
+//! neighborhood the paper reports (hundreds to thousands of seconds on
+//! 250 GB / 40 nodes) — the reproduction targets *shapes*, but sane
+//! absolutes keep crossovers honest.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's seven benchmark applications.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppKind {
+    WordCount,
+    Grep,
+    InvertedIndex,
+    Sort,
+    KMeans,
+    PageRank,
+    LogisticRegression,
+}
+
+impl AppKind {
+    pub const ALL: [AppKind; 7] = [
+        AppKind::WordCount,
+        AppKind::Grep,
+        AppKind::InvertedIndex,
+        AppKind::Sort,
+        AppKind::KMeans,
+        AppKind::PageRank,
+        AppKind::LogisticRegression,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::WordCount => "word_count",
+            AppKind::Grep => "grep",
+            AppKind::InvertedIndex => "inverted_index",
+            AppKind::Sort => "sort",
+            AppKind::KMeans => "k-means",
+            AppKind::PageRank => "page_rank",
+            AppKind::LogisticRegression => "logistic_regression",
+        }
+    }
+
+    /// Is the application iterative (driver loops over MapReduce rounds)?
+    pub fn is_iterative(self) -> bool {
+        matches!(self, AppKind::KMeans | AppKind::PageRank | AppKind::LogisticRegression)
+    }
+}
+
+/// Cost model of one application on one execution framework.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Map CPU throughput per slot, bytes/second of input.
+    pub map_rate: f64,
+    /// Intermediate bytes produced per input byte.
+    pub map_output_ratio: f64,
+    /// Reduce CPU throughput per slot, bytes/second of intermediate data.
+    pub reduce_rate: f64,
+    /// Final output bytes per intermediate byte.
+    pub output_ratio: f64,
+    /// Bytes of reusable iteration output per input byte (iterative apps
+    /// only): page rank ≈ 1.0 (document-id/rank pairs comparable to the
+    /// input), k-means ≈ 0 (a handful of centroids), LR ≈ 0 (one weight
+    /// vector).
+    pub iter_output_ratio: f64,
+    /// Fixed per-task startup seconds in EclipseMR (C++ fork ≈ tens of
+    /// ms; Hadoop's 7 s container overhead is modeled by the baseline,
+    /// not here).
+    pub task_startup: f64,
+}
+
+const MB: f64 = 1024.0 * 1024.0;
+
+impl CostModel {
+    /// Calibrated model for `app` in EclipseMR's C++ runtime.
+    pub fn eclipse(app: AppKind) -> CostModel {
+        match app {
+            // grep: the cheapest app per byte, but still slot-bound.
+            // All rates below are *effective per-slot* throughputs
+            // back-derived from the paper's absolute job times (e.g.
+            // Fig. 6(a) grep ≈ 400-450 s on 250 GB / 320 slots ⇒
+            // ~2-6 MB/s once task forking, the DHT-FS read path and
+            // pipes are paid). The CPU-bound regime (8 slots × rate <
+            // disk bandwidth) is what makes scheduling quality visible,
+            // exactly as on the paper's testbed.
+            AppKind::Grep => CostModel {
+                map_rate: 6.0 * MB,
+                map_output_ratio: 0.001,
+                reduce_rate: 200.0 * MB,
+                output_ratio: 1.0,
+                iter_output_ratio: 0.0,
+                task_startup: 0.05,
+            },
+            // word count: tokenize + combine; small intermediate data.
+            AppKind::WordCount => CostModel {
+                map_rate: 3.0 * MB,
+                map_output_ratio: 0.05,
+                reduce_rate: 30.0 * MB,
+                output_ratio: 0.5,
+                iter_output_ratio: 0.0,
+                task_startup: 0.05,
+            },
+            // inverted index: tokenize + posting lists; larger shuffle.
+            AppKind::InvertedIndex => CostModel {
+                map_rate: 2.0 * MB,
+                map_output_ratio: 0.3,
+                reduce_rate: 20.0 * MB,
+                output_ratio: 0.6,
+                iter_output_ratio: 0.0,
+                task_startup: 0.05,
+            },
+            // sort: trivial CPU, full-volume shuffle and output.
+            AppKind::Sort => CostModel {
+                map_rate: 6.0 * MB,
+                map_output_ratio: 1.0,
+                reduce_rate: 4.0 * MB,
+                output_ratio: 1.0,
+                iter_output_ratio: 0.0,
+                task_startup: 0.05,
+            },
+            // k-means: distance computation dominates; tiny outputs.
+            AppKind::KMeans => CostModel {
+                map_rate: 1.7 * MB,
+                map_output_ratio: 0.0001,
+                reduce_rate: 50.0 * MB,
+                output_ratio: 1.0,
+                iter_output_ratio: 7.0e-9, // ~1.9 KB per 250 GB (paper: 1.7 KB)
+                task_startup: 0.05,
+            },
+            // page rank: join + rank update; iteration output ≈ input.
+            AppKind::PageRank => CostModel {
+                map_rate: 0.6 * MB,
+                map_output_ratio: 1.0,
+                reduce_rate: 3.0 * MB,
+                output_ratio: 1.0,
+                iter_output_ratio: 1.0, // ~15 GB per 15 GB input (paper)
+                task_startup: 0.05,
+            },
+            // logistic regression: gradient computation; tiny outputs.
+            AppKind::LogisticRegression => CostModel {
+                map_rate: 2.8 * MB,
+                map_output_ratio: 0.0001,
+                reduce_rate: 50.0 * MB,
+                output_ratio: 1.0,
+                iter_output_ratio: 1.0e-9,
+                task_startup: 0.05,
+            },
+        }
+    }
+
+    /// JVM-runtime variant (Hadoop/Spark user code): the paper credits
+    /// part of its win to "our faster C++ implementations of kmeans and
+    /// logistic regression" (§III-E) — model the JVM at roughly 2–3×
+    /// slower CPU for those, moderately slower for the text apps, and
+    /// *faster* for page rank: the paper never claims a fast C++ page
+    /// rank, and its own Fig. 9/10 show Spark ~15% ahead there — Spark's
+    /// optimized join pipeline beats the prototype's per-iteration
+    /// implementation.
+    pub fn jvm(app: AppKind) -> CostModel {
+        let base = Self::eclipse(app);
+        let cpu_penalty = match app {
+            AppKind::KMeans | AppKind::LogisticRegression => 2.5,
+            AppKind::WordCount | AppKind::InvertedIndex => 1.8,
+            AppKind::Grep | AppKind::Sort => 1.2,
+            AppKind::PageRank => 0.75,
+        };
+        CostModel {
+            map_rate: base.map_rate / cpu_penalty,
+            reduce_rate: base.reduce_rate / cpu_penalty,
+            ..base
+        }
+    }
+
+    /// Hadoop-MapReduce variant: like [`CostModel::jvm`] but with the
+    /// penalties of the *naive MR formulations* — page rank in classic
+    /// MapReduce re-joins the adjacency list with the rank vector through
+    /// a full shuffle every iteration, an order of magnitude costlier
+    /// than Spark's pipelined join (the paper's Fig. 9 shows Hadoop
+    /// slowest on page rank by a wide margin).
+    pub fn hadoop(app: AppKind) -> CostModel {
+        let base = Self::eclipse(app);
+        let cpu_penalty = match app {
+            AppKind::KMeans | AppKind::LogisticRegression => 3.0,
+            AppKind::WordCount | AppKind::InvertedIndex => 1.8,
+            AppKind::Grep | AppKind::Sort => 1.2,
+            AppKind::PageRank => 3.5,
+        };
+        CostModel {
+            map_rate: base.map_rate / cpu_penalty,
+            reduce_rate: base.reduce_rate / cpu_penalty,
+            ..base
+        }
+    }
+
+    /// Seconds of map CPU for `bytes` of input.
+    pub fn map_cpu_secs(&self, bytes: u64) -> f64 {
+        self.task_startup + bytes as f64 / self.map_rate
+    }
+
+    /// Intermediate bytes produced by mapping `bytes` of input.
+    pub fn intermediate_bytes(&self, bytes: u64) -> u64 {
+        (bytes as f64 * self.map_output_ratio).round() as u64
+    }
+
+    /// Seconds of reduce CPU for `bytes` of intermediate data.
+    pub fn reduce_cpu_secs(&self, bytes: u64) -> f64 {
+        self.task_startup + bytes as f64 / self.reduce_rate
+    }
+
+    /// Final output bytes from `bytes` of intermediate data.
+    pub fn output_bytes(&self, bytes: u64) -> u64 {
+        (bytes as f64 * self.output_ratio).round() as u64
+    }
+
+    /// Reusable per-iteration output for `bytes` of input.
+    pub fn iter_output_bytes(&self, bytes: u64) -> u64 {
+        (bytes as f64 * self.iter_output_ratio).round() as u64
+    }
+
+    /// Split `total` intermediate bytes over `partitions` reducers with
+    /// Zipf(`skew`) weights — the paper's *record-level* skew (§I): even
+    /// with balanced input blocks, "some map tasks may take longer …"
+    /// and some reducers receive far more records than others (word
+    /// count's Zipf word frequencies being the canonical case).
+    /// `skew = 0` is the uniform split.
+    pub fn reducer_shares(total: u64, partitions: usize, skew: f64) -> Vec<u64> {
+        assert!(partitions > 0);
+        if skew <= 0.0 {
+            let base = total / partitions as u64;
+            let mut shares = vec![base; partitions];
+            shares[0] += total - base * partitions as u64;
+            return shares;
+        }
+        let weights: Vec<f64> =
+            (1..=partitions).map(|k| 1.0 / (k as f64).powf(skew)).collect();
+        let sum: f64 = weights.iter().sum();
+        let mut shares: Vec<u64> =
+            weights.iter().map(|w| (total as f64 * w / sum) as u64).collect();
+        let assigned: u64 = shares.iter().sum();
+        shares[0] += total - assigned;
+        shares
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eclipse_util::GB;
+
+    #[test]
+    fn all_apps_have_models() {
+        for app in AppKind::ALL {
+            let m = CostModel::eclipse(app);
+            assert!(m.map_rate > 0.0 && m.reduce_rate > 0.0, "{app:?}");
+            let j = CostModel::jvm(app);
+            let h = CostModel::hadoop(app);
+            assert!(j.map_rate > 0.0 && h.map_rate > 0.0);
+            if app == AppKind::PageRank {
+                // The one case where Spark's implementation beats the
+                // prototype's (§III-E never claims a fast C++ page rank).
+                assert!(j.map_rate > m.map_rate, "{app:?}");
+            } else {
+                assert!(j.map_rate <= m.map_rate, "JVM never faster: {app:?}");
+            }
+            assert!(h.map_rate <= j.map_rate * 5.0, "hadoop sanity: {app:?}");
+        }
+    }
+
+    #[test]
+    fn iterative_flags() {
+        assert!(AppKind::KMeans.is_iterative());
+        assert!(AppKind::PageRank.is_iterative());
+        assert!(AppKind::LogisticRegression.is_iterative());
+        assert!(!AppKind::Sort.is_iterative());
+        assert!(!AppKind::Grep.is_iterative());
+    }
+
+    #[test]
+    fn sort_shuffles_everything_grep_almost_nothing() {
+        let sort = CostModel::eclipse(AppKind::Sort);
+        let grep = CostModel::eclipse(AppKind::Grep);
+        assert_eq!(sort.intermediate_bytes(GB), GB);
+        assert!(grep.intermediate_bytes(GB) < GB / 500);
+    }
+
+    #[test]
+    fn pagerank_iteration_output_matches_input_scale() {
+        let pr = CostModel::eclipse(AppKind::PageRank);
+        let km = CostModel::eclipse(AppKind::KMeans);
+        assert_eq!(pr.iter_output_bytes(15 * GB), 15 * GB);
+        // k-means: ~1.7 KB for 250 GB.
+        let km_out = km.iter_output_bytes(250 * GB);
+        assert!(km_out > 1000 && km_out < 10_000, "km_out={km_out}");
+    }
+
+    #[test]
+    fn compute_bound_apps_slower_per_byte() {
+        let grep = CostModel::eclipse(AppKind::Grep);
+        let km = CostModel::eclipse(AppKind::KMeans);
+        assert!(km.map_cpu_secs(GB) > 3.0 * grep.map_cpu_secs(GB));
+        // Every app is slot-bound on the paper's nodes: 8 slots × rate
+        // stays below the 100 MB/s disk.
+        for app in AppKind::ALL {
+            let m = CostModel::eclipse(app);
+            assert!(8.0 * m.map_rate < 100.0 * MB, "{app:?} would be disk-bound");
+        }
+    }
+
+    #[test]
+    fn reducer_shares_conserve_and_skew() {
+        let uniform = CostModel::reducer_shares(1000, 8, 0.0);
+        assert_eq!(uniform.iter().sum::<u64>(), 1000);
+        assert!(uniform.iter().all(|&s| s >= 125 && s <= 125 + 8));
+
+        let skewed = CostModel::reducer_shares(1000, 8, 1.0);
+        assert_eq!(skewed.iter().sum::<u64>(), 1000);
+        assert!(skewed[0] > 2 * skewed[7], "{skewed:?}");
+        assert!(skewed[0] > uniform[0]);
+
+        // Degenerate cases.
+        assert_eq!(CostModel::reducer_shares(0, 4, 1.0).iter().sum::<u64>(), 0);
+        assert_eq!(CostModel::reducer_shares(7, 1, 2.0), vec![7]);
+    }
+
+    #[test]
+    fn cpu_secs_monotone_in_bytes() {
+        let m = CostModel::eclipse(AppKind::WordCount);
+        assert!(m.map_cpu_secs(2 * GB) > m.map_cpu_secs(GB));
+        assert!(m.reduce_cpu_secs(GB) > m.reduce_cpu_secs(0));
+    }
+}

@@ -1,0 +1,162 @@
+//! Hash-key access distributions for simulator-scale workloads.
+//!
+//! Fig. 7's skewed grep experiment "synthetically merge\[s\] two normal
+//! distributions that have different average hash keys" over the blocks
+//! of the input; this module draws *which block* each simulated task
+//! reads, as a position on the ring.
+
+use eclipse_util::HashKey;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// How simulated tasks pick input keys over the unit ring `[0,1)`.
+#[derive(Clone, Debug)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform,
+    /// Mixture of two wrapped normals (the Fig. 7 workload).
+    Bimodal {
+        center_a: f64,
+        center_b: f64,
+        stddev: f64,
+    },
+    /// One wrapped normal hotspot.
+    Hotspot { center: f64, stddev: f64 },
+    /// A single exact key (the §II-E extreme case).
+    Point(f64),
+    /// Zipf-weighted choice over a fixed set of positions.
+    ZipfOver { positions: Vec<f64>, exponent: f64 },
+}
+
+/// Deterministic sampler of ring keys.
+#[derive(Debug)]
+pub struct KeySampler {
+    dist: KeyDist,
+    rng: StdRng,
+    /// Precomputed CDF for `ZipfOver`.
+    zipf_cdf: Vec<f64>,
+}
+
+fn wrap_unit(x: f64) -> f64 {
+    x.rem_euclid(1.0)
+}
+
+impl KeySampler {
+    pub fn new(dist: KeyDist, seed: u64) -> KeySampler {
+        let zipf_cdf = match &dist {
+            KeyDist::ZipfOver { positions, exponent } => {
+                assert!(!positions.is_empty());
+                let mut acc = 0.0;
+                let mut cdf = Vec::with_capacity(positions.len());
+                for k in 1..=positions.len() {
+                    acc += 1.0 / (k as f64).powf(*exponent);
+                    cdf.push(acc);
+                }
+                for c in &mut cdf {
+                    *c /= acc;
+                }
+                cdf
+            }
+            _ => Vec::new(),
+        };
+        KeySampler { dist, rng: StdRng::seed_from_u64(seed), zipf_cdf }
+    }
+
+    fn normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.random::<f64>().max(1e-12);
+        let u2: f64 = self.rng.random();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Draw the next access key.
+    pub fn sample(&mut self) -> HashKey {
+        let unit = match &self.dist {
+            KeyDist::Uniform => self.rng.random::<f64>(),
+            KeyDist::Bimodal { center_a, center_b, stddev } => {
+                let (c, s) = (*if self.rng.random::<bool>() { center_a } else { center_b }, *stddev);
+                wrap_unit(c + s * self.normal())
+            }
+            KeyDist::Hotspot { center, stddev } => {
+                let (c, s) = (*center, *stddev);
+                wrap_unit(c + s * self.normal())
+            }
+            KeyDist::Point(p) => *p,
+            KeyDist::ZipfOver { positions, .. } => {
+                let u: f64 = self.rng.random();
+                let idx = self.zipf_cdf.partition_point(|&c| c < u).min(positions.len() - 1);
+                positions[idx]
+            }
+        };
+        HashKey::from_unit(wrap_unit(unit))
+    }
+
+    /// Draw `n` keys.
+    pub fn sample_n(&mut self, n: usize) -> Vec<HashKey> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_ring() {
+        let mut s = KeySampler::new(KeyDist::Uniform, 1);
+        let keys = s.sample_n(10_000);
+        let low = keys.iter().filter(|k| k.as_unit() < 0.25).count();
+        assert!(low > 2200 && low < 2800, "low quartile {low}");
+    }
+
+    #[test]
+    fn bimodal_concentrates_near_centers() {
+        let mut s = KeySampler::new(
+            KeyDist::Bimodal { center_a: 0.25, center_b: 0.75, stddev: 0.03 },
+            7,
+        );
+        let keys = s.sample_n(5000);
+        let near = keys
+            .iter()
+            .filter(|k| {
+                let u = k.as_unit();
+                (u - 0.25).abs() < 0.1 || (u - 0.75).abs() < 0.1
+            })
+            .count();
+        assert!(near > 4800, "near={near}");
+    }
+
+    #[test]
+    fn point_is_constant() {
+        let mut s = KeySampler::new(KeyDist::Point(0.4), 2);
+        let keys = s.sample_n(10);
+        assert!(keys.iter().all(|&k| k == keys[0]));
+    }
+
+    #[test]
+    fn hotspot_wraps_around_zero() {
+        let mut s = KeySampler::new(KeyDist::Hotspot { center: 0.0, stddev: 0.02 }, 3);
+        let keys = s.sample_n(2000);
+        // Mass splits across both sides of the wrap point.
+        let high = keys.iter().filter(|k| k.as_unit() > 0.9).count();
+        let low = keys.iter().filter(|k| k.as_unit() < 0.1).count();
+        assert!(high > 300 && low > 300, "high={high} low={low}");
+        assert_eq!(high + low, 2000);
+    }
+
+    #[test]
+    fn zipf_over_prefers_first_positions() {
+        let positions: Vec<f64> = (0..20).map(|i| i as f64 / 20.0).collect();
+        let mut s = KeySampler::new(KeyDist::ZipfOver { positions, exponent: 1.2 }, 4);
+        let keys = s.sample_n(5000);
+        let first = keys.iter().filter(|k| k.as_unit() < 0.024).count();
+        let last = keys.iter().filter(|k| (k.as_unit() - 0.95).abs() < 0.024).count();
+        assert!(first > 5 * (last + 1), "first={first} last={last}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = KeySampler::new(KeyDist::Uniform, 9);
+        let mut b = KeySampler::new(KeyDist::Uniform, 9);
+        assert_eq!(a.sample_n(100), b.sample_n(100));
+    }
+}

@@ -1,0 +1,188 @@
+//! Numeric datasets: Gaussian-mixture point clouds for k-means and
+//! linearly separable labeled points for logistic regression — stand-ins
+//! for the HiBench 250 GB k-means input ("synthetically generated with
+//! varying distributions", §III) and the LR training data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Dimensionality of generated points.
+pub const DIM: usize = 8;
+
+/// A point in `DIM`-dimensional space.
+pub type Point = [f64; DIM];
+
+/// Sample from a unit normal via Box–Muller (rand's distributions crate
+/// is not in the offline set).
+fn normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Gaussian-mixture generator for k-means.
+#[derive(Clone, Debug)]
+pub struct ClusterGen {
+    pub centers: Vec<Point>,
+    pub stddev: f64,
+}
+
+impl ClusterGen {
+    /// `k` well-separated centers on a deterministic lattice, points
+    /// scattered with `stddev`.
+    pub fn new(k: usize, stddev: f64, seed: u64) -> ClusterGen {
+        assert!(k > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut centers = Vec::with_capacity(k);
+        for _ in 0..k {
+            let mut c = [0.0; DIM];
+            for x in &mut c {
+                *x = rng.random_range(-100.0..100.0);
+            }
+            centers.push(c);
+        }
+        ClusterGen { centers, stddev }
+    }
+
+    /// Generate `n` points, cycling through the mixture components.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = &self.centers[i % self.centers.len()];
+            let mut p = [0.0; DIM];
+            for (d, x) in p.iter_mut().enumerate() {
+                *x = c[d] + self.stddev * normal(&mut rng);
+            }
+            out.push(p);
+        }
+        out
+    }
+}
+
+/// A labeled example for logistic regression.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Labeled {
+    pub features: Point,
+    /// +1.0 or -1.0.
+    pub label: f64,
+}
+
+/// Generate `n` linearly separable (with margin noise) labeled points
+/// against a hidden hyperplane drawn from `seed`.
+pub fn labeled_points(n: usize, noise: f64, seed: u64) -> Vec<Labeled> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w: Point = [0.0; DIM];
+    for x in &mut w {
+        *x = normal(&mut rng);
+    }
+    let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+    for x in &mut w {
+        *x /= norm;
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut f = [0.0; DIM];
+        for x in &mut f {
+            *x = normal(&mut rng);
+        }
+        let margin: f64 = f.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + noise * normal(&mut rng);
+        out.push(Labeled { features: f, label: if margin >= 0.0 { 1.0 } else { -1.0 } });
+    }
+    out
+}
+
+/// Serialize points as CSV lines (live executor block payloads).
+pub fn points_to_csv(points: &[Point]) -> String {
+    let mut s = String::with_capacity(points.len() * DIM * 8);
+    for p in points {
+        for (i, x) in p.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{x:.4}"));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Parse CSV lines back into points; skips malformed lines.
+pub fn points_from_csv(csv: &str) -> Vec<Point> {
+    csv.lines()
+        .filter_map(|l| {
+            let mut p = [0.0; DIM];
+            let mut n = 0;
+            for (i, tok) in l.split(',').enumerate() {
+                if i >= DIM {
+                    return None;
+                }
+                p[i] = tok.trim().parse().ok()?;
+                n = i + 1;
+            }
+            (n == DIM).then_some(p)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clusters_deterministic_and_separated() {
+        let g = ClusterGen::new(4, 1.0, 3);
+        let a = g.generate(100, 7);
+        let b = g.generate(100, 7);
+        assert_eq!(a, b);
+        // Points sit near their assigned centers.
+        for (i, p) in a.iter().enumerate() {
+            let c = &g.centers[i % 4];
+            let dist: f64 =
+                p.iter().zip(c).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+            assert!(dist < 10.0, "point {i} too far: {dist}");
+        }
+    }
+
+    #[test]
+    fn labeled_points_balanced_and_separable() {
+        let pts = labeled_points(2000, 0.0, 11);
+        let pos = pts.iter().filter(|p| p.label > 0.0).count();
+        // Roughly balanced labels.
+        assert!(pos > 600 && pos < 1400, "pos={pos}");
+        // With zero noise, labels are a deterministic function of
+        // features (same seed -> same data).
+        assert_eq!(pts, labeled_points(2000, 0.0, 11));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let g = ClusterGen::new(2, 0.5, 0);
+        let pts = g.generate(50, 1);
+        let csv = points_to_csv(&pts);
+        let back = points_from_csv(&csv);
+        assert_eq!(back.len(), 50);
+        for (a, b) in pts.iter().zip(&back) {
+            for d in 0..DIM {
+                assert!((a[d] - b[d]).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn csv_skips_garbage() {
+        let parsed = points_from_csv("not,a,point\n1,2,3,4,5,6,7,8\n1,2\n");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0][7], 8.0);
+    }
+
+    #[test]
+    fn normal_has_reasonable_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

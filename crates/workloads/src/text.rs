@@ -1,0 +1,174 @@
+//! Synthetic text generation — stands in for the HiBench text datasets
+//! used by word count / grep / inverted index / sort (250 GB in the
+//! paper) and the 15 GB Wikipedia sample.
+//!
+//! Words are drawn from a Zipf-distributed vocabulary, which is what
+//! HiBench's RandomTextWriter approximates and what gives word count and
+//! inverted index their realistic reducer-key skew.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Zipf sampler over ranks `1..=n` with exponent `s`, via inverse-CDF
+/// lookup on a precomputed table (exact, not an approximation).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(s >= 0.0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `0..n` (0 = most frequent).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    pub fn support(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// Deterministic text generator.
+#[derive(Clone, Debug)]
+pub struct TextGen {
+    vocab: Vec<String>,
+    zipf: Zipf,
+    words_per_line: usize,
+}
+
+impl TextGen {
+    /// `vocab_size` distinct words, Zipf exponent `s` (≈1.0 for natural
+    /// text), `words_per_line` words per record.
+    pub fn new(vocab_size: usize, s: f64, words_per_line: usize) -> TextGen {
+        assert!(vocab_size > 0 && words_per_line > 0);
+        let vocab = (0..vocab_size).map(|i| format!("w{i:05}")).collect();
+        TextGen { vocab, zipf: Zipf::new(vocab_size, s), words_per_line }
+    }
+
+    /// Generate roughly `bytes` of newline-separated text, deterministic
+    /// in `seed`.
+    pub fn generate(&self, seed: u64, bytes: usize) -> String {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = String::with_capacity(bytes + 64);
+        while out.len() < bytes {
+            for w in 0..self.words_per_line {
+                if w > 0 {
+                    out.push(' ');
+                }
+                let rank = self.zipf.sample(&mut rng);
+                out.push_str(&self.vocab[rank]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Generate roughly `bytes` of `doc_id<TAB>text` lines — the input
+    /// format the inverted-index application parses.
+    pub fn generate_documents(&self, seed: u64, bytes: usize) -> String {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = String::with_capacity(bytes + 64);
+        let mut doc = 0u64;
+        while out.len() < bytes {
+            out.push_str(&format!("doc{doc:06}\t"));
+            for w in 0..self.words_per_line {
+                if w > 0 {
+                    out.push(' ');
+                }
+                let rank = self.zipf.sample(&mut rng);
+                out.push_str(&self.vocab[rank]);
+            }
+            out.push('\n');
+            doc += 1;
+        }
+        out
+    }
+
+    pub fn vocab(&self) -> &[String] {
+        &self.vocab
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = TextGen::new(100, 1.0, 8);
+        assert_eq!(g.generate(7, 1000), g.generate(7, 1000));
+        assert_ne!(g.generate(7, 1000), g.generate(8, 1000));
+    }
+
+    #[test]
+    fn size_near_target() {
+        let g = TextGen::new(100, 1.0, 8);
+        let t = g.generate(1, 10_000);
+        assert!(t.len() >= 10_000 && t.len() < 10_200, "len {}", t.len());
+        assert!(t.ends_with('\n'));
+    }
+
+    #[test]
+    fn zipf_rank_frequencies_decay() {
+        let g = TextGen::new(1000, 1.0, 10);
+        let text = g.generate(42, 200_000);
+        let mut freq: HashMap<&str, usize> = HashMap::new();
+        for w in text.split_whitespace() {
+            *freq.entry(w).or_default() += 1;
+        }
+        let f0 = freq.get("w00000").copied().unwrap_or(0);
+        let f99 = freq.get("w00099").copied().unwrap_or(0);
+        // Zipf(1): rank 0 about 100x more frequent than rank 99.
+        assert!(f0 > f99 * 20, "f0={f0} f99={f99}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700), "{counts:?}");
+    }
+
+    #[test]
+    fn documents_format() {
+        let g = TextGen::new(50, 1.0, 5);
+        let docs = g.generate_documents(3, 5000);
+        for line in docs.lines() {
+            let (id, text) = line.split_once('\t').expect("tabbed");
+            assert!(id.starts_with("doc"));
+            assert_eq!(text.split_whitespace().count(), 5);
+        }
+        assert_eq!(g.generate_documents(3, 5000), docs, "deterministic");
+    }
+
+    #[test]
+    fn zipf_sample_in_range() {
+        let z = Zipf::new(5, 1.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+}

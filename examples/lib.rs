@@ -1,0 +1,1 @@
+//! Shared nothing: the examples are standalone binaries.

@@ -1,0 +1,61 @@
+//! The Fig. 7 experiment in miniature: a skewed grep workload on the
+//! simulated 40-node cluster, comparing the LAF scheduler against the
+//! delay scheduler on execution time, cache hit ratio and load balance.
+//!
+//! ```text
+//! cargo run -p eclipse-examples --bin skewed_grep
+//! ```
+
+use eclipse_core::{EclipseConfig, EclipseSim, SchedulerKind};
+use eclipse_sched::{DelayConfig, LafConfig};
+use eclipse_util::{HashKey, GB, MB};
+use eclipse_workloads::{AppKind, CostModel, KeyDist, KeySampler};
+
+fn main() {
+    // A bimodal key population: two hot regions on the ring, exactly the
+    // paper's merged-normals workload.
+    let mut blocks: Vec<HashKey> =
+        (0..2048).map(|i| HashKey::of_name(&format!("blk{i}"))).collect();
+    blocks.sort();
+    let mut sampler = KeySampler::new(
+        KeyDist::Bimodal { center_a: 0.3, center_b: 0.7, stddev: 0.03 },
+        1,
+    );
+    let trace: Vec<HashKey> = (0..2000)
+        .map(|_| {
+            let want = sampler.sample();
+            match blocks.binary_search(&want) {
+                Ok(i) => blocks[i],
+                Err(i) => blocks[i % blocks.len()],
+            }
+        })
+        .collect();
+
+    let cost = CostModel::eclipse(AppKind::Grep);
+    println!("{:>12} | {:>9} {:>7} {:>14}", "policy", "exec s", "hit", "stdev tasks/slot");
+    for (name, kind) in [
+        ("LAF", SchedulerKind::Laf(LafConfig::default())),
+        ("Delay", SchedulerKind::Delay(DelayConfig::default())),
+    ] {
+        let mut sim =
+            EclipseSim::new(EclipseConfig::paper_defaults(kind).with_cache(GB));
+        // Eight job submissions over the same key population: later jobs
+        // reuse what earlier ones cached.
+        let mut total = 0.0;
+        for chunk in trace.chunks(250) {
+            sim.drop_page_caches();
+            let report = sim.run_trace(chunk, 14 * MB, &cost);
+            total += report.elapsed;
+        }
+        println!(
+            "{:>12} | {:>9.1} {:>7.3} {:>14.2}",
+            name,
+            total,
+            sim.cache_hit_ratio(),
+            sim.tasks_per_slot_stdev()
+        );
+    }
+    println!("\nLAF re-partitions its hash ranges to the observed access density;");
+    println!("delay scheduling sticks to the file-system ranges and waits out its");
+    println!("locality timers — slower, but a touch more cache-friendly.");
+}

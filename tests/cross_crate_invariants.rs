@@ -1,0 +1,157 @@
+//! Property tests spanning crates: the ring, file system, cache and
+//! schedulers must agree on ownership; placement decisions must be
+//! deterministic; and both executors must embody the same control plane.
+
+use eclipse_cache::{CacheKey, DistributedCache};
+use eclipse_dhtfs::{DhtFs, DhtFsConfig};
+use eclipse_ring::{NodeId, Ring};
+use eclipse_sched::{DelayConfig, DelayScheduler, LafConfig, LafScheduler};
+use eclipse_util::{HashKey, GB, MB};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The delay scheduler's static ranges, the cache's initial ranges
+    /// and the file-system ring all assign every key to the same server.
+    #[test]
+    fn ownership_agreement(nodes in 2usize..30, keys in prop::collection::vec(any::<u64>(), 1..50)) {
+        let ring = Ring::with_servers_evenly_spaced(nodes, "n");
+        let fs = DhtFs::new(ring.clone(), DhtFsConfig::default());
+        let cache = DistributedCache::new(&ring, MB);
+        let delay = DelayScheduler::new(&ring, DelayConfig::default());
+        let laf = LafScheduler::new(&ring, LafConfig::default());
+        for k in keys {
+            let key = HashKey(k);
+            let ring_owner = ring.owner_of(key).unwrap().id;
+            prop_assert_eq!(cache.home_of(key), ring_owner);
+            prop_assert_eq!(delay.preferred(key), ring_owner);
+            prop_assert_eq!(laf.owner_of(key), ring_owner);
+            prop_assert_eq!(fs.ring().owner_of(key).unwrap().id, ring_owner);
+        }
+    }
+
+    /// LAF is deterministic: two schedulers fed the same key sequence
+    /// produce identical range tables and assignments.
+    #[test]
+    fn laf_determinism(
+        nodes in 2usize..20,
+        keys in prop::collection::vec(any::<u64>(), 1..400),
+    ) {
+        let ring = Ring::with_servers_evenly_spaced(nodes, "n");
+        let cfg = LafConfig { window: 64, ..Default::default() };
+        let mut a = LafScheduler::new(&ring, cfg);
+        let mut b = LafScheduler::new(&ring, cfg);
+        for &k in &keys {
+            prop_assert_eq!(a.assign(HashKey(k)), b.assign(HashKey(k)));
+        }
+        prop_assert_eq!(a.ranges(), b.ranges());
+        prop_assert_eq!(a.repartitions(), b.repartitions());
+    }
+
+    /// Every block of every uploaded file is owned by a live server and
+    /// replicated on distinct servers whose ranges neighbor the owner's.
+    #[test]
+    fn fs_placement_invariants(
+        nodes in 3usize..25,
+        size_mb in 1u64..500,
+    ) {
+        let ring = Ring::with_servers_evenly_spaced(nodes, "n");
+        let mut fs = DhtFs::new(ring.clone(), DhtFsConfig { block_size: 32 * MB, replicas: 2 });
+        let meta = fs.upload("f", "u", size_mb * MB).unwrap().clone();
+        for b in &meta.blocks {
+            let holders = fs.block_holders(b.id).unwrap().to_vec();
+            prop_assert_eq!(holders[0], ring.owner_of(b.key).unwrap().id);
+            let mut uniq = holders.clone();
+            uniq.sort();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), holders.len());
+            prop_assert_eq!(holders.len(), 3.min(nodes));
+        }
+    }
+
+    /// After any single failure, replication is restored and ownership
+    /// agreement still holds for the survivors.
+    #[test]
+    fn failure_keeps_agreement(
+        nodes in 4usize..16,
+        victim_sel: prop::sample::Index,
+        probes in prop::collection::vec(any::<u64>(), 1..30),
+    ) {
+        let ring = Ring::with_servers_evenly_spaced(nodes, "n");
+        let mut fs = DhtFs::new(ring, DhtFsConfig { block_size: 64 * MB, replicas: 2 });
+        let meta = fs.upload("f", "u", GB).unwrap().clone();
+        let ids = fs.ring().node_ids();
+        let victim = ids[victim_sel.index(ids.len())];
+        fs.fail_node(victim).unwrap();
+        for b in &meta.blocks {
+            let holders = fs.block_holders(b.id).unwrap();
+            prop_assert!(!holders.contains(&victim));
+            prop_assert_eq!(holders.len(), 3.min(nodes - 1));
+        }
+        // Survivor ranges still tile the ring and exclude the victim.
+        let ranges = fs.ring().ranges();
+        let total: u128 = ranges.iter().map(|(_, r)| r.len()).sum();
+        prop_assert_eq!(total, 1u128 << 64);
+        for p in probes {
+            let owner = fs.ring().owner_of(HashKey(p)).unwrap().id;
+            prop_assert!(owner != victim);
+        }
+    }
+
+    /// LAF ranges partition-of-unity: at any point during any workload,
+    /// the scheduler's ranges tile the ring and every node id is a ring
+    /// member.
+    #[test]
+    fn laf_ranges_always_valid(
+        nodes in 2usize..20,
+        keys in prop::collection::vec(any::<u64>(), 1..500),
+    ) {
+        let ring = Ring::with_servers_evenly_spaced(nodes, "n");
+        let mut laf = LafScheduler::new(&ring, LafConfig { window: 50, ..Default::default() });
+        let members = ring.node_ids();
+        for (i, &k) in keys.iter().enumerate() {
+            laf.assign(HashKey(k));
+            if i % 97 == 0 {
+                let total: u128 = laf.ranges().iter().map(|(_, r)| r.len()).sum();
+                prop_assert_eq!(total, 1u128 << 64);
+                for (n, _) in laf.ranges() {
+                    prop_assert!(members.contains(n));
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic (non-proptest) cross-crate check: cache range updates
+/// driven by the scheduler keep lookups working for every key.
+#[test]
+fn cache_follows_scheduler_ranges() {
+    let ring = Ring::with_servers_evenly_spaced(8, "n");
+    let mut laf = LafScheduler::new(&ring, LafConfig { window: 32, ..Default::default() });
+    let mut cache = DistributedCache::new(&ring, MB);
+    for i in 0..500u64 {
+        let key = HashKey::of_name(&format!("k{}", i % 13));
+        laf.assign(key);
+        cache.set_ranges(laf.ranges().to_vec());
+        let home = cache.home_of(key);
+        assert_eq!(home, laf.owner_of(key));
+        cache.put_at_home(CacheKey::Input(key), 100, i as f64, None);
+        assert!(cache.get_at_home(&CacheKey::Input(key), i as f64 + 0.5).is_some());
+    }
+    assert!(cache.hit_ratio() > 0.0);
+}
+
+/// The evenly-spaced ring used by the executors has the documented
+/// geometry: equal arcs, node i at position i/n of the ring.
+#[test]
+fn evenly_spaced_ring_geometry() {
+    let ring = Ring::with_servers_evenly_spaced(40, "worker");
+    let ranges = ring.ranges();
+    assert_eq!(ranges.len(), 40);
+    for (i, (node, range)) in ranges.iter().enumerate() {
+        assert_eq!(*node, NodeId(i as u32));
+        let frac = range.fraction();
+        assert!((frac - 1.0 / 40.0).abs() < 1e-9, "arc {i} has fraction {frac}");
+    }
+}

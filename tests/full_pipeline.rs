@@ -1,0 +1,143 @@
+//! Whole-system simulator scenarios: conservation laws and cross-
+//! component invariants that must hold through uploads, jobs, failures
+//! and iterative drivers on the paper-scale simulated cluster.
+
+use eclipse_core::{EclipseConfig, EclipseSim, JobSpec, SchedulerKind};
+use eclipse_sched::{DelayConfig, LafConfig};
+use eclipse_util::GB;
+use eclipse_workloads::AppKind;
+
+fn sim(kind: SchedulerKind, nodes: usize) -> EclipseSim {
+    EclipseSim::new(EclipseConfig::paper_defaults(kind).with_nodes(nodes))
+}
+
+#[test]
+fn bytes_read_equal_input_bytes() {
+    // Conservation: every byte of input is read from exactly one source
+    // per map pass, regardless of scheduler or cache state.
+    for kind in [
+        SchedulerKind::Laf(LafConfig::default()),
+        SchedulerKind::Delay(DelayConfig::default()),
+    ] {
+        let mut s = sim(kind, 12);
+        s.upload("data", 10 * GB);
+        for pass in 0..3 {
+            let r = s.run_job(&JobSpec::batch(AppKind::Grep, "data"));
+            let total: u64 = r.read_bytes.values().sum();
+            assert_eq!(total, 10 * GB, "pass {pass}");
+            assert_eq!(r.map_tasks, 80);
+            assert_eq!(r.tasks_per_node.iter().sum::<u64>(), 80);
+        }
+    }
+}
+
+#[test]
+fn cache_sources_shift_from_disk_to_memory() {
+    let mut s = sim(SchedulerKind::Laf(LafConfig::default()), 12);
+    s.upload("data", 8 * GB); // fits in 12 GB of cluster cache
+    let cold = s.run_job(&JobSpec::batch(AppKind::Grep, "data"));
+    let warm = s.run_job(&JobSpec::batch(AppKind::Grep, "data"));
+    let disk = |r: &eclipse_core::JobReport| {
+        r.read_bytes.get("local_disk").copied().unwrap_or(0)
+            + r.read_bytes.get("remote_disk").copied().unwrap_or(0)
+    };
+    assert_eq!(disk(&cold), 8 * GB, "cold run is all disk");
+    assert!(
+        disk(&warm) < GB,
+        "warm run should be nearly disk-free: {:?}",
+        warm.read_bytes
+    );
+    assert!(warm.elapsed <= cold.elapsed);
+}
+
+#[test]
+fn makespan_monotone_in_cluster_size() {
+    let mut last = f64::INFINITY;
+    for nodes in [10, 20, 40] {
+        let mut s = sim(SchedulerKind::Laf(LafConfig::default()), nodes);
+        s.upload("data", 50 * GB);
+        let r = s.run_job(&JobSpec::batch(AppKind::WordCount, "data"));
+        assert!(
+            r.elapsed < last,
+            "{nodes} nodes not faster: {} vs {last}",
+            r.elapsed
+        );
+        last = r.elapsed;
+    }
+}
+
+#[test]
+fn failure_mid_workload_keeps_invariants() {
+    let mut s = sim(SchedulerKind::Laf(LafConfig::default()), 16);
+    s.upload("data", 20 * GB);
+    s.run_job(&JobSpec::batch(AppKind::Grep, "data"));
+    let t_before = s.now();
+    let victim = s.ring().node_ids()[5];
+    let recovery = s.fail_node(victim);
+    assert!(recovery > 0.0);
+    assert!(s.now() >= t_before);
+    assert_eq!(s.ring().len(), 15);
+    // Post-failure job: full conservation on 15 nodes, none on the dead
+    // one.
+    let r = s.run_job(&JobSpec::batch(AppKind::Grep, "data"));
+    assert_eq!(r.read_bytes.values().sum::<u64>(), 20 * GB);
+    assert_eq!(r.tasks_per_node[victim.index()], 0);
+    // The scheduler's ranges still tile the full ring.
+    let covered: u128 = s.cache().ranges().iter().map(|(_, kr)| kr.len()).sum();
+    assert_eq!(covered, 1u128 << 64);
+}
+
+#[test]
+fn iterative_driver_accumulates_iterations() {
+    let mut s = sim(SchedulerKind::Laf(LafConfig::default()), 12);
+    s.upload("graph", 6 * GB);
+    let spec = JobSpec::iterative(AppKind::PageRank, "graph", 4).with_reducers(24);
+    let r = s.run_job(&spec);
+    assert_eq!(r.iteration_times.len(), 4);
+    assert!((r.iteration_times.iter().sum::<f64>() - r.elapsed).abs() < 1e-6);
+    assert_eq!(r.map_tasks, 4 * 48, "48 blocks × 4 iterations");
+    assert_eq!(r.reduce_tasks, 4 * 24);
+    // Clock advanced exactly by the job.
+    assert!((s.now() - r.elapsed).abs() < 1e-6);
+}
+
+#[test]
+fn concurrent_batch_reports_are_complete() {
+    let mut s = sim(SchedulerKind::Laf(LafConfig::default()), 12);
+    s.upload("a", 4 * GB);
+    s.upload("b", 4 * GB);
+    let reports = s.run_concurrent(&[
+        JobSpec::batch(AppKind::Grep, "a"),
+        JobSpec::batch(AppKind::WordCount, "b"),
+        JobSpec::iterative(AppKind::KMeans, "a", 2),
+    ]);
+    assert_eq!(reports.len(), 3);
+    assert_eq!(reports[0].map_tasks, 32);
+    assert_eq!(reports[1].map_tasks, 32);
+    assert_eq!(reports[2].map_tasks, 64, "two passes");
+    for r in &reports {
+        assert!(r.elapsed > 0.0);
+        assert!(r.map_elapsed <= r.elapsed);
+    }
+    // Batch clock = slowest job.
+    let makespan = reports.iter().map(|r| r.elapsed).fold(0.0, f64::max);
+    assert!((s.now() - makespan).abs() < 1e-6);
+}
+
+#[test]
+fn trace_and_job_paths_share_cache_state() {
+    // run_trace and run_job drive the same distributed cache: a trace
+    // that touches the file's block keys warms the job that follows.
+    use eclipse_workloads::CostModel;
+    let mut s = sim(SchedulerKind::Laf(LafConfig::default()), 12);
+    s.upload("data", 4 * GB);
+    let keys: Vec<_> = s.fs().stat("data").unwrap().blocks.iter().map(|b| b.key).collect();
+    s.run_trace(&keys, 128 * 1024 * 1024, &CostModel::eclipse(AppKind::Grep));
+    let warm = s.run_job(&JobSpec::batch(AppKind::Grep, "data"));
+    assert!(
+        warm.cache_hits > warm.map_tasks / 2,
+        "trace should have warmed the cache: {} hits of {}",
+        warm.cache_hits,
+        warm.map_tasks
+    );
+}

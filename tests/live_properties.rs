@@ -1,0 +1,116 @@
+//! Randomized end-to-end properties of the live executor: for arbitrary
+//! data, the distributed results must equal single-machine references.
+
+use eclipse_apps::{run_equijoin, run_terasort, EquiJoin, WordCount};
+use eclipse_core::{LiveCluster, LiveConfig, ReusePolicy};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Distributed word count equals the block-wise reference count for
+    /// arbitrary word streams.
+    #[test]
+    fn wordcount_equals_reference(
+        words in prop::collection::vec("[a-d]{1,3}", 10..300),
+        block_pow in 7u32..10,
+    ) {
+        let data = words.join(" ") + "\n";
+        let block = 1usize << block_pow;
+        let c = LiveCluster::new(LiveConfig::small().with_block_size(block as u64));
+        c.upload("in", "p", data.as_bytes());
+        let (out, _) = c.run_job(&WordCount, "in", "p", 3, ReusePolicy::default());
+        let mut reference: HashMap<String, u64> = HashMap::new();
+        for chunk in data.as_bytes().chunks(block) {
+            for w in String::from_utf8_lossy(chunk).split_whitespace() {
+                *reference.entry(w.to_string()).or_insert(0) += 1;
+            }
+        }
+        prop_assert_eq!(out.len(), reference.len());
+        for (w, count) in &out {
+            prop_assert_eq!(count.parse::<u64>().unwrap(), reference[w]);
+        }
+    }
+
+    /// TeraSort produces globally sorted output for arbitrary records.
+    #[test]
+    fn terasort_sorts_anything(
+        nums in prop::collection::vec(0u32..1_000_000, 20..400),
+        reducers in 1usize..6,
+    ) {
+        let data: String = nums.iter().map(|n| format!("{n:07}\n")).collect();
+        let c = LiveCluster::new(LiveConfig::small().with_block_size(2048));
+        c.upload("in", "p", data.as_bytes());
+        let result = run_terasort(&c, "in", "p", reducers, 5);
+        prop_assert!(result.records.windows(2).all(|w| w[0] <= w[1]));
+        // Line-aligned blocks (8-byte records, 2048-byte blocks): nothing
+        // may be lost or invented.
+        prop_assert_eq!(result.records.len(), nums.len());
+        let mut expected: Vec<String> = nums.iter().map(|n| format!("{n:07}")).collect();
+        expected.sort();
+        prop_assert_eq!(result.records, expected);
+    }
+
+    /// The distributed equi-join equals the nested-loop reference.
+    #[test]
+    fn join_equals_reference(
+        left in prop::collection::vec((0u8..20, "[a-z]{1,4}"), 1..60),
+        right in prop::collection::vec((0u8..20, "[a-z]{1,4}"), 1..60),
+    ) {
+        let render = |rows: &[(u8, String)]| -> String {
+            rows.iter().map(|(k, v)| format!("k{k:02}\t{v}\n")).collect()
+        };
+        let c = LiveCluster::new(LiveConfig::small().with_block_size(4096));
+        c.upload("l", "p", render(&left).as_bytes());
+        c.upload("r", "p", render(&right).as_bytes());
+        let got: BTreeSet<(String, String)> =
+            run_equijoin(&c, "l", "r", "p", 3).into_iter().collect();
+        let mut expected = BTreeSet::new();
+        for (lk, lv) in &left {
+            for (rk, rv) in &right {
+                if lk == rk {
+                    expected.insert((format!("k{lk:02}"), format!("{lv}\t{rv}")));
+                }
+            }
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Results are identical regardless of reducer count (the partition
+    /// layout is an implementation detail, never a correctness factor).
+    #[test]
+    fn reducer_count_is_transparent(
+        words in prop::collection::vec("[a-c]{1,2}", 10..120),
+        r1 in 1usize..5,
+        r2 in 5usize..9,
+    ) {
+        let data = words.join(" ") + "\n";
+        let c = LiveCluster::new(LiveConfig::small().with_block_size(4096));
+        c.upload("in", "p", data.as_bytes());
+        let (a, _) = c.run_job(&WordCount, "in", "p", r1, ReusePolicy::default());
+        let (b, _) = c.run_job(&WordCount, "in", "p", r2, ReusePolicy::default());
+        prop_assert_eq!(a, b);
+    }
+
+    /// A multi-input job over the same file twice doubles every count —
+    /// multi-input bookkeeping must not drop or duplicate blocks.
+    #[test]
+    fn multi_input_counts_add(words in prop::collection::vec("[a-c]{1,2}", 5..80)) {
+        let data = words.join(" ") + "\n";
+        let c = LiveCluster::new(LiveConfig::small().with_block_size(4096));
+        c.upload("x", "p", data.as_bytes());
+        c.upload("y", "p", data.as_bytes());
+        let (single, _) = c.run_job(&WordCount, "x", "p", 2, ReusePolicy::default());
+        let (double, _) =
+            c.run_job_inputs(&WordCount, &["x", "y"], "p", 2, ReusePolicy::default());
+        prop_assert_eq!(single.len(), double.len());
+        for ((w1, c1), (w2, c2)) in single.iter().zip(&double) {
+            prop_assert_eq!(w1, w2);
+            prop_assert_eq!(c1.parse::<u64>().unwrap() * 2, c2.parse::<u64>().unwrap());
+        }
+        // EquiJoin's single-input fallback treats everything as left side.
+        let (solo, _) = c.run_job(&EquiJoin, "x", "p", 2, ReusePolicy::default());
+        prop_assert!(solo.is_empty(), "no right side, no matches");
+    }
+}
