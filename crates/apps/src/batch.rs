@@ -29,6 +29,10 @@ impl MapReduce for WordCount {
     fn combine(&self, key: &str, values: &[String], emit: &mut dyn FnMut(String, String)) {
         self.reduce(key, values, emit);
     }
+
+    fn has_combiner(&self) -> bool {
+        true
+    }
 }
 
 /// Grep: emit every line containing the pattern, keyed by the line

@@ -1,0 +1,32 @@
+//! Live executor throughput: records/sec of real word-count jobs at
+//! 1/4/8/16 virtual nodes. This is the hot-path benchmark the live
+//! data-plane work is judged by (see DESIGN.md, "Live data plane").
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eclipse_bench::live_bench::{corpus, make_cluster, NODE_POINTS};
+use eclipse_apps::WordCount;
+use eclipse_core::ReusePolicy;
+
+const CORPUS_BYTES: usize = 2 * 1024 * 1024;
+
+fn live_throughput(c: &mut Criterion) {
+    let (text, records) = corpus(CORPUS_BYTES);
+    let mut g = c.benchmark_group("live_throughput");
+    g.sample_size(10).throughput(Throughput::Elements(records));
+    for &nodes in NODE_POINTS {
+        let cluster = make_cluster(nodes, &text);
+        let reducers = nodes.max(2);
+        // Warm the iCache once so the timed loop measures the
+        // steady-state map/shuffle/reduce pipeline.
+        cluster.run_job(&WordCount, "input", "bench", reducers, ReusePolicy::default());
+        g.bench_function(format!("wordcount/nodes={nodes}"), |b| {
+            b.iter(|| {
+                cluster.run_job(&WordCount, "input", "bench", reducers, ReusePolicy::default())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, live_throughput);
+criterion_main!(benches);

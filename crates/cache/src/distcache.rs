@@ -9,19 +9,47 @@
 //! *misplaced*; [`DistributedCache::migrate_misplaced`] implements the
 //! optional neighbor-migration pass (§II-E, disabled by default as in the
 //! paper's experiments).
+//!
+//! # Locking
+//!
+//! Each node's [`NodeCache`] sits behind its own mutex (a *shard*), and
+//! the range table behind a read-mostly `RwLock` — so the live
+//! executor's node threads hit their own iCaches without serializing on
+//! a cluster-wide lock. Every method takes `&self`; the granularity is
+//! one shard lock per cache operation. Methods never hold two shard
+//! locks at once (migration moves entries in two steps), so there is no
+//! lock-ordering hazard.
 
 use crate::entry::CacheKey;
 use crate::lru::CacheStats;
 use crate::node_cache::NodeCache;
 use eclipse_ring::{NodeId, Ring};
 use eclipse_util::{HashKey, KeyRange};
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
 
-/// Cluster-wide cache: one [`NodeCache`] per server plus the range table.
-#[derive(Clone, Debug)]
+/// Cluster-wide cache: one independently locked [`NodeCache`] per server
+/// plus the shared range table.
+#[derive(Debug)]
 pub struct DistributedCache {
-    caches: Vec<NodeCache>,
+    shards: RwLock<Vec<Arc<Mutex<NodeCache>>>>,
     /// (node, cache hash-key range), clockwise order. Tiles the ring.
-    ranges: Vec<(NodeId, KeyRange)>,
+    ranges: RwLock<Vec<(NodeId, KeyRange)>>,
+}
+
+impl Clone for DistributedCache {
+    fn clone(&self) -> DistributedCache {
+        let shards = self
+            .shards
+            .read()
+            .iter()
+            .map(|s| Arc::new(Mutex::new(s.lock().clone())))
+            .collect();
+        DistributedCache {
+            shards: RwLock::new(shards),
+            ranges: RwLock::new(self.ranges.read().clone()),
+        }
+    }
 }
 
 impl DistributedCache {
@@ -29,75 +57,84 @@ impl DistributedCache {
     /// with the file-system ring (the initial state, and the permanent
     /// state under delay scheduling).
     pub fn new(ring: &Ring, capacity_per_node: u64) -> DistributedCache {
-        let n = ring.len();
-        let mut caches = Vec::with_capacity(n);
-        for _ in 0..n {
-            caches.push(NodeCache::new(capacity_per_node));
+        let shards = (0..ring.len())
+            .map(|_| Arc::new(Mutex::new(NodeCache::new(capacity_per_node))))
+            .collect();
+        DistributedCache {
+            shards: RwLock::new(shards),
+            ranges: RwLock::new(ring.ranges()),
         }
-        DistributedCache { caches, ranges: ring.ranges() }
     }
 
     pub fn num_nodes(&self) -> usize {
-        self.caches.len()
+        self.shards.read().len()
     }
 
-    /// Current range table.
-    pub fn ranges(&self) -> &[(NodeId, KeyRange)] {
-        &self.ranges
+    /// Snapshot of the current range table.
+    pub fn ranges(&self) -> Vec<(NodeId, KeyRange)> {
+        self.ranges.read().clone()
     }
 
     /// Admit a new server's cache shard. The caller must assign node ids
     /// densely (the new node's id must equal the previous node count) and
     /// follow up with [`set_ranges`](Self::set_ranges) so the ring
     /// includes the joiner.
-    pub fn add_node(&mut self, capacity: u64) -> NodeId {
-        let id = NodeId(self.caches.len() as u32);
-        self.caches.push(NodeCache::new(capacity));
+    pub fn add_node(&self, capacity: u64) -> NodeId {
+        let mut shards = self.shards.write();
+        let id = NodeId(shards.len() as u32);
+        shards.push(Arc::new(Mutex::new(NodeCache::new(capacity))));
         id
     }
 
     /// Install a new range table (the LAF scheduler calls this after each
     /// re-partition). Must tile the ring over the same node set.
-    pub fn set_ranges(&mut self, ranges: Vec<(NodeId, KeyRange)>) {
+    pub fn set_ranges(&self, ranges: Vec<(NodeId, KeyRange)>) {
         assert!(!ranges.is_empty());
-        self.ranges = ranges;
+        *self.ranges.write() = ranges;
     }
 
     /// The server whose cache range covers `key`.
     pub fn home_of(&self, key: HashKey) -> NodeId {
         self.ranges
+            .read()
             .iter()
             .find(|(_, r)| r.contains(key))
             .map(|(n, _)| *n)
             .unwrap_or_else(|| panic!("range table does not cover {key}"))
     }
 
-    pub fn node(&self, id: NodeId) -> &NodeCache {
-        &self.caches[id.index()]
+    /// A node's cache shard: lock it directly for a batch of operations.
+    /// The `Arc` is cloned out so the caller holds no lock on the shard
+    /// list while working — other nodes' shards stay reachable.
+    pub fn shard(&self, id: NodeId) -> Arc<Mutex<NodeCache>> {
+        Arc::clone(&self.shards.read()[id.index()])
     }
 
-    pub fn node_mut(&mut self, id: NodeId) -> &mut NodeCache {
-        &mut self.caches[id.index()]
+    /// Run `f` with exclusive access to one node's cache.
+    pub fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&mut NodeCache) -> R) -> R {
+        let shard = self.shard(id);
+        let mut guard = shard.lock();
+        f(&mut guard)
     }
 
     /// Look up `key` on its home server.
-    pub fn get_at_home(&mut self, key: &CacheKey, now: f64) -> Option<(NodeId, u64)> {
+    pub fn get_at_home(&self, key: &CacheKey, now: f64) -> Option<(NodeId, u64)> {
         let home = self.home_of(key.hash_key());
-        self.caches[home.index()].get(key, now).map(|b| (home, b))
+        self.with_node(home, |c| c.get(key, now)).map(|b| (home, b))
     }
 
     /// Insert at the home server.
-    pub fn put_at_home(&mut self, key: CacheKey, bytes: u64, now: f64, ttl: Option<f64>) -> NodeId {
+    pub fn put_at_home(&self, key: CacheKey, bytes: u64, now: f64, ttl: Option<f64>) -> NodeId {
         let home = self.home_of(key.hash_key());
-        self.caches[home.index()].put(key, bytes, now, ttl);
+        self.with_node(home, |c| c.put(key, bytes, now, ttl));
         home
     }
 
     /// Aggregate statistics over all nodes.
     pub fn total_stats(&self) -> CacheStats {
         let mut agg = CacheStats::default();
-        for c in &self.caches {
-            let s = c.stats();
+        for shard in self.shards.read().iter() {
+            let s = shard.lock().stats();
             agg.hits += s.hits;
             agg.misses += s.misses;
             agg.insertions += s.insertions;
@@ -115,14 +152,14 @@ impl DistributedCache {
 
     /// Bytes cached per node (distribution check).
     pub fn used_per_node(&self) -> Vec<u64> {
-        self.caches.iter().map(|c| c.used()).collect()
+        self.shards.read().iter().map(|s| s.lock().used()).collect()
     }
 
     /// Empty every node's cache (the paper empties caches before each
     /// cold-cache run).
-    pub fn clear_all(&mut self) {
-        for c in &mut self.caches {
-            c.clear();
+    pub fn clear_all(&self) {
+        for shard in self.shards.read().iter() {
+            shard.lock().clear();
         }
     }
 
@@ -131,29 +168,26 @@ impl DistributedCache {
     /// immediate clockwise/counter-clockwise neighbors in the range table
     /// are checked, as in the paper. Returns (entries moved, bytes moved)
     /// so the caller can charge network cost.
-    pub fn migrate_misplaced(&mut self, now: f64) -> (usize, u64) {
+    pub fn migrate_misplaced(&self, now: f64) -> (usize, u64) {
         let mut moved = 0usize;
         let mut moved_bytes = 0u64;
-        let n = self.ranges.len();
+        let ranges = self.ranges();
+        let n = ranges.len();
         for pos in 0..n {
-            let (holder, range) = self.ranges[pos].clone();
-            let neighbors = [
-                self.ranges[(pos + 1) % n].0,
-                self.ranges[(pos + n - 1) % n].0,
-            ];
-            let misplaced: Vec<CacheKey> = self.caches[holder.index()]
-                .keys()
-                .into_iter()
-                .filter(|k| !range.contains(k.hash_key()))
-                .collect();
+            let (holder, range) = ranges[pos].clone();
+            let neighbors = [ranges[(pos + 1) % n].0, ranges[(pos + n - 1) % n].0];
+            let misplaced: Vec<CacheKey> = self.with_node(holder, |c| {
+                c.keys().into_iter().filter(|k| !range.contains(k.hash_key())).collect()
+            });
             for key in misplaced {
                 let target = self.home_of(key.hash_key());
                 // Only neighbor moves, per the paper's option.
                 if !neighbors.contains(&target) || target == holder {
                     continue;
                 }
-                if let Some(bytes) = self.caches[holder.index()].invalidate(&key) {
-                    self.caches[target.index()].put(key, bytes, now, None);
+                // Two independent shard locks, taken one at a time.
+                if let Some(bytes) = self.with_node(holder, |c| c.invalidate(&key)) {
+                    self.with_node(target, |c| c.put(key, bytes, now, None));
                     moved += 1;
                     moved_bytes += bytes;
                 }
@@ -165,14 +199,12 @@ impl DistributedCache {
     /// Count entries resident on servers whose current range does not
     /// cover them (misplacement measurement, §II-E).
     pub fn misplaced_entries(&self) -> usize {
-        self.ranges
+        self.ranges()
             .iter()
             .map(|(node, range)| {
-                self.caches[node.index()]
-                    .keys()
-                    .into_iter()
-                    .filter(|k| !range.contains(k.hash_key()))
-                    .count()
+                self.with_node(*node, |c| {
+                    c.keys().into_iter().filter(|k| !range.contains(k.hash_key())).count()
+                })
             })
             .sum()
     }
@@ -200,7 +232,7 @@ mod tests {
 
     #[test]
     fn put_get_at_home() {
-        let (_, mut cache) = cache_n(4, MB);
+        let (_, cache) = cache_n(4, MB);
         let key = CacheKey::Input(HashKey::of_name("block-0"));
         let home = cache.put_at_home(key.clone(), 1000, 0.0, None);
         let (hit_node, bytes) = cache.get_at_home(&key, 1.0).unwrap();
@@ -210,13 +242,13 @@ mod tests {
 
     #[test]
     fn range_change_redirects_lookups() {
-        let (_, mut cache) = cache_n(2, MB);
+        let (_, cache) = cache_n(2, MB);
         let key = CacheKey::Input(HashKey(42));
         let old_home = cache.put_at_home(key.clone(), 10, 0.0, None);
         // Flip the two nodes' ranges.
         let flipped: Vec<(NodeId, KeyRange)> = {
-            let r = cache.ranges().to_vec();
-            vec![(r[1].0, r[0].1), (r[0].0, r[1].1)]
+            let r = cache.ranges();
+            vec![(r[1].0, r[0].1.clone()), (r[0].0, r[1].1.clone())]
         };
         cache.set_ranges(flipped);
         let new_home = cache.home_of(HashKey(42));
@@ -228,11 +260,11 @@ mod tests {
 
     #[test]
     fn migration_rescues_misplaced_entries() {
-        let (_, mut cache) = cache_n(2, MB);
+        let (_, cache) = cache_n(2, MB);
         let key = CacheKey::Input(HashKey(42));
         cache.put_at_home(key.clone(), 10, 0.0, None);
-        let r = cache.ranges().to_vec();
-        cache.set_ranges(vec![(r[1].0, r[0].1), (r[0].0, r[1].1)]);
+        let r = cache.ranges();
+        cache.set_ranges(vec![(r[1].0, r[0].1.clone()), (r[0].0, r[1].1.clone())]);
         let (moved, bytes) = cache.migrate_misplaced(1.0);
         assert_eq!(moved, 1);
         assert_eq!(bytes, 10);
@@ -242,7 +274,7 @@ mod tests {
 
     #[test]
     fn aggregate_stats() {
-        let (_, mut cache) = cache_n(3, MB);
+        let (_, cache) = cache_n(3, MB);
         let k1 = CacheKey::Input(HashKey::of_name("a"));
         let k2 = CacheKey::Input(HashKey::of_name("b"));
         cache.put_at_home(k1.clone(), 5, 0.0, None);
@@ -256,7 +288,7 @@ mod tests {
 
     #[test]
     fn clear_all_empties() {
-        let (_, mut cache) = cache_n(3, MB);
+        let (_, cache) = cache_n(3, MB);
         cache.put_at_home(CacheKey::Input(HashKey(1)), 5, 0.0, None);
         cache.clear_all();
         assert!(cache.used_per_node().iter().all(|&b| b == 0));
@@ -269,13 +301,50 @@ mod tests {
         // paper's extreme single-hot-key case. Emulate: all ranges empty
         // except one per node probe; we simply verify per-node caches are
         // independent stores.
-        let (_, mut cache) = cache_n(4, MB);
+        let (_, cache) = cache_n(4, MB);
         let key = CacheKey::Input(HashKey(7));
         for i in 0..4u32 {
-            cache.node_mut(NodeId(i)).put(key.clone(), 100, 0.0, None);
+            cache.with_node(NodeId(i), |c| c.put(key.clone(), 100, 0.0, None));
         }
         for i in 0..4u32 {
-            assert!(cache.node(NodeId(i)).contains(&key, 1.0));
+            assert!(cache.with_node(NodeId(i), |c| c.contains(&key, 1.0)));
         }
+    }
+
+    #[test]
+    fn shards_lock_independently() {
+        // Hold one node's shard locked while other nodes' caches stay
+        // fully usable — the property the live executor's parallel map
+        // phase depends on.
+        let (_, cache) = cache_n(4, MB);
+        let shard0 = cache.shard(NodeId(0));
+        let _guard = shard0.lock();
+        for i in 1..4u32 {
+            let key = CacheKey::Input(HashKey(i as u64));
+            cache.with_node(NodeId(i), |c| c.put(key.clone(), 8, 0.0, None));
+            assert!(cache.with_node(NodeId(i), |c| c.contains(&key, 0.5)));
+        }
+    }
+
+    #[test]
+    fn concurrent_shard_traffic() {
+        use std::sync::Arc as StdArc;
+        let (_, cache) = cache_n(8, MB);
+        let cache = StdArc::new(cache);
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let c = StdArc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let key = CacheKey::Input(HashKey(t as u64 * 10_000 + i));
+                    c.with_node(NodeId(t), |n| n.put(key.clone(), 16, i as f64, None));
+                    assert!(c.with_node(NodeId(t), |n| n.get(&key, i as f64).is_some()));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.total_stats().hits, 8 * 500);
     }
 }

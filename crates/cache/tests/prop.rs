@@ -117,12 +117,12 @@ proptest! {
         rotate in 1usize..5,
     ) {
         let ring = Ring::with_servers_evenly_spaced(8, "m");
-        let mut cache = DistributedCache::new(&ring, 1 << 20);
+        let cache = DistributedCache::new(&ring, 1 << 20);
         for (i, &k) in keys.iter().enumerate() {
             cache.put_at_home(CacheKey::Input(HashKey(k)), 100, i as f64, None);
         }
         let resident_before: usize =
-            (0..8).map(|i| cache.node(eclipse_ring::NodeId(i)).keys().len()).sum();
+            (0..8).map(|i| cache.with_node(eclipse_ring::NodeId(i), |c| c.keys().len())).sum();
 
         // Rotate the range table by `rotate` positions: every entry's
         // home moves to the rotate-th neighbor.
@@ -135,7 +135,7 @@ proptest! {
         let (moved, bytes) = cache.migrate_misplaced(100.0);
         prop_assert_eq!(bytes, moved as u64 * 100);
         let resident_after: usize =
-            (0..8).map(|i| cache.node(eclipse_ring::NodeId(i)).keys().len()).sum();
+            (0..8).map(|i| cache.with_node(eclipse_ring::NodeId(i), |c| c.keys().len())).sum();
         prop_assert_eq!(resident_before, resident_after, "entries lost or duplicated");
         if rotate == 1 {
             // Single-step rotation: every misplaced entry has a neighbor
@@ -151,7 +151,7 @@ proptest! {
         ttl in 1.0f64..50.0,
     ) {
         let ring = Ring::with_servers_evenly_spaced(4, "m");
-        let mut cache = DistributedCache::new(&ring, 1 << 20);
+        let cache = DistributedCache::new(&ring, 1 << 20);
         for t in &tags {
             cache.put_at_home(
                 CacheKey::Output(OutputTag::new("app", t.clone())),

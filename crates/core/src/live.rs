@@ -6,9 +6,31 @@
 //! simulator — this is the executable proof that the EclipseMR design
 //! computes correct results, and it powers the examples and the
 //! integration tests.
+//!
+//! # Data-plane concurrency (see DESIGN.md, "Live data plane")
+//!
+//! The hot path is engineered so node threads almost never contend:
+//!
+//! - **Sharded cache locks.** [`DistributedCache`] locks per node shard,
+//!   so iCache traffic from different nodes proceeds in parallel; the
+//!   executor holds no cluster-wide cache lock at all.
+//! - **Concurrent reads.** File metadata sits behind a `RwLock` (reads
+//!   during a job never block each other) and [`BlockStore`] is already
+//!   a reader-parallel payload store.
+//! - **Work stealing.** Map assignments are frozen per node at placement
+//!   time; workers drain their own queue first, then steal from other
+//!   nodes' tails via atomic cursors. Cache and locality accounting
+//!   always uses the *assigned* node, so stealing changes wall-clock,
+//!   never stats or cache placement.
+//! - **Allocation-light shuffle.** One [`SpillBuffer`] per worker serves
+//!   all its blocks; spills are combined by sorting the run in place
+//!   (no per-spill `BTreeMap`), and only when the application actually
+//!   overrides [`MapReduce::combine`] (see
+//!   [`MapReduce::has_combiner`]). Reducers ingest into a `HashMap` and
+//!   sort once at fold time.
 
 use crate::job::ReusePolicy;
-use crate::shuffle::SpillBuffer;
+use crate::shuffle::{Spill, SpillBuffer};
 use crate::sim_exec::SchedulerKind;
 use bytes::Bytes;
 use eclipse_cache::{CacheKey, DistributedCache, OutputTag};
@@ -16,10 +38,10 @@ use eclipse_dhtfs::{BlockId, BlockStore, DhtFs, DhtFsConfig};
 use eclipse_ring::{NodeId, Ring};
 use eclipse_sched::{DelayScheduler, LafScheduler};
 use eclipse_util::HashKey;
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// A MapReduce application for the live executor.
 pub trait MapReduce: Send + Sync {
@@ -35,6 +57,15 @@ pub trait MapReduce: Send + Sync {
         for v in values {
             emit(key.to_string(), v.clone());
         }
+    }
+
+    /// Whether [`combine`](Self::combine) actually reduces data. Apps
+    /// that override `combine` must also override this to return `true`;
+    /// when `false` (the default) the executor skips spill
+    /// sorting/grouping entirely and ships mapped records untouched —
+    /// the pass-through default `combine` would only have copied them.
+    fn has_combiner(&self) -> bool {
+        false
     }
 
     /// Map one block of a *multi-input* job (reduce-side joins): the
@@ -108,6 +139,9 @@ pub struct LiveStats {
     pub cache_misses: u64,
     pub remote_reads: u64,
     pub spills: u64,
+    /// Map tasks executed by a thread other than their assigned node
+    /// (work stealing). `tasks_per_node` still counts by assignment.
+    pub steals: u64,
     pub tasks_per_node: Vec<u64>,
 }
 
@@ -115,9 +149,11 @@ pub struct LiveStats {
 pub struct LiveCluster {
     cfg: LiveConfig,
     ring: RwLock<Ring>,
-    fs: Mutex<DhtFs>,
+    /// Metadata only; reads (open / block_holders) share the lock.
+    fs: RwLock<DhtFs>,
     store: BlockStore,
-    cache: Mutex<DistributedCache>,
+    /// Internally sharded: per-node locks, no cluster-wide mutex.
+    cache: DistributedCache,
     sched: Mutex<LiveSched>,
 }
 
@@ -136,9 +172,9 @@ impl LiveCluster {
         LiveCluster {
             cfg,
             ring: RwLock::new(ring),
-            fs: Mutex::new(fs),
+            fs: RwLock::new(fs),
             store: BlockStore::new(),
-            cache: Mutex::new(cache),
+            cache,
             sched: Mutex::new(sched),
         }
     }
@@ -155,7 +191,7 @@ impl LiveCluster {
     /// Upload real data: partition into blocks, write every replica's
     /// payload.
     pub fn upload(&self, name: &str, owner: &str, data: &[u8]) {
-        let mut fs = self.fs.lock();
+        let mut fs = self.fs.write();
         let meta = fs.upload(name, owner, data.len() as u64).expect("upload").clone();
         for b in &meta.blocks {
             let lo = (b.id.index * meta.block_size) as usize;
@@ -174,7 +210,7 @@ impl LiveCluster {
             return d;
         }
         let holders = {
-            let fs = self.fs.lock();
+            let fs = self.fs.read();
             fs.block_holders(id).expect("block registered").to_vec()
         };
         for h in holders {
@@ -248,13 +284,13 @@ impl LiveCluster {
         assert!(reducers > 0);
         assert!(!inputs.is_empty());
         let metas: Vec<_> = {
-            let fs = self.fs.lock();
+            let fs = self.fs.read();
             inputs
                 .iter()
                 .map(|input| fs.open(input, user).expect("open input").clone())
                 .collect()
         };
-        let node_count = self.cache.lock().num_nodes();
+        let node_count = self.cache.num_nodes();
         let mut stats =
             LiveStats { tasks_per_node: vec![0; node_count], ..Default::default() };
 
@@ -273,14 +309,17 @@ impl LiveCluster {
                             d.decide(b.key, 0.0, |n| inflight[n.index()] as f64).node()
                         }
                     };
-                    if let LiveSched::Laf(laf) = &*sched {
-                        self.cache.lock().set_ranges(laf.ranges().to_vec());
-                    }
                     inflight[node.index()] += 1;
                     assignments[node.index()].push((source, b.id));
                     stats.tasks_per_node[node.index()] += 1;
                     stats.map_tasks += 1;
                 }
+            }
+            // Install the (possibly re-partitioned) ranges once per job,
+            // not once per block — the map phase addresses shards by node
+            // id; ranges only matter for future home_of lookups.
+            if let LiveSched::Laf(laf) = &*sched {
+                self.cache.set_ranges(laf.ranges().to_vec());
             }
         }
 
@@ -293,6 +332,7 @@ impl LiveCluster {
         let misses = AtomicU64::new(0);
         let remote = AtomicU64::new(0);
         let spill_count = AtomicU64::new(0);
+        let steal_count = AtomicU64::new(0);
 
         let mut senders: Vec<Sender<Vec<(String, String)>>> = Vec::with_capacity(reducers);
         let mut receivers = Vec::with_capacity(reducers);
@@ -304,102 +344,160 @@ impl LiveCluster {
         let outputs: Vec<Mutex<Vec<(String, String)>>> =
             (0..reducers).map(|_| Mutex::new(Vec::new())).collect();
 
+        // Frozen work queues plus one atomic cursor per assigned node:
+        // workers claim blocks with fetch_add, so every block runs
+        // exactly once no matter who executes it.
+        let queues = &assignments;
+        let cursors: Vec<AtomicUsize> =
+            (0..node_count).map(|_| AtomicUsize::new(0)).collect();
+        let cursors = &cursors;
+        // Workers exist only for current ring members — a failed node's
+        // thread must not resurrect and steal work. Thread count is
+        // capped at the machine's parallelism: stealing lets fewer
+        // threads drain every node's queue, so extra threads would only
+        // add context switching (virtual nodes share the same cores).
+        let workers: Vec<NodeId> = self.ring.read().node_ids();
+        let threads = workers
+            .len()
+            .min(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+
+        // The partition count (and thus the output shape) is always
+        // `reducers`; the reducer THREAD count is capped at hardware
+        // parallelism like the map side. Each thread drains several
+        // partition channels in turn — safe because the channels are
+        // unbounded, so mappers never block on a lane the thread has
+        // not reached yet.
+        let red_threads = reducers
+            .min(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        let mut lanes: Vec<Vec<(usize, Receiver<Vec<(String, String)>>)>> =
+            (0..red_threads).map(|_| Vec::new()).collect();
+        for (r, rx) in receivers.into_iter().enumerate() {
+            lanes[r % red_threads].push((r, rx));
+        }
+
         std::thread::scope(|scope| {
             // Reducer side: consume spills concurrently with the maps.
-            for (r, rx) in receivers.into_iter().enumerate() {
+            for lane in lanes {
                 let outputs = &outputs;
                 scope.spawn(move || {
-                    let mut grouped: BTreeMap<String, Vec<String>> = BTreeMap::new();
-                    while let Ok(batch) = rx.recv() {
-                        for (k, v) in batch {
-                            grouped.entry(k).or_default().push(v);
+                    for (r, rx) in lane {
+                        // Hash-ingest while the stream is live; sort once
+                        // at fold time so each partition's output stays
+                        // key-sorted (terasort depends on that).
+                        let mut grouped: HashMap<String, Vec<String>> = HashMap::new();
+                        while let Ok(batch) = rx.recv() {
+                            for (k, v) in batch {
+                                grouped.entry(k).or_default().push(v);
+                            }
                         }
+                        let mut entries: Vec<(String, Vec<String>)> =
+                            grouped.into_iter().collect();
+                        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                        let mut out = Vec::new();
+                        for (k, vs) in &entries {
+                            app.reduce(k, vs, &mut |ok, ov| out.push((ok, ov)));
+                        }
+                        *outputs[r].lock() = out;
                     }
-                    let mut out = Vec::new();
-                    for (k, vs) in &grouped {
-                        app.reduce(k, vs, &mut |ok, ov| out.push((ok, ov)));
-                    }
-                    *outputs[r].lock() = out;
                 });
             }
 
-            // Mapper side: one thread per virtual node.
+            // Mapper side: up to one worker thread per live virtual
+            // node, bounded by hardware parallelism.
             std::thread::scope(|map_scope| {
-                for (node_idx, blocks) in assignments.iter().enumerate() {
-                    if blocks.is_empty() {
-                        continue;
-                    }
-                    let node = NodeId(node_idx as u32);
+                for (wi, &me) in workers.iter().enumerate().take(threads) {
                     let senders = senders.clone();
+                    let workers = &workers;
                     let hits = &hits;
                     let misses = &misses;
                     let remote = &remote;
                     let spill_count = &spill_count;
+                    let steal_count = &steal_count;
                     map_scope.spawn(move || {
-                        // Push one combined spill to its partition.
-                        let push = |partition: usize, records: Vec<(String, String)>| {
-                            if records.is_empty() {
+                        // One spill buffer and one combine scratch per
+                        // worker, reused across every block it maps.
+                        let mut buffer: SpillBuffer<(String, String)> =
+                            SpillBuffer::new(reducers, 32 * 1024);
+                        let mut scratch: Vec<String> = Vec::new();
+                        let mut push = |spill: Spill<(String, String)>| {
+                            if spill.records.is_empty() {
                                 return;
                             }
                             spill_count.fetch_add(1, Ordering::Relaxed);
-                            let mut grouped: BTreeMap<String, Vec<String>> = BTreeMap::new();
-                            for (k, v) in records {
-                                grouped.entry(k).or_default().push(v);
-                            }
-                            let mut combined = Vec::new();
-                            for (k, vs) in &grouped {
-                                app.combine(k, vs, &mut |ck, cv| combined.push((ck, cv)));
-                            }
+                            let combined = if app.has_combiner() {
+                                combine_sorted_runs(app, spill.records, &mut scratch)
+                            } else {
+                                // No combiner: ship records untouched.
+                                spill.records
+                            };
                             // A dropped receiver means the job is being
                             // torn down; losing the spill is fine then.
-                            let _ = senders[partition].send(combined);
+                            let _ = senders[spill.partition].send(combined);
                         };
-                        for &(source, bid) in blocks {
-                            let key =
-                                CacheKey::Input(HashKey::of_block(inputs[source], bid.index));
-                            // iCache lookup on the executing node.
-                            let cached = self.cache.lock().node_mut(node).get_payload(&key, 0.0);
-                            let payload = match cached {
-                                Some(p) => {
-                                    hits.fetch_add(1, Ordering::Relaxed);
-                                    p
+                        // Own queue first (locality), then steal from the
+                        // other live nodes' tails, ring order.
+                        for step in 0..workers.len() {
+                            let owner = workers[(wi + step) % workers.len()];
+                            loop {
+                                let i = cursors[owner.index()].fetch_add(1, Ordering::Relaxed);
+                                let Some(&(source, bid)) = queues[owner.index()].get(i) else {
+                                    break;
+                                };
+                                if owner != me {
+                                    steal_count.fetch_add(1, Ordering::Relaxed);
                                 }
-                                None => {
-                                    misses.fetch_add(1, Ordering::Relaxed);
-                                    if !self.store.holds(node, bid) {
-                                        remote.fetch_add(1, Ordering::Relaxed);
+                                // All cache and locality accounting uses
+                                // the ASSIGNED node: stats and cache
+                                // placement are identical with or
+                                // without stealing.
+                                let key = CacheKey::Input(HashKey::of_block(
+                                    inputs[source],
+                                    bid.index,
+                                ));
+                                let shard = self.cache.shard(owner);
+                                let cached = shard.lock().get_payload(&key, 0.0);
+                                let payload = match cached {
+                                    Some(p) => {
+                                        hits.fetch_add(1, Ordering::Relaxed);
+                                        p
                                     }
-                                    let p = self.fetch_block(bid, node);
-                                    if reuse.cache_input {
-                                        self.cache.lock().node_mut(node).put_payload(
-                                            key,
-                                            p.clone(),
-                                            0.0,
-                                            None,
-                                        );
-                                    }
-                                    p
-                                }
-                            };
-                            // Map + proactive spill.
-                            let mut buffer: SpillBuffer<(String, String)> =
-                                SpillBuffer::new(reducers, 32 * 1024);
-                            app.map_tagged(source, &payload, &mut |k, v| {
-                                let bytes = (k.len() + v.len()) as u64;
-                                let spill = match app.partition(&k, reducers) {
-                                    Some(p) => buffer.push_to(p, bytes, Some((k, v))),
                                     None => {
-                                        let hk = HashKey::of_name(&k);
-                                        buffer.push(hk, bytes, Some((k, v)))
+                                        misses.fetch_add(1, Ordering::Relaxed);
+                                        if !self.store.holds(owner, bid) {
+                                            remote.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        let p = self.fetch_block(bid, owner);
+                                        if reuse.cache_input {
+                                            shard.lock().put_payload(
+                                                key,
+                                                p.clone(),
+                                                0.0,
+                                                None,
+                                            );
+                                        }
+                                        p
                                     }
                                 };
-                                if let Some(spill) = spill {
-                                    push(spill.partition, spill.records);
-                                }
-                            });
-                            for spill in buffer.flush() {
-                                push(spill.partition, spill.records);
+                                // Map + proactive spill; the buffer keeps
+                                // accumulating across blocks, batching
+                                // channel sends.
+                                app.map_tagged(source, &payload, &mut |k, v| {
+                                    let bytes = (k.len() + v.len()) as u64;
+                                    let spill = match app.partition(&k, reducers) {
+                                        Some(p) => buffer.push_to(p, bytes, Some((k, v))),
+                                        None => {
+                                            let hk = shuffle_hash(&k);
+                                            buffer.push(hk, bytes, Some((k, v)))
+                                        }
+                                    };
+                                    if let Some(spill) = spill {
+                                        push(spill);
+                                    }
+                                });
                             }
+                        }
+                        for spill in buffer.flush() {
+                            push(spill);
                         }
                     });
                 }
@@ -411,6 +509,7 @@ impl LiveCluster {
         stats.cache_misses = misses.into_inner();
         stats.remote_reads = remote.into_inner();
         stats.spills = spill_count.into_inner();
+        stats.steals = steal_count.into_inner();
         stats.reduce_tasks = reducers as u64;
 
         let parts: Vec<Vec<(String, String)>> =
@@ -423,31 +522,29 @@ impl LiveCluster {
     /// ranges.
     pub fn ocache_put(&self, app: &str, tag: &str, data: Bytes, ttl: Option<f64>) {
         let otag = OutputTag::new(app, tag);
-        let mut cache = self.cache.lock();
-        let home = cache.home_of(otag.hash_key());
-        cache.node_mut(home).put_payload(CacheKey::Output(otag), data, 0.0, ttl);
+        let home = self.cache.home_of(otag.hash_key());
+        self.cache
+            .with_node(home, |c| c.put_payload(CacheKey::Output(otag), data, 0.0, ttl));
     }
 
     /// Fetch a tagged object from oCache.
     pub fn ocache_get(&self, app: &str, tag: &str) -> Option<Bytes> {
         let otag = OutputTag::new(app, tag);
-        let mut cache = self.cache.lock();
-        let home = cache.home_of(otag.hash_key());
-        cache.node_mut(home).get_payload(&CacheKey::Output(otag), 0.0)
+        let home = self.cache.home_of(otag.hash_key());
+        self.cache.with_node(home, |c| c.get_payload(&CacheKey::Output(otag), 0.0))
     }
 
     /// Global cache hit ratio so far.
     pub fn cache_hit_ratio(&self) -> f64 {
-        self.cache.lock().hit_ratio()
+        self.cache.hit_ratio()
     }
 
     /// Admit a new virtual node: a fresh ring position, cache shard and
     /// (empty) store shard. Existing blocks stay put; new uploads and
     /// scheduling immediately include the joiner. Returns its id.
     pub fn join_node(&self, name: &str) -> NodeId {
-        let mut cache = self.cache.lock();
-        let id = cache.add_node(self.cfg.cache_per_node);
-        let mut fs = self.fs.lock();
+        let id = self.cache.add_node(self.cfg.cache_per_node);
+        let mut fs = self.fs.write();
         let mut info = eclipse_ring::ServerInfo::from_name(id, name);
         let mut salt = 0u32;
         while fs.ring().members().any(|s| s.key == info.key) {
@@ -462,7 +559,7 @@ impl LiveCluster {
         match &mut *sched {
             LiveSched::Laf(laf) => {
                 laf.set_nodes(&new_ring);
-                cache.set_ranges(laf.ranges().to_vec());
+                self.cache.set_ranges(laf.ranges().to_vec());
             }
             LiveSched::Delay(d) => {
                 *d = DelayScheduler::new(
@@ -472,7 +569,7 @@ impl LiveCluster {
                         _ => Default::default(),
                     },
                 );
-                cache.set_ranges(d.ranges().to_vec());
+                self.cache.set_ranges(d.ranges().to_vec());
             }
         }
         id
@@ -484,14 +581,14 @@ impl LiveCluster {
     pub fn fail_node(&self, node: NodeId) {
         self.store.wipe_node(node);
         let plan = {
-            let mut fs = self.fs.lock();
+            let mut fs = self.fs.write();
             fs.fail_node(node).expect("member")
         };
         for copy in plan {
             // The control plane guarantees the source survives.
             assert!(self.store.copy(copy.block, copy.from, copy.to), "lost source replica");
         }
-        let new_ring = self.fs.lock().ring().clone();
+        let new_ring = self.fs.read().ring().clone();
         *self.ring.write() = new_ring.clone();
         let mut sched = self.sched.lock();
         match &mut *sched {
@@ -507,11 +604,58 @@ impl LiveCluster {
             }
         }
         // Cache entries on the failed node die with it.
-        self.cache.lock().node_mut(node).clear();
+        self.cache.with_node(node, |c| c.clear());
         if let LiveSched::Laf(laf) = &*sched {
-            self.cache.lock().set_ranges(laf.ranges().to_vec());
+            self.cache.set_ranges(laf.ranges().to_vec());
         }
     }
+}
+
+/// Partition hash for intermediate keys, executor-internal.
+///
+/// The ring hash ([`HashKey::of_name`]) is engineered for placement
+/// quality and costs far too much to run once per mapped record — it
+/// dominated the map phase's profile. Reduce partitions are plain
+/// channel indices in the live executor, so all the shuffle needs is a
+/// fast, deterministic, well-mixed 64-bit hash: FNV-1a with a murmur3
+/// finalizer (the top bits feed `SpillBuffer::partition_of`'s
+/// multiply-shift, so they must avalanche).
+#[inline]
+fn shuffle_hash(key: &str) -> HashKey {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in key.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51afd7ed558ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ceb9fe1a85ec53);
+    h ^= h >> 33;
+    HashKey(h)
+}
+
+/// Combine one spill by sorting its records in place and folding each
+/// equal-key run through the application's combiner. Replaces the old
+/// per-spill `BTreeMap<String, Vec<String>>` — no map nodes, no
+/// per-key `Vec`s; `scratch` is the single reusable values buffer.
+fn combine_sorted_runs(
+    app: &dyn MapReduce,
+    mut records: Vec<(String, String)>,
+    scratch: &mut Vec<String>,
+) -> Vec<(String, String)> {
+    records.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    let mut out = Vec::with_capacity(records.len() / 2 + 1);
+    let mut iter = records.into_iter().peekable();
+    while let Some((key, first)) = iter.next() {
+        scratch.clear();
+        scratch.push(first);
+        while iter.peek().is_some_and(|(k, _)| *k == key) {
+            scratch.push(iter.next().expect("peeked").1);
+        }
+        app.combine(&key, scratch, &mut |ck, cv| out.push((ck, cv)));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -91,6 +91,20 @@ impl<P> SpillBuffer<P> {
         Spill { partition: p, bytes, records }
     }
 
+    /// Discard everything currently buffered while keeping the record
+    /// vectors' allocations and the cumulative spill telemetry — one
+    /// buffer can serve a whole stream of map tasks without reallocating
+    /// per task. (To *emit* the remainder instead, use
+    /// [`flush`](Self::flush).)
+    pub fn reset(&mut self) {
+        for b in &mut self.buffered_bytes {
+            *b = 0;
+        }
+        for r in &mut self.buffered_records {
+            r.clear();
+        }
+    }
+
     /// Flush every non-empty partition (map task end).
     pub fn flush(&mut self) -> Vec<Spill<P>> {
         let mut out = Vec::new();
@@ -179,6 +193,21 @@ mod tests {
         b.push(HashKey(0), 5, Some("a"));
         let spill = b.push(HashKey(1), 6, Some("b")).unwrap();
         assert_eq!(spill.records, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn reset_reuses_buffer_across_tasks() {
+        let mut b: SpillBuffer<u32> = SpillBuffer::new(2, 1000);
+        b.push(HashKey::from_unit(0.1), 600, Some(1));
+        b.push(HashKey::from_unit(0.9), 700, Some(2));
+        assert_eq!(b.buffered(), 1300);
+        b.reset();
+        assert_eq!(b.buffered(), 0, "reset drops buffered bytes");
+        assert!(b.flush().is_empty(), "reset drops buffered records");
+        // Telemetry survives a reset; the buffer is immediately reusable.
+        b.push(HashKey::from_unit(0.1), 1200, Some(3)).expect("spills again");
+        assert_eq!(b.spill_count(), 1);
+        assert_eq!(b.spilled_bytes(), 1200);
     }
 
     #[test]

@@ -493,7 +493,7 @@ impl EclipseSim {
     ) -> f64 {
         let key = CacheKey::Input(block.key);
         report.cache_lookups += 1;
-        if self.cache.node_mut(exec).get(&key, at).is_some() {
+        if self.cache.with_node(exec, |c| c.get(&key, at).is_some()) {
             report.cache_hits += 1;
             report.record_read(ReadSource::LocalCache, block.size);
             return self.cluster.mem_read(SimTime(at), exec.index(), block.size).secs();
@@ -502,7 +502,7 @@ impl EclipseSim {
             report.record_read(ReadSource::PageCache, block.size);
             let done = self.cluster.mem_read(SimTime(at), exec.index(), block.size).secs();
             if cache_input {
-                self.cache.node_mut(exec).put(key, block.size, at, None);
+                self.cache.with_node(exec, |c| c.put(key, block.size, at, None));
             }
             return done;
         }
@@ -538,7 +538,7 @@ impl EclipseSim {
         // (policy permitting) the distributed in-memory cache.
         self.page_cache[exec.index()].put(block.key, block.size, at, None);
         if cache_input {
-            self.cache.node_mut(exec).put(key, block.size, at, None);
+            self.cache.with_node(exec, |c| c.put(key, block.size, at, None));
         }
         done
     }
@@ -728,12 +728,9 @@ impl EclipseSim {
                             spec.app.name(),
                             format!("{tag}/{r}"),
                         ));
-                        self.cache.node_mut(node).put(
-                            okey,
-                            out_bytes,
-                            end.secs(),
-                            spec.reuse.ocache_ttl,
-                        );
+                        self.cache.with_node(node, |c| {
+                            c.put(okey, out_bytes, end.secs(), spec.reuse.ocache_ttl)
+                        });
                     }
                 }
                 end_t = end_t.max(wrote);
@@ -768,7 +765,7 @@ impl EclipseSim {
                 let okey =
                     CacheKey::Output(OutputTag::new(spec.app.name(), format!("{tag}/{r}")));
                 report.cache_lookups += 1;
-                if self.cache.node_mut(home).get(&okey, at).is_some() {
+                if self.cache.with_node(home, |c| c.get(&okey, at).is_some()) {
                     // Iteration state is consumed in fine-grained shares
                     // interleaved with the map work; charge it at memory
                     // speed without a bulk transfer (each task's slice is
@@ -831,7 +828,7 @@ impl EclipseSim {
                         format!("iter{}/{rr}", iter - 1),
                     ));
                     let home = self.reducer_node(rr, reducers);
-                    self.cache.node_mut(home).invalidate(&okey);
+                    self.cache.with_node(home, |c| c.invalidate(&okey));
                 }
             }
             at += r.elapsed;
@@ -905,7 +902,7 @@ impl EclipseSim {
             // Data acquisition: iCache → page cache → DHT FS replica.
             let key = CacheKey::Input(hkey);
             report.cache_lookups += 1;
-            let io_done = if self.cache.node_mut(exec).get(&key, slot_start).is_some() {
+            let io_done = if self.cache.with_node(exec, |c| c.get(&key, slot_start).is_some()) {
                 report.cache_hits += 1;
                 report.record_read(ReadSource::LocalCache, bytes_per_access);
                 self.cluster.mem_read(SimTime(slot_start), exec.index(), bytes_per_access).secs()
@@ -915,7 +912,7 @@ impl EclipseSim {
                     .cluster
                     .mem_read(SimTime(slot_start), exec.index(), bytes_per_access)
                     .secs();
-                self.cache.node_mut(exec).put(key, bytes_per_access, slot_start, None);
+                self.cache.with_node(exec, |c| c.put(key, bytes_per_access, slot_start, None));
                 d
             } else {
                 let holders = self.ring.replica_set(hkey, self.cfg.replicas).expect("ring");
@@ -955,7 +952,7 @@ impl EclipseSim {
                         .secs()
                 };
                 self.page_cache[exec.index()].put(hkey, bytes_per_access, slot_start, None);
-                self.cache.node_mut(exec).put(key, bytes_per_access, slot_start, None);
+                self.cache.with_node(exec, |c| c.put(key, bytes_per_access, slot_start, None));
                 d
             };
             let cpu = self.cluster.cpu_time(exec.index(), cost.map_cpu_secs(bytes_per_access));

@@ -112,7 +112,7 @@ proptest! {
         alpha in 0.0f64..=1.0,
     ) {
         let mut ma = KeyHistogram::new(8);
-        let mut recent = KeyHistogram::new(8);
+        let recent = KeyHistogram::new(8);
         // Install raw bin values via add() is awkward; emulate via direct
         // convex check on the formula instead.
         for (i, (&x, &y)) in a.iter().zip(&b).enumerate() {

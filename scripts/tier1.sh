@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, and a quick live-executor
+# throughput snapshot. Leaves results/BENCH_live.json behind so every
+# pass records a comparable records/sec number (see DESIGN.md §8c).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "== tier1: cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "== tier1: live throughput (quick)"
+cargo run -q --release -p eclipse-bench --bin live_bench -- --quick --out results/BENCH_live.json
+
+echo "== tier1: OK"

@@ -1,0 +1,128 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! handful of external dependencies are vendored as minimal local
+//! re-implementations covering exactly the API surface the workspace
+//! uses. `Bytes` here is an immutable, cheaply cloneable byte buffer
+//! backed by `Arc<[u8]>` — clones are reference-count bumps, which is
+//! the property the live executor relies on for zero-copy block reads.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable contiguous slice of memory.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Copy `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes { data: Arc::from(data) }
+    }
+
+    /// Wrap a static slice. (The real crate avoids the copy; semantics
+    /// are identical either way and the call sites pass tiny literals.)
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes { data: Arc::from(data) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// A view of the whole buffer as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// A new buffer holding `self[range]` (copies; the live executor
+    /// only slices small metadata).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes { data: Arc::from(&self.data[range]) }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes { data: Arc::from(s.into_bytes()) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter().take(32) {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        if self.data.len() > 32 {
+            write!(f, "...")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_cheap_clone() {
+        let b = Bytes::copy_from_slice(b"hello");
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(&b[..], b"hello");
+        assert_eq!(b.len(), 5);
+        assert_eq!(Arc::strong_count(&b.data), 2);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Bytes::from(vec![1u8, 2]), Bytes::copy_from_slice(&[1, 2]));
+        assert_eq!(Bytes::from(String::from("ab")), Bytes::from_static(b"ab"));
+        assert_eq!(Bytes::from_static(b"xyz").slice(1..3), Bytes::from_static(b"yz"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness with criterion's macro and
+//! builder surface (`criterion_group!`, `criterion_main!`,
+//! `benchmark_group`, `bench_function`, `Throughput`). Each benchmark
+//! is timed over auto-calibrated batches; the median batch time is
+//! reported in ns/iter along with derived throughput. Statistical
+//! analysis, plots and baselines are out of scope — the numbers are
+//! for trend-tracking in CI logs and the `scripts/tier1.sh` snapshot.
+//!
+//! CLI: a positional argument filters benchmarks by substring;
+//! `--quick` cuts target sample time ~10×; other flags (e.g. the
+//! `--bench` cargo passes) are ignored.
+
+use std::time::{Duration, Instant};
+
+/// Units for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Harness entry point, one per bench binary.
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut filter = None;
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--quick" {
+                quick = true;
+            } else if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        if std::env::var("CRITERION_QUICK").is_ok() {
+            quick = true;
+        }
+        Criterion { filter, quick }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            harness: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut g = self.benchmark_group(String::new());
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+
+    fn runs(&self, full: &str) -> bool {
+        match &self.filter {
+            Some(f) => full.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    harness: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = if self.name.is_empty() {
+            id.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if !self.harness.runs(&full) {
+            return self;
+        }
+        let target = if self.harness.quick {
+            Duration::from_millis(5)
+        } else {
+            Duration::from_millis(50)
+        };
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+        // Calibrate: grow the batch until one batch takes ≥ target/4.
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed * 4 >= target || b.iters >= u64::MAX / 2 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16
+            } else {
+                (target.as_nanos() / b.elapsed.as_nanos().max(1) / 2).clamp(2, 16) as u64
+            };
+            b.iters = b.iters.saturating_mul(grow);
+        }
+
+        // Sample.
+        let samples = if self.harness.quick { 3.max(self.sample_size / 3) } else { self.sample_size };
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            per_iter.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
+
+        let mut line = format!(
+            "{full:<40} time: [{} {} {}]",
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi)
+        );
+        if let Some(t) = self.throughput {
+            let per_sec = |n: u64| n as f64 * 1e9 / median;
+            match t {
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  thrpt: {}/s", fmt_bytes(per_sec(n))));
+                }
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  thrpt: {} elem/s", fmt_count(per_sec(n))));
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to every benchmark closure; times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn fmt_bytes(b: f64) -> String {
+    if b < 1024.0 {
+        format!("{b:.1} B")
+    } else if b < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", b / 1024.0)
+    } else if b < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} MiB", b / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2} GiB", b / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+fn fmt_count(c: f64) -> String {
+    if c < 1e3 {
+        format!("{c:.1}")
+    } else if c < 1e6 {
+        format!("{:.1}K", c / 1e3)
+    } else if c < 1e9 {
+        format!("{:.2}M", c / 1e6)
+    } else {
+        format!("{:.2}B", c / 1e9)
+    }
+}
+
+/// Collect benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emit `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_harness() -> Criterion {
+        Criterion { filter: Some("__nothing_matches__".into()), quick: true }
+    }
+
+    #[test]
+    fn filtered_out_benches_do_not_run() {
+        let mut c = quiet_harness();
+        let mut ran = false;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("skipped", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        g.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion { filter: None, quick: true };
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        g.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,200 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Re-implements the slice of the proptest API this workspace's
+//! property tests use: the [`proptest!`] macro (both `name in strategy`
+//! and `name: Type` argument forms, plus `#![proptest_config]`),
+//! range/tuple/string-pattern/collection strategies, `any`,
+//! `prop_oneof!`, `prop_map`, `Just`, `prop::sample::Index`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking.** A failing case panics with the assertion message;
+//!   seeding is deterministic (per test source location), so failures
+//!   reproduce exactly on re-run.
+//! - **Fewer default cases** (48 vs 256) to keep debug-mode CI fast.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    /// Real proptest exposes the crate under the `prop` alias via its
+    /// prelude (`prop::collection::vec`, `prop::sample::Index`, ...).
+    pub use crate as prop;
+}
+
+/// Top-level entry: a block of property tests, optionally headed by
+/// `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::for_test(file!(), line!(), stringify!($name));
+            for __case in 0..__config.cases {
+                // Closure so `prop_assume!` can skip a case by returning.
+                (|| { $crate::__proptest_bind!(__rng $body ; $($params)*); })();
+            }
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $body:block ;) => { $body };
+    ($rng:ident $body:block ; mut $name:ident in $strat:expr, $($rest:tt)*) => {{
+        let __strat = $strat;
+        let mut $name = $crate::strategy::Strategy::generate(&__strat, &mut $rng);
+        $crate::__proptest_bind!($rng $body ; $($rest)*)
+    }};
+    ($rng:ident $body:block ; mut $name:ident in $strat:expr) => {
+        $crate::__proptest_bind!($rng $body ; mut $name in $strat,)
+    };
+    ($rng:ident $body:block ; mut $name:ident : $ty:ty, $($rest:tt)*) => {{
+        let mut $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng $body ; $($rest)*)
+    }};
+    ($rng:ident $body:block ; mut $name:ident : $ty:ty) => {
+        $crate::__proptest_bind!($rng $body ; mut $name : $ty,)
+    };
+    ($rng:ident $body:block ; $name:ident in $strat:expr, $($rest:tt)*) => {{
+        let __strat = $strat;
+        let $name = $crate::strategy::Strategy::generate(&__strat, &mut $rng);
+        $crate::__proptest_bind!($rng $body ; $($rest)*)
+    }};
+    ($rng:ident $body:block ; $name:ident in $strat:expr) => {
+        $crate::__proptest_bind!($rng $body ; $name in $strat,)
+    };
+    ($rng:ident $body:block ; $name:ident : $ty:ty, $($rest:tt)*) => {{
+        let $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng $body ; $($rest)*)
+    }};
+    ($rng:ident $body:block ; $name:ident : $ty:ty) => {
+        $crate::__proptest_bind!($rng $body ; $name : $ty,)
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut __options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec::Vec::new();
+        $(__options.push(::std::boxed::Box::new($strat));)+
+        $crate::strategy::Union::new(__options)
+    }};
+}
+
+/// Assert within a property test (no shrinking, so this is `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// Expands to an early return from the per-case closure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn typed_args_generate(a: u64, flag: bool) {
+            let _ = flag;
+            prop_assert_eq!(a.wrapping_add(0), a);
+        }
+
+        #[test]
+        fn strategy_args_and_assume(
+            n in 1usize..50,
+            keys in prop::collection::vec(any::<u64>(), 0..20),
+        ) {
+            prop_assume!(n > 1);
+            prop_assert!(n < 50);
+            prop_assert!(keys.len() < 20);
+        }
+
+        #[test]
+        fn string_patterns_match_shape(tags in prop::collection::vec("[a-z]{1,6}", 1..10)) {
+            for t in &tags {
+                prop_assert!((1..=6).contains(&t.len()), "bad tag {:?}", t);
+                prop_assert!(t.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+
+        #[test]
+        fn oneof_tuples_and_map(
+            v in prop_oneof![
+                (0u32..10).prop_map(|x| x as u64),
+                (10u64..20, Just(1u64)).prop_map(|(a, b)| a + b),
+            ],
+            sel: prop::sample::Index,
+        ) {
+            prop_assert!(v < 21);
+            prop_assert!(sel.index(7) < 7);
+        }
+
+        #[test]
+        fn btree_map_sizes(m in prop::collection::btree_map(any::<u64>(), Just(()), 1..32)) {
+            prop_assert!(!m.is_empty() && m.len() < 32);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_header_accepted(x in 0u8..10) {
+            prop_assert!(x < 10);
+        }
+    }
+}

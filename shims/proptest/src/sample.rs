@@ -1,0 +1,18 @@
+//! Sampling helpers: [`Index`], an abstract index into a
+//! runtime-sized collection.
+
+/// A random index resolved against a collection length at use time.
+#[derive(Clone, Copy, Debug)]
+pub struct Index(u64);
+
+impl Index {
+    pub(crate) fn new(raw: u64) -> Index {
+        Index(raw)
+    }
+
+    /// Resolve against a collection of `len` elements.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}

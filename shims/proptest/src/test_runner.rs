@@ -1,0 +1,73 @@
+//! Deterministic RNG and per-test configuration.
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Real proptest defaults to 256; 48 keeps the debug-mode suite
+        // fast while still exploring a meaningful input space. Tests
+        // that need more set `ProptestConfig::with_cases` explicitly.
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// SplitMix64: deterministic per test, stable across runs (no shrinking,
+/// so reproducibility comes from fixed seeding rather than persisted
+/// failure seeds).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from the test's source location and name.
+    pub fn for_test(file: &str, line: u32, name: &str) -> TestRng {
+        let mut h = 0xcbf29ce484222325u64; // FNV-1a
+        for b in file.bytes().chain(name.bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h ^ ((line as u64) << 32) }
+    }
+
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Unbiased uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "cannot sample an empty range");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            let lo = m as u64;
+            if lo >= n || lo >= (u64::MAX - n + 1) % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates data types with `#[derive(Serialize,
+//! Deserialize)]` but never drives an actual serializer (no
+//! `serde_json` or similar exists in the tree). The traits are
+//! therefore markers; the derive macros emit marker impls. If a future
+//! PR needs real serialization, hand-rolled writers (see
+//! `scripts/tier1.sh`'s JSON snapshot) are the pattern until a real
+//! serde can be vendored.
+
+// Lets the derive-emitted `impl serde::Serialize for ...` resolve even
+// when the deriving type lives inside this crate (mirrors real serde).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn derives_compile_on_plain_types() {
+        #[derive(crate::Serialize, crate::Deserialize)]
+        struct Point {
+            _x: f64,
+            _y: f64,
+        }
+        #[derive(crate::Serialize, crate::Deserialize)]
+        enum Kind {
+            _A,
+            _B(u32),
+        }
+        fn assert_marker<T: crate::Serialize>() {}
+        assert_marker::<Point>();
+        assert_marker::<Kind>();
+    }
+}

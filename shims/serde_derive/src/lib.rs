@@ -1,0 +1,38 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on plain data types
+//! but nothing actually serializes them (there is no `serde_json` in the
+//! tree), so the shim's traits are markers and the derives emit a marker
+//! impl for the deriving type. Only syntactically simple types — no
+//! generic parameters — are supported, which covers every derive in the
+//! workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the name of the struct/enum a derive is attached to.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde shim derive: could not find type name");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::Serialize for {name} {{}}").parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}").parse().unwrap()
+}

@@ -129,7 +129,7 @@ proptest! {
 fn cache_follows_scheduler_ranges() {
     let ring = Ring::with_servers_evenly_spaced(8, "n");
     let mut laf = LafScheduler::new(&ring, LafConfig { window: 32, ..Default::default() });
-    let mut cache = DistributedCache::new(&ring, MB);
+    let cache = DistributedCache::new(&ring, MB);
     for i in 0..500u64 {
         let key = HashKey::of_name(&format!("k{}", i % 13));
         laf.assign(key);

@@ -121,7 +121,7 @@ fn zero_cache_delay_scheduler_combination() {
 
 #[test]
 fn tiny_blocks_many_tasks() {
-    let mut s = EclipseSim::new(
+    let s = EclipseSim::new(
         EclipseConfig::paper_defaults(SchedulerKind::Laf(LafConfig::default())).with_nodes(4),
     );
     // Shrink blocks: 1 MB blocks over 64 MB = 64 tasks on 4 nodes.
