@@ -1,0 +1,63 @@
+//! Snapshot fault-path cost to `results/BENCH_chaos.json`.
+//!
+//! Usage: `chaos_bench [--quick] [--out PATH]`. One node crash injected
+//! per word-count job at each phase (map / shuffle / reduce); records
+//! job wall-clock vs the fault-free run plus recovery-time stats.
+//! `scripts/tier1.sh` runs this in quick mode so every CI pass leaves a
+//! comparable number behind.
+
+use eclipse_bench::chaos_bench::{sweep, NODES};
+
+fn main() {
+    let mut quick = std::env::var("CRITERION_QUICK").is_ok();
+    let mut out = String::from("results/BENCH_chaos.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown arg {other:?} (expected --quick / --out PATH)"),
+        }
+    }
+
+    let corpus_bytes = if quick { 512 * 1024 } else { 2 * 1024 * 1024 };
+    let points = sweep(corpus_bytes, quick);
+
+    let mut json = String::from("{\n  \"bench\": \"chaos_recovery\",\n  \"app\": \"wordcount\",\n");
+    json.push_str(&format!(
+        "  \"nodes\": {NODES},\n  \"corpus_bytes\": {corpus_bytes},\n  \"quick\": {quick},\n  \"points\": [\n"
+    ));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"phase\": \"{}\", \"secs\": {:.6}, \"fault_free_secs\": {:.6}, \"recovery_secs\": {:.6}, \"recovered_blocks\": {}, \"retries\": {}, \"stabilize_rounds\": {}}}{}\n",
+            p.phase,
+            p.secs,
+            p.fault_free_secs,
+            p.recovery_secs,
+            p.recovered_blocks,
+            p.retries,
+            p.stabilize_rounds,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, &json).expect("write BENCH_chaos.json");
+
+    for p in &points {
+        println!(
+            "phase={:<8} secs={:.4} fault_free={:.4} recovery={:.6} recovered_blocks={} retries={} stabilize_rounds={}",
+            p.phase,
+            p.secs,
+            p.fault_free_secs,
+            p.recovery_secs,
+            p.recovered_blocks,
+            p.retries,
+            p.stabilize_rounds
+        );
+    }
+    println!("wrote {out}");
+}

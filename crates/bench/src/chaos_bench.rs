@@ -1,0 +1,108 @@
+//! Fault-path cost measurement for the live executor.
+//!
+//! Runs real word-count jobs through [`LiveCluster`] with one node
+//! crash injected per job (via [`FaultPlan`]) at each phase — map,
+//! shuffle, reduce — and reports the job's wall-clock next to the
+//! fault-free time plus the recovery work performed (re-replicated
+//! blocks, task retries, stabilization rounds, time spent inside the
+//! recovery path). Shared by the `chaos_bench` binary that
+//! `scripts/tier1.sh` uses to snapshot `results/BENCH_chaos.json`, so
+//! CI tracks fault-path cost alongside throughput. Every faulted run's
+//! output is asserted byte-identical to the fault-free reference.
+
+use eclipse_apps::WordCount;
+use eclipse_core::{FaultPlan, LiveCluster, LiveConfig, ReusePolicy};
+use std::time::Instant;
+
+/// Cluster size for the fault scenarios (crashes need survivors, so
+/// this stays well above the replication factor).
+pub const NODES: usize = 8;
+const REDUCERS: usize = 4;
+
+/// The phases a crash is injected into.
+pub const PHASES: &[&str] = &["map", "shuffle", "reduce"];
+
+/// One fault-scenario sample.
+#[derive(Clone, Debug)]
+pub struct ChaosPoint {
+    /// Phase the crash was injected into.
+    pub phase: &'static str,
+    /// Median wall-clock of the crashed job.
+    pub secs: f64,
+    /// Wall-clock of the fault-free reference job (same data/cluster
+    /// shape), for overhead comparison.
+    pub fault_free_secs: f64,
+    /// Median seconds spent inside the recovery path itself
+    /// (detection + stabilization + re-replication + re-queue).
+    pub recovery_secs: f64,
+    pub recovered_blocks: u64,
+    pub retries: u64,
+    pub stabilize_rounds: u64,
+}
+
+fn make(text: &[u8]) -> LiveCluster {
+    let c = LiveCluster::new(
+        LiveConfig::small().with_nodes(NODES).with_block_size(16 * 1024),
+    );
+    c.upload("input", "bench", text);
+    c
+}
+
+/// Measure every crash phase. `quick` trades samples for speed.
+pub fn sweep(corpus_bytes: usize, quick: bool) -> Vec<ChaosPoint> {
+    let (text, _) = crate::live_bench::corpus(corpus_bytes);
+    let samples = if quick { 3 } else { 5 };
+
+    // Fault-free reference: correctness oracle and timing baseline.
+    let (expect, fault_free_secs) = {
+        let c = make(&text);
+        let t = Instant::now();
+        let (out, _) =
+            c.run_job(&WordCount, "input", "bench", REDUCERS, ReusePolicy::default());
+        (out, t.elapsed().as_secs_f64())
+    };
+
+    PHASES
+        .iter()
+        .map(|&phase| {
+            let mut times = Vec::with_capacity(samples);
+            let mut recoveries = Vec::with_capacity(samples);
+            let mut recovered_blocks = 0;
+            let mut retries = 0;
+            let mut stabilize_rounds = 0;
+            for _ in 0..samples {
+                // A crash consumes the cluster (the victim leaves the
+                // ring), so every sample gets a fresh one.
+                let c = make(&text);
+                let victim = c.ring().node_ids()[1];
+                let plan = match phase {
+                    "map" => FaultPlan::new().crash_after_maps(victim, 2),
+                    "shuffle" => FaultPlan::new().crash_after_spills(victim, 2),
+                    _ => FaultPlan::new().crash_in_reduce(victim),
+                };
+                c.inject_faults(plan);
+                let t = Instant::now();
+                let (out, stats) = c
+                    .try_run_job(&WordCount, "input", "bench", REDUCERS, ReusePolicy::default())
+                    .expect("one crash is within the fault model");
+                times.push(t.elapsed().as_secs_f64());
+                assert_eq!(out, expect, "chaos bench: {phase}-phase crash diverged output");
+                recoveries.push(stats.recovery_nanos as f64 / 1e9);
+                recovered_blocks = stats.recovered_blocks;
+                retries = stats.retries;
+                stabilize_rounds = stats.stabilize_rounds;
+            }
+            times.sort_by(|a, b| a.total_cmp(b));
+            recoveries.sort_by(|a, b| a.total_cmp(b));
+            ChaosPoint {
+                phase,
+                secs: times[times.len() / 2],
+                fault_free_secs,
+                recovery_secs: recoveries[recoveries.len() / 2],
+                recovered_blocks,
+                retries,
+                stabilize_rounds,
+            }
+        })
+        .collect()
+}

@@ -155,6 +155,18 @@ impl DistributedCache {
         self.shards.read().iter().map(|s| s.lock().used()).collect()
     }
 
+    /// Drop every entry cached on one server — the crash path: a failed
+    /// node's iCache/oCache contents die with it, and the survivors must
+    /// treat its keys as cold until re-read. Returns how many entries
+    /// were invalidated (recovery telemetry).
+    pub fn invalidate_node(&self, id: NodeId) -> usize {
+        self.with_node(id, |c| {
+            let dropped = c.keys().len();
+            c.clear();
+            dropped
+        })
+    }
+
     /// Empty every node's cache (the paper empties caches before each
     /// cold-cache run).
     pub fn clear_all(&self) {
@@ -284,6 +296,18 @@ mod tests {
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 1);
         assert!((cache.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalidate_node_drops_only_that_shard() {
+        let (_, cache) = cache_n(3, MB);
+        cache.with_node(NodeId(0), |c| c.put(CacheKey::Input(HashKey(1)), 5, 0.0, None));
+        cache.with_node(NodeId(0), |c| c.put(CacheKey::Input(HashKey(2)), 5, 0.0, None));
+        cache.with_node(NodeId(1), |c| c.put(CacheKey::Input(HashKey(3)), 5, 0.0, None));
+        assert_eq!(cache.invalidate_node(NodeId(0)), 2);
+        assert_eq!(cache.used_per_node()[0], 0, "crashed shard emptied");
+        assert!(cache.with_node(NodeId(1), |c| c.contains(&CacheKey::Input(HashKey(3)), 1.0)));
+        assert_eq!(cache.invalidate_node(NodeId(0)), 0, "idempotent");
     }
 
     #[test]

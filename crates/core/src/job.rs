@@ -1,8 +1,52 @@
 //! Jobs, tasks and execution reports.
 
+use eclipse_dhtfs::{BlockId, FsError};
 use eclipse_workloads::AppKind;
 use serde::Serialize;
 use std::collections::BTreeMap;
+
+/// Terminal job failures from the live executor's fault-tolerant path.
+///
+/// Transient failures (a node crash mid-job, an injected task panic) are
+/// retried against surviving replicas and never surface here; a
+/// `JobError` means the job cannot produce a correct result at all.
+#[derive(Debug, PartialEq)]
+pub enum JobError {
+    /// An input file could not be opened (missing or permission denied).
+    Open(FsError),
+    /// Every replica of an input block is gone — more simultaneous
+    /// failures than the predecessor/successor replication tolerates
+    /// (beyond the paper's fault model). Partial output is never
+    /// returned in this case.
+    DataLoss(BlockId),
+    /// One task kept failing after the bounded retry budget.
+    TaskFailed { task: usize, attempts: u32 },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Open(e) => write!(f, "cannot open input: {e}"),
+            JobError::DataLoss(b) => write!(f, "all replicas lost for input block {b:?}"),
+            JobError::TaskFailed { task, attempts } => {
+                write!(f, "task {task} failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<FsError> for JobError {
+    /// A filesystem `DataLoss` maps onto the job-level one; everything
+    /// else (unknown block, ring trouble) also terminates the job.
+    fn from(e: FsError) -> JobError {
+        match e {
+            FsError::DataLoss(b) => JobError::DataLoss(b),
+            other => JobError::Open(other),
+        }
+    }
+}
 
 /// Job identifier (assigned by the scheduler at submission).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -201,6 +245,19 @@ mod tests {
         r.cache_lookups = 4;
         assert!((r.hit_ratio() - 0.75).abs() < 1e-12);
         assert_eq!(JobReport::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn job_error_from_fs_error() {
+        use eclipse_util::HashKey;
+        let b = BlockId { file: HashKey(1), index: 0 };
+        assert_eq!(JobError::from(FsError::DataLoss(b)), JobError::DataLoss(b));
+        assert!(matches!(
+            JobError::from(FsError::FileNotFound("x".into())),
+            JobError::Open(FsError::FileNotFound(_))
+        ));
+        let msg = format!("{}", JobError::TaskFailed { task: 3, attempts: 4 });
+        assert!(msg.contains("task 3"));
     }
 
     #[test]

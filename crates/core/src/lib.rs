@@ -12,8 +12,8 @@ pub mod shuffle;
 pub mod sim_exec;
 pub mod timeline;
 
-pub use job::{JobId, JobReport, JobSpec, ReadSource, ReusePolicy};
-pub use live::{LiveCluster, LiveConfig, LiveStats, MapReduce};
+pub use job::{JobError, JobId, JobReport, JobSpec, ReadSource, ReusePolicy};
+pub use live::{FaultPlan, LiveCluster, LiveConfig, LiveStats, MapReduce, RecoveryReport};
 pub use resource_manager::{ResourceManager, RmError, TickOutcome};
 pub use shuffle::{Spill, SpillBuffer};
 pub use timeline::{TaskEvent, TaskKind, Timeline};

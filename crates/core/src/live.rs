@@ -28,20 +28,54 @@
 //!   overrides [`MapReduce::combine`] (see
 //!   [`MapReduce::has_combiner`]). Reducers ingest into a `HashMap` and
 //!   sort once at fold time.
+//!
+//! # Mid-job fault tolerance (see DESIGN.md, "Mid-job recovery")
+//!
+//! A node may crash while a job is running — injected deterministically
+//! through [`FaultPlan`] — and the job still completes with output
+//! byte-identical to the fault-free run:
+//!
+//! - **Attempt ledger.** Every map task has an attempt counter, a claim
+//!   slot and a commit slot. An attempt *commits* (one CAS) only after
+//!   shipping its complete output; reducers accept a batch only if its
+//!   `(task, attempt)` matches the committed attempt, so re-executed
+//!   maps never double-count.
+//! - **Crash semantics.** At the crash instant the victim's store shard
+//!   and cache shard are wiped and every not-yet-delivered send from it
+//!   is suppressed; an attempt with a suppressed send can never commit.
+//! - **Recovery flow.** Heartbeat detection ([`HeartbeatMonitor`]) →
+//!   ring repair mirrored through Chord stabilization ([`ChordNet`]) →
+//!   re-replication along the predecessor/successor chain → scheduler
+//!   rebuild → re-queue of the victim's unfinished tasks. Reads fall
+//!   back through surviving replicas; only when *every* copy of a block
+//!   is gone does the job end with [`JobError::DataLoss`] — never a
+//!   wrong or partial result, never a hang.
 
-use crate::job::ReusePolicy;
+use crate::job::{JobError, ReusePolicy};
 use crate::shuffle::{Spill, SpillBuffer};
 use crate::sim_exec::SchedulerKind;
 use bytes::Bytes;
 use eclipse_cache::{CacheKey, DistributedCache, OutputTag};
-use eclipse_dhtfs::{BlockId, BlockStore, DhtFs, DhtFsConfig};
-use eclipse_ring::{NodeId, Ring};
+use eclipse_dhtfs::{BlockId, BlockStore, DhtFs, DhtFsConfig, FsError};
+use eclipse_ring::{ChordNet, HeartbeatMonitor, NodeId, Ring};
 use eclipse_sched::{DelayScheduler, LafScheduler};
 use eclipse_util::HashKey;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
+use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Commit-board sentinel: no attempt of this task has committed yet.
+const UNCOMMITTED: u32 = u32::MAX;
+/// Claim-slot sentinel: no worker has claimed this task yet.
+const NO_CLAIM: u32 = u32::MAX;
+/// Bounded retry budget per map task; exceeding it is a terminal
+/// [`JobError::TaskFailed`].
+const MAX_ATTEMPTS: u32 = 4;
+/// Heartbeat timeout on the logical failure-detection clock.
+const HEARTBEAT_TIMEOUT_SECS: u64 = 3;
 
 /// A MapReduce application for the live executor.
 pub trait MapReduce: Send + Sync {
@@ -119,6 +153,11 @@ impl LiveConfig {
         self
     }
 
+    pub fn with_replicas(mut self, replicas: usize) -> LiveConfig {
+        self.replicas = replicas;
+        self
+    }
+
     pub fn with_scheduler(mut self, s: SchedulerKind) -> LiveConfig {
         self.scheduler = s;
         self
@@ -143,6 +182,263 @@ pub struct LiveStats {
     /// (work stealing). `tasks_per_node` still counts by assignment.
     pub steals: u64,
     pub tasks_per_node: Vec<u64>,
+    /// Map attempts started (≥ `map_tasks`; the surplus is fault
+    /// re-execution).
+    pub attempts: u64,
+    /// Attempts that were re-executions (attempt number > 0).
+    pub retries: u64,
+    /// Nodes that crashed while this job was running.
+    pub failed_nodes: u64,
+    /// Block copies re-replicated from survivors during mid-job
+    /// recovery.
+    pub recovered_blocks: u64,
+    /// Chord stabilization rounds run to re-converge the ring after
+    /// mid-job crashes.
+    pub stabilize_rounds: u64,
+    /// Wall-clock nanoseconds spent inside mid-job crash recovery
+    /// (detection + stabilization + re-replication + re-queue).
+    pub recovery_nanos: u64,
+}
+
+/// What a mid-job (or between-jobs) node recovery accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Block copies re-created from surviving replicas.
+    pub recovered_blocks: u64,
+    /// Payload bytes copied during re-replication.
+    pub recovered_bytes: u64,
+}
+
+/// One scheduled fault. Private: built via [`FaultPlan`]'s methods.
+#[derive(Clone, Debug)]
+enum FaultOp {
+    /// Crash `node` once `maps` map tasks have committed cluster-wide.
+    CrashAfterMaps { node: NodeId, maps: u64 },
+    /// Crash `node` once `spills` shuffle batches have been sent —
+    /// i.e. mid-shuffle, while map output is in flight.
+    CrashAfterSpills { node: NodeId, spills: u64 },
+    /// Crash `node` during the reduce phase (after all maps committed).
+    CrashInReduce { node: NodeId },
+    /// Make the first `times` attempts of map task `task` die before
+    /// producing output (an injected task panic).
+    FailTask { task: usize, times: u32 },
+    /// Delay every attempt executed by `node` (a straggler).
+    SlowNode { node: NodeId, micros: u64 },
+}
+
+/// A deterministic fault-injection schedule for one job run.
+///
+/// Build a plan, hand it to [`LiveCluster::inject_faults`], and the
+/// next `run_job*` call executes it: crashes fire at exact points in
+/// the job's own progress (blocks mapped, shuffle batches sent, reduce
+/// start), so a given (plan, input, scheduler) triple replays the same
+/// failure every time — the foundation of the chaos suite.
+///
+/// ```
+/// # use eclipse_core::{FaultPlan, LiveCluster, LiveConfig};
+/// let cluster = LiveCluster::new(LiveConfig::small());
+/// let victim = cluster.ring().node_ids()[1];
+/// cluster.inject_faults(FaultPlan::new().crash_after_maps(victim, 3));
+/// // The next job loses `victim` after its 3rd map task commits — and
+/// // still returns output identical to a fault-free run.
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    ops: Vec<FaultOp>,
+}
+
+impl FaultPlan {
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Crash `node` once `maps` map tasks have committed.
+    pub fn crash_after_maps(mut self, node: NodeId, maps: u64) -> FaultPlan {
+        self.ops.push(FaultOp::CrashAfterMaps { node, maps });
+        self
+    }
+
+    /// Crash `node` once `spills` shuffle batches are in flight.
+    pub fn crash_after_spills(mut self, node: NodeId, spills: u64) -> FaultPlan {
+        self.ops.push(FaultOp::CrashAfterSpills { node, spills });
+        self
+    }
+
+    /// Crash `node` during the reduce phase.
+    pub fn crash_in_reduce(mut self, node: NodeId) -> FaultPlan {
+        self.ops.push(FaultOp::CrashInReduce { node });
+        self
+    }
+
+    /// Kill the first `times` attempts of map task `task`.
+    pub fn fail_task(mut self, task: usize, times: u32) -> FaultPlan {
+        self.ops.push(FaultOp::FailTask { task, times });
+        self
+    }
+
+    /// Delay every attempt run by `node` by `micros` microseconds.
+    pub fn slow_node(mut self, node: NodeId, micros: u64) -> FaultPlan {
+        self.ops.push(FaultOp::SlowNode { node, micros });
+        self
+    }
+
+    /// Number of scheduled operations (diagnostics).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// How one map attempt ended (executor-internal).
+enum Attempt {
+    /// Complete output shipped; eligible to commit.
+    Shipped,
+    /// The worker's node crashed mid-attempt: at least one send was
+    /// suppressed, so the attempt must not commit.
+    Voided,
+    /// An injected task fault consumed the attempt before output.
+    Faulted,
+}
+
+/// One shuffle batch: the complete output of `(task, attempt)` for one
+/// reduce partition. Reducers use the pair for exactly-once dedup.
+struct TaskBatch {
+    task: u32,
+    attempt: u32,
+    records: Vec<(String, String)>,
+}
+
+/// Per-run shared state: the attempt ledger, fault schedule and
+/// recovery accounting. Lives on the driver's stack; worker and
+/// reducer threads share it by reference inside the thread scope.
+struct RunRt {
+    /// Commit board: `commits[t]` is the winning attempt number, or
+    /// [`UNCOMMITTED`]. Written once per task by CAS.
+    commits: Vec<AtomicU32>,
+    /// Next attempt number to hand out per task.
+    next_attempt: Vec<AtomicU32>,
+    /// Index of the node whose worker most recently claimed each task —
+    /// the crash handler re-queues the victim's claims.
+    claims: Vec<AtomicU32>,
+    /// Count of committed tasks (fast all-done check).
+    committed: AtomicUsize,
+    /// Tasks needing re-execution after a crash / fault / panic.
+    retry: Mutex<Vec<usize>>,
+    /// First terminal error wins.
+    error: Mutex<Option<JobError>>,
+    aborted: AtomicBool,
+    /// Crash flags, indexed by node index. A poisoned node's worker
+    /// stops; its sends are suppressed ("the crash loses in-flight
+    /// messages").
+    poisoned: Vec<AtomicBool>,
+    /// Committed map count (drives `CrashAfterMaps` triggers).
+    maps_done: AtomicU64,
+    /// Shuffle batches sent (drives `CrashAfterSpills` triggers).
+    spills_sent: AtomicU64,
+    /// Remaining fault schedule; crash ops are consumed when they fire.
+    ops: Mutex<Vec<FaultOp>>,
+    /// Faults were scheduled at job start — when false, the hot path
+    /// never touches `ops`.
+    armed: bool,
+    /// Serializes concurrent crash handling.
+    recovery_gate: Mutex<()>,
+    attempts: AtomicU64,
+    retries: AtomicU64,
+    failed_nodes: AtomicU64,
+    recovered_blocks: AtomicU64,
+    stabilize_rounds: AtomicU64,
+    recovery_nanos: AtomicU64,
+}
+
+impl RunRt {
+    fn new(tasks: usize, nodes: usize, ops: Vec<FaultOp>) -> RunRt {
+        RunRt {
+            commits: (0..tasks).map(|_| AtomicU32::new(UNCOMMITTED)).collect(),
+            next_attempt: (0..tasks).map(|_| AtomicU32::new(0)).collect(),
+            claims: (0..tasks).map(|_| AtomicU32::new(NO_CLAIM)).collect(),
+            committed: AtomicUsize::new(0),
+            retry: Mutex::new(Vec::new()),
+            error: Mutex::new(None),
+            aborted: AtomicBool::new(false),
+            poisoned: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+            maps_done: AtomicU64::new(0),
+            spills_sent: AtomicU64::new(0),
+            armed: !ops.is_empty(),
+            ops: Mutex::new(ops),
+            recovery_gate: Mutex::new(()),
+            attempts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            failed_nodes: AtomicU64::new(0),
+            recovered_blocks: AtomicU64::new(0),
+            stabilize_rounds: AtomicU64::new(0),
+            recovery_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a terminal error (first one wins) and stop the job.
+    fn abort(&self, e: JobError) {
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        self.aborted.store(true, Ordering::Release);
+    }
+
+    fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
+    fn node_down(&self, n: NodeId) -> bool {
+        self.poisoned.get(n.index()).is_some_and(|p| p.load(Ordering::Acquire))
+    }
+
+    /// Remove and return the first due crash op matching `pred`.
+    fn take_crash(&self, pred: impl Fn(&FaultOp) -> bool) -> Option<NodeId> {
+        let mut ops = self.ops.lock();
+        let i = ops.iter().position(pred)?;
+        match ops.remove(i) {
+            FaultOp::CrashAfterMaps { node, .. }
+            | FaultOp::CrashAfterSpills { node, .. }
+            | FaultOp::CrashInReduce { node } => Some(node),
+            _ => None,
+        }
+    }
+
+    fn due_after_maps(&self, done: u64) -> Option<NodeId> {
+        self.take_crash(|op| matches!(op, FaultOp::CrashAfterMaps { maps, .. } if done >= *maps))
+    }
+
+    fn due_after_spills(&self, sent: u64) -> Option<NodeId> {
+        self.take_crash(
+            |op| matches!(op, FaultOp::CrashAfterSpills { spills, .. } if sent >= *spills),
+        )
+    }
+
+    fn due_in_reduce(&self) -> Option<NodeId> {
+        self.take_crash(|op| matches!(op, FaultOp::CrashInReduce { .. }))
+    }
+
+    /// Straggler delay for attempts executed by `node` (0 = none).
+    fn slow_micros(&self, node: NodeId) -> u64 {
+        self.ops
+            .lock()
+            .iter()
+            .find_map(|op| match op {
+                FaultOp::SlowNode { node: n, micros } if *n == node => Some(*micros),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Does an injected fault kill this `(task, attempt)`?
+    fn injected_failure(&self, task: usize, attempt: u32) -> bool {
+        self.ops.lock().iter().any(
+            |op| matches!(op, FaultOp::FailTask { task: t, times } if *t == task && attempt < *times),
+        )
+    }
 }
 
 /// A live EclipseMR deployment.
@@ -155,6 +451,12 @@ pub struct LiveCluster {
     /// Internally sharded: per-node locks, no cluster-wide mutex.
     cache: DistributedCache,
     sched: Mutex<LiveSched>,
+    /// Failure detector fed by a logical clock: crashes advance the
+    /// clock past the timeout so the victim misses its beat.
+    monitor: Mutex<HeartbeatMonitor>,
+    clock: AtomicU64,
+    /// Faults scheduled for the next job run (drained at job start).
+    faults: Mutex<Vec<FaultOp>>,
 }
 
 impl LiveCluster {
@@ -169,6 +471,10 @@ impl LiveCluster {
             SchedulerKind::Laf(c) => LiveSched::Laf(LafScheduler::new(&ring, *c)),
             SchedulerKind::Delay(c) => LiveSched::Delay(DelayScheduler::new(&ring, *c)),
         };
+        let mut monitor = HeartbeatMonitor::new(HEARTBEAT_TIMEOUT_SECS as f64);
+        for n in ring.node_ids() {
+            monitor.heartbeat(n, 0.0);
+        }
         LiveCluster {
             cfg,
             ring: RwLock::new(ring),
@@ -176,6 +482,9 @@ impl LiveCluster {
             store: BlockStore::new(),
             cache,
             sched: Mutex::new(sched),
+            monitor: Mutex::new(monitor),
+            clock: AtomicU64::new(0),
+            faults: Mutex::new(Vec::new()),
         }
     }
 
@@ -186,6 +495,18 @@ impl LiveCluster {
 
     pub fn nodes(&self) -> usize {
         self.cfg.nodes
+    }
+
+    /// The block payload store (test/diagnostic access — e.g. the
+    /// property suite pins `recovered_blocks` to a victim's holdings).
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    /// Schedule faults for the next `run_job*` call. Multiple calls
+    /// accumulate; the next job drains the whole schedule.
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        self.faults.lock().extend(plan.ops);
     }
 
     /// Upload real data: partition into blocks, write every replica's
@@ -203,26 +524,29 @@ impl LiveCluster {
         }
     }
 
-    /// Fetch a block payload as `reader`: local shard first, then any
-    /// surviving replica (tolerates missing copies after a crash).
-    fn fetch_block(&self, id: BlockId, reader: NodeId) -> Bytes {
+    /// Fetch a block payload as `reader`: local shard first, then fall
+    /// back through every registered replica. Only when *no* copy
+    /// survives anywhere does this return [`JobError::DataLoss`].
+    fn fetch_block(&self, id: BlockId, reader: NodeId) -> Result<Bytes, JobError> {
         if let Some(d) = self.store.get(reader, id) {
-            return d;
+            return Ok(d);
         }
         let holders = {
             let fs = self.fs.read();
-            fs.block_holders(id).expect("block registered").to_vec()
+            fs.block_holders(id).map_err(JobError::from)?.to_vec()
         };
         for h in holders {
             if let Some(d) = self.store.get(h, id) {
-                return d;
+                return Ok(d);
             }
         }
-        panic!("all replicas lost for {id:?}");
+        Err(JobError::DataLoss(id))
     }
 
     /// Run a MapReduce job over `input`, returning the reduced output as
-    /// sorted (key, value) pairs plus execution stats.
+    /// sorted (key, value) pairs plus execution stats. Panics on a
+    /// terminal [`JobError`]; use [`try_run_job`](Self::try_run_job) to
+    /// handle data loss gracefully.
     pub fn run_job(
         &self,
         app: &dyn MapReduce,
@@ -231,10 +555,23 @@ impl LiveCluster {
         reducers: usize,
         reuse: ReusePolicy,
     ) -> (Vec<(String, String)>, LiveStats) {
-        let (parts, stats) = self.run_job_partitioned(app, input, user, reducers, reuse);
+        self.try_run_job(app, input, user, reducers, reuse)
+            .unwrap_or_else(|e| panic!("job failed: {e}"))
+    }
+
+    /// Fallible twin of [`run_job`](Self::run_job).
+    pub fn try_run_job(
+        &self,
+        app: &dyn MapReduce,
+        input: &str,
+        user: &str,
+        reducers: usize,
+        reuse: ReusePolicy,
+    ) -> Result<(Vec<(String, String)>, LiveStats), JobError> {
+        let (parts, stats) = self.try_run_job_partitioned(app, input, user, reducers, reuse)?;
         let mut result: Vec<(String, String)> = parts.into_iter().flatten().collect();
         result.sort();
-        (result, stats)
+        Ok((result, stats))
     }
 
     /// Like [`run_job`](Self::run_job), but returns each reduce
@@ -249,7 +586,20 @@ impl LiveCluster {
         reducers: usize,
         reuse: ReusePolicy,
     ) -> (Vec<Vec<(String, String)>>, LiveStats) {
-        self.run_job_inputs_partitioned(app, &[input], user, reducers, reuse)
+        self.try_run_job_partitioned(app, input, user, reducers, reuse)
+            .unwrap_or_else(|e| panic!("job failed: {e}"))
+    }
+
+    /// Fallible twin of [`run_job_partitioned`](Self::run_job_partitioned).
+    pub fn try_run_job_partitioned(
+        &self,
+        app: &dyn MapReduce,
+        input: &str,
+        user: &str,
+        reducers: usize,
+        reuse: ReusePolicy,
+    ) -> Result<(Vec<Vec<(String, String)>>, LiveStats), JobError> {
+        self.try_run_job_inputs_partitioned(app, &[input], user, reducers, reuse)
     }
 
     /// Run a job over several input files at once (reduce-side join):
@@ -264,11 +614,24 @@ impl LiveCluster {
         reducers: usize,
         reuse: ReusePolicy,
     ) -> (Vec<(String, String)>, LiveStats) {
+        self.try_run_job_inputs(app, inputs, user, reducers, reuse)
+            .unwrap_or_else(|e| panic!("job failed: {e}"))
+    }
+
+    /// Fallible twin of [`run_job_inputs`](Self::run_job_inputs).
+    pub fn try_run_job_inputs(
+        &self,
+        app: &dyn MapReduce,
+        inputs: &[&str],
+        user: &str,
+        reducers: usize,
+        reuse: ReusePolicy,
+    ) -> Result<(Vec<(String, String)>, LiveStats), JobError> {
         let (parts, stats) =
-            self.run_job_inputs_partitioned(app, inputs, user, reducers, reuse);
+            self.try_run_job_inputs_partitioned(app, inputs, user, reducers, reuse)?;
         let mut result: Vec<(String, String)> = parts.into_iter().flatten().collect();
         result.sort();
-        (result, stats)
+        Ok((result, stats))
     }
 
     /// Multi-input variant of
@@ -281,22 +644,39 @@ impl LiveCluster {
         reducers: usize,
         reuse: ReusePolicy,
     ) -> (Vec<Vec<(String, String)>>, LiveStats) {
+        self.try_run_job_inputs_partitioned(app, inputs, user, reducers, reuse)
+            .unwrap_or_else(|e| panic!("job failed: {e}"))
+    }
+
+    /// The core executor: fallible, multi-input, partitioned. All other
+    /// `run_job*` entry points funnel here.
+    pub fn try_run_job_inputs_partitioned(
+        &self,
+        app: &dyn MapReduce,
+        inputs: &[&str],
+        user: &str,
+        reducers: usize,
+        reuse: ReusePolicy,
+    ) -> Result<(Vec<Vec<(String, String)>>, LiveStats), JobError> {
         assert!(reducers > 0);
         assert!(!inputs.is_empty());
         let metas: Vec<_> = {
             let fs = self.fs.read();
-            inputs
-                .iter()
-                .map(|input| fs.open(input, user).expect("open input").clone())
-                .collect()
+            let mut v = Vec::with_capacity(inputs.len());
+            for input in inputs {
+                v.push(fs.open(input, user).map_err(JobError::from)?.clone());
+            }
+            v
         };
         let node_count = self.cache.num_nodes();
         let mut stats =
             LiveStats { tasks_per_node: vec![0; node_count], ..Default::default() };
 
         // ---- Placement: every block through the production scheduler.
+        // Tasks live in one flat ledger; per-node queues hold task ids.
         let mut inflight = vec![0u64; node_count];
-        let mut assignments: Vec<Vec<(usize, BlockId)>> = vec![Vec::new(); node_count];
+        let mut tasks: Vec<(usize, BlockId, NodeId)> = Vec::new();
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); node_count];
         {
             let mut sched = self.sched.lock();
             for (source, meta) in metas.iter().enumerate() {
@@ -310,7 +690,8 @@ impl LiveCluster {
                         }
                     };
                     inflight[node.index()] += 1;
-                    assignments[node.index()].push((source, b.id));
+                    queues[node.index()].push(tasks.len());
+                    tasks.push((source, b.id, node));
                     stats.tasks_per_node[node.index()] += 1;
                     stats.map_tasks += 1;
                 }
@@ -322,6 +703,12 @@ impl LiveCluster {
                 self.cache.set_ranges(laf.ranges().to_vec());
             }
         }
+        let tasks = &tasks;
+        let queues = &queues;
+
+        // Per-run fault schedule and attempt ledger.
+        let rt = RunRt::new(tasks.len(), node_count, std::mem::take(&mut *self.faults.lock()));
+        let rt = &rt;
 
         // ---- Pipelined map + shuffle + reduce -----------------------
         // Proactive shuffle over real channels (§II-D): every spill is
@@ -334,7 +721,7 @@ impl LiveCluster {
         let spill_count = AtomicU64::new(0);
         let steal_count = AtomicU64::new(0);
 
-        let mut senders: Vec<Sender<Vec<(String, String)>>> = Vec::with_capacity(reducers);
+        let mut senders: Vec<Sender<TaskBatch>> = Vec::with_capacity(reducers);
         let mut receivers = Vec::with_capacity(reducers);
         for _ in 0..reducers {
             let (tx, rx) = unbounded();
@@ -345,17 +732,18 @@ impl LiveCluster {
             (0..reducers).map(|_| Mutex::new(Vec::new())).collect();
 
         // Frozen work queues plus one atomic cursor per assigned node:
-        // workers claim blocks with fetch_add, so every block runs
-        // exactly once no matter who executes it.
-        let queues = &assignments;
+        // workers claim blocks with fetch_add, so every block's first
+        // attempt starts exactly once no matter who executes it; crash
+        // re-execution flows through the retry queue instead.
         let cursors: Vec<AtomicUsize> =
             (0..node_count).map(|_| AtomicUsize::new(0)).collect();
         let cursors = &cursors;
-        // Workers exist only for current ring members — a failed node's
-        // thread must not resurrect and steal work. Thread count is
-        // capped at the machine's parallelism: stealing lets fewer
-        // threads drain every node's queue, so extra threads would only
-        // add context switching (virtual nodes share the same cores).
+        // Worker threads start under the identities of the ring members
+        // at job start; a thread whose node crashes mid-job re-homes to
+        // a survivor (see `rehome`). Thread count is capped at the
+        // machine's parallelism: stealing lets fewer threads drain
+        // every node's queue, so extra threads would only add context
+        // switching (virtual nodes share the same cores).
         let workers: Vec<NodeId> = self.ring.read().node_ids();
         let threads = workers
             .len()
@@ -369,14 +757,15 @@ impl LiveCluster {
         // not reached yet.
         let red_threads = reducers
             .min(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
-        let mut lanes: Vec<Vec<(usize, Receiver<Vec<(String, String)>>)>> =
+        let mut lanes: Vec<Vec<(usize, Receiver<TaskBatch>)>> =
             (0..red_threads).map(|_| Vec::new()).collect();
         for (r, rx) in receivers.into_iter().enumerate() {
             lanes[r % red_threads].push((r, rx));
         }
 
         std::thread::scope(|scope| {
-            // Reducer side: consume spills concurrently with the maps.
+            // Reducer side: consume spills concurrently with the maps,
+            // deduplicating by (task, attempt) against the commit board.
             for lane in lanes {
                 let outputs = &outputs;
                 scope.spawn(move || {
@@ -385,10 +774,42 @@ impl LiveCluster {
                         // at fold time so each partition's output stays
                         // key-sorted (terasort depends on that).
                         let mut grouped: HashMap<String, Vec<String>> = HashMap::new();
+                        // Batches from attempts that have not committed
+                        // yet; resolved once the channel closes (the
+                        // commit board is final by then).
+                        let mut pending: Vec<TaskBatch> = Vec::new();
+                        let ingest =
+                            |grouped: &mut HashMap<String, Vec<String>>, batch: TaskBatch| {
+                                for (k, v) in batch.records {
+                                    grouped.entry(k).or_default().push(v);
+                                }
+                            };
                         while let Ok(batch) = rx.recv() {
-                            for (k, v) in batch {
-                                grouped.entry(k).or_default().push(v);
+                            match rt.commits[batch.task as usize].load(Ordering::Acquire) {
+                                a if a == batch.attempt => ingest(&mut grouped, batch),
+                                UNCOMMITTED => pending.push(batch),
+                                // A losing attempt's output: re-executed
+                                // elsewhere, drop to avoid double-count.
+                                _ => {}
                             }
+                        }
+                        for batch in pending {
+                            if rt.commits[batch.task as usize].load(Ordering::Acquire)
+                                == batch.attempt
+                            {
+                                ingest(&mut grouped, batch);
+                            }
+                        }
+                        // Reduce-phase crash: all maps have committed by
+                        // now, so recovery re-replicates and heals the
+                        // ring but has nothing to re-queue.
+                        if rt.armed {
+                            if let Some(victim) = rt.due_in_reduce() {
+                                self.crash_node_mid_job(victim, rt);
+                            }
+                        }
+                        if rt.is_aborted() {
+                            continue;
                         }
                         let mut entries: Vec<(String, Vec<String>)> =
                             grouped.into_iter().collect();
@@ -414,49 +835,59 @@ impl LiveCluster {
                     let spill_count = &spill_count;
                     let steal_count = &steal_count;
                     map_scope.spawn(move || {
+                        // Threads are execution resources, not nodes:
+                        // each starts under one virtual node's identity
+                        // but re-homes to a survivor when that node
+                        // crashes (with fewer cores than nodes a single
+                        // thread already serves many virtual nodes, so
+                        // its exit would strand the whole job).
+                        let me = Cell::new(me);
                         // One spill buffer and one combine scratch per
-                        // worker, reused across every block it maps.
+                        // worker; the buffer is flushed at the end of
+                        // every task so each batch carries exactly one
+                        // (task, attempt) tag.
                         let mut buffer: SpillBuffer<(String, String)> =
                             SpillBuffer::new(reducers, 32 * 1024);
                         let mut scratch: Vec<String> = Vec::new();
-                        let mut push = |spill: Spill<(String, String)>| {
-                            if spill.records.is_empty() {
-                                return;
-                            }
-                            spill_count.fetch_add(1, Ordering::Relaxed);
-                            let combined = if app.has_combiner() {
-                                combine_sorted_runs(app, spill.records, &mut scratch)
-                            } else {
-                                // No combiner: ship records untouched.
-                                spill.records
-                            };
-                            // A dropped receiver means the job is being
-                            // torn down; losing the spill is fine then.
-                            let _ = senders[spill.partition].send(combined);
-                        };
-                        // Own queue first (locality), then steal from the
-                        // other live nodes' tails, ring order.
-                        for step in 0..workers.len() {
-                            let owner = workers[(wi + step) % workers.len()];
-                            loop {
-                                let i = cursors[owner.index()].fetch_add(1, Ordering::Relaxed);
-                                let Some(&(source, bid)) = queues[owner.index()].get(i) else {
-                                    break;
-                                };
-                                if owner != me {
-                                    steal_count.fetch_add(1, Ordering::Relaxed);
+
+                        // Execute one attempt: read the block (replica
+                        // fallback included), map it, ship every spill.
+                        let exec = |tid: usize,
+                                    attempt: u32,
+                                    buffer: &mut SpillBuffer<(String, String)>,
+                                    scratch: &mut Vec<String>|
+                         -> Result<Attempt, JobError> {
+                            let (source, bid, owner) = tasks[tid];
+                            if rt.armed {
+                                let delay = rt.slow_micros(me.get());
+                                if delay > 0 {
+                                    std::thread::sleep(Duration::from_micros(delay));
                                 }
-                                // All cache and locality accounting uses
-                                // the ASSIGNED node: stats and cache
-                                // placement are identical with or
-                                // without stealing.
-                                let key = CacheKey::Input(HashKey::of_block(
-                                    inputs[source],
-                                    bid.index,
-                                ));
+                                if rt.injected_failure(tid, attempt) {
+                                    return Ok(Attempt::Faulted);
+                                }
+                            }
+                            if owner != me.get() {
+                                steal_count.fetch_add(1, Ordering::Relaxed);
+                            }
+                            // All cache and locality accounting uses the
+                            // ASSIGNED node: stats and cache placement
+                            // are identical with or without stealing.
+                            // When that node is dead its cache shard died
+                            // with it, so the read goes straight to the
+                            // replica chain.
+                            let key = CacheKey::Input(HashKey::of_block(
+                                inputs[source],
+                                bid.index,
+                            ));
+                            let payload = if rt.node_down(owner) {
+                                misses.fetch_add(1, Ordering::Relaxed);
+                                remote.fetch_add(1, Ordering::Relaxed);
+                                self.fetch_block(bid, me.get())?
+                            } else {
                                 let shard = self.cache.shard(owner);
                                 let cached = shard.lock().get_payload(&key, 0.0);
-                                let payload = match cached {
+                                match cached {
                                     Some(p) => {
                                         hits.fetch_add(1, Ordering::Relaxed);
                                         p
@@ -466,8 +897,8 @@ impl LiveCluster {
                                         if !self.store.holds(owner, bid) {
                                             remote.fetch_add(1, Ordering::Relaxed);
                                         }
-                                        let p = self.fetch_block(bid, owner);
-                                        if reuse.cache_input {
+                                        let p = self.fetch_block(bid, owner)?;
+                                        if reuse.cache_input && !rt.node_down(owner) {
                                             shard.lock().put_payload(
                                                 key,
                                                 p.clone(),
@@ -477,44 +908,344 @@ impl LiveCluster {
                                         }
                                         p
                                     }
+                                }
+                            };
+                            // "A crash loses in-flight messages": once
+                            // this worker's node is poisoned, nothing it
+                            // ships may reach a reducer — the voided
+                            // flag keeps the attempt from committing.
+                            let voided = Cell::new(false);
+                            let mut ship = |spill: Spill<(String, String)>| {
+                                if spill.records.is_empty() {
+                                    return;
+                                }
+                                if rt.node_down(me.get()) {
+                                    voided.set(true);
+                                    return;
+                                }
+                                spill_count.fetch_add(1, Ordering::Relaxed);
+                                let combined = if app.has_combiner() {
+                                    combine_sorted_runs(app, spill.records, scratch)
+                                } else {
+                                    // No combiner: ship records untouched.
+                                    spill.records
                                 };
-                                // Map + proactive spill; the buffer keeps
-                                // accumulating across blocks, batching
-                                // channel sends.
-                                app.map_tagged(source, &payload, &mut |k, v| {
-                                    let bytes = (k.len() + v.len()) as u64;
-                                    let spill = match app.partition(&k, reducers) {
-                                        Some(p) => buffer.push_to(p, bytes, Some((k, v))),
-                                        None => {
-                                            let hk = shuffle_hash(&k);
-                                            buffer.push(hk, bytes, Some((k, v)))
-                                        }
-                                    };
-                                    if let Some(spill) = spill {
-                                        push(spill);
-                                    }
+                                // A dropped receiver means the job is
+                                // being torn down; losing the spill is
+                                // fine then.
+                                let _ = senders[spill.partition].send(TaskBatch {
+                                    task: tid as u32,
+                                    attempt,
+                                    records: combined,
                                 });
+                                let sent =
+                                    rt.spills_sent.fetch_add(1, Ordering::AcqRel) + 1;
+                                if rt.armed {
+                                    if let Some(victim) = rt.due_after_spills(sent) {
+                                        self.crash_node_mid_job(victim, rt);
+                                    }
+                                }
+                            };
+                            // Map + proactive spill. The buffer is empty
+                            // at entry and drained before return, so a
+                            // batch never mixes tasks or attempts.
+                            app.map_tagged(source, &payload, &mut |k, v| {
+                                let bytes = (k.len() + v.len()) as u64;
+                                let spill = match app.partition(&k, reducers) {
+                                    Some(p) => buffer.push_to(p, bytes, Some((k, v))),
+                                    None => {
+                                        let hk = shuffle_hash(&k);
+                                        buffer.push(hk, bytes, Some((k, v)))
+                                    }
+                                };
+                                if let Some(spill) = spill {
+                                    ship(spill);
+                                }
+                            });
+                            for spill in buffer.flush() {
+                                ship(spill);
+                            }
+                            Ok(if voided.get() { Attempt::Voided } else { Attempt::Shipped })
+                        };
+
+                        // Claim, execute and settle one attempt of `tid`.
+                        let run_attempt = |tid: usize,
+                                           buffer: &mut SpillBuffer<(String, String)>,
+                                           scratch: &mut Vec<String>| {
+                            if rt.commits[tid].load(Ordering::Acquire) != UNCOMMITTED {
+                                return; // an earlier attempt already won
+                            }
+                            if rt.node_down(me.get()) {
+                                // Our node crashed between claiming and
+                                // executing; hand the task back (the
+                                // loop re-homes before the next pop).
+                                rt.retry.lock().push(tid);
+                                return;
+                            }
+                            let attempt =
+                                rt.next_attempt[tid].fetch_add(1, Ordering::AcqRel);
+                            if attempt >= MAX_ATTEMPTS {
+                                rt.abort(JobError::TaskFailed { task: tid, attempts: attempt });
+                                return;
+                            }
+                            if attempt > 0 {
+                                rt.retries.fetch_add(1, Ordering::Relaxed);
+                                // Exponential backoff before re-execution.
+                                std::thread::sleep(Duration::from_micros(
+                                    100u64 << attempt.min(6),
+                                ));
+                            }
+                            rt.attempts.fetch_add(1, Ordering::Relaxed);
+                            rt.claims[tid].store(me.get().index() as u32, Ordering::Release);
+                            let outcome = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| {
+                                    exec(tid, attempt, buffer, scratch)
+                                }),
+                            );
+                            match outcome {
+                                Ok(Ok(Attempt::Shipped)) => {
+                                    // Commit: all sends of this attempt
+                                    // happened-before this CAS, so any
+                                    // reducer that sees the committed
+                                    // attempt will receive its batches.
+                                    if rt.commits[tid]
+                                        .compare_exchange(
+                                            UNCOMMITTED,
+                                            attempt,
+                                            Ordering::AcqRel,
+                                            Ordering::Acquire,
+                                        )
+                                        .is_ok()
+                                    {
+                                        rt.committed.fetch_add(1, Ordering::AcqRel);
+                                        let done =
+                                            rt.maps_done.fetch_add(1, Ordering::AcqRel) + 1;
+                                        if rt.armed {
+                                            if let Some(victim) = rt.due_after_maps(done) {
+                                                self.crash_node_mid_job(victim, rt);
+                                            }
+                                        }
+                                    }
+                                }
+                                Ok(Ok(Attempt::Voided)) => {
+                                    // Our own crash voided the attempt;
+                                    // survivors must re-execute it.
+                                    buffer.reset();
+                                    rt.retry.lock().push(tid);
+                                }
+                                Ok(Ok(Attempt::Faulted)) | Err(_) => {
+                                    // Injected fault or a panic inside
+                                    // map/combine: bounded retry.
+                                    buffer.reset();
+                                    rt.retry.lock().push(tid);
+                                }
+                                Ok(Err(e)) => {
+                                    buffer.reset();
+                                    rt.abort(e);
+                                }
+                            }
+                        };
+
+                        // If this thread's node crashed, adopt the
+                        // identity of the next surviving node in ring
+                        // order. False only when every node is dead.
+                        let rehome = || -> bool {
+                            if !rt.node_down(me.get()) {
+                                return true;
+                            }
+                            for step in 0..workers.len() {
+                                let n = workers[(wi + step) % workers.len()];
+                                if !rt.node_down(n) {
+                                    me.set(n);
+                                    return true;
+                                }
+                            }
+                            false
+                        };
+
+                        // Phase 1 — frozen queues: own queue first
+                        // (locality), then steal from the other live
+                        // nodes' tails, ring order.
+                        'phase1: for step in 0..workers.len() {
+                            let owner = workers[(wi + step) % workers.len()];
+                            loop {
+                                if rt.is_aborted() || !rehome() {
+                                    break 'phase1;
+                                }
+                                let i = cursors[owner.index()]
+                                    .fetch_add(1, Ordering::Relaxed);
+                                let Some(&tid) = queues[owner.index()].get(i) else {
+                                    break;
+                                };
+                                run_attempt(tid, &mut buffer, &mut scratch);
                             }
                         }
-                        for spill in buffer.flush() {
-                            push(spill);
+                        // Phase 2 — drain crash/fault re-executions
+                        // until every task has committed.
+                        loop {
+                            if rt.is_aborted()
+                                || rt.committed.load(Ordering::Acquire) == tasks.len()
+                                || !rehome()
+                            {
+                                break;
+                            }
+                            let next = rt.retry.lock().pop();
+                            match next {
+                                Some(tid) => run_attempt(tid, &mut buffer, &mut scratch),
+                                None => std::thread::sleep(Duration::from_micros(100)),
+                            }
                         }
                     });
                 }
             });
+            // Every worker has exited. If tasks are still uncommitted
+            // and nothing aborted yet, all workers died mid-job — fail
+            // loudly instead of folding partial output.
+            if !rt.is_aborted() && rt.committed.load(Ordering::Acquire) != tasks.len() {
+                let tid = (0..tasks.len())
+                    .find(|&t| rt.commits[t].load(Ordering::Acquire) == UNCOMMITTED)
+                    .unwrap_or(0);
+                rt.abort(JobError::DataLoss(tasks[tid].1));
+            }
             // All mappers done: hang up so the reducers fold and exit.
             drop(senders);
         });
+
+        if rt.is_aborted() {
+            let e = rt
+                .error
+                .lock()
+                .take()
+                .unwrap_or(JobError::TaskFailed { task: 0, attempts: 0 });
+            return Err(e);
+        }
+
         stats.cache_hits = hits.into_inner();
         stats.cache_misses = misses.into_inner();
         stats.remote_reads = remote.into_inner();
         stats.spills = spill_count.into_inner();
         stats.steals = steal_count.into_inner();
         stats.reduce_tasks = reducers as u64;
+        stats.attempts = rt.attempts.load(Ordering::Relaxed);
+        stats.retries = rt.retries.load(Ordering::Relaxed);
+        stats.failed_nodes = rt.failed_nodes.load(Ordering::Relaxed);
+        stats.recovered_blocks = rt.recovered_blocks.load(Ordering::Relaxed);
+        stats.stabilize_rounds = rt.stabilize_rounds.load(Ordering::Relaxed);
+        stats.recovery_nanos = rt.recovery_nanos.load(Ordering::Relaxed);
 
         let parts: Vec<Vec<(String, String)>> =
             outputs.into_iter().map(|m| m.into_inner()).collect();
-        (parts, stats)
+        Ok((parts, stats))
+    }
+
+    /// Crash `victim` while a job is running: the full detection →
+    /// ring-repair → re-replication → re-queue flow, serialized so
+    /// concurrent triggers handle one crash at a time.
+    fn crash_node_mid_job(&self, victim: NodeId, rt: &RunRt) {
+        let _gate = rt.recovery_gate.lock();
+        let vi = victim.index();
+        // Already crashed (or joined after the job started): no-op.
+        if vi >= rt.poisoned.len() || rt.poisoned[vi].swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if !self.ring.read().contains(victim) {
+            return;
+        }
+        let t0 = Instant::now();
+        // The crash instant: payloads and cache shard die; from here on
+        // every send from the victim is suppressed (see `ship`).
+        self.store.wipe_node(victim);
+        self.cache.invalidate_node(victim);
+        // Detection: advance the logical clock past the heartbeat
+        // timeout; every live node beats, the victim cannot.
+        {
+            let mut mon = self.monitor.lock();
+            let step = HEARTBEAT_TIMEOUT_SECS + 1;
+            let now = (self.clock.fetch_add(step, Ordering::AcqRel) + step) as f64;
+            for n in self.ring.read().node_ids() {
+                if !rt.poisoned.get(n.index()).is_some_and(|p| p.load(Ordering::Acquire)) {
+                    mon.heartbeat(n, now);
+                }
+            }
+            let dead = mon.expired(now);
+            debug_assert!(dead.contains(&victim), "victim must be detected");
+        }
+        // Ring repair, mirrored through protocol-level Chord
+        // stabilization: successors/predecessors re-converge around the
+        // hole exactly as the paper's stabilization procedure would.
+        {
+            let mut net = ChordNet::converged_from(self.ring.read().members().cloned());
+            net.fail(victim);
+            let max = 4 * net.len() + 8;
+            if let Some(rounds) = net.stabilize_until_converged(max) {
+                rt.stabilize_rounds.fetch_add(rounds as u64, Ordering::Relaxed);
+            }
+        }
+        // Re-replication from survivors + scheduler/ring rebuild.
+        match self.recover_node(victim) {
+            Ok(report) => {
+                rt.failed_nodes.fetch_add(1, Ordering::Relaxed);
+                rt.recovered_blocks.fetch_add(report.recovered_blocks, Ordering::Relaxed);
+            }
+            Err(e) => {
+                rt.recovery_nanos
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                rt.abort(e.into());
+                return;
+            }
+        }
+        // Re-queue the victim's claimed-but-uncommitted tasks; its own
+        // voided attempts also self-requeue (duplicates are safe: the
+        // ledger commits each task once, reducers dedup by attempt).
+        for tid in 0..rt.commits.len() {
+            if rt.commits[tid].load(Ordering::Acquire) == UNCOMMITTED
+                && rt.claims[tid].load(Ordering::Acquire) == vi as u32
+            {
+                rt.retry.lock().push(tid);
+            }
+        }
+        rt.recovery_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Metadata + payload recovery shared by the mid-job path and the
+    /// public [`fail_node`](Self::fail_node): re-replicate the victim's
+    /// blocks from survivors and rebuild ring-derived state.
+    fn recover_node(&self, node: NodeId) -> Result<RecoveryReport, FsError> {
+        let plan = {
+            let mut fs = self.fs.write();
+            fs.fail_node(node)?
+        };
+        let mut report = RecoveryReport::default();
+        for copy in plan {
+            if !self.store.copy(copy.block, copy.from, copy.to) {
+                // The designated source died too (double failure):
+                // every surviving replica of this block is gone.
+                return Err(FsError::DataLoss(copy.block));
+            }
+            report.recovered_blocks += 1;
+            report.recovered_bytes += copy.bytes;
+        }
+        let new_ring = self.fs.read().ring().clone();
+        *self.ring.write() = new_ring.clone();
+        let mut sched = self.sched.lock();
+        match &mut *sched {
+            LiveSched::Laf(laf) => laf.set_nodes(&new_ring),
+            LiveSched::Delay(d) => {
+                *d = DelayScheduler::new(
+                    &new_ring,
+                    match &self.cfg.scheduler {
+                        SchedulerKind::Delay(c) => *c,
+                        _ => Default::default(),
+                    },
+                );
+            }
+        }
+        // Cache entries on the failed node die with it.
+        self.cache.invalidate_node(node);
+        if let LiveSched::Laf(laf) = &*sched {
+            self.cache.set_ranges(laf.ranges().to_vec());
+        }
+        Ok(report)
     }
 
     /// Store an application-tagged object in oCache (e.g. iteration
@@ -555,6 +1286,7 @@ impl LiveCluster {
         let new_ring = fs.ring().clone();
         drop(fs);
         *self.ring.write() = new_ring.clone();
+        self.monitor.lock().heartbeat(id, self.clock.load(Ordering::Acquire) as f64);
         let mut sched = self.sched.lock();
         match &mut *sched {
             LiveSched::Laf(laf) => {
@@ -575,39 +1307,17 @@ impl LiveCluster {
         id
     }
 
-    /// Crash a node: wipe its payloads, re-replicate from survivors, and
-    /// rebuild ring-derived state. Jobs submitted afterwards run on the
-    /// surviving nodes and still produce complete results.
-    pub fn fail_node(&self, node: NodeId) {
+    /// Crash a node between jobs: wipe its payloads, re-replicate from
+    /// survivors, and rebuild ring-derived state. Jobs submitted
+    /// afterwards run on the surviving nodes and still produce complete
+    /// results. Returns what recovery accomplished, or the error when a
+    /// second simultaneous failure already destroyed a source replica —
+    /// callers decide whether that is fatal.
+    pub fn fail_node(&self, node: NodeId) -> Result<RecoveryReport, FsError> {
+        self.monitor.lock().forget(node);
         self.store.wipe_node(node);
-        let plan = {
-            let mut fs = self.fs.write();
-            fs.fail_node(node).expect("member")
-        };
-        for copy in plan {
-            // The control plane guarantees the source survives.
-            assert!(self.store.copy(copy.block, copy.from, copy.to), "lost source replica");
-        }
-        let new_ring = self.fs.read().ring().clone();
-        *self.ring.write() = new_ring.clone();
-        let mut sched = self.sched.lock();
-        match &mut *sched {
-            LiveSched::Laf(laf) => laf.set_nodes(&new_ring),
-            LiveSched::Delay(d) => {
-                *d = DelayScheduler::new(
-                    &new_ring,
-                    match &self.cfg.scheduler {
-                        SchedulerKind::Delay(c) => *c,
-                        _ => Default::default(),
-                    },
-                );
-            }
-        }
-        // Cache entries on the failed node die with it.
-        self.cache.with_node(node, |c| c.clear());
-        if let LiveSched::Laf(laf) = &*sched {
-            self.cache.set_ranges(laf.ranges().to_vec());
-        }
+        self.cache.invalidate_node(node);
+        self.recover_node(node)
     }
 }
 
@@ -705,6 +1415,9 @@ mod tests {
             stats.map_tasks,
             "every task placed exactly once"
         );
+        assert_eq!(stats.attempts, stats.map_tasks, "fault-free run: one attempt each");
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.failed_nodes, 0);
     }
 
     #[test]
@@ -740,10 +1453,58 @@ mod tests {
         let c = text_cluster(&data);
         let (before, _) = c.run_job(&WordCount, "input", "tester", 2, ReusePolicy::default());
         let victim = c.ring().node_ids()[2];
-        c.fail_node(victim);
+        let held = c.store().blocks_on(victim).len() as u64;
+        let report = c.fail_node(victim).expect("survivors hold every replica");
+        assert_eq!(report.recovered_blocks, held, "every held block re-replicated");
         let (after, stats) = c.run_job(&WordCount, "input", "tester", 2, ReusePolicy::default());
         assert_eq!(before, after, "failure must not lose data");
         assert_eq!(stats.tasks_per_node[victim.index()], 0, "dead node got tasks");
+    }
+
+    #[test]
+    fn crash_during_map_preserves_results() {
+        let data = "alpha beta gamma delta\n".repeat(400);
+        let c = text_cluster(&data);
+        let (baseline, _) = c.run_job(&WordCount, "input", "tester", 3, ReusePolicy::default());
+        let victim = c.ring().node_ids()[1];
+        c.inject_faults(FaultPlan::new().crash_after_maps(victim, 2));
+        let (out, stats) = c
+            .try_run_job(&WordCount, "input", "tester", 3, ReusePolicy::default())
+            .expect("job survives a single crash");
+        assert_eq!(out, baseline, "mid-map crash must not change output");
+        assert_eq!(stats.failed_nodes, 1);
+        assert!(!c.ring().contains(victim), "victim evicted from the ring");
+    }
+
+    #[test]
+    fn injected_task_faults_are_retried() {
+        let data = "red green blue\n".repeat(200);
+        let c = text_cluster(&data);
+        let (baseline, _) = c.run_job(&WordCount, "input", "tester", 2, ReusePolicy::default());
+        // First two attempts of task 0 die; the third succeeds.
+        c.inject_faults(FaultPlan::new().fail_task(0, 2));
+        let (out, stats) = c
+            .try_run_job(&WordCount, "input", "tester", 2, ReusePolicy::default())
+            .expect("retries absorb the injected faults");
+        assert_eq!(out, baseline);
+        assert!(stats.retries >= 2, "retries={}", stats.retries);
+        assert_eq!(stats.attempts, stats.map_tasks + stats.retries);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_terminal() {
+        let data = "solo\n".repeat(64);
+        let c = text_cluster(&data);
+        // More injected failures than MAX_ATTEMPTS: the task can never
+        // succeed and the job must fail cleanly (not hang).
+        c.inject_faults(FaultPlan::new().fail_task(0, MAX_ATTEMPTS + 4));
+        let err = c
+            .try_run_job(&WordCount, "input", "tester", 2, ReusePolicy::default())
+            .expect_err("budget exhaustion is terminal");
+        assert!(
+            matches!(err, JobError::TaskFailed { task: 0, .. }),
+            "unexpected error: {err:?}"
+        );
     }
 
     #[test]

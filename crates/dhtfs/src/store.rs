@@ -54,6 +54,20 @@ impl BlockStore {
         true
     }
 
+    /// Every block id a node currently holds a copy of (sorted, so
+    /// callers get a deterministic view). The recovery property tests
+    /// use this to pin `recovered_blocks` to the victim's holdings.
+    pub fn blocks_on(&self, node: NodeId) -> Vec<BlockId> {
+        let mut ids: Vec<BlockId> = self
+            .shards
+            .read()
+            .get(&node)
+            .map(|s| s.keys().copied().collect())
+            .unwrap_or_default();
+        ids.sort();
+        ids
+    }
+
     /// Bytes stored on a node.
     pub fn bytes_on(&self, node: NodeId) -> u64 {
         self.shards
@@ -95,6 +109,15 @@ mod tests {
         assert!(store.copy(bid(7), NodeId(0), NodeId(3)));
         assert!(store.holds(NodeId(3), bid(7)));
         assert!(!store.copy(bid(9), NodeId(0), NodeId(3)), "missing source");
+    }
+
+    #[test]
+    fn blocks_on_lists_holdings() {
+        let store = BlockStore::new();
+        store.put(NodeId(1), bid(3), Bytes::from_static(b"a"));
+        store.put(NodeId(1), bid(1), Bytes::from_static(b"b"));
+        assert_eq!(store.blocks_on(NodeId(1)), vec![bid(1), bid(3)]);
+        assert!(store.blocks_on(NodeId(9)).is_empty());
     }
 
     #[test]

@@ -50,6 +50,44 @@ fn between(a: HashKey, x: HashKey, b: HashKey) -> bool {
 }
 
 impl ChordNet {
+    /// Build an already-converged network from a known member set — the
+    /// state a healthy cluster reaches after stabilization. The live
+    /// executor uses this to mirror its ring at the instant a crash is
+    /// detected, then drives [`fail`](Self::fail) +
+    /// [`stabilize_until_converged`](Self::stabilize_until_converged) to
+    /// model the §II-A pointer repair before re-replication starts.
+    pub fn converged_from<I>(members: I) -> ChordNet
+    where
+        I: IntoIterator<Item = ServerInfo>,
+    {
+        let mut by_key: Vec<ServerInfo> = members.into_iter().collect();
+        assert!(!by_key.is_empty(), "a chord net needs at least one member");
+        by_key.sort_by_key(|s| s.key);
+        let n = by_key.len();
+        let mut nodes = BTreeMap::new();
+        for (i, info) in by_key.iter().enumerate() {
+            let mut successors = Vec::new();
+            for step in 1..=SUCCESSOR_LIST_LEN.min(n.saturating_sub(1)).max(1) {
+                let s = &by_key[(i + step) % n];
+                if s.id == info.id || successors.iter().any(|&(_, id)| id == s.id) {
+                    continue;
+                }
+                successors.push((s.key, s.id));
+            }
+            if successors.is_empty() {
+                successors.push((info.key, info.id));
+            }
+            let pred = &by_key[(i + n - 1) % n];
+            let predecessor =
+                (pred.id != info.id).then_some((pred.key, pred.id));
+            nodes.insert(
+                info.id,
+                NodeState { key: info.key, successors, predecessor },
+            );
+        }
+        ChordNet { nodes }
+    }
+
     /// A one-node network (its own successor).
     pub fn bootstrap(first: ServerInfo) -> ChordNet {
         let mut nodes = BTreeMap::new();
@@ -303,6 +341,28 @@ mod tests {
             net.stabilize_round();
         }
         assert!(net.stabilize_until_converged(200).is_some(), "churn storm diverged");
+    }
+
+    #[test]
+    fn converged_from_is_converged_and_heals() {
+        let members: Vec<ServerInfo> =
+            (0..9u32).map(|i| info(i, (i as u64).wrapping_mul(0x9E3779B97F4A7C15))).collect();
+        let mut net = ChordNet::converged_from(members);
+        assert!(net.converged(), "constructor must produce a converged net");
+        assert_eq!(net.stabilize_until_converged(10), Some(0), "no repair needed");
+        // A failure leaves stale pointers that the successor lists heal.
+        net.fail(NodeId(4));
+        assert!(!net.converged());
+        let rounds = net.stabilize_until_converged(100).expect("heals");
+        assert!(rounds >= 1);
+        assert_eq!(net.len(), 8);
+    }
+
+    #[test]
+    fn converged_from_single_node() {
+        let net = ChordNet::converged_from([info(0, 7)]);
+        assert!(net.converged());
+        assert_eq!(net.successor_of(NodeId(0)), Some(NodeId(0)));
     }
 
     #[test]

@@ -24,11 +24,12 @@ fn main() {
     // replication factor, and the schedulers re-cut their ranges.
     for round in 0..3 {
         let victim = cluster.ring().node_ids()[1];
-        cluster.fail_node(victim);
+        let report = cluster.fail_node(victim).expect("replication factor holds");
         println!(
-            "\nround {}: killed {}, ring now has {} nodes",
+            "\nround {}: killed {}, re-replicated {} blocks, ring now has {} nodes",
             round + 1,
             victim,
+            report.recovered_blocks,
             cluster.ring().len()
         );
 

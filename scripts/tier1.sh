@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, full test suite, and a quick live-executor
-# throughput snapshot. Leaves results/BENCH_live.json behind so every
-# pass records a comparable records/sec number (see DESIGN.md §8c).
+# Tier-1 gate: release build, full test suite, the chaos suite under
+# --release, and quick live-executor snapshots. Leaves
+# results/BENCH_live.json and results/BENCH_chaos.json behind so every
+# pass records comparable throughput and recovery-time numbers (see
+# DESIGN.md §8c–§8d).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,7 +13,13 @@ cargo build --workspace --release
 echo "== tier1: cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "== tier1: chaos suite (release)"
+cargo test -q --release -p eclipse-integration-tests --test chaos
+
 echo "== tier1: live throughput (quick)"
 cargo run -q --release -p eclipse-bench --bin live_bench -- --quick --out results/BENCH_live.json
+
+echo "== tier1: fault-path recovery cost (quick)"
+cargo run -q --release -p eclipse-bench --bin chaos_bench -- --quick --out results/BENCH_chaos.json
 
 echo "== tier1: OK"

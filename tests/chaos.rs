@@ -1,0 +1,204 @@
+//! Deterministic chaos suite: kill every node at every job phase and
+//! prove the output never changes.
+//!
+//! Everything here is reproducible by construction: the input text is a
+//! fixed function of nothing, the crash points are expressed in the
+//! job's own progress units (map commits, shuffle batches, reduce
+//! start), and [`FaultPlan`] consumes them deterministically. A failure
+//! in this suite replays identically on every run.
+
+use eclipse_apps::WordCount;
+use eclipse_core::{FaultPlan, JobError, LiveCluster, LiveConfig, ReusePolicy, SchedulerKind};
+use eclipse_dhtfs::FsError;
+
+const NODES: usize = 6;
+const REDUCERS: usize = 3;
+const USER: &str = "chaos";
+
+/// Fixed input: ~20 KB of text, ~40 blocks at 512 bytes.
+fn seeded_text() -> String {
+    "alpha beta gamma delta epsilon zeta\n".repeat(600)
+}
+
+fn sched_of(name: &str) -> SchedulerKind {
+    match name {
+        "laf" => SchedulerKind::Laf(Default::default()),
+        "delay" => SchedulerKind::Delay(Default::default()),
+        other => panic!("unknown scheduler {other}"),
+    }
+}
+
+fn cluster(sched: &str) -> LiveCluster {
+    let c = LiveCluster::new(
+        LiveConfig::small()
+            .with_nodes(NODES)
+            .with_block_size(512)
+            .with_scheduler(sched_of(sched)),
+    );
+    c.upload("input", USER, seeded_text().as_bytes());
+    c
+}
+
+fn baseline(sched: &str) -> Vec<(String, String)> {
+    cluster(sched)
+        .run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+        .0
+}
+
+/// The acceptance-criteria matrix: for every (victim, phase, scheduler)
+/// combination, one crash mid-job still yields output byte-identical to
+/// the fault-free run, the victim leaves the ring, and recovery is
+/// visible in the stats.
+#[test]
+fn crash_matrix_every_victim_every_phase() {
+    for sched in ["laf", "delay"] {
+        let expect = baseline(sched);
+        for vi in 0..NODES {
+            for phase in ["map", "shuffle", "reduce"] {
+                let c = cluster(sched);
+                let victim = c.ring().node_ids()[vi];
+                let plan = match phase {
+                    // Thresholds vary by victim index (still fixed per
+                    // combination) so the crash lands at different
+                    // points in the map stream across the matrix.
+                    "map" => FaultPlan::new().crash_after_maps(victim, 1 + (vi as u64 % 5)),
+                    "shuffle" => {
+                        FaultPlan::new().crash_after_spills(victim, 1 + (vi as u64 % 3))
+                    }
+                    "reduce" => FaultPlan::new().crash_in_reduce(victim),
+                    _ => unreachable!(),
+                };
+                c.inject_faults(plan);
+                let (out, stats) = c
+                    .try_run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+                    .unwrap_or_else(|e| {
+                        panic!("[{sched}] victim {vi} phase {phase}: job failed: {e}")
+                    });
+                assert_eq!(
+                    out, expect,
+                    "[{sched}] victim {vi} phase {phase}: output diverged"
+                );
+                assert_eq!(
+                    stats.failed_nodes, 1,
+                    "[{sched}] victim {vi} phase {phase}: crash not recorded"
+                );
+                assert!(
+                    !c.ring().contains(victim),
+                    "[{sched}] victim {vi} phase {phase}: victim still in ring"
+                );
+                assert!(
+                    stats.recovered_blocks > 0,
+                    "[{sched}] victim {vi} phase {phase}: nothing re-replicated"
+                );
+                assert!(
+                    stats.stabilize_rounds > 0,
+                    "[{sched}] victim {vi} phase {phase}: ring never re-stabilized"
+                );
+            }
+        }
+    }
+}
+
+/// A crash that destroys every copy of a block must end in
+/// `JobError::DataLoss` — never a wrong or partial result, never a
+/// hang. With zero extra replicas each block has exactly one copy, so
+/// any data-holding victim qualifies.
+#[test]
+fn total_replica_loss_is_terminal_not_wrong() {
+    let c = LiveCluster::new(
+        LiveConfig::small().with_nodes(4).with_block_size(512).with_replicas(0),
+    );
+    c.upload("input", USER, seeded_text().as_bytes());
+    let victim = c
+        .ring()
+        .node_ids()
+        .into_iter()
+        .find(|&n| !c.store().blocks_on(n).is_empty())
+        .expect("some node holds blocks");
+    c.inject_faults(FaultPlan::new().crash_after_maps(victim, 1));
+    let err = c
+        .try_run_job(&WordCount, "input", USER, 2, ReusePolicy::default())
+        .expect_err("single-copy data cannot survive its holder");
+    assert!(matches!(err, JobError::DataLoss(_)), "unexpected error: {err:?}");
+}
+
+/// Regression for the double-failure path in `fail_node`: when the
+/// designated source replica is itself gone, recovery must return
+/// `FsError::DataLoss` instead of panicking (it used to `assert!`).
+#[test]
+fn double_failure_returns_recovery_error() {
+    let c = LiveCluster::new(LiveConfig::small().with_nodes(NODES).with_block_size(512));
+    c.upload("input", USER, seeded_text().as_bytes());
+    let victim = c
+        .ring()
+        .node_ids()
+        .into_iter()
+        .find(|&n| !c.store().blocks_on(n).is_empty())
+        .expect("some node holds blocks");
+    // Destroy every OTHER shard behind the metadata layer's back — the
+    // "simultaneous" second failure. Every source the recovery plan
+    // picks for the victim's blocks is now gone.
+    for n in c.ring().node_ids() {
+        if n != victim {
+            c.store().wipe_node(n);
+        }
+    }
+    let err = c.fail_node(victim).expect_err("sources are gone");
+    assert!(matches!(err, FsError::DataLoss(_)), "unexpected error: {err:?}");
+}
+
+/// An injected straggler slows the job down but never changes output or
+/// trips failure detection.
+#[test]
+fn slow_node_changes_nothing_but_time() {
+    let expect = baseline("laf");
+    let c = cluster("laf");
+    let straggler = c.ring().node_ids()[2];
+    c.inject_faults(FaultPlan::new().slow_node(straggler, 50));
+    let (out, stats) = c
+        .try_run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+        .expect("a slow node is not a failure");
+    assert_eq!(out, expect);
+    assert_eq!(stats.failed_nodes, 0);
+    assert!(c.ring().contains(straggler));
+}
+
+/// Faults and a crash composed in one plan: task 0's first attempts
+/// die, then a node crashes mid-map — retries and crash recovery must
+/// compose without double-counting.
+#[test]
+fn composed_faults_still_byte_identical() {
+    let expect = baseline("laf");
+    let c = cluster("laf");
+    let victim = c.ring().node_ids()[3];
+    c.inject_faults(
+        FaultPlan::new().fail_task(0, 2).crash_after_maps(victim, 4),
+    );
+    let (out, stats) = c
+        .try_run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+        .expect("retries + one crash are within the fault model");
+    assert_eq!(out, expect, "composed faults diverged the output");
+    assert_eq!(stats.failed_nodes, 1);
+    assert!(stats.retries >= 2, "injected task faults were not retried");
+    assert_eq!(stats.attempts, stats.map_tasks + stats.retries);
+}
+
+/// Two successive crashes in one job (replication factor 2 tolerates
+/// them when they are not simultaneous: the first recovery restores
+/// the factor before the second crash fires).
+#[test]
+fn two_staggered_crashes_survive() {
+    let expect = baseline("laf");
+    let c = cluster("laf");
+    let ids = c.ring().node_ids();
+    let (a, b) = (ids[1], ids[4]);
+    c.inject_faults(
+        FaultPlan::new().crash_after_maps(a, 2).crash_after_maps(b, 10),
+    );
+    let (out, stats) = c
+        .try_run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+        .expect("staggered crashes are within the fault model");
+    assert_eq!(out, expect);
+    assert_eq!(stats.failed_nodes, 2);
+    assert_eq!(c.ring().len(), NODES - 2);
+}
