@@ -1,0 +1,61 @@
+//! Snapshot transport-plane throughput to `results/BENCH_net.json`.
+//!
+//! Usage: `net_bench [--quick] [--out PATH]`. Records/sec of the same
+//! 8-node word-count job over the in-memory backend and over loopback
+//! TCP, with RPC and byte counters; `scripts/tier1.sh` runs this in
+//! quick mode so every pass records the wire overhead.
+
+use eclipse_bench::net_bench::sweep;
+
+fn main() {
+    let mut quick = std::env::var("CRITERION_QUICK").is_ok();
+    let mut out = String::from("results/BENCH_net.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown arg {other:?} (expected --quick / --out PATH)"),
+        }
+    }
+
+    let corpus_bytes = if quick { 1024 * 1024 } else { 2 * 1024 * 1024 };
+    let points = sweep(corpus_bytes, quick);
+
+    let mut json = String::from("{\n  \"bench\": \"net_transport\",\n  \"app\": \"wordcount\",\n");
+    json.push_str(&format!(
+        "  \"corpus_bytes\": {corpus_bytes},\n  \"quick\": {quick},\n  \"points\": [\n"
+    ));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"transport\": \"{}\", \"nodes\": {}, \"records\": {}, \"secs\": {:.6}, \
+             \"records_per_sec\": {:.1}, \"rpcs\": {}, \"bytes_sent\": {}, \
+             \"rpc_retries\": {}, \"timeouts\": {}}}{}\n",
+            p.transport,
+            p.nodes,
+            p.records,
+            p.secs,
+            p.records_per_sec,
+            p.rpcs,
+            p.bytes_sent,
+            p.rpc_retries,
+            p.timeouts,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, &json).expect("write BENCH_net.json");
+
+    for p in &points {
+        println!(
+            "transport={:<7} nodes={} records={} secs={:.4} records/sec={:.0} rpcs={} bytes={} retries={} timeouts={}",
+            p.transport, p.nodes, p.records, p.secs, p.records_per_sec, p.rpcs,
+            p.bytes_sent, p.rpc_retries, p.timeouts
+        );
+    }
+    println!("wrote {out}");
+}

@@ -9,6 +9,7 @@
 pub mod ablations;
 pub mod chaos_bench;
 pub mod live_bench;
+pub mod net_bench;
 pub mod fig10;
 pub mod fig5;
 pub mod fig6;

@@ -1,0 +1,88 @@
+//! Transport-plane overhead measurement (PR 3's proof harness).
+//!
+//! Runs the same 8-node word-count job over both transport backends —
+//! the deterministic in-memory oracle and real loopback TCP — and
+//! reports records/sec side by side, plus the RPC/byte counters so the
+//! gap is attributable. Shared by the `net_bench` binary that
+//! `scripts/tier1.sh` uses to snapshot `results/BENCH_net.json`.
+
+use crate::live_bench::corpus;
+use eclipse_apps::WordCount;
+use eclipse_core::{LiveCluster, LiveConfig, ReusePolicy, TransportKind};
+use std::time::Instant;
+
+/// The node count the transport story is told at (the paper's cluster
+/// scale for the live acceptance runs).
+pub const NODES: usize = 8;
+
+/// One transport throughput sample with its wire-level accounting.
+#[derive(Clone, Debug)]
+pub struct NetPoint {
+    pub transport: &'static str,
+    pub nodes: usize,
+    pub records: u64,
+    pub secs: f64,
+    pub records_per_sec: f64,
+    pub rpcs: u64,
+    pub bytes_sent: u64,
+    pub rpc_retries: u64,
+    pub timeouts: u64,
+}
+
+fn kind_name(kind: TransportKind) -> &'static str {
+    match kind {
+        TransportKind::Memory => "memory",
+        TransportKind::Tcp => "tcp",
+    }
+}
+
+/// Median-of-`samples` throughput for one backend, after a warmup run
+/// that populates the iCache. The RPC counters come from the final
+/// timed run (they are per-job and stable across runs of one cluster).
+pub fn measure(kind: TransportKind, text: &[u8], records: u64, samples: usize) -> NetPoint {
+    let cluster = LiveCluster::new(
+        LiveConfig::small()
+            .with_nodes(NODES)
+            .with_block_size(16 * 1024)
+            .with_transport(kind),
+    );
+    cluster.upload("input", "bench", text);
+    let reducers = NODES.max(2);
+    let run = || cluster.run_job(&WordCount, "input", "bench", reducers, ReusePolicy::default());
+    let warm = run();
+    assert!(!warm.0.is_empty(), "word count produced no output");
+    let mut stats = warm.1;
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            let (out, s) = run();
+            std::hint::black_box(&out);
+            stats = s;
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    let secs = times[times.len() / 2];
+    NetPoint {
+        transport: kind_name(kind),
+        nodes: NODES,
+        records,
+        secs,
+        records_per_sec: records as f64 / secs,
+        rpcs: stats.rpcs,
+        bytes_sent: stats.bytes_sent,
+        rpc_retries: stats.rpc_retries,
+        timeouts: stats.timeouts,
+    }
+}
+
+/// Both backends over one shared corpus, in-memory first (the oracle
+/// sets the baseline the TCP number is read against).
+pub fn sweep(corpus_bytes: usize, quick: bool) -> Vec<NetPoint> {
+    let (text, records) = corpus(corpus_bytes);
+    let samples = if quick { 3 } else { 7 };
+    [TransportKind::Memory, TransportKind::Tcp]
+        .into_iter()
+        .map(|k| measure(k, &text, records, samples))
+        .collect()
+}

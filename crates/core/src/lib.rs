@@ -13,7 +13,12 @@ pub mod sim_exec;
 pub mod timeline;
 
 pub use job::{JobError, JobId, JobReport, JobSpec, ReadSource, ReusePolicy};
-pub use live::{FaultPlan, LiveCluster, LiveConfig, LiveStats, MapReduce, RecoveryReport};
+pub use live::{
+    FaultPlan, LiveCluster, LiveConfig, LiveStats, MapReduce, RecoveryReport, TransportKind,
+};
+/// The transport plane (re-exported so downstream crates reach the
+/// chaos API and stats types without a direct dependency).
+pub use eclipse_net as net;
 pub use resource_manager::{ResourceManager, RmError, TickOutcome};
 pub use shuffle::{Spill, SpillBuffer};
 pub use timeline::{TaskEvent, TaskKind, Timeline};

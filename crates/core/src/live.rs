@@ -1,11 +1,25 @@
 //! The live executor: real MapReduce over real data, in-process.
 //!
-//! Virtual nodes are threads; the "network" is shared memory; block
-//! payloads live in [`eclipse_dhtfs::BlockStore`]. Placement, caching and
-//! shuffling run through exactly the same control-plane code as the
-//! simulator — this is the executable proof that the EclipseMR design
-//! computes correct results, and it powers the examples and the
-//! integration tests.
+//! Virtual nodes are threads; block payloads live in
+//! [`eclipse_dhtfs::BlockStore`]. Placement, caching and shuffling run
+//! through exactly the same control-plane code as the simulator — this
+//! is the executable proof that the EclipseMR design computes correct
+//! results, and it powers the examples and the integration tests.
+//!
+//! # Transport plane (see DESIGN.md §8e)
+//!
+//! Every inter-node interaction travels as a framed RPC over a
+//! pluggable [`Transport`]: block reads/writes (`GetBlock`/`PutBlock`),
+//! re-replication (`ReplicaSync`), cross-node cache traffic
+//! (`CacheGet`/`CachePut`), shuffle delivery (`ShuffleBatch`),
+//! failure-detection pings (`Heartbeat`) and task placement
+//! (`TaskAssign`). [`TransportKind::Memory`] (the default) keeps runs
+//! deterministic and exposes fault injection — partitions, drops,
+//! delays — while still pushing every frame through the real wire
+//! codec; [`TransportKind::Tcp`] runs the same protocol over loopback
+//! TCP sockets. Node-local operations (a node reading its own store
+//! shard or cache shard) stay direct function calls; only cross-node
+//! traffic pays for the wire.
 //!
 //! # Data-plane concurrency (see DESIGN.md, "Live data plane")
 //!
@@ -57,14 +71,16 @@ use crate::sim_exec::SchedulerKind;
 use bytes::Bytes;
 use eclipse_cache::{CacheKey, DistributedCache, OutputTag};
 use eclipse_dhtfs::{BlockId, BlockStore, DhtFs, DhtFsConfig, FsError};
+use eclipse_net::{MemTransport, Rpc, RpcReply, TcpTransport, Transport, CLIENT};
 use eclipse_ring::{ChordNet, HeartbeatMonitor, NodeId, Ring};
 use eclipse_sched::{DelayScheduler, LafScheduler};
 use eclipse_util::HashKey;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Commit-board sentinel: no attempt of this task has committed yet.
@@ -120,6 +136,18 @@ pub trait MapReduce: Send + Sync {
     }
 }
 
+/// Which [`Transport`] backend carries the cluster's RPCs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Deterministic in-memory links with injectable faults (the
+    /// default). Every frame still round-trips the real wire codec.
+    #[default]
+    Memory,
+    /// Real loopback TCP sockets: framing, connection pooling,
+    /// correlation ids, timeouts and retries, end to end.
+    Tcp,
+}
+
 /// Live cluster configuration.
 #[derive(Clone, Debug)]
 pub struct LiveConfig {
@@ -128,11 +156,13 @@ pub struct LiveConfig {
     pub replicas: usize,
     pub block_size: u64,
     pub scheduler: SchedulerKind,
+    pub transport: TransportKind,
 }
 
 impl LiveConfig {
     /// Small defaults suited to tests and examples: 8 virtual nodes,
-    /// 64 KB blocks, 16 MB cache each, LAF scheduling.
+    /// 64 KB blocks, 16 MB cache each, LAF scheduling, in-memory
+    /// transport.
     pub fn small() -> LiveConfig {
         LiveConfig {
             nodes: 8,
@@ -140,6 +170,7 @@ impl LiveConfig {
             replicas: 2,
             block_size: 64 * 1024,
             scheduler: SchedulerKind::Laf(Default::default()),
+            transport: TransportKind::Memory,
         }
     }
 
@@ -160,6 +191,11 @@ impl LiveConfig {
 
     pub fn with_scheduler(mut self, s: SchedulerKind) -> LiveConfig {
         self.scheduler = s;
+        self
+    }
+
+    pub fn with_transport(mut self, t: TransportKind) -> LiveConfig {
+        self.transport = t;
         self
     }
 }
@@ -198,6 +234,15 @@ pub struct LiveStats {
     /// Wall-clock nanoseconds spent inside mid-job crash recovery
     /// (detection + stabilization + re-replication + re-queue).
     pub recovery_nanos: u64,
+    /// Bytes pushed onto the transport (frames, both directions the
+    /// sender pays for) during this job.
+    pub bytes_sent: u64,
+    /// RPC attempts issued during this job (retries included).
+    pub rpcs: u64,
+    /// RPC attempts that were retries after a timeout.
+    pub rpc_retries: u64,
+    /// RPC attempts that timed out (lost frames, partitions, silence).
+    pub timeouts: u64,
 }
 
 /// What a mid-job (or between-jobs) node recovery accomplished.
@@ -309,6 +354,145 @@ struct TaskBatch {
     task: u32,
     attempt: u32,
     records: Vec<(String, String)>,
+}
+
+/// The receiving half of the shuffle and control planes, shared by every
+/// node's RPC handler. One job at a time: `begin_job` installs the
+/// partition channels and homes, `end_job` tears them down so stragglers
+/// are dropped instead of delivered into a later job.
+struct ShuffleRouter {
+    /// Reduce-partition channels of the in-flight job.
+    sinks: RwLock<Option<Vec<Sender<TaskBatch>>>>,
+    /// Home node per reduce partition — where its shuffle batches are
+    /// addressed. Re-homed when the home becomes unreachable.
+    homes: RwLock<Vec<NodeId>>,
+    /// Transport-level dedup: `(task, attempt, seq)` triples already
+    /// delivered. At-least-once retry can re-deliver a batch whose
+    /// *response* was lost; the duplicate must not reach a reducer.
+    seen: Mutex<HashSet<(u32, u32, u32)>>,
+    /// Control plane: task ids assigned per node via `TaskAssign`.
+    assigned: Mutex<HashMap<u32, Vec<usize>>>,
+}
+
+impl ShuffleRouter {
+    fn new() -> ShuffleRouter {
+        ShuffleRouter {
+            sinks: RwLock::new(None),
+            homes: RwLock::new(Vec::new()),
+            seen: Mutex::new(HashSet::new()),
+            assigned: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn begin_job(&self, sinks: Vec<Sender<TaskBatch>>, homes: Vec<NodeId>) {
+        *self.sinks.write() = Some(sinks);
+        *self.homes.write() = homes;
+        self.seen.lock().clear();
+    }
+
+    fn end_job(&self) {
+        *self.sinks.write() = None;
+        self.homes.write().clear();
+    }
+
+    fn home_of(&self, partition: usize) -> NodeId {
+        self.homes.read()[partition]
+    }
+
+    fn set_home(&self, partition: usize, node: NodeId) {
+        self.homes.write()[partition] = node;
+    }
+
+    /// Feed one batch into its partition channel. Duplicates are
+    /// acknowledged without re-delivery; `false` means no job is
+    /// accepting shuffle output (teardown).
+    fn deliver(
+        &self,
+        task: u32,
+        attempt: u32,
+        seq: u32,
+        partition: u32,
+        records: Vec<(String, String)>,
+    ) -> bool {
+        if !self.seen.lock().insert((task, attempt, seq)) {
+            return true; // duplicate of a batch that already landed
+        }
+        let sinks = self.sinks.read();
+        let Some(sinks) = sinks.as_ref() else { return false };
+        let Some(tx) = sinks.get(partition as usize) else { return false };
+        tx.send(TaskBatch { task, attempt, records }).is_ok()
+    }
+
+    fn assign(&self, node: NodeId, task: usize) {
+        self.assigned.lock().entry(node.0).or_default().push(task);
+    }
+
+    /// Drain the per-node assignment inboxes into placement-order
+    /// queues.
+    fn take_assignments(&self, nodes: usize) -> Vec<Vec<usize>> {
+        let mut inbox = self.assigned.lock();
+        (0..nodes).map(|n| inbox.remove(&(n as u32)).unwrap_or_default()).collect()
+    }
+}
+
+/// Bind `node`'s RPC endpoint: the serving side of every data-plane,
+/// cache, shuffle and control message addressed to it.
+fn bind_endpoint(
+    net: &Arc<dyn Transport>,
+    node: NodeId,
+    store: Arc<BlockStore>,
+    cache: Arc<DistributedCache>,
+    router: Arc<ShuffleRouter>,
+) {
+    // The handler keeps a Weak transport: `ReplicaSync` relays a
+    // `PutBlock` onward, and a strong Arc here would cycle
+    // (transport → handler → transport) and leak the TCP threads.
+    let weak = Arc::downgrade(net);
+    net.bind(
+        node,
+        Arc::new(move |rpc| match rpc {
+            Rpc::GetBlock { block } => RpcReply::Block(store.get(node, block)),
+            Rpc::PutBlock { block, data } => {
+                store.put(node, block, data);
+                RpcReply::Ack
+            }
+            Rpc::ReplicaSync { block, to } => {
+                // Relay this node's replica to the re-replication
+                // target; `Missing` reports a destroyed source copy.
+                let Some(data) = store.get(node, block) else {
+                    return RpcReply::Missing;
+                };
+                let Some(net) = weak.upgrade() else {
+                    return RpcReply::Error("transport shut down".into());
+                };
+                let bytes = data.len() as u64;
+                match net.call(node, to, Rpc::PutBlock { block, data }) {
+                    Ok(RpcReply::Ack) => RpcReply::Synced { bytes },
+                    Ok(r) => RpcReply::Error(format!("unexpected reply {r:?}")),
+                    Err(e) => RpcReply::Error(e.to_string()),
+                }
+            }
+            Rpc::CacheGet { key } => {
+                RpcReply::CacheValue(cache.with_node(node, |c| c.get_payload(&key, 0.0)))
+            }
+            Rpc::CachePut { key, data, ttl } => {
+                cache.with_node(node, |c| c.put_payload(key, data, 0.0, ttl));
+                RpcReply::Ack
+            }
+            Rpc::ShuffleBatch { task, attempt, seq, partition, records } => {
+                if router.deliver(task, attempt, seq, partition, records) {
+                    RpcReply::Ack
+                } else {
+                    RpcReply::Error("no job accepting shuffle output".into())
+                }
+            }
+            Rpc::Heartbeat { .. } => RpcReply::Ack,
+            Rpc::TaskAssign { task, .. } => {
+                router.assign(node, task as usize);
+                RpcReply::Ack
+            }
+        }),
+    );
 }
 
 /// Per-run shared state: the attempt ledger, fault schedule and
@@ -447,9 +631,16 @@ pub struct LiveCluster {
     ring: RwLock<Ring>,
     /// Metadata only; reads (open / block_holders) share the lock.
     fs: RwLock<DhtFs>,
-    store: BlockStore,
+    store: Arc<BlockStore>,
     /// Internally sharded: per-node locks, no cluster-wide mutex.
-    cache: DistributedCache,
+    cache: Arc<DistributedCache>,
+    /// The RPC fabric every inter-node interaction travels.
+    net: Arc<dyn Transport>,
+    /// The concrete in-memory backend when configured — the chaos API
+    /// (partitions, drops, delays) hangs off the concrete type.
+    mem_net: Option<Arc<MemTransport>>,
+    /// Shuffle/control receiving side, shared by all endpoints.
+    router: Arc<ShuffleRouter>,
     sched: Mutex<LiveSched>,
     /// Failure detector fed by a logical clock: crashes advance the
     /// clock past the timeout so the victim misses its beat.
@@ -466,7 +657,20 @@ impl LiveCluster {
             ring.clone(),
             DhtFsConfig { block_size: cfg.block_size, replicas: cfg.replicas },
         );
-        let cache = DistributedCache::new(&ring, cfg.cache_per_node);
+        let store = Arc::new(BlockStore::new());
+        let cache = Arc::new(DistributedCache::new(&ring, cfg.cache_per_node));
+        let router = Arc::new(ShuffleRouter::new());
+        let (net, mem_net): (Arc<dyn Transport>, Option<Arc<MemTransport>>) =
+            match cfg.transport {
+                TransportKind::Memory => {
+                    let m = Arc::new(MemTransport::new());
+                    (Arc::clone(&m) as Arc<dyn Transport>, Some(m))
+                }
+                TransportKind::Tcp => (Arc::new(TcpTransport::new()), None),
+            };
+        for n in ring.node_ids() {
+            bind_endpoint(&net, n, Arc::clone(&store), Arc::clone(&cache), Arc::clone(&router));
+        }
         let sched = match &cfg.scheduler {
             SchedulerKind::Laf(c) => LiveSched::Laf(LafScheduler::new(&ring, *c)),
             SchedulerKind::Delay(c) => LiveSched::Delay(DelayScheduler::new(&ring, *c)),
@@ -479,8 +683,11 @@ impl LiveCluster {
             cfg,
             ring: RwLock::new(ring),
             fs: RwLock::new(fs),
-            store: BlockStore::new(),
+            store,
             cache,
+            net,
+            mem_net,
+            router,
             sched: Mutex::new(sched),
             monitor: Mutex::new(monitor),
             clock: AtomicU64::new(0),
@@ -503,14 +710,25 @@ impl LiveCluster {
         &self.store
     }
 
+    /// The transport fabric (reachability probes, cumulative counters).
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.net
+    }
+
+    /// The in-memory transport's chaos/fault-injection API, when the
+    /// cluster was built with [`TransportKind::Memory`].
+    pub fn mem_net(&self) -> Option<&Arc<MemTransport>> {
+        self.mem_net.as_ref()
+    }
+
     /// Schedule faults for the next `run_job*` call. Multiple calls
     /// accumulate; the next job drains the whole schedule.
     pub fn inject_faults(&self, plan: FaultPlan) {
         self.faults.lock().extend(plan.ops);
     }
 
-    /// Upload real data: partition into blocks, write every replica's
-    /// payload.
+    /// Upload real data: partition into blocks, push every replica's
+    /// payload to its holder as a `PutBlock` RPC from the driver.
     pub fn upload(&self, name: &str, owner: &str, data: &[u8]) {
         let mut fs = self.fs.write();
         let meta = fs.upload(name, owner, data.len() as u64).expect("upload").clone();
@@ -519,14 +737,21 @@ impl LiveCluster {
             let hi = (lo + b.size as usize).min(data.len());
             let payload = Bytes::copy_from_slice(&data[lo..hi]);
             for &holder in fs.block_holders(b.id).expect("just uploaded") {
-                self.store.put(holder, b.id, payload.clone());
+                let put = Rpc::PutBlock { block: b.id, data: payload.clone() };
+                match self.net.call(CLIENT, holder, put) {
+                    Ok(RpcReply::Ack) => {}
+                    r => panic!("upload replica to node {} failed: {r:?}", holder.0),
+                }
             }
         }
     }
 
     /// Fetch a block payload as `reader`: local shard first, then fall
-    /// back through every registered replica. Only when *no* copy
-    /// survives anywhere does this return [`JobError::DataLoss`].
+    /// back through every registered replica via `GetBlock` RPCs. A
+    /// holder that cannot answer (missing copy, closed endpoint,
+    /// timeout) just moves the read to the next replica; only when *no*
+    /// copy is reachable anywhere does this return
+    /// [`JobError::DataLoss`].
     fn fetch_block(&self, id: BlockId, reader: NodeId) -> Result<Bytes, JobError> {
         if let Some(d) = self.store.get(reader, id) {
             return Ok(d);
@@ -536,11 +761,41 @@ impl LiveCluster {
             fs.block_holders(id).map_err(JobError::from)?.to_vec()
         };
         for h in holders {
-            if let Some(d) = self.store.get(h, id) {
+            if h == reader {
+                continue; // the local miss above already covered it
+            }
+            if let Ok(RpcReply::Block(Some(d))) =
+                self.net.call(reader, h, Rpc::GetBlock { block: id })
+            {
                 return Ok(d);
             }
         }
         Err(JobError::DataLoss(id))
+    }
+
+    /// iCache lookup on `owner`'s shard: direct when the reading node
+    /// *is* the owner, a `CacheGet` RPC otherwise. Transport failures
+    /// read as a miss — the cache is an optimization, never a source of
+    /// truth.
+    fn cache_lookup(&self, me: NodeId, owner: NodeId, key: &CacheKey) -> Option<Bytes> {
+        if me == owner {
+            return self.cache.with_node(owner, |c| c.get_payload(key, 0.0));
+        }
+        match self.net.call(me, owner, Rpc::CacheGet { key: key.clone() }) {
+            Ok(RpcReply::CacheValue(v)) => v,
+            _ => None,
+        }
+    }
+
+    /// iCache insert on `owner`'s shard (RPC when cross-node); failures
+    /// are dropped for the same reason as in
+    /// [`cache_lookup`](Self::cache_lookup).
+    fn cache_insert(&self, me: NodeId, owner: NodeId, key: CacheKey, data: Bytes) {
+        if me == owner {
+            self.cache.with_node(owner, |c| c.put_payload(key, data, 0.0, None));
+            return;
+        }
+        let _ = self.net.call(me, owner, Rpc::CachePut { key, data, ttl: None });
     }
 
     /// Run a MapReduce job over `input`, returning the reduced output as
@@ -671,12 +926,13 @@ impl LiveCluster {
         let node_count = self.cache.num_nodes();
         let mut stats =
             LiveStats { tasks_per_node: vec![0; node_count], ..Default::default() };
+        // Attribute transport traffic to this job by snapshot delta.
+        let net_before = self.net.stats();
 
         // ---- Placement: every block through the production scheduler.
         // Tasks live in one flat ledger; per-node queues hold task ids.
         let mut inflight = vec![0u64; node_count];
         let mut tasks: Vec<(usize, BlockId, NodeId)> = Vec::new();
-        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); node_count];
         {
             let mut sched = self.sched.lock();
             for (source, meta) in metas.iter().enumerate() {
@@ -690,7 +946,6 @@ impl LiveCluster {
                         }
                     };
                     inflight[node.index()] += 1;
-                    queues[node.index()].push(tasks.len());
                     tasks.push((source, b.id, node));
                     stats.tasks_per_node[node.index()] += 1;
                     stats.map_tasks += 1;
@@ -703,6 +958,19 @@ impl LiveCluster {
                 self.cache.set_ranges(laf.ranges().to_vec());
             }
         }
+        // Control plane: hand each placement to its node as a
+        // `TaskAssign` RPC. The driver sends sequentially, so every
+        // node's queue order is exactly placement order — the
+        // determinism the frozen-queue cursors rely on. An unreachable
+        // assignee still gets its queue entry (the queue is driver
+        // state; only the notification travelled).
+        for (tid, &(_, bid, node)) in tasks.iter().enumerate() {
+            match self.net.call(CLIENT, node, Rpc::TaskAssign { task: tid as u32, block: bid }) {
+                Ok(RpcReply::Ack) => {}
+                _ => self.router.assign(node, tid),
+            }
+        }
+        let queues = self.router.take_assignments(node_count);
         let tasks = &tasks;
         let queues = &queues;
 
@@ -762,6 +1030,14 @@ impl LiveCluster {
         for (r, rx) in receivers.into_iter().enumerate() {
             lanes[r % red_threads].push((r, rx));
         }
+
+        // Shuffle plane: partition `p`'s reducer "lives on" a home node
+        // and batches are addressed there as `ShuffleBatch` RPCs; the
+        // receiving handler feeds the partition channel. A partition
+        // re-homes when its home becomes unreachable.
+        let homes: Vec<NodeId> =
+            (0..reducers).map(|p| workers[p % workers.len()]).collect();
+        self.router.begin_job(senders.clone(), homes);
 
         std::thread::scope(|scope| {
             // Reducer side: consume spills concurrently with the maps,
@@ -827,7 +1103,6 @@ impl LiveCluster {
             // node, bounded by hardware parallelism.
             std::thread::scope(|map_scope| {
                 for (wi, &me) in workers.iter().enumerate().take(threads) {
-                    let senders = senders.clone();
                     let workers = &workers;
                     let hits = &hits;
                     let misses = &misses;
@@ -885,8 +1160,11 @@ impl LiveCluster {
                                 remote.fetch_add(1, Ordering::Relaxed);
                                 self.fetch_block(bid, me.get())?
                             } else {
-                                let shard = self.cache.shard(owner);
-                                let cached = shard.lock().get_payload(&key, 0.0);
+                                // Cross-node cache traffic (a stolen task
+                                // probing its assigned node's shard) rides
+                                // `CacheGet`/`CachePut`; same-node access
+                                // stays direct.
+                                let cached = self.cache_lookup(me.get(), owner, &key);
                                 match cached {
                                     Some(p) => {
                                         hits.fetch_add(1, Ordering::Relaxed);
@@ -899,11 +1177,11 @@ impl LiveCluster {
                                         }
                                         let p = self.fetch_block(bid, owner)?;
                                         if reuse.cache_input && !rt.node_down(owner) {
-                                            shard.lock().put_payload(
+                                            self.cache_insert(
+                                                me.get(),
+                                                owner,
                                                 key,
                                                 p.clone(),
-                                                0.0,
-                                                None,
                                             );
                                         }
                                         p
@@ -915,6 +1193,15 @@ impl LiveCluster {
                             // ships may reach a reducer — the voided
                             // flag keeps the attempt from committing.
                             let voided = Cell::new(false);
+                            // A batch lost by the transport (partition,
+                            // exhausted retries) also voids the attempt:
+                            // it re-executes and its uncommitted output
+                            // is dropped by reducer dedup — retried, not
+                            // double-counted.
+                            let shipfail = Cell::new(false);
+                            // Sequence number within this attempt, for
+                            // at-least-once dedup at the receiver.
+                            let seq = Cell::new(0u32);
                             let mut ship = |spill: Spill<(String, String)>| {
                                 if spill.records.is_empty() {
                                     return;
@@ -923,21 +1210,61 @@ impl LiveCluster {
                                     voided.set(true);
                                     return;
                                 }
-                                spill_count.fetch_add(1, Ordering::Relaxed);
-                                let combined = if app.has_combiner() {
+                                let records = if app.has_combiner() {
                                     combine_sorted_runs(app, spill.records, scratch)
                                 } else {
                                     // No combiner: ship records untouched.
                                     spill.records
                                 };
-                                // A dropped receiver means the job is
-                                // being torn down; losing the spill is
-                                // fine then.
-                                let _ = senders[spill.partition].send(TaskBatch {
-                                    task: tid as u32,
-                                    attempt,
-                                    records: combined,
-                                });
+                                let s = seq.get();
+                                seq.set(s + 1);
+                                let home = self.router.home_of(spill.partition);
+                                if home != me.get() && !rt.node_down(home) {
+                                    match self.net.call(
+                                        me.get(),
+                                        home,
+                                        Rpc::ShuffleBatch {
+                                            task: tid as u32,
+                                            attempt,
+                                            seq: s,
+                                            partition: spill.partition as u32,
+                                            records,
+                                        },
+                                    ) {
+                                        Ok(RpcReply::Ack) => {}
+                                        _ => {
+                                            // The batch is gone with the
+                                            // frame. Re-home the partition
+                                            // so the re-execution ships
+                                            // locally instead of burning
+                                            // its whole attempt budget on
+                                            // the same cut link.
+                                            self.router
+                                                .set_home(spill.partition, me.get());
+                                            shipfail.set(true);
+                                            return;
+                                        }
+                                    }
+                                } else {
+                                    // Local delivery: home is this node
+                                    // (or dead, in which case the
+                                    // partition re-homes here first).
+                                    if home != me.get() {
+                                        self.router.set_home(spill.partition, me.get());
+                                    }
+                                    if !self.router.deliver(
+                                        tid as u32,
+                                        attempt,
+                                        s,
+                                        spill.partition as u32,
+                                        records,
+                                    ) {
+                                        // Job teardown: losing the spill
+                                        // is fine then.
+                                        return;
+                                    }
+                                }
+                                spill_count.fetch_add(1, Ordering::Relaxed);
                                 let sent =
                                     rt.spills_sent.fetch_add(1, Ordering::AcqRel) + 1;
                                 if rt.armed {
@@ -965,7 +1292,15 @@ impl LiveCluster {
                             for spill in buffer.flush() {
                                 ship(spill);
                             }
-                            Ok(if voided.get() { Attempt::Voided } else { Attempt::Shipped })
+                            Ok(if voided.get() {
+                                Attempt::Voided
+                            } else if shipfail.get() {
+                                // Lost shuffle output: bounded re-execution,
+                                // same as an injected task fault.
+                                Attempt::Faulted
+                            } else {
+                                Attempt::Shipped
+                            })
                         };
 
                         // Claim, execute and settle one attempt of `tid`.
@@ -1107,7 +1442,11 @@ impl LiveCluster {
                     .unwrap_or(0);
                 rt.abort(JobError::DataLoss(tasks[tid].1));
             }
-            // All mappers done: hang up so the reducers fold and exit.
+            // All mappers done: tear down the shuffle plane (dropping
+            // the router's channel clones) and hang up so the reducers
+            // fold and exit. Straggler RPC deliveries after this point
+            // are refused rather than leaking into a later job.
+            self.router.end_job();
             drop(senders);
         });
 
@@ -1132,6 +1471,11 @@ impl LiveCluster {
         stats.recovered_blocks = rt.recovered_blocks.load(Ordering::Relaxed);
         stats.stabilize_rounds = rt.stabilize_rounds.load(Ordering::Relaxed);
         stats.recovery_nanos = rt.recovery_nanos.load(Ordering::Relaxed);
+        let net = self.net.stats().since(net_before);
+        stats.bytes_sent = net.bytes_sent;
+        stats.rpcs = net.rpcs;
+        stats.rpc_retries = net.rpc_retries;
+        stats.timeouts = net.timeouts;
 
         let parts: Vec<Vec<(String, String)>> =
             outputs.into_iter().map(|m| m.into_inner()).collect();
@@ -1152,18 +1496,32 @@ impl LiveCluster {
             return;
         }
         let t0 = Instant::now();
-        // The crash instant: payloads and cache shard die; from here on
-        // every send from the victim is suppressed (see `ship`).
+        // The crash instant: payloads, cache shard and network endpoint
+        // die; from here on every send from the victim is suppressed
+        // (see `ship`), and every in-flight RPC *to* the victim is
+        // woken with a connection error instead of hanging until
+        // heartbeat expiry.
         self.store.wipe_node(victim);
         self.cache.invalidate_node(victim);
+        self.net.close_endpoint(victim);
         // Detection: advance the logical clock past the heartbeat
-        // timeout; every live node beats, the victim cannot.
+        // timeout and ping every member over the transport; live nodes
+        // ack and beat, the victim's closed endpoint cannot.
         {
             let mut mon = self.monitor.lock();
             let step = HEARTBEAT_TIMEOUT_SECS + 1;
-            let now = (self.clock.fetch_add(step, Ordering::AcqRel) + step) as f64;
+            let clock = self.clock.fetch_add(step, Ordering::AcqRel) + step;
+            let now = clock as f64;
             for n in self.ring.read().node_ids() {
-                if !rt.poisoned.get(n.index()).is_some_and(|p| p.load(Ordering::Acquire)) {
+                let beat = !rt
+                    .poisoned
+                    .get(n.index())
+                    .is_some_and(|p| p.load(Ordering::Acquire))
+                    && matches!(
+                        self.net.call(CLIENT, n, Rpc::Heartbeat { from: CLIENT, clock }),
+                        Ok(RpcReply::Ack)
+                    );
+                if beat {
                     mon.heartbeat(n, now);
                 }
             }
@@ -1173,11 +1531,16 @@ impl LiveCluster {
         // Ring repair, mirrored through protocol-level Chord
         // stabilization: successors/predecessors re-converge around the
         // hole exactly as the paper's stabilization procedure would.
+        // Every pointer a node follows is first probed over the
+        // transport, so the dead endpoint (and any partitioned peer) is
+        // routed around rather than adopted.
         {
-            let mut net = ChordNet::converged_from(self.ring.read().members().cloned());
-            net.fail(victim);
-            let max = 4 * net.len() + 8;
-            if let Some(rounds) = net.stabilize_until_converged(max) {
+            let mut chord = ChordNet::converged_from(self.ring.read().members().cloned());
+            chord.fail(victim);
+            let max = 4 * chord.len() + 8;
+            if let Some(rounds) = chord
+                .stabilize_until_converged_probed(max, &mut |a, b| self.net.probe(a, b))
+            {
                 rt.stabilize_rounds.fetch_add(rounds as u64, Ordering::Relaxed);
             }
         }
@@ -1217,13 +1580,19 @@ impl LiveCluster {
         };
         let mut report = RecoveryReport::default();
         for copy in plan {
-            if !self.store.copy(copy.block, copy.from, copy.to) {
-                // The designated source died too (double failure):
-                // every surviving replica of this block is gone.
-                return Err(FsError::DataLoss(copy.block));
+            // Drive re-replication over the transport: the surviving
+            // holder relays its replica to the new home (`ReplicaSync`
+            // → nested `PutBlock`). The transport's bounded retry
+            // absorbs dropped frames; `Missing` — or an unreachable
+            // source — means the double failure destroyed every copy.
+            let sync = Rpc::ReplicaSync { block: copy.block, to: copy.to };
+            match self.net.call(CLIENT, copy.from, sync) {
+                Ok(RpcReply::Synced { bytes }) => {
+                    report.recovered_blocks += 1;
+                    report.recovered_bytes += bytes;
+                }
+                _ => return Err(FsError::DataLoss(copy.block)),
             }
-            report.recovered_blocks += 1;
-            report.recovered_bytes += copy.bytes;
         }
         let new_ring = self.fs.read().ring().clone();
         *self.ring.write() = new_ring.clone();
@@ -1250,19 +1619,23 @@ impl LiveCluster {
 
     /// Store an application-tagged object in oCache (e.g. iteration
     /// output). Placed on the tag's home server under the current cache
-    /// ranges.
+    /// ranges; travels as a `CachePut` RPC.
     pub fn ocache_put(&self, app: &str, tag: &str, data: Bytes, ttl: Option<f64>) {
         let otag = OutputTag::new(app, tag);
         let home = self.cache.home_of(otag.hash_key());
-        self.cache
-            .with_node(home, |c| c.put_payload(CacheKey::Output(otag), data, 0.0, ttl));
+        let put = Rpc::CachePut { key: CacheKey::Output(otag), data, ttl };
+        let _ = self.net.call(CLIENT, home, put);
     }
 
-    /// Fetch a tagged object from oCache.
+    /// Fetch a tagged object from oCache (a `CacheGet` RPC to the tag's
+    /// home server).
     pub fn ocache_get(&self, app: &str, tag: &str) -> Option<Bytes> {
         let otag = OutputTag::new(app, tag);
         let home = self.cache.home_of(otag.hash_key());
-        self.cache.with_node(home, |c| c.get_payload(&CacheKey::Output(otag), 0.0))
+        match self.net.call(CLIENT, home, Rpc::CacheGet { key: CacheKey::Output(otag) }) {
+            Ok(RpcReply::CacheValue(v)) => v,
+            _ => None,
+        }
     }
 
     /// Global cache hit ratio so far.
@@ -1275,6 +1648,14 @@ impl LiveCluster {
     /// scheduling immediately include the joiner. Returns its id.
     pub fn join_node(&self, name: &str) -> NodeId {
         let id = self.cache.add_node(self.cfg.cache_per_node);
+        // The joiner opens its endpoint before anything is routed to it.
+        bind_endpoint(
+            &self.net,
+            id,
+            Arc::clone(&self.store),
+            Arc::clone(&self.cache),
+            Arc::clone(&self.router),
+        );
         let mut fs = self.fs.write();
         let mut info = eclipse_ring::ServerInfo::from_name(id, name);
         let mut salt = 0u32;
@@ -1315,6 +1696,10 @@ impl LiveCluster {
     /// callers decide whether that is fatal.
     pub fn fail_node(&self, node: NodeId) -> Result<RecoveryReport, FsError> {
         self.monitor.lock().forget(node);
+        // Poison the endpoint first: a peer blocked on an RPC to the
+        // dying node is woken with a connection error now — never left
+        // hanging, never answered from a half-wiped store.
+        self.net.close_endpoint(node);
         self.store.wipe_node(node);
         self.cache.invalidate_node(node);
         self.recover_node(node)
@@ -1418,6 +1803,31 @@ mod tests {
         assert_eq!(stats.attempts, stats.map_tasks, "fault-free run: one attempt each");
         assert_eq!(stats.retries, 0);
         assert_eq!(stats.failed_nodes, 0);
+        // The data plane travelled the transport: at least one RPC per
+        // task (TaskAssign), cleanly, with no retries.
+        assert!(stats.rpcs >= stats.map_tasks, "rpcs={}", stats.rpcs);
+        assert!(stats.bytes_sent > 0);
+        assert_eq!(stats.timeouts, 0, "fault-free run must not time out");
+        assert_eq!(stats.rpc_retries, 0);
+    }
+
+    #[test]
+    fn word_count_identical_over_tcp() {
+        let data = "apple banana apple\ncherry banana apple\n".repeat(64);
+        let mem = text_cluster(&data);
+        let tcp = LiveCluster::new(
+            LiveConfig::small()
+                .with_block_size(256)
+                .with_transport(TransportKind::Tcp),
+        );
+        tcp.upload("input", "tester", data.as_bytes());
+        let (out_mem, _) =
+            mem.run_job(&WordCount, "input", "tester", 4, ReusePolicy::default());
+        let (out_tcp, stats) =
+            tcp.run_job(&WordCount, "input", "tester", 4, ReusePolicy::default());
+        assert_eq!(out_mem, out_tcp, "TCP transport must not change results");
+        assert!(stats.rpcs > 0);
+        assert!(stats.bytes_sent > 0, "frames crossed real sockets");
     }
 
     #[test]

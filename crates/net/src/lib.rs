@@ -1,0 +1,213 @@
+//! # eclipse-net
+//!
+//! The transport plane: every inter-node interaction of the live
+//! executor — DHT block reads/writes, replica sync, iCache/oCache
+//! lookups, shuffle delivery, heartbeats, task assignment — travels as
+//! a framed RPC over a pluggable [`Transport`].
+//!
+//! Two backends implement the same trait and speak the same wire codec:
+//!
+//! * [`MemTransport`] — deterministic in-memory links with injectable
+//!   delay, drops, and one-way partitions. Every frame is still encoded
+//!   and decoded through the real codec, so the in-memory backend is
+//!   simultaneously the chaos harness *and* a byte-level oracle for the
+//!   TCP path: whatever survives it has round-tripped the real wire
+//!   format.
+//! * [`TcpTransport`] — real loopback TCP: length-prefixed frames,
+//!   per-peer connection pooling, request/response correlation ids,
+//!   per-RPC timeouts with bounded retry and exponential backoff
+//!   (mirroring the executor's task attempt ledger conventions).
+//!
+//! Retries make delivery *at-least-once*; receivers that cannot
+//! tolerate duplicates deduplicate by the sequence numbers carried in
+//! the messages ([`Rpc::ShuffleBatch`]'s `(task, attempt, seq)`).
+
+pub mod mem;
+pub mod rpc;
+pub mod tcp;
+pub mod wire;
+
+pub use mem::MemTransport;
+pub use rpc::{Rpc, RpcKind, RpcReply};
+pub use tcp::TcpTransport;
+pub use wire::{CodecError, Dir, Frame, FrameDecoder};
+
+use eclipse_ring::NodeId;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Node id used for driver/client-originated calls (upload, recovery
+/// orchestration, failure-detection pings). Never a ring member.
+pub const CLIENT: NodeId = NodeId(u32::MAX);
+
+/// A transport-level failure, after the backend's own retry budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// No response within the per-RPC timeout on any attempt (includes
+    /// one-way partitions, which are indistinguishable from silence).
+    Timeout { to: NodeId },
+    /// The peer's endpoint is closed or was never bound: connection
+    /// refused / reset. Fails fast, no retry.
+    ConnectionClosed { to: NodeId },
+    /// The peer answered with garbage the codec rejected.
+    Codec(CodecError),
+    /// The peer's handler reported a failure.
+    Remote(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Timeout { to } => write!(f, "rpc to node {} timed out", to.0),
+            NetError::ConnectionClosed { to } => {
+                write!(f, "connection to node {} closed", to.0)
+            }
+            NetError::Codec(e) => write!(f, "codec error: {e}"),
+            NetError::Remote(msg) => write!(f, "remote error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> NetError {
+        NetError::Codec(e)
+    }
+}
+
+/// Serving side of an endpoint: maps one decoded request to a reply.
+/// Handlers may issue their own [`Transport::call`]s (e.g. `ReplicaSync`
+/// pushes a `PutBlock` to the re-replication target).
+pub type RpcHandler = Arc<dyn Fn(Rpc) -> RpcReply + Send + Sync>;
+
+/// Retry/backoff budget for one logical RPC, shared by both backends.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). Mirrors the executor's
+    /// bounded task-attempt ledger.
+    pub max_attempts: u32,
+    /// Backoff before retry `k` is `base << (k-1)`, capped at `cap`.
+    pub backoff_base: Duration,
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_base: Duration::from_micros(200),
+            backoff_cap: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff to sleep before attempt `attempt` (0-based; attempt 0 has
+    /// none).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let exp = self.backoff_base.saturating_mul(1u32 << (attempt - 1).min(16));
+        exp.min(self.backoff_cap)
+    }
+}
+
+/// Cumulative transport counters (atomics: hot-path friendly).
+#[derive(Debug, Default)]
+pub struct NetStats {
+    pub bytes_sent: AtomicU64,
+    pub rpcs: AtomicU64,
+    pub rpc_retries: AtomicU64,
+    pub timeouts: AtomicU64,
+}
+
+/// A point-in-time copy of [`NetStats`], subtractable so callers can
+/// attribute traffic to one job.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetSnapshot {
+    pub bytes_sent: u64,
+    pub rpcs: u64,
+    pub rpc_retries: u64,
+    pub timeouts: u64,
+}
+
+impl NetStats {
+    pub fn snapshot(&self) -> NetSnapshot {
+        NetSnapshot {
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            rpcs: self.rpcs.load(Ordering::Relaxed),
+            rpc_retries: self.rpc_retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl NetSnapshot {
+    /// Counters accumulated since `earlier`.
+    pub fn since(&self, earlier: NetSnapshot) -> NetSnapshot {
+        NetSnapshot {
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            rpcs: self.rpcs.saturating_sub(earlier.rpcs),
+            rpc_retries: self.rpc_retries.saturating_sub(earlier.rpc_retries),
+            timeouts: self.timeouts.saturating_sub(earlier.timeouts),
+        }
+    }
+}
+
+/// A pluggable node-to-node RPC fabric.
+///
+/// Implementations are synchronous request/response with internal
+/// bounded retry; per-link FIFO ordering holds for calls issued from
+/// one thread (a call completes before the next starts).
+pub trait Transport: Send + Sync {
+    /// Register `node`'s serving handler, (re)opening its endpoint.
+    fn bind(&self, node: NodeId, handler: RpcHandler);
+
+    /// Issue one RPC and wait for the reply. Retries transparently on
+    /// timeout up to the retry budget; fails fast with
+    /// [`NetError::ConnectionClosed`] when the peer's endpoint is
+    /// closed.
+    fn call(&self, from: NodeId, to: NodeId, rpc: Rpc) -> Result<RpcReply, NetError>;
+
+    /// Cheap reachability probe (stabilization uses this): can `from`
+    /// currently exchange a frame with `to`? Counts as one RPC.
+    fn probe(&self, from: NodeId, to: NodeId) -> bool;
+
+    /// Poison a node's endpoints: every in-flight call *to* it is woken
+    /// with [`NetError::ConnectionClosed`], and future calls fail fast.
+    /// Peers must never hang until heartbeat expiry on a dead endpoint.
+    fn close_endpoint(&self, node: NodeId);
+
+    /// Cumulative counters.
+    fn stats(&self) -> NetSnapshot;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_then_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(0), Duration::ZERO);
+        assert_eq!(p.backoff(1), p.backoff_base);
+        assert_eq!(p.backoff(2), p.backoff_base * 2);
+        assert!(p.backoff(30) <= p.backoff_cap);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = NetStats::default();
+        s.rpcs.store(10, Ordering::Relaxed);
+        let a = s.snapshot();
+        s.rpcs.store(17, Ordering::Relaxed);
+        s.bytes_sent.store(100, Ordering::Relaxed);
+        let d = s.snapshot().since(a);
+        assert_eq!(d.rpcs, 7);
+        assert_eq!(d.bytes_sent, 100);
+    }
+}

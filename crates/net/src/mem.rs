@@ -1,0 +1,382 @@
+//! Deterministic in-memory transport backend — the chaos harness and
+//! the test oracle for the wire protocol.
+//!
+//! Links are synchronous per-caller FIFO channels (a call completes
+//! before the caller issues the next, so per-link ordering is inherent)
+//! with three injectable fault classes, all keyed by directed link:
+//!
+//! * **one-way partitions** — frames from `a` to `b` vanish; the caller
+//!   observes silence (a timeout), exactly like a real network cut;
+//! * **drops** — the next `n` frames on a link (or of one [`RpcKind`]
+//!   anywhere) are lost in flight, exercising the retry path;
+//! * **delays** — every frame on a link waits before delivery,
+//!   modelling a slow or congested path. A delayed (blocked) call is
+//!   woken immediately when the destination endpoint closes, so peers
+//!   get a connection error instead of waiting out the delay.
+//!
+//! Every frame — even node-local ones — is encoded and decoded through
+//! the real codec ([`Rpc::encode`]/[`Rpc::decode`]), so a run over this
+//! backend proves the byte-level protocol, not just the call graph:
+//! it is the deterministic oracle the loopback-TCP suite compares
+//! against.
+
+use crate::rpc::{Rpc, RpcKind, RpcReply};
+use crate::{NetError, NetSnapshot, NetStats, RetryPolicy, RpcHandler, Transport};
+use eclipse_ring::NodeId;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+struct MemState {
+    endpoints: HashMap<u32, RpcHandler>,
+    closed: HashSet<u32>,
+    /// Directed partitions: frames from `.0` to `.1` are silently lost.
+    cut: HashSet<(u32, u32)>,
+    /// Per-link delivery delay.
+    delays: HashMap<(u32, u32), Duration>,
+    /// Per-link drop tokens: the next `n` frames on the link vanish.
+    drop_link: HashMap<(u32, u32), u32>,
+    /// Per-kind drop tokens: the next `n` frames of this kind vanish,
+    /// whatever link they travel.
+    drop_kind: HashMap<RpcKind, u32>,
+}
+
+/// Outcome of one delivery attempt.
+enum Attempt {
+    Deliver(RpcHandler),
+    /// Endpoint closed or never bound — fail fast, no retry.
+    Closed,
+    /// Frame lost (drop token or partition) — retry after backoff.
+    Lost,
+}
+
+/// The in-memory [`Transport`] backend. See the module docs.
+pub struct MemTransport {
+    state: Mutex<MemState>,
+    /// Notified when an endpoint closes or faults heal, so blocked
+    /// (delayed / partitioned) calls re-check their destination.
+    wake: Condvar,
+    stats: NetStats,
+    policy: RetryPolicy,
+    /// Silence window: how long a call waits for a reply that a
+    /// partition is eating before declaring the attempt timed out.
+    rpc_timeout: Duration,
+    corr: AtomicU64,
+}
+
+impl Default for MemTransport {
+    fn default() -> MemTransport {
+        MemTransport::new()
+    }
+}
+
+impl MemTransport {
+    pub fn new() -> MemTransport {
+        MemTransport::with_policy(RetryPolicy::default())
+    }
+
+    pub fn with_policy(policy: RetryPolicy) -> MemTransport {
+        MemTransport {
+            state: Mutex::new(MemState::default()),
+            wake: Condvar::new(),
+            stats: NetStats::default(),
+            policy,
+            rpc_timeout: Duration::from_millis(2),
+            corr: AtomicU64::new(1),
+        }
+    }
+
+    // ---- fault injection (the chaos API) ---------------------------
+
+    /// Cut the directed link `from → to`: frames vanish, callers see
+    /// timeouts. The reverse direction is unaffected.
+    pub fn cut_one_way(&self, from: NodeId, to: NodeId) {
+        self.state.lock().unwrap().cut.insert((from.0, to.0));
+    }
+
+    /// Heal one directed link.
+    pub fn heal_link(&self, from: NodeId, to: NodeId) {
+        self.state.lock().unwrap().cut.remove(&(from.0, to.0));
+        self.wake.notify_all();
+    }
+
+    /// Heal every partition, delay, and pending drop.
+    pub fn heal_all(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.cut.clear();
+        st.delays.clear();
+        st.drop_link.clear();
+        st.drop_kind.clear();
+        drop(st);
+        self.wake.notify_all();
+    }
+
+    /// Delay every frame on `from → to` by `delay` before delivery.
+    pub fn delay_link(&self, from: NodeId, to: NodeId, delay: Duration) {
+        self.state.lock().unwrap().delays.insert((from.0, to.0), delay);
+    }
+
+    /// Drop the next `n` frames on the directed link.
+    pub fn drop_next_on_link(&self, from: NodeId, to: NodeId, n: u32) {
+        *self.state.lock().unwrap().drop_link.entry((from.0, to.0)).or_insert(0) += n;
+    }
+
+    /// Drop the next `n` frames of `kind`, on any link.
+    pub fn drop_rpcs(&self, kind: RpcKind, n: u32) {
+        *self.state.lock().unwrap().drop_kind.entry(kind).or_insert(0) += n;
+    }
+
+    /// Is the endpoint bound and open? (Diagnostics/tests.)
+    pub fn endpoint_open(&self, node: NodeId) -> bool {
+        let st = self.state.lock().unwrap();
+        st.endpoints.contains_key(&node.0) && !st.closed.contains(&node.0)
+    }
+
+    // ---- delivery --------------------------------------------------
+
+    /// One attempt: consult faults, wait out delays (interruptibly),
+    /// and hand back the destination handler on success.
+    fn attempt(&self, from: NodeId, to: NodeId, kind: RpcKind) -> Attempt {
+        let mut st = self.state.lock().unwrap();
+        if !st.endpoints.contains_key(&to.0) || st.closed.contains(&to.0) {
+            return Attempt::Closed;
+        }
+        // Drop tokens consume frames that would otherwise be sent.
+        if let Some(n) = st.drop_kind.get_mut(&kind) {
+            if *n > 0 {
+                *n -= 1;
+                return Attempt::Lost;
+            }
+        }
+        if let Some(n) = st.drop_link.get_mut(&(from.0, to.0)) {
+            if *n > 0 {
+                *n -= 1;
+                return Attempt::Lost;
+            }
+        }
+        // A partition is silence: wait out the RPC timeout unless the
+        // link heals or the endpoint closes first.
+        if st.cut.contains(&(from.0, to.0)) {
+            let deadline = Instant::now() + self.rpc_timeout;
+            loop {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Attempt::Lost;
+                }
+                st = self.wake.wait_timeout(st, left).unwrap().0;
+                if st.closed.contains(&to.0) {
+                    return Attempt::Closed;
+                }
+                if !st.cut.contains(&(from.0, to.0)) {
+                    break;
+                }
+            }
+        }
+        // A delay holds the frame in flight; endpoint closure while the
+        // frame is in flight kills it (the fail-fast guarantee peers
+        // depend on instead of heartbeat expiry).
+        if let Some(delay) = st.delays.get(&(from.0, to.0)).copied() {
+            let deadline = Instant::now() + delay;
+            loop {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                st = self.wake.wait_timeout(st, left).unwrap().0;
+                if st.closed.contains(&to.0) {
+                    return Attempt::Closed;
+                }
+                if !st.delays.contains_key(&(from.0, to.0)) {
+                    break;
+                }
+            }
+            if !st.endpoints.contains_key(&to.0) || st.closed.contains(&to.0) {
+                return Attempt::Closed;
+            }
+        }
+        Attempt::Deliver(st.endpoints[&to.0].clone())
+    }
+}
+
+impl Transport for MemTransport {
+    fn bind(&self, node: NodeId, handler: RpcHandler) {
+        let mut st = self.state.lock().unwrap();
+        st.endpoints.insert(node.0, handler);
+        st.closed.remove(&node.0);
+    }
+
+    fn call(&self, from: NodeId, to: NodeId, rpc: Rpc) -> Result<RpcReply, NetError> {
+        let corr = self.corr.fetch_add(1, Ordering::Relaxed);
+        let kind = rpc.kind();
+        // The real wire bytes, even in memory: this is the oracle.
+        let frame = rpc.encode(corr);
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                self.stats.rpc_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.policy.backoff(attempt));
+            }
+            self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+            self.stats.bytes_sent.fetch_add(frame.len() as u64, Ordering::Relaxed);
+            match self.attempt(from, to, kind) {
+                Attempt::Closed => return Err(NetError::ConnectionClosed { to }),
+                Attempt::Lost => {
+                    self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                Attempt::Deliver(handler) => {
+                    let decoded = crate::wire::decode_frame(&frame)?;
+                    let req = Rpc::decode(&decoded)?;
+                    let reply = handler(req);
+                    let reply_frame = reply.encode(corr);
+                    self.stats
+                        .bytes_sent
+                        .fetch_add(reply_frame.len() as u64, Ordering::Relaxed);
+                    let decoded = crate::wire::decode_frame(&reply_frame)?;
+                    return Ok(RpcReply::decode(&decoded)?);
+                }
+            }
+        }
+        Err(NetError::Timeout { to })
+    }
+
+    fn probe(&self, from: NodeId, to: NodeId) -> bool {
+        self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+        // A probe is a minimal heartbeat frame on the wire.
+        self.stats
+            .bytes_sent
+            .fetch_add((crate::wire::HEADER_LEN + 12) as u64, Ordering::Relaxed);
+        let st = self.state.lock().unwrap();
+        st.endpoints.contains_key(&to.0)
+            && !st.closed.contains(&to.0)
+            && !st.cut.contains(&(from.0, to.0))
+    }
+
+    fn close_endpoint(&self, node: NodeId) {
+        self.state.lock().unwrap().closed.insert(node.0);
+        self.wake.notify_all();
+    }
+
+    fn stats(&self) -> NetSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn echo_transport() -> Arc<MemTransport> {
+        let t = Arc::new(MemTransport::new());
+        for n in 0..4u32 {
+            t.bind(
+                NodeId(n),
+                Arc::new(move |rpc| match rpc {
+                    Rpc::Heartbeat { from, clock } => {
+                        RpcReply::Error(format!("pong {n} from {} at {clock}", from.0))
+                    }
+                    _ => RpcReply::Ack,
+                }),
+            );
+        }
+        t
+    }
+
+    fn hb(from: u32) -> Rpc {
+        Rpc::Heartbeat { from: NodeId(from), clock: 9 }
+    }
+
+    #[test]
+    fn call_roundtrips_through_codec() {
+        let t = echo_transport();
+        let r = t.call(NodeId(0), NodeId(1), hb(0)).unwrap();
+        assert_eq!(r, RpcReply::Error("pong 1 from 0 at 9".into()));
+        let s = t.stats();
+        assert_eq!(s.rpcs, 1);
+        assert!(s.bytes_sent > 0);
+        assert_eq!(s.timeouts, 0);
+    }
+
+    #[test]
+    fn unbound_endpoint_fails_fast() {
+        let t = echo_transport();
+        let e = t.call(NodeId(0), NodeId(9), hb(0)).unwrap_err();
+        assert_eq!(e, NetError::ConnectionClosed { to: NodeId(9) });
+        assert_eq!(t.stats().rpc_retries, 0, "no retry on a closed endpoint");
+    }
+
+    #[test]
+    fn one_way_partition_times_out_one_direction_only() {
+        let t = echo_transport();
+        t.cut_one_way(NodeId(0), NodeId(1));
+        let e = t.call(NodeId(0), NodeId(1), hb(0)).unwrap_err();
+        assert_eq!(e, NetError::Timeout { to: NodeId(1) });
+        assert!(t.stats().timeouts >= 1);
+        // Reverse direction still works.
+        assert!(t.call(NodeId(1), NodeId(0), hb(1)).is_ok());
+        t.heal_link(NodeId(0), NodeId(1));
+        assert!(t.call(NodeId(0), NodeId(1), hb(0)).is_ok());
+    }
+
+    #[test]
+    fn dropped_frame_is_retried_transparently() {
+        let t = echo_transport();
+        t.drop_next_on_link(NodeId(0), NodeId(2), 1);
+        assert!(t.call(NodeId(0), NodeId(2), hb(0)).is_ok(), "retry absorbs the drop");
+        let s = t.stats();
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.rpc_retries, 1);
+    }
+
+    #[test]
+    fn kind_scoped_drops_hit_only_that_kind() {
+        let t = echo_transport();
+        t.drop_rpcs(RpcKind::Heartbeat, 1);
+        assert!(t.call(NodeId(0), NodeId(1), Rpc::CacheGet {
+            key: eclipse_cache::CacheKey::Input(eclipse_util::HashKey(1)),
+        }).is_ok());
+        assert_eq!(t.stats().timeouts, 0, "other kinds unaffected");
+        assert!(t.call(NodeId(0), NodeId(1), hb(0)).is_ok());
+        assert_eq!(t.stats().timeouts, 1, "the heartbeat ate the drop token");
+    }
+
+    #[test]
+    fn close_wakes_delayed_call_with_connection_error() {
+        let t = echo_transport();
+        t.delay_link(NodeId(0), NodeId(3), Duration::from_secs(30));
+        let t2 = Arc::clone(&t);
+        let started = Instant::now();
+        let h = std::thread::spawn(move || t2.call(NodeId(0), NodeId(3), hb(0)));
+        std::thread::sleep(Duration::from_millis(30));
+        t.close_endpoint(NodeId(3));
+        let res = h.join().unwrap();
+        assert_eq!(res.unwrap_err(), NetError::ConnectionClosed { to: NodeId(3) });
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "blocked call must not wait out the delay"
+        );
+    }
+
+    #[test]
+    fn probe_respects_partitions_and_closure() {
+        let t = echo_transport();
+        assert!(t.probe(NodeId(0), NodeId(1)));
+        t.cut_one_way(NodeId(0), NodeId(1));
+        assert!(!t.probe(NodeId(0), NodeId(1)));
+        assert!(t.probe(NodeId(1), NodeId(0)), "one-way cut");
+        t.heal_all();
+        t.close_endpoint(NodeId(1));
+        assert!(!t.probe(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn rebind_reopens_endpoint() {
+        let t = echo_transport();
+        t.close_endpoint(NodeId(2));
+        assert!(t.call(NodeId(0), NodeId(2), hb(0)).is_err());
+        t.bind(NodeId(2), Arc::new(|_| RpcReply::Ack));
+        assert_eq!(t.call(NodeId(0), NodeId(2), hb(0)).unwrap(), RpcReply::Ack);
+    }
+}

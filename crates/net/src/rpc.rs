@@ -1,0 +1,397 @@
+//! The transport plane's RPC message set and its body codec.
+//!
+//! Eight request messages cover every inter-node interaction the live
+//! executor performs (see DESIGN.md §8e for the full table):
+//!
+//! | message        | plane    | carries                                  |
+//! |----------------|----------|------------------------------------------|
+//! | `GetBlock`     | data     | block id                                 |
+//! | `PutBlock`     | data     | block id + payload                       |
+//! | `ReplicaSync`  | recovery | block id + re-replication target         |
+//! | `CacheGet`     | cache    | cache key                                |
+//! | `CachePut`     | cache    | cache key + payload + TTL                |
+//! | `ShuffleBatch` | shuffle  | (task, attempt, seq) + records           |
+//! | `Heartbeat`    | control  | sender + logical clock                   |
+//! | `TaskAssign`   | control  | task id + block id                       |
+//!
+//! `ShuffleBatch` carries a per-attempt sequence number so receivers can
+//! deduplicate at-least-once delivery (a retry after a lost *response*
+//! would otherwise double-deliver the batch).
+
+use crate::wire::{self, CodecError, Dir, Frame, Reader, Writer};
+use bytes::Bytes;
+use eclipse_cache::{CacheKey, OutputTag};
+use eclipse_dhtfs::BlockId;
+use eclipse_ring::NodeId;
+use eclipse_util::HashKey;
+
+/// Request message kinds (the `kind` byte of request frames).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RpcKind {
+    GetBlock = 1,
+    PutBlock = 2,
+    ReplicaSync = 3,
+    CacheGet = 4,
+    CachePut = 5,
+    ShuffleBatch = 6,
+    Heartbeat = 7,
+    TaskAssign = 8,
+}
+
+/// A request travelling node → node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Rpc {
+    /// Read a block replica from the receiver's local store.
+    GetBlock { block: BlockId },
+    /// Write a block replica into the receiver's local store.
+    PutBlock { block: BlockId, data: Bytes },
+    /// Re-replication: the receiver (a surviving holder) pushes its copy
+    /// of `block` to node `to`.
+    ReplicaSync { block: BlockId, to: NodeId },
+    /// iCache/oCache lookup on the receiver's shard.
+    CacheGet { key: CacheKey },
+    /// iCache/oCache insert on the receiver's shard.
+    CachePut { key: CacheKey, data: Bytes, ttl: Option<f64> },
+    /// One shuffle batch: the complete output of `(task, attempt)` for
+    /// `partition`, `seq`-numbered within the attempt for dedup.
+    ShuffleBatch {
+        task: u32,
+        attempt: u32,
+        seq: u32,
+        partition: u32,
+        records: Vec<(String, String)>,
+    },
+    /// Failure-detector ping. Any reply is a liveness proof.
+    Heartbeat { from: NodeId, clock: u64 },
+    /// Control plane: assign map task `task` (input block `block`) to
+    /// the receiver.
+    TaskAssign { task: u32, block: BlockId },
+}
+
+/// A response travelling back.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RpcReply {
+    /// Generic success for messages with no payload to return.
+    Ack,
+    /// `GetBlock` result: the payload, or `None` when the receiver holds
+    /// no copy.
+    Block(Option<Bytes>),
+    /// `CacheGet` result.
+    CacheValue(Option<Bytes>),
+    /// `ReplicaSync` succeeded; `bytes` were copied.
+    Synced { bytes: u64 },
+    /// `ReplicaSync` failed: the receiver holds no source copy.
+    Missing,
+    /// Handler-level failure, with a human-readable reason.
+    Error(String),
+}
+
+impl Rpc {
+    pub fn kind(&self) -> RpcKind {
+        match self {
+            Rpc::GetBlock { .. } => RpcKind::GetBlock,
+            Rpc::PutBlock { .. } => RpcKind::PutBlock,
+            Rpc::ReplicaSync { .. } => RpcKind::ReplicaSync,
+            Rpc::CacheGet { .. } => RpcKind::CacheGet,
+            Rpc::CachePut { .. } => RpcKind::CachePut,
+            Rpc::ShuffleBatch { .. } => RpcKind::ShuffleBatch,
+            Rpc::Heartbeat { .. } => RpcKind::Heartbeat,
+            Rpc::TaskAssign { .. } => RpcKind::TaskAssign,
+        }
+    }
+
+    /// Serialize into a complete request frame.
+    pub fn encode(&self, corr: u64) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Rpc::GetBlock { block } => put_block_id(&mut w, *block),
+            Rpc::PutBlock { block, data } => {
+                put_block_id(&mut w, *block);
+                w.bytes(data);
+            }
+            Rpc::ReplicaSync { block, to } => {
+                put_block_id(&mut w, *block);
+                w.u32(to.0);
+            }
+            Rpc::CacheGet { key } => put_cache_key(&mut w, key),
+            Rpc::CachePut { key, data, ttl } => {
+                put_cache_key(&mut w, key);
+                w.bytes(data);
+                match ttl {
+                    None => w.u8(0),
+                    Some(t) => {
+                        w.u8(1);
+                        w.f64(*t);
+                    }
+                }
+            }
+            Rpc::ShuffleBatch { task, attempt, seq, partition, records } => {
+                w.u32(*task);
+                w.u32(*attempt);
+                w.u32(*seq);
+                w.u32(*partition);
+                w.u32(records.len() as u32);
+                for (k, v) in records {
+                    w.string(k);
+                    w.string(v);
+                }
+            }
+            Rpc::Heartbeat { from, clock } => {
+                w.u32(from.0);
+                w.u64(*clock);
+            }
+            Rpc::TaskAssign { task, block } => {
+                w.u32(*task);
+                put_block_id(&mut w, *block);
+            }
+        }
+        wire::encode_frame(Dir::Request, self.kind() as u8, corr, &w.into_body())
+    }
+
+    /// Decode a request from a frame. Total: every malformed body maps
+    /// to a [`CodecError`].
+    pub fn decode(frame: &Frame) -> Result<Rpc, CodecError> {
+        if frame.dir != Dir::Request {
+            return Err(CodecError::BadKind { dir: frame.dir, kind: frame.kind });
+        }
+        let mut r = Reader::new(&frame.body);
+        let rpc = match frame.kind {
+            k if k == RpcKind::GetBlock as u8 => Rpc::GetBlock { block: get_block_id(&mut r)? },
+            k if k == RpcKind::PutBlock as u8 => {
+                let block = get_block_id(&mut r)?;
+                let data = Bytes::copy_from_slice(r.bytes()?);
+                Rpc::PutBlock { block, data }
+            }
+            k if k == RpcKind::ReplicaSync as u8 => {
+                let block = get_block_id(&mut r)?;
+                let to = NodeId(r.u32()?);
+                Rpc::ReplicaSync { block, to }
+            }
+            k if k == RpcKind::CacheGet as u8 => Rpc::CacheGet { key: get_cache_key(&mut r)? },
+            k if k == RpcKind::CachePut as u8 => {
+                let key = get_cache_key(&mut r)?;
+                let data = Bytes::copy_from_slice(r.bytes()?);
+                let ttl = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.f64()?),
+                    t => return Err(CodecError::BadTag(t)),
+                };
+                Rpc::CachePut { key, data, ttl }
+            }
+            k if k == RpcKind::ShuffleBatch as u8 => {
+                let task = r.u32()?;
+                let attempt = r.u32()?;
+                let seq = r.u32()?;
+                let partition = r.u32()?;
+                let n = r.u32()? as usize;
+                // Cap pre-allocation: a corrupt count must not OOM.
+                let mut records = Vec::with_capacity(n.min(64 * 1024));
+                for _ in 0..n {
+                    let k = r.string()?;
+                    let v = r.string()?;
+                    records.push((k, v));
+                }
+                Rpc::ShuffleBatch { task, attempt, seq, partition, records }
+            }
+            k if k == RpcKind::Heartbeat as u8 => {
+                let from = NodeId(r.u32()?);
+                let clock = r.u64()?;
+                Rpc::Heartbeat { from, clock }
+            }
+            k if k == RpcKind::TaskAssign as u8 => {
+                let task = r.u32()?;
+                let block = get_block_id(&mut r)?;
+                Rpc::TaskAssign { task, block }
+            }
+            kind => return Err(CodecError::BadKind { dir: frame.dir, kind }),
+        };
+        r.finish()?;
+        Ok(rpc)
+    }
+}
+
+/// Response message kinds (the `kind` byte of response frames).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum ReplyKind {
+    Ack = 1,
+    Block = 2,
+    CacheValue = 3,
+    Synced = 4,
+    Missing = 5,
+    Error = 6,
+}
+
+impl RpcReply {
+    fn kind(&self) -> ReplyKind {
+        match self {
+            RpcReply::Ack => ReplyKind::Ack,
+            RpcReply::Block(_) => ReplyKind::Block,
+            RpcReply::CacheValue(_) => ReplyKind::CacheValue,
+            RpcReply::Synced { .. } => ReplyKind::Synced,
+            RpcReply::Missing => ReplyKind::Missing,
+            RpcReply::Error(_) => ReplyKind::Error,
+        }
+    }
+
+    /// Serialize into a complete response frame.
+    pub fn encode(&self, corr: u64) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            RpcReply::Ack | RpcReply::Missing => {}
+            RpcReply::Block(data) | RpcReply::CacheValue(data) => match data {
+                None => w.u8(0),
+                Some(d) => {
+                    w.u8(1);
+                    w.bytes(d);
+                }
+            },
+            RpcReply::Synced { bytes } => w.u64(*bytes),
+            RpcReply::Error(msg) => w.string(msg),
+        }
+        wire::encode_frame(Dir::Response, self.kind() as u8, corr, &w.into_body())
+    }
+
+    /// Decode a response from a frame.
+    pub fn decode(frame: &Frame) -> Result<RpcReply, CodecError> {
+        if frame.dir != Dir::Response {
+            return Err(CodecError::BadKind { dir: frame.dir, kind: frame.kind });
+        }
+        let mut r = Reader::new(&frame.body);
+        let reply = match frame.kind {
+            k if k == ReplyKind::Ack as u8 => RpcReply::Ack,
+            k if k == ReplyKind::Missing as u8 => RpcReply::Missing,
+            k if k == ReplyKind::Block as u8 => RpcReply::Block(get_opt_bytes(&mut r)?),
+            k if k == ReplyKind::CacheValue as u8 => {
+                RpcReply::CacheValue(get_opt_bytes(&mut r)?)
+            }
+            k if k == ReplyKind::Synced as u8 => RpcReply::Synced { bytes: r.u64()? },
+            k if k == ReplyKind::Error as u8 => RpcReply::Error(r.string()?),
+            kind => return Err(CodecError::BadKind { dir: frame.dir, kind }),
+        };
+        r.finish()?;
+        Ok(reply)
+    }
+}
+
+fn put_block_id(w: &mut Writer, id: BlockId) {
+    w.u64(id.file.0);
+    w.u64(id.index);
+}
+
+fn get_block_id(r: &mut Reader<'_>) -> Result<BlockId, CodecError> {
+    let file = HashKey(r.u64()?);
+    let index = r.u64()?;
+    Ok(BlockId { file, index })
+}
+
+fn put_cache_key(w: &mut Writer, key: &CacheKey) {
+    match key {
+        CacheKey::Input(h) => {
+            w.u8(0);
+            w.u64(h.0);
+        }
+        CacheKey::Output(tag) => {
+            w.u8(1);
+            w.string(&tag.app);
+            w.string(&tag.tag);
+        }
+    }
+}
+
+fn get_cache_key(r: &mut Reader<'_>) -> Result<CacheKey, CodecError> {
+    match r.u8()? {
+        0 => Ok(CacheKey::Input(HashKey(r.u64()?))),
+        1 => {
+            let app = r.string()?;
+            let tag = r.string()?;
+            Ok(CacheKey::Output(OutputTag::new(app, tag)))
+        }
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+fn get_opt_bytes(r: &mut Reader<'_>) -> Result<Option<Bytes>, CodecError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(Bytes::copy_from_slice(r.bytes()?))),
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::decode_frame;
+
+    fn roundtrip_rpc(rpc: Rpc) {
+        let raw = rpc.encode(99);
+        let frame = decode_frame(&raw).unwrap();
+        assert_eq!(frame.corr, 99);
+        assert_eq!(Rpc::decode(&frame).unwrap(), rpc);
+    }
+
+    fn roundtrip_reply(reply: RpcReply) {
+        let raw = reply.encode(7);
+        let frame = decode_frame(&raw).unwrap();
+        assert_eq!(RpcReply::decode(&frame).unwrap(), reply);
+    }
+
+    fn bid(i: u64) -> BlockId {
+        BlockId { file: HashKey(0xDEAD_BEEF), index: i }
+    }
+
+    #[test]
+    fn every_request_roundtrips() {
+        roundtrip_rpc(Rpc::GetBlock { block: bid(3) });
+        roundtrip_rpc(Rpc::PutBlock { block: bid(1), data: Bytes::from(vec![1, 2, 3]) });
+        roundtrip_rpc(Rpc::ReplicaSync { block: bid(2), to: NodeId(5) });
+        roundtrip_rpc(Rpc::CacheGet { key: CacheKey::Input(HashKey(17)) });
+        roundtrip_rpc(Rpc::CacheGet { key: CacheKey::Output(OutputTag::new("app", "t1")) });
+        roundtrip_rpc(Rpc::CachePut {
+            key: CacheKey::Input(HashKey(9)),
+            data: Bytes::from(vec![0; 100]),
+            ttl: Some(2.5),
+        });
+        roundtrip_rpc(Rpc::ShuffleBatch {
+            task: 4,
+            attempt: 1,
+            seq: 2,
+            partition: 0,
+            records: vec![("k".into(), "v".into()), ("".into(), "with space".into())],
+        });
+        roundtrip_rpc(Rpc::Heartbeat { from: NodeId(3), clock: u64::MAX });
+        roundtrip_rpc(Rpc::TaskAssign { task: 77, block: bid(0) });
+    }
+
+    #[test]
+    fn every_reply_roundtrips() {
+        roundtrip_reply(RpcReply::Ack);
+        roundtrip_reply(RpcReply::Block(None));
+        roundtrip_reply(RpcReply::Block(Some(Bytes::from(vec![9; 64]))));
+        roundtrip_reply(RpcReply::CacheValue(Some(Bytes::new())));
+        roundtrip_reply(RpcReply::Synced { bytes: 1 << 40 });
+        roundtrip_reply(RpcReply::Missing);
+        roundtrip_reply(RpcReply::Error("source gone".into()));
+    }
+
+    #[test]
+    fn request_reply_direction_enforced() {
+        let raw = Rpc::GetBlock { block: bid(0) }.encode(1);
+        let frame = decode_frame(&raw).unwrap();
+        assert!(matches!(RpcReply::decode(&frame), Err(CodecError::BadKind { .. })));
+        let raw = RpcReply::Ack.encode(1);
+        let frame = decode_frame(&raw).unwrap();
+        assert!(matches!(Rpc::decode(&frame), Err(CodecError::BadKind { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut raw = Rpc::Heartbeat { from: NodeId(0), clock: 1 }.encode(1);
+        // Grow the body by one byte and fix up the length prefix.
+        raw.push(0xFF);
+        let len = (raw.len() - wire::HEADER_LEN) as u32;
+        raw[12..16].copy_from_slice(&len.to_le_bytes());
+        let frame = decode_frame(&raw).unwrap();
+        assert!(matches!(Rpc::decode(&frame), Err(CodecError::Trailing(1))));
+    }
+}

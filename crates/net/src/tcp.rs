@@ -1,0 +1,470 @@
+//! Loopback-TCP transport backend: the same RPCs over a real wire.
+//!
+//! Each bound node owns a `127.0.0.1` listener and an accept thread;
+//! every accepted connection gets a serving thread that decodes request
+//! frames with [`FrameDecoder`] (byte boundaries are arbitrary on TCP)
+//! and writes correlated response frames. The client side keeps a
+//! per-peer pool of idle connections; one logical call takes a
+//! connection, writes one request frame, and blocks for the matching
+//! response under a per-RPC timeout. Timeouts burn the connection
+//! (its stream state is unknown) and retry on a fresh one with
+//! exponential backoff, up to the [`RetryPolicy`] budget.
+//!
+//! [`Transport::close_endpoint`] poisons a node: its listener stops
+//! accepting, every served connection is shut down (peers blocked on a
+//! reply get a reset, not a hang), and pooled client connections to it
+//! are discarded. The fail-fast contract matches the in-memory backend.
+
+use crate::rpc::{Rpc, RpcReply};
+use crate::wire::FrameDecoder;
+use crate::{NetError, NetSnapshot, NetStats, RetryPolicy, RpcHandler, Transport};
+use eclipse_ring::NodeId;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Poll interval for the accept loop and serving reads: how quickly
+/// shutdown flags are observed.
+const POLL: Duration = Duration::from_millis(10);
+
+#[derive(Default)]
+struct TcpState {
+    addrs: HashMap<u32, SocketAddr>,
+    closed: HashSet<u32>,
+    /// Per-endpoint shutdown flags (accept + serving threads watch
+    /// these).
+    flags: HashMap<u32, Arc<AtomicBool>>,
+    /// Accepted connections per endpoint, retained (as clones) so
+    /// `close_endpoint` can reset peers blocked on a reply.
+    served: HashMap<u32, Arc<Mutex<Vec<TcpStream>>>>,
+    /// Idle client connections, keyed by target node.
+    pool: HashMap<u32, Vec<TcpStream>>,
+}
+
+/// The loopback-TCP [`Transport`] backend. See the module docs.
+pub struct TcpTransport {
+    state: Mutex<TcpState>,
+    stats: Arc<NetStats>,
+    policy: RetryPolicy,
+    rpc_timeout: Duration,
+    corr: AtomicU64,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Default for TcpTransport {
+    fn default() -> TcpTransport {
+        TcpTransport::new()
+    }
+}
+
+impl TcpTransport {
+    pub fn new() -> TcpTransport {
+        TcpTransport::with_policy(RetryPolicy::default())
+    }
+
+    pub fn with_policy(policy: RetryPolicy) -> TcpTransport {
+        TcpTransport {
+            state: Mutex::new(TcpState::default()),
+            stats: Arc::new(NetStats::default()),
+            policy,
+            // Generous: loopback latency is microseconds, but debug
+            // builds on loaded single-core machines schedule serving
+            // threads late. Retries keep correctness either way.
+            rpc_timeout: Duration::from_secs(2),
+            corr: AtomicU64::new(1),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The bound address of a node's listener (tests/diagnostics).
+    pub fn addr_of(&self, node: NodeId) -> Option<SocketAddr> {
+        self.state.lock().addrs.get(&node.0).copied()
+    }
+
+    fn take_conn(&self, to: NodeId) -> Result<TcpStream, NetError> {
+        let (addr, pooled) = {
+            let mut st = self.state.lock();
+            if st.closed.contains(&to.0) {
+                return Err(NetError::ConnectionClosed { to });
+            }
+            let Some(addr) = st.addrs.get(&to.0).copied() else {
+                return Err(NetError::ConnectionClosed { to });
+            };
+            (addr, st.pool.get_mut(&to.0).and_then(|v| v.pop()))
+        };
+        if let Some(conn) = pooled {
+            return Ok(conn);
+        }
+        match TcpStream::connect_timeout(&addr, self.rpc_timeout) {
+            Ok(conn) => {
+                let _ = conn.set_nodelay(true);
+                Ok(conn)
+            }
+            Err(_) => Err(NetError::ConnectionClosed { to }),
+        }
+    }
+
+    fn return_conn(&self, to: NodeId, conn: TcpStream) {
+        let mut st = self.state.lock();
+        if !st.closed.contains(&to.0) {
+            st.pool.entry(to.0).or_default().push(conn);
+        }
+    }
+
+    /// One attempt: write the request frame, block for the correlated
+    /// response.
+    fn attempt(&self, to: NodeId, frame: &[u8], corr: u64) -> Result<RpcReply, NetError> {
+        let mut conn = self.take_conn(to)?;
+        let _ = conn.set_read_timeout(Some(POLL));
+        if conn.write_all(frame).is_err() {
+            return Err(NetError::Timeout { to });
+        }
+        self.stats.bytes_sent.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        let deadline = Instant::now() + self.rpc_timeout;
+        let mut dec = FrameDecoder::new();
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            if Instant::now() > deadline {
+                return Err(NetError::Timeout { to });
+            }
+            if self.state.lock().closed.contains(&to.0) {
+                return Err(NetError::ConnectionClosed { to });
+            }
+            match conn.read(&mut buf) {
+                Ok(0) => {
+                    // Peer hung up mid-call: closed endpoint or dying
+                    // connection — classify by the closed set.
+                    return if self.state.lock().closed.contains(&to.0) {
+                        Err(NetError::ConnectionClosed { to })
+                    } else {
+                        Err(NetError::Timeout { to })
+                    };
+                }
+                Ok(n) => {
+                    dec.feed(&buf[..n]);
+                    match dec.next_frame() {
+                        Err(e) => return Err(NetError::Codec(e)),
+                        Ok(None) => continue,
+                        Ok(Some(f)) => {
+                            if f.corr != corr {
+                                // A stale response from a previous
+                                // timed-out call can only appear on a
+                                // reused connection we already burned;
+                                // treat it as protocol corruption.
+                                return Err(NetError::Timeout { to });
+                            }
+                            let reply = RpcReply::decode(&f)?;
+                            self.return_conn(to, conn);
+                            return Ok(reply);
+                        }
+                    }
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    continue;
+                }
+                Err(_) => {
+                    return if self.state.lock().closed.contains(&to.0) {
+                        Err(NetError::ConnectionClosed { to })
+                    } else {
+                        Err(NetError::Timeout { to })
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn bind(&self, node: NodeId, handler: RpcHandler) {
+        // Re-binding an open endpoint closes the old one first.
+        if self.state.lock().addrs.contains_key(&node.0) {
+            self.close_endpoint(node);
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+        listener.set_nonblocking(true).expect("nonblocking listener");
+        let addr = listener.local_addr().expect("listener addr");
+        let flag = Arc::new(AtomicBool::new(false));
+        let served: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let mut st = self.state.lock();
+            st.addrs.insert(node.0, addr);
+            st.closed.remove(&node.0);
+            st.flags.insert(node.0, Arc::clone(&flag));
+            st.served.insert(node.0, Arc::clone(&served));
+        }
+        let global = Arc::clone(&self.shutdown);
+        let stats = Arc::clone(&self.stats);
+        std::thread::spawn(move || {
+            accept_loop(listener, handler, flag, global, served, stats);
+        });
+    }
+
+    fn call(&self, from: NodeId, to: NodeId, rpc: Rpc) -> Result<RpcReply, NetError> {
+        let _ = from; // TCP addressing is by destination socket
+        let corr = self.corr.fetch_add(1, Ordering::Relaxed);
+        let frame = rpc.encode(corr);
+        let mut last = NetError::Timeout { to };
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                self.stats.rpc_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.policy.backoff(attempt));
+            }
+            self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+            match self.attempt(to, &frame, corr) {
+                Ok(reply) => return Ok(reply),
+                Err(NetError::Timeout { .. }) => {
+                    self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    last = NetError::Timeout { to };
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    fn probe(&self, _from: NodeId, to: NodeId) -> bool {
+        self.call(_from, to, Rpc::Heartbeat { from: _from, clock: 0 }).is_ok()
+    }
+
+    fn close_endpoint(&self, node: NodeId) {
+        let (flag, served, pooled) = {
+            let mut st = self.state.lock();
+            st.closed.insert(node.0);
+            (
+                st.flags.remove(&node.0),
+                st.served.remove(&node.0),
+                st.pool.remove(&node.0),
+            )
+        };
+        if let Some(flag) = flag {
+            flag.store(true, Ordering::Release);
+        }
+        // Reset peers blocked on a reply from this node.
+        if let Some(served) = served {
+            for conn in served.lock().drain(..) {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+        }
+        for conn in pooled.into_iter().flatten() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn stats(&self) -> NetSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        let mut st = self.state.lock();
+        for (_, served) in st.served.drain() {
+            for conn in served.lock().drain(..) {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+        }
+        st.pool.clear();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    handler: RpcHandler,
+    flag: Arc<AtomicBool>,
+    global: Arc<AtomicBool>,
+    served: Arc<Mutex<Vec<TcpStream>>>,
+    stats: Arc<NetStats>,
+) {
+    loop {
+        if flag.load(Ordering::Acquire) || global.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((conn, _)) => {
+                let _ = conn.set_nodelay(true);
+                if let Ok(clone) = conn.try_clone() {
+                    served.lock().push(clone);
+                }
+                let handler = Arc::clone(&handler);
+                let flag = Arc::clone(&flag);
+                let global = Arc::clone(&global);
+                let stats = Arc::clone(&stats);
+                std::thread::spawn(move || serve_conn(conn, handler, flag, global, stats));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serve one accepted connection: decode request frames, run the
+/// handler, write correlated responses. Exits on EOF, shutdown flags,
+/// or a codec error (a byte stream with a corrupt frame cannot be
+/// resynchronized).
+fn serve_conn(
+    mut conn: TcpStream,
+    handler: RpcHandler,
+    flag: Arc<AtomicBool>,
+    global: Arc<AtomicBool>,
+    stats: Arc<NetStats>,
+) {
+    let _ = conn.set_read_timeout(Some(POLL));
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        if flag.load(Ordering::Acquire) || global.load(Ordering::Acquire) {
+            let _ = conn.shutdown(Shutdown::Both);
+            return;
+        }
+        match conn.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => {
+                dec.feed(&buf[..n]);
+                loop {
+                    let frame = match dec.next_frame() {
+                        Ok(Some(f)) => f,
+                        Ok(None) => break,
+                        Err(_) => {
+                            let _ = conn.shutdown(Shutdown::Both);
+                            return;
+                        }
+                    };
+                    let reply = match Rpc::decode(&frame) {
+                        Ok(rpc) => handler(rpc),
+                        Err(e) => RpcReply::Error(format!("bad request: {e}")),
+                    };
+                    let out = reply.encode(frame.corr);
+                    stats.bytes_sent.fetch_add(out.len() as u64, Ordering::Relaxed);
+                    if conn.write_all(&out).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use eclipse_dhtfs::BlockId;
+    use eclipse_util::HashKey;
+
+    fn bid(i: u64) -> BlockId {
+        BlockId { file: HashKey(7), index: i }
+    }
+
+    fn store_transport() -> Arc<TcpTransport> {
+        let t = Arc::new(TcpTransport::new());
+        for n in 0..3u32 {
+            let blocks: Arc<Mutex<HashMap<BlockId, Bytes>>> =
+                Arc::new(Mutex::new(HashMap::new()));
+            t.bind(
+                NodeId(n),
+                Arc::new(move |rpc| match rpc {
+                    Rpc::GetBlock { block } => {
+                        RpcReply::Block(blocks.lock().get(&block).cloned())
+                    }
+                    Rpc::PutBlock { block, data } => {
+                        blocks.lock().insert(block, data);
+                        RpcReply::Ack
+                    }
+                    Rpc::Heartbeat { .. } => RpcReply::Ack,
+                    _ => RpcReply::Error("unsupported".into()),
+                }),
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn put_then_get_over_real_tcp() {
+        let t = store_transport();
+        let payload = Bytes::from(vec![42u8; 100_000]);
+        let r = t
+            .call(NodeId(0), NodeId(1), Rpc::PutBlock { block: bid(1), data: payload.clone() })
+            .unwrap();
+        assert_eq!(r, RpcReply::Ack);
+        let r = t.call(NodeId(2), NodeId(1), Rpc::GetBlock { block: bid(1) }).unwrap();
+        assert_eq!(r, RpcReply::Block(Some(payload)));
+        let r = t.call(NodeId(2), NodeId(1), Rpc::GetBlock { block: bid(9) }).unwrap();
+        assert_eq!(r, RpcReply::Block(None));
+        let s = t.stats();
+        assert!(s.bytes_sent > 200_000, "two copies of the payload crossed the wire");
+        assert_eq!(s.timeouts, 0);
+    }
+
+    #[test]
+    fn connection_reuse_pools() {
+        let t = store_transport();
+        for i in 0..20 {
+            t.call(NodeId(0), NodeId(1), Rpc::GetBlock { block: bid(i) }).unwrap();
+        }
+        // After serial calls the pool holds at most one idle connection
+        // to node 1 (each call returns the one it took).
+        assert!(t.state.lock().pool.get(&1).map(|v| v.len()).unwrap_or(0) <= 1);
+    }
+
+    #[test]
+    fn closed_endpoint_fails_fast_and_probe_sees_it() {
+        let t = store_transport();
+        assert!(t.probe(NodeId(0), NodeId(2)));
+        t.close_endpoint(NodeId(2));
+        let started = Instant::now();
+        let e = t.call(NodeId(0), NodeId(2), Rpc::GetBlock { block: bid(0) }).unwrap_err();
+        assert_eq!(e, NetError::ConnectionClosed { to: NodeId(2) });
+        assert!(started.elapsed() < Duration::from_secs(1), "no retry loop on closed");
+        assert!(!t.probe(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn unbound_node_is_connection_closed() {
+        let t = store_transport();
+        let e = t.call(NodeId(0), NodeId(9), Rpc::GetBlock { block: bid(0) }).unwrap_err();
+        assert_eq!(e, NetError::ConnectionClosed { to: NodeId(9) });
+    }
+
+    #[test]
+    fn handlers_can_nest_calls() {
+        // ReplicaSync-style relay: node 0's handler pushes to node 1.
+        let t = Arc::new(TcpTransport::new());
+        let relay = Arc::clone(&t);
+        t.bind(
+            NodeId(1),
+            Arc::new(|rpc| match rpc {
+                Rpc::PutBlock { .. } => RpcReply::Ack,
+                _ => RpcReply::Error("unsupported".into()),
+            }),
+        );
+        let weak = Arc::downgrade(&relay);
+        drop(relay);
+        t.bind(
+            NodeId(0),
+            Arc::new(move |rpc| match rpc {
+                Rpc::ReplicaSync { block, to } => {
+                    let Some(t) = weak.upgrade() else { return RpcReply::Missing };
+                    match t.call(NodeId(0), to, Rpc::PutBlock {
+                        block,
+                        data: Bytes::from_static(b"relayed"),
+                    }) {
+                        Ok(_) => RpcReply::Synced { bytes: 7 },
+                        Err(e) => RpcReply::Error(e.to_string()),
+                    }
+                }
+                _ => RpcReply::Error("unsupported".into()),
+            }),
+        );
+        let r = t
+            .call(crate::CLIENT, NodeId(0), Rpc::ReplicaSync { block: bid(0), to: NodeId(1) })
+            .unwrap();
+        assert_eq!(r, RpcReply::Synced { bytes: 7 });
+    }
+}

@@ -1,0 +1,360 @@
+//! Length-prefixed binary framing for the transport plane.
+//!
+//! Every RPC (request or response) travels as one **frame**:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic 0xEC 0x1F
+//! 2       1     dir   (0 = request, 1 = response)
+//! 3       1     kind  (message discriminant, see `rpc`)
+//! 4       8     correlation id, u64 LE
+//! 12      4     body length, u32 LE (capped at MAX_BODY)
+//! 16      N     body
+//! ```
+//!
+//! The codec is hand-rolled and total: any byte sequence either decodes
+//! or yields a typed [`CodecError`] — it never panics and never reads
+//! past the declared length. [`FrameDecoder`] is the streaming half:
+//! bytes may arrive split at arbitrary boundaries (TCP gives no message
+//! framing) and frames are yielded exactly when complete.
+
+use std::fmt;
+
+/// Frame header magic: "EClipse 1 Frame".
+pub const MAGIC: [u8; 2] = [0xEC, 0x1F];
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 16;
+/// Upper bound on a frame body. A corrupt length prefix must not make
+/// the decoder buffer gigabytes before failing.
+pub const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// Frame direction: request or response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    Request,
+    Response,
+}
+
+/// One decoded frame (header + raw body); `rpc` decodes the body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    pub dir: Dir,
+    pub kind: u8,
+    pub corr: u64,
+    pub body: Vec<u8>,
+}
+
+/// Typed decode failure. Every malformed input maps to one of these —
+/// the codec has no panicking path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended inside a header or declared body.
+    Truncated,
+    /// The first two bytes are not [`MAGIC`].
+    BadMagic([u8; 2]),
+    /// Direction byte is neither 0 nor 1.
+    BadDir(u8),
+    /// Unknown message discriminant for the given direction.
+    BadKind { dir: Dir, kind: u8 },
+    /// Declared body length exceeds [`MAX_BODY`].
+    Oversize(u64),
+    /// A length-prefixed field overruns the body.
+    FieldOverrun,
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+    /// An enum/option tag byte has no meaning.
+    BadTag(u8),
+    /// Bytes left over after the last field of a message.
+    Trailing(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "frame truncated"),
+            CodecError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            CodecError::BadDir(d) => write!(f, "bad direction byte {d}"),
+            CodecError::BadKind { dir, kind } => write!(f, "unknown {dir:?} kind {kind}"),
+            CodecError::Oversize(n) => write!(f, "declared body of {n} bytes exceeds cap"),
+            CodecError::FieldOverrun => write!(f, "field length overruns body"),
+            CodecError::BadUtf8 => write!(f, "string field is not UTF-8"),
+            CodecError::BadTag(t) => write!(f, "invalid tag byte {t}"),
+            CodecError::Trailing(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serialize a frame. The inverse of [`decode_frame`].
+pub fn encode_frame(dir: Dir, kind: u8, corr: u64, body: &[u8]) -> Vec<u8> {
+    debug_assert!(body.len() <= MAX_BODY);
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(match dir {
+        Dir::Request => 0,
+        Dir::Response => 1,
+    });
+    out.push(kind);
+    out.extend_from_slice(&corr.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Strict single-frame decode: the input must hold exactly one complete
+/// frame. Truncation is an error here (the streaming path uses
+/// [`FrameDecoder`], where partial input just means "wait for more").
+pub fn decode_frame(buf: &[u8]) -> Result<Frame, CodecError> {
+    let (frame, used) = decode_frame_prefix(buf)?.ok_or(CodecError::Truncated)?;
+    if used != buf.len() {
+        return Err(CodecError::Trailing(buf.len() - used));
+    }
+    Ok(frame)
+}
+
+/// Decode one frame from the front of `buf` if it is complete.
+/// `Ok(None)` means the prefix is valid so far but incomplete.
+fn decode_frame_prefix(buf: &[u8]) -> Result<Option<(Frame, usize)>, CodecError> {
+    if buf.len() < 2 {
+        // Validate what we can see even before the header is whole, so
+        // garbage fails fast instead of stalling a connection.
+        if !buf.is_empty() && buf[0] != MAGIC[0] {
+            return Err(CodecError::BadMagic([buf[0], 0]));
+        }
+        return Ok(None);
+    }
+    if buf[0..2] != MAGIC {
+        return Err(CodecError::BadMagic([buf[0], buf[1]]));
+    }
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let dir = match buf[2] {
+        0 => Dir::Request,
+        1 => Dir::Response,
+        d => return Err(CodecError::BadDir(d)),
+    };
+    let kind = buf[3];
+    let corr = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")) as u64;
+    if len > MAX_BODY as u64 {
+        return Err(CodecError::Oversize(len));
+    }
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = buf[HEADER_LEN..total].to_vec();
+    Ok(Some((Frame { dir, kind, corr, body }, total)))
+}
+
+/// Streaming frame decoder: feed byte chunks cut at arbitrary
+/// boundaries, pull complete frames. Once an error is returned the
+/// stream is unrecoverable (resynchronizing on a byte stream with a
+/// corrupt length prefix is not possible) and the connection must be
+/// dropped.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append raw bytes received from the wire.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pull the next complete frame, if any.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, CodecError> {
+        match decode_frame_prefix(&self.buf)? {
+            Some((frame, used)) => {
+                self.buf.drain(..used);
+                Ok(Some(frame))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Bytes buffered but not yet consumed (an incomplete trailing
+    /// frame, or nothing).
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+// ---- field-level primitives used by the rpc codec ------------------
+
+/// Sequential reader over a frame body. All methods are bounds-checked
+/// and return [`CodecError`] instead of slicing out of range.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.at.checked_add(n).ok_or(CodecError::FieldOverrun)?;
+        if end > self.buf.len() {
+            return Err(CodecError::FieldOverrun);
+        }
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    pub fn string(&mut self) -> Result<String, CodecError> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// The message must consume its body exactly.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.at != self.buf.len() {
+            return Err(CodecError::Trailing(self.buf.len() - self.at));
+        }
+        Ok(())
+    }
+}
+
+/// Body writer mirroring [`Reader`].
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    pub fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    pub fn into_body(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let raw = encode_frame(Dir::Request, 3, 42, b"payload");
+        let f = decode_frame(&raw).unwrap();
+        assert_eq!(f.dir, Dir::Request);
+        assert_eq!(f.kind, 3);
+        assert_eq!(f.corr, 42);
+        assert_eq!(f.body, b"payload");
+    }
+
+    #[test]
+    fn streaming_across_boundaries() {
+        let a = encode_frame(Dir::Request, 1, 1, b"first");
+        let b = encode_frame(Dir::Response, 2, 2, b"second body");
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        // Feed one byte at a time: frames appear exactly when complete.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &byte in &all {
+            dec.feed(&[byte]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].body, b"first");
+        assert_eq!(got[1].corr, 2);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut raw = encode_frame(Dir::Request, 1, 1, b"x");
+        raw[0] = 0x00;
+        assert!(matches!(decode_frame(&raw), Err(CodecError::BadMagic(_))));
+    }
+
+    #[test]
+    fn oversize_length_rejected_before_buffering() {
+        let mut raw = encode_frame(Dir::Request, 1, 1, b"x");
+        raw[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.feed(&raw);
+        assert!(matches!(dec.next_frame(), Err(CodecError::Oversize(_))));
+    }
+
+    #[test]
+    fn truncation_is_typed_in_strict_mode() {
+        let raw = encode_frame(Dir::Request, 1, 1, b"hello");
+        for cut in 0..raw.len() {
+            assert_eq!(decode_frame(&raw[..cut]), Err(CodecError::Truncated), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn reader_bounds_checked() {
+        let mut w = Writer::new();
+        w.string("hi");
+        let body = w.into_body();
+        // Corrupt the length prefix to point past the end.
+        let mut bad = body.clone();
+        bad[0] = 200;
+        let mut r = Reader::new(&bad);
+        assert_eq!(r.string(), Err(CodecError::FieldOverrun));
+    }
+}

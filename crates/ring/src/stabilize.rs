@@ -162,17 +162,27 @@ impl ChordNet {
     /// node sits between them, notifies the successor, and refreshes its
     /// successor list.
     pub fn stabilize_round(&mut self) {
+        self.stabilize_round_probed(&mut |_, _| true);
+    }
+
+    /// [`stabilize_round`](Self::stabilize_round), but every pointer a
+    /// node would follow is first checked with `probe(from, to)` — the
+    /// live executor passes the transport's reachability probe here, so
+    /// a peer behind a closed endpoint or partition is treated exactly
+    /// like a dead one for the round. Probes are directional: a one-way
+    /// partition makes a node unreachable only for the nodes it cut.
+    pub fn stabilize_round_probed(&mut self, probe: &mut dyn FnMut(NodeId, NodeId) -> bool) {
         let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
         for id in ids {
             // The node may have failed mid-round.
             let Some(state) = self.nodes.get(&id) else { continue };
             let my_key = state.key;
-            // Drop dead successor candidates.
+            // Drop dead or unreachable successor candidates.
             let mut successors: Vec<(HashKey, NodeId)> = state
                 .successors
                 .iter()
                 .copied()
-                .filter(|(_, n)| self.nodes.contains_key(n))
+                .filter(|(_, n)| self.nodes.contains_key(n) && probe(id, *n))
                 .collect();
             if successors.is_empty() {
                 // Lost the whole list: fall back to any live node
@@ -181,7 +191,7 @@ impl ChordNet {
                 let fallback = self
                     .nodes
                     .iter()
-                    .filter(|(n, _)| **n != id)
+                    .filter(|(n, _)| **n != id && probe(id, **n))
                     .min_by_key(|(_, s)| my_key.distance_to(s.key))
                     .map(|(n, s)| (s.key, *n))
                     .unwrap_or((my_key, id));
@@ -195,7 +205,10 @@ impl ChordNet {
                 .get(&succ_id)
                 .and_then(|s| s.predecessor)
                 .filter(|(pk, pn)| {
-                    *pn != id && self.nodes.contains_key(pn) && between(my_key, *pk, succ_key)
+                    *pn != id
+                        && self.nodes.contains_key(pn)
+                        && probe(id, *pn)
+                        && between(my_key, *pk, succ_key)
                 });
             let (new_succ_key, new_succ_id) = adopted.unwrap_or((succ_key, succ_id));
             let mut new_list = vec![(new_succ_key, new_succ_id)];
@@ -252,11 +265,22 @@ impl ChordNet {
     /// Stabilize until convergence (or the round budget runs out);
     /// returns the rounds used.
     pub fn stabilize_until_converged(&mut self, max_rounds: usize) -> Option<usize> {
+        self.stabilize_until_converged_probed(max_rounds, &mut |_, _| true)
+    }
+
+    /// [`stabilize_until_converged`](Self::stabilize_until_converged)
+    /// with a reachability probe (see
+    /// [`stabilize_round_probed`](Self::stabilize_round_probed)).
+    pub fn stabilize_until_converged_probed(
+        &mut self,
+        max_rounds: usize,
+        probe: &mut dyn FnMut(NodeId, NodeId) -> bool,
+    ) -> Option<usize> {
         for round in 0..max_rounds {
             if self.converged() {
                 return Some(round);
             }
-            self.stabilize_round();
+            self.stabilize_round_probed(probe);
         }
         self.converged().then_some(max_rounds)
     }

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, full test suite, the chaos suite under
-# --release, and quick live-executor snapshots. Leaves
-# results/BENCH_live.json and results/BENCH_chaos.json behind so every
-# pass records comparable throughput and recovery-time numbers (see
-# DESIGN.md §8c–§8d).
+# Tier-1 gate: release build, full test suite, the chaos and transport
+# suites under --release, and quick live-executor snapshots. Leaves
+# results/BENCH_live.json, results/BENCH_chaos.json, and
+# results/BENCH_net.json behind so every pass records comparable
+# throughput, recovery-time, and wire-overhead numbers (see DESIGN.md
+# §8c–§8e).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,10 +17,19 @@ cargo test -q --workspace
 echo "== tier1: chaos suite (release)"
 cargo test -q --release -p eclipse-integration-tests --test chaos
 
+echo "== tier1: wire-codec property suite (release)"
+cargo test -q --release -p eclipse-integration-tests --test net_codec
+
+echo "== tier1: transport-identity matrix, loopback TCP (release)"
+cargo test -q --release -p eclipse-integration-tests --test net_matrix
+
 echo "== tier1: live throughput (quick)"
 cargo run -q --release -p eclipse-bench --bin live_bench -- --quick --out results/BENCH_live.json
 
 echo "== tier1: fault-path recovery cost (quick)"
 cargo run -q --release -p eclipse-bench --bin chaos_bench -- --quick --out results/BENCH_chaos.json
+
+echo "== tier1: transport overhead, TCP vs in-memory (quick)"
+cargo run -q --release -p eclipse-bench --bin net_bench -- --quick --out results/BENCH_net.json
 
 echo "== tier1: OK"

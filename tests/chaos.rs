@@ -8,8 +8,10 @@
 //! in this suite replays identically on every run.
 
 use eclipse_apps::WordCount;
+use eclipse_core::net::{NetError, Rpc, RpcKind, Transport};
 use eclipse_core::{FaultPlan, JobError, LiveCluster, LiveConfig, ReusePolicy, SchedulerKind};
 use eclipse_dhtfs::FsError;
+use std::time::{Duration, Instant};
 
 const NODES: usize = 6;
 const REDUCERS: usize = 3;
@@ -201,4 +203,107 @@ fn two_staggered_crashes_survive() {
     assert_eq!(out, expect);
     assert_eq!(stats.failed_nodes, 2);
     assert_eq!(c.ring().len(), NODES - 2);
+}
+
+// ---- network faults (PR 3: injected at the transport layer) ---------
+//
+// These compose with the crash chaos above but attack a different
+// layer: the frames themselves. The in-memory backend's fault API cuts
+// links, drops frames, and delays delivery underneath an unmodified
+// executor — the job must absorb all of it without changing a byte of
+// output.
+
+/// A one-way partition between the executing worker and a shuffle home:
+/// batches shipped into the cut time out, the partition re-homes to the
+/// sender, and the faulted attempt retries — output identical.
+#[test]
+fn one_way_partition_rehomes_shuffle_without_changing_output() {
+    let expect = baseline("laf");
+    let c = cluster("laf");
+    let ids = c.ring().node_ids();
+    // Map threads execute under ids[0]'s identity (capped at hardware
+    // parallelism, stealing covers the rest); reducer partitions are
+    // homed round-robin from ids[0], so ids[1] hosts partition 1 and
+    // this cut eats real shuffle traffic.
+    let net = c.mem_net().expect("default transport is the mem backend");
+    net.cut_one_way(ids[0], ids[1]);
+    let (out, stats) = c
+        .try_run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+        .expect("a one-way partition is not fatal");
+    assert_eq!(out, expect, "partition changed the output");
+    assert!(stats.timeouts > 0, "the cut link never timed anything out");
+    assert!(stats.rpc_retries > 0, "timeouts must have been retried");
+    assert_eq!(stats.failed_nodes, 0, "a network cut is not a node crash");
+    assert_eq!(c.ring().len(), NODES, "no node may be expelled for a cut link");
+}
+
+/// Dropped shuffle frames are retried transparently and never
+/// double-counted: the per-attempt sequence numbers plus the commit
+/// board keep exactly one copy of every record.
+#[test]
+fn dropped_shuffle_batches_are_retried_not_double_counted() {
+    let expect = baseline("laf");
+    let c = cluster("laf");
+    let net = c.mem_net().expect("default transport is the mem backend");
+    net.drop_rpcs(RpcKind::ShuffleBatch, 2);
+    let (out, stats) = c
+        .try_run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+        .expect("dropped frames are absorbed by retry");
+    assert_eq!(out, expect, "a retried batch was lost or double-counted");
+    assert!(stats.timeouts >= 2, "both drop tokens should cost a timeout");
+    assert!(stats.rpc_retries >= 2, "dropped frames must be resent");
+}
+
+/// A dropped `ReplicaSync` frame during crash recovery: the retry loop
+/// re-issues it and recovery still completes with full output.
+#[test]
+fn rpc_timeout_during_rereplication_is_absorbed() {
+    let expect = baseline("laf");
+    let c = cluster("laf");
+    let victim = c.ring().node_ids()[2];
+    c.inject_faults(FaultPlan::new().crash_after_maps(victim, 2));
+    let net = c.mem_net().expect("default transport is the mem backend");
+    net.drop_rpcs(RpcKind::ReplicaSync, 1);
+    let (out, stats) = c
+        .try_run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+        .expect("one lost recovery frame is within the retry budget");
+    assert_eq!(out, expect, "recovery under frame loss diverged the output");
+    assert_eq!(stats.failed_nodes, 1);
+    assert!(stats.recovered_blocks > 0, "re-replication never happened");
+    assert!(stats.timeouts >= 1, "the dropped ReplicaSync should time out once");
+    assert!(stats.rpc_retries >= 1, "the dropped ReplicaSync was not retried");
+}
+
+/// Regression (PR 3 tentpole fix): `fail_node` must poison the victim's
+/// transport endpoint so peers blocked on in-flight RPCs get a
+/// connection error immediately — before this fix they waited out the
+/// full delivery delay (or forever, over TCP, until heartbeat expiry).
+#[test]
+fn fail_node_poisons_in_flight_rpcs() {
+    let c = LiveCluster::new(LiveConfig::small().with_nodes(4).with_block_size(512));
+    c.upload("input", USER, seeded_text().as_bytes());
+    let ids = c.ring().node_ids();
+    let (caller, victim) = (ids[0], ids[2]);
+    let block = c.store().blocks_on(victim)[0];
+    let net = c.mem_net().expect("default transport is the mem backend").clone();
+    // Hold the victim-bound frame in flight far longer than the test
+    // is willing to wait: only endpoint poisoning can unblock it.
+    net.delay_link(caller, victim, Duration::from_secs(30));
+    let started = Instant::now();
+    let blocked = std::thread::spawn({
+        let net = net.clone();
+        move || net.call(caller, victim, Rpc::GetBlock { block })
+    });
+    // Let the call reach its in-flight wait, then kill the node.
+    std::thread::sleep(Duration::from_millis(50));
+    let report = c.fail_node(victim).expect("replicas survive on 3 nodes");
+    assert!(report.recovered_blocks > 0, "the victim held data");
+    let err = blocked.join().unwrap().expect_err("poisoned endpoint must error");
+    assert_eq!(err, NetError::ConnectionClosed { to: victim });
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "blocked RPC waited out the delay instead of failing fast"
+    );
+    assert!(!net.endpoint_open(victim), "endpoint must stay closed after fail_node");
+    assert!(!c.ring().contains(victim));
 }
