@@ -53,8 +53,8 @@ impl MapReduce for GradientRound {
             // y in {-1,+1}: gradient of log-loss.
             let z: f64 = ex.features.iter().zip(&self.weights).map(|(x, w)| x * w).sum();
             let coeff = ex.label * (sigmoid(ex.label * z) - 1.0);
-            for d in 0..DIM {
-                grad[d] += coeff * ex.features[d];
+            for (g, x) in grad.iter_mut().zip(&ex.features) {
+                *g += coeff * x;
             }
             count += 1;
         }

@@ -117,8 +117,8 @@ impl HadoopSim {
 
     /// Run one MapReduce round.
     fn run_round(&mut self, spec: &JobSpec, cost: &CostModel, submit: f64) -> JobReport {
-        let mut report = JobReport::default();
-        report.tasks_per_node = vec![0; self.cfg.cluster.nodes];
+        let mut report =
+            JobReport { tasks_per_node: vec![0; self.cfg.cluster.nodes], ..JobReport::default() };
         let meta = self.hdfs.open(&spec.input).expect("input uploaded").clone();
         let reducers = spec.reducers.max(1);
 
@@ -253,8 +253,8 @@ impl HadoopSim {
             self.clock = submit + r.elapsed;
             return r;
         }
-        let mut combined = JobReport::default();
-        combined.tasks_per_node = vec![0; self.cfg.cluster.nodes];
+        let mut combined =
+            JobReport { tasks_per_node: vec![0; self.cfg.cluster.nodes], ..JobReport::default() };
         let mut at = submit;
         for _ in 0..spec.iterations {
             let r = self.run_round(spec, &cost, at);

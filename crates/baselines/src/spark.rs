@@ -146,9 +146,11 @@ impl SparkSim {
                 .collect();
             // Delay scheduling: wait up to locality_wait for the
             // preferred node, then take the earliest-free node.
-            let (exec, effective_start) = if frees[preferred] <= launched {
-                (preferred, launched)
-            } else if frees[preferred] - launched <= self.cfg.locality_wait {
+            let (exec, effective_start) = if frees[preferred] - launched
+                <= self.cfg.locality_wait
+            {
+                // Free now, or free soon enough that delay scheduling
+                // waits for the preferred (cache-local) node.
                 (preferred, launched)
             } else {
                 let fallback = (0..nodes)
@@ -267,8 +269,8 @@ impl SparkSim {
             self.clock = submit + r.elapsed;
             return r;
         }
-        let mut combined = JobReport::default();
-        combined.tasks_per_node = vec![0; self.cfg.cluster.nodes];
+        let mut combined =
+            JobReport { tasks_per_node: vec![0; self.cfg.cluster.nodes], ..JobReport::default() };
         let mut at = submit;
         for iter in 0..iters {
             let r = self.run_round(spec, &cost, at, iter, iter + 1 == iters);

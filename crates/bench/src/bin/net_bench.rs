@@ -26,11 +26,13 @@ fn main() {
     json.push_str(&format!(
         "  \"corpus_bytes\": {corpus_bytes},\n  \"quick\": {quick},\n  \"points\": [\n"
     ));
+    let kinds = |(rpcs, bytes): (u64, u64)| format!("{{\"rpcs\": {rpcs}, \"bytes\": {bytes}}}");
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"transport\": \"{}\", \"nodes\": {}, \"records\": {}, \"secs\": {:.6}, \
              \"records_per_sec\": {:.1}, \"rpcs\": {}, \"bytes_sent\": {}, \
-             \"rpc_retries\": {}, \"timeouts\": {}}}{}\n",
+             \"rpc_retries\": {}, \"timeouts\": {},\n     \"planes\": {{\"shuffle\": {}, \
+             \"block\": {}, \"cache\": {}, \"control\": {}}}}}{}\n",
             p.transport,
             p.nodes,
             p.records,
@@ -40,6 +42,10 @@ fn main() {
             p.bytes_sent,
             p.rpc_retries,
             p.timeouts,
+            kinds(p.shuffle),
+            kinds(p.block),
+            kinds(p.cache),
+            kinds(p.control),
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
@@ -55,6 +61,11 @@ fn main() {
             "transport={:<7} nodes={} records={} secs={:.4} records/sec={:.0} rpcs={} bytes={} retries={} timeouts={}",
             p.transport, p.nodes, p.records, p.secs, p.records_per_sec, p.rpcs,
             p.bytes_sent, p.rpc_retries, p.timeouts
+        );
+        println!(
+            "  planes: shuffle={}rpc/{}B block={}rpc/{}B cache={}rpc/{}B control={}rpc/{}B",
+            p.shuffle.0, p.shuffle.1, p.block.0, p.block.1,
+            p.cache.0, p.cache.1, p.control.0, p.control.1
         );
     }
     println!("wrote {out}");

@@ -186,7 +186,7 @@ impl DistributedCache {
         let ranges = self.ranges();
         let n = ranges.len();
         for pos in 0..n {
-            let (holder, range) = ranges[pos].clone();
+            let (holder, range) = ranges[pos];
             let neighbors = [ranges[(pos + 1) % n].0, ranges[(pos + n - 1) % n].0];
             let misplaced: Vec<CacheKey> = self.with_node(holder, |c| {
                 c.keys().into_iter().filter(|k| !range.contains(k.hash_key())).collect()

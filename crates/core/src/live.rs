@@ -71,13 +71,15 @@ use crate::sim_exec::SchedulerKind;
 use bytes::Bytes;
 use eclipse_cache::{CacheKey, DistributedCache, OutputTag};
 use eclipse_dhtfs::{BlockId, BlockStore, DhtFs, DhtFsConfig, FsError};
-use eclipse_net::{MemTransport, Rpc, RpcReply, TcpTransport, Transport, CLIENT};
+use eclipse_net::{
+    MemTransport, RetryPolicy, Rpc, RpcReply, SendTicket, TcpTransport, Transport, CLIENT,
+};
 use eclipse_ring::{ChordNet, HeartbeatMonitor, NodeId, Ring};
 use eclipse_sched::{DelayScheduler, LafScheduler};
 use eclipse_util::HashKey;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -157,6 +159,22 @@ pub struct LiveConfig {
     pub block_size: u64,
     pub scheduler: SchedulerKind,
     pub transport: TransportKind,
+    /// Retry/backoff budget and link tuning (ack window, TCP_NODELAY,
+    /// read-buffer size) handed to the transport backend.
+    pub net_policy: RetryPolicy,
+    /// Spill-coalescing target: a map task buffers each reduce
+    /// partition's records until this many bytes accumulate, so the
+    /// windowed shuffle lane carries few large batches instead of many
+    /// tiny ones.
+    pub shuffle_batch_bytes: u64,
+    /// Map-slot oversubscription: worker threads per unit of hardware
+    /// parallelism (the paper's nodes run several task slots each).
+    /// With an in-memory data plane 1 is right — extra threads only
+    /// add context switching — but over a real wire a worker blocked
+    /// on a round-trip costs no CPU, so extra slots hide that latency
+    /// behind other workers' map compute. Thread count stays capped at
+    /// the virtual-node count.
+    pub map_slots: usize,
 }
 
 impl LiveConfig {
@@ -171,6 +189,9 @@ impl LiveConfig {
             block_size: 64 * 1024,
             scheduler: SchedulerKind::Laf(Default::default()),
             transport: TransportKind::Memory,
+            net_policy: RetryPolicy::default(),
+            shuffle_batch_bytes: 256 * 1024,
+            map_slots: 1,
         }
     }
 
@@ -196,6 +217,21 @@ impl LiveConfig {
 
     pub fn with_transport(mut self, t: TransportKind) -> LiveConfig {
         self.transport = t;
+        self
+    }
+
+    pub fn with_net_policy(mut self, p: RetryPolicy) -> LiveConfig {
+        self.net_policy = p;
+        self
+    }
+
+    pub fn with_shuffle_batch_bytes(mut self, bytes: u64) -> LiveConfig {
+        self.shuffle_batch_bytes = bytes;
+        self
+    }
+
+    pub fn with_map_slots(mut self, slots: usize) -> LiveConfig {
+        self.map_slots = slots;
         self
     }
 }
@@ -348,12 +384,62 @@ enum Attempt {
     Faulted,
 }
 
+/// What one map attempt produced: its terminal state plus the
+/// still-in-flight windowed send tickets the deferred settle step must
+/// redeem — shuffle batches tagged with the partition they carry, then
+/// best-effort cache inserts.
+type AttemptOutcome = (Attempt, Vec<(SendTicket, usize)>, Vec<SendTicket>);
+
+/// Per-reducer output partitions paired with the run's [`LiveStats`]:
+/// what every partitioned `run_job*` entry point yields.
+pub type PartitionedOutput = (Vec<Vec<(String, String)>>, LiveStats);
+
+/// A shipped attempt whose windowed batches are still in flight: the
+/// worker holds it across the *next* attempt's map work (acks overlap
+/// with compute) and settles it — flush, then the commit CAS — before
+/// anything that needs the task committed. The happens-before edge is
+/// untouched: commit still strictly follows acknowledged delivery.
+struct PendingCommit {
+    tid: usize,
+    attempt: u32,
+    /// Windowed cross-node shuffle batches, with the partition each
+    /// one carries (re-homed on loss).
+    shuffle: Vec<(SendTicket, usize)>,
+    /// Best-effort windowed cache inserts (outcome ignored).
+    cache: Vec<SendTicket>,
+}
+
 /// One shuffle batch: the complete output of `(task, attempt)` for one
 /// reduce partition. Reducers use the pair for exactly-once dedup.
 struct TaskBatch {
     task: u32,
     attempt: u32,
     records: Vec<(String, String)>,
+}
+
+/// Reorder-tolerant duplicate detector for one map attempt's shuffle
+/// sequence numbers. Sequence numbers below `next` are all delivered;
+/// out-of-order arrivals park in `ahead` until the gap below them
+/// fills, keeping the set small (bounded by the sender's ack window)
+/// instead of remembering every seq ever seen.
+#[derive(Debug, Default)]
+struct SeqTracker {
+    next: u32,
+    ahead: HashSet<u32>,
+}
+
+impl SeqTracker {
+    /// True if `seq` is new (caller must deliver it), false for a
+    /// duplicate in any arrival order.
+    fn admit(&mut self, seq: u32) -> bool {
+        if seq < self.next || !self.ahead.insert(seq) {
+            return false;
+        }
+        while self.ahead.remove(&self.next) {
+            self.next += 1;
+        }
+        true
+    }
 }
 
 /// The receiving half of the shuffle and control planes, shared by every
@@ -366,10 +452,12 @@ struct ShuffleRouter {
     /// Home node per reduce partition — where its shuffle batches are
     /// addressed. Re-homed when the home becomes unreachable.
     homes: RwLock<Vec<NodeId>>,
-    /// Transport-level dedup: `(task, attempt, seq)` triples already
-    /// delivered. At-least-once retry can re-deliver a batch whose
-    /// *response* was lost; the duplicate must not reach a reducer.
-    seen: Mutex<HashSet<(u32, u32, u32)>>,
+    /// Transport-level dedup, one tracker per `(task, attempt)`.
+    /// At-least-once retry can re-deliver a batch whose *response* was
+    /// lost, and the windowed one-way lane can deliver retransmissions
+    /// out of order; neither a duplicate nor a reordered duplicate may
+    /// reach a reducer twice.
+    seen: Mutex<HashMap<(u32, u32), SeqTracker>>,
     /// Control plane: task ids assigned per node via `TaskAssign`.
     assigned: Mutex<HashMap<u32, Vec<usize>>>,
 }
@@ -379,7 +467,7 @@ impl ShuffleRouter {
         ShuffleRouter {
             sinks: RwLock::new(None),
             homes: RwLock::new(Vec::new()),
-            seen: Mutex::new(HashSet::new()),
+            seen: Mutex::new(HashMap::new()),
             assigned: Mutex::new(HashMap::new()),
         }
     }
@@ -414,7 +502,7 @@ impl ShuffleRouter {
         partition: u32,
         records: Vec<(String, String)>,
     ) -> bool {
-        if !self.seen.lock().insert((task, attempt, seq)) {
+        if !self.seen.lock().entry((task, attempt)).or_default().admit(seq) {
             return true; // duplicate of a batch that already landed
         }
         let sinks = self.sinks.read();
@@ -663,10 +751,12 @@ impl LiveCluster {
         let (net, mem_net): (Arc<dyn Transport>, Option<Arc<MemTransport>>) =
             match cfg.transport {
                 TransportKind::Memory => {
-                    let m = Arc::new(MemTransport::new());
+                    let m = Arc::new(MemTransport::with_policy(cfg.net_policy));
                     (Arc::clone(&m) as Arc<dyn Transport>, Some(m))
                 }
-                TransportKind::Tcp => (Arc::new(TcpTransport::new()), None),
+                TransportKind::Tcp => {
+                    (Arc::new(TcpTransport::with_policy(cfg.net_policy)), None)
+                }
             };
         for n in ring.node_ids() {
             bind_endpoint(&net, n, Arc::clone(&store), Arc::clone(&cache), Arc::clone(&router));
@@ -787,15 +877,23 @@ impl LiveCluster {
         }
     }
 
-    /// iCache insert on `owner`'s shard (RPC when cross-node); failures
-    /// are dropped for the same reason as in
-    /// [`cache_lookup`](Self::cache_lookup).
-    fn cache_insert(&self, me: NodeId, owner: NodeId, key: CacheKey, data: Bytes) {
+    /// iCache insert on `owner`'s shard. Cross-node inserts ride the
+    /// windowed one-way lane — the worker keeps mapping instead of
+    /// waiting out a round-trip for an optimization — and hand back a
+    /// ticket the caller must flush (best-effort: failures are dropped
+    /// for the same reason as in [`cache_lookup`](Self::cache_lookup)).
+    fn cache_insert(
+        &self,
+        me: NodeId,
+        owner: NodeId,
+        key: CacheKey,
+        data: Bytes,
+    ) -> Option<SendTicket> {
         if me == owner {
             self.cache.with_node(owner, |c| c.put_payload(key, data, 0.0, None));
-            return;
+            return None;
         }
-        let _ = self.net.call(me, owner, Rpc::CachePut { key, data, ttl: None });
+        self.net.send(me, owner, Rpc::CachePut { key, data, ttl: None }).ok()
     }
 
     /// Run a MapReduce job over `input`, returning the reduced output as
@@ -853,7 +951,7 @@ impl LiveCluster {
         user: &str,
         reducers: usize,
         reuse: ReusePolicy,
-    ) -> Result<(Vec<Vec<(String, String)>>, LiveStats), JobError> {
+    ) -> Result<PartitionedOutput, JobError> {
         self.try_run_job_inputs_partitioned(app, &[input], user, reducers, reuse)
     }
 
@@ -912,7 +1010,7 @@ impl LiveCluster {
         user: &str,
         reducers: usize,
         reuse: ReusePolicy,
-    ) -> Result<(Vec<Vec<(String, String)>>, LiveStats), JobError> {
+    ) -> Result<PartitionedOutput, JobError> {
         assert!(reducers > 0);
         assert!(!inputs.is_empty());
         let metas: Vec<_> = {
@@ -958,16 +1056,24 @@ impl LiveCluster {
                 self.cache.set_ranges(laf.ranges().to_vec());
             }
         }
-        // Control plane: hand each placement to its node as a
-        // `TaskAssign` RPC. The driver sends sequentially, so every
-        // node's queue order is exactly placement order — the
-        // determinism the frozen-queue cursors rely on. An unreachable
-        // assignee still gets its queue entry (the queue is driver
-        // state; only the notification travelled).
+        // Control plane: hand each placement to its node through the
+        // windowed one-way lane — the whole assignment stream is in
+        // flight at once instead of paying one driver round-trip per
+        // task. Per-destination FIFO keeps every node's queue in
+        // placement order — the determinism the frozen-queue cursors
+        // rely on. An unreachable assignee still gets its queue entry
+        // at flush time (the queue is driver state; only the
+        // notification travelled).
+        let mut assigns: Vec<(SendTicket, NodeId, usize)> = Vec::new();
         for (tid, &(_, bid, node)) in tasks.iter().enumerate() {
-            match self.net.call(CLIENT, node, Rpc::TaskAssign { task: tid as u32, block: bid }) {
-                Ok(RpcReply::Ack) => {}
-                _ => self.router.assign(node, tid),
+            match self.net.send(CLIENT, node, Rpc::TaskAssign { task: tid as u32, block: bid }) {
+                Ok(ticket) => assigns.push((ticket, node, tid)),
+                Err(_) => self.router.assign(node, tid),
+            }
+        }
+        for (ticket, node, tid) in assigns {
+            if self.net.flush(&[ticket]).is_err() {
+                self.router.assign(node, tid);
             }
         }
         let queues = self.router.take_assignments(node_count);
@@ -1008,14 +1114,17 @@ impl LiveCluster {
         let cursors = &cursors;
         // Worker threads start under the identities of the ring members
         // at job start; a thread whose node crashes mid-job re-homes to
-        // a survivor (see `rehome`). Thread count is capped at the
-        // machine's parallelism: stealing lets fewer threads drain
-        // every node's queue, so extra threads would only add context
-        // switching (virtual nodes share the same cores).
+        // a survivor (see `rehome`). Thread count follows the machine's
+        // parallelism (times `map_slots` when latency hiding is wanted):
+        // stealing lets fewer threads drain every node's queue, so
+        // threads beyond that would only add context switching (virtual
+        // nodes share the same cores).
         let workers: Vec<NodeId> = self.ring.read().node_ids();
-        let threads = workers
-            .len()
-            .min(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        let par = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        // `map_slots` oversubscribes past the core count to hide wire
+        // round-trips (see [`LiveConfig::map_slots`]); still never more
+        // threads than virtual nodes, so identities stay unique.
+        let threads = workers.len().min(par * self.cfg.map_slots.max(1));
 
         // The partition count (and thus the output shape) is always
         // `reducers`; the reducer THREAD count is capped at hardware
@@ -1122,16 +1231,18 @@ impl LiveCluster {
                         // every task so each batch carries exactly one
                         // (task, attempt) tag.
                         let mut buffer: SpillBuffer<(String, String)> =
-                            SpillBuffer::new(reducers, 32 * 1024);
+                            SpillBuffer::new(reducers, self.cfg.shuffle_batch_bytes);
                         let mut scratch: Vec<String> = Vec::new();
 
                         // Execute one attempt: read the block (replica
                         // fallback included), map it, ship every spill.
+                        // Windowed sends stay in flight at return — the
+                        // caller settles them via [`PendingCommit`].
                         let exec = |tid: usize,
                                     attempt: u32,
                                     buffer: &mut SpillBuffer<(String, String)>,
                                     scratch: &mut Vec<String>|
-                         -> Result<Attempt, JobError> {
+                         -> Result<AttemptOutcome, JobError> {
                             let (source, bid, owner) = tasks[tid];
                             if rt.armed {
                                 let delay = rt.slow_micros(me.get());
@@ -1139,7 +1250,7 @@ impl LiveCluster {
                                     std::thread::sleep(Duration::from_micros(delay));
                                 }
                                 if rt.injected_failure(tid, attempt) {
-                                    return Ok(Attempt::Faulted);
+                                    return Ok((Attempt::Faulted, Vec::new(), Vec::new()));
                                 }
                             }
                             if owner != me.get() {
@@ -1155,6 +1266,12 @@ impl LiveCluster {
                                 inputs[source],
                                 bid.index,
                             ));
+                            // Best-effort windowed cache inserts in
+                            // flight; flushed at attempt end to release
+                            // their window slots (outcome ignored — the
+                            // cache is an optimization).
+                            let cache_tickets: RefCell<Vec<SendTicket>> =
+                                RefCell::new(Vec::new());
                             let payload = if rt.node_down(owner) {
                                 misses.fetch_add(1, Ordering::Relaxed);
                                 remote.fetch_add(1, Ordering::Relaxed);
@@ -1177,12 +1294,14 @@ impl LiveCluster {
                                         }
                                         let p = self.fetch_block(bid, owner)?;
                                         if reuse.cache_input && !rt.node_down(owner) {
-                                            self.cache_insert(
+                                            if let Some(t) = self.cache_insert(
                                                 me.get(),
                                                 owner,
                                                 key,
                                                 p.clone(),
-                                            );
+                                            ) {
+                                                cache_tickets.borrow_mut().push(t);
+                                            }
                                         }
                                         p
                                     }
@@ -1202,6 +1321,12 @@ impl LiveCluster {
                             // Sequence number within this attempt, for
                             // at-least-once dedup at the receiver.
                             let seq = Cell::new(0u32);
+                            // Windowed cross-node batches in flight:
+                            // every ticket is flushed before the commit
+                            // decision so commit still happens-after
+                            // delivery.
+                            let shuffle_tickets: RefCell<Vec<(SendTicket, usize)>> =
+                                RefCell::new(Vec::new());
                             let mut ship = |spill: Spill<(String, String)>| {
                                 if spill.records.is_empty() {
                                     return;
@@ -1220,7 +1345,11 @@ impl LiveCluster {
                                 seq.set(s + 1);
                                 let home = self.router.home_of(spill.partition);
                                 if home != me.get() && !rt.node_down(home) {
-                                    match self.net.call(
+                                    // Windowed one-way send: the worker
+                                    // keeps mapping while the batch and
+                                    // its ack are in flight. Blocks only
+                                    // when `home`'s ack window is full.
+                                    match self.net.send(
                                         me.get(),
                                         home,
                                         Rpc::ShuffleBatch {
@@ -1231,8 +1360,12 @@ impl LiveCluster {
                                             records,
                                         },
                                     ) {
-                                        Ok(RpcReply::Ack) => {}
-                                        _ => {
+                                        Ok(ticket) => {
+                                            shuffle_tickets
+                                                .borrow_mut()
+                                                .push((ticket, spill.partition));
+                                        }
+                                        Err(_) => {
                                             // The batch is gone with the
                                             // frame. Re-home the partition
                                             // so the re-execution ships
@@ -1292,7 +1425,13 @@ impl LiveCluster {
                             for spill in buffer.flush() {
                                 ship(spill);
                             }
-                            Ok(if voided.get() {
+                            let _ = ship;
+                            // Batch boundary: put every coalesced frame
+                            // (shuffle + cache) on the wire now, so the
+                            // acks travel while the *next* attempt maps
+                            // and the deferred settle finds them done.
+                            self.net.nudge();
+                            let kind = if voided.get() {
                                 Attempt::Voided
                             } else if shipfail.get() {
                                 // Lost shuffle output: bounded re-execution,
@@ -1300,13 +1439,71 @@ impl LiveCluster {
                                 Attempt::Faulted
                             } else {
                                 Attempt::Shipped
-                            })
+                            };
+                            Ok((kind, shuffle_tickets.into_inner(), cache_tickets.into_inner()))
                         };
 
-                        // Claim, execute and settle one attempt of `tid`.
+                        // Settle a deferred attempt: redeem every window
+                        // slot, then decide its commit. An attempt may
+                        // only commit once every cross-node batch is
+                        // acknowledged, so the send→commit happens-before
+                        // edge is the same as with blocking round-trips —
+                        // the flush has merely been riding alongside the
+                        // *next* attempt's map work. Tickets are flushed
+                        // even on the failure paths: each holds a window
+                        // slot until redeemed.
+                        let settle = |p: PendingCommit| {
+                            let mut lost = false;
+                            for (ticket, partition) in &p.shuffle {
+                                if self.net.flush(std::slice::from_ref(ticket)).is_err() {
+                                    // Same recovery as a synchronous
+                                    // ship failure: re-home, re-execute,
+                                    // dedup drops the losing attempt.
+                                    self.router.set_home(*partition, me.get());
+                                    lost = true;
+                                }
+                            }
+                            let _ = self.net.flush(&p.cache);
+                            // A crash since shipping voids the attempt
+                            // (mirrors the mid-ship voided flag); the
+                            // re-execution's batches win via dedup.
+                            if lost || rt.node_down(me.get()) {
+                                rt.retry.lock().push(p.tid);
+                                return;
+                            }
+                            // Commit: all sends of this attempt
+                            // happened-before this CAS, so any reducer
+                            // that sees the committed attempt will
+                            // receive its batches.
+                            if rt.commits[p.tid]
+                                .compare_exchange(
+                                    UNCOMMITTED,
+                                    p.attempt,
+                                    Ordering::AcqRel,
+                                    Ordering::Acquire,
+                                )
+                                .is_ok()
+                            {
+                                rt.committed.fetch_add(1, Ordering::AcqRel);
+                                let done = rt.maps_done.fetch_add(1, Ordering::AcqRel) + 1;
+                                if rt.armed {
+                                    if let Some(victim) = rt.due_after_maps(done) {
+                                        self.crash_node_mid_job(victim, rt);
+                                    }
+                                }
+                            }
+                        };
+
+                        // Claim and execute one attempt of `tid`. A
+                        // shipped attempt is parked in `pending` — its
+                        // acks ride alongside the next attempt's map
+                        // work — and the previously parked attempt is
+                        // settled here, after a whole attempt's worth
+                        // of overlap.
                         let run_attempt = |tid: usize,
                                            buffer: &mut SpillBuffer<(String, String)>,
-                                           scratch: &mut Vec<String>| {
+                                           scratch: &mut Vec<String>,
+                                           pending: &mut Option<PendingCommit>| {
                             if rt.commits[tid].load(Ordering::Acquire) != UNCOMMITTED {
                                 return; // an earlier attempt already won
                             }
@@ -1338,39 +1535,35 @@ impl LiveCluster {
                                 }),
                             );
                             match outcome {
-                                Ok(Ok(Attempt::Shipped)) => {
-                                    // Commit: all sends of this attempt
-                                    // happened-before this CAS, so any
-                                    // reducer that sees the committed
-                                    // attempt will receive its batches.
-                                    if rt.commits[tid]
-                                        .compare_exchange(
-                                            UNCOMMITTED,
-                                            attempt,
-                                            Ordering::AcqRel,
-                                            Ordering::Acquire,
-                                        )
-                                        .is_ok()
-                                    {
-                                        rt.committed.fetch_add(1, Ordering::AcqRel);
-                                        let done =
-                                            rt.maps_done.fetch_add(1, Ordering::AcqRel) + 1;
-                                        if rt.armed {
-                                            if let Some(victim) = rt.due_after_maps(done) {
-                                                self.crash_node_mid_job(victim, rt);
-                                            }
-                                        }
+                                Ok(Ok((Attempt::Shipped, shuffle, cache))) => {
+                                    // Park this attempt; settle the one
+                                    // whose acks just had a whole map
+                                    // attempt to arrive.
+                                    let prev = pending
+                                        .replace(PendingCommit { tid, attempt, shuffle, cache });
+                                    if let Some(prev) = prev {
+                                        settle(prev);
                                     }
                                 }
-                                Ok(Ok(Attempt::Voided)) => {
-                                    // Our own crash voided the attempt;
-                                    // survivors must re-execute it.
+                                Ok(Ok((_voided_or_faulted, shuffle, cache))) => {
+                                    // Our own crash voided the attempt,
+                                    // or an injected fault / lost batch
+                                    // consumed it; survivors re-execute.
+                                    // Redeem the window slots first —
+                                    // outcomes are irrelevant (reducer
+                                    // dedup drops the losing attempt).
+                                    for (ticket, _) in &shuffle {
+                                        let _ = self.net.flush(std::slice::from_ref(ticket));
+                                    }
+                                    let _ = self.net.flush(&cache);
                                     buffer.reset();
                                     rt.retry.lock().push(tid);
                                 }
-                                Ok(Ok(Attempt::Faulted)) | Err(_) => {
-                                    // Injected fault or a panic inside
-                                    // map/combine: bounded retry.
+                                Err(_) => {
+                                    // A panic inside map/combine:
+                                    // bounded retry. Any in-flight
+                                    // tickets died with the unwind;
+                                    // their window slots expire.
                                     buffer.reset();
                                     rt.retry.lock().push(tid);
                                 }
@@ -1398,6 +1591,9 @@ impl LiveCluster {
                             false
                         };
 
+                        // The worker's one parked (shipped, unsettled)
+                        // attempt; see `run_attempt`.
+                        let mut pending: Option<PendingCommit> = None;
                         // Phase 1 — frozen queues: own queue first
                         // (locality), then steal from the other live
                         // nodes' tails, ring order.
@@ -1412,7 +1608,7 @@ impl LiveCluster {
                                 let Some(&tid) = queues[owner.index()].get(i) else {
                                     break;
                                 };
-                                run_attempt(tid, &mut buffer, &mut scratch);
+                                run_attempt(tid, &mut buffer, &mut scratch, &mut pending);
                             }
                         }
                         // Phase 2 — drain crash/fault re-executions
@@ -1426,9 +1622,23 @@ impl LiveCluster {
                             }
                             let next = rt.retry.lock().pop();
                             match next {
-                                Some(tid) => run_attempt(tid, &mut buffer, &mut scratch),
-                                None => std::thread::sleep(Duration::from_micros(100)),
+                                Some(tid) => {
+                                    run_attempt(tid, &mut buffer, &mut scratch, &mut pending)
+                                }
+                                // Out of work: settle our parked attempt
+                                // before idling — the all-committed exit
+                                // above (ours and every other worker's)
+                                // waits on it.
+                                None => match pending.take() {
+                                    Some(p) => settle(p),
+                                    None => std::thread::sleep(Duration::from_micros(100)),
+                                },
                             }
+                        }
+                        // Abort/rehome exits can leave a parked attempt;
+                        // settle it so its window slots are redeemed.
+                        if let Some(p) = pending.take() {
+                            settle(p);
                         }
                     });
                 }

@@ -562,8 +562,8 @@ impl EclipseSim {
         prev_iter_tag: Option<&str>,
         iter_tag: Option<&str>,
     ) -> JobReport {
-        let mut report = JobReport::default();
-        report.tasks_per_node = vec![0; self.node_count()];
+        let mut report =
+            JobReport { tasks_per_node: vec![0; self.node_count()], ..JobReport::default() };
         let meta = self.fs.open(&spec.input, &spec.user).expect("input uploaded").clone();
         let reducers = spec.reducers.max(1);
 
@@ -681,8 +681,8 @@ impl EclipseSim {
                     reducer_ready[r] = reducer_ready[r].max(ready);
                 }
             } else {
-                for r in 0..reducers {
-                    reducer_ready[r] = reducer_ready[r].max(end.secs());
+                for ready in reducer_ready.iter_mut() {
+                    *ready = ready.max(end.secs());
                 }
             }
         }
@@ -712,7 +712,7 @@ impl EclipseSim {
             let out_bytes = if iter_out_total > 0 && spec.iterations > 1 {
                 iter_out_total / reducers as u64
             } else {
-                cost.output_bytes(bytes) / 1.max(1)
+                cost.output_bytes(bytes)
             };
             let mut end_t = end.secs();
             if out_bytes > 0 {
@@ -809,8 +809,8 @@ impl EclipseSim {
         let meta_size = self.fs.stat(&spec.input).expect("input uploaded").size;
         let blocks = eclipse_util::num_blocks(meta_size, self.cfg.block_size).max(1);
         let iter_out = cost.iter_output_bytes(meta_size);
-        let mut combined = JobReport::default();
-        combined.tasks_per_node = vec![0; self.node_count()];
+        let mut combined =
+            JobReport { tasks_per_node: vec![0; self.node_count()], ..JobReport::default() };
         let mut at = submit;
         for iter in 0..spec.iterations {
             let prev_tag = (iter > 0).then(|| format!("iter{}", iter - 1));
@@ -863,8 +863,8 @@ impl EclipseSim {
         cost: &CostModel,
     ) -> JobReport {
         let submit = self.clock;
-        let mut report = JobReport::default();
-        report.tasks_per_node = vec![0; self.node_count()];
+        let mut report =
+            JobReport { tasks_per_node: vec![0; self.node_count()], ..JobReport::default() };
         let mut end_max = submit;
         // Bucket the trace by current range owners; servers pull.
         let mut queue: PullQueue<HashKey> = PullQueue::new(self.node_count());

@@ -1,0 +1,435 @@
+//! Reply demultiplexing and the one-way ack window.
+//!
+//! One pooled connection now carries many concurrent RPCs: callers
+//! register a correlation id, write their request frame, and park in
+//! [`Demux::wait`]; the connection's single reader thread pulls
+//! response frames off the socket and [`Demux::settle`]s whichever
+//! caller the correlation id names — replies may arrive in any order.
+//!
+//! [`SendWindow`] is the same idea for the one-way lane
+//! ([`crate::Transport::send`]): each windowed frame keeps a slot —
+//! holding the encoded bytes for retransmission — until its ack
+//! arrives or its retry budget dies. Slots survive connection churn
+//! (the window belongs to the *destination*, not the socket), so a
+//! reconnect can retransmit exactly the bytes the dead socket lost.
+
+use crate::{NetError, RpcKind, RpcReply};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Loopback replies usually land within a few scheduler passes, so
+/// waiters yield-spin this many times (re-checking their slot between
+/// yields) before paying the futex park/notify round-trip. Yielding —
+/// not busy-spinning — keeps this harmless on saturated single-core
+/// hosts: the reply can only arrive if the reader thread gets the CPU.
+pub(crate) const SPIN_YIELDS: u32 = 32;
+
+/// Park on `cv` until `deadline`; true when the deadline passed
+/// without a notification.
+fn wait_until<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    deadline: Instant,
+) -> (MutexGuard<'a, T>, bool) {
+    let left = deadline.saturating_duration_since(Instant::now());
+    if left.is_zero() {
+        return (guard, true);
+    }
+    let (guard, res) = cv.wait_timeout(guard, left).unwrap();
+    (guard, res.timed_out())
+}
+
+enum CallSlot {
+    Waiting,
+    Ready(Result<RpcReply, NetError>),
+}
+
+/// Correlation-id → caller demultiplexer for in-flight requests on one
+/// connection.
+#[derive(Default)]
+pub struct Demux {
+    slots: Mutex<HashMap<u64, CallSlot>>,
+    cv: Condvar,
+}
+
+impl Demux {
+    pub fn new() -> Demux {
+        Demux::default()
+    }
+
+    /// Announce interest in `corr` *before* the request frame is
+    /// written, so a reply can never race past its waiter.
+    pub fn register(&self, corr: u64) {
+        self.slots.lock().unwrap().insert(corr, CallSlot::Waiting);
+    }
+
+    /// Deliver the reply for `corr`. Returns false when no caller is
+    /// registered (stale reply for a timed-out attempt, or a windowed
+    /// send's corr — the reader then tries the [`SendWindow`]).
+    pub fn settle(&self, corr: u64, res: Result<RpcReply, NetError>) -> bool {
+        let mut slots = self.slots.lock().unwrap();
+        match slots.get_mut(&corr) {
+            Some(slot @ CallSlot::Waiting) => {
+                *slot = CallSlot::Ready(res);
+                self.cv.notify_all();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Park until `corr` settles or `deadline` passes. The slot is
+    /// removed either way; `None` means timeout and any late reply for
+    /// this corr will be dropped as stale.
+    pub fn wait(&self, corr: u64, deadline: Instant) -> Option<Result<RpcReply, NetError>> {
+        // Fast path: yield-spin before parking (see [`SPIN_YIELDS`]).
+        for _ in 0..SPIN_YIELDS {
+            if let Some(CallSlot::Ready(_)) = self.slots.lock().unwrap().get(&corr) {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let mut slots = self.slots.lock().unwrap();
+        loop {
+            if let Some(CallSlot::Ready(_)) = slots.get(&corr) {
+                match slots.remove(&corr) {
+                    Some(CallSlot::Ready(res)) => return Some(res),
+                    _ => unreachable!("slot checked Ready under the same lock"),
+                }
+            }
+            let (guard, timed_out) = wait_until(&self.cv, slots, deadline);
+            slots = guard;
+            if timed_out {
+                // One last look: a reply that raced the deadline wins.
+                if let Some(CallSlot::Ready(res)) = slots.remove(&corr) {
+                    return Some(res);
+                }
+                return None;
+            }
+        }
+    }
+
+    /// Drop interest in `corr` without waiting.
+    pub fn cancel(&self, corr: u64) {
+        self.slots.lock().unwrap().remove(&corr);
+    }
+
+    /// Settle every waiting caller with `err` (connection died).
+    pub fn fail_all(&self, err: &NetError) {
+        let mut slots = self.slots.lock().unwrap();
+        for slot in slots.values_mut() {
+            if matches!(slot, CallSlot::Waiting) {
+                *slot = CallSlot::Ready(Err(err.clone()));
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Registered-but-unclaimed slots (settled or not).
+    pub fn pending(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+}
+
+/// One windowed send awaiting acknowledgement.
+struct WinSlot {
+    frame: Arc<Vec<u8>>,
+    kind: RpcKind,
+    /// Transmissions so far (>= 1).
+    attempts: u32,
+    /// When the current transmission stops being waited on.
+    deadline: Instant,
+    done: Option<Result<(), NetError>>,
+}
+
+/// What [`SendWindow::poll`] found for a ticket.
+pub enum WinPoll {
+    /// Acked or failed; the slot has been released.
+    Done(Result<(), NetError>),
+    /// Still awaiting its ack, within deadline.
+    Pending { deadline: Instant },
+    /// Deadline passed without an ack: the caller decides — retransmit
+    /// (then [`SendWindow::bump`]) or give up ([`SendWindow::fail`]).
+    Expired { frame: Arc<Vec<u8>>, kind: RpcKind, attempts: u32 },
+    /// No such slot (already redeemed).
+    Unknown,
+}
+
+/// Bounded in-flight window for one destination's one-way sends.
+pub struct SendWindow {
+    limit: usize,
+    slots: Mutex<HashMap<u64, WinSlot>>,
+    cv: Condvar,
+}
+
+impl SendWindow {
+    pub fn new(limit: usize) -> SendWindow {
+        SendWindow { limit: limit.max(1), slots: Mutex::new(HashMap::new()), cv: Condvar::new() }
+    }
+
+    /// Claim a slot for `corr`, blocking while the window is full.
+    /// Only live in-flight slots (unsettled, within deadline) count
+    /// toward the limit, so a dead peer — whose slots all expire —
+    /// can never wedge senders forever.
+    pub fn admit(&self, corr: u64, frame: Arc<Vec<u8>>, kind: RpcKind, deadline: Instant) {
+        let mut slots = self.slots.lock().unwrap();
+        loop {
+            if Self::admit_locked(&mut slots, self.limit, corr, &frame, kind, deadline) {
+                return;
+            }
+            // Wake on ack/fail, or when the earliest in-flight deadline
+            // passes (that slot then stops counting).
+            let now = Instant::now();
+            let until = slots
+                .values()
+                .filter(|s| s.done.is_none() && s.deadline > now)
+                .map(|s| s.deadline)
+                .min()
+                .unwrap_or(now);
+            let (guard, _) = wait_until(&self.cv, slots, until);
+            slots = guard;
+        }
+    }
+
+    /// Non-blocking [`SendWindow::admit`]: false when the window is
+    /// full. Lets the caller push out whatever is keeping acks from
+    /// arriving (e.g. coalesced-but-unwritten frames) before parking
+    /// in the blocking variant.
+    pub fn try_admit(
+        &self,
+        corr: u64,
+        frame: Arc<Vec<u8>>,
+        kind: RpcKind,
+        deadline: Instant,
+    ) -> bool {
+        let mut slots = self.slots.lock().unwrap();
+        Self::admit_locked(&mut slots, self.limit, corr, &frame, kind, deadline)
+    }
+
+    fn admit_locked(
+        slots: &mut HashMap<u64, WinSlot>,
+        limit: usize,
+        corr: u64,
+        frame: &Arc<Vec<u8>>,
+        kind: RpcKind,
+        deadline: Instant,
+    ) -> bool {
+        let now = Instant::now();
+        let live = slots.values().filter(|s| s.done.is_none() && s.deadline > now).count();
+        if live < limit {
+            slots.insert(
+                corr,
+                WinSlot { frame: Arc::clone(frame), kind, attempts: 1, deadline, done: None },
+            );
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Acknowledge (or fail) `corr`. False when the slot is unknown —
+    /// a duplicate ack after retransmission, or a call-lane corr.
+    pub fn settle(&self, corr: u64, res: Result<(), NetError>) -> bool {
+        let mut slots = self.slots.lock().unwrap();
+        match slots.get_mut(&corr) {
+            Some(slot) if slot.done.is_none() => {
+                slot.done = Some(res);
+                self.cv.notify_all();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Inspect `corr` for the flush loop; a settled slot is released.
+    pub fn poll(&self, corr: u64, now: Instant) -> WinPoll {
+        let mut slots = self.slots.lock().unwrap();
+        match slots.get(&corr) {
+            None => WinPoll::Unknown,
+            Some(slot) => {
+                if slot.done.is_some() {
+                    let slot = slots.remove(&corr).expect("checked present");
+                    self.cv.notify_all();
+                    WinPoll::Done(slot.done.expect("checked settled"))
+                } else if slot.deadline <= now {
+                    WinPoll::Expired {
+                        frame: Arc::clone(&slot.frame),
+                        kind: slot.kind,
+                        attempts: slot.attempts,
+                    }
+                } else {
+                    WinPoll::Pending { deadline: slot.deadline }
+                }
+            }
+        }
+    }
+
+    /// Record a retransmission of `corr`: one more attempt, new
+    /// deadline.
+    pub fn bump(&self, corr: u64, deadline: Instant) {
+        let mut slots = self.slots.lock().unwrap();
+        if let Some(slot) = slots.get_mut(&corr) {
+            if slot.done.is_none() {
+                slot.attempts += 1;
+                slot.deadline = deadline;
+            }
+        }
+    }
+
+    /// Give up on `corr` with `err` (retry budget exhausted, endpoint
+    /// closed). No-op if already settled.
+    pub fn fail(&self, corr: u64, err: NetError) {
+        self.settle(corr, Err(err));
+    }
+
+    /// Fail every unsettled slot (endpoint closed / transport torn
+    /// down).
+    pub fn fail_all(&self, err: &NetError) {
+        let mut slots = self.slots.lock().unwrap();
+        for slot in slots.values_mut() {
+            if slot.done.is_none() {
+                slot.done = Some(Err(err.clone()));
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Wake blocked senders/flushers so they re-examine the window
+    /// (connection died; deadlines may now be moot).
+    pub fn wake(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Park until `corr` settles or expires; returns the same shapes
+    /// as [`SendWindow::poll`] without busy-waiting. `deadline` bounds
+    /// this wait itself (a [`WinPoll::Pending`] return means it passed
+    /// first).
+    pub fn wait_settled(&self, corr: u64, deadline: Instant) -> WinPoll {
+        // Same yield-spin fast path as [`Demux::wait`]: flush usually
+        // finds its ack within a few scheduler passes on loopback.
+        for _ in 0..SPIN_YIELDS {
+            match self.slots.lock().unwrap().get(&corr) {
+                Some(slot) if slot.done.is_none() => std::thread::yield_now(),
+                _ => break,
+            }
+        }
+        let mut slots = self.slots.lock().unwrap();
+        loop {
+            let now = Instant::now();
+            match slots.get(&corr) {
+                None => return WinPoll::Unknown,
+                Some(slot) if slot.done.is_some() => {
+                    let slot = slots.remove(&corr).expect("checked present");
+                    self.cv.notify_all();
+                    return WinPoll::Done(slot.done.expect("checked settled"));
+                }
+                Some(slot) if slot.deadline <= now => {
+                    return WinPoll::Expired {
+                        frame: Arc::clone(&slot.frame),
+                        kind: slot.kind,
+                        attempts: slot.attempts,
+                    };
+                }
+                Some(slot) => {
+                    if now >= deadline {
+                        return WinPoll::Pending { deadline: slot.deadline };
+                    }
+                    let until = deadline.min(slot.deadline);
+                    let (guard, _) = wait_until(&self.cv, slots, until);
+                    slots = guard;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn soon() -> Instant {
+        Instant::now() + Duration::from_millis(200)
+    }
+
+    #[test]
+    fn settle_then_wait_returns_reply() {
+        let d = Demux::new();
+        d.register(7);
+        assert!(d.settle(7, Ok(RpcReply::Ack)));
+        assert_eq!(d.wait(7, soon()), Some(Ok(RpcReply::Ack)));
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn unknown_corr_is_rejected_as_stale() {
+        let d = Demux::new();
+        assert!(!d.settle(99, Ok(RpcReply::Ack)));
+    }
+
+    #[test]
+    fn wait_timeout_drops_slot() {
+        let d = Demux::new();
+        d.register(1);
+        assert_eq!(d.wait(1, Instant::now()), None);
+        // A late reply is now stale.
+        assert!(!d.settle(1, Ok(RpcReply::Ack)));
+    }
+
+    #[test]
+    fn fail_all_wakes_every_waiter() {
+        let d = Arc::new(Demux::new());
+        d.register(1);
+        d.register(2);
+        d.fail_all(&NetError::ConnectionClosed { to: eclipse_ring::NodeId(3) });
+        assert!(matches!(d.wait(1, soon()), Some(Err(NetError::ConnectionClosed { .. }))));
+        assert!(matches!(d.wait(2, soon()), Some(Err(NetError::ConnectionClosed { .. }))));
+    }
+
+    #[test]
+    fn window_blocks_at_limit_until_settled() {
+        let w = Arc::new(SendWindow::new(1));
+        let frame = Arc::new(vec![1u8, 2, 3]);
+        let far = Instant::now() + Duration::from_secs(5);
+        w.admit(1, Arc::clone(&frame), RpcKind::ShuffleBatch, far);
+        let w2 = Arc::clone(&w);
+        let f2 = Arc::clone(&frame);
+        let t = std::thread::spawn(move || {
+            // Blocks until corr 1 is acked.
+            w2.admit(2, f2, RpcKind::ShuffleBatch, Instant::now() + Duration::from_secs(5));
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!t.is_finished(), "second admit must block while window is full");
+        assert!(w.settle(1, Ok(())));
+        t.join().unwrap();
+        assert!(matches!(w.poll(1, Instant::now()), WinPoll::Done(Ok(()))));
+        assert!(matches!(w.poll(1, Instant::now()), WinPoll::Unknown));
+    }
+
+    #[test]
+    fn expired_slots_do_not_wedge_admission() {
+        let w = SendWindow::new(1);
+        let frame = Arc::new(vec![0u8]);
+        // Already expired: counts as zero in-flight.
+        w.admit(1, Arc::clone(&frame), RpcKind::CachePut, Instant::now());
+        w.admit(2, frame, RpcKind::CachePut, soon());
+        match w.poll(1, Instant::now()) {
+            WinPoll::Expired { attempts, .. } => assert_eq!(attempts, 1),
+            _ => panic!("slot 1 must be expired"),
+        }
+    }
+
+    #[test]
+    fn bump_extends_deadline_and_counts_attempts() {
+        let w = SendWindow::new(4);
+        w.admit(1, Arc::new(vec![0u8]), RpcKind::ShuffleBatch, Instant::now());
+        w.bump(1, soon());
+        match w.poll(1, Instant::now()) {
+            WinPoll::Pending { .. } => {}
+            _ => panic!("bumped slot must be pending again"),
+        }
+        w.fail(1, NetError::Timeout { to: eclipse_ring::NodeId(0) });
+        assert!(matches!(w.poll(1, Instant::now()), WinPoll::Done(Err(NetError::Timeout { .. }))));
+    }
+}

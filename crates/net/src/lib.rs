@@ -22,11 +22,13 @@
 //! tolerate duplicates deduplicate by the sequence numbers carried in
 //! the messages ([`Rpc::ShuffleBatch`]'s `(task, attempt, seq)`).
 
+pub mod demux;
 pub mod mem;
 pub mod rpc;
 pub mod tcp;
 pub mod wire;
 
+pub use demux::Demux;
 pub use mem::MemTransport;
 pub use rpc::{Rpc, RpcKind, RpcReply};
 pub use tcp::TcpTransport;
@@ -83,7 +85,8 @@ impl From<CodecError> for NetError {
 /// pushes a `PutBlock` to the re-replication target).
 pub type RpcHandler = Arc<dyn Fn(Rpc) -> RpcReply + Send + Sync>;
 
-/// Retry/backoff budget for one logical RPC, shared by both backends.
+/// Retry/backoff budget for one logical RPC plus the link-tuning knobs
+/// shared by both backends.
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
     /// Total attempts (first try included). Mirrors the executor's
@@ -92,6 +95,16 @@ pub struct RetryPolicy {
     /// Backoff before retry `k` is `base << (k-1)`, capped at `cap`.
     pub backoff_base: Duration,
     pub backoff_cap: Duration,
+    /// Max unacknowledged one-way sends ([`Transport::send`]) per
+    /// destination before the sender blocks. Bounds both memory held for
+    /// retransmission and the damage one dead peer can absorb.
+    pub ack_window: usize,
+    /// Disable Nagle's algorithm on every pooled TCP connection. Small
+    /// control frames (heartbeats, acks) should not wait out a
+    /// coalescing timer.
+    pub nodelay: bool,
+    /// Per-connection read buffer handed to the reader thread.
+    pub read_buf_bytes: usize,
 }
 
 impl Default for RetryPolicy {
@@ -100,6 +113,9 @@ impl Default for RetryPolicy {
             max_attempts: 4,
             backoff_base: Duration::from_micros(200),
             backoff_cap: Duration::from_millis(50),
+            ack_window: 64,
+            nodelay: true,
+            read_buf_bytes: 64 * 1024,
         }
     }
 }
@@ -116,13 +132,20 @@ impl RetryPolicy {
     }
 }
 
-/// Cumulative transport counters (atomics: hot-path friendly).
+/// Number of request kinds (`RpcKind` discriminants are 1..=KINDS).
+pub const KINDS: usize = 8;
+
+/// Cumulative transport counters (atomics: hot-path friendly). The
+/// per-kind arrays attribute request traffic to its plane (shuffle vs
+/// block vs cache vs control); reply bytes land in `bytes_sent` only.
 #[derive(Debug, Default)]
 pub struct NetStats {
     pub bytes_sent: AtomicU64,
     pub rpcs: AtomicU64,
     pub rpc_retries: AtomicU64,
     pub timeouts: AtomicU64,
+    pub kind_rpcs: [AtomicU64; KINDS],
+    pub kind_bytes: [AtomicU64; KINDS],
 }
 
 /// A point-in-time copy of [`NetStats`], subtractable so callers can
@@ -133,15 +156,36 @@ pub struct NetSnapshot {
     pub rpcs: u64,
     pub rpc_retries: u64,
     pub timeouts: u64,
+    pub kind_rpcs: [u64; KINDS],
+    pub kind_bytes: [u64; KINDS],
 }
 
 impl NetStats {
+    /// Account one request frame of `bytes` wire bytes, attributed to
+    /// its kind. Retransmissions count again: the bytes really crossed
+    /// the wire twice.
+    pub fn count_request(&self, kind: RpcKind, bytes: u64) {
+        self.rpcs.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        let i = kind as usize - 1;
+        self.kind_rpcs[i].fetch_add(1, Ordering::Relaxed);
+        self.kind_bytes[i].fetch_add(bytes, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> NetSnapshot {
+        let mut kind_rpcs = [0u64; KINDS];
+        let mut kind_bytes = [0u64; KINDS];
+        for i in 0..KINDS {
+            kind_rpcs[i] = self.kind_rpcs[i].load(Ordering::Relaxed);
+            kind_bytes[i] = self.kind_bytes[i].load(Ordering::Relaxed);
+        }
         NetSnapshot {
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             rpcs: self.rpcs.load(Ordering::Relaxed),
             rpc_retries: self.rpc_retries.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
+            kind_rpcs,
+            kind_bytes,
         }
     }
 }
@@ -149,20 +193,47 @@ impl NetStats {
 impl NetSnapshot {
     /// Counters accumulated since `earlier`.
     pub fn since(&self, earlier: NetSnapshot) -> NetSnapshot {
+        let mut kind_rpcs = [0u64; KINDS];
+        let mut kind_bytes = [0u64; KINDS];
+        for i in 0..KINDS {
+            kind_rpcs[i] = self.kind_rpcs[i].saturating_sub(earlier.kind_rpcs[i]);
+            kind_bytes[i] = self.kind_bytes[i].saturating_sub(earlier.kind_bytes[i]);
+        }
         NetSnapshot {
             bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
             rpcs: self.rpcs.saturating_sub(earlier.rpcs),
             rpc_retries: self.rpc_retries.saturating_sub(earlier.rpc_retries),
             timeouts: self.timeouts.saturating_sub(earlier.timeouts),
+            kind_rpcs,
+            kind_bytes,
         }
     }
+
+    /// `(requests, request_bytes)` attributed to one kind.
+    pub fn kind(&self, kind: RpcKind) -> (u64, u64) {
+        let i = kind as usize - 1;
+        (self.kind_rpcs[i], self.kind_bytes[i])
+    }
+}
+
+/// Handle for one windowed one-way send, redeemed by
+/// [`Transport::flush`]. Dropping a ticket without flushing leaks its
+/// window slot until the transport reaps it on endpoint close — always
+/// flush, even when the result is ignored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendTicket {
+    pub to: NodeId,
+    pub id: u64,
 }
 
 /// A pluggable node-to-node RPC fabric.
 ///
 /// Implementations are synchronous request/response with internal
 /// bounded retry; per-link FIFO ordering holds for calls issued from
-/// one thread (a call completes before the next starts).
+/// one thread (a call completes before the next starts). The one-way
+/// lane ([`Transport::send`]/[`Transport::flush`]) relaxes this:
+/// windowed sends may be acknowledged, retried, and *delivered* out of
+/// order, so receivers must tolerate reordering (shuffle dedup does).
 pub trait Transport: Send + Sync {
     /// Register `node`'s serving handler, (re)opening its endpoint.
     fn bind(&self, node: NodeId, handler: RpcHandler);
@@ -172,6 +243,28 @@ pub trait Transport: Send + Sync {
     /// [`NetError::ConnectionClosed`] when the peer's endpoint is
     /// closed.
     fn call(&self, from: NodeId, to: NodeId, rpc: Rpc) -> Result<RpcReply, NetError>;
+
+    /// Fire-and-track one-way lane for acknowledged but non-blocking
+    /// delivery (`ShuffleBatch`, `CachePut`): enqueue the request
+    /// without waiting for its round-trip. Blocks only when `to`'s ack
+    /// window ([`RetryPolicy::ack_window`]) is full. The returned
+    /// ticket MUST eventually be passed to [`Transport::flush`].
+    fn send(&self, from: NodeId, to: NodeId, rpc: Rpc) -> Result<SendTicket, NetError>;
+
+    /// Redeem tickets from [`Transport::send`]: wait until each is
+    /// acknowledged (retrying within the retry budget) or failed. Ok
+    /// means every ticket's request was delivered and acknowledged
+    /// with a non-error reply. Each ticket's window slot is released
+    /// regardless of outcome.
+    fn flush(&self, tickets: &[SendTicket]) -> Result<(), NetError>;
+
+    /// Hint that a batch of [`Transport::send`]s is complete: push any
+    /// coalesced-but-unwritten frames onto the wire *without* waiting
+    /// for acknowledgements. Callers that park tickets across other
+    /// work (deferred flush) should nudge at the batch boundary so the
+    /// acks travel while that work runs. Backends that transmit
+    /// eagerly need no override.
+    fn nudge(&self) {}
 
     /// Cheap reachability probe (stabilization uses this): can `from`
     /// currently exchange a frame with `to`? Counts as one RPC.

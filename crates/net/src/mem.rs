@@ -21,7 +21,9 @@
 //! against.
 
 use crate::rpc::{Rpc, RpcKind, RpcReply};
-use crate::{NetError, NetSnapshot, NetStats, RetryPolicy, RpcHandler, Transport};
+use crate::{
+    NetError, NetSnapshot, NetStats, RetryPolicy, RpcHandler, SendTicket, Transport,
+};
 use eclipse_ring::NodeId;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,6 +54,21 @@ enum Attempt {
     Lost,
 }
 
+/// One windowed one-way send awaiting [`Transport::flush`]. Delivery
+/// is attempted inline at [`Transport::send`] time (in-memory links
+/// have no propagation delay to overlap), so the slot usually holds a
+/// settled result; a frame the fault machinery ate stays unsettled and
+/// is retried — through the real codec again — at flush.
+struct MemSlot {
+    from: NodeId,
+    to: NodeId,
+    kind: RpcKind,
+    frame: Vec<u8>,
+    /// Transmissions so far (>= 1).
+    attempts: u32,
+    done: Option<Result<(), NetError>>,
+}
+
 /// The in-memory [`Transport`] backend. See the module docs.
 pub struct MemTransport {
     state: Mutex<MemState>,
@@ -64,6 +81,10 @@ pub struct MemTransport {
     /// partition is eating before declaring the attempt timed out.
     rpc_timeout: Duration,
     corr: AtomicU64,
+    /// Outstanding one-way sends, keyed by ticket id. Because delivery
+    /// is inline, the ack window never blocks here — the window
+    /// semantics TCP enforces are trivially satisfied.
+    sends: Mutex<HashMap<u64, MemSlot>>,
 }
 
 impl Default for MemTransport {
@@ -85,6 +106,7 @@ impl MemTransport {
             policy,
             rpc_timeout: Duration::from_millis(2),
             corr: AtomicU64::new(1),
+            sends: Mutex::new(HashMap::new()),
         }
     }
 
@@ -198,6 +220,42 @@ impl MemTransport {
         }
         Attempt::Deliver(st.endpoints[&to.0].clone())
     }
+
+    /// One one-way transmission: run the fault machinery and, on
+    /// delivery, the full codec round-trip plus the handler.
+    /// `Ok(None)` means the frame was lost (retry later).
+    fn transmit_oneway(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        kind: RpcKind,
+        frame: &[u8],
+    ) -> Result<Option<Result<(), NetError>>, NetError> {
+        self.stats.count_request(kind, frame.len() as u64);
+        match self.attempt(from, to, kind) {
+            Attempt::Closed => Err(NetError::ConnectionClosed { to }),
+            Attempt::Lost => {
+                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                Ok(None)
+            }
+            Attempt::Deliver(handler) => {
+                let decoded = crate::wire::decode_frame(frame)?;
+                let req = Rpc::decode(&decoded)?;
+                let reply = handler(req);
+                let corr = decoded.corr;
+                let reply_frame = reply.encode(corr);
+                self.stats
+                    .bytes_sent
+                    .fetch_add(reply_frame.len() as u64, Ordering::Relaxed);
+                let decoded = crate::wire::decode_frame(&reply_frame)?;
+                let reply = RpcReply::decode(&decoded)?;
+                Ok(Some(match reply {
+                    RpcReply::Error(msg) => Err(NetError::Remote(msg)),
+                    _ => Ok(()),
+                }))
+            }
+        }
+    }
 }
 
 impl Transport for MemTransport {
@@ -217,8 +275,7 @@ impl Transport for MemTransport {
                 self.stats.rpc_retries.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(self.policy.backoff(attempt));
             }
-            self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
-            self.stats.bytes_sent.fetch_add(frame.len() as u64, Ordering::Relaxed);
+            self.stats.count_request(kind, frame.len() as u64);
             match self.attempt(from, to, kind) {
                 Attempt::Closed => return Err(NetError::ConnectionClosed { to }),
                 Attempt::Lost => {
@@ -241,12 +298,81 @@ impl Transport for MemTransport {
         Err(NetError::Timeout { to })
     }
 
+    fn send(&self, from: NodeId, to: NodeId, rpc: Rpc) -> Result<SendTicket, NetError> {
+        let corr = self.corr.fetch_add(1, Ordering::Relaxed);
+        let kind = rpc.kind();
+        // The real wire bytes, even in memory: this is the oracle.
+        let frame = rpc.encode(corr);
+        // Closed destinations fail fast, exactly like `call`.
+        let done = self.transmit_oneway(from, to, kind, &frame)?;
+        self.sends
+            .lock()
+            .unwrap()
+            .insert(corr, MemSlot { from, to, kind, frame, attempts: 1, done });
+        Ok(SendTicket { to, id: corr })
+    }
+
+    fn flush(&self, tickets: &[SendTicket]) -> Result<(), NetError> {
+        let mut first_err: Option<NetError> = None;
+        for t in tickets {
+            loop {
+                // Take what we need under the lock, transmit outside it
+                // (the fault machinery may block on delays/partitions).
+                let retry = {
+                    let mut sends = self.sends.lock().unwrap();
+                    match sends.get_mut(&t.id) {
+                        None => break, // already redeemed
+                        Some(slot) => match &slot.done {
+                            Some(res) => {
+                                if let Err(e) = res {
+                                    first_err.get_or_insert(e.clone());
+                                }
+                                sends.remove(&t.id);
+                                break;
+                            }
+                            None => {
+                                if slot.attempts >= self.policy.max_attempts {
+                                    first_err
+                                        .get_or_insert(NetError::Timeout { to: slot.to });
+                                    sends.remove(&t.id);
+                                    break;
+                                }
+                                slot.attempts += 1;
+                                (
+                                    slot.from,
+                                    slot.to,
+                                    slot.kind,
+                                    slot.frame.clone(),
+                                    slot.attempts,
+                                )
+                            }
+                        },
+                    }
+                };
+                let (from, to, kind, frame, attempts) = retry;
+                self.stats.rpc_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.policy.backoff(attempts - 1));
+                let outcome = self.transmit_oneway(from, to, kind, &frame);
+                let mut sends = self.sends.lock().unwrap();
+                if let Some(slot) = sends.get_mut(&t.id) {
+                    match outcome {
+                        Err(e) => slot.done = Some(Err(e)),
+                        Ok(Some(res)) => slot.done = Some(res),
+                        Ok(None) => {}
+                    }
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
     fn probe(&self, from: NodeId, to: NodeId) -> bool {
-        self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
         // A probe is a minimal heartbeat frame on the wire.
         self.stats
-            .bytes_sent
-            .fetch_add((crate::wire::HEADER_LEN + 12) as u64, Ordering::Relaxed);
+            .count_request(RpcKind::Heartbeat, (crate::wire::HEADER_LEN + 12) as u64);
         let st = self.state.lock().unwrap();
         st.endpoints.contains_key(&to.0)
             && !st.closed.contains(&to.0)
@@ -369,6 +495,70 @@ mod tests {
         t.heal_all();
         t.close_endpoint(NodeId(1));
         assert!(!t.probe(NodeId(0), NodeId(1)));
+    }
+
+    fn batch(seq: u32) -> Rpc {
+        Rpc::ShuffleBatch {
+            task: 1,
+            attempt: 0,
+            seq,
+            partition: 0,
+            records: vec![("k".into(), "1".into())],
+        }
+    }
+
+    #[test]
+    fn windowed_send_delivers_inline_and_flush_is_cheap() {
+        let t = echo_transport();
+        let t1 = t.send(NodeId(0), NodeId(1), batch(0)).unwrap();
+        let t2 = t.send(NodeId(0), NodeId(1), batch(1)).unwrap();
+        // Both delivered at send time; flush just redeems the slots.
+        t.flush(&[t1, t2]).unwrap();
+        let s = t.stats();
+        assert_eq!(s.kind(RpcKind::ShuffleBatch).0, 2);
+        assert_eq!(s.rpc_retries, 0);
+        // Tickets are single-redemption; a second flush is a no-op.
+        t.flush(&[t1, t2]).unwrap();
+    }
+
+    #[test]
+    fn dropped_windowed_send_is_retried_at_flush() {
+        let t = echo_transport();
+        t.drop_rpcs(RpcKind::ShuffleBatch, 1);
+        let ticket = t.send(NodeId(0), NodeId(1), batch(0)).unwrap();
+        t.flush(&[ticket]).unwrap();
+        let s = t.stats();
+        assert_eq!(s.timeouts, 1, "first transmission was eaten");
+        assert_eq!(s.rpc_retries, 1, "flush retransmitted");
+        assert_eq!(s.kind(RpcKind::ShuffleBatch).0, 2, "frame crossed the wire twice");
+    }
+
+    #[test]
+    fn partitioned_windowed_send_exhausts_budget_then_fails() {
+        let t = echo_transport();
+        t.cut_one_way(NodeId(0), NodeId(2));
+        let ticket = t.send(NodeId(0), NodeId(2), batch(0)).unwrap();
+        let e = t.flush(&[ticket]).unwrap_err();
+        assert_eq!(e, NetError::Timeout { to: NodeId(2) });
+        let s = t.stats();
+        assert_eq!(s.rpc_retries as u32, t.policy.max_attempts - 1);
+    }
+
+    #[test]
+    fn send_to_closed_endpoint_fails_fast() {
+        let t = echo_transport();
+        t.close_endpoint(NodeId(1));
+        let e = t.send(NodeId(0), NodeId(1), batch(0)).unwrap_err();
+        assert_eq!(e, NetError::ConnectionClosed { to: NodeId(1) });
+    }
+
+    #[test]
+    fn remote_handler_error_surfaces_at_flush() {
+        let t = echo_transport();
+        // The echo handler answers Heartbeat with RpcReply::Error.
+        let ticket = t.send(NodeId(0), NodeId(1), hb(0)).unwrap();
+        let e = t.flush(&[ticket]).unwrap_err();
+        assert!(matches!(e, NetError::Remote(_)));
     }
 
     #[test]

@@ -100,9 +100,33 @@ impl Rpc {
         }
     }
 
-    /// Serialize into a complete request frame.
+    /// Serialize into a complete request frame (allocating). The hot
+    /// paths use [`Rpc::encode_into`] with a reused scratch buffer.
     pub fn encode(&self, corr: u64) -> Vec<u8> {
-        let mut w = Writer::new();
+        let mut out = Vec::new();
+        self.encode_into(corr, &mut out);
+        out
+    }
+
+    /// Serialize into `out` (cleared first): header and body are written
+    /// in place, with no intermediate body buffer and no copy. In debug
+    /// builds the finished frame is decoded and re-encoded to assert it
+    /// round-trips to the very same bytes.
+    pub fn encode_into(&self, corr: u64, out: &mut Vec<u8>) {
+        self.encode_raw(corr, out);
+        #[cfg(debug_assertions)]
+        {
+            let frame = wire::decode_frame(out).expect("encoded request frame must decode");
+            let back = Rpc::decode(&frame).expect("encoded request body must decode");
+            let mut again = Vec::new();
+            back.encode_raw(corr, &mut again);
+            debug_assert_eq!(&again, out, "request frame must round-trip to identical bytes");
+        }
+    }
+
+    fn encode_raw(&self, corr: u64, out: &mut Vec<u8>) {
+        let at = wire::begin_frame(out, Dir::Request, self.kind() as u8, corr);
+        let mut w = Writer::new(out);
         match self {
             Rpc::GetBlock { block } => put_block_id(&mut w, *block),
             Rpc::PutBlock { block, data } => {
@@ -130,10 +154,19 @@ impl Rpc {
                 w.u32(*attempt);
                 w.u32(*seq);
                 w.u32(*partition);
-                w.u32(records.len() as u32);
+                // Shuffle records dominate wire bytes, so they get the
+                // compact encoding: varint lengths, and keys front-coded
+                // against their predecessor (combined spills arrive
+                // sorted, so consecutive keys share long prefixes).
+                w.varint(records.len() as u64);
+                let mut prev: &[u8] = &[];
                 for (k, v) in records {
-                    w.string(k);
-                    w.string(v);
+                    let kb = k.as_bytes();
+                    let shared = common_prefix(prev, kb);
+                    w.varint(shared as u64);
+                    w.vbytes(&kb[shared..]);
+                    w.vbytes(v.as_bytes());
+                    prev = kb;
                 }
             }
             Rpc::Heartbeat { from, clock } => {
@@ -145,7 +178,7 @@ impl Rpc {
                 put_block_id(&mut w, *block);
             }
         }
-        wire::encode_frame(Dir::Request, self.kind() as u8, corr, &w.into_body())
+        wire::end_frame(out, at);
     }
 
     /// Decode a request from a frame. Total: every malformed body maps
@@ -183,13 +216,24 @@ impl Rpc {
                 let attempt = r.u32()?;
                 let seq = r.u32()?;
                 let partition = r.u32()?;
-                let n = r.u32()? as usize;
+                let n = usize::try_from(r.varint()?).map_err(|_| CodecError::FieldOverrun)?;
                 // Cap pre-allocation: a corrupt count must not OOM.
                 let mut records = Vec::with_capacity(n.min(64 * 1024));
+                let mut prev: Vec<u8> = Vec::new();
                 for _ in 0..n {
-                    let k = r.string()?;
-                    let v = r.string()?;
-                    records.push((k, v));
+                    let shared = usize::try_from(r.varint()?)
+                        .map_err(|_| CodecError::FieldOverrun)?;
+                    if shared > prev.len() {
+                        return Err(CodecError::FieldOverrun);
+                    }
+                    let suffix = r.vbytes()?;
+                    prev.truncate(shared);
+                    prev.extend_from_slice(suffix);
+                    let key =
+                        String::from_utf8(prev.clone()).map_err(|_| CodecError::BadUtf8)?;
+                    let value = String::from_utf8(r.vbytes()?.to_vec())
+                        .map_err(|_| CodecError::BadUtf8)?;
+                    records.push((key, value));
                 }
                 Rpc::ShuffleBatch { task, attempt, seq, partition, records }
             }
@@ -233,9 +277,31 @@ impl RpcReply {
         }
     }
 
-    /// Serialize into a complete response frame.
+    /// Serialize into a complete response frame (allocating). The hot
+    /// paths use [`RpcReply::encode_into`] with a reused scratch buffer.
     pub fn encode(&self, corr: u64) -> Vec<u8> {
-        let mut w = Writer::new();
+        let mut out = Vec::new();
+        self.encode_into(corr, &mut out);
+        out
+    }
+
+    /// Serialize into `out` (cleared first), header and body in place.
+    /// Debug builds assert the frame round-trips to identical bytes.
+    pub fn encode_into(&self, corr: u64, out: &mut Vec<u8>) {
+        self.encode_raw(corr, out);
+        #[cfg(debug_assertions)]
+        {
+            let frame = wire::decode_frame(out).expect("encoded response frame must decode");
+            let back = RpcReply::decode(&frame).expect("encoded response body must decode");
+            let mut again = Vec::new();
+            back.encode_raw(corr, &mut again);
+            debug_assert_eq!(&again, out, "response frame must round-trip to identical bytes");
+        }
+    }
+
+    fn encode_raw(&self, corr: u64, out: &mut Vec<u8>) {
+        let at = wire::begin_frame(out, Dir::Response, self.kind() as u8, corr);
+        let mut w = Writer::new(out);
         match self {
             RpcReply::Ack | RpcReply::Missing => {}
             RpcReply::Block(data) | RpcReply::CacheValue(data) => match data {
@@ -248,7 +314,7 @@ impl RpcReply {
             RpcReply::Synced { bytes } => w.u64(*bytes),
             RpcReply::Error(msg) => w.string(msg),
         }
-        wire::encode_frame(Dir::Response, self.kind() as u8, corr, &w.into_body())
+        wire::end_frame(out, at);
     }
 
     /// Decode a response from a frame.
@@ -271,6 +337,11 @@ impl RpcReply {
         r.finish()?;
         Ok(reply)
     }
+}
+
+/// Length of the longest common prefix of `a` and `b`, in bytes.
+fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
 }
 
 fn put_block_id(w: &mut Writer, id: BlockId) {

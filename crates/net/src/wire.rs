@@ -90,6 +90,19 @@ impl std::error::Error for CodecError {}
 pub fn encode_frame(dir: Dir, kind: u8, corr: u64, body: &[u8]) -> Vec<u8> {
     debug_assert!(body.len() <= MAX_BODY);
     let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    let at = begin_frame(&mut out, dir, kind, corr);
+    out.extend_from_slice(body);
+    end_frame(&mut out, at);
+    out
+}
+
+/// Start a frame in `out` (clearing it): write the header with a zero
+/// length placeholder and return the body start offset. The body is
+/// then appended directly to `out` (no intermediate body buffer) and
+/// sealed with [`end_frame`]. This is the zero-copy encode path: `out`
+/// is typically a reused thread-local scratch buffer.
+pub fn begin_frame(out: &mut Vec<u8>, dir: Dir, kind: u8, corr: u64) -> usize {
+    out.clear();
     out.extend_from_slice(&MAGIC);
     out.push(match dir {
         Dir::Request => 0,
@@ -97,9 +110,16 @@ pub fn encode_frame(dir: Dir, kind: u8, corr: u64, body: &[u8]) -> Vec<u8> {
     });
     out.push(kind);
     out.extend_from_slice(&corr.to_le_bytes());
-    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    out.extend_from_slice(body);
-    out
+    out.extend_from_slice(&0u32.to_le_bytes());
+    HEADER_LEN
+}
+
+/// Seal a frame begun with [`begin_frame`]: patch the body length now
+/// that the body has been appended.
+pub fn end_frame(out: &mut [u8], body_start: usize) {
+    let len = out.len() - body_start;
+    debug_assert!(len <= MAX_BODY);
+    out[body_start - 4..body_start].copy_from_slice(&(len as u32).to_le_bytes());
 }
 
 /// Strict single-frame decode: the input must hold exactly one complete
@@ -227,8 +247,34 @@ impl<'a> Reader<'a> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
+    /// LEB128 unsigned varint, at most 10 bytes. A continuation chain
+    /// that would overflow 64 bits is a typed error, not a wrap.
+    pub fn varint(&mut self) -> Result<u64, CodecError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let b = self.u8()?;
+            let low = (b & 0x7f) as u64;
+            if shift == 63 && low > 1 {
+                return Err(CodecError::BadTag(b));
+            }
+            v |= low << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(CodecError::BadTag(0x80))
+    }
+
     pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
         let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// A byte field whose length prefix is a varint (shuffle records use
+    /// this: lengths are small, u32 prefixes were mostly zero bytes).
+    pub fn vbytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.varint()?;
+        let len = usize::try_from(len).map_err(|_| CodecError::FieldOverrun)?;
         self.take(len)
     }
 
@@ -246,15 +292,16 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Body writer mirroring [`Reader`].
-#[derive(Default)]
-pub struct Writer {
-    buf: Vec<u8>,
+/// Body writer mirroring [`Reader`]. Appends to a caller-owned buffer
+/// (usually a reused thread-local scratch holding the frame under
+/// construction) instead of allocating its own.
+pub struct Writer<'a> {
+    buf: &'a mut Vec<u8>,
 }
 
-impl Writer {
-    pub fn new() -> Writer {
-        Writer::default()
+impl<'a> Writer<'a> {
+    pub fn new(buf: &'a mut Vec<u8>) -> Writer<'a> {
+        Writer { buf }
     }
 
     pub fn u8(&mut self, v: u8) {
@@ -273,17 +320,32 @@ impl Writer {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// LEB128 unsigned varint. Inverse of [`Reader::varint`].
+    pub fn varint(&mut self, mut v: u64) {
+        loop {
+            let b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(b);
+                return;
+            }
+            self.buf.push(b | 0x80);
+        }
+    }
+
     pub fn bytes(&mut self, v: &[u8]) {
         self.u32(v.len() as u32);
         self.buf.extend_from_slice(v);
     }
 
-    pub fn string(&mut self, v: &str) {
-        self.bytes(v.as_bytes());
+    /// Varint-length-prefixed bytes. Inverse of [`Reader::vbytes`].
+    pub fn vbytes(&mut self, v: &[u8]) {
+        self.varint(v.len() as u64);
+        self.buf.extend_from_slice(v);
     }
 
-    pub fn into_body(self) -> Vec<u8> {
-        self.buf
+    pub fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
     }
 }
 
@@ -348,13 +410,48 @@ mod tests {
 
     #[test]
     fn reader_bounds_checked() {
-        let mut w = Writer::new();
-        w.string("hi");
-        let body = w.into_body();
+        let mut body = Vec::new();
+        Writer::new(&mut body).string("hi");
         // Corrupt the length prefix to point past the end.
         let mut bad = body.clone();
         bad[0] = 200;
         let mut r = Reader::new(&bad);
         assert_eq!(r.string(), Err(CodecError::FieldOverrun));
+    }
+
+    #[test]
+    fn varint_roundtrip_edges() {
+        let samples = [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX];
+        let mut buf = Vec::new();
+        let mut w = Writer::new(&mut buf);
+        for &v in &samples {
+            w.varint(v);
+        }
+        let mut r = Reader::new(&buf);
+        for &v in &samples {
+            assert_eq!(r.varint(), Ok(v));
+        }
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn varint_overflow_is_typed() {
+        // Eleven continuation bytes can never encode a u64.
+        let bad = [0xffu8; 11];
+        assert!(matches!(Reader::new(&bad).varint(), Err(CodecError::BadTag(_))));
+        // Truncated mid-varint is an overrun, not a panic.
+        let cut = [0x80u8];
+        assert_eq!(Reader::new(&cut).varint(), Err(CodecError::FieldOverrun));
+    }
+
+    #[test]
+    fn in_place_frame_matches_encode_frame() {
+        let body = b"same bytes either way";
+        let via_vec = encode_frame(Dir::Response, 2, 99, body);
+        let mut scratch = vec![0xAA; 4]; // stale contents must be cleared
+        let at = begin_frame(&mut scratch, Dir::Response, 2, 99);
+        scratch.extend_from_slice(body);
+        end_frame(&mut scratch, at);
+        assert_eq!(scratch, via_vec);
     }
 }

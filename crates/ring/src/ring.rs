@@ -339,7 +339,7 @@ impl Ring {
             if !out.contains(&id) {
                 out.push(id);
             }
-            if out.len() >= replicas + 1 || out.len() >= distinct {
+            if out.len() > replicas || out.len() >= distinct {
                 break;
             }
             pred_pos = self

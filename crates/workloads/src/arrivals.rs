@@ -1,9 +1,10 @@
 //! Multi-tenant job arrival processes.
 //!
 //! The paper's Fig. 7/8 workloads arrive as "a large number of subsequent
-//! jobs ... as in time series"; production traces (the paper cites the
-//! >30%-repeated-jobs studies) are streams of job submissions, not
-//! batches. This module generates deterministic Poisson arrival
+//! jobs ... as in time series"; production traces (the paper cites
+//! studies where over 30% of jobs repeat) are streams of job
+//! submissions, not batches. This module generates deterministic
+//! Poisson arrival
 //! timelines over an application mix, for the streaming ablation.
 
 use crate::cost::AppKind;

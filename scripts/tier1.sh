@@ -11,6 +11,9 @@ cd "$(dirname "$0")/.."
 echo "== tier1: cargo build --workspace --release"
 cargo build --workspace --release
 
+echo "== tier1: cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
 echo "== tier1: cargo test -q --workspace"
 cargo test -q --workspace
 

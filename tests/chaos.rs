@@ -254,6 +254,37 @@ fn dropped_shuffle_batches_are_retried_not_double_counted() {
     assert!(stats.rpc_retries >= 2, "dropped frames must be resent");
 }
 
+/// The windowed one-way lane under frame loss *and* reordering: with a
+/// tiny spill-coalescing target every map task ships a stream of
+/// sequence numbers, and a dropped batch is only retransmitted at
+/// flush time — after every later batch of the attempt has already
+/// landed. The receiver's reorder-tolerant dedup must deliver the
+/// straggler exactly once, out of order, without double-counting any
+/// record.
+#[test]
+fn dropped_windowed_batch_lands_out_of_order_exactly_once() {
+    let expect = baseline("laf");
+    let c = LiveCluster::new(
+        LiveConfig::small()
+            .with_nodes(NODES)
+            .with_block_size(512)
+            // Spill every ~128 bytes: each task ships several windowed
+            // batches, so a retransmission necessarily arrives behind
+            // higher sequence numbers.
+            .with_shuffle_batch_bytes(128),
+    );
+    c.upload("input", USER, seeded_text().as_bytes());
+    let net = c.mem_net().expect("default transport is the mem backend");
+    net.drop_rpcs(RpcKind::ShuffleBatch, 3);
+    let (out, stats) = c
+        .try_run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+        .expect("dropped windowed batches are absorbed by flush-time retry");
+    assert_eq!(out, expect, "a reordered retransmission was lost or double-counted");
+    assert!(stats.timeouts >= 3, "each drop token should cost a timeout");
+    assert!(stats.rpc_retries >= 3, "dropped windowed batches must be resent");
+    assert_eq!(stats.failed_nodes, 0, "frame loss is not a node crash");
+}
+
 /// A dropped `ReplicaSync` frame during crash recovery: the retry loop
 /// re-issues it and recovery still completes with full output.
 #[test]

@@ -16,11 +16,12 @@
 use bytes::Bytes;
 use eclipse_cache::{CacheKey, OutputTag};
 use eclipse_core::net::wire::{self, CodecError, Dir, FrameDecoder, HEADER_LEN, MAX_BODY};
-use eclipse_core::net::{Rpc, RpcReply};
+use eclipse_core::net::{Demux, Rpc, RpcReply};
 use eclipse_dhtfs::BlockId;
 use eclipse_ring::NodeId;
 use eclipse_util::HashKey;
 use proptest::prelude::*;
+use std::time::{Duration, Instant};
 
 /// A message of either direction, so one stream mixes requests and
 /// responses the way a real duplex connection does.
@@ -224,6 +225,40 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Pipelined-wire-path property: one reader thread settles replies
+    /// in arbitrary order across correlation ids, and every caller must
+    /// receive exactly the reply bearing its own corr — no swap, no
+    /// loss, no leftover slot.
+    #[test]
+    fn demux_routes_interleaved_replies_by_correlation_id(
+        n in 1usize..16,
+        seed in prop::collection::vec(0u64..=u64::MAX, 16),
+    ) {
+        let d = Demux::new();
+        let corrs: Vec<u64> = (0..n).map(|i| 0x1000 + i as u64).collect();
+        for &c in &corrs {
+            d.register(c);
+        }
+        // Settle in a seed-derived permutation — the reorderings many
+        // concurrent in-flight requests on one connection can produce.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (seed[i], i));
+        for &i in &order {
+            prop_assert!(
+                d.settle(corrs[i], Ok(RpcReply::Synced { bytes: corrs[i] })),
+                "a registered corr must claim its reply"
+            );
+        }
+        // A reply for an unregistered corr is stale: dropped, never
+        // misrouted to some other waiter.
+        prop_assert!(!d.settle(0xdead_beef, Ok(RpcReply::Ack)));
+        for &c in &corrs {
+            let got = d.wait(c, Instant::now() + Duration::from_secs(1));
+            prop_assert_eq!(got, Some(Ok(RpcReply::Synced { bytes: c })));
+        }
+        prop_assert_eq!(d.pending(), 0, "every slot must be redeemed");
     }
 
     /// A corrupt length prefix beyond [`MAX_BODY`] is rejected up front —
