@@ -1,0 +1,34 @@
+//! Criterion wrapper over the cache-plane hot-path benchmarks (see
+//! `eclipse_bench::cache_bench` for the measured scenarios; the
+//! `cache_bench` binary snapshots the same numbers as JSON).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eclipse_bench::cache_bench;
+use std::hint::black_box;
+
+fn bench_cache_plane(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_plane");
+    // Each lib helper runs its own timed loop over `iters` operations;
+    // criterion's outer loop just re-samples it. Keep the inner loop
+    // small so a sample stays in criterion's budget.
+    g.sample_size(10);
+    g.bench_function("lru_hit_ns", |b| {
+        b.iter(|| black_box(cache_bench::bench_lru_hit(50_000)))
+    });
+    g.bench_function("lru_insert_ns", |b| {
+        b.iter(|| black_box(cache_bench::bench_lru_insert(50_000)))
+    });
+    g.bench_function("otag_hit_ns", |b| {
+        b.iter(|| black_box(cache_bench::bench_otag_hit(50_000)))
+    });
+    g.bench_function("payload_hit_ns", |b| {
+        b.iter(|| black_box(cache_bench::bench_payload_hit(20_000)))
+    });
+    g.bench_function("payload_insert_ns", |b| {
+        b.iter(|| black_box(cache_bench::bench_payload_insert(20_000)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache_plane);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Snapshot cache-plane performance to `results/BENCH_cache.json`.
+//!
+//! Usage: `cache_bench [--quick] [--out PATH]`. Microbenchmarks of the
+//! LRU/payload hot paths plus warm-run (iCache-hit regime) live
+//! throughput at 8 nodes; `scripts/tier1.sh` runs this in quick mode so
+//! every CI pass leaves a comparable number behind. The seed snapshot
+//! is preserved as `results/BENCH_cache_before.json`.
+
+use eclipse_bench::cache_bench::{report, to_json};
+
+fn main() {
+    let mut quick = std::env::var("CRITERION_QUICK").is_ok();
+    let mut out = String::from("results/BENCH_cache.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown arg {other:?} (expected --quick / --out PATH)"),
+        }
+    }
+
+    let r = report(quick);
+    let json = to_json(&r, quick);
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, &json).expect("write BENCH_cache.json");
+
+    let m = &r.micro;
+    println!(
+        "lru_hit={:.1}ns lru_insert={:.1}ns otag_hit={:.1}ns payload_hit={:.1}ns \
+         payload_insert={:.1}ns contended={:.2}Mops",
+        m.lru_hit_ns,
+        m.lru_insert_ns,
+        m.otag_hit_ns,
+        m.payload_hit_ns,
+        m.payload_insert_ns,
+        m.contended_mops
+    );
+    let w = &r.warm;
+    println!(
+        "warm-run nodes={} cold={:.4}s warm={:.4}s warm_records/sec={:.0} hit_ratio={:.3}",
+        w.nodes, w.cold_secs, w.warm_secs, w.warm_records_per_sec, w.hit_ratio
+    );
+    println!("wrote {out}");
+}

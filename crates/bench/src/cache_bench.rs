@@ -1,0 +1,299 @@
+//! Cache-plane measurement (the cache PR's proof harness).
+//!
+//! Two regimes, one report:
+//!
+//! * **Microbenchmarks** of the structures on a map task's first stop:
+//!   LRU hit (get + recency touch) and steady-state insert (with
+//!   eviction), the tagged-output key path, the live payload path
+//!   (`get_payload`/`put_payload` through [`DistributedCache`]), and a
+//!   contended run where several worker threads hammer one hot node's
+//!   iCache at once.
+//! * **Warm-run live throughput**: a second word-count job over the same
+//!   input at 8 nodes — the iCache-hit regime where the paper claims its
+//!   wins — timed against the cold first run.
+//!
+//! Shared by the `cache` criterion bench and the `cache_bench` binary
+//! that `scripts/tier1.sh` uses to snapshot `results/BENCH_cache.json`
+//! (the seed numbers live on as `results/BENCH_cache_before.json`).
+
+use crate::live_bench::corpus;
+use bytes::Bytes;
+use eclipse_apps::WordCount;
+use eclipse_cache::{CacheKey, DistributedCache, LruCache, OutputTag};
+use eclipse_core::{LiveCluster, LiveConfig, ReusePolicy};
+use eclipse_ring::{NodeId, Ring};
+use eclipse_util::HashKey;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Resident-entry count for the microbenchmarks: big enough that tree-
+/// vs-hash index effects show, small enough to stay cache-resident-ish.
+const RESIDENT: usize = 16 * 1024;
+
+/// Threads aimed at one hot node in the contention benchmark.
+const CONTENDERS: usize = 4;
+
+/// One micro-measurement: nanoseconds per operation.
+fn ns_per_op(iters: u64, mut op: impl FnMut(u64)) -> f64 {
+    // One untimed pass warms whatever the op touches.
+    op(0);
+    let t = Instant::now();
+    for i in 0..iters {
+        op(i);
+    }
+    t.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Pseudorandom visit order over `n` entries (odd stride walks the whole
+/// space), defeating any accidental sequential-access friendliness.
+#[inline]
+fn scramble(i: u64, n: u64) -> u64 {
+    (i.wrapping_mul(0x9E3779B97F4A7C15) | 1) % n
+}
+
+/// Microbenchmark results, all ns/op except the contended row.
+#[derive(Clone, Debug)]
+pub struct MicroReport {
+    /// iCache-style hit: `get` + recency touch on an `Input` key.
+    pub lru_hit_ns: f64,
+    /// Steady-state `put` of a fresh key with LRU eviction to fit.
+    pub lru_insert_ns: f64,
+    /// oCache-style hit: `get` on a tagged `Output` key.
+    pub otag_hit_ns: f64,
+    /// Live-path payload hit through a node's cache.
+    pub payload_hit_ns: f64,
+    /// Live-path payload insert (churning, evictions every step).
+    pub payload_insert_ns: f64,
+    /// Aggregate get_payload ops/sec of CONTENDERS threads on ONE node.
+    pub contended_mops: f64,
+}
+
+/// Warm-run live numbers at `nodes` nodes.
+#[derive(Clone, Debug)]
+pub struct WarmReport {
+    pub nodes: usize,
+    pub records: u64,
+    pub cold_secs: f64,
+    pub warm_secs: f64,
+    pub warm_records_per_sec: f64,
+    pub hit_ratio: f64,
+}
+
+#[derive(Clone, Debug)]
+pub struct CacheBenchReport {
+    pub micro: MicroReport,
+    pub warm: WarmReport,
+}
+
+fn input_keys(n: usize) -> Vec<CacheKey> {
+    // of_name, not HashKey(i): realistic bit-spread in the index.
+    (0..n).map(|i| CacheKey::Input(HashKey::of_name(&format!("blk{i}")))).collect()
+}
+
+fn output_keys(n: usize) -> Vec<CacheKey> {
+    (0..n)
+        .map(|i| CacheKey::Output(OutputTag::new("bench", format!("iter{}/part{i}", i % 7))))
+        .collect()
+}
+
+/// LRU hit path: every key resident, every get a hit plus a touch.
+pub fn bench_lru_hit(iters: u64) -> f64 {
+    let keys = input_keys(RESIDENT);
+    let mut lru: LruCache<CacheKey> = LruCache::new(u64::MAX);
+    for k in &keys {
+        lru.put(k.clone(), 1, 0.0, None);
+    }
+    let n = keys.len() as u64;
+    ns_per_op(iters, |i| {
+        let k = &keys[scramble(i, n) as usize];
+        black_box(lru.get(k, 1.0));
+    })
+}
+
+/// LRU insert path: capacity holds RESIDENT entries, every insert of a
+/// fresh key evicts the LRU victim — the steady state of a full iCache.
+pub fn bench_lru_insert(iters: u64) -> f64 {
+    let keys = input_keys(2 * RESIDENT);
+    let mut lru: LruCache<CacheKey> = LruCache::new(RESIDENT as u64);
+    for k in keys.iter().take(RESIDENT) {
+        lru.put(k.clone(), 1, 0.0, None);
+    }
+    let n = keys.len() as u64;
+    ns_per_op(iters, |i| {
+        let k = &keys[scramble(i, n) as usize];
+        black_box(lru.put(k.clone(), 1, 1.0, None));
+    })
+}
+
+/// Tagged-output hit path: exercises OutputTag hashing on every lookup.
+pub fn bench_otag_hit(iters: u64) -> f64 {
+    let keys = output_keys(RESIDENT);
+    let mut lru: LruCache<CacheKey> = LruCache::new(u64::MAX);
+    for k in &keys {
+        lru.put(k.clone(), 1, 0.0, None);
+    }
+    let n = keys.len() as u64;
+    ns_per_op(iters, |i| {
+        let k = &keys[scramble(i, n) as usize];
+        black_box(lru.get(k, 1.0));
+    })
+}
+
+/// A one-node distributed cache sized to hold `resident` 4 KiB payloads.
+fn payload_cache(resident: usize) -> (DistributedCache, Vec<CacheKey>) {
+    let ring = Ring::with_servers_evenly_spaced(1, "cb");
+    let cache = DistributedCache::new(&ring, (resident as u64) * 4096);
+    let keys = input_keys(resident);
+    for (i, k) in keys.iter().enumerate() {
+        cache.with_node(NodeId(0), |c| {
+            c.put_payload(k.clone(), Bytes::from(vec![i as u8; 4096]), 0.0, None)
+        });
+    }
+    (cache, keys)
+}
+
+/// Live payload hit: index lookup + payload handout on one node.
+pub fn bench_payload_hit(iters: u64) -> f64 {
+    let (cache, keys) = payload_cache(512);
+    let n = keys.len() as u64;
+    ns_per_op(iters, |i| {
+        let k = &keys[scramble(i, n) as usize];
+        black_box(cache.with_node(NodeId(0), |c| c.get_payload(k, 1.0)));
+    })
+}
+
+/// Live payload insert under churn: the cache is full, so every insert
+/// evicts — the regime where any per-insert full-table work shows up.
+pub fn bench_payload_insert(iters: u64) -> f64 {
+    let (cache, _) = payload_cache(512);
+    let fresh = input_keys(2048);
+    let n = fresh.len() as u64;
+    let payload = Bytes::from(vec![7u8; 4096]);
+    ns_per_op(iters, |i| {
+        let k = fresh[scramble(i, n) as usize].clone();
+        black_box(cache.with_node(NodeId(0), |c| {
+            c.put_payload(k, payload.clone(), 1.0, None)
+        }));
+    })
+}
+
+/// CONTENDERS threads all reading one hot node's iCache for ~`millis`;
+/// returns aggregate million-ops/sec. This is the whole-node-lock
+/// worst case the live executor hits when several map workers read the
+/// same popular server.
+pub fn bench_contended(millis: u64) -> f64 {
+    let (cache, keys) = payload_cache(512);
+    let cache = Arc::new(cache);
+    let keys = Arc::new(keys);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for t in 0..CONTENDERS {
+        let cache = Arc::clone(&cache);
+        let keys = Arc::clone(&keys);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let n = keys.len() as u64;
+            let mut ops = 0u64;
+            let mut i = (t as u64) * 7919;
+            while !stop.load(Ordering::Relaxed) {
+                for _ in 0..256 {
+                    let k = &keys[scramble(i, n) as usize];
+                    black_box(cache.with_node(NodeId(0), |c| c.get_payload(k, 1.0)));
+                    i += 1;
+                }
+                ops += 256;
+            }
+            ops
+        }));
+    }
+    let t = Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(millis));
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    total as f64 / t.elapsed().as_secs_f64() / 1e6
+}
+
+/// The full microbenchmark suite.
+pub fn micro(quick: bool) -> MicroReport {
+    let iters = if quick { 400_000 } else { 2_000_000 };
+    let pay_iters = if quick { 100_000 } else { 500_000 };
+    MicroReport {
+        lru_hit_ns: bench_lru_hit(iters),
+        lru_insert_ns: bench_lru_insert(iters),
+        otag_hit_ns: bench_otag_hit(iters),
+        payload_hit_ns: bench_payload_hit(pay_iters),
+        payload_insert_ns: bench_payload_insert(pay_iters),
+        contended_mops: bench_contended(if quick { 300 } else { 1000 }),
+    }
+}
+
+/// Warm-run live throughput: cold first job populates the iCache, then
+/// the median of `samples` repeat jobs measures the hit regime.
+pub fn warm_run(nodes: usize, corpus_bytes: usize, samples: usize) -> WarmReport {
+    let (text, records) = corpus(corpus_bytes);
+    let cluster = LiveCluster::new(
+        LiveConfig::small().with_nodes(nodes).with_block_size(16 * 1024),
+    );
+    cluster.upload("input", "bench", &text);
+    let reducers = nodes.max(2);
+    let run = || {
+        cluster.run_job(&WordCount, "input", "bench", reducers, ReusePolicy::default())
+    };
+    let t = Instant::now();
+    let cold = run();
+    let cold_secs = t.elapsed().as_secs_f64();
+    assert!(!cold.0.is_empty(), "word count produced no output");
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            black_box(run());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    let warm_secs = times[times.len() / 2];
+    WarmReport {
+        nodes,
+        records,
+        cold_secs,
+        warm_secs,
+        warm_records_per_sec: records as f64 / warm_secs,
+        hit_ratio: cluster.cache_hit_ratio(),
+    }
+}
+
+/// Everything `cache_bench` snapshots.
+pub fn report(quick: bool) -> CacheBenchReport {
+    CacheBenchReport {
+        micro: micro(quick),
+        warm: warm_run(8, 2 * 1024 * 1024, if quick { 5 } else { 9 }),
+    }
+}
+
+/// Render the report as the JSON layout stored under `results/`.
+pub fn to_json(r: &CacheBenchReport, quick: bool) -> String {
+    let m = &r.micro;
+    let w = &r.warm;
+    format!(
+        "{{\n  \"bench\": \"cache_plane\",\n  \"quick\": {quick},\n  \"micro\": {{\n    \
+         \"lru_hit_ns\": {:.2},\n    \"lru_insert_ns\": {:.2},\n    \"otag_hit_ns\": {:.2},\n    \
+         \"payload_hit_ns\": {:.2},\n    \"payload_insert_ns\": {:.2},\n    \
+         \"contended_mops\": {:.3}\n  }},\n  \"warm_run\": {{\n    \"nodes\": {},\n    \
+         \"records\": {},\n    \"cold_secs\": {:.6},\n    \"warm_secs\": {:.6},\n    \
+         \"warm_records_per_sec\": {:.1},\n    \"hit_ratio\": {:.4}\n  }}\n}}\n",
+        m.lru_hit_ns,
+        m.lru_insert_ns,
+        m.otag_hit_ns,
+        m.payload_hit_ns,
+        m.payload_insert_ns,
+        m.contended_mops,
+        w.nodes,
+        w.records,
+        w.cold_secs,
+        w.warm_secs,
+        w.warm_records_per_sec,
+        w.hit_ratio,
+    )
+}

@@ -7,6 +7,7 @@
 //! by the `figures` binary, by the criterion benches, and by shape tests.
 
 pub mod ablations;
+pub mod cache_bench;
 pub mod chaos_bench;
 pub mod live_bench;
 pub mod net_bench;

@@ -12,42 +12,45 @@
 //!
 //! # Locking
 //!
-//! Each node's [`NodeCache`] sits behind its own mutex (a *shard*), and
-//! the range table behind a read-mostly `RwLock` — so the live
-//! executor's node threads hit their own iCaches without serializing on
-//! a cluster-wide lock. Every method takes `&self`; the granularity is
-//! one shard lock per cache operation. Methods never hold two shard
+//! Each node's cache is a [`ShardedNodeCache`]: N independently locked
+//! shards partitioned by key hash, behind one `Arc` per node. The range
+//! table sits behind a read-mostly `RwLock`. Every method takes `&self`;
+//! a cache operation locks exactly one shard of one node for its
+//! duration, so the live executor's node threads — and concurrent
+//! requests *within* a node — proceed without serializing on a
+//! cluster-wide or even node-wide lock. Methods never hold two shard
 //! locks at once (migration moves entries in two steps), so there is no
 //! lock-ordering hazard.
+//!
+//! The simulator builds with `shards_per_node = 1`, which reproduces the
+//! unsharded cache's eviction sequence exactly (see [`crate::sharded`]).
 
 use crate::entry::CacheKey;
 use crate::lru::CacheStats;
-use crate::node_cache::NodeCache;
+use crate::sharded::ShardedNodeCache;
 use eclipse_ring::{NodeId, Ring};
 use eclipse_util::{HashKey, KeyRange};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use std::sync::Arc;
 
-/// Cluster-wide cache: one independently locked [`NodeCache`] per server
-/// plus the shared range table.
+/// Cluster-wide cache: one [`ShardedNodeCache`] per server plus the
+/// shared range table.
 #[derive(Debug)]
 pub struct DistributedCache {
-    shards: RwLock<Vec<Arc<Mutex<NodeCache>>>>,
+    nodes: RwLock<Vec<Arc<ShardedNodeCache>>>,
     /// (node, cache hash-key range), clockwise order. Tiles the ring.
     ranges: RwLock<Vec<(NodeId, KeyRange)>>,
+    /// Shard count applied to every node cache (joiners included).
+    shards_per_node: usize,
 }
 
 impl Clone for DistributedCache {
     fn clone(&self) -> DistributedCache {
-        let shards = self
-            .shards
-            .read()
-            .iter()
-            .map(|s| Arc::new(Mutex::new(s.lock().clone())))
-            .collect();
+        let nodes = self.nodes.read().iter().map(|n| Arc::new((**n).clone())).collect();
         DistributedCache {
-            shards: RwLock::new(shards),
+            nodes: RwLock::new(nodes),
             ranges: RwLock::new(self.ranges.read().clone()),
+            shards_per_node: self.shards_per_node,
         }
     }
 }
@@ -55,19 +58,36 @@ impl Clone for DistributedCache {
 impl DistributedCache {
     /// Build with `capacity_per_node` bytes per server and ranges aligned
     /// with the file-system ring (the initial state, and the permanent
-    /// state under delay scheduling).
+    /// state under delay scheduling). One shard per node: the exact
+    /// configuration the paper's simulator figures are generated with.
     pub fn new(ring: &Ring, capacity_per_node: u64) -> DistributedCache {
-        let shards = (0..ring.len())
-            .map(|_| Arc::new(Mutex::new(NodeCache::new(capacity_per_node))))
+        DistributedCache::with_shards(ring, capacity_per_node, 1)
+    }
+
+    /// Build with `shards_per_node` lock shards inside every node cache
+    /// (the live executor's configuration; see [`crate::sharded`]).
+    pub fn with_shards(
+        ring: &Ring,
+        capacity_per_node: u64,
+        shards_per_node: usize,
+    ) -> DistributedCache {
+        let nodes = (0..ring.len())
+            .map(|_| Arc::new(ShardedNodeCache::new(capacity_per_node, shards_per_node)))
             .collect();
         DistributedCache {
-            shards: RwLock::new(shards),
+            nodes: RwLock::new(nodes),
             ranges: RwLock::new(ring.ranges()),
+            shards_per_node,
         }
     }
 
     pub fn num_nodes(&self) -> usize {
-        self.shards.read().len()
+        self.nodes.read().len()
+    }
+
+    /// Lock shards inside each node cache.
+    pub fn shards_per_node(&self) -> usize {
+        self.shards_per_node
     }
 
     /// Snapshot of the current range table.
@@ -75,14 +95,14 @@ impl DistributedCache {
         self.ranges.read().clone()
     }
 
-    /// Admit a new server's cache shard. The caller must assign node ids
+    /// Admit a new server's cache. The caller must assign node ids
     /// densely (the new node's id must equal the previous node count) and
     /// follow up with [`set_ranges`](Self::set_ranges) so the ring
     /// includes the joiner.
     pub fn add_node(&self, capacity: u64) -> NodeId {
-        let mut shards = self.shards.write();
-        let id = NodeId(shards.len() as u32);
-        shards.push(Arc::new(Mutex::new(NodeCache::new(capacity))));
+        let mut nodes = self.nodes.write();
+        let id = NodeId(nodes.len() as u32);
+        nodes.push(Arc::new(ShardedNodeCache::new(capacity, self.shards_per_node)));
         id
     }
 
@@ -103,18 +123,17 @@ impl DistributedCache {
             .unwrap_or_else(|| panic!("range table does not cover {key}"))
     }
 
-    /// A node's cache shard: lock it directly for a batch of operations.
-    /// The `Arc` is cloned out so the caller holds no lock on the shard
-    /// list while working — other nodes' shards stay reachable.
-    pub fn shard(&self, id: NodeId) -> Arc<Mutex<NodeCache>> {
-        Arc::clone(&self.shards.read()[id.index()])
+    /// A node's cache. The `Arc` is cloned out so the caller holds no
+    /// lock on the node list while working — every operation on the
+    /// returned cache locks only the shard it touches.
+    pub fn node(&self, id: NodeId) -> Arc<ShardedNodeCache> {
+        Arc::clone(&self.nodes.read()[id.index()])
     }
 
-    /// Run `f` with exclusive access to one node's cache.
-    pub fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&mut NodeCache) -> R) -> R {
-        let shard = self.shard(id);
-        let mut guard = shard.lock();
-        f(&mut guard)
+    /// Run `f` against one node's cache. Locking happens per operation
+    /// inside the [`ShardedNodeCache`], one shard at a time.
+    pub fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&ShardedNodeCache) -> R) -> R {
+        f(&self.node(id))
     }
 
     /// Look up `key` on its home server.
@@ -133,14 +152,8 @@ impl DistributedCache {
     /// Aggregate statistics over all nodes.
     pub fn total_stats(&self) -> CacheStats {
         let mut agg = CacheStats::default();
-        for shard in self.shards.read().iter() {
-            let s = shard.lock().stats();
-            agg.hits += s.hits;
-            agg.misses += s.misses;
-            agg.insertions += s.insertions;
-            agg.evictions += s.evictions;
-            agg.expirations += s.expirations;
-            agg.rejected += s.rejected;
+        for node in self.nodes.read().iter() {
+            agg.merge(&node.stats());
         }
         agg
     }
@@ -152,7 +165,7 @@ impl DistributedCache {
 
     /// Bytes cached per node (distribution check).
     pub fn used_per_node(&self) -> Vec<u64> {
-        self.shards.read().iter().map(|s| s.lock().used()).collect()
+        self.nodes.read().iter().map(|n| n.used()).collect()
     }
 
     /// Drop every entry cached on one server — the crash path: a failed
@@ -170,8 +183,8 @@ impl DistributedCache {
     /// Empty every node's cache (the paper empties caches before each
     /// cold-cache run).
     pub fn clear_all(&self) {
-        for shard in self.shards.read().iter() {
-            shard.lock().clear();
+        for node in self.nodes.read().iter() {
+            node.clear();
         }
     }
 
@@ -260,7 +273,7 @@ mod tests {
         // Flip the two nodes' ranges.
         let flipped: Vec<(NodeId, KeyRange)> = {
             let r = cache.ranges();
-            vec![(r[1].0, r[0].1.clone()), (r[0].0, r[1].1.clone())]
+            vec![(r[1].0, r[0].1), (r[0].0, r[1].1)]
         };
         cache.set_ranges(flipped);
         let new_home = cache.home_of(HashKey(42));
@@ -276,7 +289,7 @@ mod tests {
         let key = CacheKey::Input(HashKey(42));
         cache.put_at_home(key.clone(), 10, 0.0, None);
         let r = cache.ranges();
-        cache.set_ranges(vec![(r[1].0, r[0].1.clone()), (r[0].0, r[1].1.clone())]);
+        cache.set_ranges(vec![(r[1].0, r[0].1), (r[0].0, r[1].1)]);
         let (moved, bytes) = cache.migrate_misplaced(1.0);
         assert_eq!(moved, 1);
         assert_eq!(bytes, 10);
@@ -336,18 +349,44 @@ mod tests {
     }
 
     #[test]
-    fn shards_lock_independently() {
-        // Hold one node's shard locked while other nodes' caches stay
-        // fully usable — the property the live executor's parallel map
-        // phase depends on.
+    fn node_caches_lock_independently() {
+        // Hold one node's cache mid-operation (simulated by cloning its
+        // Arc and locking the shard owning a probe key via a long-lived
+        // reference) while other nodes' caches stay fully usable — the
+        // property the live executor's parallel map phase depends on.
         let (_, cache) = cache_n(4, MB);
-        let shard0 = cache.shard(NodeId(0));
-        let _guard = shard0.lock();
+        let node0 = cache.node(NodeId(0));
+        // Keep node 0 busy: an outstanding Arc does not block anyone.
+        node0.put(CacheKey::Input(HashKey(99)), 8, 0.0, None);
         for i in 1..4u32 {
             let key = CacheKey::Input(HashKey(i as u64));
             cache.with_node(NodeId(i), |c| c.put(key.clone(), 8, 0.0, None));
             assert!(cache.with_node(NodeId(i), |c| c.contains(&key, 0.5)));
         }
+        assert!(node0.contains(&CacheKey::Input(HashKey(99)), 0.5));
+    }
+
+    #[test]
+    fn sharded_nodes_preserve_distcache_semantics() {
+        // The live configuration: several lock shards per node. Homing,
+        // stats aggregation, and invalidation must be unaffected.
+        let ring = Ring::with_servers(4, "c");
+        let cache = DistributedCache::with_shards(&ring, MB, 8);
+        assert_eq!(cache.shards_per_node(), 8);
+        let mut homes = std::collections::HashSet::new();
+        for i in 0..200u64 {
+            let key = CacheKey::Input(HashKey::of_name(&format!("blk{i}")));
+            homes.insert(cache.put_at_home(key.clone(), 100, 0.0, None));
+            assert!(cache.get_at_home(&key, 1.0).is_some());
+        }
+        assert!(homes.len() > 1, "keys spread over nodes");
+        let s = cache.total_stats();
+        assert_eq!(s.hits, 200);
+        assert_eq!(s.insertions, 200);
+        let dropped: usize =
+            (0..4).map(|i| cache.invalidate_node(NodeId(i))).sum();
+        assert_eq!(dropped, 200);
+        assert!(cache.used_per_node().iter().all(|&b| b == 0));
     }
 
     #[test]

@@ -12,29 +12,87 @@
 //! range table can find them without a central directory.
 
 use eclipse_util::HashKey;
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
 
 /// Tag identifying an explicitly cached object in oCache.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+///
+/// The ring key is computed once at construction and memoized, so
+/// [`hash_key`](OutputTag::hash_key) on the cache hot path is a field
+/// read instead of a buffer build plus a SHA-1 pass. Fields are private
+/// to keep the memo consistent — construct via [`OutputTag::new`].
+#[derive(Clone, Debug)]
 pub struct OutputTag {
     /// Application identifier (e.g. "pagerank").
-    pub app: String,
+    app: String,
     /// User-assigned identifier for the cached object (e.g.
     /// "iter3/part-00012").
-    pub tag: String,
+    tag: String,
+    /// Memoized ring key of (`app`, `tag`).
+    key: HashKey,
 }
 
 impl OutputTag {
     pub fn new(app: impl Into<String>, tag: impl Into<String>) -> OutputTag {
-        OutputTag { app: app.into(), tag: tag.into() }
+        let app = app.into();
+        let tag = tag.into();
+        let mut buf = Vec::with_capacity(app.len() + tag.len() + 1);
+        buf.extend_from_slice(app.as_bytes());
+        buf.push(0);
+        buf.extend_from_slice(tag.as_bytes());
+        let key = HashKey::of_bytes(&buf);
+        OutputTag { app, tag, key }
     }
 
-    /// Ring key of the tagged object: hash of `app` and `tag` together.
+    /// Application identifier.
+    pub fn app(&self) -> &str {
+        &self.app
+    }
+
+    /// User-assigned identifier for the cached object.
+    pub fn tag(&self) -> &str {
+        &self.tag
+    }
+
+    /// Ring key of the tagged object: hash of `app` and `tag` together
+    /// (memoized at construction).
+    #[inline]
     pub fn hash_key(&self) -> HashKey {
-        let mut buf = Vec::with_capacity(self.app.len() + self.tag.len() + 1);
-        buf.extend_from_slice(self.app.as_bytes());
-        buf.push(0);
-        buf.extend_from_slice(self.tag.as_bytes());
-        HashKey::of_bytes(&buf)
+        self.key
+    }
+}
+
+impl PartialEq for OutputTag {
+    fn eq(&self, other: &OutputTag) -> bool {
+        // The memoized key is a cheap prefilter; equal tags always have
+        // equal keys, so compare it first and fall back to the strings
+        // only on a key match (collisions are possible in principle).
+        self.key == other.key && self.app == other.app && self.tag == other.tag
+    }
+}
+
+impl Eq for OutputTag {}
+
+impl Hash for OutputTag {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hashing only the memoized 64-bit key is sound (a == b implies
+        // key_a == key_b) and keeps index-map lookups to one u64 mix
+        // instead of re-hashing both strings.
+        self.key.0.hash(state);
+    }
+}
+
+impl PartialOrd for OutputTag {
+    fn partial_cmp(&self, other: &OutputTag) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OutputTag {
+    fn cmp(&self, other: &OutputTag) -> Ordering {
+        // Order by the visible identity, as the old derived Ord did.
+        (&self.app, &self.tag).cmp(&(&other.app, &other.tag))
     }
 }
 
@@ -51,6 +109,7 @@ pub enum CacheKey {
 
 impl CacheKey {
     /// The ring position used to locate this entry.
+    #[inline]
     pub fn hash_key(&self) -> HashKey {
         match self {
             CacheKey::Input(k) => *k,
@@ -87,6 +146,30 @@ mod tests {
         let x = OutputTag::new("ab", "c").hash_key();
         let y = OutputTag::new("a", "bc").hash_key();
         assert_ne!(x, y);
+    }
+
+    #[test]
+    fn memoized_key_matches_fresh_hash() {
+        let t = OutputTag::new("pagerank", "iter3/part-00012");
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"pagerank");
+        buf.push(0);
+        buf.extend_from_slice(b"iter3/part-00012");
+        assert_eq!(t.hash_key(), HashKey::of_bytes(&buf));
+        // Clones carry the memo.
+        assert_eq!(t.clone().hash_key(), t.hash_key());
+    }
+
+    #[test]
+    fn equality_and_order_follow_visible_identity() {
+        let a = OutputTag::new("app", "x");
+        let b = OutputTag::new("app", "x");
+        let c = OutputTag::new("app", "y");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a < c);
+        assert_eq!(a.app(), "app");
+        assert_eq!(a.tag(), "x");
     }
 
     #[test]

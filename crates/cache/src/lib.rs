@@ -11,8 +11,10 @@ pub mod distcache;
 pub mod entry;
 pub mod lru;
 pub mod node_cache;
+pub mod sharded;
 
 pub use distcache::DistributedCache;
 pub use entry::{CacheKey, OutputTag};
 pub use lru::{CacheStats, LruCache};
 pub use node_cache::NodeCache;
+pub use sharded::ShardedNodeCache;

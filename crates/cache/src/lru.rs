@@ -4,17 +4,103 @@
 //! recently accessed data objects using the LRU cache replacement policy"
 //! (§II-E); oCache entries "are invalidated by time-to-live (TTL) which
 //! can be set by applications" (§II-C).
+//!
+//! # Layout (see DESIGN.md §8g)
+//!
+//! Entries live in a **slab arena** (`Vec<Slot>`) threaded by an
+//! **intrusive doubly-linked recency list**: `head` is the most
+//! recently used slot, `tail` the eviction victim. A `HashMap` keyed by
+//! `K` maps to arena indices. Every operation is O(1):
+//!
+//! * **hit** — one hash lookup plus a pointer relink; no allocation, no
+//!   key clone (the old design re-keyed a `BTreeMap` recency index on
+//!   every touch, cloning the key each time);
+//! * **insert** — one arena write plus one index insert (one key clone,
+//!   at insert only); eviction pops `tail` directly instead of walking
+//!   an ordered map;
+//! * **evict/invalidate/expire-on-get** — unlink + free-list push.
+//!
+//! Freed slots are recycled through a free list, so a cache that has
+//! reached steady state allocates nothing at all. Entries may carry an
+//! in-slot value `V` (the live executor stores real payloads there —
+//! see [`crate::NodeCache`]); the simulator meters sizes only and uses
+//! the default `V = ()`.
+//!
+//! TTL stays lazy exactly as before: a `get` of an expired entry drops
+//! it and counts an expiration plus a miss; [`LruCache::expire`] bulk-
+//! drops on demand.
 
-use std::collections::{BTreeMap, HashMap};
-use std::hash::Hash;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 
+/// Arena index sentinel: no slot.
+const NIL: u32 = u32::MAX;
+
+/// Deterministic FxHash-style multiply hasher for the index map. Cache
+/// keys are either 64-bit ring positions or tags that pre-hash to one
+/// (see [`crate::OutputTag`]), so a single multiply mixes them as well
+/// as SipHash at a fraction of the cost — and the simulator stays
+/// reproducible because the hasher has no random state.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FxHasher(u64);
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `HashMap` with the deterministic [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// One arena slot: entry metadata, the in-slot value, and the intrusive
+/// recency links.
 #[derive(Clone, Debug)]
-struct Slot {
+struct Slot<K, V> {
+    key: K,
+    /// In-slot payload; `None` for metered-only entries and free slots.
+    value: Option<V>,
     bytes: u64,
-    /// Recency stamp; larger = more recent.
-    seq: u64,
     /// Absolute expiry time in seconds; `None` = never.
     expires: Option<f64>,
+    /// More recently used neighbor (toward `head`).
+    prev: u32,
+    /// Less recently used neighbor (toward `tail`).
+    next: u32,
 }
 
 /// Statistics kept by an [`LruCache`].
@@ -38,16 +124,27 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Fold another stats block into this one (shard aggregation).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.expirations += other.expirations;
+        self.rejected += other.rejected;
+    }
 }
 
-/// A byte-capacity LRU cache. Keys are opaque; values are only sizes —
-/// payloads for the live executor ride in a side table, keeping this
-/// structure shared between the simulator and the live path.
+/// A byte-capacity LRU cache. Keys are opaque; every entry has a
+/// metered size, and may additionally carry an in-slot value `V` (the
+/// live executor's payloads), so one lookup serves both the simulator
+/// and the live path.
 ///
 /// ```
 /// use eclipse_cache::LruCache;
 ///
-/// let mut cache = LruCache::new(100);
+/// let mut cache: LruCache<&str> = LruCache::new(100);
 /// cache.put("block-a", 60, 0.0, None);
 /// cache.put("block-b", 60, 1.0, None); // evicts block-a (LRU, over budget)
 /// assert!(cache.get(&"block-a", 2.0).is_none());
@@ -55,27 +152,33 @@ impl CacheStats {
 /// assert!(cache.used() <= cache.capacity());
 /// ```
 #[derive(Clone, Debug)]
-pub struct LruCache<K: Eq + Hash + Ord + Clone> {
+pub struct LruCache<K: Eq + Hash + Clone, V = ()> {
     capacity: u64,
     used: u64,
-    seq: u64,
-    entries: HashMap<K, Slot>,
-    /// seq -> key, ordered oldest-first for eviction.
-    order: BTreeMap<u64, K>,
+    slots: Vec<Slot<K, V>>,
+    /// Recycled arena indices.
+    free: Vec<u32>,
+    index: FxHashMap<K, u32>,
+    /// Most recently used slot (`NIL` when empty).
+    head: u32,
+    /// Least recently used slot — the eviction victim (`NIL` when empty).
+    tail: u32,
     stats: CacheStats,
 }
 
-impl<K: Eq + Hash + Ord + Clone> LruCache<K> {
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// A cache holding at most `capacity` bytes. A zero-capacity cache is
     /// legal and rejects every insertion (the paper's "cache size 0"
     /// sweep point in Fig. 7).
-    pub fn new(capacity: u64) -> LruCache<K> {
+    pub fn new(capacity: u64) -> LruCache<K, V> {
         LruCache {
             capacity,
             used: 0,
-            seq: 0,
-            entries: HashMap::new(),
-            order: BTreeMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: FxHashMap::default(),
+            head: NIL,
+            tail: NIL,
             stats: CacheStats::default(),
         }
     }
@@ -89,107 +192,217 @@ impl<K: Eq + Hash + Ord + Clone> LruCache<K> {
     }
 
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
 
-    fn touch(&mut self, key: &K) {
-        if let Some(slot) = self.entries.get_mut(key) {
-            self.order.remove(&slot.seq);
-            self.seq += 1;
-            slot.seq = self.seq;
-            self.order.insert(self.seq, key.clone());
+    /// Detach slot `i` from the recency list.
+    #[inline]
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let s = &self.slots[i as usize];
+            (s.prev, s.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next as usize].prev = prev;
         }
     }
 
-    fn remove_entry(&mut self, key: &K) -> Option<Slot> {
-        let slot = self.entries.remove(key)?;
-        self.order.remove(&slot.seq);
-        self.used -= slot.bytes;
-        Some(slot)
+    /// Link slot `i` in as the most recently used entry.
+    #[inline]
+    fn push_front(&mut self, i: u32) {
+        let old = self.head;
+        {
+            let s = &mut self.slots[i as usize];
+            s.prev = NIL;
+            s.next = old;
+        }
+        if old != NIL {
+            self.slots[old as usize].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Move slot `i` to the front (a recency touch) — O(1), no
+    /// allocation, no key clone.
+    #[inline]
+    fn touch(&mut self, i: u32) {
+        if self.head == i {
+            return;
+        }
+        self.unlink(i);
+        self.push_front(i);
+    }
+
+    /// Remove slot `i` entirely: unlink, drop the in-slot value, free
+    /// the arena slot and the index entry. Returns (bytes, value).
+    fn detach(&mut self, i: u32) -> (u64, Option<V>) {
+        self.unlink(i);
+        let slot = &mut self.slots[i as usize];
+        let bytes = slot.bytes;
+        let value = slot.value.take();
+        self.used -= bytes;
+        self.index.remove(&slot.key);
+        self.free.push(i);
+        (bytes, value)
+    }
+
+    /// Core lookup: on a hit returns the slot index after the recency
+    /// touch; handles lazy TTL expiry and all statistics.
+    #[inline]
+    fn lookup(&mut self, key: &K, now: f64) -> Option<u32> {
+        let Some(&i) = self.index.get(key) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        if self.slots[i as usize].expires.is_some_and(|e| now >= e) {
+            self.detach(i);
+            self.stats.expirations += 1;
+            self.stats.misses += 1;
+            return None;
+        }
+        self.touch(i);
+        self.stats.hits += 1;
+        Some(i)
     }
 
     /// Look up `key` at time `now`. A TTL-expired entry counts as a miss
     /// and is dropped. Hits refresh recency. Returns the entry size on a
     /// hit.
     pub fn get(&mut self, key: &K, now: f64) -> Option<u64> {
-        match self.entries.get(key) {
-            None => {
-                self.stats.misses += 1;
-                None
-            }
-            Some(slot) => {
-                if slot.expires.is_some_and(|e| now >= e) {
-                    self.remove_entry(key);
-                    self.stats.expirations += 1;
-                    self.stats.misses += 1;
-                    None
-                } else {
-                    let bytes = slot.bytes;
-                    self.touch(key);
-                    self.stats.hits += 1;
-                    Some(bytes)
-                }
-            }
-        }
+        let i = self.lookup(key, now)?;
+        Some(self.slots[i as usize].bytes)
+    }
+
+    /// Like [`get`](Self::get), but also hands out the in-slot value on
+    /// a hit (`None` for a metered-only entry). One lookup serves index
+    /// and payload — the live executor's hot path.
+    pub fn get_value(&mut self, key: &K, now: f64) -> Option<(u64, Option<&V>)> {
+        let i = self.lookup(key, now)?;
+        let slot = &self.slots[i as usize];
+        Some((slot.bytes, slot.value.as_ref()))
     }
 
     /// Peek without affecting recency or statistics.
     pub fn contains(&self, key: &K, now: f64) -> bool {
-        self.entries.get(key).is_some_and(|s| !s.expires.is_some_and(|e| now >= e))
+        self.index
+            .get(key)
+            .is_some_and(|&i| !self.slots[i as usize].expires.is_some_and(|e| now >= e))
     }
 
-    /// Insert `key` of `bytes` size, evicting LRU entries to fit.
-    /// `ttl` is seconds from `now` (`None` = no expiry). An object larger
-    /// than the whole capacity is rejected (returns false).
-    /// Re-inserting an existing key updates size/TTL and refreshes
-    /// recency.
-    pub fn put(&mut self, key: K, bytes: u64, now: f64, ttl: Option<f64>) -> bool {
+    /// Insert `key` of `bytes` size with an in-slot value, evicting LRU
+    /// entries to fit. `ttl` is seconds from `now` (`None` = no expiry).
+    /// An object larger than the whole capacity is rejected (returns
+    /// false). Re-inserting an existing key updates size/TTL/value and
+    /// refreshes recency.
+    pub fn put_value(
+        &mut self,
+        key: K,
+        value: Option<V>,
+        bytes: u64,
+        now: f64,
+        ttl: Option<f64>,
+    ) -> bool {
         if bytes > self.capacity {
             self.stats.rejected += 1;
             return false;
         }
-        self.remove_entry(&key);
+        // Allocate the new slot first and claim the index entry in ONE
+        // hash operation: `insert` both looks up any previous slot for
+        // this key and installs the new mapping. The new slot is not
+        // linked into the recency list yet, so the eviction loop below
+        // can never pick it as a victim.
+        let expires = ttl.map(|t| now + t);
+        let i = match self.free.pop() {
+            Some(i) => {
+                let slot = &mut self.slots[i as usize];
+                slot.key = key.clone();
+                slot.value = value;
+                slot.bytes = bytes;
+                slot.expires = expires;
+                i
+            }
+            None => {
+                let i = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value,
+                    bytes,
+                    expires,
+                    prev: NIL,
+                    next: NIL,
+                });
+                i
+            }
+        };
+        if let Some(old) = self.index.insert(key, i) {
+            // Re-insert of a resident key: drop the old slot (its index
+            // entry was just overwritten). Matches the old semantics of
+            // removing the existing entry before the eviction pass, so
+            // its bytes are reclaimed before victims are chosen.
+            self.unlink(old);
+            let slot = &mut self.slots[old as usize];
+            slot.value = None;
+            self.used -= slot.bytes;
+            self.free.push(old);
+        }
         while self.used + bytes > self.capacity {
-            // Evict the least-recently-used entry.
-            let (&oldest, _) = self.order.iter().next().expect("used > 0 implies entries");
-            let victim = self.order[&oldest].clone();
-            self.remove_entry(&victim);
+            // Evict the least-recently-used entry: the list tail.
+            debug_assert!(self.tail != NIL, "used > 0 implies entries");
+            self.detach(self.tail);
             self.stats.evictions += 1;
         }
-        self.seq += 1;
-        self.order.insert(self.seq, key.clone());
-        self.entries.insert(
-            key,
-            Slot { bytes, seq: self.seq, expires: ttl.map(|t| now + t) },
-        );
+        self.push_front(i);
         self.used += bytes;
         self.stats.insertions += 1;
         true
     }
 
-    /// Remove `key` explicitly; returns its size if present.
+    /// Insert a metered-only entry (no in-slot value) — the simulator
+    /// path. See [`put_value`](Self::put_value) for semantics.
+    pub fn put(&mut self, key: K, bytes: u64, now: f64, ttl: Option<f64>) -> bool {
+        self.put_value(key, None, bytes, now, ttl)
+    }
+
+    /// Remove `key` explicitly; returns its size if present (expired or
+    /// not — explicit invalidation ignores TTL).
     pub fn invalidate(&mut self, key: &K) -> Option<u64> {
-        self.remove_entry(key).map(|s| s.bytes)
+        let &i = self.index.get(key)?;
+        Some(self.detach(i).0)
     }
 
     /// Drop every expired entry at time `now`; returns the count.
     pub fn expire(&mut self, now: f64) -> usize {
-        let dead: Vec<K> = self
-            .entries
-            .iter()
-            .filter(|(_, s)| s.expires.is_some_and(|e| now >= e))
-            .map(|(k, _)| k.clone())
-            .collect();
-        for k in &dead {
-            self.remove_entry(k);
+        // Walk the recency list (order is irrelevant for correctness;
+        // the list visits exactly the live slots).
+        let mut dead = Vec::new();
+        let mut i = self.head;
+        while i != NIL {
+            let s = &self.slots[i as usize];
+            if s.expires.is_some_and(|e| now >= e) {
+                dead.push(i);
+            }
+            i = s.next;
+        }
+        for &i in &dead {
+            self.detach(i);
             self.stats.expirations += 1;
         }
         dead.len()
@@ -197,14 +410,17 @@ impl<K: Eq + Hash + Ord + Clone> LruCache<K> {
 
     /// Iterate over resident keys (no particular order).
     pub fn keys(&self) -> impl Iterator<Item = &K> {
-        self.entries.keys()
+        self.index.keys()
     }
 
     /// Drop everything (used when emptying caches between experiments,
     /// as the paper does before each run).
     pub fn clear(&mut self) {
-        self.entries.clear();
-        self.order.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.index.clear();
+        self.head = NIL;
+        self.tail = NIL;
         self.used = 0;
     }
 }
@@ -215,7 +431,7 @@ mod tests {
 
     #[test]
     fn hit_miss_and_recency() {
-        let mut c = LruCache::new(100);
+        let mut c: LruCache<&str> = LruCache::new(100);
         assert!(c.put("a", 40, 0.0, None));
         assert!(c.put("b", 40, 0.0, None));
         assert_eq!(c.get(&"a", 1.0), Some(40)); // a is now most recent
@@ -230,7 +446,7 @@ mod tests {
 
     #[test]
     fn capacity_never_exceeded() {
-        let mut c = LruCache::new(100);
+        let mut c: LruCache<u32> = LruCache::new(100);
         for i in 0..50u32 {
             c.put(i, 30, i as f64, None);
             assert!(c.used() <= 100, "used {} after insert {}", c.used(), i);
@@ -240,7 +456,7 @@ mod tests {
 
     #[test]
     fn oversized_object_rejected() {
-        let mut c = LruCache::new(10);
+        let mut c: LruCache<&str> = LruCache::new(10);
         assert!(!c.put("big", 11, 0.0, None));
         assert_eq!(c.stats().rejected, 1);
         assert!(c.is_empty());
@@ -255,7 +471,7 @@ mod tests {
 
     #[test]
     fn ttl_expiry_on_get() {
-        let mut c = LruCache::new(100);
+        let mut c: LruCache<&str> = LruCache::new(100);
         c.put("x", 10, 0.0, Some(5.0));
         assert_eq!(c.get(&"x", 4.9), Some(10));
         assert_eq!(c.get(&"x", 5.0), None);
@@ -264,7 +480,7 @@ mod tests {
 
     #[test]
     fn ttl_bulk_expire() {
-        let mut c = LruCache::new(100);
+        let mut c: LruCache<&str> = LruCache::new(100);
         c.put("a", 10, 0.0, Some(1.0));
         c.put("b", 10, 0.0, Some(2.0));
         c.put("c", 10, 0.0, None);
@@ -276,7 +492,7 @@ mod tests {
 
     #[test]
     fn reinsert_updates_size() {
-        let mut c = LruCache::new(100);
+        let mut c: LruCache<&str> = LruCache::new(100);
         c.put("k", 60, 0.0, None);
         c.put("k", 20, 1.0, None);
         assert_eq!(c.used(), 20);
@@ -285,7 +501,7 @@ mod tests {
 
     #[test]
     fn invalidate_and_clear() {
-        let mut c = LruCache::new(100);
+        let mut c: LruCache<&str> = LruCache::new(100);
         c.put("a", 25, 0.0, None);
         assert_eq!(c.invalidate(&"a"), Some(25));
         assert_eq!(c.invalidate(&"a"), None);
@@ -297,7 +513,7 @@ mod tests {
 
     #[test]
     fn hit_ratio() {
-        let mut c = LruCache::new(100);
+        let mut c: LruCache<&str> = LruCache::new(100);
         c.put("a", 10, 0.0, None);
         c.get(&"a", 0.0);
         c.get(&"a", 0.0);
@@ -309,7 +525,7 @@ mod tests {
 
     #[test]
     fn eviction_order_is_lru_not_fifo() {
-        let mut c = LruCache::new(30);
+        let mut c: LruCache<&str> = LruCache::new(30);
         c.put("a", 10, 0.0, None);
         c.put("b", 10, 1.0, None);
         c.put("c", 10, 2.0, None);
@@ -317,5 +533,42 @@ mod tests {
         c.put("d", 10, 4.0, None);
         assert!(c.contains(&"a", 5.0));
         assert!(!c.contains(&"b", 5.0));
+    }
+
+    #[test]
+    fn in_slot_values_roundtrip() {
+        let mut c: LruCache<&str, String> = LruCache::new(100);
+        assert!(c.put_value("k", Some("payload".to_string()), 10, 0.0, None));
+        let (bytes, v) = c.get_value(&"k", 1.0).unwrap();
+        assert_eq!(bytes, 10);
+        assert_eq!(v.unwrap(), "payload");
+        // Metered-only entries have no value but still hit.
+        assert!(c.put("m", 5, 2.0, None));
+        let (bytes, v) = c.get_value(&"m", 3.0).unwrap();
+        assert_eq!((bytes, v), (5, None));
+    }
+
+    #[test]
+    fn value_dropped_on_eviction_and_reinsert() {
+        let mut c: LruCache<&str, String> = LruCache::new(10);
+        c.put_value("a", Some("va".into()), 10, 0.0, None);
+        c.put_value("b", Some("vb".into()), 10, 1.0, None); // evicts a
+        assert!(c.get_value(&"a", 2.0).is_none());
+        // A metered re-insert of b replaces (drops) the in-slot value.
+        c.put("b", 10, 3.0, None);
+        assert_eq!(c.get_value(&"b", 4.0).unwrap().1, None);
+    }
+
+    #[test]
+    fn slots_recycled_through_free_list() {
+        let mut c: LruCache<u32> = LruCache::new(3);
+        for round in 0..10u64 {
+            for k in 0..3u32 {
+                c.put(k, 1, round as f64, None);
+            }
+        }
+        // 3 resident + arena never grew past the working set.
+        assert_eq!(c.len(), 3);
+        assert!(c.slots.len() <= 4, "arena grew to {}", c.slots.len());
     }
 }

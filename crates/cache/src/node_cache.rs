@@ -1,23 +1,21 @@
 //! Per-server cache: one byte budget shared by the iCache and oCache
-//! partitions, with per-partition statistics and an optional payload
-//! side-table for the live executor.
+//! partitions, with per-partition statistics. Live-executor payloads
+//! live *inside* the LRU slots (`LruCache<CacheKey, Bytes>`), so a
+//! payload hit is a single hash lookup and eviction frees the bytes
+//! with the index entry — no side table, no garbage-collection sweep.
 
 use crate::entry::CacheKey;
 use crate::lru::{CacheStats, LruCache};
 use bytes::Bytes;
-use std::collections::HashMap;
 
 /// One worker server's in-memory cache.
 #[derive(Clone, Debug)]
 pub struct NodeCache {
-    lru: LruCache<CacheKey>,
+    lru: LruCache<CacheKey, Bytes>,
     /// iCache lookup stats (input blocks).
     input_stats: CacheStats,
     /// oCache lookup stats (tagged outputs).
     output_stats: CacheStats,
-    /// Real payloads for the live executor; the simulator leaves this
-    /// empty and only meters bytes.
-    payloads: HashMap<CacheKey, Bytes>,
 }
 
 impl NodeCache {
@@ -26,7 +24,6 @@ impl NodeCache {
             lru: LruCache::new(capacity),
             input_stats: CacheStats::default(),
             output_stats: CacheStats::default(),
-            payloads: HashMap::new(),
         }
     }
 
@@ -38,6 +35,7 @@ impl NodeCache {
         self.lru.used()
     }
 
+    #[inline]
     fn stats_for(&mut self, key: &CacheKey) -> &mut CacheStats {
         if key.is_input() {
             &mut self.input_stats
@@ -57,16 +55,27 @@ impl NodeCache {
             }
             None => {
                 stats.misses += 1;
-                self.payloads.remove(key);
                 None
             }
         }
     }
 
-    /// Look up and return the real payload (live executor path).
+    /// Look up and return the real payload (live executor path). One
+    /// lookup serves the index and the payload; a metered-only entry
+    /// hits the index but yields no bytes.
     pub fn get_payload(&mut self, key: &CacheKey, now: f64) -> Option<Bytes> {
-        self.get(key, now)?;
-        self.payloads.get(key).cloned()
+        let hit = self.lru.get_value(key, now).map(|(_, payload)| payload.cloned());
+        let stats = self.stats_for(key);
+        match hit {
+            Some(payload) => {
+                stats.hits += 1;
+                payload
+            }
+            None => {
+                stats.misses += 1;
+                None
+            }
+        }
     }
 
     /// Cache a metered entry (simulator path).
@@ -74,27 +83,19 @@ impl NodeCache {
         let ok = self.lru.put(key.clone(), bytes, now, ttl);
         if ok {
             self.stats_for(&key).insertions += 1;
-            self.gc_payloads();
         }
         ok
     }
 
-    /// Cache a real payload (live executor path).
+    /// Cache a real payload (live executor path). The payload is stored
+    /// in the LRU slot itself; eviction or invalidation drops it.
     pub fn put_payload(&mut self, key: CacheKey, data: Bytes, now: f64, ttl: Option<f64>) -> bool {
-        let ok = self.put(key.clone(), data.len() as u64, now, ttl);
+        let bytes = data.len() as u64;
+        let ok = self.lru.put_value(key.clone(), Some(data), bytes, now, ttl);
         if ok {
-            self.payloads.insert(key, data);
+            self.stats_for(&key).insertions += 1;
         }
         ok
-    }
-
-    /// Drop payloads whose index entry was evicted.
-    fn gc_payloads(&mut self) {
-        if self.payloads.is_empty() {
-            return;
-        }
-        // `contains` at -inf ignores TTL, testing only index residency.
-        self.payloads.retain(|k, _| self.lru.contains(k, f64::NEG_INFINITY));
     }
 
     pub fn contains(&self, key: &CacheKey, now: f64) -> bool {
@@ -102,14 +103,12 @@ impl NodeCache {
     }
 
     pub fn invalidate(&mut self, key: &CacheKey) -> Option<u64> {
-        self.payloads.remove(key);
         self.lru.invalidate(key)
     }
 
     /// Evict everything (cold-cache experiment setup).
     pub fn clear(&mut self) {
         self.lru.clear();
-        self.payloads.clear();
     }
 
     /// Resident keys, no particular order.
@@ -184,6 +183,27 @@ mod tests {
         c.put_payload(ok_("b"), Bytes::from(vec![0u8; 10]), 1.0, None); // evicts a
         assert_eq!(c.get_payload(&ok_("a"), 2.0), None);
         assert!(c.get_payload(&ok_("b"), 2.0).is_some());
+    }
+
+    #[test]
+    fn metered_entry_hits_index_without_payload() {
+        let mut c = NodeCache::new(100);
+        c.put(ik(7), 10, 0.0, None);
+        // Index hit (counts in stats) but no payload bytes to return.
+        assert_eq!(c.get_payload(&ik(7), 1.0), None);
+        assert_eq!(c.input_stats().hits, 1);
+        assert_eq!(c.input_stats().misses, 0);
+    }
+
+    #[test]
+    fn payload_stats_match_metered_stats() {
+        let mut c = NodeCache::new(100);
+        c.put_payload(ok_("r"), Bytes::from_static(b"xyz"), 0.0, None);
+        c.get_payload(&ok_("r"), 1.0);
+        c.get_payload(&ok_("nope"), 1.0);
+        assert_eq!(c.output_stats().hits, 1);
+        assert_eq!(c.output_stats().misses, 1);
+        assert_eq!(c.output_stats().insertions, 1);
     }
 
     #[test]

@@ -175,6 +175,13 @@ pub struct LiveConfig {
     /// behind other workers' map compute. Thread count stays capped at
     /// the virtual-node count.
     pub map_slots: usize,
+    /// Lock shards inside each node's cache (see
+    /// `eclipse_cache::sharded`). More shards let a node's map slots
+    /// and its RPC service thread hit the cache concurrently; each
+    /// shard gets `cache_per_node / cache_shards` of the byte budget.
+    /// The simulator pins 1 (exact paper-figure reproduction); the live
+    /// executor defaults to 8.
+    pub cache_shards: usize,
 }
 
 impl LiveConfig {
@@ -192,6 +199,7 @@ impl LiveConfig {
             net_policy: RetryPolicy::default(),
             shuffle_batch_bytes: 256 * 1024,
             map_slots: 1,
+            cache_shards: 8,
         }
     }
 
@@ -232,6 +240,11 @@ impl LiveConfig {
 
     pub fn with_map_slots(mut self, slots: usize) -> LiveConfig {
         self.map_slots = slots;
+        self
+    }
+
+    pub fn with_cache_shards(mut self, shards: usize) -> LiveConfig {
+        self.cache_shards = shards;
         self
     }
 }
@@ -746,7 +759,8 @@ impl LiveCluster {
             DhtFsConfig { block_size: cfg.block_size, replicas: cfg.replicas },
         );
         let store = Arc::new(BlockStore::new());
-        let cache = Arc::new(DistributedCache::new(&ring, cfg.cache_per_node));
+        let cache =
+            Arc::new(DistributedCache::with_shards(&ring, cfg.cache_per_node, cfg.cache_shards));
         let router = Arc::new(ShuffleRouter::new());
         let (net, mem_net): (Arc<dyn Transport>, Option<Arc<MemTransport>>) =
             match cfg.transport {

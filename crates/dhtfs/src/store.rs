@@ -3,18 +3,28 @@
 //! Each virtual node owns one shard; the live executor writes real block
 //! payloads here ("local disk" contents). `bytes::Bytes` keeps cross-node
 //! reads zero-copy. Thread-safe: the live executor runs one thread per
-//! virtual node.
+//! virtual node, and every node's shard sits behind its *own* `RwLock`,
+//! so node 3 writing a spill never serializes node 5's block reads. The
+//! outer lock guards only the shard directory (a `Vec` indexed by dense
+//! node id) and is write-locked solely to grow it — steady-state traffic
+//! takes it in read mode, clones the shard's `Arc`, and drops it before
+//! touching any payload.
 
 use crate::meta::BlockId;
 use bytes::Bytes;
 use eclipse_ring::NodeId;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+type Shard = Arc<RwLock<HashMap<BlockId, Bytes>>>;
 
 /// Payload store for every node in a live cluster.
 #[derive(Debug, Default)]
 pub struct BlockStore {
-    shards: RwLock<HashMap<NodeId, HashMap<BlockId, Bytes>>>,
+    /// One shard per node, indexed by `NodeId::index()`. Grows on first
+    /// write to a new node; a missing slot means "holds nothing".
+    shards: RwLock<Vec<Shard>>,
 }
 
 impl BlockStore {
@@ -22,29 +32,48 @@ impl BlockStore {
         BlockStore::default()
     }
 
+    /// A node's shard, if it has ever been written to.
+    fn shard(&self, node: NodeId) -> Option<Shard> {
+        self.shards.read().get(node.index()).cloned()
+    }
+
+    /// A node's shard, creating it (and any gap below it) on demand.
+    fn shard_mut(&self, node: NodeId) -> Shard {
+        if let Some(s) = self.shard(node) {
+            return s;
+        }
+        let mut dir = self.shards.write();
+        while dir.len() <= node.index() {
+            dir.push(Arc::new(RwLock::new(HashMap::new())));
+        }
+        Arc::clone(&dir[node.index()])
+    }
+
     /// Write a block payload to `node`'s shard (primary or replica).
     pub fn put(&self, node: NodeId, id: BlockId, data: Bytes) {
-        self.shards.write().entry(node).or_default().insert(id, data);
+        self.shard_mut(node).write().insert(id, data);
     }
 
     /// Read a block from `node`'s shard; `None` if that node holds no
     /// copy.
     pub fn get(&self, node: NodeId, id: BlockId) -> Option<Bytes> {
-        self.shards.read().get(&node)?.get(&id).cloned()
+        self.shard(node)?.read().get(&id).cloned()
     }
 
     /// Does `node` hold block `id`?
     pub fn holds(&self, node: NodeId, id: BlockId) -> bool {
-        self.shards.read().get(&node).is_some_and(|s| s.contains_key(&id))
+        self.shard(node).is_some_and(|s| s.read().contains_key(&id))
     }
 
     /// Drop every payload on `node` (crash simulation).
     pub fn wipe_node(&self, node: NodeId) {
-        self.shards.write().remove(&node);
+        if let Some(s) = self.shard(node) {
+            s.write().clear();
+        }
     }
 
     /// Copy a block between shards (recovery). Returns false when the
-    /// source copy is missing.
+    /// source copy is missing. Takes the two shard locks one at a time.
     pub fn copy(&self, id: BlockId, from: NodeId, to: NodeId) -> bool {
         let data = match self.get(from, id) {
             Some(d) => d,
@@ -59,10 +88,8 @@ impl BlockStore {
     /// use this to pin `recovered_blocks` to the victim's holdings.
     pub fn blocks_on(&self, node: NodeId) -> Vec<BlockId> {
         let mut ids: Vec<BlockId> = self
-            .shards
-            .read()
-            .get(&node)
-            .map(|s| s.keys().copied().collect())
+            .shard(node)
+            .map(|s| s.read().keys().copied().collect())
             .unwrap_or_default();
         ids.sort();
         ids
@@ -70,16 +97,14 @@ impl BlockStore {
 
     /// Bytes stored on a node.
     pub fn bytes_on(&self, node: NodeId) -> u64 {
-        self.shards
-            .read()
-            .get(&node)
-            .map(|s| s.values().map(|b| b.len() as u64).sum())
+        self.shard(node)
+            .map(|s| s.read().values().map(|b| b.len() as u64).sum())
             .unwrap_or(0)
     }
 
     /// Number of block copies stored cluster-wide.
     pub fn total_copies(&self) -> usize {
-        self.shards.read().values().map(|s| s.len()).sum()
+        self.shards.read().iter().map(|s| s.read().len()).sum()
     }
 }
 
@@ -129,6 +154,20 @@ mod tests {
         store.wipe_node(NodeId(2));
         assert_eq!(store.bytes_on(NodeId(2)), 0);
         assert_eq!(store.total_copies(), 0);
+    }
+
+    #[test]
+    fn sparse_node_ids_work() {
+        // Writing to a high node id grows the directory; the gap nodes
+        // hold nothing.
+        let store = BlockStore::new();
+        store.put(NodeId(5), bid(0), Bytes::from_static(b"z"));
+        assert!(store.holds(NodeId(5), bid(0)));
+        for i in 0..5u32 {
+            assert!(!store.holds(NodeId(i), bid(0)));
+            assert_eq!(store.bytes_on(NodeId(i)), 0);
+        }
+        assert_eq!(store.total_copies(), 1);
     }
 
     #[test]

@@ -363,8 +363,8 @@ fn put_cache_key(w: &mut Writer, key: &CacheKey) {
         }
         CacheKey::Output(tag) => {
             w.u8(1);
-            w.string(&tag.app);
-            w.string(&tag.tag);
+            w.string(tag.app());
+            w.string(tag.tag());
         }
     }
 }

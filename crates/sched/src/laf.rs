@@ -78,6 +78,9 @@ pub struct LafScheduler {
     ma: KeyHistogram,
     repartitions: u64,
     assignments: u64,
+    /// Reusable candidate buffer for [`assign_balanced`](Self::assign_balanced)
+    /// — the per-task hot path allocates nothing in steady state.
+    scratch: Vec<NodeId>,
 }
 
 impl LafScheduler {
@@ -95,6 +98,7 @@ impl LafScheduler {
             ma: KeyHistogram::new(cfg.num_bins),
             repartitions: 0,
             assignments: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -138,8 +142,18 @@ impl LafScheduler {
     /// same hot data ... and replicate it in their distributed in-memory
     /// caches" (§II-E). The owner is always first.
     pub fn candidates(&self, hkey: HashKey) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.candidates_into(hkey, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`candidates`](Self::candidates): clears
+    /// `out` and fills it with the eligible servers, owner first. The
+    /// scheduling hot path reuses one buffer across tasks.
+    pub fn candidates_into(&self, hkey: HashKey, out: &mut Vec<NodeId>) {
+        out.clear();
         let owner = self.owner_of(hkey);
-        let mut out = vec![owner];
+        out.push(owner);
         let bins = self.cfg.num_bins as u128;
         let bin = ((hkey.0 as u128 * bins) >> 64) as u64;
         let bin_lo = HashKey((((bin as u128) << 64) / bins) as u64);
@@ -160,7 +174,6 @@ impl LafScheduler {
                 out.push(*node);
             }
         }
-        out
     }
 
     /// Assign a task whose input data hashes to `hkey`: returns the
@@ -185,7 +198,10 @@ impl LafScheduler {
     where
         F: FnMut(NodeId) -> f64,
     {
-        let cands = self.candidates(hkey);
+        // Reuse the scheduler-owned buffer: the per-task path performs
+        // no allocation once the buffer has grown to the cluster size.
+        let mut cands = std::mem::take(&mut self.scratch);
+        self.candidates_into(hkey, &mut cands);
         // A free candidate (owner first, then range-boundary neighbors)
         // takes the task with locality intact.
         let node = match cands.iter().copied().find(|&c| free_at(c) <= now) {
@@ -196,18 +212,25 @@ impl LafScheduler {
                 // work queues (the delay scheduler's failure mode,
                 // §III-B). If the whole cluster is busy, the task queues
                 // at its owner: locality wins once everyone has work.
-                let frees: Vec<(NodeId, f64)> =
-                    self.nodes.iter().map(|&n| (n, free_at(n))).collect();
-                frees
-                    .iter()
-                    .filter(|(_, f)| *f <= now)
-                    .min_by(|(a, fa), (b, fb)| {
-                        fa.partial_cmp(fb).unwrap().then(a.cmp(b))
-                    })
-                    .map(|(n, _)| *n)
-                    .unwrap_or(cands[0])
+                // Minimum over (free time, node id), free servers only.
+                let mut best: Option<(f64, NodeId)> = None;
+                for &n in &self.nodes {
+                    let f = free_at(n);
+                    if f > now {
+                        continue;
+                    }
+                    let better = match best {
+                        None => true,
+                        Some((bf, bn)) => f.partial_cmp(&bf).unwrap().then(n.cmp(&bn)).is_lt(),
+                    };
+                    if better {
+                        best = Some((f, n));
+                    }
+                }
+                best.map(|(_, n)| n).unwrap_or(cands[0])
             }
         };
+        self.scratch = cands;
         self.record(hkey);
         node
     }
@@ -367,7 +390,7 @@ mod tests {
     fn interior_key_has_single_candidate() {
         let s = sched(4, LafConfig::default());
         // Initial ranges are ring-aligned; find a key well inside one.
-        let (_, r) = s.ranges()[0].clone();
+        let (_, r) = s.ranges()[0];
         let mid = HashKey(r.start().0.wrapping_add((r.len() / 2) as u64));
         let cands = s.candidates(mid);
         assert_eq!(cands.len(), 1);

@@ -314,7 +314,7 @@ mod tests {
     fn reducer_shares_conserve_and_skew() {
         let uniform = CostModel::reducer_shares(1000, 8, 0.0);
         assert_eq!(uniform.iter().sum::<u64>(), 1000);
-        assert!(uniform.iter().all(|&s| s >= 125 && s <= 125 + 8));
+        assert!(uniform.iter().all(|&s| (125..=125 + 8).contains(&s)));
 
         let skewed = CostModel::reducer_shares(1000, 8, 1.0);
         assert_eq!(skewed.iter().sum::<u64>(), 1000);

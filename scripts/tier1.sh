@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate: release build, full test suite, the chaos and transport
 # suites under --release, and quick live-executor snapshots. Leaves
-# results/BENCH_live.json, results/BENCH_chaos.json, and
-# results/BENCH_net.json behind so every pass records comparable
-# throughput, recovery-time, and wire-overhead numbers (see DESIGN.md
-# §8c–§8e).
+# results/BENCH_live.json, results/BENCH_chaos.json,
+# results/BENCH_net.json, and results/BENCH_cache.json behind so every
+# pass records comparable throughput, recovery-time, wire-overhead, and
+# cache-plane numbers (see DESIGN.md §8c–§8g).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,5 +34,8 @@ cargo run -q --release -p eclipse-bench --bin chaos_bench -- --quick --out resul
 
 echo "== tier1: transport overhead, TCP vs in-memory (quick)"
 cargo run -q --release -p eclipse-bench --bin net_bench -- --quick --out results/BENCH_net.json
+
+echo "== tier1: cache-plane micro + warm-run (quick)"
+cargo run -q --release -p eclipse-bench --bin cache_bench -- --quick --out results/BENCH_cache.json
 
 echo "== tier1: OK"

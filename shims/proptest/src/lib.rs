@@ -56,6 +56,7 @@ macro_rules! __proptest_items {
                 $crate::test_runner::TestRng::for_test(file!(), line!(), stringify!($name));
             for __case in 0..__config.cases {
                 // Closure so `prop_assume!` can skip a case by returning.
+                #[allow(clippy::redundant_closure_call)]
                 (|| { $crate::__proptest_bind!(__rng $body ; $($params)*); })();
             }
         }
@@ -103,10 +104,9 @@ macro_rules! __proptest_bind {
 #[macro_export]
 macro_rules! prop_oneof {
     ($($strat:expr),+ $(,)?) => {{
-        let mut __options: ::std::vec::Vec<
+        let __options: ::std::vec::Vec<
             ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
-        > = ::std::vec::Vec::new();
-        $(__options.push(::std::boxed::Box::new($strat));)+
+        > = ::std::vec![$(::std::boxed::Box::new($strat)),+];
         $crate::strategy::Union::new(__options)
     }};
 }
