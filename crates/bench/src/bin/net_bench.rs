@@ -26,7 +26,11 @@ fn main() {
     json.push_str(&format!(
         "  \"corpus_bytes\": {corpus_bytes},\n  \"quick\": {quick},\n  \"points\": [\n"
     ));
-    let kinds = |(rpcs, bytes): (u64, u64)| format!("{{\"rpcs\": {rpcs}, \"bytes\": {bytes}}}");
+    let kinds = |(rpcs, first, retrans): (u64, u64, u64)| {
+        format!(
+            "{{\"rpcs\": {rpcs}, \"first_send_bytes\": {first}, \"retransmitted_bytes\": {retrans}}}"
+        )
+    };
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"transport\": \"{}\", \"nodes\": {}, \"records\": {}, \"secs\": {:.6}, \
@@ -63,9 +67,9 @@ fn main() {
             p.bytes_sent, p.rpc_retries, p.timeouts
         );
         println!(
-            "  planes: shuffle={}rpc/{}B block={}rpc/{}B cache={}rpc/{}B control={}rpc/{}B",
-            p.shuffle.0, p.shuffle.1, p.block.0, p.block.1,
-            p.cache.0, p.cache.1, p.control.0, p.control.1
+            "  planes: shuffle={}rpc/{}B(+{}B re) block={}rpc/{}B(+{}B re) cache={}rpc/{}B(+{}B re) control={}rpc/{}B(+{}B re)",
+            p.shuffle.0, p.shuffle.1, p.shuffle.2, p.block.0, p.block.1, p.block.2,
+            p.cache.0, p.cache.1, p.cache.2, p.control.0, p.control.1, p.control.2
         );
     }
     println!("wrote {out}");

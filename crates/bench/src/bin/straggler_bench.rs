@@ -1,0 +1,95 @@
+//! Snapshot straggler-mitigation results to `results/BENCH_straggler.json`.
+//!
+//! Usage: `straggler_bench [--quick] [--out PATH]`. Part A: makespan of
+//! an 8-node word count under one injected straggler, speculation off
+//! vs on. Part B: remote shuffle first-send bytes at map replication
+//! r = 1, 2, 3. `scripts/tier1.sh` runs this in quick mode so every
+//! pass records both numbers.
+
+use eclipse_bench::straggler_bench::{makespan, replication_sweep};
+
+fn main() {
+    let mut quick = std::env::var("CRITERION_QUICK").is_ok();
+    let mut out = String::from("results/BENCH_straggler.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown arg {other:?} (expected --quick / --out PATH)"),
+        }
+    }
+
+    let corpus_bytes = if quick { 1024 * 1024 } else { 2 * 1024 * 1024 };
+    let samples = if quick { 3 } else { 5 };
+
+    let m = makespan(corpus_bytes, samples);
+    let reps = replication_sweep(corpus_bytes);
+
+    let mut json = String::from("{\n  \"bench\": \"straggler\",\n  \"app\": \"wordcount\",\n");
+    json.push_str(&format!(
+        "  \"nodes\": {},\n  \"reducers\": {},\n  \"corpus_bytes\": {corpus_bytes},\n  \"quick\": {quick},\n",
+        eclipse_bench::straggler_bench::NODES,
+        eclipse_bench::straggler_bench::REDUCERS,
+    ));
+    json.push_str(&format!(
+        "  \"makespan\": {{\"slow_micros\": {}, \"secs_off\": {:.6}, \"secs_on\": {:.6}, \
+         \"speedup\": {:.3}, \"speculative_attempts\": {}, \"speculative_wins\": {}, \
+         \"cancelled_attempts\": {}, \"retries_on\": {}, \"identical_output\": {}}},\n",
+        m.slow_micros,
+        m.secs_off,
+        m.secs_on,
+        m.speedup,
+        m.speculative_attempts,
+        m.speculative_wins,
+        m.cancelled_attempts,
+        m.retries_on,
+        m.identical_output,
+    ));
+    json.push_str("  \"replication\": [\n");
+    for (i, p) in reps.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"r\": {}, \"map_tasks\": {}, \"shuffle_first_send_bytes\": {}, \
+             \"shuffle_retransmitted_bytes\": {}, \"local_shuffle_records\": {}, \
+             \"ratio_vs_r1\": {:.3}, \"identical_output\": {}}}{}\n",
+            p.r,
+            p.map_tasks,
+            p.shuffle_first_send_bytes,
+            p.shuffle_retransmitted_bytes,
+            p.local_shuffle_records,
+            p.ratio_vs_r1,
+            p.identical_output,
+            if i + 1 < reps.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, &json).expect("write BENCH_straggler.json");
+
+    println!(
+        "makespan: off={:.4}s on={:.4}s speedup={:.2}x (backups={} wins={} cancelled={} identical={})",
+        m.secs_off,
+        m.secs_on,
+        m.speedup,
+        m.speculative_attempts,
+        m.speculative_wins,
+        m.cancelled_attempts,
+        m.identical_output
+    );
+    for p in &reps {
+        println!(
+            "replication r={}: tasks={} shuffle_first_send={}B (+{}B re) local_records={} ratio_vs_r1={:.3} identical={}",
+            p.r,
+            p.map_tasks,
+            p.shuffle_first_send_bytes,
+            p.shuffle_retransmitted_bytes,
+            p.local_shuffle_records,
+            p.ratio_vs_r1,
+            p.identical_output
+        );
+    }
+    println!("wrote {out}");
+}

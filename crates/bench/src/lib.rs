@@ -11,6 +11,7 @@ pub mod cache_bench;
 pub mod chaos_bench;
 pub mod live_bench;
 pub mod net_bench;
+pub mod straggler_bench;
 pub mod fig10;
 pub mod fig5;
 pub mod fig6;

@@ -29,19 +29,23 @@ pub struct NetPoint {
     pub rpc_retries: u64,
     pub timeouts: u64,
     /// Request traffic of the timed run attributed to its plane, as
-    /// `(requests, request_bytes)`: where the wire budget actually goes
-    /// (shuffle batches vs DHT block moves vs cache ops vs control).
-    pub shuffle: (u64, u64),
-    pub block: (u64, u64),
-    pub cache: (u64, u64),
-    pub control: (u64, u64),
+    /// `(requests, first_send_bytes, retransmitted_bytes)`: where the
+    /// wire budget actually goes (shuffle batches vs DHT block moves vs
+    /// cache ops vs control), with bytes that only exist because of
+    /// retries split out from the payload a lossless wire would carry.
+    pub shuffle: (u64, u64, u64),
+    pub block: (u64, u64, u64),
+    pub cache: (u64, u64, u64),
+    pub control: (u64, u64, u64),
 }
 
-/// Sum the per-kind counters of `kinds` into one plane's totals.
-fn plane(s: &NetSnapshot, kinds: &[RpcKind]) -> (u64, u64) {
-    kinds.iter().fold((0, 0), |(r, b), &k| {
+/// Sum the per-kind counters of `kinds` into one plane's totals,
+/// splitting first-send bytes from retransmitted bytes.
+fn plane(s: &NetSnapshot, kinds: &[RpcKind]) -> (u64, u64, u64) {
+    kinds.iter().fold((0, 0, 0), |(r, first, re), &k| {
         let (kr, kb) = s.kind(k);
-        (r + kr, b + kb)
+        let krb = s.kind_retrans(k);
+        (r + kr, first + (kb - krb), re + krb)
     })
 }
 

@@ -1,0 +1,188 @@
+//! Straggler-mitigation measurement (PR 6's proof harness).
+//!
+//! Two experiments over the same 8-node word-count job:
+//!
+//! * **Makespan** — inject one hard straggler (`SlowNode`) and run the
+//!   job with speculation off vs on. Speculation should recover most of
+//!   the straggler-induced tail: the backup attempt commits in normal
+//!   task time and the straggler's attempt is cancelled at its next
+//!   spill boundary.
+//! * **Shuffle locality** — run with replicated map-out r = 1, 2, 3 and
+//!   account the remote `ShuffleBatch` first-send bytes per job. With
+//!   r holders each emitting only the partitions nearest to them on the
+//!   ring, remote shuffle volume should drop roughly to the fraction of
+//!   reducers that are not co-located with any holder.
+//!
+//! Both experiments assert byte-identical output against the fault-free
+//! r = 1 baseline — the performance story is only worth telling if the
+//! answer never changes. Shared by the `straggler_bench` binary that
+//! `scripts/tier1.sh` uses to snapshot `results/BENCH_straggler.json`.
+
+use crate::live_bench::corpus;
+use eclipse_apps::WordCount;
+use eclipse_core::net::RpcKind;
+use eclipse_core::{
+    FaultPlan, LiveCluster, LiveConfig, LiveStats, ReusePolicy, SpeculationConfig, TransportKind,
+};
+use std::time::Instant;
+
+/// The node count the straggler story is told at (matches `net_bench`).
+pub const NODES: usize = 8;
+/// Reduce partitions; fewer than nodes so replicated map-out has a
+/// meaningful home set to co-locate with: r = 2 covers two of the
+/// three reducer homes per block, r = 3 covers all of them.
+pub const REDUCERS: usize = 3;
+/// The injected straggler's map delay in microseconds. Its RPC serving
+/// and shuffle sends are slowed proportionally by the fault plan.
+pub const SLOW_MICROS: u64 = 50_000;
+
+/// Makespan under one straggler, speculation off vs on.
+#[derive(Clone, Debug)]
+pub struct MakespanPoint {
+    pub slow_micros: u64,
+    pub secs_off: f64,
+    pub secs_on: f64,
+    /// `secs_off / secs_on` — how much of the tail speculation claws back.
+    pub speedup: f64,
+    pub speculative_attempts: u64,
+    pub speculative_wins: u64,
+    pub cancelled_attempts: u64,
+    pub retries_on: u64,
+    /// Output with speculation (and under the straggler) was
+    /// byte-identical to the fault-free baseline.
+    pub identical_output: bool,
+}
+
+/// Shuffle-plane accounting for one replicated map-out factor.
+#[derive(Clone, Debug)]
+pub struct ReplicationPoint {
+    pub r: usize,
+    pub map_tasks: u64,
+    /// Remote `ShuffleBatch` payload a lossless wire would carry.
+    pub shuffle_first_send_bytes: u64,
+    /// Extra shuffle bytes that exist only because of retries.
+    pub shuffle_retransmitted_bytes: u64,
+    /// Records delivered to their reducer without touching the wire.
+    pub local_shuffle_records: u64,
+    /// `shuffle_first_send_bytes` relative to the r = 1 run.
+    pub ratio_vs_r1: f64,
+    pub identical_output: bool,
+}
+
+fn spec_config() -> SpeculationConfig {
+    SpeculationConfig { slowdown: 2.0, min_completed: 3, poll_micros: 200 }
+}
+
+fn cluster(speculate: bool, map_replication: usize) -> LiveCluster {
+    // Oversubscribed map slots: one worker thread per virtual node even
+    // on small hosts. Without it a straggling *node* may simply never
+    // claim a task (some other thread runs its queue) and both
+    // experiments degenerate to measuring nothing.
+    let mut cfg = LiveConfig::small()
+        .with_nodes(NODES)
+        .with_block_size(16 * 1024)
+        .with_transport(TransportKind::Memory)
+        .with_map_slots(NODES)
+        .with_map_replication(map_replication);
+    if speculate {
+        cfg = cfg.with_speculation(spec_config());
+    }
+    LiveCluster::new(cfg)
+}
+
+fn run(c: &LiveCluster) -> (Vec<(String, String)>, LiveStats) {
+    c.run_job(&WordCount, "input", "bench", REDUCERS, ReusePolicy::default())
+}
+
+/// A node that is NOT a reducer home: slowing a home would serialize
+/// every mapper's shuffle through the delayed endpoint and measure the
+/// serving delay instead of the map straggle speculation targets.
+fn straggler_of(c: &LiveCluster) -> eclipse_ring::NodeId {
+    c.ring().node_ids()[REDUCERS % NODES]
+}
+
+/// Makespan with one straggler, speculation off vs on: best of
+/// `samples` interleaved runs per mode (same rationale as `net_bench`'s
+/// interleaving — both modes see the same host-load profile).
+pub fn makespan(corpus_bytes: usize, samples: usize) -> MakespanPoint {
+    let (text, _records) = corpus(corpus_bytes);
+    let off = cluster(false, 1);
+    let on = cluster(true, 1);
+    off.upload("input", "bench", &text);
+    on.upload("input", "bench", &text);
+    // Fault-free warmup: the baseline output plus warm caches, so the
+    // timed runs isolate the straggler, not cold-start block moves.
+    let (baseline, _) = run(&off);
+    let _ = run(&on);
+
+    let mut secs_off = f64::INFINITY;
+    let mut secs_on = f64::INFINITY;
+    let mut last = None;
+    let mut identical = true;
+    for _ in 0..samples.max(1) {
+        off.inject_faults(FaultPlan::new().slow_node(straggler_of(&off), SLOW_MICROS));
+        let t = Instant::now();
+        let (out, _) = run(&off);
+        secs_off = secs_off.min(t.elapsed().as_secs_f64());
+        identical &= out == baseline;
+
+        on.inject_faults(FaultPlan::new().slow_node(straggler_of(&on), SLOW_MICROS));
+        let t = Instant::now();
+        let (out, stats) = run(&on);
+        secs_on = secs_on.min(t.elapsed().as_secs_f64());
+        identical &= out == baseline;
+        last = Some(stats);
+    }
+    let stats = last.expect("at least one sample");
+    MakespanPoint {
+        slow_micros: SLOW_MICROS,
+        secs_off,
+        secs_on,
+        speedup: secs_off / secs_on,
+        speculative_attempts: stats.speculative_attempts,
+        speculative_wins: stats.speculative_wins,
+        cancelled_attempts: stats.cancelled_attempts,
+        retries_on: stats.retries,
+        identical_output: identical,
+    }
+}
+
+/// Remote shuffle volume at map replication r = 1, 2, 3. Each factor
+/// gets a fresh cluster; the measured run is the second job so the
+/// replica placement (a one-time `ReplicaSync` cost) and the input
+/// cache are warm, leaving the per-job shuffle plane.
+pub fn replication_sweep(corpus_bytes: usize) -> Vec<ReplicationPoint> {
+    let (text, _records) = corpus(corpus_bytes);
+    let mut points = Vec::new();
+    let mut baseline: Option<Vec<(String, String)>> = None;
+    let mut r1_bytes = 0u64;
+    for r in [1usize, 2, 3] {
+        let c = cluster(false, r);
+        c.upload("input", "bench", &text);
+        let _ = run(&c); // warmup: replica placement + iCache
+        let before = c.transport().stats();
+        let (out, stats) = run(&c);
+        let wire = c.transport().stats().since(before);
+        let (_rpcs, bytes) = wire.kind(RpcKind::ShuffleBatch);
+        let retrans = wire.kind_retrans(RpcKind::ShuffleBatch);
+        let first = bytes - retrans;
+        let identical = match &baseline {
+            None => {
+                baseline = Some(out);
+                r1_bytes = first.max(1);
+                true
+            }
+            Some(b) => &out == b,
+        };
+        points.push(ReplicationPoint {
+            r,
+            map_tasks: stats.map_tasks,
+            shuffle_first_send_bytes: first,
+            shuffle_retransmitted_bytes: retrans,
+            local_shuffle_records: stats.local_shuffle_records,
+            ratio_vs_r1: first as f64 / r1_bytes as f64,
+            identical_output: identical,
+        });
+    }
+    points
+}

@@ -14,7 +14,8 @@ pub mod timeline;
 
 pub use job::{JobError, JobId, JobReport, JobSpec, ReadSource, ReusePolicy};
 pub use live::{
-    FaultPlan, LiveCluster, LiveConfig, LiveStats, MapReduce, RecoveryReport, TransportKind,
+    FaultPlan, LiveCluster, LiveConfig, LiveStats, MapReduce, RecoveryReport, SpeculationConfig,
+    TransportKind,
 };
 /// The transport plane (re-exported so downstream crates reach the
 /// chaos API and stats types without a direct dependency).

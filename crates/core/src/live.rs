@@ -150,6 +150,32 @@ pub enum TransportKind {
     Tcp,
 }
 
+/// Speculative re-execution tuning (straggler mitigation). Enabled via
+/// [`LiveConfig::with_speculation`]: the driver tracks per-task attempt
+/// progress through heartbeats and launches a backup attempt on the
+/// least-loaded node when an attempt falls far behind the running
+/// median task duration. Correctness is free — the commit-board CAS
+/// picks whichever attempt finishes first and reducer dedup drops the
+/// loser; the loser is additionally *cancelled* at its next spill
+/// boundary so it stops burning the straggling node.
+#[derive(Clone, Copy, Debug)]
+pub struct SpeculationConfig {
+    /// Launch a backup once an attempt's elapsed time exceeds
+    /// `slowdown × median` of committed task durations.
+    pub slowdown: f64,
+    /// Don't speculate before this many tasks have committed (the
+    /// median needs mass before it means anything).
+    pub min_completed: u64,
+    /// Monitor polling period in microseconds.
+    pub poll_micros: u64,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> SpeculationConfig {
+        SpeculationConfig { slowdown: 3.0, min_completed: 3, poll_micros: 500 }
+    }
+}
+
 /// Live cluster configuration.
 #[derive(Clone, Debug)]
 pub struct LiveConfig {
@@ -182,6 +208,19 @@ pub struct LiveConfig {
     /// The simulator pins 1 (exact paper-figure reproduction); the live
     /// executor defaults to 8.
     pub cache_shards: usize,
+    /// Speculative re-execution of straggling map attempts (off by
+    /// default — zero overhead when `None`: no progress heartbeats, no
+    /// monitor thread).
+    pub speculation: Option<SpeculationConfig>,
+    /// Replicated map-out factor r (default 1 = off). With r ≥ 2 every
+    /// map task's input block is placed on r nodes chosen among the
+    /// reduce partitions' home nodes (nearest on the ring to the block's
+    /// key), the map runs at all r placements, and each placement emits
+    /// only the partitions *closest to it on the ring* — so roughly
+    /// (r-1)/r of shuffle traffic becomes node-local delivery instead
+    /// of remote `ShuffleBatch` frames (the coded-MapReduce tradeoff:
+    /// r× map compute for r× less shuffle).
+    pub map_replication: usize,
 }
 
 impl LiveConfig {
@@ -200,6 +239,8 @@ impl LiveConfig {
             shuffle_batch_bytes: 256 * 1024,
             map_slots: 1,
             cache_shards: 8,
+            speculation: None,
+            map_replication: 1,
         }
     }
 
@@ -247,6 +288,18 @@ impl LiveConfig {
         self.cache_shards = shards;
         self
     }
+
+    /// Enable speculative re-execution of straggling map attempts.
+    pub fn with_speculation(mut self, s: SpeculationConfig) -> LiveConfig {
+        self.speculation = Some(s);
+        self
+    }
+
+    /// Set the replicated map-out factor (1 = off).
+    pub fn with_map_replication(mut self, r: usize) -> LiveConfig {
+        self.map_replication = r.max(1);
+        self
+    }
 }
 
 enum LiveSched {
@@ -292,6 +345,16 @@ pub struct LiveStats {
     pub rpc_retries: u64,
     /// RPC attempts that timed out (lost frames, partitions, silence).
     pub timeouts: u64,
+    /// Backup attempts launched by the speculation monitor.
+    pub speculative_attempts: u64,
+    /// Backup attempts that won their task's commit race.
+    pub speculative_wins: u64,
+    /// Attempts stopped early by the per-attempt cancellation token
+    /// (another attempt of the same task had already committed).
+    pub cancelled_attempts: u64,
+    /// Shuffle records delivered node-locally (no `ShuffleBatch` frame
+    /// on the wire) — the replicated map-out's dividend.
+    pub local_shuffle_records: u64,
 }
 
 /// What a mid-job (or between-jobs) node recovery accomplished.
@@ -395,6 +458,12 @@ enum Attempt {
     Voided,
     /// An injected task fault consumed the attempt before output.
     Faulted,
+    /// A *different* attempt of the same task committed while this one
+    /// ran: the per-attempt cancellation token (checked at spill
+    /// boundaries) stopped it early. Safe by construction — the token
+    /// only fires after another attempt's complete output committed, so
+    /// cancellation can never suppress a committed send.
+    Cancelled,
 }
 
 /// What one map attempt produced: its terminal state plus the
@@ -420,6 +489,12 @@ struct PendingCommit {
     shuffle: Vec<(SendTicket, usize)>,
     /// Best-effort windowed cache inserts (outcome ignored).
     cache: Vec<SendTicket>,
+    /// This attempt was a speculative backup (its commit is a
+    /// `speculative_wins`; its loss is not requeued).
+    speculative: bool,
+    /// When the attempt started — a winning commit feeds the running
+    /// median the speculation monitor compares stragglers against.
+    started: Instant,
 }
 
 /// One shuffle batch: the complete output of `(task, attempt)` for one
@@ -471,6 +546,15 @@ struct ShuffleRouter {
     /// out of order; neither a duplicate nor a reordered duplicate may
     /// reach a reducer twice.
     seen: Mutex<HashMap<(u32, u32), SeqTracker>>,
+    /// Tasks whose commit has settled, with the winning attempt. Bounds
+    /// dedup memory: once a task settles, every loser's `seen` tracker
+    /// is pruned and late loser batches are acknowledged without ever
+    /// creating one — only the winner's tracker survives (late
+    /// retransmissions of acked frames must still dedup).
+    settled: Mutex<HashMap<u32, u32>>,
+    /// Speculation progress board: task → (first heard, latest promille
+    /// 0..=1000), fed by `Heartbeat` frames addressed to the driver.
+    progress: Mutex<HashMap<u32, (Instant, u32)>>,
     /// Control plane: task ids assigned per node via `TaskAssign`.
     assigned: Mutex<HashMap<u32, Vec<usize>>>,
 }
@@ -481,6 +565,8 @@ impl ShuffleRouter {
             sinks: RwLock::new(None),
             homes: RwLock::new(Vec::new()),
             seen: Mutex::new(HashMap::new()),
+            settled: Mutex::new(HashMap::new()),
+            progress: Mutex::new(HashMap::new()),
             assigned: Mutex::new(HashMap::new()),
         }
     }
@@ -489,6 +575,8 @@ impl ShuffleRouter {
         *self.sinks.write() = Some(sinks);
         *self.homes.write() = homes;
         self.seen.lock().clear();
+        self.settled.lock().clear();
+        self.progress.lock().clear();
     }
 
     fn end_job(&self) {
@@ -515,6 +603,14 @@ impl ShuffleRouter {
         partition: u32,
         records: Vec<(String, String)>,
     ) -> bool {
+        if let Some(&winner) = self.settled.lock().get(&task) {
+            if winner != attempt {
+                // A losing attempt of a settled task: acknowledge and
+                // drop without creating a tracker (dedup memory stays
+                // bounded by settled-task pruning).
+                return true;
+            }
+        }
         if !self.seen.lock().entry((task, attempt)).or_default().admit(seq) {
             return true; // duplicate of a batch that already landed
         }
@@ -522,6 +618,26 @@ impl ShuffleRouter {
         let Some(sinks) = sinks.as_ref() else { return false };
         let Some(tx) = sinks.get(partition as usize) else { return false };
         tx.send(TaskBatch { task, attempt, records }).is_ok()
+    }
+
+    /// The task's commit settled with `attempt` winning: prune every
+    /// loser's dedup tracker and remember the winner so late loser
+    /// deliveries are ack-dropped trackerless.
+    fn settle_task(&self, task: u32, attempt: u32) {
+        self.settled.lock().insert(task, attempt);
+        self.seen.lock().retain(|&(t, a), _| t != task || a == attempt);
+    }
+
+    /// Record heartbeat-carried map progress (speculation input).
+    fn note_progress(&self, task: u32, progress: u32) {
+        let mut board = self.progress.lock();
+        let e = board.entry(task).or_insert_with(|| (Instant::now(), progress));
+        e.1 = e.1.max(progress);
+    }
+
+    /// Snapshot of the progress board for the speculation monitor.
+    fn progress_entries(&self) -> Vec<(u32, Instant, u32)> {
+        self.progress.lock().iter().map(|(&t, &(at, p))| (t, at, p)).collect()
     }
 
     fn assign(&self, node: NodeId, task: usize) {
@@ -544,6 +660,7 @@ fn bind_endpoint(
     store: Arc<BlockStore>,
     cache: Arc<DistributedCache>,
     router: Arc<ShuffleRouter>,
+    slow_serving: Arc<RwLock<HashMap<u32, u64>>>,
 ) {
     // The handler keeps a Weak transport: `ReplicaSync` relays a
     // `PutBlock` onward, and a strong Arc here would cycle
@@ -551,7 +668,15 @@ fn bind_endpoint(
     let weak = Arc::downgrade(net);
     net.bind(
         node,
-        Arc::new(move |rpc| match rpc {
+        Arc::new(move |rpc| {
+            // An injected straggler is slow end to end: its RPC *serving*
+            // is delayed too, not just its map compute (a real slow host
+            // answers block reads and accepts shuffle batches late).
+            let delay = slow_serving.read().get(&node.0).copied().unwrap_or(0);
+            if delay > 0 {
+                std::thread::sleep(Duration::from_micros(delay));
+            }
+            match rpc {
             Rpc::GetBlock { block } => RpcReply::Block(store.get(node, block)),
             Rpc::PutBlock { block, data } => {
                 store.put(node, block, data);
@@ -592,6 +717,7 @@ fn bind_endpoint(
                 router.assign(node, task as usize);
                 RpcReply::Ack
             }
+            }
         }),
     );
 }
@@ -630,12 +756,31 @@ struct RunRt {
     armed: bool,
     /// Serializes concurrent crash handling.
     recovery_gate: Mutex<()>,
+    /// Non-speculative failures per task. Only these count against the
+    /// retry budget — a lost backup must not push a healthy task over
+    /// [`MAX_ATTEMPTS`].
+    failures: Vec<AtomicU32>,
+    /// Running map attempts per node index (scheduler load signal for
+    /// backup placement).
+    running: Vec<AtomicU32>,
+    /// Backup launch requests from the monitor: `(task, preferred node
+    /// index)`. Idle workers drain this in phase 2.
+    spec: Mutex<Vec<(usize, u32)>>,
+    /// At most one backup per task, ever.
+    spec_launched: Vec<AtomicBool>,
+    /// Committed map attempt durations in nanos — the monitor's median
+    /// baseline. Only populated when speculation is on.
+    durations: Mutex<Vec<u64>>,
     attempts: AtomicU64,
     retries: AtomicU64,
     failed_nodes: AtomicU64,
     recovered_blocks: AtomicU64,
     stabilize_rounds: AtomicU64,
     recovery_nanos: AtomicU64,
+    speculative_attempts: AtomicU64,
+    speculative_wins: AtomicU64,
+    cancelled_attempts: AtomicU64,
+    local_shuffle_records: AtomicU64,
 }
 
 impl RunRt {
@@ -654,13 +799,37 @@ impl RunRt {
             armed: !ops.is_empty(),
             ops: Mutex::new(ops),
             recovery_gate: Mutex::new(()),
+            failures: (0..tasks).map(|_| AtomicU32::new(0)).collect(),
+            running: (0..nodes).map(|_| AtomicU32::new(0)).collect(),
+            spec: Mutex::new(Vec::new()),
+            spec_launched: (0..tasks).map(|_| AtomicBool::new(false)).collect(),
+            durations: Mutex::new(Vec::new()),
             attempts: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             failed_nodes: AtomicU64::new(0),
             recovered_blocks: AtomicU64::new(0),
             stabilize_rounds: AtomicU64::new(0),
             recovery_nanos: AtomicU64::new(0),
+            speculative_attempts: AtomicU64::new(0),
+            speculative_wins: AtomicU64::new(0),
+            cancelled_attempts: AtomicU64::new(0),
+            local_shuffle_records: AtomicU64::new(0),
         }
+    }
+
+    /// Pop a backup request this worker should run: prefer tasks whose
+    /// backup the monitor placed here, else any task whose primary runs
+    /// elsewhere. Entries whose task already committed are dropped.
+    fn pop_spec(&self, me: usize) -> Option<usize> {
+        let mut q = self.spec.lock();
+        q.retain(|&(tid, _)| self.commits[tid].load(Ordering::Acquire) == UNCOMMITTED);
+        let pick = q
+            .iter()
+            .position(|&(_, pref)| pref == me as u32)
+            .or_else(|| {
+                q.iter().position(|&(tid, _)| self.claims[tid].load(Ordering::Acquire) != me as u32)
+            })?;
+        Some(q.remove(pick).0)
     }
 
     /// Record a terminal error (first one wins) and stop the job.
@@ -726,6 +895,23 @@ impl RunRt {
     }
 }
 
+/// One entry in the run's task ledger: a block to map at a chosen
+/// node, optionally restricted to a subset of reduce partitions.
+/// Replicated map-out (`map_replication > 1`) splits a block's
+/// partitions across its replica holders so each reducer's share is
+/// produced by the holder nearest its home on the ring.
+struct MapTask {
+    /// Index into the job's input list (reduce-side joins tag records).
+    source: usize,
+    bid: BlockId,
+    /// The block's ring key — backup placement routes by it.
+    key: HashKey,
+    /// Where the attempt runs (and which cache shard it charges).
+    node: NodeId,
+    /// `Some(mask)`: emit only partitions with `mask[p]`. `None`: all.
+    parts: Option<Arc<Vec<bool>>>,
+}
+
 /// A live EclipseMR deployment.
 pub struct LiveCluster {
     cfg: LiveConfig,
@@ -749,6 +935,10 @@ pub struct LiveCluster {
     clock: AtomicU64,
     /// Faults scheduled for the next job run (drained at job start).
     faults: Mutex<Vec<FaultOp>>,
+    /// Per-node RPC serving delay in micros, consulted by every bound
+    /// endpoint. Populated from `SlowNode` faults for the duration of a
+    /// job so a straggler also serves block reads and shuffle late.
+    slow_serving: Arc<RwLock<HashMap<u32, u64>>>,
 }
 
 impl LiveCluster {
@@ -772,9 +962,32 @@ impl LiveCluster {
                     (Arc::new(TcpTransport::with_policy(cfg.net_policy)), None)
                 }
             };
+        let slow_serving: Arc<RwLock<HashMap<u32, u64>>> = Arc::new(RwLock::new(HashMap::new()));
         for n in ring.node_ids() {
-            bind_endpoint(&net, n, Arc::clone(&store), Arc::clone(&cache), Arc::clone(&router));
+            bind_endpoint(
+                &net,
+                n,
+                Arc::clone(&store),
+                Arc::clone(&cache),
+                Arc::clone(&router),
+                Arc::clone(&slow_serving),
+            );
         }
+        // The driver endpoint: map attempts report their progress here
+        // (promille of input consumed) so the speculation monitor can
+        // spot stragglers without a scheduler round-trip.
+        let progress_router = Arc::clone(&router);
+        net.bind(
+            CLIENT,
+            Arc::new(move |rpc| {
+                if let Rpc::Heartbeat { task, progress, .. } = rpc {
+                    if task != u32::MAX {
+                        progress_router.note_progress(task, progress);
+                    }
+                }
+                RpcReply::Ack
+            }),
+        );
         let sched = match &cfg.scheduler {
             SchedulerKind::Laf(c) => LiveSched::Laf(LafScheduler::new(&ring, *c)),
             SchedulerKind::Delay(c) => LiveSched::Delay(DelayScheduler::new(&ring, *c)),
@@ -796,6 +1009,7 @@ impl LiveCluster {
             monitor: Mutex::new(monitor),
             clock: AtomicU64::new(0),
             faults: Mutex::new(Vec::new()),
+            slow_serving,
         }
     }
 
@@ -1041,11 +1255,110 @@ impl LiveCluster {
         // Attribute transport traffic to this job by snapshot delta.
         let net_before = self.net.stats();
 
-        // ---- Placement: every block through the production scheduler.
-        // Tasks live in one flat ledger; per-node queues hold task ids.
+        // Worker identities and reducer homes are fixed at job start;
+        // replicated map-out needs both *before* placement so a block's
+        // replica holders can be drawn from the reducer-home nodes.
+        let workers: Vec<NodeId> = self.ring.read().node_ids();
+        let homes: Vec<NodeId> =
+            (0..reducers).map(|p| workers[p % workers.len()]).collect();
+
+        // ---- Placement. With `map_replication == 1`, every block goes
+        // through the production scheduler. With r > 1 the scheduler is
+        // bypassed: each block is replicated onto r nodes chosen from
+        // the reducer-home set (nearest to the block's key on the ring)
+        // and mapped at all of them, each placement emitting only the
+        // partitions whose home is nearest to it — the shuffle becomes
+        // mostly node-local at the cost of r-fold map work.
         let mut inflight = vec![0u64; node_count];
-        let mut tasks: Vec<(usize, BlockId, NodeId)> = Vec::new();
-        {
+        let mut tasks: Vec<MapTask> = Vec::new();
+        let repl = self.cfg.map_replication.clamp(1, workers.len());
+        if repl > 1 {
+            let ring = self.ring.read().clone();
+            let pos = |n: NodeId| ring.key_of(n).map(|k| k.0).unwrap_or(0);
+            // Distinct home nodes, first-appearance order.
+            let mut home_nodes: Vec<NodeId> = Vec::new();
+            for &h in &homes {
+                if !home_nodes.contains(&h) {
+                    home_nodes.push(h);
+                }
+            }
+            for (source, meta) in metas.iter().enumerate() {
+                for b in &meta.blocks {
+                    // r placements: reducer-home nodes nearest to the
+                    // block key (clockwise), padded from the remaining
+                    // workers when homes are fewer than r.
+                    let dist = |n: NodeId| b.key.0.wrapping_sub(pos(n));
+                    let mut cand = home_nodes.clone();
+                    cand.sort_by_key(|&n| (dist(n), n.0));
+                    let mut placements: Vec<NodeId> =
+                        cand.into_iter().take(repl).collect();
+                    if placements.len() < repl {
+                        let mut rest: Vec<NodeId> = workers
+                            .iter()
+                            .copied()
+                            .filter(|n| !placements.contains(n))
+                            .collect();
+                        rest.sort_by_key(|&n| (dist(n), n.0));
+                        placements.extend(rest.into_iter().take(repl - placements.len()));
+                    }
+                    // Nearest-holder rule: each partition is produced by
+                    // the placement closest behind its reducer's home on
+                    // the ring (distance 0 ⇒ same node ⇒ local shuffle).
+                    // The masks partition the reducer set, so each
+                    // (block, partition) is emitted by exactly one
+                    // placement and the output stays byte-identical.
+                    let mut masks: Vec<Vec<bool>> =
+                        vec![vec![false; reducers]; placements.len()];
+                    for p in 0..reducers {
+                        let hk = pos(homes[p]);
+                        let pi = placements
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|&(_, &n)| (hk.wrapping_sub(pos(n)), n.0))
+                            .map(|(i, _)| i)
+                            .unwrap();
+                        masks[pi][p] = true;
+                    }
+                    // Materialize the extra replicas: relay from an
+                    // existing holder (`ReplicaSync`), then record the
+                    // new holder in FS metadata so reads and future
+                    // recovery see it. A failed relay is skipped — the
+                    // map attempt falls back to a remote fetch.
+                    let holders: Vec<NodeId> = self
+                        .fs
+                        .read()
+                        .block_holders(b.id)
+                        .map(|h| h.to_vec())
+                        .unwrap_or_default();
+                    for &node in &placements {
+                        if holders.contains(&node) || self.store.holds(node, b.id) {
+                            continue;
+                        }
+                        let Some(&src) = holders.first() else { break };
+                        let sync = Rpc::ReplicaSync { block: b.id, to: node };
+                        if let Ok(RpcReply::Synced { .. }) =
+                            self.net.call(CLIENT, src, sync)
+                        {
+                            let _ = self.fs.write().add_replica(b.id, node);
+                        }
+                    }
+                    for (pi, &node) in placements.iter().enumerate() {
+                        if !masks[pi].iter().any(|&m| m) {
+                            continue; // no partition routed here
+                        }
+                        tasks.push(MapTask {
+                            source,
+                            bid: b.id,
+                            key: b.key,
+                            node,
+                            parts: Some(Arc::new(std::mem::take(&mut masks[pi]))),
+                        });
+                        stats.tasks_per_node[node.index()] += 1;
+                        stats.map_tasks += 1;
+                    }
+                }
+            }
+        } else {
             let mut sched = self.sched.lock();
             for (source, meta) in metas.iter().enumerate() {
                 for b in &meta.blocks {
@@ -1058,7 +1371,7 @@ impl LiveCluster {
                         }
                     };
                     inflight[node.index()] += 1;
-                    tasks.push((source, b.id, node));
+                    tasks.push(MapTask { source, bid: b.id, key: b.key, node, parts: None });
                     stats.tasks_per_node[node.index()] += 1;
                     stats.map_tasks += 1;
                 }
@@ -1079,7 +1392,8 @@ impl LiveCluster {
         // at flush time (the queue is driver state; only the
         // notification travelled).
         let mut assigns: Vec<(SendTicket, NodeId, usize)> = Vec::new();
-        for (tid, &(_, bid, node)) in tasks.iter().enumerate() {
+        for (tid, t) in tasks.iter().enumerate() {
+            let (bid, node) = (t.bid, t.node);
             match self.net.send(CLIENT, node, Rpc::TaskAssign { task: tid as u32, block: bid }) {
                 Ok(ticket) => assigns.push((ticket, node, tid)),
                 Err(_) => self.router.assign(node, tid),
@@ -1097,6 +1411,21 @@ impl LiveCluster {
         // Per-run fault schedule and attempt ledger.
         let rt = RunRt::new(tasks.len(), node_count, std::mem::take(&mut *self.faults.lock()));
         let rt = &rt;
+
+        // A straggler is slow end to end, not just at map compute: for
+        // the duration of this job its RPC *serving* (block reads,
+        // shuffle ingest) is delayed too, at a fraction of the map
+        // delay so request fan-in doesn't multiply it unboundedly.
+        {
+            let ops = rt.ops.lock();
+            let mut slow = self.slow_serving.write();
+            slow.clear();
+            for op in ops.iter() {
+                if let FaultOp::SlowNode { node, micros } = op {
+                    slow.insert(node.0, micros / 8);
+                }
+            }
+        }
 
         // ---- Pipelined map + shuffle + reduce -----------------------
         // Proactive shuffle over real channels (§II-D): every spill is
@@ -1127,13 +1456,13 @@ impl LiveCluster {
             (0..node_count).map(|_| AtomicUsize::new(0)).collect();
         let cursors = &cursors;
         // Worker threads start under the identities of the ring members
-        // at job start; a thread whose node crashes mid-job re-homes to
-        // a survivor (see `rehome`). Thread count follows the machine's
-        // parallelism (times `map_slots` when latency hiding is wanted):
-        // stealing lets fewer threads drain every node's queue, so
-        // threads beyond that would only add context switching (virtual
-        // nodes share the same cores).
-        let workers: Vec<NodeId> = self.ring.read().node_ids();
+        // at job start (`workers`, computed at placement); a thread
+        // whose node crashes mid-job re-homes to a survivor (see
+        // `rehome`). Thread count follows the machine's parallelism
+        // (times `map_slots` when latency hiding is wanted): stealing
+        // lets fewer threads drain every node's queue, so threads
+        // beyond that would only add context switching (virtual nodes
+        // share the same cores).
         let par = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         // `map_slots` oversubscribes past the core count to hide wire
         // round-trips (see [`LiveConfig::map_slots`]); still never more
@@ -1155,14 +1484,88 @@ impl LiveCluster {
         }
 
         // Shuffle plane: partition `p`'s reducer "lives on" a home node
-        // and batches are addressed there as `ShuffleBatch` RPCs; the
-        // receiving handler feeds the partition channel. A partition
-        // re-homes when its home becomes unreachable.
-        let homes: Vec<NodeId> =
-            (0..reducers).map(|p| workers[p % workers.len()]).collect();
-        self.router.begin_job(senders.clone(), homes);
+        // (assigned at placement) and batches are addressed there as
+        // `ShuffleBatch` RPCs; the receiving handler feeds the
+        // partition channel. A partition re-homes when its home becomes
+        // unreachable.
+        self.router.begin_job(senders.clone(), homes.clone());
 
+        let workers = &workers;
         std::thread::scope(|scope| {
+            // Speculation monitor: watches the progress board the map
+            // attempts feed over heartbeats, and launches one backup
+            // attempt for any task whose age exceeds `slowdown` times
+            // the running median of committed attempt durations. The
+            // backup is *requested* here (pushed to `rt.spec`); an idle
+            // worker executes it, so placement load is real.
+            if let Some(spec) = self.cfg.speculation {
+                scope.spawn(move || loop {
+                    if rt.is_aborted()
+                        || rt.committed.load(Ordering::Acquire) == tasks.len()
+                    {
+                        break;
+                    }
+                    let median = {
+                        let d = rt.durations.lock();
+                        if d.len() < spec.min_completed as usize {
+                            None
+                        } else {
+                            let mut v = d.clone();
+                            v.sort_unstable();
+                            Some(v[v.len() / 2])
+                        }
+                    };
+                    if let Some(median) = median {
+                        // A floor keeps µs-scale medians from flagging
+                        // scheduling jitter as stragglers.
+                        let threshold = Duration::from_nanos(
+                            (median as f64 * spec.slowdown) as u64 + 200_000,
+                        );
+                        for (task, started, _progress) in self.router.progress_entries() {
+                            let tid = task as usize;
+                            if tid >= tasks.len()
+                                || rt.commits[tid].load(Ordering::Acquire) != UNCOMMITTED
+                                || started.elapsed() < threshold
+                                || rt.spec_launched[tid].swap(true, Ordering::AcqRel)
+                            {
+                                continue;
+                            }
+                            // Place the backup on the least-loaded live
+                            // node other than the straggling claimant.
+                            let avoid = NodeId(rt.claims[tid].load(Ordering::Acquire));
+                            let down: Vec<NodeId> = workers
+                                .iter()
+                                .copied()
+                                .filter(|&n| rt.node_down(n))
+                                .collect();
+                            let load = |n: NodeId| {
+                                rt.running
+                                    .get(n.index())
+                                    .map(|r| r.load(Ordering::Acquire) as u64)
+                                    .unwrap_or(u64::MAX)
+                            };
+                            let choice = match &mut *self.sched.lock() {
+                                LiveSched::Laf(laf) => {
+                                    laf.backup_for(tasks[tid].key, avoid, &down, load)
+                                }
+                                LiveSched::Delay(_) => workers
+                                    .iter()
+                                    .copied()
+                                    .filter(|&n| n != avoid && !rt.node_down(n))
+                                    .min_by_key(|&n| (load(n), n.0)),
+                            };
+                            if let Some(node) = choice {
+                                rt.spec.lock().push((tid, node.index() as u32));
+                            } else {
+                                // Nowhere to run it; allow a later retry.
+                                rt.spec_launched[tid].store(false, Ordering::Release);
+                            }
+                        }
+                    }
+                    std::thread::sleep(Duration::from_micros(spec.poll_micros));
+                });
+            }
+
             // Reducer side: consume spills concurrently with the maps,
             // deduplicating by (task, attempt) against the commit board.
             for lane in lanes {
@@ -1247,6 +1650,32 @@ impl LiveCluster {
                         let mut buffer: SpillBuffer<(String, String)> =
                             SpillBuffer::new(reducers, self.cfg.shuffle_batch_bytes);
                         let mut scratch: Vec<String> = Vec::new();
+                        let spec_on = self.cfg.speculation.is_some();
+
+                        // Per-attempt cancellation token: fires only
+                        // once *another* attempt of the same task has
+                        // committed — so cancellation can never
+                        // suppress a committed attempt's sends.
+                        let cancelled_now = |tid: usize, attempt: u32| {
+                            let c = rt.commits[tid].load(Ordering::Acquire);
+                            c != UNCOMMITTED && c != attempt
+                        };
+                        // Sleep in slices, checking the token, so a
+                        // straggling attempt stops burning its node
+                        // soon after losing the commit race. Returns
+                        // true when cancelled.
+                        let cancellable_sleep = |tid: usize, attempt: u32, micros: u64| {
+                            let mut left = micros;
+                            while left > 0 {
+                                if cancelled_now(tid, attempt) {
+                                    return true;
+                                }
+                                let step = left.min(200);
+                                std::thread::sleep(Duration::from_micros(step));
+                                left -= step;
+                            }
+                            cancelled_now(tid, attempt)
+                        };
 
                         // Execute one attempt: read the block (replica
                         // fallback included), map it, ship every spill.
@@ -1257,11 +1686,29 @@ impl LiveCluster {
                                     buffer: &mut SpillBuffer<(String, String)>,
                                     scratch: &mut Vec<String>|
                          -> Result<AttemptOutcome, JobError> {
-                            let (source, bid, owner) = tasks[tid];
+                            let t = &tasks[tid];
+                            let (source, bid, owner) = (t.source, t.bid, t.node);
+                            let parts = t.parts.as_deref();
+                            // Announce the attempt to the progress board
+                            // BEFORE any injected straggle: the monitor's
+                            // first-heard timestamp must cover the whole
+                            // slow period, or stragglers look young.
+                            if spec_on {
+                                let _ = self.net.call(
+                                    me.get(),
+                                    CLIENT,
+                                    Rpc::Heartbeat {
+                                        from: me.get(),
+                                        clock: 0,
+                                        task: tid as u32,
+                                        progress: 0,
+                                    },
+                                );
+                            }
                             if rt.armed {
                                 let delay = rt.slow_micros(me.get());
-                                if delay > 0 {
-                                    std::thread::sleep(Duration::from_micros(delay));
+                                if delay > 0 && cancellable_sleep(tid, attempt, delay) {
+                                    return Ok((Attempt::Cancelled, Vec::new(), Vec::new()));
                                 }
                                 if rt.injected_failure(tid, attempt) {
                                     return Ok((Attempt::Faulted, Vec::new(), Vec::new()));
@@ -1326,6 +1773,14 @@ impl LiveCluster {
                             // ships may reach a reducer — the voided
                             // flag keeps the attempt from committing.
                             let voided = Cell::new(false);
+                            // Set when the cancellation token fires at a
+                            // spill boundary: another attempt committed,
+                            // so the rest of this one is wasted work.
+                            let cancelled = Cell::new(false);
+                            // Coarse progress estimate for the monitor:
+                            // bytes emitted so far over the input size.
+                            let emitted = Cell::new(0u64);
+                            let total = payload.len().max(1) as u64;
                             // A batch lost by the transport (partition,
                             // exhausted retries) also voids the attempt:
                             // it re-executes and its uncommitted output
@@ -1345,9 +1800,41 @@ impl LiveCluster {
                                 if spill.records.is_empty() {
                                     return;
                                 }
+                                // Spill boundary = cancellation point: a
+                                // losing attempt stops shipping as soon
+                                // as the winner has committed (its sends
+                                // so far are dropped by reducer dedup).
+                                if cancelled_now(tid, attempt) {
+                                    cancelled.set(true);
+                                    return;
+                                }
                                 if rt.node_down(me.get()) {
                                     voided.set(true);
                                     return;
+                                }
+                                // A straggler is also slow *sending*: a
+                                // fraction of the map delay per batch,
+                                // sliced so cancellation still lands.
+                                if rt.armed {
+                                    let d = rt.slow_micros(me.get());
+                                    if d > 0 && cancellable_sleep(tid, attempt, d / 4) {
+                                        cancelled.set(true);
+                                        return;
+                                    }
+                                }
+                                if spec_on {
+                                    let promille =
+                                        ((emitted.get() * 1000) / total).min(1000) as u32;
+                                    let _ = self.net.call(
+                                        me.get(),
+                                        CLIENT,
+                                        Rpc::Heartbeat {
+                                            from: me.get(),
+                                            clock: 0,
+                                            task: tid as u32,
+                                            progress: promille,
+                                        },
+                                    );
                                 }
                                 let records = if app.has_combiner() {
                                     combine_sorted_runs(app, spill.records, scratch)
@@ -1399,6 +1886,7 @@ impl LiveCluster {
                                     if home != me.get() {
                                         self.router.set_home(spill.partition, me.get());
                                     }
+                                    let n = records.len() as u64;
                                     if !self.router.deliver(
                                         tid as u32,
                                         attempt,
@@ -1410,6 +1898,7 @@ impl LiveCluster {
                                         // is fine then.
                                         return;
                                     }
+                                    rt.local_shuffle_records.fetch_add(n, Ordering::Relaxed);
                                 }
                                 spill_count.fetch_add(1, Ordering::Relaxed);
                                 let sent =
@@ -1425,14 +1914,19 @@ impl LiveCluster {
                             // batch never mixes tasks or attempts.
                             app.map_tagged(source, &payload, &mut |k, v| {
                                 let bytes = (k.len() + v.len()) as u64;
-                                let spill = match app.partition(&k, reducers) {
-                                    Some(p) => buffer.push_to(p, bytes, Some((k, v))),
-                                    None => {
-                                        let hk = shuffle_hash(&k);
-                                        buffer.push(hk, bytes, Some((k, v)))
+                                emitted.set(emitted.get() + bytes);
+                                let p = app
+                                    .partition(&k, reducers)
+                                    .unwrap_or_else(|| buffer.partition_of(shuffle_hash(&k)));
+                                // Replicated map-out: this placement only
+                                // produces its mask's partitions; sibling
+                                // placements cover the rest.
+                                if let Some(mask) = parts {
+                                    if !mask[p] {
+                                        return;
                                     }
-                                };
-                                if let Some(spill) = spill {
+                                }
+                                if let Some(spill) = buffer.push_to(p, bytes, Some((k, v))) {
                                     ship(spill);
                                 }
                             });
@@ -1445,7 +1939,9 @@ impl LiveCluster {
                             // acks travel while the *next* attempt maps
                             // and the deferred settle finds them done.
                             self.net.nudge();
-                            let kind = if voided.get() {
+                            let kind = if cancelled.get() {
+                                Attempt::Cancelled
+                            } else if voided.get() {
                                 Attempt::Voided
                             } else if shipfail.get() {
                                 // Lost shuffle output: bounded re-execution,
@@ -1480,9 +1976,15 @@ impl LiveCluster {
                             let _ = self.net.flush(&p.cache);
                             // A crash since shipping voids the attempt
                             // (mirrors the mid-ship voided flag); the
-                            // re-execution's batches win via dedup.
+                            // re-execution's batches win via dedup. A
+                            // lost *backup* is simply dropped — the
+                            // primary is still running, and a backup
+                            // must never burn the task's retry budget.
                             if lost || rt.node_down(me.get()) {
-                                rt.retry.lock().push(p.tid);
+                                if !p.speculative {
+                                    rt.failures[p.tid].fetch_add(1, Ordering::AcqRel);
+                                    rt.retry.lock().push(p.tid);
+                                }
                                 return;
                             }
                             // Commit: all sends of this attempt
@@ -1499,6 +2001,19 @@ impl LiveCluster {
                                 .is_ok()
                             {
                                 rt.committed.fetch_add(1, Ordering::AcqRel);
+                                // The race is decided: prune the dedup
+                                // trackers of every losing attempt and
+                                // ack-drop their late batches from now
+                                // on (bounded dedup memory).
+                                self.router.settle_task(p.tid as u32, p.attempt);
+                                if spec_on {
+                                    rt.durations
+                                        .lock()
+                                        .push(p.started.elapsed().as_nanos() as u64);
+                                }
+                                if p.speculative {
+                                    rt.speculative_wins.fetch_add(1, Ordering::Relaxed);
+                                }
                                 let done = rt.maps_done.fetch_add(1, Ordering::AcqRel) + 1;
                                 if rt.armed {
                                     if let Some(victim) = rt.due_after_maps(done) {
@@ -1515,6 +2030,7 @@ impl LiveCluster {
                         // settled here, after a whole attempt's worth
                         // of overlap.
                         let run_attempt = |tid: usize,
+                                           speculative: bool,
                                            buffer: &mut SpillBuffer<(String, String)>,
                                            scratch: &mut Vec<String>,
                                            pending: &mut Option<PendingCommit>| {
@@ -1524,17 +2040,30 @@ impl LiveCluster {
                             if rt.node_down(me.get()) {
                                 // Our node crashed between claiming and
                                 // executing; hand the task back (the
-                                // loop re-homes before the next pop).
-                                rt.retry.lock().push(tid);
+                                // loop re-homes before the next pop). A
+                                // backup is just dropped — its primary
+                                // is still in flight.
+                                if !speculative {
+                                    rt.retry.lock().push(tid);
+                                }
+                                return;
+                            }
+                            // Retry budget: only *failed* non-speculative
+                            // attempts count. Attempt numbers alone can't
+                            // gate any more — a backup inflates them
+                            // without a single failure.
+                            if !speculative
+                                && rt.failures[tid].load(Ordering::Acquire) >= MAX_ATTEMPTS
+                            {
+                                rt.abort(JobError::TaskFailed {
+                                    task: tid,
+                                    attempts: rt.next_attempt[tid].load(Ordering::Acquire),
+                                });
                                 return;
                             }
                             let attempt =
                                 rt.next_attempt[tid].fetch_add(1, Ordering::AcqRel);
-                            if attempt >= MAX_ATTEMPTS {
-                                rt.abort(JobError::TaskFailed { task: tid, attempts: attempt });
-                                return;
-                            }
-                            if attempt > 0 {
+                            if attempt > 0 && !speculative {
                                 rt.retries.fetch_add(1, Ordering::Relaxed);
                                 // Exponential backoff before re-execution.
                                 std::thread::sleep(Duration::from_micros(
@@ -1542,22 +2071,56 @@ impl LiveCluster {
                                 ));
                             }
                             rt.attempts.fetch_add(1, Ordering::Relaxed);
-                            rt.claims[tid].store(me.get().index() as u32, Ordering::Release);
+                            if speculative {
+                                rt.speculative_attempts.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                // The claim drives crash re-queueing and
+                                // straggler avoidance; a backup must not
+                                // overwrite the primary's claim.
+                                rt.claims[tid]
+                                    .store(me.get().index() as u32, Ordering::Release);
+                            }
+                            let started = Instant::now();
+                            if let Some(r) = rt.running.get(me.get().index()) {
+                                r.fetch_add(1, Ordering::AcqRel);
+                            }
                             let outcome = std::panic::catch_unwind(
                                 std::panic::AssertUnwindSafe(|| {
                                     exec(tid, attempt, buffer, scratch)
                                 }),
                             );
+                            if let Some(r) = rt.running.get(me.get().index()) {
+                                r.fetch_sub(1, Ordering::AcqRel);
+                            }
                             match outcome {
                                 Ok(Ok((Attempt::Shipped, shuffle, cache))) => {
                                     // Park this attempt; settle the one
                                     // whose acks just had a whole map
                                     // attempt to arrive.
-                                    let prev = pending
-                                        .replace(PendingCommit { tid, attempt, shuffle, cache });
+                                    let prev = pending.replace(PendingCommit {
+                                        tid,
+                                        attempt,
+                                        shuffle,
+                                        cache,
+                                        speculative,
+                                        started,
+                                    });
                                     if let Some(prev) = prev {
                                         settle(prev);
                                     }
+                                }
+                                Ok(Ok((Attempt::Cancelled, shuffle, cache))) => {
+                                    // Another attempt committed while
+                                    // this one mapped: redeem the window
+                                    // slots, drop the partial output
+                                    // (reducer dedup ignores it), move
+                                    // on. No retry, no failure charged.
+                                    for (ticket, _) in &shuffle {
+                                        let _ = self.net.flush(std::slice::from_ref(ticket));
+                                    }
+                                    let _ = self.net.flush(&cache);
+                                    buffer.reset();
+                                    rt.cancelled_attempts.fetch_add(1, Ordering::Relaxed);
                                 }
                                 Ok(Ok((_voided_or_faulted, shuffle, cache))) => {
                                     // Our own crash voided the attempt,
@@ -1571,7 +2134,10 @@ impl LiveCluster {
                                     }
                                     let _ = self.net.flush(&cache);
                                     buffer.reset();
-                                    rt.retry.lock().push(tid);
+                                    if !speculative {
+                                        rt.failures[tid].fetch_add(1, Ordering::AcqRel);
+                                        rt.retry.lock().push(tid);
+                                    }
                                 }
                                 Err(_) => {
                                     // A panic inside map/combine:
@@ -1579,11 +2145,19 @@ impl LiveCluster {
                                     // tickets died with the unwind;
                                     // their window slots expire.
                                     buffer.reset();
-                                    rt.retry.lock().push(tid);
+                                    if !speculative {
+                                        rt.failures[tid].fetch_add(1, Ordering::AcqRel);
+                                        rt.retry.lock().push(tid);
+                                    }
                                 }
                                 Ok(Err(e)) => {
                                     buffer.reset();
-                                    rt.abort(e);
+                                    // A backup failing to read its block
+                                    // is not terminal — the primary (or
+                                    // a real retry) still owns the task.
+                                    if !speculative {
+                                        rt.abort(e);
+                                    }
                                 }
                             }
                         };
@@ -1608,10 +2182,19 @@ impl LiveCluster {
                         // The worker's one parked (shipped, unsettled)
                         // attempt; see `run_attempt`.
                         let mut pending: Option<PendingCommit> = None;
+                        // Replicated map-out pins sub-tasks to their
+                        // placement: stealing one onto another node
+                        // would turn its carefully co-located shuffle
+                        // remote again. Phase 1 then drains the own
+                        // queue only; leftovers (a placement without a
+                        // worker thread, or a straggler's backlog) are
+                        // picked up by phase 2's grace-gated steal.
+                        let pinned = repl > 1;
+                        let steal_span = if pinned { 1 } else { workers.len() };
                         // Phase 1 — frozen queues: own queue first
                         // (locality), then steal from the other live
                         // nodes' tails, ring order.
-                        'phase1: for step in 0..workers.len() {
+                        'phase1: for step in 0..steal_span {
                             let owner = workers[(wi + step) % workers.len()];
                             loop {
                                 if rt.is_aborted() || !rehome() {
@@ -1622,11 +2205,12 @@ impl LiveCluster {
                                 let Some(&tid) = queues[owner.index()].get(i) else {
                                     break;
                                 };
-                                run_attempt(tid, &mut buffer, &mut scratch, &mut pending);
+                                run_attempt(tid, false, &mut buffer, &mut scratch, &mut pending);
                             }
                         }
                         // Phase 2 — drain crash/fault re-executions
                         // until every task has committed.
+                        let mut idle_rounds = 0u32;
                         loop {
                             if rt.is_aborted()
                                 || rt.committed.load(Ordering::Acquire) == tasks.len()
@@ -1637,16 +2221,90 @@ impl LiveCluster {
                             let next = rt.retry.lock().pop();
                             match next {
                                 Some(tid) => {
-                                    run_attempt(tid, &mut buffer, &mut scratch, &mut pending)
+                                    idle_rounds = 0;
+                                    run_attempt(
+                                        tid,
+                                        false,
+                                        &mut buffer,
+                                        &mut scratch,
+                                        &mut pending,
+                                    );
                                 }
-                                // Out of work: settle our parked attempt
-                                // before idling — the all-committed exit
-                                // above (ours and every other worker's)
-                                // waits on it.
-                                None => match pending.take() {
-                                    Some(p) => settle(p),
-                                    None => std::thread::sleep(Duration::from_micros(100)),
-                                },
+                                // Out of work: run a requested backup if
+                                // the monitor queued one, else settle our
+                                // parked attempt before idling — the
+                                // all-committed exit above (ours and
+                                // every other worker's) waits on it.
+                                None => {
+                                    if let Some(tid) = rt.pop_spec(me.get().index()) {
+                                        idle_rounds = 0;
+                                        run_attempt(
+                                            tid,
+                                            true,
+                                            &mut buffer,
+                                            &mut scratch,
+                                            &mut pending,
+                                        );
+                                    } else if let Some(p) = pending.take() {
+                                        settle(p);
+                                    } else {
+                                        idle_rounds += 1;
+                                        // Pinned mode's work-conserving
+                                        // fallback: after a grace period
+                                        // of idleness, steal leftover
+                                        // pinned sub-tasks (a placement
+                                        // with no worker thread, or a
+                                        // straggler's backlog) — losing
+                                        // their shuffle locality beats
+                                        // stalling the job.
+                                        let mut stolen = None;
+                                        if pinned && idle_rounds > 20 {
+                                            for step in 0..workers.len() {
+                                                let oix =
+                                                    (wi + step) % workers.len();
+                                                // A queue whose owner has a
+                                                // live thread will drain on
+                                                // its own — stealing from it
+                                                // trades shuffle locality for
+                                                // nothing unless the owner
+                                                // has straggled well past the
+                                                // grace. Orphaned queues
+                                                // (owner index beyond the
+                                                // thread count) have no one
+                                                // else coming.
+                                                let orphan = oix >= threads;
+                                                if !orphan && idle_rounds <= 200
+                                                {
+                                                    continue;
+                                                }
+                                                let owner = workers[oix];
+                                                let i = cursors[owner.index()]
+                                                    .fetch_add(1, Ordering::Relaxed);
+                                                if let Some(&tid) =
+                                                    queues[owner.index()].get(i)
+                                                {
+                                                    stolen = Some(tid);
+                                                    break;
+                                                }
+                                            }
+                                        }
+                                        match stolen {
+                                            Some(tid) => {
+                                                idle_rounds = 0;
+                                                run_attempt(
+                                                    tid,
+                                                    false,
+                                                    &mut buffer,
+                                                    &mut scratch,
+                                                    &mut pending,
+                                                );
+                                            }
+                                            None => std::thread::sleep(
+                                                Duration::from_micros(100),
+                                            ),
+                                        }
+                                    }
+                                }
                             }
                         }
                         // Abort/rehome exits can leave a parked attempt;
@@ -1664,7 +2322,7 @@ impl LiveCluster {
                 let tid = (0..tasks.len())
                     .find(|&t| rt.commits[t].load(Ordering::Acquire) == UNCOMMITTED)
                     .unwrap_or(0);
-                rt.abort(JobError::DataLoss(tasks[tid].1));
+                rt.abort(JobError::DataLoss(tasks[tid].bid));
             }
             // All mappers done: tear down the shuffle plane (dropping
             // the router's channel clones) and hang up so the reducers
@@ -1673,6 +2331,9 @@ impl LiveCluster {
             self.router.end_job();
             drop(senders);
         });
+        // The straggler's serving delay ends with the job it was
+        // injected into (both success and error exits pass here).
+        self.slow_serving.write().clear();
 
         if rt.is_aborted() {
             let e = rt
@@ -1695,6 +2356,10 @@ impl LiveCluster {
         stats.recovered_blocks = rt.recovered_blocks.load(Ordering::Relaxed);
         stats.stabilize_rounds = rt.stabilize_rounds.load(Ordering::Relaxed);
         stats.recovery_nanos = rt.recovery_nanos.load(Ordering::Relaxed);
+        stats.speculative_attempts = rt.speculative_attempts.load(Ordering::Relaxed);
+        stats.speculative_wins = rt.speculative_wins.load(Ordering::Relaxed);
+        stats.cancelled_attempts = rt.cancelled_attempts.load(Ordering::Relaxed);
+        stats.local_shuffle_records = rt.local_shuffle_records.load(Ordering::Relaxed);
         let net = self.net.stats().since(net_before);
         stats.bytes_sent = net.bytes_sent;
         stats.rpcs = net.rpcs;
@@ -1742,7 +2407,11 @@ impl LiveCluster {
                     .get(n.index())
                     .is_some_and(|p| p.load(Ordering::Acquire))
                     && matches!(
-                        self.net.call(CLIENT, n, Rpc::Heartbeat { from: CLIENT, clock }),
+                        self.net.call(
+                            CLIENT,
+                            n,
+                            Rpc::Heartbeat { from: CLIENT, clock, task: u32::MAX, progress: 0 },
+                        ),
                         Ok(RpcReply::Ack)
                     );
                 if beat {
@@ -1879,6 +2548,7 @@ impl LiveCluster {
             Arc::clone(&self.store),
             Arc::clone(&self.cache),
             Arc::clone(&self.router),
+            Arc::clone(&self.slow_serving),
         );
         let mut fs = self.fs.write();
         let mut info = eclipse_ring::ServerInfo::from_name(id, name);
@@ -2161,6 +2831,123 @@ mod tests {
             "joiner ran nothing: {:?}",
             stats.tasks_per_node
         );
+    }
+
+    #[test]
+    fn settle_prunes_dedup_trackers() {
+        let router = ShuffleRouter::new();
+        let (tx, _rx) = unbounded();
+        router.begin_job(vec![tx], vec![NodeId(0)]);
+        let rec = |s: &str| vec![(s.to_string(), "1".to_string())];
+        // Two racing attempts of task 7 deliver batches.
+        assert!(router.deliver(7, 0, 0, 0, rec("a")));
+        assert!(router.deliver(7, 1, 0, 0, rec("b")));
+        assert_eq!(router.seen.lock().len(), 2);
+        // Attempt 1 wins: the loser's tracker is pruned immediately...
+        router.settle_task(7, 1);
+        assert_eq!(router.seen.lock().len(), 1);
+        assert!(router.seen.lock().contains_key(&(7, 1)));
+        // ...and a late batch from the loser is ack-dropped without
+        // growing the tracker map back.
+        assert!(router.deliver(7, 0, 1, 0, rec("c")));
+        assert_eq!(router.seen.lock().len(), 1);
+        // The winner's own retransmits still dedup normally.
+        assert!(router.deliver(7, 1, 0, 0, rec("b")));
+        router.end_job();
+    }
+
+    #[test]
+    fn speculation_preserves_results_under_straggler() {
+        let data = "ant bee cow doe elk fox\n".repeat(400);
+        let c = text_cluster(&data);
+        let (baseline, _) = c.run_job(&WordCount, "input", "tester", 4, ReusePolicy::default());
+        let spec = LiveCluster::new(
+            LiveConfig::small()
+                .with_block_size(256)
+                // One worker thread per node regardless of host cores, so
+                // the straggler actually claims (and straggles on) tasks.
+                .with_map_slots(8)
+                .with_speculation(SpeculationConfig {
+                    slowdown: 2.0,
+                    min_completed: 3,
+                    poll_micros: 200,
+                }),
+        );
+        spec.upload("input", "tester", data.as_bytes());
+        // Slow a non-home node hard enough that backups fire.
+        let victim = spec.ring().node_ids()[5];
+        spec.inject_faults(FaultPlan::new().slow_node(victim, 5_000));
+        let (out, stats) = spec
+            .try_run_job(&WordCount, "input", "tester", 4, ReusePolicy::default())
+            .expect("speculation must not fail a healthy job");
+        assert_eq!(out, baseline, "backups must not change output");
+        assert!(
+            stats.speculative_wins <= stats.speculative_attempts,
+            "wins={} attempts={}",
+            stats.speculative_wins,
+            stats.speculative_attempts
+        );
+        // Every attempt is the primary, a retry, or a backup.
+        assert!(
+            stats.speculative_wins + stats.retries <= stats.attempts - stats.map_tasks,
+            "wins={} retries={} attempts={} tasks={}",
+            stats.speculative_wins,
+            stats.retries,
+            stats.attempts,
+            stats.map_tasks
+        );
+    }
+
+    #[test]
+    fn speculation_noop_without_stragglers() {
+        let data = "red green blue\n".repeat(300);
+        let c = text_cluster(&data);
+        let (baseline, _) = c.run_job(&WordCount, "input", "tester", 3, ReusePolicy::default());
+        let spec = LiveCluster::new(
+            LiveConfig::small()
+                .with_block_size(256)
+                .with_map_slots(8)
+                .with_speculation(SpeculationConfig::default()),
+        );
+        spec.upload("input", "tester", data.as_bytes());
+        let (out, stats) =
+            spec.run_job(&WordCount, "input", "tester", 3, ReusePolicy::default());
+        assert_eq!(out, baseline);
+        assert_eq!(stats.retries, 0);
+        assert!(
+            stats.speculative_wins + stats.retries <= stats.attempts - stats.map_tasks,
+            "attempt accounting broke: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn replicated_map_out_preserves_results() {
+        let data = "kiwi lime mango nectarine\n".repeat(400);
+        let c = text_cluster(&data);
+        let (baseline, base_stats) =
+            c.run_job(&WordCount, "input", "tester", 4, ReusePolicy::default());
+        for r in [2usize, 3] {
+            let repl = LiveCluster::new(
+                LiveConfig::small()
+                    .with_block_size(256)
+                    .with_map_slots(8)
+                    .with_map_replication(r),
+            );
+            repl.upload("input", "tester", data.as_bytes());
+            let (out, stats) =
+                repl.run_job(&WordCount, "input", "tester", 4, ReusePolicy::default());
+            assert_eq!(out, baseline, "r={r} must not change output");
+            assert!(
+                stats.map_tasks > base_stats.map_tasks,
+                "r={r} should split blocks into sub-tasks: {} vs {}",
+                stats.map_tasks,
+                base_stats.map_tasks
+            );
+            assert!(
+                stats.local_shuffle_records > 0,
+                "r={r} should deliver some shuffle locally"
+            );
+        }
     }
 
     #[test]

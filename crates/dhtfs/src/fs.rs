@@ -196,6 +196,21 @@ impl DhtFs {
         Ok(if holders.contains(&reader) { reader } else { holders[0] })
     }
 
+    /// Record that `node` now holds a copy of `id` (the caller performed
+    /// the actual byte transfer). Used by replicated map-out to widen a
+    /// block's holder set beyond the configured replica count; `fail_node`
+    /// handles the extra holders like any other replica. No-op when the
+    /// node already holds the block.
+    pub fn add_replica(&mut self, id: BlockId, node: NodeId) -> Result<(), FsError> {
+        let bytes = self.block_sizes.get(&id).copied().ok_or(FsError::BlockNotFound(id))?;
+        let holders = self.replicas.get_mut(&id).ok_or(FsError::BlockNotFound(id))?;
+        if !holders.contains(&node) {
+            holders.push(node);
+            *self.node_bytes.entry(node).or_insert(0) += bytes;
+        }
+        Ok(())
+    }
+
     /// Bytes stored on `node` (primaries plus replicas).
     pub fn bytes_on(&self, node: NodeId) -> u64 {
         self.node_bytes.get(&node).copied().unwrap_or(0)

@@ -144,8 +144,14 @@ pub struct NetStats {
     pub rpcs: AtomicU64,
     pub rpc_retries: AtomicU64,
     pub timeouts: AtomicU64,
+    /// Bytes of `bytes_sent` that were retransmissions (second and later
+    /// attempts of a call or windowed slot). `bytes_sent -
+    /// retrans_bytes` is the first-send payload volume.
+    pub retrans_bytes: AtomicU64,
     pub kind_rpcs: [AtomicU64; KINDS],
     pub kind_bytes: [AtomicU64; KINDS],
+    /// Per-kind share of [`NetStats::retrans_bytes`].
+    pub kind_retrans_bytes: [AtomicU64; KINDS],
 }
 
 /// A point-in-time copy of [`NetStats`], subtractable so callers can
@@ -156,8 +162,10 @@ pub struct NetSnapshot {
     pub rpcs: u64,
     pub rpc_retries: u64,
     pub timeouts: u64,
+    pub retrans_bytes: u64,
     pub kind_rpcs: [u64; KINDS],
     pub kind_bytes: [u64; KINDS],
+    pub kind_retrans_bytes: [u64; KINDS],
 }
 
 impl NetStats {
@@ -172,20 +180,33 @@ impl NetStats {
         self.kind_bytes[i].fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Account one *retransmitted* request frame: counted in the normal
+    /// totals (the bytes crossed the wire again) and additionally in the
+    /// retransmission split.
+    pub fn count_retransmit(&self, kind: RpcKind, bytes: u64) {
+        self.count_request(kind, bytes);
+        self.retrans_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.kind_retrans_bytes[kind as usize - 1].fetch_add(bytes, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> NetSnapshot {
         let mut kind_rpcs = [0u64; KINDS];
         let mut kind_bytes = [0u64; KINDS];
+        let mut kind_retrans_bytes = [0u64; KINDS];
         for i in 0..KINDS {
             kind_rpcs[i] = self.kind_rpcs[i].load(Ordering::Relaxed);
             kind_bytes[i] = self.kind_bytes[i].load(Ordering::Relaxed);
+            kind_retrans_bytes[i] = self.kind_retrans_bytes[i].load(Ordering::Relaxed);
         }
         NetSnapshot {
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             rpcs: self.rpcs.load(Ordering::Relaxed),
             rpc_retries: self.rpc_retries.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
+            retrans_bytes: self.retrans_bytes.load(Ordering::Relaxed),
             kind_rpcs,
             kind_bytes,
+            kind_retrans_bytes,
         }
     }
 }
@@ -195,17 +216,22 @@ impl NetSnapshot {
     pub fn since(&self, earlier: NetSnapshot) -> NetSnapshot {
         let mut kind_rpcs = [0u64; KINDS];
         let mut kind_bytes = [0u64; KINDS];
+        let mut kind_retrans_bytes = [0u64; KINDS];
         for i in 0..KINDS {
             kind_rpcs[i] = self.kind_rpcs[i].saturating_sub(earlier.kind_rpcs[i]);
             kind_bytes[i] = self.kind_bytes[i].saturating_sub(earlier.kind_bytes[i]);
+            kind_retrans_bytes[i] =
+                self.kind_retrans_bytes[i].saturating_sub(earlier.kind_retrans_bytes[i]);
         }
         NetSnapshot {
             bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
             rpcs: self.rpcs.saturating_sub(earlier.rpcs),
             rpc_retries: self.rpc_retries.saturating_sub(earlier.rpc_retries),
             timeouts: self.timeouts.saturating_sub(earlier.timeouts),
+            retrans_bytes: self.retrans_bytes.saturating_sub(earlier.retrans_bytes),
             kind_rpcs,
             kind_bytes,
+            kind_retrans_bytes,
         }
     }
 
@@ -213,6 +239,11 @@ impl NetSnapshot {
     pub fn kind(&self, kind: RpcKind) -> (u64, u64) {
         let i = kind as usize - 1;
         (self.kind_rpcs[i], self.kind_bytes[i])
+    }
+
+    /// Retransmitted request bytes attributed to one kind.
+    pub fn kind_retrans(&self, kind: RpcKind) -> u64 {
+        self.kind_retrans_bytes[kind as usize - 1]
     }
 }
 

@@ -230,8 +230,13 @@ impl MemTransport {
         to: NodeId,
         kind: RpcKind,
         frame: &[u8],
+        retrans: bool,
     ) -> Result<Option<Result<(), NetError>>, NetError> {
-        self.stats.count_request(kind, frame.len() as u64);
+        if retrans {
+            self.stats.count_retransmit(kind, frame.len() as u64);
+        } else {
+            self.stats.count_request(kind, frame.len() as u64);
+        }
         match self.attempt(from, to, kind) {
             Attempt::Closed => Err(NetError::ConnectionClosed { to }),
             Attempt::Lost => {
@@ -274,8 +279,10 @@ impl Transport for MemTransport {
             if attempt > 0 {
                 self.stats.rpc_retries.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(self.policy.backoff(attempt));
+                self.stats.count_retransmit(kind, frame.len() as u64);
+            } else {
+                self.stats.count_request(kind, frame.len() as u64);
             }
-            self.stats.count_request(kind, frame.len() as u64);
             match self.attempt(from, to, kind) {
                 Attempt::Closed => return Err(NetError::ConnectionClosed { to }),
                 Attempt::Lost => {
@@ -304,7 +311,7 @@ impl Transport for MemTransport {
         // The real wire bytes, even in memory: this is the oracle.
         let frame = rpc.encode(corr);
         // Closed destinations fail fast, exactly like `call`.
-        let done = self.transmit_oneway(from, to, kind, &frame)?;
+        let done = self.transmit_oneway(from, to, kind, &frame, false)?;
         self.sends
             .lock()
             .unwrap()
@@ -352,7 +359,7 @@ impl Transport for MemTransport {
                 let (from, to, kind, frame, attempts) = retry;
                 self.stats.rpc_retries.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(self.policy.backoff(attempts - 1));
-                let outcome = self.transmit_oneway(from, to, kind, &frame);
+                let outcome = self.transmit_oneway(from, to, kind, &frame, true);
                 let mut sends = self.sends.lock().unwrap();
                 if let Some(slot) = sends.get_mut(&t.id) {
                     match outcome {
@@ -372,7 +379,7 @@ impl Transport for MemTransport {
     fn probe(&self, from: NodeId, to: NodeId) -> bool {
         // A probe is a minimal heartbeat frame on the wire.
         self.stats
-            .count_request(RpcKind::Heartbeat, (crate::wire::HEADER_LEN + 12) as u64);
+            .count_request(RpcKind::Heartbeat, (crate::wire::HEADER_LEN + 20) as u64);
         let st = self.state.lock().unwrap();
         st.endpoints.contains_key(&to.0)
             && !st.closed.contains(&to.0)
@@ -400,7 +407,7 @@ mod tests {
             t.bind(
                 NodeId(n),
                 Arc::new(move |rpc| match rpc {
-                    Rpc::Heartbeat { from, clock } => {
+                    Rpc::Heartbeat { from, clock, .. } => {
                         RpcReply::Error(format!("pong {n} from {} at {clock}", from.0))
                     }
                     _ => RpcReply::Ack,
@@ -411,7 +418,7 @@ mod tests {
     }
 
     fn hb(from: u32) -> Rpc {
-        Rpc::Heartbeat { from: NodeId(from), clock: 9 }
+        Rpc::Heartbeat { from: NodeId(from), clock: 9, task: u32::MAX, progress: 0 }
     }
 
     #[test]

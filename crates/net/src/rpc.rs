@@ -61,8 +61,11 @@ pub enum Rpc {
         partition: u32,
         records: Vec<(String, String)>,
     },
-    /// Failure-detector ping. Any reply is a liveness proof.
-    Heartbeat { from: NodeId, clock: u64 },
+    /// Failure-detector ping, doubling as the map-progress carrier for
+    /// speculative execution. `task == u32::MAX` is a pure liveness
+    /// ping; otherwise `progress` is the sender's map progress for
+    /// `task` in promille (0..=1000).
+    Heartbeat { from: NodeId, clock: u64, task: u32, progress: u32 },
     /// Control plane: assign map task `task` (input block `block`) to
     /// the receiver.
     TaskAssign { task: u32, block: BlockId },
@@ -169,9 +172,11 @@ impl Rpc {
                     prev = kb;
                 }
             }
-            Rpc::Heartbeat { from, clock } => {
+            Rpc::Heartbeat { from, clock, task, progress } => {
                 w.u32(from.0);
                 w.u64(*clock);
+                w.u32(*task);
+                w.u32(*progress);
             }
             Rpc::TaskAssign { task, block } => {
                 w.u32(*task);
@@ -240,7 +245,9 @@ impl Rpc {
             k if k == RpcKind::Heartbeat as u8 => {
                 let from = NodeId(r.u32()?);
                 let clock = r.u64()?;
-                Rpc::Heartbeat { from, clock }
+                let task = r.u32()?;
+                let progress = r.u32()?;
+                Rpc::Heartbeat { from, clock, task, progress }
             }
             k if k == RpcKind::TaskAssign as u8 => {
                 let task = r.u32()?;
@@ -430,7 +437,8 @@ mod tests {
             partition: 0,
             records: vec![("k".into(), "v".into()), ("".into(), "with space".into())],
         });
-        roundtrip_rpc(Rpc::Heartbeat { from: NodeId(3), clock: u64::MAX });
+        roundtrip_rpc(Rpc::Heartbeat { from: NodeId(3), clock: u64::MAX, task: u32::MAX, progress: 0 });
+        roundtrip_rpc(Rpc::Heartbeat { from: NodeId(3), clock: 0, task: 12, progress: 640 });
         roundtrip_rpc(Rpc::TaskAssign { task: 77, block: bid(0) });
     }
 
@@ -457,7 +465,8 @@ mod tests {
 
     #[test]
     fn trailing_bytes_rejected() {
-        let mut raw = Rpc::Heartbeat { from: NodeId(0), clock: 1 }.encode(1);
+        let mut raw =
+            Rpc::Heartbeat { from: NodeId(0), clock: 1, task: u32::MAX, progress: 0 }.encode(1);
         // Grow the body by one byte and fix up the length prefix.
         raw.push(0xFF);
         let len = (raw.len() - wire::HEADER_LEN) as u32;

@@ -334,7 +334,11 @@ impl TcpTransport {
                     }
                 }
             }
-            self.stats.count_request(kind, frame.len() as u64);
+            if attempt > 0 {
+                self.stats.count_retransmit(kind, frame.len() as u64);
+            } else {
+                self.stats.count_request(kind, frame.len() as u64);
+            }
             match conn.demux.wait(corr, Instant::now() + self.rpc_timeout) {
                 Some(Ok(reply)) => return Ok(reply),
                 Some(Err(NetError::Timeout { .. })) | None => {
@@ -553,7 +557,7 @@ impl Transport for TcpTransport {
                         match self.peer(t.to) {
                             Ok(conn) => {
                                 if self.write_frame(t.to, &conn, &frame).is_ok() {
-                                    self.stats.count_request(kind, frame.len() as u64);
+                                    self.stats.count_retransmit(kind, frame.len() as u64);
                                     window.bump(t.id, Instant::now() + self.rpc_timeout);
                                 } else {
                                     window.bump(t.id, Instant::now());
@@ -586,7 +590,8 @@ impl Transport for TcpTransport {
     }
 
     fn probe(&self, _from: NodeId, to: NodeId) -> bool {
-        self.call(_from, to, Rpc::Heartbeat { from: _from, clock: 0 }).is_ok()
+        self.call(_from, to, Rpc::Heartbeat { from: _from, clock: 0, task: u32::MAX, progress: 0 })
+            .is_ok()
     }
 
     fn close_endpoint(&self, node: NodeId) {

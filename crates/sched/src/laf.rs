@@ -235,6 +235,52 @@ impl LafScheduler {
         node
     }
 
+    /// Pick a backup placement for a speculative re-execution of a task
+    /// keyed by `hkey` whose primary attempt runs on `avoid`: the
+    /// least-loaded eligible candidate (owner + range-boundary
+    /// neighbors) other than `avoid` and anything in `exclude`, falling
+    /// back to the least-loaded server cluster-wide. Ties break by node
+    /// id for determinism. Pure lookup — no statistics update; the
+    /// original assignment already recorded the access.
+    pub fn backup_for<F>(
+        &mut self,
+        hkey: HashKey,
+        avoid: NodeId,
+        exclude: &[NodeId],
+        mut load_of: F,
+    ) -> Option<NodeId>
+    where
+        F: FnMut(NodeId) -> u64,
+    {
+        let mut cands = std::mem::take(&mut self.scratch);
+        self.candidates_into(hkey, &mut cands);
+        let eligible = |n: NodeId| n != avoid && !exclude.contains(&n);
+        let mut best: Option<(u64, NodeId)> = None;
+        let mut consider = |n: NodeId, best: &mut Option<(u64, NodeId)>| {
+            if !eligible(n) {
+                return;
+            }
+            let l = load_of(n);
+            let better = match *best {
+                None => true,
+                Some((bl, bn)) => l.cmp(&bl).then(n.cmp(&bn)).is_lt(),
+            };
+            if better {
+                *best = Some((l, n));
+            }
+        };
+        for &c in &cands {
+            consider(c, &mut best);
+        }
+        if best.is_none() {
+            for &n in &self.nodes {
+                consider(n, &mut best);
+            }
+        }
+        self.scratch = cands;
+        best.map(|(_, n)| n)
+    }
+
     /// Record an access and re-partition when the window fills.
     fn record(&mut self, hkey: HashKey) {
         self.assignments += 1;
@@ -437,6 +483,27 @@ mod tests {
         assert!(s.ranges().iter().all(|(n, _)| *n != victim));
         let covered: u128 = s.ranges().iter().map(|(_, r)| r.len()).sum();
         assert_eq!(covered, 1u128 << 64);
+    }
+
+    /// Backup placement avoids the straggler's node, prefers the
+    /// least-loaded server, and is deterministic under ties.
+    #[test]
+    fn backup_avoids_straggler_and_prefers_idle() {
+        let mut s = sched(4, LafConfig::default());
+        let k = HashKey::from_unit(0.4);
+        let slow = s.owner_of(k);
+        let loads = [7u64, 7, 7, 7];
+        let b = s.backup_for(k, slow, &[], |n| loads[n.index()]).unwrap();
+        assert_ne!(b, slow);
+        // Loads all equal → smallest eligible id wins, deterministically.
+        assert_eq!(b, s.backup_for(k, slow, &[], |n| loads[n.index()]).unwrap());
+        // A strictly idler server wins over the tie-break pick.
+        let idle = b;
+        let b2 = s
+            .backup_for(k, slow, &[idle], |n| if n == idle { 0 } else { 5 })
+            .unwrap();
+        assert_ne!(b2, idle, "excluded nodes must not be chosen");
+        assert_ne!(b2, slow);
     }
 
     /// owner_of and assign agree.

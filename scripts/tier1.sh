@@ -2,9 +2,10 @@
 # Tier-1 gate: release build, full test suite, the chaos and transport
 # suites under --release, and quick live-executor snapshots. Leaves
 # results/BENCH_live.json, results/BENCH_chaos.json,
-# results/BENCH_net.json, and results/BENCH_cache.json behind so every
-# pass records comparable throughput, recovery-time, wire-overhead, and
-# cache-plane numbers (see DESIGN.md §8c–§8g).
+# results/BENCH_net.json, results/BENCH_cache.json, and
+# results/BENCH_straggler.json behind so every pass records comparable
+# throughput, recovery-time, wire-overhead, cache-plane, and
+# straggler-mitigation numbers (see DESIGN.md §8c–§8h).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,5 +38,8 @@ cargo run -q --release -p eclipse-bench --bin net_bench -- --quick --out results
 
 echo "== tier1: cache-plane micro + warm-run (quick)"
 cargo run -q --release -p eclipse-bench --bin cache_bench -- --quick --out results/BENCH_cache.json
+
+echo "== tier1: straggler mitigation, speculation + replicated map-out (quick)"
+cargo run -q --release -p eclipse-bench --bin straggler_bench -- --quick --out results/BENCH_straggler.json
 
 echo "== tier1: OK"

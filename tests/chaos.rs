@@ -165,6 +165,94 @@ fn slow_node_changes_nothing_but_time() {
     assert!(c.ring().contains(straggler));
 }
 
+/// The speculation matrix: a hard straggler under every (scheduler,
+/// transport) combination, speculation off vs on. Output must be
+/// byte-identical to the fault-free baseline in every cell — backups
+/// race primaries on the commit board and the loser's cancellation
+/// must never suppress a committed attempt's sends (a violation shows
+/// up here as missing or doubled counts).
+#[test]
+fn speculation_matrix_slow_node_byte_identical() {
+    use eclipse_core::{SpeculationConfig, TransportKind};
+    for sched in ["laf", "delay"] {
+        let expect = baseline(sched);
+        for transport in [TransportKind::Memory, TransportKind::Tcp] {
+            for speculate in [false, true] {
+                let mut cfg = LiveConfig::small()
+                    .with_nodes(NODES)
+                    .with_block_size(512)
+                    // One worker thread per node even on single-core CI
+                    // hosts, so the straggler really claims map tasks.
+                    .with_map_slots(NODES)
+                    .with_scheduler(sched_of(sched))
+                    .with_transport(transport);
+                if speculate {
+                    cfg = cfg.with_speculation(SpeculationConfig {
+                        slowdown: 2.0,
+                        min_completed: 3,
+                        poll_micros: 200,
+                    });
+                }
+                let c = LiveCluster::new(cfg);
+                c.upload("input", USER, seeded_text().as_bytes());
+                let straggler = c.ring().node_ids()[REDUCERS];
+                c.inject_faults(FaultPlan::new().slow_node(straggler, 3_000));
+                let (out, stats) = c
+                    .try_run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+                    .expect("a slow node is not a failure");
+                assert_eq!(
+                    out, expect,
+                    "output diverged: sched={sched} transport={transport:?} spec={speculate}"
+                );
+                assert_eq!(stats.failed_nodes, 0, "straggler must not be expelled");
+                assert!(c.ring().contains(straggler));
+                if !speculate {
+                    assert_eq!(stats.speculative_attempts, 0);
+                    assert_eq!(stats.cancelled_attempts, 0);
+                }
+                // Attempt accounting: every attempt is a primary, a
+                // retry, or a backup; wins can't exceed backups.
+                assert!(stats.speculative_wins <= stats.speculative_attempts);
+                assert!(
+                    stats.speculative_wins + stats.retries
+                        <= stats.attempts - stats.map_tasks,
+                    "sched={sched} transport={transport:?} spec={speculate}: {stats:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Replicated map-out under a straggler *and* speculation at once: the
+/// two tentpole modes compose without changing output.
+#[test]
+fn replicated_map_out_composes_with_speculation() {
+    use eclipse_core::SpeculationConfig;
+    let expect = baseline("laf");
+    for r in [2usize, 3] {
+        let c = LiveCluster::new(
+            LiveConfig::small()
+                .with_nodes(NODES)
+                .with_block_size(512)
+                .with_map_slots(NODES)
+                .with_map_replication(r)
+                .with_speculation(SpeculationConfig {
+                    slowdown: 2.0,
+                    min_completed: 3,
+                    poll_micros: 200,
+                }),
+        );
+        c.upload("input", USER, seeded_text().as_bytes());
+        let straggler = c.ring().node_ids()[REDUCERS];
+        c.inject_faults(FaultPlan::new().slow_node(straggler, 2_000));
+        let (out, stats) = c
+            .try_run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+            .expect("replication + speculation is fault-free");
+        assert_eq!(out, expect, "r={r} diverged under straggler + speculation");
+        assert!(stats.local_shuffle_records > 0, "r={r} produced no local shuffle");
+    }
+}
+
 /// Faults and a crash composed in one plan: task 0's first attempts
 /// die, then a node crashes mid-map — retries and crash recovery must
 /// compose without double-counting.

@@ -149,6 +149,46 @@ proptest! {
         prop_assert!(!c.ring().contains(victim));
     }
 
+    /// Speculation under a random straggler: output equals the
+    /// fault-free run, and attempt accounting stays exact — every
+    /// attempt is a task's primary, a failure-driven retry, or a
+    /// backup, so `speculative_wins + retries ≤ attempts - map_tasks`.
+    #[test]
+    fn speculation_accounting_holds(
+        words in prop::collection::vec("[a-e]{1,4}", 60..300),
+        straggler_ix in 0usize..8,
+        slow_micros in 500u64..4_000,
+    ) {
+        use eclipse_core::SpeculationConfig;
+        let data = words.join(" ") + "\n";
+        let plain = LiveCluster::new(LiveConfig::small().with_block_size(512));
+        plain.upload("in", "p", data.as_bytes());
+        let (before, _) = plain.run_job(&WordCount, "in", "p", 2, ReusePolicy::default());
+        let c = LiveCluster::new(
+            LiveConfig::small()
+                .with_block_size(512)
+                .with_map_slots(8)
+                .with_speculation(SpeculationConfig {
+                    slowdown: 2.0,
+                    min_completed: 3,
+                    poll_micros: 200,
+                }),
+        );
+        c.upload("in", "p", data.as_bytes());
+        let straggler = c.ring().node_ids()[straggler_ix % c.ring().len()];
+        c.inject_faults(FaultPlan::new().slow_node(straggler, slow_micros));
+        let (after, stats) = c
+            .try_run_job(&WordCount, "in", "p", 2, ReusePolicy::default())
+            .expect("a straggler is never fatal");
+        prop_assert_eq!(after, before);
+        prop_assert!(stats.speculative_wins <= stats.speculative_attempts);
+        prop_assert!(
+            stats.speculative_wins + stats.retries <= stats.attempts - stats.map_tasks,
+            "wins={} retries={} attempts={} map_tasks={}",
+            stats.speculative_wins, stats.retries, stats.attempts, stats.map_tasks
+        );
+    }
+
     /// A multi-input job over the same file twice doubles every count —
     /// multi-input bookkeeping must not drop or duplicate blocks.
     #[test]

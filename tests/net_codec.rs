@@ -90,8 +90,14 @@ fn arb_rpc() -> impl Strategy<Value = Rpc> {
                 partition,
                 records,
             }),
-        (0u32..=u32::MAX, 0u64..=u64::MAX)
-            .prop_map(|(from, clock)| Rpc::Heartbeat { from: NodeId(from), clock }),
+        (0u32..=u32::MAX, 0u64..=u64::MAX, 0u32..=u32::MAX, 0u32..=1000u32).prop_map(
+            |(from, clock, task, progress)| Rpc::Heartbeat {
+                from: NodeId(from),
+                clock,
+                task,
+                progress,
+            },
+        ),
         (0u32..=u32::MAX, arb_block()).prop_map(|(task, block)| Rpc::TaskAssign { task, block }),
     ]
 }
