@@ -1,0 +1,61 @@
+//! Randomized DST seed sweeps: `dst_bench [--runs N] [--seed0 S]
+//! [--preset calm|moderate|chaos] [--out PATH]`.
+//!
+//! Each seed samples a workload and a fault schedule, runs the job
+//! under fault injection, and checks the oracle (byte-identical output
+//! or a typed allowed error, plus `LiveStats` invariants). Failures
+//! print a one-line replayable repro and are recorded in the JSON
+//! snapshot. `scripts/tier1.sh` runs the bounded smoke configuration
+//! (`--runs 50 --preset moderate`) to emit `results/BENCH_dst.json`;
+//! the acceptance sweep is `dst_bench --runs 1000 --preset chaos`.
+
+use eclipse_bench::dst_bench::{sweep_range, to_json};
+use eclipse_core::dst::{repro_line, DstPreset};
+
+fn main() {
+    let mut runs: u64 = 50;
+    let mut seed0: u64 = 1;
+    let mut preset = DstPreset::Moderate;
+    let mut out = String::from("results/BENCH_dst.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--runs" => runs = args.next().expect("--runs needs N").parse().expect("N"),
+            "--seed0" => seed0 = args.next().expect("--seed0 needs S").parse().expect("S"),
+            "--preset" => {
+                preset = args.next().expect("--preset needs a name").parse().unwrap()
+            }
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!(
+                "unknown arg {other:?} (expected --runs N / --seed0 S / --preset P / --out PATH)"
+            ),
+        }
+    }
+
+    let r = sweep_range(seed0, runs, preset, (runs / 10).max(10));
+    let json = to_json(&r);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, &json).expect("write BENCH_dst.json");
+
+    let s = &r.sweep;
+    println!(
+        "preset={preset} seeds={seed0}..{} runs={} matches={} allowed_errors={} \
+         faults_injected={} oracle_checks={} secs={:.2}",
+        seed0 + runs - 1,
+        s.runs,
+        s.matches,
+        s.allowed_errors,
+        s.faults_injected,
+        s.oracle_checks,
+        r.secs
+    );
+    for (seed, reason) in &s.failures {
+        println!("FAIL seed={seed}: {reason}\n  replay: {}", repro_line(*seed, preset));
+    }
+    println!("wrote {out}");
+    if !s.failures.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,1152 @@
+//! Deterministic simulation testing (DST) for the live executor.
+//!
+//! One `u64` seed drives everything: a workload sampler (app, input,
+//! cluster shape, scheduler, cache shards, map slots, speculation,
+//! replication), and a fault-schedule sampler that composes the
+//! existing chaos machinery — [`FaultPlan`] crash/slow/fail-task hooks
+//! plus the [`MemTransport`] partition/delay/drop API — at points keyed
+//! off the job's *own progress* (maps committed, shuffle batches sent)
+//! rather than wall time. The same seed therefore replays the same
+//! workload, the same fault schedule, and the same injection points on
+//! any host; thread interleavings are not bit-identical across runs,
+//! but the oracle must hold for *every* interleaving, so a seed that
+//! fails is a seed that keeps failing.
+//!
+//! The oracle per run:
+//!
+//! 1. **Output**: byte-identical to a fault-free run of the same
+//!    workload on the in-memory transport, *or* a typed terminal error
+//!    from the allowed set — [`JobError::TaskFailed`] /
+//!    [`JobError::DataLoss`] only when the sampled schedule plausibly
+//!    exhausted a retry budget or destroyed every replica (see
+//!    [`allowed_errors`]). A wrong result, a panic, or an error outside
+//!    the allowed set is always a failure.
+//! 2. **Accounting**: the [`LiveStats`] invariants
+//!    (`attempts = map_tasks + retries + speculative_attempts`,
+//!    per-node task counts summing to `map_tasks`, no phantom recovery
+//!    on crash-free schedules, …) checked by [`check_stats`].
+//!
+//! On failure the harness *shrinks*: it bisects the fault schedule to
+//! a minimal failing subset ([`shrink_schedule`]) and prints a
+//! one-line, copy-pastable repro ([`repro_line`]) that replays the
+//! exact seed under `cargo test`.
+//!
+//! Fault rates come from [`FaultConfig`] presets ([`DstPreset`]):
+//! `calm` schedules are benign by construction (no crashes, no
+//! partitions, every injected failure under the retry budget) and must
+//! always produce byte-identical output; `moderate` and `chaos` may
+//! legitimately end in an allowed typed error. **Maintainer rule:**
+//! when a new fault point is added to the executor or the transport,
+//! the same commit must wire it into the samplers here and give every
+//! preset an explicit rate for it (zero is a decision, not a default).
+
+use crate::job::{JobError, ReusePolicy};
+use crate::live::{
+    DstEvent, DstObserver, FaultPlan, LiveCluster, LiveConfig, LiveStats, MapReduce,
+    SpeculationConfig,
+};
+use crate::sim_exec::SchedulerKind;
+use eclipse_net::{MemTransport, RpcKind};
+use eclipse_ring::NodeId;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Owner string for DST uploads.
+pub const DST_USER: &str = "dst";
+const INPUT: &str = "input";
+
+/// Transmissions the transport pays for per call (or windowed flush)
+/// before surfacing a typed failure: `RetryPolicy::default().max_attempts`.
+/// Drop schedules that stay strictly below this on every link and kind
+/// are benign — the retry layer absorbs them.
+const NET_BUDGET: u32 = 4;
+
+/// Attempts the executor grants one map task before
+/// [`JobError::TaskFailed`] (mirrors `live::MAX_ATTEMPTS`).
+const TASK_BUDGET: u32 = 4;
+
+// ---------------------------------------------------------------------------
+// Presets
+// ---------------------------------------------------------------------------
+
+/// Named fault-rate presets, in increasing order of violence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DstPreset {
+    /// Benign by construction: timing pressure only (delays, slow
+    /// nodes, sub-budget drops, sub-budget injected task failures).
+    /// Every calm run must end byte-identical — a typed error under
+    /// `calm` is a bug.
+    Calm,
+    /// One crash slot, partitions (usually healed), heavier drops.
+    Moderate,
+    /// Two crash slots, partitions that may never heal, drop bursts
+    /// past the retry budget.
+    Chaos,
+}
+
+impl DstPreset {
+    pub fn config(self) -> FaultConfig {
+        match self {
+            DstPreset::Calm => FaultConfig::calm(),
+            DstPreset::Moderate => FaultConfig::moderate(),
+            DstPreset::Chaos => FaultConfig::chaos(),
+        }
+    }
+}
+
+impl fmt::Display for DstPreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DstPreset::Calm => "calm",
+            DstPreset::Moderate => "moderate",
+            DstPreset::Chaos => "chaos",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for DstPreset {
+    type Err = String;
+    fn from_str(s: &str) -> Result<DstPreset, String> {
+        match s {
+            "calm" => Ok(DstPreset::Calm),
+            "moderate" => Ok(DstPreset::Moderate),
+            "chaos" => Ok(DstPreset::Chaos),
+            other => Err(format!("unknown DST preset {other:?} (calm|moderate|chaos)")),
+        }
+    }
+}
+
+/// Per-fault-point rates consumed by [`sample_schedule`]. Every fault
+/// point the harness knows about has an explicit knob here, and every
+/// preset sets every knob.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Max crash ops per schedule (distinct victims).
+    pub crash_slots: u32,
+    /// Probability of one injected-task-failure op.
+    pub fail_task_p: f64,
+    /// Max injected failures for that task.
+    pub fail_times_max: u32,
+    /// Probability of one slow-node op.
+    pub slow_p: f64,
+    /// Max per-attempt delay for the slow node, microseconds.
+    pub slow_micros_max: u64,
+    /// Max network ops (cut/delay/drop) per schedule.
+    pub net_ops_max: u32,
+    // Relative weights choosing which network op each slot becomes.
+    pub cut_weight: u32,
+    pub delay_weight: u32,
+    pub drop_link_weight: u32,
+    pub drop_kind_weight: u32,
+    /// Probability a cut gets a matching heal later in the schedule.
+    pub heal_p: f64,
+    /// Max drop tokens per drop op.
+    pub drop_n_max: u32,
+    /// Cap on the *total* tokens any one link or RPC kind may
+    /// accumulate across the schedule. Calm pins this below
+    /// [`NET_BUDGET`] so drops can never exhaust a retry loop.
+    pub tokens_per_target_max: u32,
+}
+
+impl FaultConfig {
+    pub fn calm() -> FaultConfig {
+        FaultConfig {
+            crash_slots: 0,
+            fail_task_p: 0.5,
+            fail_times_max: TASK_BUDGET - 2,
+            slow_p: 0.5,
+            slow_micros_max: 3_000,
+            net_ops_max: 2,
+            cut_weight: 0,
+            delay_weight: 3,
+            drop_link_weight: 2,
+            drop_kind_weight: 1,
+            heal_p: 1.0,
+            drop_n_max: 2,
+            tokens_per_target_max: NET_BUDGET - 1,
+        }
+    }
+
+    pub fn moderate() -> FaultConfig {
+        FaultConfig {
+            crash_slots: 1,
+            fail_task_p: 0.6,
+            fail_times_max: TASK_BUDGET - 1,
+            slow_p: 0.6,
+            slow_micros_max: 5_000,
+            net_ops_max: 3,
+            cut_weight: 2,
+            delay_weight: 2,
+            drop_link_weight: 2,
+            drop_kind_weight: 2,
+            heal_p: 0.7,
+            drop_n_max: 4,
+            tokens_per_target_max: u32::MAX,
+        }
+    }
+
+    pub fn chaos() -> FaultConfig {
+        FaultConfig {
+            crash_slots: 2,
+            fail_task_p: 0.7,
+            fail_times_max: TASK_BUDGET + 2,
+            slow_p: 0.7,
+            slow_micros_max: 8_000,
+            net_ops_max: 5,
+            cut_weight: 3,
+            delay_weight: 2,
+            drop_link_weight: 3,
+            drop_kind_weight: 3,
+            heal_p: 0.5,
+            drop_n_max: 6,
+            tokens_per_target_max: u32::MAX,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload sampling
+// ---------------------------------------------------------------------------
+
+/// The two DST applications. Both reduce with order-insensitive
+/// aggregates, so output is a pure function of the multiset of shuffled
+/// records — exactly what the byte-identical oracle needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DstApp {
+    /// Classic word count; `combiner` exercises the map-side combine
+    /// path (partial sums re-summed at the reducer).
+    WordCount { combiner: bool },
+    /// Groups words by their first two characters and emits
+    /// `count|max` per group — a no-combiner app whose reduce output
+    /// still can't depend on value arrival order.
+    KeySum,
+}
+
+impl MapReduce for DstApp {
+    fn map(&self, block: &[u8], emit: &mut dyn FnMut(String, String)) {
+        let text = String::from_utf8_lossy(block);
+        for w in text.split_whitespace() {
+            match self {
+                DstApp::WordCount { .. } => emit(w.to_string(), "1".to_string()),
+                DstApp::KeySum => emit(w.chars().take(2).collect(), w.to_string()),
+            }
+        }
+    }
+
+    fn reduce(&self, key: &str, values: &[String], emit: &mut dyn FnMut(String, String)) {
+        match self {
+            DstApp::WordCount { .. } => {
+                let total: u64 = values.iter().map(|v| v.parse::<u64>().unwrap_or(0)).sum();
+                emit(key.to_string(), total.to_string());
+            }
+            DstApp::KeySum => {
+                let max = values.iter().max().cloned().unwrap_or_default();
+                emit(key.to_string(), format!("{}|{max}", values.len()));
+            }
+        }
+    }
+
+    fn combine(&self, key: &str, values: &[String], emit: &mut dyn FnMut(String, String)) {
+        match self {
+            DstApp::WordCount { .. } => {
+                let total: u64 = values.iter().map(|v| v.parse::<u64>().unwrap_or(0)).sum();
+                emit(key.to_string(), total.to_string());
+            }
+            DstApp::KeySum => {
+                for v in values {
+                    emit(key.to_string(), v.clone());
+                }
+            }
+        }
+    }
+
+    fn has_combiner(&self) -> bool {
+        matches!(self, DstApp::WordCount { combiner: true })
+    }
+}
+
+/// Everything the seed decides about the job itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DstWorkload {
+    pub seed: u64,
+    pub app: DstApp,
+    pub lines: usize,
+    pub vocab: u64,
+    pub nodes: usize,
+    pub reducers: usize,
+    pub laf: bool,
+    pub block_size: u64,
+    pub cache_shards: usize,
+    pub map_slots: usize,
+    pub speculation: bool,
+    pub replication: usize,
+}
+
+impl DstWorkload {
+    /// Sample a workload from the seed. Pure: same seed, same workload.
+    pub fn sample(seed: u64) -> DstWorkload {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE1C1_05E0_0000_0001);
+        let app = if rng.random_bool(0.5) {
+            DstApp::WordCount { combiner: rng.random_bool(0.5) }
+        } else {
+            DstApp::KeySum
+        };
+        let nodes = rng.random_range(4..9usize);
+        let speculation = rng.random_bool(0.25);
+        let replication = if rng.random_bool(0.25) { 2 } else { 1 };
+        // Speculation and replicated map-out both need a worker thread
+        // per node on low-core hosts (see DESIGN.md §8h).
+        let map_slots =
+            if speculation || replication > 1 { nodes } else { rng.random_range(1..3usize) };
+        DstWorkload {
+            seed,
+            app,
+            lines: rng.random_range(60..321usize),
+            vocab: rng.random_range(8..31u64),
+            nodes,
+            reducers: rng.random_range(1..6usize),
+            laf: rng.random_bool(0.5),
+            block_size: [256, 512, 1024][rng.random_range(0..3usize)],
+            cache_shards: 1usize << rng.random_range(0..4u32),
+            map_slots,
+            speculation,
+            replication,
+        }
+    }
+
+    /// Deterministic input text for this workload.
+    pub fn input(&self) -> String {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xD511_0000_0000_0002);
+        let mut s = String::new();
+        for _ in 0..self.lines {
+            let words = rng.random_range(3..9usize);
+            for i in 0..words {
+                if i > 0 {
+                    s.push(' ');
+                }
+                let w = rng.random_range(0..self.vocab);
+                s.push_str(&format!("w{w:02}"));
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// The cluster configuration this workload runs under.
+    pub fn config(&self) -> LiveConfig {
+        let sched = if self.laf {
+            SchedulerKind::Laf(Default::default())
+        } else {
+            SchedulerKind::Delay(Default::default())
+        };
+        let mut c = LiveConfig::small()
+            .with_nodes(self.nodes)
+            .with_block_size(self.block_size)
+            .with_cache_shards(self.cache_shards)
+            .with_map_slots(self.map_slots)
+            .with_scheduler(sched);
+        if self.speculation {
+            c = c.with_speculation(SpeculationConfig::default());
+        }
+        if self.replication > 1 {
+            c = c.with_map_replication(self.replication);
+        }
+        c
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault schedules
+// ---------------------------------------------------------------------------
+
+/// A point on the job's logical clock (see [`DstEvent`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Point {
+    /// After this many map commits.
+    Maps(u64),
+    /// After this many shuffle batches sent.
+    Spills(u64),
+}
+
+/// One sampled fault. Crash/fail/slow ops compile into a [`FaultPlan`];
+/// network ops are armed on a [`ChaosObserver`] and fire when the
+/// executor's progress events reach their [`Point`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DstFault {
+    CrashAtMaps { node: NodeId, maps: u64 },
+    CrashAtSpills { node: NodeId, spills: u64 },
+    CrashInReduce { node: NodeId },
+    FailTask { task: usize, times: u32 },
+    SlowNode { node: NodeId, micros: u64 },
+    CutLink { from: NodeId, to: NodeId, at: Point, heal_at: Option<Point> },
+    DelayLink { from: NodeId, to: NodeId, at: Point, salt: u64 },
+    DropOnLink { from: NodeId, to: NodeId, at: Point, n: u32 },
+    DropKind { kind: RpcKind, at: Point, n: u32 },
+}
+
+const KINDS: [RpcKind; 8] = [
+    RpcKind::GetBlock,
+    RpcKind::PutBlock,
+    RpcKind::ReplicaSync,
+    RpcKind::CacheGet,
+    RpcKind::CachePut,
+    RpcKind::ShuffleBatch,
+    RpcKind::Heartbeat,
+    RpcKind::TaskAssign,
+];
+
+fn sample_point(rng: &mut StdRng, maps: u64, spills: u64) -> Point {
+    if rng.random_bool(0.5) {
+        Point::Maps(rng.random_range(1..=maps))
+    } else {
+        Point::Spills(rng.random_range(1..=spills))
+    }
+}
+
+fn sample_link(rng: &mut StdRng, nodes: &[NodeId]) -> (NodeId, NodeId) {
+    let i = rng.random_range(0..nodes.len());
+    let mut j = rng.random_range(0..nodes.len() - 1);
+    if j >= i {
+        j += 1;
+    }
+    (nodes[i], nodes[j])
+}
+
+/// Sample a fault schedule against a workload whose fault-free run
+/// committed `maps` map tasks and sent `spills` shuffle batches (the
+/// ranges the progress-keyed injection points are drawn from). Pure in
+/// `rng`: same RNG state, same schedule.
+pub fn sample_schedule(
+    rng: &mut StdRng,
+    cfg: &FaultConfig,
+    nodes: &[NodeId],
+    maps: u64,
+    spills: u64,
+) -> Vec<DstFault> {
+    let (maps, spills) = (maps.max(1), spills.max(1));
+    let mut out = Vec::new();
+
+    // Crashes: distinct victims, random phase each.
+    let slots = rng.random_range(0..=cfg.crash_slots);
+    let mut avail: Vec<NodeId> = nodes.to_vec();
+    for _ in 0..slots {
+        if avail.len() <= 2 {
+            // Never schedule a crash that leaves fewer than two
+            // survivors; total-annihilation runs test nothing.
+            break;
+        }
+        let node = avail.swap_remove(rng.random_range(0..avail.len()));
+        out.push(match rng.random_range(0..3u32) {
+            0 => DstFault::CrashAtMaps { node, maps: rng.random_range(1..=maps) },
+            1 => DstFault::CrashAtSpills { node, spills: rng.random_range(1..=spills) },
+            _ => DstFault::CrashInReduce { node },
+        });
+    }
+
+    if rng.random_bool(cfg.fail_task_p) {
+        out.push(DstFault::FailTask {
+            task: rng.random_range(0..maps) as usize,
+            times: rng.random_range(1..=cfg.fail_times_max),
+        });
+    }
+    if rng.random_bool(cfg.slow_p) {
+        out.push(DstFault::SlowNode {
+            node: nodes[rng.random_range(0..nodes.len())],
+            micros: rng.random_range(500..=cfg.slow_micros_max),
+        });
+    }
+
+    // Network ops, budgeted per target so calm stays under the retry
+    // budget on every link and kind.
+    let mut link_tokens: HashMap<(NodeId, NodeId), u32> = HashMap::new();
+    let mut kind_tokens: HashMap<RpcKind, u32> = HashMap::new();
+    let total_w =
+        cfg.cut_weight + cfg.delay_weight + cfg.drop_link_weight + cfg.drop_kind_weight;
+    let ops = rng.random_range(0..=cfg.net_ops_max);
+    for salt in 0..ops {
+        if total_w == 0 {
+            break;
+        }
+        let at = sample_point(rng, maps, spills);
+        let (from, to) = sample_link(rng, nodes);
+        let w = rng.random_range(0..total_w);
+        if w < cfg.cut_weight {
+            let heal_at = if rng.random_bool(cfg.heal_p) {
+                Some(match at {
+                    Point::Maps(m) => Point::Maps(m + rng.random_range(1..4u64)),
+                    Point::Spills(s) => Point::Spills(s + rng.random_range(1..4u64)),
+                })
+            } else {
+                None
+            };
+            out.push(DstFault::CutLink { from, to, at, heal_at });
+        } else if w < cfg.cut_weight + cfg.delay_weight {
+            out.push(DstFault::DelayLink { from, to, at, salt: u64::from(salt) + 1 });
+        } else if w < cfg.cut_weight + cfg.delay_weight + cfg.drop_link_weight {
+            let used = *link_tokens.get(&(from, to)).unwrap_or(&0);
+            let budget = cfg.tokens_per_target_max.saturating_sub(used).min(cfg.drop_n_max);
+            if budget == 0 {
+                continue;
+            }
+            let n = rng.random_range(1..=budget);
+            *link_tokens.entry((from, to)).or_insert(0) += n;
+            out.push(DstFault::DropOnLink { from, to, at, n });
+        } else {
+            let kind = KINDS[rng.random_range(0..KINDS.len())];
+            let used = *kind_tokens.get(&kind).unwrap_or(&0);
+            let budget = cfg.tokens_per_target_max.saturating_sub(used).min(cfg.drop_n_max);
+            if budget == 0 {
+                continue;
+            }
+            let n = rng.random_range(1..=budget);
+            *kind_tokens.entry(kind).or_insert(0) += n;
+            out.push(DstFault::DropKind { kind, at, n });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Progress-keyed network fault injection
+// ---------------------------------------------------------------------------
+
+/// A transport fault a [`ChaosObserver`] can fire at a [`Point`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetOp {
+    Cut { from: NodeId, to: NodeId },
+    Heal { from: NodeId, to: NodeId },
+    Delay { from: NodeId, to: NodeId, salt: u64 },
+    DropLink { from: NodeId, to: NodeId, n: u32 },
+    DropKind { kind: RpcKind, n: u32 },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct NetAction {
+    at: Point,
+    act: NetOp,
+}
+
+/// A [`DstObserver`] that arms [`MemTransport`] faults and fires each
+/// one the first time the executor's logical clock reaches its
+/// [`Point`]. Counts fired actions for the `faults_injected` total.
+/// Also usable directly from tests to stage a hand-written
+/// progress-keyed net fault (see `tests/chaos.rs`).
+pub struct ChaosObserver {
+    net: Arc<MemTransport>,
+    pending: Mutex<Vec<NetAction>>,
+    fired: AtomicU64,
+}
+
+impl ChaosObserver {
+    pub fn new(net: Arc<MemTransport>, armed: Vec<(Point, NetOp)>) -> ChaosObserver {
+        ChaosObserver {
+            net,
+            pending: Mutex::new(
+                armed.into_iter().map(|(at, act)| NetAction { at, act }).collect(),
+            ),
+            fired: AtomicU64::new(0),
+        }
+    }
+
+    /// How many armed ops have fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    fn apply(&self, act: NetOp) {
+        match act {
+            NetOp::Cut { from, to } => self.net.cut_one_way(from, to),
+            NetOp::Heal { from, to } => self.net.heal_link(from, to),
+            NetOp::Delay { from, to, salt } => {
+                self.net.delay_link_seeded(from, to, salt);
+            }
+            NetOp::DropLink { from, to, n } => self.net.drop_next_on_link(from, to, n),
+            NetOp::DropKind { kind, n } => self.net.drop_rpcs(kind, n),
+        }
+    }
+}
+
+impl DstObserver for ChaosObserver {
+    fn on_event(&self, ev: DstEvent) {
+        let mut due = Vec::new();
+        {
+            let mut pending = self.pending.lock();
+            pending.retain(|a| {
+                let fire = match (ev, a.at) {
+                    (DstEvent::MapCommitted { done }, Point::Maps(m)) => m <= done,
+                    (DstEvent::SpillSent { sent }, Point::Spills(s)) => s <= sent,
+                    _ => false,
+                };
+                if fire {
+                    due.push(a.act);
+                }
+                !fire
+            });
+        }
+        for act in due {
+            self.apply(act);
+            self.fired.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle
+// ---------------------------------------------------------------------------
+
+/// Which typed terminal errors a schedule could legitimately cause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Allowed {
+    pub task_failed: bool,
+    pub data_loss: bool,
+}
+
+/// Decide, from the schedule alone, which typed errors are excusable.
+/// The predicate is deliberately conservative in the *strict*
+/// direction: a schedule with no crash, no cut, and every drop burst
+/// under the retry budget allows nothing — those runs must be
+/// byte-identical, full stop.
+pub fn allowed_errors(schedule: &[DstFault]) -> Allowed {
+    let mut victims = Vec::new();
+    let mut kill_task = false;
+    let mut fail_task = false;
+    let mut cuts = false;
+    let mut any_drop = false;
+    let mut link_tokens: HashMap<(NodeId, NodeId), u32> = HashMap::new();
+    let mut kind_tokens: HashMap<RpcKind, u32> = HashMap::new();
+    for f in schedule {
+        match *f {
+            DstFault::CrashAtMaps { node, .. }
+            | DstFault::CrashAtSpills { node, .. }
+            | DstFault::CrashInReduce { node } => {
+                if !victims.contains(&node) {
+                    victims.push(node);
+                }
+            }
+            DstFault::FailTask { times, .. } => {
+                fail_task = true;
+                kill_task |= times >= TASK_BUDGET;
+            }
+            DstFault::SlowNode { .. } | DstFault::DelayLink { .. } => {}
+            DstFault::CutLink { .. } => cuts = true,
+            DstFault::DropOnLink { from, to, n, .. } => {
+                any_drop = true;
+                *link_tokens.entry((from, to)).or_insert(0) += n;
+            }
+            DstFault::DropKind { kind, n, .. } => {
+                any_drop = true;
+                *kind_tokens.entry(kind).or_insert(0) += n;
+            }
+        }
+    }
+    let heavy_drops = link_tokens.values().any(|&n| n >= NET_BUDGET)
+        || kind_tokens.values().any(|&n| n >= NET_BUDGET);
+    let crashes = victims.len();
+    Allowed {
+        // A task dies for good when its attempt budget is exhausted:
+        // directly (times ≥ budget), by retries burning against a
+        // partition or a heavy drop burst, or by crash-voided attempts
+        // stacking on injected failures.
+        task_failed: kill_task
+            || cuts
+            || heavy_drops
+            || crashes >= 2
+            || (fail_task && crashes >= 1),
+        // Replicas only vanish when multiple holders die, or when a
+        // partition/drop burst makes a live holder unreachable through
+        // the whole retry budget during recovery.
+        data_loss: crashes >= 2 || cuts || heavy_drops || (crashes >= 1 && any_drop),
+    }
+}
+
+/// Check the [`LiveStats`] accounting invariants for a successful run.
+/// Increments `checks` once per invariant evaluated; returns the first
+/// violation.
+pub fn check_stats(
+    stats: &LiveStats,
+    w: &DstWorkload,
+    schedule: &[DstFault],
+    checks: &mut u64,
+) -> Result<(), String> {
+    macro_rules! inv {
+        ($cond:expr, $($msg:tt)*) => {{
+            *checks += 1;
+            if !$cond {
+                return Err(format!($($msg)*));
+            }
+        }};
+    }
+
+    inv!(
+        stats.attempts == stats.map_tasks + stats.retries + stats.speculative_attempts,
+        "attempts {} != map_tasks {} + retries {} + speculative {}",
+        stats.attempts,
+        stats.map_tasks,
+        stats.retries,
+        stats.speculative_attempts
+    );
+    inv!(
+        stats.speculative_wins <= stats.speculative_attempts,
+        "speculative_wins {} > speculative_attempts {}",
+        stats.speculative_wins,
+        stats.speculative_attempts
+    );
+    inv!(
+        stats.speculative_wins + stats.retries <= stats.attempts - stats.map_tasks,
+        "wins {} + retries {} exceed surplus attempts {}",
+        stats.speculative_wins,
+        stats.retries,
+        stats.attempts - stats.map_tasks
+    );
+    inv!(
+        stats.tasks_per_node.iter().sum::<u64>() == stats.map_tasks,
+        "tasks_per_node sums to {} != map_tasks {}",
+        stats.tasks_per_node.iter().sum::<u64>(),
+        stats.map_tasks
+    );
+    inv!(
+        stats.tasks_per_node.len() == w.nodes,
+        "tasks_per_node has {} entries for {} nodes",
+        stats.tasks_per_node.len(),
+        w.nodes
+    );
+    if w.replication == 1 {
+        inv!(
+            stats.cache_hits + stats.cache_misses >= stats.map_tasks,
+            "cache lookups {} < map_tasks {} (every commit reads its block)",
+            stats.cache_hits + stats.cache_misses,
+            stats.map_tasks
+        );
+    }
+
+    let mut crash_victims = Vec::new();
+    let mut map_crashes = 0u64;
+    for f in schedule {
+        let node = match *f {
+            DstFault::CrashAtMaps { node, .. } => {
+                map_crashes += 1;
+                node
+            }
+            DstFault::CrashAtSpills { node, .. } | DstFault::CrashInReduce { node } => node,
+            _ => continue,
+        };
+        if !crash_victims.contains(&node) {
+            crash_victims.push(node);
+        }
+    }
+    if crash_victims.is_empty() {
+        inv!(
+            stats.failed_nodes == 0
+                && stats.recovered_blocks == 0
+                && stats.stabilize_rounds == 0,
+            "phantom recovery on a crash-free schedule: failed={} recovered={} stabilize={}",
+            stats.failed_nodes,
+            stats.recovered_blocks,
+            stats.stabilize_rounds
+        );
+    } else {
+        inv!(
+            stats.failed_nodes <= crash_victims.len() as u64,
+            "failed_nodes {} exceeds scheduled victims {}",
+            stats.failed_nodes,
+            crash_victims.len()
+        );
+        // A map-phase crash trigger always fires on a successful run
+        // (every map commit count is reached), so detection must have
+        // seen at least those victims.
+        inv!(
+            stats.failed_nodes >= map_crashes,
+            "failed_nodes {} < {} scheduled map-phase crashes",
+            stats.failed_nodes,
+            map_crashes
+        );
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Running, shrinking, reporting
+// ---------------------------------------------------------------------------
+
+/// Outcome of one schedule execution, before shrinking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Outcome {
+    Match,
+    Allowed(String),
+    Fail(String),
+}
+
+/// Final verdict of a seeded run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Output byte-identical to the fault-free run, invariants hold.
+    Match,
+    /// A typed terminal error the schedule legitimately allows.
+    AllowedError(String),
+    /// Oracle violation: wrong output, bad accounting, or a
+    /// disallowed error. Carries the shrunk schedule and a repro line.
+    Fail { reason: String, minimal: Vec<DstFault>, repro: String },
+}
+
+impl Verdict {
+    pub fn is_fail(&self) -> bool {
+        matches!(self, Verdict::Fail { .. })
+    }
+}
+
+/// Everything one seeded run produced.
+#[derive(Clone, Debug)]
+pub struct DstReport {
+    pub seed: u64,
+    pub preset: DstPreset,
+    pub workload: DstWorkload,
+    pub schedule: Vec<DstFault>,
+    pub verdict: Verdict,
+    pub faults_injected: u64,
+    pub oracle_checks: u64,
+}
+
+impl DstReport {
+    pub fn passed(&self) -> bool {
+        !self.verdict.is_fail()
+    }
+}
+
+/// The one-line replay command printed on failure.
+pub fn repro_line(seed: u64, preset: DstPreset) -> String {
+    format!(
+        "DST_SEED={seed} DST_PRESET={preset} cargo test -p eclipse-integration-tests \
+         --test dst replay_env_seed -- --nocapture"
+    )
+}
+
+fn run_schedule(
+    w: &DstWorkload,
+    input: &str,
+    schedule: &[DstFault],
+    expect: &[(String, String)],
+) -> (Outcome, u64, u64) {
+    let c = LiveCluster::new(w.config());
+    c.upload(INPUT, DST_USER, input.as_bytes());
+    let net = c.mem_net().expect("DST drives the in-memory transport").clone();
+    net.seed_faults(w.seed);
+
+    let mut plan = FaultPlan::new();
+    let mut pending = Vec::new();
+    for f in schedule {
+        match *f {
+            DstFault::CrashAtMaps { node, maps } => plan = plan.crash_after_maps(node, maps),
+            DstFault::CrashAtSpills { node, spills } => {
+                plan = plan.crash_after_spills(node, spills)
+            }
+            DstFault::CrashInReduce { node } => plan = plan.crash_in_reduce(node),
+            DstFault::FailTask { task, times } => plan = plan.fail_task(task, times),
+            DstFault::SlowNode { node, micros } => plan = plan.slow_node(node, micros),
+            DstFault::CutLink { from, to, at, heal_at } => {
+                pending.push((at, NetOp::Cut { from, to }));
+                if let Some(h) = heal_at {
+                    pending.push((h, NetOp::Heal { from, to }));
+                }
+            }
+            DstFault::DelayLink { from, to, at, salt } => {
+                pending.push((at, NetOp::Delay { from, to, salt }));
+            }
+            DstFault::DropOnLink { from, to, at, n } => {
+                pending.push((at, NetOp::DropLink { from, to, n }));
+            }
+            DstFault::DropKind { kind, at, n } => {
+                pending.push((at, NetOp::DropKind { kind, n }));
+            }
+        }
+    }
+    let planned = plan.len() as u64;
+    c.inject_faults(plan);
+    let obs = Arc::new(ChaosObserver::new(net.clone(), pending));
+    c.set_observer(Some(obs.clone() as Arc<dyn DstObserver>));
+    let res = c.try_run_job(&w.app, INPUT, DST_USER, w.reducers, ReusePolicy::default());
+    c.set_observer(None);
+    net.heal_all();
+
+    let injected = planned + obs.fired();
+    let allowed = allowed_errors(schedule);
+    let mut checks = 0u64;
+    let outcome = match res {
+        Ok((out, stats)) => {
+            checks += 1;
+            if out != *expect {
+                Outcome::Fail(format!(
+                    "output diverged: {} rows vs {} expected",
+                    out.len(),
+                    expect.len()
+                ))
+            } else {
+                match check_stats(&stats, w, schedule, &mut checks) {
+                    Ok(()) => Outcome::Match,
+                    Err(e) => Outcome::Fail(format!("stats invariant violated: {e}")),
+                }
+            }
+        }
+        Err(e) => {
+            checks += 1;
+            let ok = match &e {
+                JobError::TaskFailed { .. } => allowed.task_failed,
+                JobError::DataLoss(_) => allowed.data_loss,
+                JobError::Open(_) => false,
+            };
+            if ok {
+                Outcome::Allowed(e.to_string())
+            } else {
+                Outcome::Fail(format!("disallowed terminal error: {e}"))
+            }
+        }
+    };
+    (outcome, injected, checks)
+}
+
+/// Shrink a failing schedule to a (locally) minimal failing subset:
+/// bisect to the shortest failing prefix, then greedily drop single
+/// faults. `fails` re-executes a candidate and reports whether it
+/// still violates the oracle. If the shrunk candidate stops failing on
+/// the confirmation run (interleaving noise), the full schedule is
+/// returned instead — a repro must repro.
+pub fn shrink_schedule(
+    schedule: &[DstFault],
+    fails: &mut dyn FnMut(&[DstFault]) -> bool,
+) -> Vec<DstFault> {
+    if schedule.is_empty() {
+        return Vec::new();
+    }
+    // Invariant: schedule[..hi] fails (the caller just watched the
+    // whole schedule fail), schedule[..lo] does not.
+    let (mut lo, mut hi) = (0usize, schedule.len());
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if fails(&schedule[..mid]) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let mut cur: Vec<DstFault> = schedule[..hi].to_vec();
+    let mut i = 0;
+    while i < cur.len() && cur.len() > 1 {
+        let mut cand = cur.clone();
+        cand.remove(i);
+        if fails(&cand) {
+            cur = cand;
+        } else {
+            i += 1;
+        }
+    }
+    if fails(&cur) {
+        cur
+    } else {
+        schedule.to_vec()
+    }
+}
+
+/// Run one seed end to end: sample the workload, take the fault-free
+/// oracle run, sample a schedule at `preset` rates, execute it, check
+/// the oracle, and shrink + print a repro on failure.
+pub fn run_seed(seed: u64, preset: DstPreset) -> DstReport {
+    let w = DstWorkload::sample(seed);
+    let input = w.input();
+
+    let base = LiveCluster::new(w.config());
+    base.upload(INPUT, DST_USER, input.as_bytes());
+    let (expect, base_stats) = base
+        .try_run_job(&w.app, INPUT, DST_USER, w.reducers, ReusePolicy::default())
+        .unwrap_or_else(|e| panic!("DST seed {seed}: fault-free oracle run failed: {e}"));
+
+    let nodes = base.ring().node_ids();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17_5C8E_D01E_55ED);
+    let cfg = preset.config();
+    let schedule =
+        sample_schedule(&mut rng, &cfg, &nodes, base_stats.map_tasks, base_stats.spills);
+    drop(base);
+
+    let (outcome, faults_injected, oracle_checks) =
+        run_schedule(&w, &input, &schedule, &expect);
+    let verdict = match outcome {
+        Outcome::Match => Verdict::Match,
+        Outcome::Allowed(e) => Verdict::AllowedError(e),
+        Outcome::Fail(reason) => {
+            let minimal = shrink_schedule(&schedule, &mut |cand| {
+                matches!(run_schedule(&w, &input, cand, &expect).0, Outcome::Fail(_))
+            });
+            let repro = repro_line(seed, preset);
+            eprintln!(
+                "DST FAILURE seed={seed} preset={preset}: {reason}\n  \
+                 minimal schedule ({} of {} faults): {minimal:?}\n  replay: {repro}",
+                minimal.len(),
+                schedule.len(),
+            );
+            Verdict::Fail { reason, minimal, repro }
+        }
+    };
+    DstReport { seed, preset, workload: w, schedule, verdict, faults_injected, oracle_checks }
+}
+
+/// Aggregate results of a seed sweep (what the smoke step and
+/// `dst_bench` report).
+#[derive(Clone, Debug, Default)]
+pub struct DstSweep {
+    pub runs: u64,
+    pub matches: u64,
+    pub allowed_errors: u64,
+    pub faults_injected: u64,
+    pub oracle_checks: u64,
+    /// `(seed, reason)` for every oracle violation; the repro line is
+    /// reconstructible via [`repro_line`].
+    pub failures: Vec<(u64, String)>,
+}
+
+/// Run `runs` consecutive seeds starting at `seed0`.
+pub fn sweep(seed0: u64, runs: u64, preset: DstPreset) -> DstSweep {
+    let mut agg = DstSweep::default();
+    for seed in seed0..seed0 + runs {
+        let r = run_seed(seed, preset);
+        agg.runs += 1;
+        agg.faults_injected += r.faults_injected;
+        agg.oracle_checks += r.oracle_checks;
+        match r.verdict {
+            Verdict::Match => agg.matches += 1,
+            Verdict::AllowedError(_) => agg.allowed_errors += 1,
+            Verdict::Fail { reason, .. } => agg.failures.push((r.seed, reason)),
+        }
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_parse_roundtrip() {
+        for p in [DstPreset::Calm, DstPreset::Moderate, DstPreset::Chaos] {
+            assert_eq!(p.to_string().parse::<DstPreset>().unwrap(), p);
+        }
+        assert!("mild".parse::<DstPreset>().is_err());
+    }
+
+    #[test]
+    fn workload_and_input_are_pure_functions_of_the_seed() {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            let a = DstWorkload::sample(seed);
+            let b = DstWorkload::sample(seed);
+            assert_eq!(a, b);
+            assert_eq!(a.input(), b.input());
+        }
+        // Different seeds actually move the sampler.
+        let shapes: Vec<DstWorkload> = (0..16).map(DstWorkload::sample).collect();
+        assert!(shapes.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn schedule_sampling_is_deterministic() {
+        let nodes: Vec<NodeId> = (0..6).map(NodeId).collect();
+        let cfg = FaultConfig::chaos();
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        assert_eq!(
+            sample_schedule(&mut a, &cfg, &nodes, 40, 120),
+            sample_schedule(&mut b, &cfg, &nodes, 40, 120)
+        );
+    }
+
+    #[test]
+    fn calm_schedules_are_benign_by_construction() {
+        let nodes: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let cfg = FaultConfig::calm();
+        for seed in 0..200u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let schedule = sample_schedule(&mut rng, &cfg, &nodes, 30, 90);
+            let allowed = allowed_errors(&schedule);
+            assert!(
+                !allowed.task_failed && !allowed.data_loss,
+                "calm seed {seed} sampled a non-benign schedule: {schedule:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn allowed_errors_classifies_schedules() {
+        let n = NodeId(1);
+        let m = NodeId(2);
+        // Benign: one delay, a sub-budget drop, a sub-budget fail.
+        let benign = vec![
+            DstFault::DelayLink { from: n, to: m, at: Point::Maps(1), salt: 1 },
+            DstFault::DropOnLink { from: n, to: m, at: Point::Maps(2), n: 3 },
+            DstFault::FailTask { task: 0, times: 2 },
+        ];
+        assert_eq!(allowed_errors(&benign), Allowed { task_failed: false, data_loss: false });
+        // A cut allows both.
+        let cut =
+            vec![DstFault::CutLink { from: n, to: m, at: Point::Maps(1), heal_at: None }];
+        assert_eq!(allowed_errors(&cut), Allowed { task_failed: true, data_loss: true });
+        // Budget-exhausting fail kills the task but loses no data.
+        let kill = vec![DstFault::FailTask { task: 0, times: TASK_BUDGET }];
+        assert_eq!(allowed_errors(&kill), Allowed { task_failed: true, data_loss: false });
+        // Two drop bursts on the same link sum past the retry budget.
+        let heavy = vec![
+            DstFault::DropOnLink { from: n, to: m, at: Point::Maps(1), n: 2 },
+            DstFault::DropOnLink { from: n, to: m, at: Point::Maps(2), n: 2 },
+        ];
+        assert_eq!(allowed_errors(&heavy), Allowed { task_failed: true, data_loss: true });
+        // One crash alone: recovery must succeed, no excuses.
+        let one = vec![DstFault::CrashAtMaps { node: n, maps: 1 }];
+        assert_eq!(allowed_errors(&one), Allowed { task_failed: false, data_loss: false });
+    }
+
+    #[test]
+    fn shrink_isolates_the_culprit() {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let schedule: Vec<DstFault> = (0..6)
+            .map(|i| DstFault::SlowNode { node: nodes[i % 4], micros: 1000 + i as u64 })
+            .collect();
+        let culprit = schedule[4];
+        let mut runs = 0;
+        let minimal = shrink_schedule(&schedule, &mut |cand| {
+            runs += 1;
+            cand.contains(&culprit)
+        });
+        assert_eq!(minimal, vec![culprit]);
+        assert!(runs < 20, "shrink took {runs} runs for 6 faults");
+    }
+
+    #[test]
+    fn shrink_falls_back_to_full_schedule_when_flaky() {
+        let schedule = vec![
+            DstFault::FailTask { task: 0, times: 1 },
+            DstFault::FailTask { task: 1, times: 1 },
+        ];
+        // A predicate that never re-fails: the confirmation run must
+        // reject the shrunk candidate and hand back the real schedule.
+        let minimal = shrink_schedule(&schedule, &mut |_| false);
+        assert_eq!(minimal, schedule);
+    }
+
+    #[test]
+    fn calm_seed_matches_baseline() {
+        let r = run_seed(1, DstPreset::Calm);
+        assert_eq!(r.verdict, Verdict::Match, "calm seed 1 must be byte-identical");
+        assert!(r.oracle_checks > 1);
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let a = run_seed(5, DstPreset::Moderate);
+        let b = run_seed(5, DstPreset::Moderate);
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.verdict, b.verdict);
+    }
+}

@@ -5,6 +5,7 @@
 //! experiments, and a live multithreaded executor that runs real
 //! map/reduce functions over real data with the same placement logic.
 
+pub mod dst;
 pub mod job;
 pub mod live;
 pub mod resource_manager;
@@ -12,10 +13,14 @@ pub mod shuffle;
 pub mod sim_exec;
 pub mod timeline;
 
+pub use dst::{
+    ChaosObserver, DstFault, DstPreset, DstReport, DstSweep, DstWorkload, FaultConfig, NetOp,
+    Point, Verdict,
+};
 pub use job::{JobError, JobId, JobReport, JobSpec, ReadSource, ReusePolicy};
 pub use live::{
-    FaultPlan, LiveCluster, LiveConfig, LiveStats, MapReduce, RecoveryReport, SpeculationConfig,
-    TransportKind,
+    DstEvent, DstObserver, FaultPlan, LiveCluster, LiveConfig, LiveStats, MapReduce,
+    RecoveryReport, SpeculationConfig, TransportKind,
 };
 /// The transport plane (re-exported so downstream crates reach the
 /// chaos API and stats types without a direct dependency).

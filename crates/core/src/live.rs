@@ -94,6 +94,20 @@ const NO_CLAIM: u32 = u32::MAX;
 const MAX_ATTEMPTS: u32 = 4;
 /// Heartbeat timeout on the logical failure-detection clock.
 const HEARTBEAT_TIMEOUT_SECS: u64 = 3;
+/// Slice size for cancellable straggler sleeps. A fixed slice keeps
+/// the cancellation-check cadence a function of the injected delay
+/// alone — the same `slow_node(micros)` performs the same number of
+/// slices (and token checks) on any host, so a DST seed replays the
+/// same straggler behaviour on 1-core and 8-core machines.
+const SLOW_SLICE_MICROS: u64 = 200;
+/// A straggler serves RPCs late at `micros / SLOW_SERVE_DIV` (fan-in
+/// from many callers would otherwise multiply the full delay).
+const SLOW_SERVE_DIV: u64 = 8;
+/// A straggler ships shuffle batches late at `micros / SLOW_SEND_DIV`.
+const SLOW_SEND_DIV: u64 = 4;
+/// Base of the exponential re-execution backoff (micros, doubling per
+/// attempt): deterministic in the attempt number, never in wall time.
+const RETRY_BACKOFF_BASE_MICROS: u64 = 100;
 
 /// A MapReduce application for the live executor.
 pub trait MapReduce: Send + Sync {
@@ -449,6 +463,42 @@ impl FaultPlan {
     }
 }
 
+/// A progress milestone the live executor reports to a registered
+/// [`DstObserver`]. These are the executor's *logical clock*: counts of
+/// committed maps and sent shuffle batches, not wall time — so a fault
+/// keyed off an event fires at the same point in the job's own progress
+/// on any host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DstEvent {
+    /// The run is placed and armed; `tasks` map tasks are queued.
+    JobStart { tasks: usize },
+    /// A map attempt just committed; `done` tasks are committed
+    /// cluster-wide (1-based, monotonic).
+    MapCommitted { done: u64 },
+    /// A shuffle batch was just sent (or delivered locally); `sent`
+    /// batches are out cluster-wide (1-based, monotonic).
+    SpillSent { sent: u64 },
+    /// `node` finished crashing: detection, stabilization and
+    /// re-replication are complete and its tasks are re-queued.
+    NodeCrashed { node: NodeId },
+    /// The run finished (success or error); transport fault state
+    /// installed by the observer should be torn down.
+    JobEnd,
+}
+
+/// Observer hook for deterministic simulation testing: the DST harness
+/// registers one via [`LiveCluster::set_observer`] to inject transport
+/// faults (partitions, drops, delays) at exact points of job progress —
+/// the same progress-keyed determinism [`FaultPlan`] crashes already
+/// have, extended to the full `MemTransport` chaos API.
+///
+/// Callbacks run inline on executor threads (mappers, reducers, the
+/// crash handler), so implementations must be cheap and must not call
+/// back into the running job.
+pub trait DstObserver: Send + Sync {
+    fn on_event(&self, ev: DstEvent);
+}
+
 /// How one map attempt ended (executor-internal).
 enum Attempt {
     /// Complete output shipped; eligible to commit.
@@ -754,6 +804,9 @@ struct RunRt {
     /// Faults were scheduled at job start — when false, the hot path
     /// never touches `ops`.
     armed: bool,
+    /// DST progress observer for this run (cloned from the cluster at
+    /// job start so the hot path never takes the cluster's lock).
+    obs: Option<Arc<dyn DstObserver>>,
     /// Serializes concurrent crash handling.
     recovery_gate: Mutex<()>,
     /// Non-speculative failures per task. Only these count against the
@@ -784,7 +837,12 @@ struct RunRt {
 }
 
 impl RunRt {
-    fn new(tasks: usize, nodes: usize, ops: Vec<FaultOp>) -> RunRt {
+    fn new(
+        tasks: usize,
+        nodes: usize,
+        ops: Vec<FaultOp>,
+        obs: Option<Arc<dyn DstObserver>>,
+    ) -> RunRt {
         RunRt {
             commits: (0..tasks).map(|_| AtomicU32::new(UNCOMMITTED)).collect(),
             next_attempt: (0..tasks).map(|_| AtomicU32::new(0)).collect(),
@@ -798,6 +856,7 @@ impl RunRt {
             spills_sent: AtomicU64::new(0),
             armed: !ops.is_empty(),
             ops: Mutex::new(ops),
+            obs,
             recovery_gate: Mutex::new(()),
             failures: (0..tasks).map(|_| AtomicU32::new(0)).collect(),
             running: (0..nodes).map(|_| AtomicU32::new(0)).collect(),
@@ -847,6 +906,13 @@ impl RunRt {
 
     fn node_down(&self, n: NodeId) -> bool {
         self.poisoned.get(n.index()).is_some_and(|p| p.load(Ordering::Acquire))
+    }
+
+    /// Report a progress milestone to the DST observer, if one is set.
+    fn notify(&self, ev: DstEvent) {
+        if let Some(o) = &self.obs {
+            o.on_event(ev);
+        }
     }
 
     /// Remove and return the first due crash op matching `pred`.
@@ -939,6 +1005,9 @@ pub struct LiveCluster {
     /// endpoint. Populated from `SlowNode` faults for the duration of a
     /// job so a straggler also serves block reads and shuffle late.
     slow_serving: Arc<RwLock<HashMap<u32, u64>>>,
+    /// DST progress observer (see [`DstObserver`]); cloned into each
+    /// run's `RunRt` at job start.
+    observer: RwLock<Option<Arc<dyn DstObserver>>>,
 }
 
 impl LiveCluster {
@@ -1010,6 +1079,7 @@ impl LiveCluster {
             clock: AtomicU64::new(0),
             faults: Mutex::new(Vec::new()),
             slow_serving,
+            observer: RwLock::new(None),
         }
     }
 
@@ -1043,6 +1113,13 @@ impl LiveCluster {
     /// accumulate; the next job drains the whole schedule.
     pub fn inject_faults(&self, plan: FaultPlan) {
         self.faults.lock().extend(plan.ops);
+    }
+
+    /// Register (or clear) the DST progress observer. Unlike
+    /// [`inject_faults`](Self::inject_faults) the observer persists
+    /// across runs until cleared — the DST harness owns its lifetime.
+    pub fn set_observer(&self, obs: Option<Arc<dyn DstObserver>>) {
+        *self.observer.write() = obs;
     }
 
     /// Upload real data: partition into blocks, push every replica's
@@ -1409,8 +1486,14 @@ impl LiveCluster {
         let queues = &queues;
 
         // Per-run fault schedule and attempt ledger.
-        let rt = RunRt::new(tasks.len(), node_count, std::mem::take(&mut *self.faults.lock()));
+        let rt = RunRt::new(
+            tasks.len(),
+            node_count,
+            std::mem::take(&mut *self.faults.lock()),
+            self.observer.read().clone(),
+        );
         let rt = &rt;
+        rt.notify(DstEvent::JobStart { tasks: tasks.len() });
 
         // A straggler is slow end to end, not just at map compute: for
         // the duration of this job its RPC *serving* (block reads,
@@ -1422,7 +1505,7 @@ impl LiveCluster {
             slow.clear();
             for op in ops.iter() {
                 if let FaultOp::SlowNode { node, micros } = op {
-                    slow.insert(node.0, micros / 8);
+                    slow.insert(node.0, micros / SLOW_SERVE_DIV);
                 }
             }
         }
@@ -1606,7 +1689,7 @@ impl LiveCluster {
                         // now, so recovery re-replicates and heals the
                         // ring but has nothing to re-queue.
                         if rt.armed {
-                            if let Some(victim) = rt.due_in_reduce() {
+                            while let Some(victim) = rt.due_in_reduce() {
                                 self.crash_node_mid_job(victim, rt);
                             }
                         }
@@ -1670,7 +1753,7 @@ impl LiveCluster {
                                 if cancelled_now(tid, attempt) {
                                     return true;
                                 }
-                                let step = left.min(200);
+                                let step = left.min(SLOW_SLICE_MICROS);
                                 std::thread::sleep(Duration::from_micros(step));
                                 left -= step;
                             }
@@ -1817,7 +1900,9 @@ impl LiveCluster {
                                 // sliced so cancellation still lands.
                                 if rt.armed {
                                     let d = rt.slow_micros(me.get());
-                                    if d > 0 && cancellable_sleep(tid, attempt, d / 4) {
+                                    if d > 0
+                                        && cancellable_sleep(tid, attempt, d / SLOW_SEND_DIV)
+                                    {
                                         cancelled.set(true);
                                         return;
                                     }
@@ -1903,8 +1988,19 @@ impl LiveCluster {
                                 spill_count.fetch_add(1, Ordering::Relaxed);
                                 let sent =
                                     rt.spills_sent.fetch_add(1, Ordering::AcqRel) + 1;
+                                // Observer first: a transport fault
+                                // scheduled at this spill count is
+                                // installed before a crash at the same
+                                // count starts recovering through it.
+                                rt.notify(DstEvent::SpillSent { sent });
                                 if rt.armed {
-                                    if let Some(victim) = rt.due_after_spills(sent) {
+                                    // Drain *every* due crash, not just
+                                    // the first: two ops scheduled at
+                                    // the same batch count must both
+                                    // fire here — the counter passes
+                                    // each value exactly once (found by
+                                    // DST seed 545).
+                                    while let Some(victim) = rt.due_after_spills(sent) {
                                         self.crash_node_mid_job(victim, rt);
                                     }
                                 }
@@ -2015,8 +2111,16 @@ impl LiveCluster {
                                     rt.speculative_wins.fetch_add(1, Ordering::Relaxed);
                                 }
                                 let done = rt.maps_done.fetch_add(1, Ordering::AcqRel) + 1;
+                                // Observer before crash triggers (see
+                                // the spill-side note).
+                                rt.notify(DstEvent::MapCommitted { done });
                                 if rt.armed {
-                                    if let Some(victim) = rt.due_after_maps(done) {
+                                    // Drain every due crash (see the
+                                    // spill-side note): a second op at
+                                    // the same commit count would
+                                    // otherwise never fire when this is
+                                    // the last map commit.
+                                    while let Some(victim) = rt.due_after_maps(done) {
                                         self.crash_node_mid_job(victim, rt);
                                     }
                                 }
@@ -2067,7 +2171,7 @@ impl LiveCluster {
                                 rt.retries.fetch_add(1, Ordering::Relaxed);
                                 // Exponential backoff before re-execution.
                                 std::thread::sleep(Duration::from_micros(
-                                    100u64 << attempt.min(6),
+                                    RETRY_BACKOFF_BASE_MICROS << attempt.min(6),
                                 ));
                             }
                             rt.attempts.fetch_add(1, Ordering::Relaxed);
@@ -2334,6 +2438,7 @@ impl LiveCluster {
         // The straggler's serving delay ends with the job it was
         // injected into (both success and error exits pass here).
         self.slow_serving.write().clear();
+        rt.notify(DstEvent::JobEnd);
 
         if rt.is_aborted() {
             let e = rt
@@ -2461,6 +2566,7 @@ impl LiveCluster {
             }
         }
         rt.recovery_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        rt.notify(DstEvent::NodeCrashed { node: victim });
     }
 
     /// Metadata + payload recovery shared by the mid-job path and the

@@ -85,6 +85,20 @@ pub struct MemTransport {
     /// is inline, the ack window never blocks here — the window
     /// semantics TCP enforces are trivially satisfied.
     sends: Mutex<HashMap<u64, MemSlot>>,
+    /// Base seed for derived fault timing (see [`Self::seed_faults`]).
+    /// 0 = unseeded; seeded delays then fall back to `rpc_timeout / 2`.
+    fault_seed: AtomicU64,
+}
+
+/// SplitMix64 — the same mixer the workspace RNG uses for seed
+/// expansion. Fault timing derives from it so a delay is a pure
+/// function of (seed, link), never of the host's wall clock.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Default for MemTransport {
@@ -107,6 +121,7 @@ impl MemTransport {
             rpc_timeout: Duration::from_millis(2),
             corr: AtomicU64::new(1),
             sends: Mutex::new(HashMap::new()),
+            fault_seed: AtomicU64::new(0),
         }
     }
 
@@ -148,6 +163,50 @@ impl MemTransport {
     /// Drop the next `n` frames of `kind`, on any link.
     pub fn drop_rpcs(&self, kind: RpcKind, n: u32) {
         *self.state.lock().unwrap().drop_kind.entry(kind).or_insert(0) += n;
+    }
+
+    /// Seed the derived fault-timing source. After this,
+    /// [`Self::delay_link_seeded`] installs link delays computed purely
+    /// from `(seed, link, salt)` — the same seed yields the same delay
+    /// schedule on any host, independent of core count or wall clock.
+    pub fn seed_faults(&self, seed: u64) {
+        self.fault_seed.store(seed, Ordering::Release);
+    }
+
+    /// Install a deterministic delay on `from → to` and return it.
+    ///
+    /// The duration is a pure function of the fault seed, the directed
+    /// link, and `salt` (inject the same link twice in one schedule
+    /// with different salts for different delays), drawn from
+    /// `[rpc_timeout/4, rpc_timeout]`. Staying at or below the RPC
+    /// silence window keeps a seeded delay strictly benign: it slows a
+    /// link without ever masquerading as a partition, so the fault is
+    /// replayable timing pressure rather than a host-speed-dependent
+    /// outage. Unseeded transports get the midpoint (`rpc_timeout/2`).
+    pub fn delay_link_seeded(&self, from: NodeId, to: NodeId, salt: u64) -> Duration {
+        let quarter = self.rpc_timeout.as_micros().max(4) as u64 / 4;
+        let seed = self.fault_seed.load(Ordering::Acquire);
+        let micros = if seed == 0 {
+            quarter * 2
+        } else {
+            let link = (from.0 as u64) << 32 | to.0 as u64;
+            let z = splitmix64(seed ^ link.rotate_left(17) ^ salt);
+            quarter + z % (3 * quarter + 1)
+        };
+        let delay = Duration::from_micros(micros);
+        self.delay_link(from, to, delay);
+        delay
+    }
+
+    /// The delay currently installed on `from → to`, if any.
+    pub fn link_delay(&self, from: NodeId, to: NodeId) -> Option<Duration> {
+        self.state.lock().unwrap().delays.get(&(from.0, to.0)).copied()
+    }
+
+    /// The silence window after which a partitioned call attempt is
+    /// declared timed out (the unit seeded fault timing is scaled by).
+    pub fn rpc_timeout(&self) -> Duration {
+        self.rpc_timeout
     }
 
     /// Is the endpoint bound and open? (Diagnostics/tests.)
@@ -380,7 +439,25 @@ impl Transport for MemTransport {
         // A probe is a minimal heartbeat frame on the wire.
         self.stats
             .count_request(RpcKind::Heartbeat, (crate::wire::HEADER_LEN + 20) as u64);
-        let st = self.state.lock().unwrap();
+        let mut st = self.state.lock().unwrap();
+        // A probe frame travels the same wire as any Heartbeat, so it
+        // consumes drop tokens like one: a dropped probe is transient
+        // unreachability (stabilization routes around it and re-probes
+        // next round). Before this, `drop_rpcs(Heartbeat, n)` silently
+        // never matched the probe path — it counted a Heartbeat request
+        // in the stats yet could not be faulted.
+        if let Some(n) = st.drop_kind.get_mut(&RpcKind::Heartbeat) {
+            if *n > 0 {
+                *n -= 1;
+                return false;
+            }
+        }
+        if let Some(n) = st.drop_link.get_mut(&(from.0, to.0)) {
+            if *n > 0 {
+                *n -= 1;
+                return false;
+            }
+        }
         st.endpoints.contains_key(&to.0)
             && !st.closed.contains(&to.0)
             && !st.cut.contains(&(from.0, to.0))
@@ -575,5 +652,145 @@ mod tests {
         assert!(t.call(NodeId(0), NodeId(2), hb(0)).is_err());
         t.bind(NodeId(2), Arc::new(|_| RpcReply::Ack));
         assert_eq!(t.call(NodeId(0), NodeId(2), hb(0)).unwrap(), RpcReply::Ack);
+    }
+
+    /// One representative message per [`RpcKind`].
+    fn sample_rpc(kind: RpcKind) -> Rpc {
+        use eclipse_cache::CacheKey;
+        use eclipse_dhtfs::BlockId;
+        use eclipse_util::HashKey;
+        let bid = BlockId { file: HashKey(0xFEED), index: 3 };
+        match kind {
+            RpcKind::GetBlock => Rpc::GetBlock { block: bid },
+            RpcKind::PutBlock => Rpc::PutBlock { block: bid, data: b"abc".as_ref().into() },
+            RpcKind::ReplicaSync => Rpc::ReplicaSync { block: bid, to: NodeId(2) },
+            RpcKind::CacheGet => Rpc::CacheGet { key: CacheKey::Input(HashKey(7)) },
+            RpcKind::CachePut => Rpc::CachePut {
+                key: CacheKey::Input(HashKey(7)),
+                data: b"xyz".as_ref().into(),
+                ttl: None,
+            },
+            RpcKind::ShuffleBatch => batch(0),
+            RpcKind::Heartbeat => {
+                Rpc::Heartbeat { from: NodeId(0), clock: 1, task: u32::MAX, progress: 0 }
+            }
+            RpcKind::TaskAssign => Rpc::TaskAssign { task: 9, block: bid },
+        }
+    }
+
+    const ALL_KINDS: [RpcKind; 8] = [
+        RpcKind::GetBlock,
+        RpcKind::PutBlock,
+        RpcKind::ReplicaSync,
+        RpcKind::CacheGet,
+        RpcKind::CachePut,
+        RpcKind::ShuffleBatch,
+        RpcKind::Heartbeat,
+        RpcKind::TaskAssign,
+    ];
+
+    /// `drop_rpcs(kind, 1)` must match exactly one frame of `kind` on
+    /// the blocking-call path — for every kind, with every other kind
+    /// passing untouched while the token is armed.
+    #[test]
+    fn drop_rpcs_matches_every_kind_on_call_path() {
+        let ack = |t: &Arc<MemTransport>| {
+            // Re-bind with a handler that always acks (the echo handler
+            // answers Heartbeat with Error, which would mask the drop
+            // accounting this test pins).
+            for n in 0..4u32 {
+                t.bind(NodeId(n), Arc::new(|_| RpcReply::Ack));
+            }
+        };
+        for kind in ALL_KINDS {
+            let t = echo_transport();
+            ack(&t);
+            t.drop_rpcs(kind, 1);
+            // Every OTHER kind crosses untouched while the token is armed.
+            for other in ALL_KINDS.into_iter().filter(|&o| o != kind) {
+                t.call(NodeId(0), NodeId(1), sample_rpc(other)).unwrap();
+            }
+            assert_eq!(t.stats().timeouts, 0, "{kind:?}: token leaked onto another kind");
+            // The matching kind eats the token (one timeout, one retry).
+            t.call(NodeId(0), NodeId(1), sample_rpc(kind)).unwrap();
+            let s = t.stats();
+            assert_eq!(s.timeouts, 1, "{kind:?}: drop token never matched on call path");
+            assert_eq!(s.rpc_retries, 1, "{kind:?}: retry must absorb the drop");
+            // Token spent: the next frame of the kind is clean.
+            t.call(NodeId(0), NodeId(1), sample_rpc(kind)).unwrap();
+            assert_eq!(t.stats().timeouts, 1, "{kind:?}: token must be consumed");
+        }
+    }
+
+    /// Same pinning for the windowed one-way lane: the send-time
+    /// transmission eats the token and the flush retransmit lands.
+    #[test]
+    fn drop_rpcs_matches_every_kind_on_send_path() {
+        for kind in ALL_KINDS {
+            let t = echo_transport();
+            for n in 0..4u32 {
+                t.bind(NodeId(n), Arc::new(|_| RpcReply::Ack));
+            }
+            t.drop_rpcs(kind, 1);
+            let ticket = t.send(NodeId(0), NodeId(1), sample_rpc(kind)).unwrap();
+            t.flush(&[ticket]).unwrap();
+            let s = t.stats();
+            assert_eq!(s.timeouts, 1, "{kind:?}: drop token never matched on send path");
+            assert_eq!(s.rpc_retries, 1, "{kind:?}: flush must retransmit");
+            assert_eq!(s.kind(kind).0, 2, "{kind:?}: frame must cross the wire twice");
+            assert!(s.kind_retrans(kind) > 0, "{kind:?}: second crossing is a retransmit");
+        }
+    }
+
+    /// A probe is a Heartbeat frame on the wire, so Heartbeat drop
+    /// tokens (and link drop tokens) must fault it like any other
+    /// frame. Regression: probe used to bypass the drop machinery
+    /// entirely, making `drop_rpcs(Heartbeat, n)` silently unable to
+    /// touch stabilization traffic.
+    #[test]
+    fn probe_consumes_drop_tokens() {
+        let t = echo_transport();
+        t.drop_rpcs(RpcKind::Heartbeat, 1);
+        assert!(!t.probe(NodeId(0), NodeId(1)), "dropped probe looks unreachable");
+        assert!(t.probe(NodeId(0), NodeId(1)), "token consumed, next probe clean");
+        t.drop_next_on_link(NodeId(0), NodeId(1), 1);
+        assert!(!t.probe(NodeId(0), NodeId(1)), "link drop tokens match probes too");
+        assert!(t.probe(NodeId(0), NodeId(1)));
+        // Other kinds' tokens never touch probes.
+        t.drop_rpcs(RpcKind::ShuffleBatch, 1);
+        assert!(t.probe(NodeId(0), NodeId(1)));
+    }
+
+    /// Seeded link delays are a pure function of (seed, link, salt):
+    /// identical across transports and hosts, different per seed, and
+    /// always inside `[rpc_timeout/4, rpc_timeout]` so a seeded delay
+    /// can never fake a partition.
+    #[test]
+    fn seeded_delays_are_deterministic_and_bounded() {
+        let a = echo_transport();
+        let b = echo_transport();
+        a.seed_faults(42);
+        b.seed_faults(42);
+        for (f, to) in [(0u32, 1u32), (1, 2), (2, 3), (3, 0)] {
+            let da = a.delay_link_seeded(NodeId(f), NodeId(to), 7);
+            let db = b.delay_link_seeded(NodeId(f), NodeId(to), 7);
+            assert_eq!(da, db, "same seed, same link, same delay");
+            assert_eq!(a.link_delay(NodeId(f), NodeId(to)), Some(da), "delay installed");
+            assert!(da >= a.rpc_timeout() / 4 && da <= a.rpc_timeout());
+        }
+        // A different seed moves at least one link's delay.
+        let c = echo_transport();
+        c.seed_faults(43);
+        let moved = [(0u32, 1u32), (1, 2), (2, 3), (3, 0)].into_iter().any(|(f, to)| {
+            c.delay_link_seeded(NodeId(f), NodeId(to), 7)
+                != a.link_delay(NodeId(f), NodeId(to)).unwrap()
+        });
+        assert!(moved, "seed must actually steer the timing");
+        // Direction and salt are part of the key.
+        let d1 = a.delay_link_seeded(NodeId(1), NodeId(0), 7);
+        let d2 = a.delay_link_seeded(NodeId(1), NodeId(0), 8);
+        assert!(d1 != a.link_delay(NodeId(0), NodeId(1)).unwrap() || d1 != d2);
+        a.heal_all();
+        assert_eq!(a.link_delay(NodeId(0), NodeId(1)), None);
     }
 }

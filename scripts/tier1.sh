@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 gate: release build, full test suite, the chaos and transport
-# suites under --release, and quick live-executor snapshots. Leaves
-# results/BENCH_live.json, results/BENCH_chaos.json,
-# results/BENCH_net.json, results/BENCH_cache.json, and
-# results/BENCH_straggler.json behind so every pass records comparable
-# throughput, recovery-time, wire-overhead, cache-plane, and
-# straggler-mitigation numbers (see DESIGN.md §8c–§8h).
+# suites under --release, a bounded DST smoke sweep, and quick
+# live-executor snapshots. Leaves results/BENCH_live.json,
+# results/BENCH_chaos.json, results/BENCH_net.json,
+# results/BENCH_cache.json, results/BENCH_straggler.json, and
+# results/BENCH_dst.json behind so every pass records comparable
+# throughput, recovery-time, wire-overhead, cache-plane,
+# straggler-mitigation, and chaos-coverage numbers (see DESIGN.md
+# §8c–§8i). The full randomized DST sweep stays behind
+# `dst_bench --runs N --preset chaos` (docs/DST.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,5 +44,8 @@ cargo run -q --release -p eclipse-bench --bin cache_bench -- --quick --out resul
 
 echo "== tier1: straggler mitigation, speculation + replicated map-out (quick)"
 cargo run -q --release -p eclipse-bench --bin straggler_bench -- --quick --out results/BENCH_straggler.json
+
+echo "== tier1: DST smoke sweep (50 fixed seeds, moderate preset)"
+cargo run -q --release -p eclipse-bench --bin dst_bench -- --runs 50 --seed0 1 --preset moderate --out results/BENCH_dst.json
 
 echo "== tier1: OK"

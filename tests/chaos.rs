@@ -426,3 +426,146 @@ fn fail_node_poisons_in_flight_rpcs() {
     assert!(!net.endpoint_open(victim), "endpoint must stay closed after fail_node");
     assert!(!c.ring().contains(victim));
 }
+
+// --- DST-promoted composed scenarios -----------------------------------
+//
+// These three regressions pin composed failure modes the DST harness
+// (eclipse_core::dst) is built to explore: each stages its network
+// fault at a point on the job's *logical clock* via a ChaosObserver,
+// exactly as a sampled schedule would, and demands byte-identical
+// output. A failing DST seed that shrinks to one of these shapes
+// belongs here as the next named entry.
+
+/// Crash-during-stabilize: a node dies mid-map and the very first
+/// stabilization probes of the recovery path are eaten by drop tokens
+/// armed at the same progress point. Probes consume drop/cut tokens
+/// like any frame (a dropped probe reads as transient unreachability),
+/// so stabilization must simply run more rounds — never expel a
+/// survivor, never lose a block, never change a byte.
+#[test]
+fn crash_during_stabilize_with_dropped_probes() {
+    use eclipse_core::dst::{ChaosObserver, NetOp, Point};
+    use std::sync::Arc;
+    let expect = baseline("laf");
+    let c = cluster("laf");
+    let victim = c.ring().node_ids()[2];
+    let net = c.mem_net().expect("default transport is the mem backend").clone();
+    // Armed at the crash trigger's own milestone: the observer fires
+    // before the crash hook at the same map count, so the probes that
+    // stabilize the post-crash ring find the tokens already installed.
+    let obs = Arc::new(ChaosObserver::new(
+        net,
+        vec![(Point::Maps(2), NetOp::DropKind { kind: RpcKind::Heartbeat, n: 2 })],
+    ));
+    c.set_observer(Some(obs.clone()));
+    c.inject_faults(FaultPlan::new().crash_after_maps(victim, 2));
+    let (out, stats) = c
+        .try_run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+        .expect("dropped probes during stabilization are absorbed");
+    c.set_observer(None);
+    assert_eq!(out, expect, "crash + dropped probes diverged the output");
+    assert_eq!(obs.fired(), 1, "the armed drop never fired");
+    assert_eq!(stats.failed_nodes, 1, "exactly the scheduled victim fails");
+    assert!(stats.stabilize_rounds >= 1, "recovery never re-stabilized the ring");
+    assert!(stats.recovered_blocks > 0, "the victim's blocks were not re-replicated");
+    assert!(!c.ring().contains(victim));
+    assert_eq!(c.ring().len(), NODES - 1, "a survivor was expelled over lost probes");
+}
+
+/// Partition-while-speculative-backup-races: a straggler provokes a
+/// backup attempt, then a one-way cut severs the straggler's shuffle
+/// path to a reducer home while original and backup race the commit
+/// board. Whichever attempt wins — and whichever route its batches
+/// take after the re-home — the reducer-side (task, attempt) dedup
+/// must keep exactly one copy of every record.
+#[test]
+fn partition_while_speculative_backup_races() {
+    use eclipse_core::dst::{ChaosObserver, NetOp, Point};
+    use eclipse_core::SpeculationConfig;
+    use std::sync::Arc;
+    let expect = baseline("laf");
+    let c = LiveCluster::new(
+        LiveConfig::small()
+            .with_nodes(NODES)
+            .with_block_size(512)
+            .with_map_slots(NODES)
+            .with_scheduler(sched_of("laf"))
+            .with_speculation(SpeculationConfig {
+                slowdown: 2.0,
+                min_completed: 3,
+                poll_micros: 200,
+            }),
+    );
+    c.upload("input", USER, seeded_text().as_bytes());
+    let ids = c.ring().node_ids();
+    let straggler = ids[REDUCERS];
+    let net = c.mem_net().expect("default transport is the mem backend").clone();
+    // Cut the straggler's path to partition 1's home once a few
+    // batches are out (the monitor needs committed tasks before it
+    // speculates), heal it a few batches later.
+    let obs = Arc::new(ChaosObserver::new(
+        net,
+        vec![
+            (Point::Spills(2), NetOp::Cut { from: straggler, to: ids[1] }),
+            (Point::Spills(8), NetOp::Heal { from: straggler, to: ids[1] }),
+        ],
+    ));
+    c.set_observer(Some(obs.clone()));
+    c.inject_faults(FaultPlan::new().slow_node(straggler, 3_000));
+    let (out, stats) = c
+        .try_run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+        .expect("a partitioned straggler with a racing backup is not fatal");
+    c.set_observer(None);
+    assert_eq!(out, expect, "speculative race under partition diverged the output");
+    assert!(obs.fired() >= 1, "the armed cut never fired");
+    assert_eq!(stats.failed_nodes, 0, "neither straggler nor cut is a crash");
+    assert!(c.ring().contains(straggler), "the straggler must not be expelled");
+    assert!(
+        stats.speculative_wins + stats.retries <= stats.attempts - stats.map_tasks,
+        "attempt accounting broke under the race: {stats:?}"
+    );
+}
+
+/// Drop-on-retransmitted-window-slot: drop tokens armed mid-stream eat
+/// windowed shuffle frames *after* earlier slots of the same attempt
+/// have shipped and acked — so the losses land on slots whose
+/// retransmissions arrive behind higher sequence numbers, and a token
+/// can eat a flush-time retransmission itself. The window must keep
+/// re-flushing until every slot acks, and the reorder-tolerant dedup
+/// must deliver each exactly once.
+#[test]
+fn midstream_drop_hits_retransmitted_window_slot() {
+    use eclipse_core::dst::{ChaosObserver, NetOp, Point};
+    use std::sync::Arc;
+    let expect = baseline("laf");
+    let c = LiveCluster::new(
+        LiveConfig::small()
+            .with_nodes(NODES)
+            .with_block_size(512)
+            .with_scheduler(sched_of("laf"))
+            // Spill every ~128 bytes so each attempt ships a stream of
+            // window slots and mid-stream loss forces reordered
+            // retransmissions.
+            .with_shuffle_batch_bytes(128),
+    );
+    c.upload("input", USER, seeded_text().as_bytes());
+    let net = c.mem_net().expect("default transport is the mem backend").clone();
+    let obs = Arc::new(ChaosObserver::new(
+        net.clone(),
+        vec![(Point::Spills(3), NetOp::DropKind { kind: RpcKind::ShuffleBatch, n: 2 })],
+    ));
+    c.set_observer(Some(obs.clone()));
+    let (out, stats) = c
+        .try_run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+        .expect("mid-stream window loss is absorbed by flush retries");
+    c.set_observer(None);
+    assert_eq!(out, expect, "a retransmitted slot was lost or double-counted");
+    assert_eq!(obs.fired(), 1, "the armed drop never fired");
+    assert!(stats.timeouts >= 2, "both drop tokens should cost a timeout");
+    assert!(stats.rpc_retries >= 2, "dropped slots must be retransmitted");
+    assert!(
+        net.stats().kind_retrans(RpcKind::ShuffleBatch) > 0,
+        "no shuffle bytes were ever retransmitted"
+    );
+    assert_eq!(stats.failed_nodes, 0, "frame loss is not a node crash");
+}

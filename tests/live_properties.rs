@@ -210,3 +210,27 @@ proptest! {
         prop_assert!(solo.is_empty(), "no right side, no matches");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// DST `calm` schedules — randomized sub-budget drops, seeded link
+    /// delays, slow nodes, and injected task failures over randomized
+    /// workloads — never change a byte of output, and every
+    /// [`LiveStats`] accounting invariant holds (`attempts =
+    /// map_tasks + retries + speculative_attempts`, per-node counts
+    /// summing to `map_tasks`, no phantom recovery without a crash).
+    /// The oracle inside `run_seed` checks all of it; a calm verdict
+    /// other than `Match` is a real bug in the executor or harness.
+    #[test]
+    fn calm_schedules_hold_livestats_invariants(seed in 0u64..10_000) {
+        use eclipse_core::dst::{run_seed, DstPreset, Verdict};
+        let r = run_seed(seed, DstPreset::Calm);
+        prop_assert!(
+            matches!(r.verdict, Verdict::Match),
+            "calm seed {} (workload {:?}, schedule {:?}) ended {:?}",
+            seed, r.workload, r.schedule, r.verdict
+        );
+        prop_assert!(r.oracle_checks > 1, "stats invariants were never checked");
+    }
+}
