@@ -1,0 +1,67 @@
+//! Snapshot elastic-membership cost to `results/BENCH_elastic.json`.
+//!
+//! Usage: `elastic_bench [--quick] [--out PATH]`. One runtime join, one
+//! graceful leave, and both composed, injected mid-job into word-count
+//! runs; records job wall-clock vs the static fault-free run plus the
+//! handoff work (blocks/bytes pulled, uncommitted claims drained).
+//! `scripts/tier1.sh` runs this in quick mode so every CI pass leaves a
+//! comparable number behind.
+
+use eclipse_bench::elastic_bench::{sweep, NODES};
+
+fn main() {
+    let mut quick = std::env::var("CRITERION_QUICK").is_ok();
+    let mut out = String::from("results/BENCH_elastic.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown arg {other:?} (expected --quick / --out PATH)"),
+        }
+    }
+
+    let corpus_bytes = if quick { 512 * 1024 } else { 2 * 1024 * 1024 };
+    let points = sweep(corpus_bytes, quick);
+
+    let mut json =
+        String::from("{\n  \"bench\": \"elastic_membership\",\n  \"app\": \"wordcount\",\n");
+    json.push_str(&format!(
+        "  \"nodes\": {NODES},\n  \"corpus_bytes\": {corpus_bytes},\n  \"quick\": {quick},\n  \"points\": [\n"
+    ));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"secs\": {:.6}, \"static_secs\": {:.6}, \"membership_secs\": {:.6}, \"handoff_blocks\": {}, \"handoff_bytes\": {}, \"drained_tasks\": {}, \"stabilize_rounds\": {}}}{}\n",
+            p.scenario,
+            p.secs,
+            p.static_secs,
+            p.membership_secs,
+            p.handoff_blocks,
+            p.handoff_bytes,
+            p.drained_tasks,
+            p.stabilize_rounds,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, &json).expect("write BENCH_elastic.json");
+
+    for p in &points {
+        println!(
+            "scenario={:<10} secs={:.4} static={:.4} membership={:.6} handoff_blocks={} handoff_bytes={} drained_tasks={} stabilize_rounds={}",
+            p.scenario,
+            p.secs,
+            p.static_secs,
+            p.membership_secs,
+            p.handoff_blocks,
+            p.handoff_bytes,
+            p.drained_tasks,
+            p.stabilize_rounds
+        );
+    }
+    println!("wrote {out}");
+}

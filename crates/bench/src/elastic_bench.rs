@@ -1,0 +1,115 @@
+//! Elastic-membership cost measurement for the live executor.
+//!
+//! Runs real word-count jobs through [`LiveCluster`] with runtime
+//! membership changes injected mid-job (via [`FaultPlan`]) — one node
+//! joining, one gracefully leaving, and both composed — and reports
+//! each scenario's wall-clock next to the static fault-free time plus
+//! the handoff work performed (blocks and bytes pulled across the
+//! ring, uncommitted claims drained back to the scheduler, time spent
+//! inside the membership path). Shared by the `elastic_bench` binary
+//! that `scripts/tier1.sh` uses to snapshot
+//! `results/BENCH_elastic.json`, so CI tracks the cost of scaling the
+//! cluster under load alongside throughput and crash recovery. Every
+//! elastic run's output is asserted byte-identical to the static
+//! reference.
+
+use eclipse_apps::WordCount;
+use eclipse_core::{FaultPlan, LiveCluster, LiveConfig, ReusePolicy};
+use std::time::Instant;
+
+/// Cluster size for the elastic scenarios (matches the crash bench so
+/// the two snapshots compare like for like).
+pub const NODES: usize = 8;
+const REDUCERS: usize = 4;
+
+/// The membership scenarios measured against the static baseline.
+pub const SCENARIOS: &[&str] = &["join", "leave", "join+leave"];
+
+/// One elastic-scenario sample.
+#[derive(Clone, Debug)]
+pub struct ElasticPoint {
+    /// Membership change injected mid-job.
+    pub scenario: &'static str,
+    /// Median wall-clock of the elastic job.
+    pub secs: f64,
+    /// Wall-clock of the static fault-free reference job (same data,
+    /// same initial cluster shape), for overhead comparison.
+    pub static_secs: f64,
+    /// Median seconds spent inside the membership path itself
+    /// (admission + stabilization + handoff pulls + drain).
+    pub membership_secs: f64,
+    pub handoff_blocks: u64,
+    pub handoff_bytes: u64,
+    pub drained_tasks: u64,
+    pub stabilize_rounds: u64,
+}
+
+fn make(text: &[u8]) -> LiveCluster {
+    let c = LiveCluster::new(
+        LiveConfig::small().with_nodes(NODES).with_block_size(16 * 1024),
+    );
+    c.upload("input", "bench", text);
+    c
+}
+
+/// Measure every membership scenario. `quick` trades samples for speed.
+pub fn sweep(corpus_bytes: usize, quick: bool) -> Vec<ElasticPoint> {
+    let (text, _) = crate::live_bench::corpus(corpus_bytes);
+    let samples = if quick { 3 } else { 5 };
+
+    // Static reference: correctness oracle and timing baseline.
+    let (expect, static_secs) = {
+        let c = make(&text);
+        let t = Instant::now();
+        let (out, _) =
+            c.run_job(&WordCount, "input", "bench", REDUCERS, ReusePolicy::default());
+        (out, t.elapsed().as_secs_f64())
+    };
+
+    SCENARIOS
+        .iter()
+        .map(|&scenario| {
+            let mut times = Vec::with_capacity(samples);
+            let mut memberships = Vec::with_capacity(samples);
+            let mut handoff_blocks = 0;
+            let mut handoff_bytes = 0;
+            let mut drained_tasks = 0;
+            let mut stabilize_rounds = 0;
+            for _ in 0..samples {
+                // A membership change reshapes the cluster, so every
+                // sample gets a fresh one.
+                let c = make(&text);
+                let leaver = c.ring().node_ids()[1];
+                let plan = match scenario {
+                    "join" => FaultPlan::new().join_at_maps(2),
+                    "leave" => FaultPlan::new().leave_at_maps(leaver, 2),
+                    _ => FaultPlan::new().join_at_maps(2).leave_at_maps(leaver, 4),
+                };
+                c.inject_faults(plan);
+                let t = Instant::now();
+                let (out, stats) = c
+                    .try_run_job(&WordCount, "input", "bench", REDUCERS, ReusePolicy::default())
+                    .expect("elastic membership is within the fault model");
+                times.push(t.elapsed().as_secs_f64());
+                assert_eq!(out, expect, "elastic bench: {scenario} diverged output");
+                memberships.push(stats.recovery_nanos as f64 / 1e9);
+                handoff_blocks = stats.handoff_blocks;
+                handoff_bytes = stats.handoff_bytes;
+                drained_tasks = stats.drained_tasks;
+                stabilize_rounds = stats.stabilize_rounds;
+            }
+            times.sort_by(|a, b| a.total_cmp(b));
+            memberships.sort_by(|a, b| a.total_cmp(b));
+            ElasticPoint {
+                scenario,
+                secs: times[times.len() / 2],
+                static_secs,
+                membership_secs: memberships[memberships.len() / 2],
+                handoff_blocks,
+                handoff_bytes,
+                drained_tasks,
+                stabilize_rounds,
+            }
+        })
+        .collect()
+}

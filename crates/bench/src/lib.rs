@@ -10,6 +10,7 @@ pub mod ablations;
 pub mod cache_bench;
 pub mod chaos_bench;
 pub mod dst_bench;
+pub mod elastic_bench;
 pub mod live_bench;
 pub mod net_bench;
 pub mod straggler_bench;

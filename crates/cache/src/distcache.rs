@@ -221,6 +221,41 @@ impl DistributedCache {
         (moved, moved_bytes)
     }
 
+    /// Drain entries stranded on `node` by a membership-driven range
+    /// change: remove every resident entry whose home under the freshly
+    /// installed range table is another node, and return the
+    /// payload-carrying ones with their new home so the caller can ship
+    /// them across the transport (the elastic `RangeHandoff` path).
+    /// Metered, payload-less entries are removed and dropped — they are
+    /// hints, re-creatable by a future miss. Unlike
+    /// [`migrate_misplaced`](Self::migrate_misplaced) the move is not
+    /// restricted to ring neighbors and never touches the target cache;
+    /// delivery happens over the wire.
+    pub fn drain_for_handoff(&self, node: NodeId) -> Vec<(CacheKey, bytes::Bytes, NodeId)> {
+        let stranded: Vec<(CacheKey, NodeId)> = {
+            let ranges = self.ranges.read();
+            self.with_node(node, |c| {
+                c.keys()
+                    .into_iter()
+                    .filter_map(|k| {
+                        let home = ranges
+                            .iter()
+                            .find(|(_, r)| r.contains(k.hash_key()))
+                            .map(|(n, _)| *n)?;
+                        (home != node).then_some((k, home))
+                    })
+                    .collect()
+            })
+        };
+        let mut out = Vec::new();
+        for (key, home) in stranded {
+            if let Some(payload) = self.with_node(node, |c| c.take_payload(&key)) {
+                out.push((key, payload, home));
+            }
+        }
+        out
+    }
+
     /// Count entries resident on servers whose current range does not
     /// cover them (misplacement measurement, §II-E).
     pub fn misplaced_entries(&self) -> usize {
@@ -295,6 +330,29 @@ mod tests {
         assert_eq!(bytes, 10);
         assert_eq!(cache.misplaced_entries(), 0);
         assert!(cache.get_at_home(&key, 2.0).is_some());
+    }
+
+    #[test]
+    fn drain_for_handoff_extracts_stranded_payloads() {
+        let (_, cache) = cache_n(2, MB);
+        let key = CacheKey::Input(HashKey(42));
+        let old_home = cache.put_at_home(key.clone(), 10, 0.0, None);
+        cache.with_node(old_home, |c| {
+            c.take_payload(&key);
+            c.put_payload(key.clone(), bytes::Bytes::from_static(b"payload"), 0.0, None)
+        });
+        let r = cache.ranges();
+        cache.set_ranges(vec![(r[1].0, r[0].1), (r[0].0, r[1].1)]);
+        let new_home = cache.home_of(HashKey(42));
+        let drained = cache.drain_for_handoff(old_home);
+        assert_eq!(drained.len(), 1);
+        let (k, payload, target) = &drained[0];
+        assert_eq!(k, &key);
+        assert_eq!(payload.as_ref(), b"payload");
+        assert_eq!(*target, new_home);
+        // The entry left the old home; metered entries are gone too.
+        assert_eq!(cache.misplaced_entries(), 0);
+        assert!(cache.drain_for_handoff(old_home).is_empty(), "idempotent");
     }
 
     #[test]

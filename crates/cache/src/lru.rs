@@ -388,6 +388,14 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         Some(self.detach(i).0)
     }
 
+    /// Remove `key` and return its (size, in-slot value) without
+    /// touching recency or statistics — the elastic handoff path
+    /// extracts entries wholesale to re-home them on another node.
+    pub fn take(&mut self, key: &K) -> Option<(u64, Option<V>)> {
+        let &i = self.index.get(key)?;
+        Some(self.detach(i))
+    }
+
     /// Drop every expired entry at time `now`; returns the count.
     pub fn expire(&mut self, now: f64) -> usize {
         // Walk the recency list (order is irrelevant for correctness;

@@ -106,6 +106,13 @@ impl NodeCache {
         self.lru.invalidate(key)
     }
 
+    /// Remove `key`, returning its payload when one is resident. No hit
+    /// or miss is recorded — a handoff is bookkeeping, not a lookup.
+    /// Metered (payload-less) entries are removed and yield `None`.
+    pub fn take_payload(&mut self, key: &CacheKey) -> Option<Bytes> {
+        self.lru.take(key).and_then(|(_, v)| v)
+    }
+
     /// Evict everything (cold-cache experiment setup).
     pub fn clear(&mut self) {
         self.lru.clear();

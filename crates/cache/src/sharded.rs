@@ -104,6 +104,12 @@ impl ShardedNodeCache {
         self.shard_of(key).lock().invalidate(key)
     }
 
+    /// Remove `key`, returning its payload when one is resident
+    /// (elastic handoff path; no statistics recorded).
+    pub fn take_payload(&self, key: &CacheKey) -> Option<Bytes> {
+        self.shard_of(key).lock().take_payload(key)
+    }
+
     /// Evict everything (cold-cache experiment setup).
     pub fn clear(&self) {
         for s in &self.shards {

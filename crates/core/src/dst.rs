@@ -3,7 +3,8 @@
 //! One `u64` seed drives everything: a workload sampler (app, input,
 //! cluster shape, scheduler, cache shards, map slots, speculation,
 //! replication), and a fault-schedule sampler that composes the
-//! existing chaos machinery — [`FaultPlan`] crash/slow/fail-task hooks
+//! existing chaos machinery — [`FaultPlan`] crash/slow/fail-task and
+//! elastic join/leave hooks
 //! plus the [`MemTransport`] partition/delay/drop API — at points keyed
 //! off the job's *own progress* (maps committed, shuffle batches sent)
 //! rather than wall time. The same seed therefore replays the same
@@ -153,6 +154,16 @@ pub struct FaultConfig {
     /// accumulate across the schedule. Calm pins this below
     /// [`NET_BUDGET`] so drops can never exhaust a retry loop.
     pub tokens_per_target_max: u32,
+    /// Max mid-job node joins per schedule (elastic membership).
+    pub join_slots_max: u32,
+    /// Max mid-job graceful leaves per schedule. Leavers are drawn
+    /// from the same availability pool as crash victims, so a leaver
+    /// is never also scheduled to crash and at least two original
+    /// members always survive. A leave voids at most one in-flight
+    /// attempt per task, so calm keeps
+    /// `fail_times_max + leave_slots_max < TASK_BUDGET` to stay benign
+    /// by construction.
+    pub leave_slots_max: u32,
 }
 
 impl FaultConfig {
@@ -171,6 +182,11 @@ impl FaultConfig {
             heal_p: 1.0,
             drop_n_max: 2,
             tokens_per_target_max: NET_BUDGET - 1,
+            // fail_times_max (2) + leave_slots_max (1) < TASK_BUDGET:
+            // a leave-voided attempt stacked on every injected failure
+            // still leaves one attempt of budget, so calm stays benign.
+            join_slots_max: 1,
+            leave_slots_max: 1,
         }
     }
 
@@ -189,6 +205,8 @@ impl FaultConfig {
             heal_p: 0.7,
             drop_n_max: 4,
             tokens_per_target_max: u32::MAX,
+            join_slots_max: 1,
+            leave_slots_max: 1,
         }
     }
 
@@ -207,6 +225,8 @@ impl FaultConfig {
             heal_p: 0.5,
             drop_n_max: 6,
             tokens_per_target_max: u32::MAX,
+            join_slots_max: 2,
+            leave_slots_max: 2,
         }
     }
 }
@@ -389,9 +409,13 @@ pub enum DstFault {
     DelayLink { from: NodeId, to: NodeId, at: Point, salt: u64 },
     DropOnLink { from: NodeId, to: NodeId, at: Point, n: u32 },
     DropKind { kind: RpcKind, at: Point, n: u32 },
+    /// Admit a fresh node once `at` map tasks have committed.
+    JoinAtMaps { at: u64 },
+    /// Gracefully retire `node` once `at` map tasks have committed.
+    LeaveAtMaps { node: NodeId, at: u64 },
 }
 
-const KINDS: [RpcKind; 8] = [
+const KINDS: [RpcKind; 10] = [
     RpcKind::GetBlock,
     RpcKind::PutBlock,
     RpcKind::ReplicaSync,
@@ -400,6 +424,8 @@ const KINDS: [RpcKind; 8] = [
     RpcKind::ShuffleBatch,
     RpcKind::Heartbeat,
     RpcKind::TaskAssign,
+    RpcKind::RangeHandoff,
+    RpcKind::BlockPull,
 ];
 
 fn sample_point(rng: &mut StdRng, maps: u64, spills: u64) -> Point {
@@ -448,6 +474,25 @@ pub fn sample_schedule(
             1 => DstFault::CrashAtSpills { node, spills: rng.random_range(1..=spills) },
             _ => DstFault::CrashInReduce { node },
         });
+    }
+
+    // Elastic membership: joins only add capacity, so they need no
+    // survivor guard. Leavers come from the same availability pool as
+    // crash victims — a leaver is never also a crash victim, and at
+    // least two original members survive every schedule. Both are
+    // armed on the map-commit logical clock and clamped to [1, maps]
+    // so every scheduled event actually fires on a successful run.
+    let joins = rng.random_range(0..=cfg.join_slots_max);
+    for _ in 0..joins {
+        out.push(DstFault::JoinAtMaps { at: rng.random_range(1..=maps) });
+    }
+    let leaves = rng.random_range(0..=cfg.leave_slots_max);
+    for _ in 0..leaves {
+        if avail.len() <= 2 {
+            break;
+        }
+        let node = avail.swap_remove(rng.random_range(0..avail.len()));
+        out.push(DstFault::LeaveAtMaps { node, at: rng.random_range(1..=maps) });
     }
 
     if rng.random_bool(cfg.fail_task_p) {
@@ -615,10 +660,11 @@ pub struct Allowed {
 /// byte-identical, full stop.
 pub fn allowed_errors(schedule: &[DstFault]) -> Allowed {
     let mut victims = Vec::new();
-    let mut kill_task = false;
+    let mut fail_times = 0u32;
     let mut fail_task = false;
     let mut cuts = false;
     let mut any_drop = false;
+    let mut leaves = 0u32;
     let mut link_tokens: HashMap<(NodeId, NodeId), u32> = HashMap::new();
     let mut kind_tokens: HashMap<RpcKind, u32> = HashMap::new();
     for f in schedule {
@@ -632,7 +678,7 @@ pub fn allowed_errors(schedule: &[DstFault]) -> Allowed {
             }
             DstFault::FailTask { times, .. } => {
                 fail_task = true;
-                kill_task |= times >= TASK_BUDGET;
+                fail_times = fail_times.max(times);
             }
             DstFault::SlowNode { .. } | DstFault::DelayLink { .. } => {}
             DstFault::CutLink { .. } => cuts = true,
@@ -644,8 +690,18 @@ pub fn allowed_errors(schedule: &[DstFault]) -> Allowed {
                 any_drop = true;
                 *kind_tokens.entry(kind).or_insert(0) += n;
             }
+            // A join adds capacity and excuses nothing. A leave alone
+            // excuses nothing either — its handoff falls back through
+            // every surviving replica — but each leave can void one
+            // in-flight attempt per task, charging the retry budget,
+            // so it counts toward the exhaustion arithmetic below.
+            DstFault::JoinAtMaps { .. } => {}
+            DstFault::LeaveAtMaps { .. } => leaves += 1,
         }
     }
+    // Budget arithmetic: injected failures plus one possible
+    // leave-void per leave may exhaust MAX_ATTEMPTS.
+    let kill_task = fail_times > 0 && fail_times + leaves >= TASK_BUDGET;
     let heavy_drops = link_tokens.values().any(|&n| n >= NET_BUDGET)
         || kind_tokens.values().any(|&n| n >= NET_BUDGET);
     let crashes = victims.len();
@@ -711,12 +767,47 @@ pub fn check_stats(
         stats.tasks_per_node.iter().sum::<u64>(),
         stats.map_tasks
     );
+    let planned_joins =
+        schedule.iter().filter(|f| matches!(f, DstFault::JoinAtMaps { .. })).count() as u64;
+    let planned_leaves =
+        schedule.iter().filter(|f| matches!(f, DstFault::LeaveAtMaps { .. })).count() as u64;
     inv!(
-        stats.tasks_per_node.len() == w.nodes,
-        "tasks_per_node has {} entries for {} nodes",
+        stats.tasks_per_node.len() == w.nodes + planned_joins as usize,
+        "tasks_per_node has {} entries for {} nodes + {} joins",
         stats.tasks_per_node.len(),
-        w.nodes
+        w.nodes,
+        planned_joins
     );
+    // Every map-commit count is reached on a successful run, so every
+    // scheduled elastic event fired exactly once (leavers are never
+    // crash victims, so no leave degenerates into a no-op).
+    inv!(
+        stats.joins == planned_joins,
+        "joins {} != scheduled {}",
+        stats.joins,
+        planned_joins
+    );
+    inv!(
+        stats.leaves == planned_leaves,
+        "leaves {} != scheduled {}",
+        stats.leaves,
+        planned_leaves
+    );
+    if planned_leaves == 0 {
+        inv!(
+            stats.drained_tasks == 0,
+            "drained {} tasks with no scheduled leave",
+            stats.drained_tasks
+        );
+    }
+    if planned_joins == 0 && planned_leaves == 0 {
+        inv!(
+            stats.handoff_blocks == 0 && stats.handoff_bytes == 0,
+            "phantom handoff without elastic events: blocks={} bytes={}",
+            stats.handoff_blocks,
+            stats.handoff_bytes
+        );
+    }
     if w.replication == 1 {
         inv!(
             stats.cache_hits + stats.cache_misses >= stats.map_tasks,
@@ -742,15 +833,21 @@ pub fn check_stats(
         }
     }
     if crash_victims.is_empty() {
+        // Crash recovery counters stay crash-only: a graceful leave
+        // re-homes blocks through the handoff counters, never these.
         inv!(
-            stats.failed_nodes == 0
-                && stats.recovered_blocks == 0
-                && stats.stabilize_rounds == 0,
-            "phantom recovery on a crash-free schedule: failed={} recovered={} stabilize={}",
+            stats.failed_nodes == 0 && stats.recovered_blocks == 0,
+            "phantom recovery on a crash-free schedule: failed={} recovered={}",
             stats.failed_nodes,
-            stats.recovered_blocks,
-            stats.stabilize_rounds
+            stats.recovered_blocks
         );
+        if planned_joins == 0 && planned_leaves == 0 {
+            inv!(
+                stats.stabilize_rounds == 0,
+                "phantom stabilization on a membership-static schedule: {}",
+                stats.stabilize_rounds
+            );
+        }
     } else {
         inv!(
             stats.failed_nodes <= crash_victims.len() as u64,
@@ -864,6 +961,8 @@ fn run_schedule(
             DstFault::DropKind { kind, at, n } => {
                 pending.push((at, NetOp::DropKind { kind, n }));
             }
+            DstFault::JoinAtMaps { at } => plan = plan.join_at_maps(at),
+            DstFault::LeaveAtMaps { node, at } => plan = plan.leave_at_maps(node, at),
         }
     }
     let planned = plan.len() as u64;

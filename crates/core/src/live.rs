@@ -74,9 +74,11 @@ use eclipse_dhtfs::{BlockId, BlockStore, DhtFs, DhtFsConfig, FsError};
 use eclipse_net::{
     MemTransport, RetryPolicy, Rpc, RpcReply, SendTicket, TcpTransport, Transport, CLIENT,
 };
-use eclipse_ring::{ChordNet, HeartbeatMonitor, NodeId, Ring};
+use eclipse_ring::{
+    ChordNet, ClusterView, HeartbeatMonitor, MembershipEvent, NodeId, Ring, RingError, ServerInfo,
+};
 use eclipse_sched::{DelayScheduler, LafScheduler};
-use eclipse_util::HashKey;
+use eclipse_util::{HashKey, KeyRange};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use std::cell::{Cell, RefCell};
@@ -369,6 +371,18 @@ pub struct LiveStats {
     /// Shuffle records delivered node-locally (no `ShuffleBatch` frame
     /// on the wire) — the replicated map-out's dividend.
     pub local_shuffle_records: u64,
+    /// Nodes that joined the ring while this job was running.
+    pub joins: u64,
+    /// Nodes that left the ring gracefully while this job was running.
+    pub leaves: u64,
+    /// Block replicas moved by elastic handoff: a joiner pulling its
+    /// arc, or a leaver's copies pushed to their new ideal holders.
+    pub handoff_blocks: u64,
+    /// Payload bytes moved by elastic handoff.
+    pub handoff_bytes: u64,
+    /// Claimed-but-uncommitted tasks a graceful leaver handed back to
+    /// the scheduler (their re-executions count as `retries`).
+    pub drained_tasks: u64,
 }
 
 /// What a mid-job (or between-jobs) node recovery accomplished.
@@ -395,6 +409,14 @@ enum FaultOp {
     FailTask { task: usize, times: u32 },
     /// Delay every attempt executed by `node` (a straggler).
     SlowNode { node: NodeId, micros: u64 },
+    /// Admit a fresh node once `maps` map tasks have committed: full
+    /// elastic join — stabilization, replica pull, cache-range handoff,
+    /// and a parked worker thread waking under the new identity.
+    JoinAtMaps { maps: u64 },
+    /// Gracefully remove `node` once `maps` map tasks have committed:
+    /// its queued tasks drain back to the scheduler and its data is
+    /// pushed to successors before the endpoint closes.
+    LeaveAtMaps { node: NodeId, maps: u64 },
 }
 
 /// A deterministic fault-injection schedule for one job run.
@@ -453,6 +475,18 @@ impl FaultPlan {
         self
     }
 
+    /// Admit a fresh node once `maps` map tasks have committed.
+    pub fn join_at_maps(mut self, maps: u64) -> FaultPlan {
+        self.ops.push(FaultOp::JoinAtMaps { maps });
+        self
+    }
+
+    /// Gracefully remove `node` once `maps` map tasks have committed.
+    pub fn leave_at_maps(mut self, node: NodeId, maps: u64) -> FaultPlan {
+        self.ops.push(FaultOp::LeaveAtMaps { node, maps });
+        self
+    }
+
     /// Number of scheduled operations (diagnostics).
     pub fn len(&self) -> usize {
         self.ops.len()
@@ -481,6 +515,13 @@ pub enum DstEvent {
     /// `node` finished crashing: detection, stabilization and
     /// re-replication are complete and its tasks are re-queued.
     NodeCrashed { node: NodeId },
+    /// `node` joined the ring mid-run: the ring stabilized around it,
+    /// it pulled its cache range and block replicas, and it is
+    /// accepting work.
+    NodeJoined { node: NodeId },
+    /// `node` left the ring gracefully: its queued tasks drained back
+    /// to the scheduler and its data was handed off before departure.
+    NodeLeft { node: NodeId },
     /// The run finished (success or error); transport fault state
     /// installed by the observer should be torn down.
     JobEnd,
@@ -642,6 +683,20 @@ impl ShuffleRouter {
         self.homes.write()[partition] = node;
     }
 
+    /// Proactively re-home every partition addressed at `victim` onto
+    /// `to` (the victim's ring successor). Crash and graceful-leave
+    /// recovery both call this so post-event spills go straight to the
+    /// current owner instead of discovering the stale home through a
+    /// failed send (which burns an attempt's worth of retry budget).
+    fn rehome_from(&self, victim: NodeId, to: NodeId) {
+        let mut homes = self.homes.write();
+        for h in homes.iter_mut() {
+            if *h == victim {
+                *h = to;
+            }
+        }
+    }
+
     /// Feed one batch into its partition channel. Duplicates are
     /// acknowledged without re-delivery; `false` means no job is
     /// accepting shuffle output (teardown).
@@ -767,6 +822,36 @@ fn bind_endpoint(
                 router.assign(node, task as usize);
                 RpcReply::Ack
             }
+            Rpc::RangeHandoff { key, data } => {
+                // A re-homed cache entry arriving from its previous
+                // owner (elastic join or leave). Adopt it into this
+                // node's shard; a lost handoff is only a future miss,
+                // so there is no further handshake.
+                cache.with_node(node, |c| c.put_payload(key, data, 0.0, None));
+                RpcReply::Ack
+            }
+            Rpc::BlockPull { block, from } => {
+                // Elastic handoff: this node is the block's new ideal
+                // holder and pulls the payload from `from`. The same
+                // relay shape as `ReplicaSync`, but pull-driven — the
+                // new holder drives its own catch-up.
+                if let Some(data) = store.get(node, block) {
+                    return RpcReply::Synced { bytes: data.len() as u64 };
+                }
+                let Some(net) = weak.upgrade() else {
+                    return RpcReply::Error("transport shut down".into());
+                };
+                match net.call(node, from, Rpc::GetBlock { block }) {
+                    Ok(RpcReply::Block(Some(data))) => {
+                        let bytes = data.len() as u64;
+                        store.put(node, block, data);
+                        RpcReply::Synced { bytes }
+                    }
+                    Ok(RpcReply::Block(None)) => RpcReply::Missing,
+                    Ok(r) => RpcReply::Error(format!("unexpected reply {r:?}")),
+                    Err(e) => RpcReply::Error(e.to_string()),
+                }
+            }
             }
         }),
     );
@@ -834,6 +919,18 @@ struct RunRt {
     speculative_wins: AtomicU64,
     cancelled_attempts: AtomicU64,
     local_shuffle_records: AtomicU64,
+    joins: AtomicU64,
+    leaves: AtomicU64,
+    handoff_blocks: AtomicU64,
+    handoff_bytes: AtomicU64,
+    drained_tasks: AtomicU64,
+    /// Elastic joins scheduled for this run: per-node ledgers are sized
+    /// `nodes + planned_joins` so a joiner's index is in range, and one
+    /// parked worker thread is spawned per planned join.
+    planned_joins: usize,
+    /// Identities posted by the join handler for parked worker threads
+    /// to adopt.
+    joined: Mutex<Vec<NodeId>>,
 }
 
 impl RunRt {
@@ -843,6 +940,9 @@ impl RunRt {
         ops: Vec<FaultOp>,
         obs: Option<Arc<dyn DstObserver>>,
     ) -> RunRt {
+        let planned_joins =
+            ops.iter().filter(|op| matches!(op, FaultOp::JoinAtMaps { .. })).count();
+        let slots = nodes + planned_joins;
         RunRt {
             commits: (0..tasks).map(|_| AtomicU32::new(UNCOMMITTED)).collect(),
             next_attempt: (0..tasks).map(|_| AtomicU32::new(0)).collect(),
@@ -851,7 +951,7 @@ impl RunRt {
             retry: Mutex::new(Vec::new()),
             error: Mutex::new(None),
             aborted: AtomicBool::new(false),
-            poisoned: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+            poisoned: (0..slots).map(|_| AtomicBool::new(false)).collect(),
             maps_done: AtomicU64::new(0),
             spills_sent: AtomicU64::new(0),
             armed: !ops.is_empty(),
@@ -859,7 +959,7 @@ impl RunRt {
             obs,
             recovery_gate: Mutex::new(()),
             failures: (0..tasks).map(|_| AtomicU32::new(0)).collect(),
-            running: (0..nodes).map(|_| AtomicU32::new(0)).collect(),
+            running: (0..slots).map(|_| AtomicU32::new(0)).collect(),
             spec: Mutex::new(Vec::new()),
             spec_launched: (0..tasks).map(|_| AtomicBool::new(false)).collect(),
             durations: Mutex::new(Vec::new()),
@@ -873,6 +973,13 @@ impl RunRt {
             speculative_wins: AtomicU64::new(0),
             cancelled_attempts: AtomicU64::new(0),
             local_shuffle_records: AtomicU64::new(0),
+            joins: AtomicU64::new(0),
+            leaves: AtomicU64::new(0),
+            handoff_blocks: AtomicU64::new(0),
+            handoff_bytes: AtomicU64::new(0),
+            drained_tasks: AtomicU64::new(0),
+            planned_joins,
+            joined: Mutex::new(Vec::new()),
         }
     }
 
@@ -939,6 +1046,33 @@ impl RunRt {
 
     fn due_in_reduce(&self) -> Option<NodeId> {
         self.take_crash(|op| matches!(op, FaultOp::CrashInReduce { .. }))
+    }
+
+    /// Pop one due elastic join (armed on the committed-maps clock).
+    fn due_join(&self, done: u64) -> bool {
+        let mut ops = self.ops.lock();
+        match ops
+            .iter()
+            .position(|op| matches!(op, FaultOp::JoinAtMaps { maps } if done >= *maps))
+        {
+            Some(i) => {
+                ops.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pop one due graceful leave (armed on the committed-maps clock).
+    fn due_leave(&self, done: u64) -> Option<NodeId> {
+        let mut ops = self.ops.lock();
+        let i = ops
+            .iter()
+            .position(|op| matches!(op, FaultOp::LeaveAtMaps { maps, .. } if done >= *maps))?;
+        match ops.remove(i) {
+            FaultOp::LeaveAtMaps { node, .. } => Some(node),
+            _ => unreachable!("position matched LeaveAtMaps"),
+        }
     }
 
     /// Straggler delay for attempts executed by `node` (0 = none).
@@ -1008,6 +1142,15 @@ pub struct LiveCluster {
     /// DST progress observer (see [`DstObserver`]); cloned into each
     /// run's `RunRt` at job start.
     observer: RwLock<Option<Arc<dyn DstObserver>>>,
+    /// Membership bookkeeping (paper §II): every join, leave and crash
+    /// is applied as a [`MembershipEvent`], bumping the epoch that lets
+    /// placement state (cache ranges, shuffle homes) notice staleness.
+    view: Mutex<ClusterView>,
+    /// The in-flight run's ledger, stashed so the public
+    /// [`join_node`](Self::join_node) / [`leave_node`](Self::leave_node)
+    /// entry points can serialize through its recovery gate and drain
+    /// its queues while a job is running.
+    active: Mutex<Option<Arc<RunRt>>>,
 }
 
 impl LiveCluster {
@@ -1065,6 +1208,7 @@ impl LiveCluster {
         for n in ring.node_ids() {
             monitor.heartbeat(n, 0.0);
         }
+        let view = ClusterView::new(ring.clone());
         LiveCluster {
             cfg,
             ring: RwLock::new(ring),
@@ -1080,6 +1224,8 @@ impl LiveCluster {
             faults: Mutex::new(Vec::new()),
             slow_serving,
             observer: RwLock::new(None),
+            view: Mutex::new(view),
+            active: Mutex::new(None),
         }
     }
 
@@ -1088,8 +1234,21 @@ impl LiveCluster {
         self.ring.read().clone()
     }
 
+    /// The membership epoch: bumped once per join, leave or crash.
+    /// Placement consumers compare epochs to detect stale snapshots.
+    pub fn epoch(&self) -> u64 {
+        self.view.lock().epoch()
+    }
+
     pub fn nodes(&self) -> usize {
         self.cfg.nodes
+    }
+
+    /// The live cache hash-key ranges (test/diagnostic access — the
+    /// property suite checks they partition the key space exactly after
+    /// any elastic membership schedule).
+    pub fn cache_ranges(&self) -> Vec<(NodeId, KeyRange)> {
+        self.cache.ranges()
     }
 
     /// The block payload store (test/diagnostic access — e.g. the
@@ -1485,14 +1644,17 @@ impl LiveCluster {
         let tasks = &tasks;
         let queues = &queues;
 
-        // Per-run fault schedule and attempt ledger.
-        let rt = RunRt::new(
+        // Per-run fault schedule and attempt ledger. Stashed in
+        // `self.active` so the public join/leave entry points reach the
+        // in-flight ledger; cleared the moment the run's threads exit.
+        let rt_arc = Arc::new(RunRt::new(
             tasks.len(),
             node_count,
             std::mem::take(&mut *self.faults.lock()),
             self.observer.read().clone(),
-        );
-        let rt = &rt;
+        ));
+        *self.active.lock() = Some(Arc::clone(&rt_arc));
+        let rt: &RunRt = &rt_arc;
         rt.notify(DstEvent::JobStart { tasks: tasks.len() });
 
         // A straggler is slow end to end, not just at map compute: for
@@ -1709,23 +1871,18 @@ impl LiveCluster {
             }
 
             // Mapper side: up to one worker thread per live virtual
-            // node, bounded by hardware parallelism.
-            std::thread::scope(|map_scope| {
-                for (wi, &me) in workers.iter().enumerate().take(threads) {
-                    let workers = &workers;
-                    let hits = &hits;
-                    let misses = &misses;
-                    let remote = &remote;
-                    let spill_count = &spill_count;
-                    let steal_count = &steal_count;
-                    map_scope.spawn(move || {
+            // node, bounded by hardware parallelism. The whole worker
+            // body lives in `worker_loop` so elastic joiners run it
+            // too: latent lanes park until a mid-job join hands them a
+            // fresh identity through `rt.joined`.
+            let worker_loop = |wi: usize, start: NodeId| {
                         // Threads are execution resources, not nodes:
                         // each starts under one virtual node's identity
                         // but re-homes to a survivor when that node
                         // crashes (with fewer cores than nodes a single
                         // thread already serves many virtual nodes, so
                         // its exit would strand the whole job).
-                        let me = Cell::new(me);
+                        let me = Cell::new(start);
                         // One spill buffer and one combine scratch per
                         // worker; the buffer is flushed at the end of
                         // every task so each batch carries exactly one
@@ -2123,6 +2280,28 @@ impl LiveCluster {
                                     while let Some(victim) = rt.due_after_maps(done) {
                                         self.crash_node_mid_job(victim, rt);
                                     }
+                                    // Elastic events fire on the same
+                                    // logical clock, crashes first so a
+                                    // join/leave due at the same commit
+                                    // count sees the repaired ring.
+                                    while rt.due_join(done) {
+                                        let seq = rt.joins.load(Ordering::Relaxed);
+                                        self.admit_and_handoff(
+                                            &format!("join-{seq}"),
+                                            Some(rt),
+                                        );
+                                    }
+                                    while let Some(n) = rt.due_leave(done) {
+                                        // A leaver that already crashed
+                                        // (or left) is a no-op; only a
+                                        // handoff that lost the sole
+                                        // replica is terminal.
+                                        if let Err(FsError::DataLoss(b)) =
+                                            self.graceful_leave(n, Some(rt))
+                                        {
+                                            rt.abort(JobError::DataLoss(b));
+                                        }
+                                    }
                                 }
                             }
                         };
@@ -2416,6 +2595,36 @@ impl LiveCluster {
                         if let Some(p) = pending.take() {
                             settle(p);
                         }
+            };
+            let worker_loop = &worker_loop;
+            std::thread::scope(|map_scope| {
+                for (wi, &me) in workers.iter().enumerate().take(threads) {
+                    map_scope.spawn(move || worker_loop(wi, me));
+                }
+                // Latent lanes for elastic joiners: one parked thread
+                // per planned mid-job join. Each waits for a join to
+                // publish its node id, then runs the full worker loop
+                // under that identity so in-flight tasks (retries,
+                // backups, stolen queue tails) can land on the joiner;
+                // if the job finishes or aborts first, the lane exits.
+                for _ in 0..rt.planned_joins {
+                    map_scope.spawn(move || loop {
+                        if rt.is_aborted()
+                            || rt.committed.load(Ordering::Acquire) == tasks.len()
+                        {
+                            return;
+                        }
+                        // Bind before matching: a guard temporary in the
+                        // match scrutinee would stay locked across the
+                        // whole worker loop, deadlocking a second join's
+                        // `joined.push` on this same mutex.
+                        let id = rt.joined.lock().pop();
+                        match id {
+                            Some(id) => {
+                                return worker_loop(id.index() % workers.len(), id);
+                            }
+                            None => std::thread::sleep(Duration::from_micros(200)),
+                        }
                     });
                 }
             });
@@ -2435,6 +2644,9 @@ impl LiveCluster {
             self.router.end_job();
             drop(senders);
         });
+        // The run is over: external join/leave calls go back to the
+        // between-jobs path.
+        *self.active.lock() = None;
         // The straggler's serving delay ends with the job it was
         // injected into (both success and error exits pass here).
         self.slow_serving.write().clear();
@@ -2465,6 +2677,17 @@ impl LiveCluster {
         stats.speculative_wins = rt.speculative_wins.load(Ordering::Relaxed);
         stats.cancelled_attempts = rt.cancelled_attempts.load(Ordering::Relaxed);
         stats.local_shuffle_records = rt.local_shuffle_records.load(Ordering::Relaxed);
+        stats.joins = rt.joins.load(Ordering::Relaxed);
+        stats.leaves = rt.leaves.load(Ordering::Relaxed);
+        stats.handoff_blocks = rt.handoff_blocks.load(Ordering::Relaxed);
+        stats.handoff_bytes = rt.handoff_bytes.load(Ordering::Relaxed);
+        stats.drained_tasks = rt.drained_tasks.load(Ordering::Relaxed);
+        // Mid-job joiners appear as (zero-assignment) columns so the
+        // per-node task counts always cover the final membership.
+        let final_nodes = self.cache.num_nodes();
+        if stats.tasks_per_node.len() < final_nodes {
+            stats.tasks_per_node.resize(final_nodes, 0);
+        }
         let net = self.net.stats().since(net_before);
         stats.bytes_sent = net.bytes_sent;
         stats.rpcs = net.rpcs;
@@ -2489,6 +2712,10 @@ impl LiveCluster {
         if !self.ring.read().contains(victim) {
             return;
         }
+        // The victim's ring key, captured before repair removes it:
+        // after recovery the key's owner is the successor that inherited
+        // the range, which is where re-homed shuffle partitions go.
+        let vkey = self.ring.read().key_of(victim).ok();
         let t0 = Instant::now();
         // The crash instant: payloads, cache shard and network endpoint
         // die; from here on every send from the victim is suppressed
@@ -2547,6 +2774,16 @@ impl LiveCluster {
             Ok(report) => {
                 rt.failed_nodes.fetch_add(1, Ordering::Relaxed);
                 rt.recovered_blocks.fetch_add(report.recovered_blocks, Ordering::Relaxed);
+                // Re-home the victim's shuffle partitions at the ring
+                // successor that inherited its range — epoch-aware
+                // placement: fetches after this event go to the current
+                // nearest holder, not the job-start snapshot.
+                if let Some(key) = vkey {
+                    if let Ok(heir) = self.ring.read().owner_of(key).map(|s| s.id) {
+                        self.router.rehome_from(victim, heir);
+                    }
+                }
+                let _ = self.view.lock().apply(MembershipEvent::Fail(victim));
             }
             Err(e) => {
                 rt.recovery_nanos
@@ -2595,25 +2832,29 @@ impl LiveCluster {
         }
         let new_ring = self.fs.read().ring().clone();
         *self.ring.write() = new_ring.clone();
-        let mut sched = self.sched.lock();
-        match &mut *sched {
-            LiveSched::Laf(laf) => laf.set_nodes(&new_ring),
-            LiveSched::Delay(d) => {
-                *d = DelayScheduler::new(
-                    &new_ring,
-                    match &self.cfg.scheduler {
-                        SchedulerKind::Delay(c) => *c,
-                        _ => Default::default(),
-                    },
-                );
-            }
-        }
+        self.rebuild_placement(&new_ring);
         // Cache entries on the failed node die with it.
         self.cache.invalidate_node(node);
-        if let LiveSched::Laf(laf) = &*sched {
-            self.cache.set_ranges(laf.ranges().to_vec());
-        }
         Ok(report)
+    }
+
+    /// Re-derive every piece of placement state from a changed ring:
+    /// scheduler membership (counters survive — the scheduler is the
+    /// same, only the membership moved under it) and the distributed
+    /// cache's hash-key ranges. Shared by crash recovery, elastic join
+    /// and graceful leave.
+    fn rebuild_placement(&self, ring: &Ring) {
+        let mut sched = self.sched.lock();
+        match &mut *sched {
+            LiveSched::Laf(laf) => {
+                laf.set_nodes(ring);
+                self.cache.set_ranges(laf.ranges().to_vec());
+            }
+            LiveSched::Delay(d) => {
+                d.set_nodes(ring);
+                self.cache.set_ranges(d.ranges().to_vec());
+            }
+        }
     }
 
     /// Store an application-tagged object in oCache (e.g. iteration
@@ -2643,9 +2884,33 @@ impl LiveCluster {
     }
 
     /// Admit a new virtual node: a fresh ring position, cache shard and
-    /// (empty) store shard. Existing blocks stay put; new uploads and
-    /// scheduling immediately include the joiner. Returns its id.
+    /// (empty) store shard. The joiner walks the Chord stabilize flow,
+    /// pulls the block replicas its new range makes it responsible for
+    /// from their current holders ([`Rpc::BlockPull`]), and inherits
+    /// stranded cache entries ([`Rpc::RangeHandoff`]). Works while a
+    /// job is running: in-flight scheduling immediately includes the
+    /// joiner. Returns its id.
     pub fn join_node(&self, name: &str) -> NodeId {
+        let rt = self.active.lock().clone();
+        self.admit_and_handoff(name, rt.as_deref())
+    }
+
+    /// Retire a node gracefully: drain its queued-but-uncommitted
+    /// tasks back to the scheduler, push its cache range and block
+    /// replicas to ring successors, then deregister it. The dual of
+    /// [`join_node`](Self::join_node); shares crash-recovery machinery
+    /// (commit-board CAS, attempt ledger) so committed work on the
+    /// leaver stands. Works while a job is running.
+    pub fn leave_node(&self, node: NodeId) -> Result<RecoveryReport, FsError> {
+        let rt = self.active.lock().clone();
+        self.graceful_leave(node, rt.as_deref())
+    }
+
+    /// The join flow proper, serialized with crash recovery through the
+    /// run's recovery gate when a job is in flight.
+    fn admit_and_handoff(&self, name: &str, rt: Option<&RunRt>) -> NodeId {
+        let _gate = rt.map(|r| r.recovery_gate.lock());
+        let t0 = Instant::now();
         let id = self.cache.add_node(self.cfg.cache_per_node);
         // The joiner opens its endpoint before anything is routed to it.
         bind_endpoint(
@@ -2656,36 +2921,192 @@ impl LiveCluster {
             Arc::clone(&self.router),
             Arc::clone(&self.slow_serving),
         );
-        let mut fs = self.fs.write();
-        let mut info = eclipse_ring::ServerInfo::from_name(id, name);
-        let mut salt = 0u32;
-        while fs.ring().members().any(|s| s.key == info.key) {
-            salt += 1;
-            info = eclipse_ring::ServerInfo::from_name(id, format!("{name}+{salt}"));
-        }
-        fs.join(info).expect("fresh node id");
-        let new_ring = fs.ring().clone();
-        drop(fs);
+        let old_members: Vec<ServerInfo> = self.ring.read().members().cloned().collect();
+        let (info, plan, new_ring) = {
+            let mut fs = self.fs.write();
+            let mut info = ServerInfo::from_name(id, name);
+            let mut salt = 0u32;
+            while fs.ring().members().any(|s| s.key == info.key) {
+                salt += 1;
+                info = ServerInfo::from_name(id, format!("{name}+{salt}"));
+            }
+            fs.join(info.clone()).expect("fresh node id");
+            let plan = fs.join_plan(id).expect("joiner is a member");
+            (info, plan, fs.ring().clone())
+        };
         *self.ring.write() = new_ring.clone();
+        // Protocol-level admission: the joiner learns its successor and
+        // the ring re-converges around it, every adopted pointer probed
+        // over the transport first.
+        {
+            let mut chord = ChordNet::converged_from(old_members.iter().cloned());
+            chord.join(info.clone(), old_members[0].id);
+            let max = 4 * chord.len() + 8;
+            if let Some(rounds) =
+                chord.stabilize_until_converged_probed(max, &mut |a, b| self.net.probe(a, b))
+            {
+                if let Some(r) = rt {
+                    r.stabilize_rounds.fetch_add(rounds as u64, Ordering::Relaxed);
+                }
+            }
+        }
         self.monitor.lock().heartbeat(id, self.clock.load(Ordering::Acquire) as f64);
-        let mut sched = self.sched.lock();
-        match &mut *sched {
-            LiveSched::Laf(laf) => {
-                laf.set_nodes(&new_ring);
-                self.cache.set_ranges(laf.ranges().to_vec());
+        self.rebuild_placement(&new_ring);
+        // Pull the replicas the joiner's range made it responsible for
+        // from their current holders. A pull that cannot complete (a
+        // partitioned holder, an injected drop burst) is benign: the
+        // block keeps its pre-join holders and stays readable.
+        for copy in plan {
+            let pull = Rpc::BlockPull { block: copy.block, from: copy.from };
+            if let Ok(RpcReply::Synced { bytes }) = self.net.call(CLIENT, id, pull) {
+                let _ = self.fs.write().add_replica(copy.block, id);
+                if let Some(r) = rt {
+                    r.handoff_blocks.fetch_add(1, Ordering::Relaxed);
+                    r.handoff_bytes.fetch_add(bytes, Ordering::Relaxed);
+                }
             }
-            LiveSched::Delay(d) => {
-                *d = DelayScheduler::new(
-                    &new_ring,
-                    match &self.cfg.scheduler {
-                        SchedulerKind::Delay(c) => *c,
-                        _ => Default::default(),
-                    },
-                );
-                self.cache.set_ranges(d.ranges().to_vec());
-            }
+        }
+        self.handoff_stranded_cache();
+        let _ = self.view.lock().apply(MembershipEvent::Join(info));
+        if let Some(r) = rt {
+            r.joins.fetch_add(1, Ordering::Relaxed);
+            r.recovery_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            // Hand the new node to a latent worker thread so in-flight
+            // tasks can land on it.
+            r.joined.lock().push(id);
+            r.notify(DstEvent::NodeJoined { node: id });
         }
         id
+    }
+
+    /// The graceful-leave flow proper (see
+    /// [`leave_node`](Self::leave_node)). Unlike a crash the leaver
+    /// cooperates: its endpoint stays open to serve handoff pulls, its
+    /// committed map output stands, and only its *uncommitted* claims
+    /// are drained back to the scheduler.
+    fn graceful_leave(&self, leaver: NodeId, rt: Option<&RunRt>) -> Result<RecoveryReport, FsError> {
+        let _gate = rt.map(|r| r.recovery_gate.lock());
+        {
+            let ring = self.ring.read();
+            if !ring.contains(leaver) {
+                return Err(FsError::Ring(RingError::UnknownNode(leaver)));
+            }
+            if ring.len() <= 1 {
+                return Err(FsError::Ring(RingError::EmptyRing));
+            }
+        }
+        let t0 = Instant::now();
+        let vi = leaver.index();
+        if let Some(r) = rt {
+            // Stop the leaver taking new work. Already poisoned means a
+            // crash got there first — nothing left to leave gracefully.
+            if r.poisoned.get(vi).is_none_or(|p| p.swap(true, Ordering::AcqRel)) {
+                return Err(FsError::Ring(RingError::UnknownNode(leaver)));
+            }
+            // Drain its queued-but-uncommitted claims back to the
+            // scheduler; the re-executions count as retries in the
+            // attempt ledger, deduped by (task, attempt) as usual.
+            for tid in 0..r.commits.len() {
+                if r.commits[tid].load(Ordering::Acquire) == UNCOMMITTED
+                    && r.claims[tid].load(Ordering::Acquire) == vi as u32
+                {
+                    r.retry.lock().push(tid);
+                    r.drained_tasks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let vkey = self.ring.read().key_of(leaver).ok();
+        let old_members: Vec<ServerInfo> = self.ring.read().members().cloned().collect();
+        let plan = self.fs.write().leave_node(leaver)?;
+        // Push the leaver's blocks to their new homes. The leaver is
+        // still online and serves pulls; if its link is disturbed the
+        // pull falls back through the block's other registered holders
+        // (mirroring `fetch_block`). Only when *no* copy is reachable
+        // anywhere has the handoff genuinely lost the block.
+        let mut report = RecoveryReport::default();
+        for copy in &plan {
+            let mut sources = vec![copy.from];
+            if let Ok(holders) = self.fs.read().block_holders(copy.block) {
+                sources.extend(holders.iter().copied().filter(|&h| h != copy.to));
+            }
+            let mut bytes = None;
+            for src in sources {
+                let pull = Rpc::BlockPull { block: copy.block, from: src };
+                if let Ok(RpcReply::Synced { bytes: b }) = self.net.call(CLIENT, copy.to, pull)
+                {
+                    bytes = Some(b);
+                    break;
+                }
+            }
+            match bytes {
+                Some(b) => {
+                    report.recovered_blocks += 1;
+                    report.recovered_bytes += b;
+                    if let Some(r) = rt {
+                        r.handoff_blocks.fetch_add(1, Ordering::Relaxed);
+                        r.handoff_bytes.fetch_add(b, Ordering::Relaxed);
+                    }
+                }
+                None => return Err(FsError::DataLoss(copy.block)),
+            }
+        }
+        let new_ring = self.fs.read().ring().clone();
+        *self.ring.write() = new_ring.clone();
+        self.rebuild_placement(&new_ring);
+        // Cache range handoff: entries the shrunk range map left
+        // stranded migrate to their new homes, then whatever remains on
+        // the leaver dies with it.
+        self.handoff_stranded_cache();
+        self.cache.invalidate_node(leaver);
+        self.monitor.lock().forget(leaver);
+        // Protocol-level departure: the ring re-converges around the
+        // hole, pointers probed over the transport.
+        {
+            let mut chord = ChordNet::converged_from(old_members.iter().cloned());
+            chord.fail(leaver);
+            let max = 4 * chord.len() + 8;
+            if let Some(rounds) =
+                chord.stabilize_until_converged_probed(max, &mut |a, b| self.net.probe(a, b))
+            {
+                if let Some(r) = rt {
+                    r.stabilize_rounds.fetch_add(rounds as u64, Ordering::Relaxed);
+                }
+            }
+        }
+        // Re-home the leaver's shuffle partitions at its successor so
+        // post-leave fetches go to the current nearest holder.
+        if let Some(key) = vkey {
+            if let Ok(heir) = new_ring.owner_of(key).map(|s| s.id) {
+                self.router.rehome_from(leaver, heir);
+            }
+        }
+        // Only now does the leaver actually go away.
+        self.store.wipe_node(leaver);
+        self.net.close_endpoint(leaver);
+        let _ = self.view.lock().apply(MembershipEvent::Leave(leaver));
+        if let Some(r) = rt {
+            r.leaves.fetch_add(1, Ordering::Relaxed);
+            r.recovery_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            r.notify(DstEvent::NodeLeft { node: leaver });
+        }
+        Ok(report)
+    }
+
+    /// Migrate cache entries stranded by a range-map change to their
+    /// current homes as one-way [`Rpc::RangeHandoff`] sends over the
+    /// windowed lane. Best-effort: the cache is an optimization, a
+    /// dropped handoff only costs a future miss.
+    fn handoff_stranded_cache(&self) {
+        let mut tickets: Vec<SendTicket> = Vec::new();
+        for i in 0..self.cache.num_nodes() {
+            let node = NodeId(i as u32);
+            for (key, data, home) in self.cache.drain_for_handoff(node) {
+                if let Ok(t) = self.net.send(node, home, Rpc::RangeHandoff { key, data }) {
+                    tickets.push(t);
+                }
+            }
+        }
+        let _ = self.net.flush(&tickets);
     }
 
     /// Crash a node between jobs: wipe its payloads, re-replicate from
@@ -2937,6 +3358,92 @@ mod tests {
             "joiner ran nothing: {:?}",
             stats.tasks_per_node
         );
+    }
+
+    #[test]
+    fn mid_job_join_preserves_results() {
+        let data = "up down strange charm top bottom\n".repeat(400);
+        let c = text_cluster(&data);
+        let (baseline, _) = c.run_job(&WordCount, "input", "tester", 3, ReusePolicy::default());
+        let c2 = text_cluster(&data);
+        let n0 = c2.ring().len();
+        let e0 = c2.epoch();
+        c2.inject_faults(FaultPlan::new().join_at_maps(3));
+        let (out, stats) = c2
+            .try_run_job(&WordCount, "input", "tester", 3, ReusePolicy::default())
+            .expect("a join must never fail a job");
+        assert_eq!(out, baseline, "mid-job join must not change output");
+        assert_eq!(stats.joins, 1);
+        assert_eq!(stats.leaves, 0);
+        assert_eq!(stats.drained_tasks, 0);
+        assert_eq!(c2.ring().len(), n0 + 1, "joiner is a member afterwards");
+        assert!(c2.epoch() > e0, "membership epoch advanced");
+        assert_eq!(
+            stats.tasks_per_node.len(),
+            n0 + 1,
+            "per-node counts cover the final membership"
+        );
+        assert!(
+            stats.handoff_blocks > 0,
+            "joiner pulled the replicas its range made it responsible for"
+        );
+        assert_eq!(
+            stats.attempts,
+            stats.map_tasks + stats.retries + stats.speculative_attempts,
+            "attempt ledger stays exact across a join"
+        );
+    }
+
+    #[test]
+    fn mid_job_graceful_leave_preserves_results() {
+        let data = "one two three four five six\n".repeat(400);
+        let c = text_cluster(&data);
+        let (baseline, _) = c.run_job(&WordCount, "input", "tester", 3, ReusePolicy::default());
+        let c2 = text_cluster(&data);
+        let leaver = c2.ring().node_ids()[2];
+        let e0 = c2.epoch();
+        c2.inject_faults(FaultPlan::new().leave_at_maps(leaver, 2));
+        let (out, stats) = c2
+            .try_run_job(&WordCount, "input", "tester", 3, ReusePolicy::default())
+            .expect("a graceful leave must not fail a healthy job");
+        assert_eq!(out, baseline, "graceful leave must not change output");
+        assert_eq!(stats.leaves, 1);
+        assert_eq!(stats.joins, 0);
+        assert_eq!(stats.failed_nodes, 0, "a leave is not a crash");
+        assert!(!c2.ring().contains(leaver), "leaver deregistered");
+        assert!(c2.epoch() > e0, "membership epoch advanced");
+        assert_eq!(
+            stats.attempts,
+            stats.map_tasks + stats.retries + stats.speculative_attempts,
+            "drained re-executions are ordinary retries"
+        );
+        // The departed node serves nothing in a follow-up run.
+        let (again, s2) = c2.run_job(&WordCount, "input", "tester", 3, ReusePolicy::default());
+        assert_eq!(again, baseline);
+        assert_eq!(s2.tasks_per_node[leaver.index()], 0);
+    }
+
+    #[test]
+    fn leave_between_jobs_moves_replicas() {
+        let data = "alpha beta gamma delta\n".repeat(300);
+        let c = text_cluster(&data);
+        let (before, _) = c.run_job(&WordCount, "input", "tester", 2, ReusePolicy::default());
+        let leaver = c.ring().node_ids()[1];
+        c.leave_node(leaver).expect("peers absorb the handoff");
+        assert!(!c.ring().contains(leaver));
+        let (after, stats) = c.run_job(&WordCount, "input", "tester", 2, ReusePolicy::default());
+        assert_eq!(before, after, "leave must not lose data");
+        assert_eq!(stats.tasks_per_node[leaver.index()], 0, "departed node got tasks");
+    }
+
+    #[test]
+    fn leave_guards_reject_unknown_and_last_node() {
+        let c = LiveCluster::new(LiveConfig::small().with_nodes(2));
+        let ids = c.ring().node_ids();
+        assert!(c.leave_node(NodeId(99)).is_err(), "unknown node");
+        c.leave_node(ids[0]).expect("one of two can leave");
+        assert!(c.leave_node(ids[1]).is_err(), "the last node cannot leave");
+        assert_eq!(c.ring().len(), 1);
     }
 
     #[test]

@@ -230,6 +230,107 @@ impl DhtFs {
         Ok(())
     }
 
+    /// The ring key of a stored block, recomputed from its file's
+    /// metadata.
+    fn block_key(&self, id: BlockId) -> HashKey {
+        let meta = self
+            .files
+            .values()
+            .find(|m| m.key == id.file)
+            .expect("block belongs to a known file");
+        meta.blocks[id.index as usize].key
+    }
+
+    /// Plan the block pulls a joining server owes under the grown ring:
+    /// every block whose ideal replica set now includes `joiner` gets a
+    /// copy from its current primary holder. Metadata records whose key
+    /// the joiner now owns move to it immediately (they are control
+    /// plane only). The replica table is *not* touched — the caller
+    /// performs each transfer and records the successes with
+    /// [`add_replica`](Self::add_replica), so a failed pull leaves the
+    /// old holders authoritative and costs nothing but a future remote
+    /// read. Holder sets that exceed the ideal are left alone; extra
+    /// replicas are harmless and age out through later failures.
+    pub fn join_plan(&mut self, joiner: NodeId) -> Result<Vec<RecoveryCopy>, FsError> {
+        if !self.ring.contains(joiner) {
+            return Err(FsError::Ring(eclipse_ring::RingError::UnknownNode(joiner)));
+        }
+        let mut plan = Vec::new();
+        for (&id, holders) in &self.replicas {
+            if holders.contains(&joiner) {
+                continue;
+            }
+            let ideal = self.ring.replica_set(self.block_key(id), self.cfg.replicas)?;
+            if ideal.contains(&joiner) {
+                let bytes = self.block_sizes[&id];
+                plan.push(RecoveryCopy { block: id, bytes, from: holders[0], to: joiner });
+            }
+        }
+        let names: Vec<String> = self
+            .meta_home
+            .iter()
+            .filter(|(name, &home)| {
+                home != joiner
+                    && self.ring.owner_of(self.files[name.as_str()].key).map(|o| o.id)
+                        == Ok(joiner)
+            })
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in names {
+            self.meta_home.insert(name, joiner);
+        }
+        Ok(plan)
+    }
+
+    /// Remove a gracefully leaving node and compute the handoff plan —
+    /// the dual of [`fail_node`](Self::fail_node), except the leaver is
+    /// still alive and serving, so every copy is sourced *from the
+    /// leaver itself* and a block whose only holder was the leaver is a
+    /// handoff, not a loss. The control-plane state is updated
+    /// immediately; the caller performs the transfers before letting
+    /// the leaver deregister.
+    pub fn leave_node(&mut self, leaving: NodeId) -> Result<Vec<RecoveryCopy>, FsError> {
+        self.ring.remove(leaving)?;
+        self.node_bytes.remove(&leaving);
+        let mut plan = Vec::new();
+        let block_ids: Vec<BlockId> = self.replicas.keys().copied().collect();
+        for id in block_ids {
+            let key = self.block_key(id);
+            let holders = self.replicas.get_mut(&id).expect("key just listed");
+            let Some(pos) = holders.iter().position(|&h| h == leaving) else {
+                continue;
+            };
+            holders.remove(pos);
+            let bytes = self.block_sizes[&id];
+            let ideal = self.ring.replica_set(key, self.cfg.replicas)?;
+            let missing: Vec<NodeId> =
+                ideal.iter().copied().filter(|n| !holders.contains(n)).collect();
+            for target in missing {
+                let holders = self.replicas.get_mut(&id).expect("key just listed");
+                holders.push(target);
+                *self.node_bytes.entry(target).or_insert(0) += bytes;
+                plan.push(RecoveryCopy { block: id, bytes, from: leaving, to: target });
+            }
+            if self.replicas[&id].is_empty() {
+                // Cannot happen: an empty ideal set means an empty ring,
+                // which `Ring::remove` of the last member already rejects.
+                return Err(FsError::DataLoss(id));
+            }
+        }
+        let names: Vec<String> = self
+            .meta_home
+            .iter()
+            .filter(|(_, &home)| home == leaving)
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in names {
+            let key = self.files[&name].key;
+            let new_home = self.ring.owner_of(key)?.id;
+            self.meta_home.insert(name, new_home);
+        }
+        Ok(plan)
+    }
+
     /// Remove a failed node and compute the re-replication plan: every
     /// block that lost a replica gets a copy from a surviving holder to
     /// the take-over server (the failed server's successor — or
@@ -399,6 +500,85 @@ mod tests {
         fs.upload("f1", "u", MB).unwrap();
         let home = fs.metadata_home("f1").unwrap();
         fs.fail_node(home).unwrap();
+        let new_home = fs.metadata_home("f1").unwrap();
+        assert_ne!(new_home, home);
+        assert!(fs.ring().contains(new_home));
+    }
+
+    #[test]
+    fn join_plan_pulls_only_the_joiners_arc() {
+        let mut fs = fs_n(6);
+        let meta = fs.upload("f", "u", 4 * GB).unwrap();
+        let ids: Vec<BlockId> = meta.blocks.iter().map(|b| b.id).collect();
+        let joiner = NodeId(100);
+        fs.join(eclipse_ring::ServerInfo::from_name(joiner, "srv-joiner")).unwrap();
+        let plan = fs.join_plan(joiner).unwrap();
+        // Every planned pull targets the joiner, sources a live holder,
+        // and the block's new ideal set really includes the joiner.
+        for c in &plan {
+            assert_eq!(c.to, joiner);
+            assert!(fs.block_holders(c.block).unwrap().contains(&c.from));
+            assert!(c.bytes > 0);
+        }
+        // The plan is not applied until the caller records transfers.
+        for id in &ids {
+            assert!(!fs.block_holders(*id).unwrap().contains(&joiner));
+        }
+        for c in &plan {
+            fs.add_replica(c.block, joiner).unwrap();
+            assert!(fs.block_holders(c.block).unwrap().contains(&joiner));
+        }
+        // A second plan is now empty: the joiner owes nothing.
+        assert!(fs.join_plan(joiner).unwrap().is_empty());
+    }
+
+    #[test]
+    fn leave_node_hands_off_from_the_leaver() {
+        let mut fs = fs_n(8);
+        let meta = fs.upload("f", "u", 2 * GB).unwrap();
+        let ids: Vec<BlockId> = meta.blocks.iter().map(|b| b.id).collect();
+        let leaver = fs.block_holders(ids[0]).unwrap()[0];
+        let plan = fs.leave_node(leaver).unwrap();
+        assert!(!plan.is_empty(), "the leaver held replicas");
+        for c in &plan {
+            assert_eq!(c.from, leaver, "graceful handoff sources from the leaver");
+            assert_ne!(c.to, leaver);
+        }
+        for id in ids {
+            let holders = fs.block_holders(id).unwrap();
+            assert_eq!(holders.len(), 3, "replication restored for {id:?}");
+            assert!(!holders.contains(&leaver));
+        }
+        assert!(!fs.ring().contains(leaver));
+        assert_eq!(fs.bytes_on(leaver), 0);
+    }
+
+    #[test]
+    fn leave_of_sole_holder_is_a_handoff_not_a_loss() {
+        // replicas = 0: every block has exactly one holder. A graceful
+        // leave must still succeed, sourcing from the leaver.
+        let mut fs = DhtFs::new(
+            Ring::with_servers(4, "s"),
+            DhtFsConfig { block_size: MB, replicas: 0 },
+        );
+        let meta = fs.upload("f", "u", 8 * MB).unwrap();
+        let ids: Vec<BlockId> = meta.blocks.iter().map(|b| b.id).collect();
+        let leaver = fs.block_holders(ids[0]).unwrap()[0];
+        let plan = fs.leave_node(leaver).unwrap();
+        assert!(plan.iter().all(|c| c.from == leaver));
+        for id in ids {
+            let holders = fs.block_holders(id).unwrap();
+            assert!(!holders.is_empty(), "no block may be orphaned by a leave");
+            assert!(!holders.contains(&leaver));
+        }
+    }
+
+    #[test]
+    fn metadata_home_moves_on_leave_and_join() {
+        let mut fs = fs_n(8);
+        fs.upload("f1", "u", MB).unwrap();
+        let home = fs.metadata_home("f1").unwrap();
+        fs.leave_node(home).unwrap();
         let new_home = fs.metadata_home("f1").unwrap();
         assert_ne!(new_home, home);
         assert!(fs.ring().contains(new_home));

@@ -133,7 +133,7 @@ impl RetryPolicy {
 }
 
 /// Number of request kinds (`RpcKind` discriminants are 1..=KINDS).
-pub const KINDS: usize = 8;
+pub const KINDS: usize = 10;
 
 /// Cumulative transport counters (atomics: hot-path friendly). The
 /// per-kind arrays attribute request traffic to its plane (shuffle vs

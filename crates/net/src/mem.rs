@@ -675,10 +675,15 @@ mod tests {
                 Rpc::Heartbeat { from: NodeId(0), clock: 1, task: u32::MAX, progress: 0 }
             }
             RpcKind::TaskAssign => Rpc::TaskAssign { task: 9, block: bid },
+            RpcKind::RangeHandoff => Rpc::RangeHandoff {
+                key: CacheKey::Input(HashKey(11)),
+                data: b"hand".as_ref().into(),
+            },
+            RpcKind::BlockPull => Rpc::BlockPull { block: bid, from: NodeId(1) },
         }
     }
 
-    const ALL_KINDS: [RpcKind; 8] = [
+    const ALL_KINDS: [RpcKind; 10] = [
         RpcKind::GetBlock,
         RpcKind::PutBlock,
         RpcKind::ReplicaSync,
@@ -687,6 +692,8 @@ mod tests {
         RpcKind::ShuffleBatch,
         RpcKind::Heartbeat,
         RpcKind::TaskAssign,
+        RpcKind::RangeHandoff,
+        RpcKind::BlockPull,
     ];
 
     /// `drop_rpcs(kind, 1)` must match exactly one frame of `kind` on

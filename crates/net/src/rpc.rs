@@ -1,6 +1,6 @@
 //! The transport plane's RPC message set and its body codec.
 //!
-//! Eight request messages cover every inter-node interaction the live
+//! Ten request messages cover every inter-node interaction the live
 //! executor performs (see DESIGN.md §8e for the full table):
 //!
 //! | message        | plane    | carries                                  |
@@ -13,6 +13,8 @@
 //! | `ShuffleBatch` | shuffle  | (task, attempt, seq) + records           |
 //! | `Heartbeat`    | control  | sender + logical clock                   |
 //! | `TaskAssign`   | control  | task id + block id                       |
+//! | `RangeHandoff` | elastic  | cache key + payload (re-homed entry)     |
+//! | `BlockPull`    | elastic  | block id + source holder to pull from    |
 //!
 //! `ShuffleBatch` carries a per-attempt sequence number so receivers can
 //! deduplicate at-least-once delivery (a retry after a lost *response*
@@ -36,6 +38,8 @@ pub enum RpcKind {
     ShuffleBatch = 6,
     Heartbeat = 7,
     TaskAssign = 8,
+    RangeHandoff = 9,
+    BlockPull = 10,
 }
 
 /// A request travelling node → node.
@@ -69,6 +73,14 @@ pub enum Rpc {
     /// Control plane: assign map task `task` (input block `block`) to
     /// the receiver.
     TaskAssign { task: u32, block: BlockId },
+    /// Elastic membership: push one cache entry whose ring range was
+    /// re-homed onto the receiver by a join or leave. Sent over the
+    /// windowed one-way lane — a lost handoff is only a future miss.
+    RangeHandoff { key: CacheKey, data: Bytes },
+    /// Elastic membership: the receiver (the new ideal holder) pulls
+    /// its missing replica of `block` from the holder `from` and
+    /// stores it locally, answering `Synced` with the byte count.
+    BlockPull { block: BlockId, from: NodeId },
 }
 
 /// A response travelling back.
@@ -100,6 +112,8 @@ impl Rpc {
             Rpc::ShuffleBatch { .. } => RpcKind::ShuffleBatch,
             Rpc::Heartbeat { .. } => RpcKind::Heartbeat,
             Rpc::TaskAssign { .. } => RpcKind::TaskAssign,
+            Rpc::RangeHandoff { .. } => RpcKind::RangeHandoff,
+            Rpc::BlockPull { .. } => RpcKind::BlockPull,
         }
     }
 
@@ -182,6 +196,14 @@ impl Rpc {
                 w.u32(*task);
                 put_block_id(&mut w, *block);
             }
+            Rpc::RangeHandoff { key, data } => {
+                put_cache_key(&mut w, key);
+                w.bytes(data);
+            }
+            Rpc::BlockPull { block, from } => {
+                put_block_id(&mut w, *block);
+                w.u32(from.0);
+            }
         }
         wire::end_frame(out, at);
     }
@@ -253,6 +275,16 @@ impl Rpc {
                 let task = r.u32()?;
                 let block = get_block_id(&mut r)?;
                 Rpc::TaskAssign { task, block }
+            }
+            k if k == RpcKind::RangeHandoff as u8 => {
+                let key = get_cache_key(&mut r)?;
+                let data = Bytes::copy_from_slice(r.bytes()?);
+                Rpc::RangeHandoff { key, data }
+            }
+            k if k == RpcKind::BlockPull as u8 => {
+                let block = get_block_id(&mut r)?;
+                let from = NodeId(r.u32()?);
+                Rpc::BlockPull { block, from }
             }
             kind => return Err(CodecError::BadKind { dir: frame.dir, kind }),
         };
@@ -440,6 +472,15 @@ mod tests {
         roundtrip_rpc(Rpc::Heartbeat { from: NodeId(3), clock: u64::MAX, task: u32::MAX, progress: 0 });
         roundtrip_rpc(Rpc::Heartbeat { from: NodeId(3), clock: 0, task: 12, progress: 640 });
         roundtrip_rpc(Rpc::TaskAssign { task: 77, block: bid(0) });
+        roundtrip_rpc(Rpc::RangeHandoff {
+            key: CacheKey::Output(OutputTag::new("app", "t2")),
+            data: Bytes::from(vec![7; 33]),
+        });
+        roundtrip_rpc(Rpc::RangeHandoff {
+            key: CacheKey::Input(HashKey(21)),
+            data: Bytes::new(),
+        });
+        roundtrip_rpc(Rpc::BlockPull { block: bid(6), from: NodeId(4) });
     }
 
     #[test]

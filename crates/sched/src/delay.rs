@@ -89,6 +89,14 @@ impl DelayScheduler {
         &self.cfg
     }
 
+    /// Re-align the static ranges with a changed ring (elastic join or
+    /// leave). Placement counters survive: the scheduler is the same,
+    /// only the membership moved under it.
+    pub fn set_nodes(&mut self, ring: &Ring) {
+        assert!(!ring.is_empty());
+        self.ranges = ring.ranges();
+    }
+
     pub fn ranges(&self) -> &[(NodeId, KeyRange)] {
         &self.ranges
     }
@@ -228,6 +236,21 @@ mod tests {
             let k = HashKey::of_name(&format!("p{i}"));
             assert_eq!(s.preferred(k), ring.owner_of(k).unwrap().id);
         }
+    }
+
+    #[test]
+    fn set_nodes_realigns_ranges_and_keeps_counters() {
+        let mut s = sched(3);
+        let k = HashKey::of_name("blk");
+        s.decide(k, 0.0, |_| 0.0);
+        assert_eq!(s.immediate_count(), 1);
+        let grown = Ring::with_servers(5, "d");
+        s.set_nodes(&grown);
+        for i in 0..50u64 {
+            let probe = HashKey::of_name(&format!("p{i}"));
+            assert_eq!(s.preferred(probe), grown.owner_of(probe).unwrap().id);
+        }
+        assert_eq!(s.immediate_count(), 1, "counters survive the rebuild");
     }
 
     #[test]

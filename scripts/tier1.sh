@@ -3,11 +3,12 @@
 # suites under --release, a bounded DST smoke sweep, and quick
 # live-executor snapshots. Leaves results/BENCH_live.json,
 # results/BENCH_chaos.json, results/BENCH_net.json,
-# results/BENCH_cache.json, results/BENCH_straggler.json, and
+# results/BENCH_cache.json, results/BENCH_straggler.json,
+# results/BENCH_elastic.json, and
 # results/BENCH_dst.json behind so every pass records comparable
 # throughput, recovery-time, wire-overhead, cache-plane,
-# straggler-mitigation, and chaos-coverage numbers (see DESIGN.md
-# §8c–§8i). The full randomized DST sweep stays behind
+# straggler-mitigation, elastic-membership, and chaos-coverage numbers
+# (see DESIGN.md §8c–§8j). The full randomized DST sweep stays behind
 # `dst_bench --runs N --preset chaos` (docs/DST.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -44,6 +45,9 @@ cargo run -q --release -p eclipse-bench --bin cache_bench -- --quick --out resul
 
 echo "== tier1: straggler mitigation, speculation + replicated map-out (quick)"
 cargo run -q --release -p eclipse-bench --bin straggler_bench -- --quick --out results/BENCH_straggler.json
+
+echo "== tier1: elastic membership, runtime join + graceful leave (quick)"
+cargo run -q --release -p eclipse-bench --bin elastic_bench -- --quick --out results/BENCH_elastic.json
 
 echo "== tier1: DST smoke sweep (50 fixed seeds, moderate preset)"
 cargo run -q --release -p eclipse-bench --bin dst_bench -- --runs 50 --seed0 1 --preset moderate --out results/BENCH_dst.json

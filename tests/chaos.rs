@@ -569,3 +569,229 @@ fn midstream_drop_hits_retransmitted_window_slot() {
     );
     assert_eq!(stats.failed_nodes, 0, "frame loss is not a node crash");
 }
+
+// --- elastic membership (PR 8: runtime join and graceful leave) --------
+//
+// Shrunk DST schedules promoted to named regressions: each pins a
+// composed elastic failure mode the sampler explores — a join or a
+// graceful leave on the job's logical clock, racing the crash, network
+// and speculation machinery above. The oracle is always the same:
+// byte-identical output.
+
+/// Join racing a crash of its successor: the joiner splits the range of
+/// the node that hands its blocks over, and one map later that very
+/// node dies. Crash recovery must already count the joiner as a
+/// first-class replica holder — and the join's pulled copies must
+/// survive the donor's death.
+#[test]
+fn join_races_crash_of_its_successor() {
+    use eclipse_util::HashKey;
+    let expect = baseline("laf");
+    let c = cluster("laf");
+    // A scheduled join generates the name "join-0"; its ring position
+    // is the hash of that name, so the successor whose range it splits
+    // is known before the job starts.
+    let ring = c.ring();
+    let successor = ring.owner_of(HashKey::of_name("join-0")).unwrap().id;
+    c.inject_faults(FaultPlan::new().join_at_maps(2).crash_after_maps(successor, 4));
+    let (out, stats) = c
+        .try_run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+        .expect("a join racing its successor's crash is within the fault model");
+    assert_eq!(out, expect, "join + successor crash diverged the output");
+    assert_eq!(stats.joins, 1, "the scheduled join never fired");
+    assert_eq!(stats.failed_nodes, 1, "the scheduled crash never fired");
+    assert!(stats.recovered_blocks > 0, "the dead successor held nothing");
+    assert_eq!(c.ring().len(), NODES, "one in, one out");
+    assert!(!c.ring().contains(successor));
+    assert_eq!(
+        stats.attempts,
+        stats.map_tasks + stats.retries + stats.speculative_attempts,
+        "attempt ledger broke under join + crash: {stats:?}"
+    );
+}
+
+/// Graceful leave while the leaver is a slowed straggler with a
+/// speculative backup racing its claimed task: the leave drains the
+/// uncommitted claim back to the scheduler, and whichever attempt wins
+/// the commit board — the drained retry, the backup, or the leaver's
+/// own parked pre-poison batches — the reducer dedup keeps exactly one
+/// copy of every record.
+#[test]
+fn leave_while_speculative_backup_of_drained_task_runs() {
+    use eclipse_core::SpeculationConfig;
+    let expect = baseline("laf");
+    let c = LiveCluster::new(
+        LiveConfig::small()
+            .with_nodes(NODES)
+            .with_block_size(512)
+            .with_map_slots(NODES)
+            .with_scheduler(sched_of("laf"))
+            .with_speculation(SpeculationConfig {
+                slowdown: 2.0,
+                min_completed: 3,
+                poll_micros: 200,
+            }),
+    );
+    c.upload("input", USER, seeded_text().as_bytes());
+    let straggler = c.ring().node_ids()[REDUCERS];
+    c.inject_faults(
+        FaultPlan::new().slow_node(straggler, 3_000).leave_at_maps(straggler, 4),
+    );
+    let (out, stats) = c
+        .try_run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+        .expect("a graceful leave of a straggler is never fatal");
+    assert_eq!(out, expect, "leave + speculative race diverged the output");
+    assert_eq!(stats.leaves, 1, "the scheduled leave never fired");
+    assert_eq!(stats.failed_nodes, 0, "a graceful leave is not a crash");
+    assert!(!c.ring().contains(straggler), "the leaver stayed in the ring");
+    // The race has two legal outcomes: the leaver still held its
+    // uncommitted claim (drained back to the scheduler), or a
+    // speculative backup already won it on the commit board before the
+    // leave fired. Either way somebody must have contested the claim.
+    assert!(
+        stats.drained_tasks >= 1 || stats.speculative_attempts >= 1,
+        "neither a drained claim nor a racing backup materialized: {stats:?}"
+    );
+    assert!(stats.speculative_wins <= stats.speculative_attempts);
+    assert_eq!(
+        stats.attempts,
+        stats.map_tasks + stats.retries + stats.speculative_attempts,
+        "attempt ledger broke under leave + speculation: {stats:?}"
+    );
+}
+
+/// Join under a one-way partition from the joiner to its block donor:
+/// every handoff pull the joiner issues into the cut dies. The pulls
+/// are benign by design — a block that cannot be pulled keeps its
+/// pre-join holders and stays readable — so the join completes, nobody
+/// is expelled, and output is unchanged.
+#[test]
+fn join_under_one_way_partition_to_joiner() {
+    use eclipse_ring::NodeId;
+    use eclipse_util::HashKey;
+    let expect = baseline("laf");
+    let c = cluster("laf");
+    let ring = c.ring();
+    let donor = ring.owner_of(HashKey::of_name("join-0")).unwrap().id;
+    // Node ids are dense, so the joiner's id — and therefore the cut —
+    // can be armed before its endpoint even exists.
+    let joiner = NodeId(NODES as u32);
+    let net = c.mem_net().expect("default transport is the mem backend");
+    net.cut_one_way(joiner, donor);
+    c.inject_faults(FaultPlan::new().join_at_maps(2));
+    let (out, stats) = c
+        .try_run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+        .expect("a partitioned handoff pull is benign, not fatal");
+    assert_eq!(out, expect, "join under partition diverged the output");
+    assert_eq!(stats.joins, 1, "the scheduled join never fired");
+    assert_eq!(stats.failed_nodes, 0, "a dead handoff pull is not a crash");
+    assert_eq!(c.ring().len(), NODES + 1, "the joiner must still be admitted");
+    assert!(c.ring().contains(joiner));
+    assert_eq!(
+        stats.attempts,
+        stats.map_tasks + stats.retries + stats.speculative_attempts,
+        "attempt ledger broke under join + partition: {stats:?}"
+    );
+}
+
+/// Regression for a deadlock the 1,000-seed chaos sweep found (seed
+/// 5001): with two joins scheduled, the first joiner's latent worker
+/// lane popped its node id via `match rt.joined.lock().pop()` — and the
+/// match-scrutinee guard kept the `joined` mutex locked across the
+/// joiner's *entire* worker loop. If that lane then committed the map
+/// that triggered join #2, `admit_and_handoff`'s `joined.push` blocked
+/// on the mutex its own thread held, hanging the job forever (the
+/// second latent lane and the reducers parked behind it). The fix binds
+/// the popped id before matching so the guard drops first. The hang was
+/// interleaving-dependent (~40% of runs), so loop a few times.
+#[test]
+fn two_joins_second_may_fire_from_first_joiners_lane() {
+    let expect = baseline("laf");
+    for round in 0..5 {
+        let c = cluster("laf");
+        c.inject_faults(FaultPlan::new().join_at_maps(2).join_at_maps(4));
+        let (out, stats) = c
+            .try_run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+            .unwrap_or_else(|e| panic!("round {round}: double join failed: {e}"));
+        assert_eq!(out, expect, "round {round}: double join diverged the output");
+        assert_eq!(stats.joins, 2, "round {round}: a scheduled join never fired");
+        assert_eq!(stats.failed_nodes, 0);
+        assert_eq!(c.ring().len(), NODES + 2, "round {round}: both joiners admitted");
+        assert_eq!(
+            stats.attempts,
+            stats.map_tasks + stats.retries + stats.speculative_attempts,
+            "round {round}: attempt ledger broke under double join: {stats:?}"
+        );
+    }
+}
+
+/// The elastic acceptance matrix: one join and one graceful leave
+/// mid-job, across both schedulers and both transports. Output must be
+/// byte-identical to the fault-free baseline in every cell.
+#[test]
+fn elastic_matrix_join_and_leave_byte_identical() {
+    use eclipse_core::TransportKind;
+    for sched in ["laf", "delay"] {
+        let expect = baseline(sched);
+        for transport in [TransportKind::Memory, TransportKind::Tcp] {
+            let c = LiveCluster::new(
+                LiveConfig::small()
+                    .with_nodes(NODES)
+                    .with_block_size(512)
+                    .with_scheduler(sched_of(sched))
+                    .with_transport(transport),
+            );
+            c.upload("input", USER, seeded_text().as_bytes());
+            let leaver = c.ring().node_ids()[2];
+            c.inject_faults(FaultPlan::new().join_at_maps(2).leave_at_maps(leaver, 5));
+            let (out, stats) = c
+                .try_run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+                .unwrap_or_else(|e| {
+                    panic!("[{sched}/{transport:?}] elastic job failed: {e}")
+                });
+            assert_eq!(out, expect, "[{sched}/{transport:?}] output diverged");
+            assert_eq!(stats.joins, 1, "[{sched}/{transport:?}] join never fired");
+            assert_eq!(stats.leaves, 1, "[{sched}/{transport:?}] leave never fired");
+            assert_eq!(stats.failed_nodes, 0, "[{sched}/{transport:?}] phantom crash");
+            assert_eq!(c.ring().len(), NODES, "[{sched}/{transport:?}] one in, one out");
+            assert!(!c.ring().contains(leaver));
+        }
+    }
+}
+
+/// Regression for stale placement snapshots (the latent bug this PR
+/// fixes): shuffle homes and cache ranges used to be captured once at
+/// job start, so a membership change mid-job left partitions homed on
+/// departed nodes and fetches aimed past the joiner. After a mid-job
+/// join + leave, a follow-up job must route nothing to the departed
+/// node and its output must still match.
+#[test]
+fn placement_is_epoch_aware_after_elastic_events() {
+    let expect = baseline("laf");
+    let c = cluster("laf");
+    let leaver = c.ring().node_ids()[1];
+    let epoch0 = c.epoch();
+    c.inject_faults(FaultPlan::new().join_at_maps(2).leave_at_maps(leaver, 5));
+    let (out, _) = c
+        .try_run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+        .expect("join + leave are within the fault model");
+    assert_eq!(out, expect);
+    assert_eq!(c.epoch(), epoch0 + 2, "join and leave must each bump the epoch");
+    // Cache ranges must have re-homed: no range may still belong to the
+    // departed node.
+    assert!(
+        c.cache_ranges().iter().all(|(n, _)| *n != leaver),
+        "a cache range is still homed on the departed node"
+    );
+    // A second, fault-free job on the reshaped cluster: byte-identical
+    // output, and not a single task lands on the departed node.
+    let (again, stats) = c
+        .try_run_job(&WordCount, "input", USER, REDUCERS, ReusePolicy::default())
+        .expect("the reshaped cluster is healthy");
+    assert_eq!(again, expect, "the reshaped cluster diverged the output");
+    assert_eq!(
+        stats.tasks_per_node[leaver.index()],
+        0,
+        "a task was scheduled on the departed node"
+    );
+}

@@ -189,6 +189,77 @@ proptest! {
         );
     }
 
+    /// Elastic membership: for any schedule of one join and one
+    /// graceful leave at random map milestones (in either order),
+    /// output equals the fault-free run and the ring invariants hold —
+    /// every block keeps at least `min(replicas + 1, nodes)` physical
+    /// copies, the cache ranges partition the key space exactly (every
+    /// probe key has exactly one home, and that home is a live
+    /// member), and the attempt ledger stays exact with drained claims
+    /// counted as retries or outraced on the commit board.
+    #[test]
+    fn elastic_schedules_hold_ring_invariants(
+        words in prop::collection::vec("[a-e]{1,4}", 40..250),
+        join_at in 1u64..6,
+        leaver_ix in 0usize..8,
+        leave_at in 1u64..6,
+    ) {
+        use eclipse_util::HashKey;
+        let data = words.join(" ") + "\n";
+        let c = LiveCluster::new(LiveConfig::small().with_block_size(512));
+        c.upload("in", "p", data.as_bytes());
+        let (before, base) = c.run_job(&WordCount, "in", "p", 2, ReusePolicy::default());
+        let n0 = c.ring().len();
+        let leaver = c.ring().node_ids()[leaver_ix % n0];
+        // Clamp both triggers into the job's actual map count so they
+        // always fire (tiny random inputs may have few blocks).
+        let maps = base.map_tasks.max(1);
+        c.inject_faults(
+            FaultPlan::new()
+                .join_at_maps(1 + (join_at - 1) % maps)
+                .leave_at_maps(leaver, 1 + (leave_at - 1) % maps),
+        );
+        let (after, stats) = c
+            .try_run_job(&WordCount, "in", "p", 2, ReusePolicy::default())
+            .expect("a join and a graceful leave are within the fault model");
+        prop_assert_eq!(after, before);
+        prop_assert_eq!(stats.joins, 1);
+        prop_assert_eq!(stats.leaves, 1);
+        prop_assert_eq!(stats.failed_nodes, 0, "elastic events are not crashes");
+        prop_assert_eq!(c.ring().len(), n0, "one in, one out");
+        prop_assert!(!c.ring().contains(leaver));
+        prop_assert_eq!(
+            stats.attempts,
+            stats.map_tasks + stats.retries + stats.speculative_attempts,
+            "attempt ledger broke: {:?}", stats
+        );
+        // Replica floor: every block anyone still holds has at least
+        // min(replicas + 1, nodes) physical copies after the handoffs.
+        let ring = c.ring();
+        let mut copies = HashMap::new();
+        for n in ring.node_ids() {
+            for b in c.store().blocks_on(n) {
+                *copies.entry(b).or_insert(0usize) += 1;
+            }
+        }
+        let floor = 3usize.min(ring.len());
+        prop_assert!(!copies.is_empty(), "the reshaped cluster holds no blocks");
+        for (b, k) in &copies {
+            prop_assert!(*k >= floor, "block {:?} has {} copies, floor {}", b, k, floor);
+        }
+        // Cache ranges partition the key space exactly, and every home
+        // is a live member.
+        let ranges = c.cache_ranges();
+        for (n, _) in &ranges {
+            prop_assert!(ring.contains(*n), "range homed on departed node {:?}", n);
+        }
+        for i in 0..200u64 {
+            let k = HashKey::of_name(&format!("probe-{i}"));
+            let homes = ranges.iter().filter(|(_, r)| r.contains(k)).count();
+            prop_assert_eq!(homes, 1, "probe key {} has {} homes", i, homes);
+        }
+    }
+
     /// A multi-input job over the same file twice doubles every count —
     /// multi-input bookkeeping must not drop or duplicate blocks.
     #[test]
