@@ -1,0 +1,90 @@
+//! Snapshot the multi-tenant job-server story to
+//! `results/BENCH_tenancy.json`.
+//!
+//! Usage: `tenancy_bench [--quick] [--out PATH]`. A deterministic
+//! multi-tenant arrival storm of word-count jobs runs twice — scoped
+//! executor in arrival order vs the persistent `JobServer` pool with
+//! weighted-fair admission — recording per-job sojourn latency
+//! (p50/p99/p999) and records/sec; then a quota sweep measures a
+//! victim tenant's warm hit ratio and latency solo, under an uncapped
+//! cache-flooding antagonist, and with the antagonist quota'd.
+//! `scripts/tier1.sh` runs this in quick mode so every CI pass leaves
+//! a comparable number behind.
+
+use eclipse_bench::tenancy_bench::{quota_sweep, storm_sweep, LatencySummary, NODES};
+
+fn lat_json(l: &LatencySummary) -> String {
+    format!(
+        "{{\"count\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \"max_ms\": {:.3}}}",
+        l.count, l.p50_ms, l.p99_ms, l.p999_ms, l.max_ms
+    )
+}
+
+fn main() {
+    let mut quick = std::env::var("CRITERION_QUICK").is_ok();
+    let mut out = String::from("results/BENCH_tenancy.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown arg {other:?} (expected --quick / --out PATH)"),
+        }
+    }
+
+    let storm = storm_sweep(quick);
+    let quota = quota_sweep(quick);
+
+    let mut json = String::from("{\n  \"bench\": \"tenancy\",\n  \"app\": \"wordcount\",\n");
+    json.push_str(&format!("  \"nodes\": {NODES},\n  \"quick\": {quick},\n  \"storm\": [\n"));
+    for (i, p) in storm.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"jobs\": {}, \"secs\": {:.6}, \"records_per_sec\": {:.1}, \"small\": {}, \"all\": {}}}{}\n",
+            p.mode,
+            p.jobs,
+            p.secs,
+            p.records_per_sec,
+            lat_json(&p.small),
+            lat_json(&p.all),
+            if i + 1 < storm.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"quota\": [\n");
+    for (i, p) in quota.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"victim_hit_ratio\": {:.4}, \"victim\": {}, \"scan_cache_bytes\": {}}}{}\n",
+            p.mode,
+            p.victim_hit_ratio,
+            lat_json(&p.victim),
+            p.scan_cache_bytes,
+            if i + 1 < quota.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, &json).expect("write BENCH_tenancy.json");
+
+    for p in &storm {
+        println!(
+            "storm mode={:<6} jobs={} secs={:.3} records/s={:.0} small_p50={:.2}ms small_p99={:.2}ms small_p999={:.2}ms all_p99={:.2}ms",
+            p.mode,
+            p.jobs,
+            p.secs,
+            p.records_per_sec,
+            p.small.p50_ms,
+            p.small.p99_ms,
+            p.small.p999_ms,
+            p.all.p99_ms
+        );
+    }
+    for p in &quota {
+        println!(
+            "quota mode={:<9} victim_hit_ratio={:.4} victim_p50={:.2}ms victim_p99={:.2}ms scan_cache_bytes={}",
+            p.mode, p.victim_hit_ratio, p.victim.p50_ms, p.victim.p99_ms, p.scan_cache_bytes
+        );
+    }
+    println!("wrote {out}");
+}

@@ -14,6 +14,7 @@ pub mod elastic_bench;
 pub mod live_bench;
 pub mod net_bench;
 pub mod straggler_bench;
+pub mod tenancy_bench;
 pub mod fig10;
 pub mod fig5;
 pub mod fig6;

@@ -42,6 +42,9 @@ pub struct DistributedCache {
     ranges: RwLock<Vec<(NodeId, KeyRange)>>,
     /// Shard count applied to every node cache (joiners included).
     shards_per_node: usize,
+    /// Per-tenant per-node byte budgets, replayed onto joiners so a
+    /// quota set before a membership change still binds the new node.
+    tenant_quotas: RwLock<Vec<(u16, u64)>>,
 }
 
 impl Clone for DistributedCache {
@@ -51,6 +54,7 @@ impl Clone for DistributedCache {
             nodes: RwLock::new(nodes),
             ranges: RwLock::new(self.ranges.read().clone()),
             shards_per_node: self.shards_per_node,
+            tenant_quotas: RwLock::new(self.tenant_quotas.read().clone()),
         }
     }
 }
@@ -78,7 +82,27 @@ impl DistributedCache {
             nodes: RwLock::new(nodes),
             ranges: RwLock::new(ring.ranges()),
             shards_per_node,
+            tenant_quotas: RwLock::new(Vec::new()),
         }
+    }
+
+    /// Give `tenant` a per-node byte budget on every current node's
+    /// cache — and on every future joiner's. Within a node the budget
+    /// splits over shards exactly as the capacity does.
+    pub fn set_tenant_quota(&self, tenant: u16, bytes_per_node: u64) {
+        {
+            let mut quotas = self.tenant_quotas.write();
+            quotas.retain(|(t, _)| *t != tenant);
+            quotas.push((tenant, bytes_per_node));
+        }
+        for node in self.nodes.read().iter() {
+            node.set_tenant_quota(tenant, bytes_per_node);
+        }
+    }
+
+    /// Resident bytes attributed to `tenant`, summed over all nodes.
+    pub fn tenant_used(&self, tenant: u16) -> u64 {
+        self.nodes.read().iter().map(|n| n.tenant_used(tenant)).sum()
     }
 
     pub fn num_nodes(&self) -> usize {
@@ -102,7 +126,11 @@ impl DistributedCache {
     pub fn add_node(&self, capacity: u64) -> NodeId {
         let mut nodes = self.nodes.write();
         let id = NodeId(nodes.len() as u32);
-        nodes.push(Arc::new(ShardedNodeCache::new(capacity, self.shards_per_node)));
+        let cache = ShardedNodeCache::new(capacity, self.shards_per_node);
+        for &(tenant, bytes) in self.tenant_quotas.read().iter() {
+            cache.set_tenant_quota(tenant, bytes);
+        }
+        nodes.push(Arc::new(cache));
         id
     }
 

@@ -97,10 +97,25 @@ struct Slot<K, V> {
     bytes: u64,
     /// Absolute expiry time in seconds; `None` = never.
     expires: Option<f64>,
+    /// Owning tenant (0 = the default/untagged tenant). Only consulted
+    /// when the cache has a [`TenantLedger`].
+    tenant: u16,
     /// More recently used neighbor (toward `head`).
     prev: u32,
     /// Less recently used neighbor (toward `tail`).
     next: u32,
+}
+
+/// Per-tenant byte accounting and quotas (multi-tenant mode). Allocated
+/// lazily on the first [`LruCache::set_tenant_quota`] call so a cache
+/// that never configures quotas takes the exact legacy code path —
+/// same branches, same eviction order, bit-identical statistics.
+#[derive(Clone, Debug, Default)]
+struct TenantLedger {
+    /// Resident bytes per tenant (entries appear on first insert).
+    used: FxHashMap<u16, u64>,
+    /// Byte budget per tenant; absent = unlimited (accounted only).
+    quota: FxHashMap<u16, u64>,
 }
 
 /// Statistics kept by an [`LruCache`].
@@ -164,6 +179,8 @@ pub struct LruCache<K: Eq + Hash + Clone, V = ()> {
     /// Least recently used slot — the eviction victim (`NIL` when empty).
     tail: u32,
     stats: CacheStats,
+    /// Per-tenant accounting; `None` until the first quota is set.
+    tenants: Option<Box<TenantLedger>>,
 }
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
@@ -180,7 +197,32 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             head: NIL,
             tail: NIL,
             stats: CacheStats::default(),
+            tenants: None,
         }
+    }
+
+    /// Give `tenant` a byte budget within this cache. The ledger is
+    /// created on the first call; until then tenant tags on inserts are
+    /// carried but ignored, keeping the legacy eviction order exactly.
+    /// The quota applies from the next insert — entries already over
+    /// budget age out through normal LRU pressure.
+    pub fn set_tenant_quota(&mut self, tenant: u16, bytes: u64) {
+        let ledger = self.tenants.get_or_insert_with(Default::default);
+        ledger.quota.insert(tenant, bytes);
+        // Back-fill usage for entries inserted before the ledger existed.
+        let mut used: FxHashMap<u16, u64> = FxHashMap::default();
+        let mut i = self.head;
+        while i != NIL {
+            let s = &self.slots[i as usize];
+            *used.entry(s.tenant).or_default() += s.bytes;
+            i = s.next;
+        }
+        ledger.used = used;
+    }
+
+    /// Resident bytes attributed to `tenant` (0 without a ledger).
+    pub fn tenant_used(&self, tenant: u16) -> u64 {
+        self.tenants.as_ref().and_then(|l| l.used.get(&tenant).copied()).unwrap_or(0)
     }
 
     pub fn capacity(&self) -> u64 {
@@ -257,10 +299,16 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.unlink(i);
         let slot = &mut self.slots[i as usize];
         let bytes = slot.bytes;
+        let tenant = slot.tenant;
         let value = slot.value.take();
         self.used -= bytes;
         self.index.remove(&slot.key);
         self.free.push(i);
+        if let Some(ledger) = self.tenants.as_mut() {
+            if let Some(u) = ledger.used.get_mut(&tenant) {
+                *u = u.saturating_sub(bytes);
+            }
+        }
         (bytes, value)
     }
 
@@ -320,9 +368,37 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         now: f64,
         ttl: Option<f64>,
     ) -> bool {
+        self.put_value_tenant(key, value, bytes, now, ttl, 0)
+    }
+
+    /// [`put_value`](Self::put_value) attributed to `tenant`. With a
+    /// quota configured for the tenant, entries of *that tenant* are
+    /// evicted from the LRU tail first until the tenant fits its
+    /// budget, so one tenant's insert pressure cannot evict another's
+    /// warm entries; an object larger than the tenant budget is
+    /// rejected. Without a ledger (no [`set_tenant_quota`]
+    /// (Self::set_tenant_quota) call ever) this is byte-for-byte the
+    /// legacy single-tenant path.
+    pub fn put_value_tenant(
+        &mut self,
+        key: K,
+        value: Option<V>,
+        bytes: u64,
+        now: f64,
+        ttl: Option<f64>,
+        tenant: u16,
+    ) -> bool {
         if bytes > self.capacity {
             self.stats.rejected += 1;
             return false;
+        }
+        if let Some(ledger) = self.tenants.as_ref() {
+            if let Some(&quota) = ledger.quota.get(&tenant) {
+                if bytes > quota {
+                    self.stats.rejected += 1;
+                    return false;
+                }
+            }
         }
         // Allocate the new slot first and claim the index entry in ONE
         // hash operation: `insert` both looks up any previous slot for
@@ -337,6 +413,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                 slot.value = value;
                 slot.bytes = bytes;
                 slot.expires = expires;
+                slot.tenant = tenant;
                 i
             }
             None => {
@@ -346,6 +423,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                     value,
                     bytes,
                     expires,
+                    tenant,
                     prev: NIL,
                     next: NIL,
                 });
@@ -360,8 +438,31 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             self.unlink(old);
             let slot = &mut self.slots[old as usize];
             slot.value = None;
-            self.used -= slot.bytes;
+            let (old_bytes, old_tenant) = (slot.bytes, slot.tenant);
+            self.used -= old_bytes;
             self.free.push(old);
+            if let Some(ledger) = self.tenants.as_mut() {
+                if let Some(u) = ledger.used.get_mut(&old_tenant) {
+                    *u = u.saturating_sub(old_bytes);
+                }
+            }
+        }
+        if let Some(ledger) = self.tenants.as_ref() {
+            if let Some(&quota) = ledger.quota.get(&tenant) {
+                // Tenant over budget: evict *its own* LRU entries first,
+                // scanning from the global tail. Other tenants' entries
+                // are skipped — their warmth is protected.
+                let mut victim = self.tail;
+                while self.tenant_used(tenant) + bytes > quota && victim != NIL {
+                    let s = &self.slots[victim as usize];
+                    let prev = s.prev;
+                    if s.tenant == tenant {
+                        self.detach(victim);
+                        self.stats.evictions += 1;
+                    }
+                    victim = prev;
+                }
+            }
         }
         while self.used + bytes > self.capacity {
             // Evict the least-recently-used entry: the list tail.
@@ -372,6 +473,9 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.push_front(i);
         self.used += bytes;
         self.stats.insertions += 1;
+        if let Some(ledger) = self.tenants.as_mut() {
+            *ledger.used.entry(tenant).or_default() += bytes;
+        }
         true
     }
 
@@ -430,6 +534,9 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.head = NIL;
         self.tail = NIL;
         self.used = 0;
+        if let Some(ledger) = self.tenants.as_mut() {
+            ledger.used.clear(); // quotas survive; usage resets with the contents
+        }
     }
 }
 
@@ -565,6 +672,101 @@ mod tests {
         // A metered re-insert of b replaces (drops) the in-slot value.
         c.put("b", 10, 3.0, None);
         assert_eq!(c.get_value(&"b", 4.0).unwrap().1, None);
+    }
+
+    #[test]
+    fn tenant_quota_protects_other_tenants() {
+        let mut c: LruCache<u32> = LruCache::new(100);
+        c.set_tenant_quota(2, 30);
+        // Tenant 1 (no quota) warms 60 bytes.
+        for k in 0..6u32 {
+            c.put_value_tenant(k, None, 10, k as f64, None, 1);
+        }
+        // Tenant 2 scans 10 entries of 10 bytes: its quota forces its
+        // own entries out, never tenant 1's.
+        for k in 100..110u32 {
+            c.put_value_tenant(k, None, 10, k as f64, None, 2);
+        }
+        assert_eq!(c.tenant_used(1), 60, "tenant 1 untouched by the scan");
+        assert_eq!(c.tenant_used(2), 30, "tenant 2 held to its quota");
+        for k in 0..6u32 {
+            assert!(c.contains(&k, 200.0), "tenant 1 key {k} evicted by scan");
+        }
+        // The scan's survivors are its most recent 3 entries.
+        for k in 107..110u32 {
+            assert!(c.contains(&k, 200.0));
+        }
+        assert!(!c.contains(&100, 200.0));
+    }
+
+    #[test]
+    fn tenant_oversized_object_rejected() {
+        let mut c: LruCache<&str> = LruCache::new(100);
+        c.set_tenant_quota(5, 20);
+        assert!(!c.put_value_tenant("big", None, 21, 0.0, None, 5));
+        assert_eq!(c.stats().rejected, 1);
+        assert!(c.put_value_tenant("ok", None, 20, 0.0, None, 5));
+    }
+
+    #[test]
+    fn tenant_accounting_tracks_detach_paths() {
+        let mut c: LruCache<&str> = LruCache::new(100);
+        c.set_tenant_quota(1, 100);
+        c.put_value_tenant("a", None, 10, 0.0, Some(5.0), 1);
+        c.put_value_tenant("b", None, 10, 0.0, None, 1);
+        assert_eq!(c.tenant_used(1), 20);
+        // Re-insert with a new size replaces the accounting.
+        c.put_value_tenant("b", None, 30, 1.0, None, 1);
+        assert_eq!(c.tenant_used(1), 40);
+        // TTL expiry and invalidation both release tenant bytes.
+        assert_eq!(c.get(&"a", 6.0), None);
+        assert_eq!(c.tenant_used(1), 30);
+        c.invalidate(&"b");
+        assert_eq!(c.tenant_used(1), 0);
+        // Clear resets usage but keeps the quota enforceable.
+        c.put_value_tenant("c", None, 10, 7.0, None, 1);
+        c.clear();
+        assert_eq!(c.tenant_used(1), 0);
+        assert!(!c.put_value_tenant("big", None, 101, 8.0, None, 1), "capacity still applies");
+    }
+
+    #[test]
+    fn quota_set_late_backfills_existing_usage() {
+        let mut c: LruCache<u32> = LruCache::new(100);
+        c.put_value_tenant(1, None, 40, 0.0, None, 3);
+        c.put_value_tenant(2, None, 20, 0.0, None, 4);
+        c.set_tenant_quota(3, 50);
+        assert_eq!(c.tenant_used(3), 40);
+        assert_eq!(c.tenant_used(4), 20);
+        // Next tenant-3 insert that would exceed 50 evicts tenant 3's
+        // own LRU entry.
+        c.put_value_tenant(5, None, 20, 1.0, None, 3);
+        assert!(!c.contains(&1, 2.0));
+        assert!(c.contains(&2, 2.0), "tenant 4 unaffected");
+        assert_eq!(c.tenant_used(3), 20);
+    }
+
+    #[test]
+    fn no_ledger_means_legacy_eviction_order() {
+        // Tenant tags without any quota configured: behavior (victims,
+        // stats) is identical to the untagged cache.
+        let mut tagged: LruCache<u32> = LruCache::new(50);
+        let mut plain: LruCache<u32> = LruCache::new(50);
+        for i in 0..40u32 {
+            let t = (i % 3) as u16;
+            assert_eq!(
+                tagged.put_value_tenant(i % 11, None, 7, i as f64, None, t),
+                plain.put(i % 11, 7, i as f64, None)
+            );
+            assert_eq!(tagged.get(&(i % 5), i as f64), plain.get(&(i % 5), i as f64));
+        }
+        assert_eq!(tagged.stats(), plain.stats());
+        assert_eq!(tagged.used(), plain.used());
+        let mut a: Vec<u32> = tagged.keys().copied().collect();
+        let mut b: Vec<u32> = plain.keys().copied().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
     }
 
     #[test]

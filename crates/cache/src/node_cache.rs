@@ -90,12 +90,36 @@ impl NodeCache {
     /// Cache a real payload (live executor path). The payload is stored
     /// in the LRU slot itself; eviction or invalidation drops it.
     pub fn put_payload(&mut self, key: CacheKey, data: Bytes, now: f64, ttl: Option<f64>) -> bool {
+        self.put_payload_tenant(key, data, now, ttl, 0)
+    }
+
+    /// [`put_payload`](Self::put_payload) attributed to `tenant` for
+    /// quota accounting (see [`LruCache::put_value_tenant`]).
+    pub fn put_payload_tenant(
+        &mut self,
+        key: CacheKey,
+        data: Bytes,
+        now: f64,
+        ttl: Option<f64>,
+        tenant: u16,
+    ) -> bool {
         let bytes = data.len() as u64;
-        let ok = self.lru.put_value(key.clone(), Some(data), bytes, now, ttl);
+        let ok = self.lru.put_value_tenant(key.clone(), Some(data), bytes, now, ttl, tenant);
         if ok {
             self.stats_for(&key).insertions += 1;
         }
         ok
+    }
+
+    /// Give `tenant` a byte budget within this cache (applies from the
+    /// next insert).
+    pub fn set_tenant_quota(&mut self, tenant: u16, bytes: u64) {
+        self.lru.set_tenant_quota(tenant, bytes);
+    }
+
+    /// Resident bytes attributed to `tenant`.
+    pub fn tenant_used(&self, tenant: u16) -> u64 {
+        self.lru.tenant_used(tenant)
     }
 
     pub fn contains(&self, key: &CacheKey, now: f64) -> bool {

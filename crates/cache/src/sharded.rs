@@ -96,6 +96,35 @@ impl ShardedNodeCache {
         self.shard_of(&key).lock().put_payload(key, data, now, ttl)
     }
 
+    /// Cache a real payload attributed to `tenant` (quota accounting).
+    pub fn put_payload_tenant(
+        &self,
+        key: CacheKey,
+        data: Bytes,
+        now: f64,
+        ttl: Option<f64>,
+        tenant: u16,
+    ) -> bool {
+        self.shard_of(&key).lock().put_payload_tenant(key, data, now, ttl, tenant)
+    }
+
+    /// Give `tenant` a byte budget within this node's cache, split over
+    /// shards the same way the capacity is (quota/shards, remainder one
+    /// byte each to the low shards). Keys hash uniformly over shards,
+    /// so a tenant's traffic sees its budget in aggregate.
+    pub fn set_tenant_quota(&self, tenant: u16, bytes: u64) {
+        let n = self.shards.len() as u64;
+        for (i, s) in self.shards.iter().enumerate() {
+            let budget = bytes / n + u64::from((i as u64) < bytes % n);
+            s.lock().set_tenant_quota(tenant, budget);
+        }
+    }
+
+    /// Resident bytes attributed to `tenant` (sum over shards).
+    pub fn tenant_used(&self, tenant: u16) -> u64 {
+        self.shards.iter().map(|s| s.lock().tenant_used(tenant)).sum()
+    }
+
     pub fn contains(&self, key: &CacheKey, now: f64) -> bool {
         self.shard_of(key).lock().contains(key, now)
     }

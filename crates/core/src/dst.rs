@@ -164,6 +164,13 @@ pub struct FaultConfig {
     /// `fail_times_max + leave_slots_max < TASK_BUDGET` to stay benign
     /// by construction.
     pub leave_slots_max: u32,
+    /// Max concurrent jobs per seed (≥ 1). The primary job carries the
+    /// fault schedule and the chaos observer; siblings run the same
+    /// workload concurrently through the multi-job registry, and every
+    /// job's output and attempt ledger is checked independently — a
+    /// shuffle-dedup bleed or a recovery walk that misses a live run
+    /// shows up as a sibling divergence.
+    pub concurrent_jobs_max: u32,
 }
 
 impl FaultConfig {
@@ -187,6 +194,7 @@ impl FaultConfig {
             // still leaves one attempt of budget, so calm stays benign.
             join_slots_max: 1,
             leave_slots_max: 1,
+            concurrent_jobs_max: 2,
         }
     }
 
@@ -207,6 +215,7 @@ impl FaultConfig {
             tokens_per_target_max: u32::MAX,
             join_slots_max: 1,
             leave_slots_max: 1,
+            concurrent_jobs_max: 2,
         }
     }
 
@@ -227,6 +236,7 @@ impl FaultConfig {
             tokens_per_target_max: u32::MAX,
             join_slots_max: 2,
             leave_slots_max: 2,
+            concurrent_jobs_max: 3,
         }
     }
 }
@@ -722,15 +732,12 @@ pub fn allowed_errors(schedule: &[DstFault]) -> Allowed {
     }
 }
 
-/// Check the [`LiveStats`] accounting invariants for a successful run.
-/// Increments `checks` once per invariant evaluated; returns the first
-/// violation.
-pub fn check_stats(
-    stats: &LiveStats,
-    w: &DstWorkload,
-    schedule: &[DstFault],
-    checks: &mut u64,
-) -> Result<(), String> {
+/// Per-job attempt-ledger invariants — the subset of [`check_stats`]
+/// that holds for *every* job in a run, including siblings sharing the
+/// cluster with the fault-carrying primary. Each job has its own
+/// commit board and counters, so a cross-job dedup bleed (one job's
+/// shuffle batches settled against another's ledger) breaks these.
+pub fn check_job_ledger(stats: &LiveStats, checks: &mut u64) -> Result<(), String> {
     macro_rules! inv {
         ($cond:expr, $($msg:tt)*) => {{
             *checks += 1;
@@ -767,6 +774,28 @@ pub fn check_stats(
         stats.tasks_per_node.iter().sum::<u64>(),
         stats.map_tasks
     );
+    Ok(())
+}
+
+/// Check the [`LiveStats`] accounting invariants for a successful run.
+/// Increments `checks` once per invariant evaluated; returns the first
+/// violation.
+pub fn check_stats(
+    stats: &LiveStats,
+    w: &DstWorkload,
+    schedule: &[DstFault],
+    checks: &mut u64,
+) -> Result<(), String> {
+    macro_rules! inv {
+        ($cond:expr, $($msg:tt)*) => {{
+            *checks += 1;
+            if !$cond {
+                return Err(format!($($msg)*));
+            }
+        }};
+    }
+
+    check_job_ledger(stats, checks)?;
     let planned_joins =
         schedule.iter().filter(|f| matches!(f, DstFault::JoinAtMaps { .. })).count() as u64;
     let planned_leaves =
@@ -908,6 +937,10 @@ pub struct DstReport {
     pub verdict: Verdict,
     pub faults_injected: u64,
     pub oracle_checks: u64,
+    /// Jobs run concurrently on the cluster this seed (1 = the
+    /// primary alone), sampled from the preset's
+    /// `concurrent_jobs_max`.
+    pub concurrent_jobs: u32,
 }
 
 impl DstReport {
@@ -929,6 +962,7 @@ fn run_schedule(
     input: &str,
     schedule: &[DstFault],
     expect: &[(String, String)],
+    jobs: u32,
 ) -> (Outcome, u64, u64) {
     let c = LiveCluster::new(w.config());
     c.upload(INPUT, DST_USER, input.as_bytes());
@@ -969,14 +1003,49 @@ fn run_schedule(
     c.inject_faults(plan);
     let obs = Arc::new(ChaosObserver::new(net.clone(), pending));
     c.set_observer(Some(obs.clone() as Arc<dyn DstObserver>));
-    let res = c.try_run_job(&w.app, INPUT, DST_USER, w.reducers, ReusePolicy::default());
-    c.set_observer(None);
+
+    // The primary job drains the fault plan and carries the chaos
+    // observer; sibling jobs start only after the primary has
+    // registered (or already finished), so faults and progress-keyed
+    // injection points bind to the primary deterministically. Siblings
+    // share the cluster — cache, transport, recovery walks — and are
+    // judged by the same output oracle and their own attempt ledgers.
+    let primary_done = std::sync::atomic::AtomicBool::new(false);
+    let mut sibling_res = Vec::new();
+    let res = std::thread::scope(|s| {
+        let primary = s.spawn(|| {
+            let r = c.try_run_job(&w.app, INPUT, DST_USER, w.reducers, ReusePolicy::default());
+            primary_done.store(true, Ordering::Release);
+            r
+        });
+        while c.active_jobs() == 0 && !primary_done.load(Ordering::Acquire) {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+        // From here on new runs see no observer: the logical clock
+        // driving injection points is the primary's alone.
+        c.set_observer(None);
+        let sibs: Vec<_> = (1..jobs)
+            .map(|_| {
+                s.spawn(|| {
+                    c.try_run_job(&w.app, INPUT, DST_USER, w.reducers, ReusePolicy::default())
+                })
+            })
+            .collect();
+        sibling_res =
+            sibs.into_iter().map(|h| h.join().expect("sibling job panicked")).collect();
+        primary.join().expect("primary job panicked")
+    });
     net.heal_all();
 
     let injected = planned + obs.fired();
     let allowed = allowed_errors(schedule);
     let mut checks = 0u64;
-    let outcome = match res {
+    let excused = |e: &JobError| match e {
+        JobError::TaskFailed { .. } => allowed.task_failed,
+        JobError::DataLoss(_) => allowed.data_loss,
+        JobError::Open(_) | JobError::Cancelled => false,
+    };
+    let mut outcome = match res {
         Ok((out, stats)) => {
             checks += 1;
             if out != *expect {
@@ -994,18 +1063,64 @@ fn run_schedule(
         }
         Err(e) => {
             checks += 1;
-            let ok = match &e {
-                JobError::TaskFailed { .. } => allowed.task_failed,
-                JobError::DataLoss(_) => allowed.data_loss,
-                JobError::Open(_) => false,
-            };
-            if ok {
+            if excused(&e) {
                 Outcome::Allowed(e.to_string())
             } else {
                 Outcome::Fail(format!("disallowed terminal error: {e}"))
             }
         }
     };
+    // Sibling oracle: same expected bytes (the workload is identical
+    // and output is placement-independent), same allowed-error set
+    // (crashes and partitions hit every live job), plus the per-job
+    // ledger. A sibling failure outranks a primary Match/Allowed.
+    // With replication 1 every block commits exactly one map task.
+    // Replicated map-out adds up to r−1 extra placements per block,
+    // but drops any whose partition mask comes up empty (the count
+    // depends on ring geometry at the sibling's start), so the bleed
+    // check is a band: below it a task vanished into another job's
+    // ledger, above it another job's commits leaked into this one.
+    let blocks = (input.len() as u64).div_ceil(w.block_size);
+    let maps_band = blocks..=blocks * w.replication as u64;
+    for (i, r) in sibling_res.into_iter().enumerate() {
+        if matches!(outcome, Outcome::Fail(_)) {
+            break;
+        }
+        match r {
+            Ok((out, stats)) => {
+                checks += 1;
+                if out != *expect {
+                    outcome = Outcome::Fail(format!(
+                        "concurrent job {i} output diverged: {} rows vs {} expected",
+                        out.len(),
+                        expect.len()
+                    ));
+                    continue;
+                }
+                checks += 1;
+                if !maps_band.contains(&stats.map_tasks) {
+                    outcome = Outcome::Fail(format!(
+                        "concurrent job {i} committed {} maps for {} blocks at r={} \
+                         (cross-job dedup bleed?)",
+                        stats.map_tasks, blocks, w.replication
+                    ));
+                    continue;
+                }
+                if let Err(e) = check_job_ledger(&stats, &mut checks) {
+                    outcome =
+                        Outcome::Fail(format!("concurrent job {i} ledger violated: {e}"));
+                }
+            }
+            Err(e) => {
+                checks += 1;
+                if !excused(&e) {
+                    outcome = Outcome::Fail(format!(
+                        "concurrent job {i} disallowed terminal error: {e}"
+                    ));
+                }
+            }
+        }
+    }
     (outcome, injected, checks)
 }
 
@@ -1071,14 +1186,22 @@ pub fn run_seed(seed: u64, preset: DstPreset) -> DstReport {
         sample_schedule(&mut rng, &cfg, &nodes, base_stats.map_tasks, base_stats.spills);
     drop(base);
 
+    // Concurrency is sampled off its own RNG stream so adding the knob
+    // left every existing seed's schedule untouched.
+    let mut crng = StdRng::seed_from_u64(seed ^ 0xC0C0_4A0B_5000_0003);
+    let concurrent_jobs = crng.random_range(1..=cfg.concurrent_jobs_max.max(1));
+
     let (outcome, faults_injected, oracle_checks) =
-        run_schedule(&w, &input, &schedule, &expect);
+        run_schedule(&w, &input, &schedule, &expect, concurrent_jobs);
     let verdict = match outcome {
         Outcome::Match => Verdict::Match,
         Outcome::Allowed(e) => Verdict::AllowedError(e),
         Outcome::Fail(reason) => {
             let minimal = shrink_schedule(&schedule, &mut |cand| {
-                matches!(run_schedule(&w, &input, cand, &expect).0, Outcome::Fail(_))
+                matches!(
+                    run_schedule(&w, &input, cand, &expect, concurrent_jobs).0,
+                    Outcome::Fail(_)
+                )
             });
             let repro = repro_line(seed, preset);
             eprintln!(
@@ -1090,7 +1213,16 @@ pub fn run_seed(seed: u64, preset: DstPreset) -> DstReport {
             Verdict::Fail { reason, minimal, repro }
         }
     };
-    DstReport { seed, preset, workload: w, schedule, verdict, faults_injected, oracle_checks }
+    DstReport {
+        seed,
+        preset,
+        workload: w,
+        schedule,
+        verdict,
+        faults_injected,
+        oracle_checks,
+        concurrent_jobs,
+    }
 }
 
 /// Aggregate results of a seed sweep (what the smoke step and
@@ -1238,6 +1370,37 @@ mod tests {
         let r = run_seed(1, DstPreset::Calm);
         assert_eq!(r.verdict, Verdict::Match, "calm seed 1 must be byte-identical");
         assert!(r.oracle_checks > 1);
+    }
+
+    #[test]
+    fn concurrent_jobs_sampled_and_checked() {
+        // Find a calm seed that samples ≥ 2 concurrent jobs: the
+        // siblings must also be byte-identical under a benign schedule.
+        let seed = (1u64..64)
+            .find(|&s| {
+                let mut crng = StdRng::seed_from_u64(s ^ 0xC0C0_4A0B_5000_0003);
+                crng.random_range(1..=FaultConfig::calm().concurrent_jobs_max) >= 2
+            })
+            .expect("some seed under 64 samples 2 jobs");
+        let r = run_seed(seed, DstPreset::Calm);
+        assert!(r.concurrent_jobs >= 2);
+        assert_eq!(r.verdict, Verdict::Match, "calm concurrent seed {seed} must match");
+        // Redundant sibling checks were actually evaluated.
+        assert!(r.oracle_checks > 6, "only {} checks", r.oracle_checks);
+        // Sampling is pure in the seed.
+        assert_eq!(run_seed(seed, DstPreset::Calm).concurrent_jobs, r.concurrent_jobs);
+    }
+
+    #[test]
+    fn every_preset_bounds_concurrency() {
+        for p in [DstPreset::Calm, DstPreset::Moderate, DstPreset::Chaos] {
+            let c = p.config();
+            assert!(
+                (1..=3).contains(&c.concurrent_jobs_max),
+                "{p}: concurrent_jobs_max {} out of range",
+                c.concurrent_jobs_max
+            );
+        }
     }
 
     #[test]

@@ -21,6 +21,8 @@ pub enum JobError {
     DataLoss(BlockId),
     /// One task kept failing after the bounded retry budget.
     TaskFailed { task: usize, attempts: u32 },
+    /// The job server shut down before this queued job was started.
+    Cancelled,
 }
 
 impl std::fmt::Display for JobError {
@@ -31,6 +33,7 @@ impl std::fmt::Display for JobError {
             JobError::TaskFailed { task, attempts } => {
                 write!(f, "task {task} failed after {attempts} attempts")
             }
+            JobError::Cancelled => write!(f, "job server shut down before the job started"),
         }
     }
 }

@@ -9,6 +9,7 @@ pub mod dst;
 pub mod job;
 pub mod live;
 pub mod resource_manager;
+pub mod server;
 pub mod shuffle;
 pub mod sim_exec;
 pub mod timeline;
@@ -26,6 +27,7 @@ pub use live::{
 /// chaos API and stats types without a direct dependency).
 pub use eclipse_net as net;
 pub use resource_manager::{ResourceManager, RmError, TickOutcome};
+pub use server::{AdmissionPolicy, JobHandle, JobServer, JobServerConfig, PoolJobSpec};
 pub use shuffle::{Spill, SpillBuffer};
 pub use timeline::{TaskEvent, TaskKind, Timeline};
 pub use sim_exec::{EclipseConfig, EclipseSim, SchedulerKind};

@@ -72,7 +72,8 @@ use bytes::Bytes;
 use eclipse_cache::{CacheKey, DistributedCache, OutputTag};
 use eclipse_dhtfs::{BlockId, BlockStore, DhtFs, DhtFsConfig, FsError};
 use eclipse_net::{
-    MemTransport, RetryPolicy, Rpc, RpcReply, SendTicket, TcpTransport, Transport, CLIENT,
+    MemTransport, NetSnapshot, RetryPolicy, Rpc, RpcReply, SendTicket, TcpTransport, Transport,
+    CLIENT,
 };
 use eclipse_ring::{
     ChordNet, ClusterView, HeartbeatMonitor, MembershipEvent, NodeId, Ring, RingError, ServerInfo,
@@ -588,6 +589,21 @@ struct PendingCommit {
     started: Instant,
 }
 
+/// Bits of a wire task id reserved for the per-job task index; the
+/// bits above carry the job slot. A *global* task id (gtid) is
+/// `(jid << JOB_SHIFT) | tid`, letting shuffle batches, heartbeats and
+/// assignments from concurrent jobs share one transport without
+/// colliding.
+const JOB_SHIFT: u32 = 20;
+/// Mask extracting the per-job task index from a gtid.
+const TID_MASK: u32 = (1 << JOB_SHIFT) - 1;
+/// Job slots: jids are assigned modulo this, keeping every gtid
+/// strictly below `u32::MAX` (the heartbeat liveness sentinel) while
+/// leaving a full 2048-job window before a slot is reused — and slot
+/// reuse is safe anyway because `begin_job` prunes the slot's gtid
+/// space.
+const MAX_JOB_SLOTS: u32 = 1 << (31 - JOB_SHIFT);
+
 /// One shuffle batch: the complete output of `(task, attempt)` for one
 /// reduce partition. Reducers use the pair for exactly-once dedup.
 struct TaskBatch {
@@ -621,40 +637,49 @@ impl SeqTracker {
     }
 }
 
+/// One live job's routing state: where its reduce partitions ingest
+/// and which node each partition's shuffle batches are addressed to.
+struct JobRoute {
+    /// Reduce-partition channels.
+    sinks: Vec<Sender<TaskBatch>>,
+    /// Home node per reduce partition. Re-homed when the home becomes
+    /// unreachable.
+    homes: Vec<NodeId>,
+}
+
 /// The receiving half of the shuffle and control planes, shared by every
-/// node's RPC handler. One job at a time: `begin_job` installs the
-/// partition channels and homes, `end_job` tears them down so stragglers
-/// are dropped instead of delivered into a later job.
+/// node's RPC handler. Multi-job: every wire task id is a *global* task
+/// id `(jid << JOB_SHIFT) | tid`, so batches, dedup trackers, progress
+/// entries and assignments from concurrent jobs never collide.
+/// `begin_job` installs a job's partition channels and homes under its
+/// jid; `end_job` tears them down so stragglers are dropped instead of
+/// delivered into a later job reusing the slot.
 struct ShuffleRouter {
-    /// Reduce-partition channels of the in-flight job.
-    sinks: RwLock<Option<Vec<Sender<TaskBatch>>>>,
-    /// Home node per reduce partition — where its shuffle batches are
-    /// addressed. Re-homed when the home becomes unreachable.
-    homes: RwLock<Vec<NodeId>>,
-    /// Transport-level dedup, one tracker per `(task, attempt)`.
+    /// Routing state per live job, keyed by jid.
+    jobs: RwLock<HashMap<u32, JobRoute>>,
+    /// Transport-level dedup, one tracker per `(gtid, attempt)`.
     /// At-least-once retry can re-deliver a batch whose *response* was
     /// lost, and the windowed one-way lane can deliver retransmissions
     /// out of order; neither a duplicate nor a reordered duplicate may
     /// reach a reducer twice.
     seen: Mutex<HashMap<(u32, u32), SeqTracker>>,
-    /// Tasks whose commit has settled, with the winning attempt. Bounds
-    /// dedup memory: once a task settles, every loser's `seen` tracker
-    /// is pruned and late loser batches are acknowledged without ever
-    /// creating one — only the winner's tracker survives (late
+    /// Tasks (gtids) whose commit has settled, with the winning attempt.
+    /// Bounds dedup memory: once a task settles, every loser's `seen`
+    /// tracker is pruned and late loser batches are acknowledged without
+    /// ever creating one — only the winner's tracker survives (late
     /// retransmissions of acked frames must still dedup).
     settled: Mutex<HashMap<u32, u32>>,
-    /// Speculation progress board: task → (first heard, latest promille
+    /// Speculation progress board: gtid → (first heard, latest promille
     /// 0..=1000), fed by `Heartbeat` frames addressed to the driver.
     progress: Mutex<HashMap<u32, (Instant, u32)>>,
-    /// Control plane: task ids assigned per node via `TaskAssign`.
-    assigned: Mutex<HashMap<u32, Vec<usize>>>,
+    /// Control plane: global task ids assigned per node via `TaskAssign`.
+    assigned: Mutex<HashMap<u32, Vec<u32>>>,
 }
 
 impl ShuffleRouter {
     fn new() -> ShuffleRouter {
         ShuffleRouter {
-            sinks: RwLock::new(None),
-            homes: RwLock::new(Vec::new()),
+            jobs: RwLock::new(HashMap::new()),
             seen: Mutex::new(HashMap::new()),
             settled: Mutex::new(HashMap::new()),
             progress: Mutex::new(HashMap::new()),
@@ -662,44 +687,58 @@ impl ShuffleRouter {
         }
     }
 
-    fn begin_job(&self, sinks: Vec<Sender<TaskBatch>>, homes: Vec<NodeId>) {
-        *self.sinks.write() = Some(sinks);
-        *self.homes.write() = homes;
-        self.seen.lock().clear();
-        self.settled.lock().clear();
-        self.progress.lock().clear();
+    /// Drop every gtid-keyed entry belonging to `jid` — called on both
+    /// begin (slot reuse after [`MAX_JOB_SLOTS`] jobs must not inherit
+    /// a predecessor's dedup state) and end (free the memory).
+    fn prune_job(&self, jid: u32) {
+        self.seen.lock().retain(|&(t, _), _| t >> JOB_SHIFT != jid);
+        self.settled.lock().retain(|&t, _| t >> JOB_SHIFT != jid);
+        self.progress.lock().retain(|&t, _| t >> JOB_SHIFT != jid);
+        for q in self.assigned.lock().values_mut() {
+            q.retain(|&t| t >> JOB_SHIFT != jid);
+        }
     }
 
-    fn end_job(&self) {
-        *self.sinks.write() = None;
-        self.homes.write().clear();
+    fn begin_job(&self, jid: u32, sinks: Vec<Sender<TaskBatch>>, homes: Vec<NodeId>) {
+        self.prune_job(jid);
+        self.jobs.write().insert(jid, JobRoute { sinks, homes });
     }
 
-    fn home_of(&self, partition: usize) -> NodeId {
-        self.homes.read()[partition]
+    fn end_job(&self, jid: u32) {
+        self.jobs.write().remove(&jid);
+        self.prune_job(jid);
     }
 
-    fn set_home(&self, partition: usize, node: NodeId) {
-        self.homes.write()[partition] = node;
+    fn home_of(&self, jid: u32, partition: usize) -> NodeId {
+        self.jobs.read()[&jid].homes[partition]
     }
 
-    /// Proactively re-home every partition addressed at `victim` onto
-    /// `to` (the victim's ring successor). Crash and graceful-leave
-    /// recovery both call this so post-event spills go straight to the
-    /// current owner instead of discovering the stale home through a
-    /// failed send (which burns an attempt's worth of retry budget).
+    fn set_home(&self, jid: u32, partition: usize, node: NodeId) {
+        if let Some(route) = self.jobs.write().get_mut(&jid) {
+            route.homes[partition] = node;
+        }
+    }
+
+    /// Proactively re-home every partition of every live job addressed
+    /// at `victim` onto `to` (the victim's ring successor). Crash and
+    /// graceful-leave recovery both call this so post-event spills go
+    /// straight to the current owner instead of discovering the stale
+    /// home through a failed send (which burns an attempt's worth of
+    /// retry budget).
     fn rehome_from(&self, victim: NodeId, to: NodeId) {
-        let mut homes = self.homes.write();
-        for h in homes.iter_mut() {
-            if *h == victim {
-                *h = to;
+        let mut jobs = self.jobs.write();
+        for route in jobs.values_mut() {
+            for h in route.homes.iter_mut() {
+                if *h == victim {
+                    *h = to;
+                }
             }
         }
     }
 
     /// Feed one batch into its partition channel. Duplicates are
-    /// acknowledged without re-delivery; `false` means no job is
-    /// accepting shuffle output (teardown).
+    /// acknowledged without re-delivery; `false` means the batch's job
+    /// is not accepting shuffle output (teardown or a stale slot).
     fn deliver(
         &self,
         task: u32,
@@ -719,9 +758,9 @@ impl ShuffleRouter {
         if !self.seen.lock().entry((task, attempt)).or_default().admit(seq) {
             return true; // duplicate of a batch that already landed
         }
-        let sinks = self.sinks.read();
-        let Some(sinks) = sinks.as_ref() else { return false };
-        let Some(tx) = sinks.get(partition as usize) else { return false };
+        let jobs = self.jobs.read();
+        let Some(route) = jobs.get(&(task >> JOB_SHIFT)) else { return false };
+        let Some(tx) = route.sinks.get(partition as usize) else { return false };
         tx.send(TaskBatch { task, attempt, records }).is_ok()
     }
 
@@ -740,20 +779,41 @@ impl ShuffleRouter {
         e.1 = e.1.max(progress);
     }
 
-    /// Snapshot of the progress board for the speculation monitor.
-    fn progress_entries(&self) -> Vec<(u32, Instant, u32)> {
-        self.progress.lock().iter().map(|(&t, &(at, p))| (t, at, p)).collect()
+    /// Snapshot of one job's progress board for its speculation
+    /// monitor, with local task ids.
+    fn progress_entries(&self, jid: u32) -> Vec<(u32, Instant, u32)> {
+        self.progress
+            .lock()
+            .iter()
+            .filter(|(&t, _)| t >> JOB_SHIFT == jid)
+            .map(|(&t, &(at, p))| (t & TID_MASK, at, p))
+            .collect()
     }
 
-    fn assign(&self, node: NodeId, task: usize) {
-        self.assigned.lock().entry(node.0).or_default().push(task);
+    fn assign(&self, node: NodeId, gtid: u32) {
+        self.assigned.lock().entry(node.0).or_default().push(gtid);
     }
 
-    /// Drain the per-node assignment inboxes into placement-order
-    /// queues.
-    fn take_assignments(&self, nodes: usize) -> Vec<Vec<usize>> {
+    /// Drain one job's entries from the per-node assignment inboxes
+    /// into placement-order queues of local task ids. Other jobs'
+    /// assignments stay parked.
+    fn take_assignments(&self, jid: u32, nodes: usize) -> Vec<Vec<usize>> {
         let mut inbox = self.assigned.lock();
-        (0..nodes).map(|n| inbox.remove(&(n as u32)).unwrap_or_default()).collect()
+        (0..nodes)
+            .map(|n| {
+                let Some(q) = inbox.get_mut(&(n as u32)) else { return Vec::new() };
+                let mut mine = Vec::new();
+                q.retain(|&gtid| {
+                    if gtid >> JOB_SHIFT == jid {
+                        mine.push((gtid & TID_MASK) as usize);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                mine
+            })
+            .collect()
     }
 }
 
@@ -806,8 +866,8 @@ fn bind_endpoint(
             Rpc::CacheGet { key } => {
                 RpcReply::CacheValue(cache.with_node(node, |c| c.get_payload(&key, 0.0)))
             }
-            Rpc::CachePut { key, data, ttl } => {
-                cache.with_node(node, |c| c.put_payload(key, data, 0.0, ttl));
+            Rpc::CachePut { key, data, ttl, tenant } => {
+                cache.with_node(node, |c| c.put_payload_tenant(key, data, 0.0, ttl, tenant));
                 RpcReply::Ack
             }
             Rpc::ShuffleBatch { task, attempt, seq, partition, records } => {
@@ -819,7 +879,7 @@ fn bind_endpoint(
             }
             Rpc::Heartbeat { .. } => RpcReply::Ack,
             Rpc::TaskAssign { task, .. } => {
-                router.assign(node, task as usize);
+                router.assign(node, task);
                 RpcReply::Ack
             }
             Rpc::RangeHandoff { key, data } => {
@@ -861,6 +921,12 @@ fn bind_endpoint(
 /// recovery accounting. Lives on the driver's stack; worker and
 /// reducer threads share it by reference inside the thread scope.
 struct RunRt {
+    /// Job slot this run occupies: wire task ids are
+    /// `(jid << JOB_SHIFT) | tid`.
+    jid: u32,
+    /// Cache-quota tenant the job's inserts are accounted to
+    /// (0 = untagged).
+    tenant: u16,
     /// Commit board: `commits[t]` is the winning attempt number, or
     /// [`UNCOMMITTED`]. Written once per task by CAS.
     commits: Vec<AtomicU32>,
@@ -892,8 +958,6 @@ struct RunRt {
     /// DST progress observer for this run (cloned from the cluster at
     /// job start so the hot path never takes the cluster's lock).
     obs: Option<Arc<dyn DstObserver>>,
-    /// Serializes concurrent crash handling.
-    recovery_gate: Mutex<()>,
     /// Non-speculative failures per task. Only these count against the
     /// retry budget — a lost backup must not push a healthy task over
     /// [`MAX_ATTEMPTS`].
@@ -935,6 +999,8 @@ struct RunRt {
 
 impl RunRt {
     fn new(
+        jid: u32,
+        tenant: u16,
         tasks: usize,
         nodes: usize,
         ops: Vec<FaultOp>,
@@ -944,6 +1010,8 @@ impl RunRt {
             ops.iter().filter(|op| matches!(op, FaultOp::JoinAtMaps { .. })).count();
         let slots = nodes + planned_joins;
         RunRt {
+            jid,
+            tenant,
             commits: (0..tasks).map(|_| AtomicU32::new(UNCOMMITTED)).collect(),
             next_attempt: (0..tasks).map(|_| AtomicU32::new(0)).collect(),
             claims: (0..tasks).map(|_| AtomicU32::new(NO_CLAIM)).collect(),
@@ -957,7 +1025,6 @@ impl RunRt {
             armed: !ops.is_empty(),
             ops: Mutex::new(ops),
             obs,
-            recovery_gate: Mutex::new(()),
             failures: (0..tasks).map(|_| AtomicU32::new(0)).collect(),
             running: (0..slots).map(|_| AtomicU32::new(0)).collect(),
             spec: Mutex::new(Vec::new()),
@@ -1146,11 +1213,19 @@ pub struct LiveCluster {
     /// is applied as a [`MembershipEvent`], bumping the epoch that lets
     /// placement state (cache ranges, shuffle homes) notice staleness.
     view: Mutex<ClusterView>,
-    /// The in-flight run's ledger, stashed so the public
+    /// Ledgers of every in-flight run, keyed by jid, so crash/join/
+    /// leave recovery can walk *all* live jobs and the public
     /// [`join_node`](Self::join_node) / [`leave_node`](Self::leave_node)
-    /// entry points can serialize through its recovery gate and drain
-    /// its queues while a job is running.
-    active: Mutex<Option<Arc<RunRt>>>,
+    /// entry points can drain their queues while jobs are running.
+    active: Mutex<HashMap<u32, Arc<RunRt>>>,
+    /// Monotonic jid source; wraps into [`MAX_JOB_SLOTS`] slots.
+    next_jid: AtomicU32,
+    /// Serializes recovery (crash, join, leave) cluster-wide: ring and
+    /// placement mutations must not interleave across concurrent jobs.
+    recovery_gate: Mutex<()>,
+    /// Tenant directory: user string → cache-quota tenant id. Ids are
+    /// handed out from 1 (0 = untagged/no-quota traffic).
+    tenants: Mutex<HashMap<String, u16>>,
 }
 
 impl LiveCluster {
@@ -1225,8 +1300,42 @@ impl LiveCluster {
             slow_serving,
             observer: RwLock::new(None),
             view: Mutex::new(view),
-            active: Mutex::new(None),
+            active: Mutex::new(HashMap::new()),
+            next_jid: AtomicU32::new(0),
+            recovery_gate: Mutex::new(()),
+            tenants: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Number of jobs currently executing on this cluster.
+    pub fn active_jobs(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    /// Snapshot of the live run ledgers (crash/join/leave walk these).
+    fn live_runs(&self) -> Vec<Arc<RunRt>> {
+        self.active.lock().values().cloned().collect()
+    }
+
+    /// The cache-quota tenant id for `user`, allocating one on first
+    /// sight. Id 0 is reserved for untagged traffic.
+    pub fn tenant_of(&self, user: &str) -> u16 {
+        let mut dir = self.tenants.lock();
+        let next = dir.len() as u16 + 1;
+        *dir.entry(user.to_string()).or_insert(next)
+    }
+
+    /// Cap `user`'s cache footprint at `bytes_per_node` on every node
+    /// (applied to joiners too). See `DistributedCache::set_tenant_quota`.
+    pub fn set_tenant_quota(&self, user: &str, bytes_per_node: u64) {
+        let t = self.tenant_of(user);
+        self.cache.set_tenant_quota(t, bytes_per_node);
+    }
+
+    /// Bytes currently cached under `user`'s tenant across all nodes.
+    pub fn tenant_cache_used(&self, user: &str) -> u64 {
+        let t = self.tenant_of(user);
+        self.cache.tenant_used(t)
     }
 
     /// A snapshot of the current ring membership.
@@ -1352,12 +1461,13 @@ impl LiveCluster {
         owner: NodeId,
         key: CacheKey,
         data: Bytes,
+        tenant: u16,
     ) -> Option<SendTicket> {
         if me == owner {
-            self.cache.with_node(owner, |c| c.put_payload(key, data, 0.0, None));
+            self.cache.with_node(owner, |c| c.put_payload_tenant(key, data, 0.0, None, tenant));
             return None;
         }
-        self.net.send(me, owner, Rpc::CachePut { key, data, ttl: None }).ok()
+        self.net.send(me, owner, Rpc::CachePut { key, data, ttl: None, tenant }).ok()
     }
 
     /// Run a MapReduce job over `input`, returning the reduced output as
@@ -1627,33 +1737,43 @@ impl LiveCluster {
         // rely on. An unreachable assignee still gets its queue entry
         // at flush time (the queue is driver state; only the
         // notification travelled).
+        // Job slot: wire task ids from concurrent jobs must not
+        // collide, so every id this job puts on the wire is the global
+        // `(jid << JOB_SHIFT) | tid`.
+        assert!(tasks.len() <= TID_MASK as usize, "too many map tasks for one job");
+        let jid = self.next_jid.fetch_add(1, Ordering::Relaxed) % MAX_JOB_SLOTS;
+        let gtid = move |tid: usize| (jid << JOB_SHIFT) | tid as u32;
+        let tenant = self.tenant_of(user);
         let mut assigns: Vec<(SendTicket, NodeId, usize)> = Vec::new();
         for (tid, t) in tasks.iter().enumerate() {
             let (bid, node) = (t.bid, t.node);
-            match self.net.send(CLIENT, node, Rpc::TaskAssign { task: tid as u32, block: bid }) {
+            match self.net.send(CLIENT, node, Rpc::TaskAssign { task: gtid(tid), block: bid }) {
                 Ok(ticket) => assigns.push((ticket, node, tid)),
-                Err(_) => self.router.assign(node, tid),
+                Err(_) => self.router.assign(node, gtid(tid)),
             }
         }
         for (ticket, node, tid) in assigns {
             if self.net.flush(&[ticket]).is_err() {
-                self.router.assign(node, tid);
+                self.router.assign(node, gtid(tid));
             }
         }
-        let queues = self.router.take_assignments(node_count);
+        let queues = self.router.take_assignments(jid, node_count);
         let tasks = &tasks;
         let queues = &queues;
 
-        // Per-run fault schedule and attempt ledger. Stashed in
-        // `self.active` so the public join/leave entry points reach the
-        // in-flight ledger; cleared the moment the run's threads exit.
+        // Per-run fault schedule and attempt ledger. Registered in
+        // `self.active` under this job's jid so crash/join/leave
+        // recovery walks every in-flight ledger; deregistered the
+        // moment the run's threads exit.
         let rt_arc = Arc::new(RunRt::new(
+            jid,
+            tenant,
             tasks.len(),
             node_count,
             std::mem::take(&mut *self.faults.lock()),
             self.observer.read().clone(),
         ));
-        *self.active.lock() = Some(Arc::clone(&rt_arc));
+        self.active.lock().insert(jid, Arc::clone(&rt_arc));
         let rt: &RunRt = &rt_arc;
         rt.notify(DstEvent::JobStart { tasks: tasks.len() });
 
@@ -1661,16 +1781,21 @@ impl LiveCluster {
         // the duration of this job its RPC *serving* (block reads,
         // shuffle ingest) is delayed too, at a fraction of the map
         // delay so request fan-in doesn't multiply it unboundedly.
-        {
+        // Entries are scoped to this run (removed at teardown); when
+        // concurrent jobs schedule `SlowNode` on the same node, last
+        // writer wins for the overlap.
+        let slow_nodes: Vec<u32> = {
             let ops = rt.ops.lock();
             let mut slow = self.slow_serving.write();
-            slow.clear();
+            let mut mine = Vec::new();
             for op in ops.iter() {
                 if let FaultOp::SlowNode { node, micros } = op {
                     slow.insert(node.0, micros / SLOW_SERVE_DIV);
+                    mine.push(node.0);
                 }
             }
-        }
+            mine
+        };
 
         // ---- Pipelined map + shuffle + reduce -----------------------
         // Proactive shuffle over real channels (§II-D): every spill is
@@ -1733,7 +1858,7 @@ impl LiveCluster {
         // `ShuffleBatch` RPCs; the receiving handler feeds the
         // partition channel. A partition re-homes when its home becomes
         // unreachable.
-        self.router.begin_job(senders.clone(), homes.clone());
+        self.router.begin_job(jid, senders.clone(), homes.clone());
 
         let workers = &workers;
         std::thread::scope(|scope| {
@@ -1766,7 +1891,7 @@ impl LiveCluster {
                         let threshold = Duration::from_nanos(
                             (median as f64 * spec.slowdown) as u64 + 200_000,
                         );
-                        for (task, started, _progress) in self.router.progress_entries() {
+                        for (task, started, _progress) in self.router.progress_entries(jid) {
                             let tid = task as usize;
                             if tid >= tasks.len()
                                 || rt.commits[tid].load(Ordering::Acquire) != UNCOMMITTED
@@ -1832,7 +1957,8 @@ impl LiveCluster {
                                 }
                             };
                         while let Ok(batch) = rx.recv() {
-                            match rt.commits[batch.task as usize].load(Ordering::Acquire) {
+                            let tid = (batch.task & TID_MASK) as usize;
+                            match rt.commits[tid].load(Ordering::Acquire) {
                                 a if a == batch.attempt => ingest(&mut grouped, batch),
                                 UNCOMMITTED => pending.push(batch),
                                 // A losing attempt's output: re-executed
@@ -1841,7 +1967,8 @@ impl LiveCluster {
                             }
                         }
                         for batch in pending {
-                            if rt.commits[batch.task as usize].load(Ordering::Acquire)
+                            if rt.commits[(batch.task & TID_MASK) as usize]
+                                .load(Ordering::Acquire)
                                 == batch.attempt
                             {
                                 ingest(&mut grouped, batch);
@@ -1940,7 +2067,7 @@ impl LiveCluster {
                                     Rpc::Heartbeat {
                                         from: me.get(),
                                         clock: 0,
-                                        task: tid as u32,
+                                        task: gtid(tid),
                                         progress: 0,
                                     },
                                 );
@@ -2000,6 +2127,7 @@ impl LiveCluster {
                                                 owner,
                                                 key,
                                                 p.clone(),
+                                                rt.tenant,
                                             ) {
                                                 cache_tickets.borrow_mut().push(t);
                                             }
@@ -2073,7 +2201,7 @@ impl LiveCluster {
                                         Rpc::Heartbeat {
                                             from: me.get(),
                                             clock: 0,
-                                            task: tid as u32,
+                                            task: gtid(tid),
                                             progress: promille,
                                         },
                                     );
@@ -2086,7 +2214,7 @@ impl LiveCluster {
                                 };
                                 let s = seq.get();
                                 seq.set(s + 1);
-                                let home = self.router.home_of(spill.partition);
+                                let home = self.router.home_of(jid, spill.partition);
                                 if home != me.get() && !rt.node_down(home) {
                                     // Windowed one-way send: the worker
                                     // keeps mapping while the batch and
@@ -2096,7 +2224,7 @@ impl LiveCluster {
                                         me.get(),
                                         home,
                                         Rpc::ShuffleBatch {
-                                            task: tid as u32,
+                                            task: gtid(tid),
                                             attempt,
                                             seq: s,
                                             partition: spill.partition as u32,
@@ -2116,7 +2244,7 @@ impl LiveCluster {
                                             // its whole attempt budget on
                                             // the same cut link.
                                             self.router
-                                                .set_home(spill.partition, me.get());
+                                                .set_home(jid, spill.partition, me.get());
                                             shipfail.set(true);
                                             return;
                                         }
@@ -2126,11 +2254,11 @@ impl LiveCluster {
                                     // (or dead, in which case the
                                     // partition re-homes here first).
                                     if home != me.get() {
-                                        self.router.set_home(spill.partition, me.get());
+                                        self.router.set_home(jid, spill.partition, me.get());
                                     }
                                     let n = records.len() as u64;
                                     if !self.router.deliver(
-                                        tid as u32,
+                                        gtid(tid),
                                         attempt,
                                         s,
                                         spill.partition as u32,
@@ -2222,7 +2350,7 @@ impl LiveCluster {
                                     // Same recovery as a synchronous
                                     // ship failure: re-home, re-execute,
                                     // dedup drops the losing attempt.
-                                    self.router.set_home(*partition, me.get());
+                                    self.router.set_home(jid, *partition, me.get());
                                     lost = true;
                                 }
                             }
@@ -2258,7 +2386,7 @@ impl LiveCluster {
                                 // trackers of every losing attempt and
                                 // ack-drop their late batches from now
                                 // on (bounded dedup memory).
-                                self.router.settle_task(p.tid as u32, p.attempt);
+                                self.router.settle_task(gtid(p.tid), p.attempt);
                                 if spec_on {
                                     rt.durations
                                         .lock()
@@ -2641,15 +2769,22 @@ impl LiveCluster {
             // the router's channel clones) and hang up so the reducers
             // fold and exit. Straggler RPC deliveries after this point
             // are refused rather than leaking into a later job.
-            self.router.end_job();
+            self.router.end_job(jid);
             drop(senders);
         });
-        // The run is over: external join/leave calls go back to the
-        // between-jobs path.
-        *self.active.lock() = None;
+        // The run is over: deregister its ledger so external join/leave
+        // calls and crash recovery stop walking it.
+        self.active.lock().remove(&jid);
         // The straggler's serving delay ends with the job it was
         // injected into (both success and error exits pass here).
-        self.slow_serving.write().clear();
+        // Remove only this run's entries — concurrent jobs may have
+        // their own stragglers in flight.
+        if !slow_nodes.is_empty() {
+            let mut slow = self.slow_serving.write();
+            for n in &slow_nodes {
+                slow.remove(n);
+            }
+        }
         rt.notify(DstEvent::JobEnd);
 
         if rt.is_aborted() {
@@ -2699,15 +2834,27 @@ impl LiveCluster {
         Ok((parts, stats))
     }
 
-    /// Crash `victim` while a job is running: the full detection →
+    /// Crash `victim` while jobs are running: the full detection →
     /// ring-repair → re-replication → re-queue flow, serialized so
-    /// concurrent triggers handle one crash at a time.
+    /// concurrent triggers handle one crash at a time. `rt` is the run
+    /// whose fault schedule (or membership call) triggered the crash —
+    /// recovery counters and the DST event land on it — but the crash
+    /// itself hits *every* live run: each is poisoned and has its
+    /// victim-claimed tasks re-queued.
     fn crash_node_mid_job(&self, victim: NodeId, rt: &RunRt) {
-        let _gate = rt.recovery_gate.lock();
+        let _gate = self.recovery_gate.lock();
         let vi = victim.index();
         // Already crashed (or joined after the job started): no-op.
         if vi >= rt.poisoned.len() || rt.poisoned[vi].swap(true, Ordering::AcqRel) {
             return;
+        }
+        // Poison the victim on every other live run too: their workers
+        // must stop shipping under its identity from this instant.
+        let runs = self.live_runs();
+        for other in runs.iter().filter(|r| !std::ptr::eq(r.as_ref(), rt)) {
+            if let Some(p) = other.poisoned.get(vi) {
+                p.store(true, Ordering::Release);
+            }
         }
         if !self.ring.read().contains(victim) {
             return;
@@ -2792,15 +2939,24 @@ impl LiveCluster {
                 return;
             }
         }
-        // Re-queue the victim's claimed-but-uncommitted tasks; its own
-        // voided attempts also self-requeue (duplicates are safe: the
-        // ledger commits each task once, reducers dedup by attempt).
-        for tid in 0..rt.commits.len() {
-            if rt.commits[tid].load(Ordering::Acquire) == UNCOMMITTED
-                && rt.claims[tid].load(Ordering::Acquire) == vi as u32
-            {
-                rt.retry.lock().push(tid);
+        // Re-queue the victim's claimed-but-uncommitted tasks on every
+        // live run; each run's own voided attempts also self-requeue
+        // (duplicates are safe: the ledger commits each task once,
+        // reducers dedup by attempt).
+        let requeue = |run: &RunRt| {
+            for tid in 0..run.commits.len() {
+                if run.commits[tid].load(Ordering::Acquire) == UNCOMMITTED
+                    && run.claims[tid].load(Ordering::Acquire) == vi as u32
+                {
+                    run.retry.lock().push(tid);
+                }
             }
+        };
+        for run in &runs {
+            requeue(run);
+        }
+        if !runs.iter().any(|r| std::ptr::eq(r.as_ref(), rt)) {
+            requeue(rt);
         }
         rt.recovery_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         rt.notify(DstEvent::NodeCrashed { node: victim });
@@ -2863,7 +3019,7 @@ impl LiveCluster {
     pub fn ocache_put(&self, app: &str, tag: &str, data: Bytes, ttl: Option<f64>) {
         let otag = OutputTag::new(app, tag);
         let home = self.cache.home_of(otag.hash_key());
-        let put = Rpc::CachePut { key: CacheKey::Output(otag), data, ttl };
+        let put = Rpc::CachePut { key: CacheKey::Output(otag), data, ttl, tenant: 0 };
         let _ = self.net.call(CLIENT, home, put);
     }
 
@@ -2891,8 +3047,7 @@ impl LiveCluster {
     /// job is running: in-flight scheduling immediately includes the
     /// joiner. Returns its id.
     pub fn join_node(&self, name: &str) -> NodeId {
-        let rt = self.active.lock().clone();
-        self.admit_and_handoff(name, rt.as_deref())
+        self.admit_and_handoff(name, None)
     }
 
     /// Retire a node gracefully: drain its queued-but-uncommitted
@@ -2902,14 +3057,21 @@ impl LiveCluster {
     /// (commit-board CAS, attempt ledger) so committed work on the
     /// leaver stands. Works while a job is running.
     pub fn leave_node(&self, node: NodeId) -> Result<RecoveryReport, FsError> {
-        let rt = self.active.lock().clone();
-        self.graceful_leave(node, rt.as_deref())
+        self.graceful_leave(node, None)
     }
 
     /// The join flow proper, serialized with crash recovery through the
-    /// run's recovery gate when a job is in flight.
-    fn admit_and_handoff(&self, name: &str, rt: Option<&RunRt>) -> NodeId {
-        let _gate = rt.map(|r| r.recovery_gate.lock());
+    /// cluster's recovery gate. `trigger` is the run whose fault
+    /// schedule requested the join; `None` (the public entry point)
+    /// accounts the join to every live run instead, and every live
+    /// run's latent joiner lanes get the new identity.
+    fn admit_and_handoff(&self, name: &str, trigger: Option<&RunRt>) -> NodeId {
+        let _gate = self.recovery_gate.lock();
+        let runs = self.live_runs();
+        let tally: Vec<&RunRt> = match trigger {
+            Some(r) => vec![r],
+            None => runs.iter().map(|r| r.as_ref()).collect(),
+        };
         let t0 = Instant::now();
         let id = self.cache.add_node(self.cfg.cache_per_node);
         // The joiner opens its endpoint before anything is routed to it.
@@ -2945,7 +3107,7 @@ impl LiveCluster {
             if let Some(rounds) =
                 chord.stabilize_until_converged_probed(max, &mut |a, b| self.net.probe(a, b))
             {
-                if let Some(r) = rt {
+                for r in &tally {
                     r.stabilize_rounds.fetch_add(rounds as u64, Ordering::Relaxed);
                 }
             }
@@ -2960,7 +3122,7 @@ impl LiveCluster {
             let pull = Rpc::BlockPull { block: copy.block, from: copy.from };
             if let Ok(RpcReply::Synced { bytes }) = self.net.call(CLIENT, id, pull) {
                 let _ = self.fs.write().add_replica(copy.block, id);
-                if let Some(r) = rt {
+                for r in &tally {
                     r.handoff_blocks.fetch_add(1, Ordering::Relaxed);
                     r.handoff_bytes.fetch_add(bytes, Ordering::Relaxed);
                 }
@@ -2968,7 +3130,7 @@ impl LiveCluster {
         }
         self.handoff_stranded_cache();
         let _ = self.view.lock().apply(MembershipEvent::Join(info));
-        if let Some(r) = rt {
+        for r in &tally {
             r.joins.fetch_add(1, Ordering::Relaxed);
             r.recovery_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             // Hand the new node to a latent worker thread so in-flight
@@ -2984,8 +3146,12 @@ impl LiveCluster {
     /// cooperates: its endpoint stays open to serve handoff pulls, its
     /// committed map output stands, and only its *uncommitted* claims
     /// are drained back to the scheduler.
-    fn graceful_leave(&self, leaver: NodeId, rt: Option<&RunRt>) -> Result<RecoveryReport, FsError> {
-        let _gate = rt.map(|r| r.recovery_gate.lock());
+    fn graceful_leave(
+        &self,
+        leaver: NodeId,
+        trigger: Option<&RunRt>,
+    ) -> Result<RecoveryReport, FsError> {
+        let _gate = self.recovery_gate.lock();
         {
             let ring = self.ring.read();
             if !ring.contains(leaver) {
@@ -2997,21 +3163,30 @@ impl LiveCluster {
         }
         let t0 = Instant::now();
         let vi = leaver.index();
-        if let Some(r) = rt {
-            // Stop the leaver taking new work. Already poisoned means a
-            // crash got there first — nothing left to leave gracefully.
-            if r.poisoned.get(vi).is_none_or(|p| p.swap(true, Ordering::AcqRel)) {
+        let runs = self.live_runs();
+        // The runs this leave is accounted to: the triggering run when
+        // it came from a fault schedule, every live run when it came
+        // through the public entry point.
+        let tally: Vec<&RunRt> = match trigger {
+            Some(r) => vec![r],
+            None => runs.iter().map(|r| r.as_ref()).collect(),
+        };
+        for run in &runs {
+            // Stop the leaver taking new work on every live run.
+            // Already poisoned means a crash got there first — nothing
+            // left to leave gracefully.
+            if run.poisoned.get(vi).is_none_or(|p| p.swap(true, Ordering::AcqRel)) {
                 return Err(FsError::Ring(RingError::UnknownNode(leaver)));
             }
             // Drain its queued-but-uncommitted claims back to the
             // scheduler; the re-executions count as retries in the
             // attempt ledger, deduped by (task, attempt) as usual.
-            for tid in 0..r.commits.len() {
-                if r.commits[tid].load(Ordering::Acquire) == UNCOMMITTED
-                    && r.claims[tid].load(Ordering::Acquire) == vi as u32
+            for tid in 0..run.commits.len() {
+                if run.commits[tid].load(Ordering::Acquire) == UNCOMMITTED
+                    && run.claims[tid].load(Ordering::Acquire) == vi as u32
                 {
-                    r.retry.lock().push(tid);
-                    r.drained_tasks.fetch_add(1, Ordering::Relaxed);
+                    run.retry.lock().push(tid);
+                    run.drained_tasks.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -3042,7 +3217,7 @@ impl LiveCluster {
                 Some(b) => {
                     report.recovered_blocks += 1;
                     report.recovered_bytes += b;
-                    if let Some(r) = rt {
+                    for r in &tally {
                         r.handoff_blocks.fetch_add(1, Ordering::Relaxed);
                         r.handoff_bytes.fetch_add(b, Ordering::Relaxed);
                     }
@@ -3068,7 +3243,7 @@ impl LiveCluster {
             if let Some(rounds) =
                 chord.stabilize_until_converged_probed(max, &mut |a, b| self.net.probe(a, b))
             {
-                if let Some(r) = rt {
+                for r in &tally {
                     r.stabilize_rounds.fetch_add(rounds as u64, Ordering::Relaxed);
                 }
             }
@@ -3084,7 +3259,7 @@ impl LiveCluster {
         self.store.wipe_node(leaver);
         self.net.close_endpoint(leaver);
         let _ = self.view.lock().apply(MembershipEvent::Leave(leaver));
-        if let Some(r) = rt {
+        for r in &tally {
             r.leaves.fetch_add(1, Ordering::Relaxed);
             r.recovery_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             r.notify(DstEvent::NodeLeft { node: leaver });
@@ -3124,6 +3299,398 @@ impl LiveCluster {
         self.store.wipe_node(node);
         self.cache.invalidate_node(node);
         self.recover_node(node)
+    }
+
+    /// Crash a node *now*, whether or not jobs are in flight. With live
+    /// jobs this runs the full mid-job flow (poison every run, repair
+    /// the ring, re-queue the victim's claims on every run — recovery
+    /// counters land on an arbitrary live run); between jobs it
+    /// degrades to [`fail_node`](Self::fail_node). The entry point for
+    /// crash-under-storm tests, where no single job owns the fault.
+    pub fn crash_node(&self, victim: NodeId) -> Result<(), FsError> {
+        let runs = self.live_runs();
+        match runs.first() {
+            Some(rt) => {
+                self.crash_node_mid_job(victim, rt);
+                Ok(())
+            }
+            None => self.fail_node(victim).map(|_| ()),
+        }
+    }
+
+    // ---- Persistent worker-pool execution (see `server::JobServer`) --
+    //
+    // The scoped executor above spawns a full thread complement per
+    // job. The pool path amortizes that: `JobServer` spawns workers
+    // once, and each admitted job only places its tasks, leases the
+    // shared workers, and folds its reduce partitions on its driver.
+    // The attempt ledger, commit board, shuffle router and cache are
+    // the same machinery — a pool job is a first-class entry in the
+    // `active` registry, so crash/join/leave recovery covers it too.
+
+    /// Place one job's map tasks and register its run ledger for pool
+    /// execution. The caller (a `JobServer` driver) feeds the returned
+    /// job's tasks to the pool workers, waits for
+    /// [`PoolJob::done`], then calls
+    /// [`finish_pool_job`](Self::finish_pool_job).
+    ///
+    /// Differences from the scoped executor, by design (§ simplicity
+    /// over latency-hiding): no `TaskAssign` control-plane round, no
+    /// speculation, no replicated map-out, no windowed send pipelining
+    /// — and the cluster's pending fault schedule is left for the next
+    /// scoped run.
+    pub(crate) fn begin_pool_job(
+        &self,
+        app: Arc<dyn MapReduce>,
+        inputs: &[&str],
+        user: &str,
+        reducers: usize,
+        reuse: ReusePolicy,
+    ) -> Result<Arc<PoolJob>, JobError> {
+        assert!(reducers > 0);
+        assert!(!inputs.is_empty());
+        let metas: Vec<_> = {
+            let fs = self.fs.read();
+            let mut v = Vec::with_capacity(inputs.len());
+            for input in inputs {
+                v.push(fs.open(input, user).map_err(JobError::from)?.clone());
+            }
+            v
+        };
+        let node_count = self.cache.num_nodes();
+        let mut stats =
+            LiveStats { tasks_per_node: vec![0; node_count], ..Default::default() };
+        let net_before = self.net.stats();
+        let workers: Vec<NodeId> = self.ring.read().node_ids();
+        let homes: Vec<NodeId> =
+            (0..reducers).map(|p| workers[p % workers.len()]).collect();
+        let mut inflight = vec![0u64; node_count];
+        let mut tasks: Vec<MapTask> = Vec::new();
+        {
+            let mut sched = self.sched.lock();
+            for (source, meta) in metas.iter().enumerate() {
+                for b in &meta.blocks {
+                    let node = match &mut *sched {
+                        LiveSched::Laf(laf) => {
+                            laf.assign_balanced(b.key, 0.0, |n| inflight[n.index()] as f64)
+                        }
+                        LiveSched::Delay(d) => {
+                            d.decide(b.key, 0.0, |n| inflight[n.index()] as f64).node()
+                        }
+                    };
+                    inflight[node.index()] += 1;
+                    tasks.push(MapTask { source, bid: b.id, key: b.key, node, parts: None });
+                    stats.tasks_per_node[node.index()] += 1;
+                    stats.map_tasks += 1;
+                }
+            }
+            if let LiveSched::Laf(laf) = &*sched {
+                self.cache.set_ranges(laf.ranges().to_vec());
+            }
+        }
+        assert!(tasks.len() <= TID_MASK as usize, "too many map tasks for one job");
+        let jid = self.next_jid.fetch_add(1, Ordering::Relaxed) % MAX_JOB_SLOTS;
+        let tenant = self.tenant_of(user);
+        let rt = Arc::new(RunRt::new(
+            jid,
+            tenant,
+            tasks.len(),
+            node_count,
+            Vec::new(),
+            self.observer.read().clone(),
+        ));
+        self.active.lock().insert(jid, Arc::clone(&rt));
+        rt.notify(DstEvent::JobStart { tasks: tasks.len() });
+        let mut senders = Vec::with_capacity(reducers);
+        let mut receivers = Vec::with_capacity(reducers);
+        for _ in 0..reducers {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        self.router.begin_job(jid, senders, homes);
+        Ok(Arc::new(PoolJob {
+            jid,
+            rt,
+            app,
+            tasks,
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            reducers,
+            reuse_cache: reuse.cache_input,
+            receivers: Mutex::new(receivers),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            remote: AtomicU64::new(0),
+            spills: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            stats0: stats,
+            net_before,
+        }))
+    }
+
+    /// Execute one pool task to completion under node identity `me`:
+    /// bounded attempts, each reading the block (cache first), mapping,
+    /// shipping every partition's combined records as one blocking
+    /// `ShuffleBatch` round-trip, then taking the commit CAS. Returns
+    /// after the task is committed (by this or any racing attempt) or
+    /// the job aborted.
+    pub(crate) fn pool_exec_task(&self, job: &PoolJob, tid: usize, me: NodeId) {
+        let rt = &*job.rt;
+        loop {
+            if rt.is_aborted() || rt.commits[tid].load(Ordering::Acquire) != UNCOMMITTED {
+                return;
+            }
+            if rt.failures[tid].load(Ordering::Acquire) >= MAX_ATTEMPTS {
+                rt.abort(JobError::TaskFailed {
+                    task: tid,
+                    attempts: rt.next_attempt[tid].load(Ordering::Acquire),
+                });
+                return;
+            }
+            let attempt = rt.next_attempt[tid].fetch_add(1, Ordering::AcqRel);
+            if attempt > 0 {
+                rt.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_micros(
+                    RETRY_BACKOFF_BASE_MICROS << attempt.min(6),
+                ));
+            }
+            rt.attempts.fetch_add(1, Ordering::Relaxed);
+            rt.claims[tid].store(me.index() as u32, Ordering::Release);
+            match self.pool_attempt(job, tid, attempt, me) {
+                Ok(true) => return,
+                Ok(false) => {
+                    // Lost shuffle output: burn one failure, retry.
+                    rt.failures[tid].fetch_add(1, Ordering::AcqRel);
+                }
+                Err(e) => {
+                    rt.abort(e);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// One pool map attempt; `Ok(false)` asks the caller to retry.
+    fn pool_attempt(
+        &self,
+        job: &PoolJob,
+        tid: usize,
+        attempt: u32,
+        me: NodeId,
+    ) -> Result<bool, JobError> {
+        let rt = &*job.rt;
+        let app = &*job.app;
+        let t = &job.tasks[tid];
+        let owner = t.node;
+        if owner != me {
+            job.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        let key = CacheKey::Input(HashKey::of_block(&job.inputs[t.source], t.bid.index));
+        let payload = if rt.node_down(owner) {
+            job.misses.fetch_add(1, Ordering::Relaxed);
+            job.remote.fetch_add(1, Ordering::Relaxed);
+            self.fetch_block(t.bid, me)?
+        } else {
+            match self.cache_lookup(me, owner, &key) {
+                Some(p) => {
+                    job.hits.fetch_add(1, Ordering::Relaxed);
+                    p
+                }
+                None => {
+                    job.misses.fetch_add(1, Ordering::Relaxed);
+                    if !self.store.holds(owner, t.bid) {
+                        job.remote.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let p = self.fetch_block(t.bid, owner)?;
+                    if job.reuse_cache && !rt.node_down(owner) {
+                        if let Some(ticket) =
+                            self.cache_insert(me, owner, key, p.clone(), rt.tenant)
+                        {
+                            let _ = self.net.flush(&[ticket]);
+                        }
+                    }
+                    p
+                }
+            }
+        };
+        // Map the whole block into per-partition buffers; the pool path
+        // ships one batch per partition (no spill threshold — blocking
+        // round-trips make small batches pure overhead).
+        let parter: SpillBuffer<()> = SpillBuffer::new(job.reducers, u64::MAX);
+        let mut parts: Vec<Vec<(String, String)>> = vec![Vec::new(); job.reducers];
+        app.map_tagged(t.source, &payload, &mut |k, v| {
+            let p = app
+                .partition(&k, job.reducers)
+                .unwrap_or_else(|| parter.partition_of(shuffle_hash(&k)));
+            parts[p].push((k, v));
+        });
+        let gtid = (job.jid << JOB_SHIFT) | tid as u32;
+        let mut scratch: Vec<String> = Vec::new();
+        let mut seq = 0u32;
+        for (p, records) in parts.into_iter().enumerate() {
+            if records.is_empty() {
+                continue;
+            }
+            if rt.is_aborted() {
+                return Ok(true);
+            }
+            let records = if app.has_combiner() {
+                combine_sorted_runs(app, records, &mut scratch)
+            } else {
+                records
+            };
+            let home = self.router.home_of(job.jid, p);
+            if home == me || rt.node_down(home) {
+                if home != me {
+                    self.router.set_home(job.jid, p, me);
+                }
+                let n = records.len() as u64;
+                if !self.router.deliver(gtid, attempt, seq, p as u32, records) {
+                    return Ok(true); // job teardown
+                }
+                rt.local_shuffle_records.fetch_add(n, Ordering::Relaxed);
+            } else {
+                let batch = Rpc::ShuffleBatch {
+                    task: gtid,
+                    attempt,
+                    seq,
+                    partition: p as u32,
+                    records,
+                };
+                match self.net.call(me, home, batch) {
+                    Ok(RpcReply::Ack) => {}
+                    _ => {
+                        // Same recovery as the scoped executor's ship
+                        // failure: re-home so the retry lands locally.
+                        self.router.set_home(job.jid, p, me);
+                        return Ok(false);
+                    }
+                }
+            }
+            seq += 1;
+            job.spills.fetch_add(1, Ordering::Relaxed);
+            rt.spills_sent.fetch_add(1, Ordering::AcqRel);
+        }
+        if rt.node_down(me) {
+            // Crashed under us: in-flight output may be lost, let a
+            // survivor's retry win (reducer dedup drops this attempt).
+            return Ok(false);
+        }
+        if rt.commits[tid]
+            .compare_exchange(UNCOMMITTED, attempt, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            rt.committed.fetch_add(1, Ordering::AcqRel);
+            self.router.settle_task(gtid, attempt);
+            let done = rt.maps_done.fetch_add(1, Ordering::AcqRel) + 1;
+            rt.notify(DstEvent::MapCommitted { done });
+        }
+        Ok(true)
+    }
+
+    /// Tear a pool job down and fold its output: deregister the run,
+    /// drain the reduce partitions (filtering each batch against the
+    /// commit board's winner), group, sort and reduce. Call only after
+    /// [`PoolJob::done`] reports true.
+    pub(crate) fn finish_pool_job(&self, job: &PoolJob) -> Result<PartitionedOutput, JobError> {
+        debug_assert!(job.done(), "finish_pool_job before the job settled");
+        // Remove the route first: late racing attempts deliver into the
+        // void from here on, so the drain below sees a frozen stream.
+        self.router.end_job(job.rt.jid);
+        self.active.lock().remove(&job.rt.jid);
+        let rt = &*job.rt;
+        rt.notify(DstEvent::JobEnd);
+        if rt.is_aborted() {
+            let e = rt
+                .error
+                .lock()
+                .take()
+                .unwrap_or(JobError::TaskFailed { task: 0, attempts: 0 });
+            return Err(e);
+        }
+        let app = &*job.app;
+        let receivers = std::mem::take(&mut *job.receivers.lock());
+        let mut parts_out: Vec<Vec<(String, String)>> = Vec::with_capacity(job.reducers);
+        for rx in receivers {
+            let mut grouped: HashMap<String, Vec<String>> = HashMap::new();
+            while let Ok(batch) = rx.try_recv() {
+                let tid = (batch.task & TID_MASK) as usize;
+                if rt.commits[tid].load(Ordering::Acquire) == batch.attempt {
+                    for (k, v) in batch.records {
+                        grouped.entry(k).or_default().push(v);
+                    }
+                }
+            }
+            let mut entries: Vec<(String, Vec<String>)> = grouped.into_iter().collect();
+            entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            let mut out = Vec::new();
+            for (k, vs) in &entries {
+                app.reduce(k, vs, &mut |ok, ov| out.push((ok, ov)));
+            }
+            parts_out.push(out);
+        }
+        let mut stats = job.stats0.clone();
+        stats.cache_hits = job.hits.load(Ordering::Relaxed);
+        stats.cache_misses = job.misses.load(Ordering::Relaxed);
+        stats.remote_reads = job.remote.load(Ordering::Relaxed);
+        stats.spills = job.spills.load(Ordering::Relaxed);
+        stats.steals = job.steals.load(Ordering::Relaxed);
+        stats.reduce_tasks = job.reducers as u64;
+        stats.attempts = rt.attempts.load(Ordering::Relaxed);
+        stats.retries = rt.retries.load(Ordering::Relaxed);
+        stats.local_shuffle_records = rt.local_shuffle_records.load(Ordering::Relaxed);
+        let final_nodes = self.cache.num_nodes();
+        if stats.tasks_per_node.len() < final_nodes {
+            stats.tasks_per_node.resize(final_nodes, 0);
+        }
+        // Note: with concurrent jobs the transport delta overlaps other
+        // jobs' traffic — an upper bound, not an exact attribution.
+        let net = self.net.stats().since(job.net_before);
+        stats.bytes_sent = net.bytes_sent;
+        stats.rpcs = net.rpcs;
+        stats.rpc_retries = net.rpc_retries;
+        stats.timeouts = net.timeouts;
+        Ok((parts_out, stats))
+    }
+}
+
+/// One job leased to the persistent worker pool: its placement, run
+/// ledger and reduce channels. Shared (`Arc`) between the admitting
+/// driver and the pool workers executing its tasks.
+pub(crate) struct PoolJob {
+    jid: u32,
+    rt: Arc<RunRt>,
+    app: Arc<dyn MapReduce>,
+    tasks: Vec<MapTask>,
+    inputs: Vec<String>,
+    reducers: usize,
+    reuse_cache: bool,
+    /// Reduce-partition receivers; taken by `finish_pool_job`.
+    receivers: Mutex<Vec<Receiver<TaskBatch>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    remote: AtomicU64,
+    spills: AtomicU64,
+    steals: AtomicU64,
+    /// Placement-time stats (`map_tasks`, `tasks_per_node`).
+    stats0: LiveStats,
+    net_before: NetSnapshot,
+}
+
+impl PoolJob {
+    pub(crate) fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The node a task was placed on (the pool worker affinity hint).
+    pub(crate) fn task_node(&self, tid: usize) -> NodeId {
+        self.tasks[tid].node
+    }
+
+    /// All map tasks committed, or the job aborted.
+    pub(crate) fn done(&self) -> bool {
+        self.rt.is_aborted()
+            || self.rt.committed.load(Ordering::Acquire) == self.tasks.len()
     }
 }
 
@@ -3450,7 +4017,7 @@ mod tests {
     fn settle_prunes_dedup_trackers() {
         let router = ShuffleRouter::new();
         let (tx, _rx) = unbounded();
-        router.begin_job(vec![tx], vec![NodeId(0)]);
+        router.begin_job(0, vec![tx], vec![NodeId(0)]);
         let rec = |s: &str| vec![(s.to_string(), "1".to_string())];
         // Two racing attempts of task 7 deliver batches.
         assert!(router.deliver(7, 0, 0, 0, rec("a")));
@@ -3466,7 +4033,7 @@ mod tests {
         assert_eq!(router.seen.lock().len(), 1);
         // The winner's own retransmits still dedup normally.
         assert!(router.deliver(7, 1, 0, 0, rec("b")));
-        router.end_job();
+        router.end_job(0);
     }
 
     #[test]

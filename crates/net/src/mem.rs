@@ -669,6 +669,7 @@ mod tests {
                 key: CacheKey::Input(HashKey(7)),
                 data: b"xyz".as_ref().into(),
                 ttl: None,
+                tenant: 0,
             },
             RpcKind::ShuffleBatch => batch(0),
             RpcKind::Heartbeat => {

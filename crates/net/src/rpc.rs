@@ -54,8 +54,9 @@ pub enum Rpc {
     ReplicaSync { block: BlockId, to: NodeId },
     /// iCache/oCache lookup on the receiver's shard.
     CacheGet { key: CacheKey },
-    /// iCache/oCache insert on the receiver's shard.
-    CachePut { key: CacheKey, data: Bytes, ttl: Option<f64> },
+    /// iCache/oCache insert on the receiver's shard, attributed to
+    /// `tenant` for per-tenant quota accounting (0 = untagged).
+    CachePut { key: CacheKey, data: Bytes, ttl: Option<f64>, tenant: u16 },
     /// One shuffle batch: the complete output of `(task, attempt)` for
     /// `partition`, `seq`-numbered within the attempt for dedup.
     ShuffleBatch {
@@ -155,7 +156,7 @@ impl Rpc {
                 w.u32(to.0);
             }
             Rpc::CacheGet { key } => put_cache_key(&mut w, key),
-            Rpc::CachePut { key, data, ttl } => {
+            Rpc::CachePut { key, data, ttl, tenant } => {
                 put_cache_key(&mut w, key);
                 w.bytes(data);
                 match ttl {
@@ -165,6 +166,7 @@ impl Rpc {
                         w.f64(*t);
                     }
                 }
+                w.u32(*tenant as u32);
             }
             Rpc::ShuffleBatch { task, attempt, seq, partition, records } => {
                 w.u32(*task);
@@ -236,7 +238,9 @@ impl Rpc {
                     1 => Some(r.f64()?),
                     t => return Err(CodecError::BadTag(t)),
                 };
-                Rpc::CachePut { key, data, ttl }
+                let tenant =
+                    u16::try_from(r.u32()?).map_err(|_| CodecError::FieldOverrun)?;
+                Rpc::CachePut { key, data, ttl, tenant }
             }
             k if k == RpcKind::ShuffleBatch as u8 => {
                 let task = r.u32()?;
@@ -461,6 +465,13 @@ mod tests {
             key: CacheKey::Input(HashKey(9)),
             data: Bytes::from(vec![0; 100]),
             ttl: Some(2.5),
+            tenant: 0,
+        });
+        roundtrip_rpc(Rpc::CachePut {
+            key: CacheKey::Input(HashKey(10)),
+            data: Bytes::new(),
+            ttl: None,
+            tenant: u16::MAX,
         });
         roundtrip_rpc(Rpc::ShuffleBatch {
             task: 4,

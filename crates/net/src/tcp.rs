@@ -862,6 +862,7 @@ mod tests {
                 key: eclipse_cache::CacheKey::Input(HashKey(1)),
                 data: Bytes::from_static(b"x"),
                 ttl: None,
+                tenant: 0,
             })
             .unwrap_err();
         assert_eq!(e, NetError::ConnectionClosed { to: NodeId(1) });

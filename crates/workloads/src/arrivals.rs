@@ -11,6 +11,19 @@ use crate::cost::AppKind;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+/// How much input a tenant's jobs read — storms mix latency-sensitive
+/// small-job tenants with an antagonist scanning a large cold set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SizeClass {
+    /// Latency-sensitive: a handful of blocks, p99 is the deliverable.
+    Small,
+    /// Batch-shaped: the bulk of a production mix.
+    Medium,
+    /// Antagonist scan: reads a large cold dataset end to end, the
+    /// cache-interference worst case quotas exist to contain.
+    Scan,
+}
+
 /// One submitted job in a stream.
 #[derive(Clone, Debug, PartialEq)]
 pub struct JobArrival {
@@ -20,6 +33,29 @@ pub struct JobArrival {
     /// Which dataset the job reads (index into the tenant's datasets —
     /// small indices repeat more, giving the production-trace skew).
     pub dataset: usize,
+    /// Index of the submitting tenant (0 for single-tenant streams).
+    pub tenant: usize,
+    /// The tenant's weighted-fair share, stamped on every job so
+    /// admission policies need no side lookup.
+    pub weight: u32,
+    /// The tenant's job-size class.
+    pub size: SizeClass,
+}
+
+/// One tenant in a multi-tenant storm.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Mean jobs per second for this tenant alone (Poisson rate).
+    pub rate: f64,
+    /// Weighted-fair share stamped on the tenant's arrivals.
+    pub weight: u32,
+    pub size: SizeClass,
+}
+
+impl TenantSpec {
+    pub fn new(rate: f64, weight: u32, size: SizeClass) -> TenantSpec {
+        TenantSpec { rate, weight, size }
+    }
 }
 
 /// Arrival-process parameters.
@@ -48,12 +84,26 @@ impl Default for ArrivalConfig {
 }
 
 /// Generate the first `n` arrivals of the stream, deterministic in
-/// `seed`.
+/// `seed`. Single-tenant: every job carries tenant 0, weight 1 and the
+/// `Medium` size class.
 pub fn arrivals(cfg: &ArrivalConfig, n: usize, seed: u64) -> Vec<JobArrival> {
-    assert!(cfg.rate > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    stream(cfg, cfg.rate, n, &mut rng, 0, 1, SizeClass::Medium)
+}
+
+/// Generate one tenant's private stream off its own RNG.
+fn stream(
+    cfg: &ArrivalConfig,
+    rate: f64,
+    n: usize,
+    rng: &mut StdRng,
+    tenant: usize,
+    weight: u32,
+    size: SizeClass,
+) -> Vec<JobArrival> {
+    assert!(rate > 0.0);
     assert!(!cfg.mix.is_empty());
     assert!(cfg.datasets > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
     let total_weight: f64 = cfg.mix.iter().map(|(_, w)| w).sum();
     // Zipf(1) CDF over datasets.
     let mut zipf = Vec::with_capacity(cfg.datasets);
@@ -71,7 +121,7 @@ pub fn arrivals(cfg: &ArrivalConfig, n: usize, seed: u64) -> Vec<JobArrival> {
     for _ in 0..n {
         // Exponential inter-arrival gap.
         let u: f64 = rng.random::<f64>().max(1e-12);
-        t += -u.ln() / cfg.rate;
+        t += -u.ln() / rate;
         // Weighted app choice.
         let mut pick: f64 = rng.random::<f64>() * total_weight;
         let mut app = cfg.mix[0].0;
@@ -85,9 +135,36 @@ pub fn arrivals(cfg: &ArrivalConfig, n: usize, seed: u64) -> Vec<JobArrival> {
         // Zipf dataset choice.
         let u: f64 = rng.random();
         let dataset = zipf.partition_point(|&c| c < u).min(cfg.datasets - 1);
-        out.push(JobArrival { at: t, app, dataset });
+        out.push(JobArrival { at: t, app, dataset, tenant, weight, size });
     }
     out
+}
+
+/// Merge per-tenant Poisson streams into one time-ordered storm of `n`
+/// jobs. Each tenant draws from its **own** RNG stream
+/// (`seed`-and-tenant derived), so a tenant's sub-stream is identical
+/// whether it runs solo or alongside any number of other tenants —
+/// adding an antagonist to a storm never perturbs the victim's
+/// arrivals, only their interleaving.
+pub fn tenant_arrivals(
+    cfg: &ArrivalConfig,
+    tenants: &[TenantSpec],
+    n: usize,
+    seed: u64,
+) -> Vec<JobArrival> {
+    assert!(!tenants.is_empty());
+    let mut merged: Vec<JobArrival> = Vec::with_capacity(n * tenants.len());
+    for (i, spec) in tenants.iter().enumerate() {
+        // Golden-ratio salt keyed by tenant index, independent of the
+        // tenant list's length or the other entries.
+        let salt = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1);
+        let mut rng = StdRng::seed_from_u64(seed ^ salt);
+        // Each tenant could in principle supply the whole prefix.
+        merged.extend(stream(cfg, spec.rate, n, &mut rng, i, spec.weight, spec.size));
+    }
+    merged.sort_by(|a, b| a.at.total_cmp(&b.at).then(a.tenant.cmp(&b.tenant)));
+    merged.truncate(n);
+    merged
 }
 
 #[cfg(test)]
@@ -122,6 +199,34 @@ mod tests {
         }
         assert!(counts[0] > 3 * counts[7], "{counts:?}");
         assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn tenant_streams_stable_across_tenant_counts() {
+        let cfg = ArrivalConfig::default();
+        let victim = TenantSpec::new(0.05, 4, SizeClass::Small);
+        let antagonist = TenantSpec::new(0.02, 1, SizeClass::Scan);
+        let solo = tenant_arrivals(&cfg, std::slice::from_ref(&victim), 60, 11);
+        let storm = tenant_arrivals(&cfg, &[victim, antagonist], 120, 11);
+        // The victim's sub-stream is byte-for-byte the solo stream —
+        // adding the antagonist changed the interleaving only.
+        let victims: Vec<&JobArrival> =
+            storm.iter().filter(|j| j.tenant == 0).collect();
+        assert!(victims.len() >= 40, "victim under-represented: {}", victims.len());
+        for (got, want) in victims.iter().zip(&solo) {
+            assert_eq!(**got, *want);
+        }
+        assert!(storm.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(storm.iter().filter(|j| j.tenant == 1).all(|j| {
+            j.weight == 1 && j.size == SizeClass::Scan
+        }));
+    }
+
+    #[test]
+    fn single_tenant_defaults_stamped() {
+        let a = arrivals(&ArrivalConfig::default(), 10, 3);
+        assert!(a.iter().all(|j| j.tenant == 0 && j.weight == 1));
+        assert!(a.iter().all(|j| j.size == SizeClass::Medium));
     }
 
     #[test]

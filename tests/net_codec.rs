@@ -74,8 +74,8 @@ fn arb_rpc() -> impl Strategy<Value = Rpc> {
         (arb_cache_key(), arb_bytes(), prop_oneof![
             Just(None),
             (0.0f64..1e6).prop_map(Some),
-        ])
-        .prop_map(|(key, data, ttl)| Rpc::CachePut { key, data, ttl }),
+        ], 0u16..=u16::MAX)
+        .prop_map(|(key, data, ttl, tenant)| Rpc::CachePut { key, data, ttl, tenant }),
         (
             0u32..=u32::MAX,
             0u32..8,
@@ -328,14 +328,36 @@ fn unknown_option_tag_is_typed() {
         key: CacheKey::Input(HashKey(9)),
         data: Bytes::from_static(b"x"),
         ttl: None,
+        tenant: 0,
+    };
+    let raw = rpc.encode(7);
+    let frame = wire::decode_frame(&raw).unwrap();
+    let mut body = frame.body.clone();
+    // The ttl option tag sits just before the trailing 4-byte tenant
+    // field: only 0 and 1 mean anything.
+    let tag_at = body.len() - 5;
+    body[tag_at] = 9;
+    let bad = frame_request(frame.kind, &body);
+    assert_eq!(Rpc::decode(&bad).unwrap_err(), CodecError::BadTag(9));
+}
+
+#[test]
+fn cache_put_tenant_overflow_is_typed() {
+    // A tenant field above u16::MAX cannot come from our encoder; the
+    // decoder rejects it rather than silently truncating.
+    let rpc = Rpc::CachePut {
+        key: CacheKey::Input(HashKey(9)),
+        data: Bytes::from_static(b"x"),
+        ttl: None,
+        tenant: 0,
     };
     let raw = rpc.encode(7);
     let frame = wire::decode_frame(&raw).unwrap();
     let mut body = frame.body.clone();
     let last = body.len() - 1;
-    body[last] = 9; // the ttl option tag: only 0 and 1 mean anything
+    body[last] = 0xFF; // high byte of the little-endian tenant u32
     let bad = frame_request(frame.kind, &body);
-    assert_eq!(Rpc::decode(&bad).unwrap_err(), CodecError::BadTag(9));
+    assert_eq!(Rpc::decode(&bad).unwrap_err(), CodecError::FieldOverrun);
 }
 
 #[test]
