@@ -1,0 +1,69 @@
+//! Snapshot the incremental-epoch story to `results/BENCH_epoch.json`.
+//!
+//! Usage: `epoch_bench [--quick] [--out PATH]`. A standing word-count
+//! stream on 8 nodes folds a train of ~1% deltas via
+//! `EpochDriver::commit_epoch`, and each arrival is also answered the
+//! batch way — a one-shot job over everything so far. The report holds
+//! per-epoch commit latency (p50/p99), the mean batch-re-run cost, the
+//! speedup between them, and the byte-identity of every snapshot
+//! against its batch oracle. `scripts/tier1.sh` runs this in quick
+//! mode so every CI pass leaves a comparable number behind.
+
+use eclipse_bench::epoch_bench::epoch_sweep;
+
+fn main() {
+    let mut quick = std::env::var("CRITERION_QUICK").is_ok();
+    let mut out = String::from("results/BENCH_epoch.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown arg {other:?} (expected --quick / --out PATH)"),
+        }
+    }
+
+    let r = epoch_sweep(quick);
+
+    let mut json = String::from("{\n  \"bench\": \"epoch\",\n  \"app\": \"wordcount\",\n");
+    json.push_str(&format!("  \"nodes\": {},\n  \"quick\": {},\n", r.nodes, quick));
+    json.push_str(&format!(
+        "  \"base_records\": {},\n  \"delta_records\": {},\n  \"delta_pct\": {:.4},\n  \"epochs\": {},\n",
+        r.base_records, r.delta_records, r.delta_pct, r.epochs
+    ));
+    json.push_str(&format!(
+        "  \"epoch_p50_ms\": {:.3},\n  \"epoch_p99_ms\": {:.3},\n  \"epoch_mean_ms\": {:.3},\n",
+        r.epoch_p50_ms, r.epoch_p99_ms, r.epoch_mean_ms
+    ));
+    json.push_str(&format!(
+        "  \"epoch_records_per_sec\": {:.1},\n  \"rerun_mean_ms\": {:.3},\n  \"rerun_records_per_sec\": {:.1},\n",
+        r.epoch_records_per_sec, r.rerun_mean_ms, r.rerun_records_per_sec
+    ));
+    json.push_str(&format!(
+        "  \"speedup\": {:.2},\n  \"identical\": {}\n}}\n",
+        r.speedup, r.identical
+    ));
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, &json).expect("write BENCH_epoch.json");
+
+    println!(
+        "epoch nodes={} base_records={} delta_records={} ({:.1}%) epochs={}",
+        r.nodes,
+        r.base_records,
+        r.delta_records,
+        r.delta_pct * 100.0,
+        r.epochs
+    );
+    println!(
+        "epoch commit p50={:.2}ms p99={:.2}ms mean={:.2}ms records/s={:.0}",
+        r.epoch_p50_ms, r.epoch_p99_ms, r.epoch_mean_ms, r.epoch_records_per_sec
+    );
+    println!(
+        "batch rerun mean={:.2}ms records/s={:.0} speedup={:.1}x identical={}",
+        r.rerun_mean_ms, r.rerun_records_per_sec, r.speedup, r.identical
+    );
+    println!("wrote {out}");
+}

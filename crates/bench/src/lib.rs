@@ -11,6 +11,7 @@ pub mod cache_bench;
 pub mod chaos_bench;
 pub mod dst_bench;
 pub mod elastic_bench;
+pub mod epoch_bench;
 pub mod live_bench;
 pub mod net_bench;
 pub mod straggler_bench;

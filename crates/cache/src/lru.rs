@@ -100,6 +100,9 @@ struct Slot<K, V> {
     /// Owning tenant (0 = the default/untagged tenant). Only consulted
     /// when the cache has a [`TenantLedger`].
     tenant: u16,
+    /// Pinned entries are never chosen as eviction victims (materialized
+    /// epoch state). Explicit invalidation and TTL expiry still apply.
+    pinned: bool,
     /// More recently used neighbor (toward `head`).
     prev: u32,
     /// Less recently used neighbor (toward `tail`).
@@ -179,6 +182,8 @@ pub struct LruCache<K: Eq + Hash + Clone, V = ()> {
     /// Least recently used slot — the eviction victim (`NIL` when empty).
     tail: u32,
     stats: CacheStats,
+    /// Resident bytes held by pinned entries.
+    pinned_bytes: u64,
     /// Per-tenant accounting; `None` until the first quota is set.
     tenants: Option<Box<TenantLedger>>,
 }
@@ -197,6 +202,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             head: NIL,
             tail: NIL,
             stats: CacheStats::default(),
+            pinned_bytes: 0,
             tenants: None,
         }
     }
@@ -301,6 +307,9 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         let bytes = slot.bytes;
         let tenant = slot.tenant;
         let value = slot.value.take();
+        if slot.pinned {
+            self.pinned_bytes -= bytes;
+        }
         self.used -= bytes;
         self.index.remove(&slot.key);
         self.free.push(i);
@@ -388,6 +397,70 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         ttl: Option<f64>,
         tenant: u16,
     ) -> bool {
+        self.put_inner(key, value, bytes, now, ttl, tenant, false)
+    }
+
+    /// [`put_value_tenant`](Self::put_value_tenant) for **pinned**
+    /// entries: materialized epoch state that LRU pressure must never
+    /// evict. Pinned entries still count against the tenant's quota and
+    /// the global capacity; when the unpinned remainder can't absorb an
+    /// insert (everything else resident is pinned) the insert is
+    /// rejected rather than evicting a pin. Explicit invalidation,
+    /// [`take`](Self::take), TTL expiry, and re-insertion of the same
+    /// key all still remove a pinned entry — a pin guards against
+    /// *capacity pressure*, not against its owner.
+    pub fn put_pinned_tenant(
+        &mut self,
+        key: K,
+        value: Option<V>,
+        bytes: u64,
+        now: f64,
+        ttl: Option<f64>,
+        tenant: u16,
+    ) -> bool {
+        self.put_inner(key, value, bytes, now, ttl, tenant, true)
+    }
+
+    /// Clear the pin on `key`, returning it to normal LRU lifetime.
+    /// Returns false when the key is not resident.
+    pub fn unpin(&mut self, key: &K) -> bool {
+        let Some(&i) = self.index.get(key) else {
+            return false;
+        };
+        let slot = &mut self.slots[i as usize];
+        if slot.pinned {
+            slot.pinned = false;
+            self.pinned_bytes -= slot.bytes;
+        }
+        true
+    }
+
+    /// Resident bytes currently held by pinned entries.
+    pub fn pinned_bytes(&self) -> u64 {
+        self.pinned_bytes
+    }
+
+    /// Roll back a slot whose index entry was claimed but that cannot
+    /// be linked in because eviction found only pinned victims.
+    fn reject_claimed(&mut self, i: u32) -> bool {
+        self.slots[i as usize].value = None;
+        self.index.remove(&self.slots[i as usize].key);
+        self.free.push(i);
+        self.stats.rejected += 1;
+        false
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn put_inner(
+        &mut self,
+        key: K,
+        value: Option<V>,
+        bytes: u64,
+        now: f64,
+        ttl: Option<f64>,
+        tenant: u16,
+        pinned: bool,
+    ) -> bool {
         if bytes > self.capacity {
             self.stats.rejected += 1;
             return false;
@@ -414,6 +487,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                 slot.bytes = bytes;
                 slot.expires = expires;
                 slot.tenant = tenant;
+                slot.pinned = pinned;
                 i
             }
             None => {
@@ -424,6 +498,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                     bytes,
                     expires,
                     tenant,
+                    pinned,
                     prev: NIL,
                     next: NIL,
                 });
@@ -439,6 +514,9 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             let slot = &mut self.slots[old as usize];
             slot.value = None;
             let (old_bytes, old_tenant) = (slot.bytes, slot.tenant);
+            if slot.pinned {
+                self.pinned_bytes -= old_bytes;
+            }
             self.used -= old_bytes;
             self.free.push(old);
             if let Some(ledger) = self.tenants.as_mut() {
@@ -456,22 +534,42 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                 while self.tenant_used(tenant) + bytes > quota && victim != NIL {
                     let s = &self.slots[victim as usize];
                     let prev = s.prev;
-                    if s.tenant == tenant {
+                    if s.tenant == tenant && !s.pinned {
                         self.detach(victim);
                         self.stats.evictions += 1;
                     }
                     victim = prev;
                 }
+                if self.tenant_used(tenant) + bytes > quota {
+                    // Only the tenant's pinned entries remain and they
+                    // hold the whole quota: a pin never gets evicted to
+                    // make room, so the insert loses.
+                    return self.reject_claimed(i);
+                }
             }
         }
+        // Evict least-recently-used entries — walk from the tail,
+        // skipping pinned slots. Without pins this detaches exactly the
+        // successive tails, the legacy eviction order.
+        let mut victim = self.tail;
         while self.used + bytes > self.capacity {
-            // Evict the least-recently-used entry: the list tail.
-            debug_assert!(self.tail != NIL, "used > 0 implies entries");
-            self.detach(self.tail);
-            self.stats.evictions += 1;
+            if victim == NIL {
+                // Every remaining resident byte is pinned.
+                return self.reject_claimed(i);
+            }
+            let s = &self.slots[victim as usize];
+            let prev = s.prev;
+            if !s.pinned {
+                self.detach(victim);
+                self.stats.evictions += 1;
+            }
+            victim = prev;
         }
         self.push_front(i);
         self.used += bytes;
+        if pinned {
+            self.pinned_bytes += bytes;
+        }
         self.stats.insertions += 1;
         if let Some(ledger) = self.tenants.as_mut() {
             *ledger.used.entry(tenant).or_default() += bytes;
@@ -534,6 +632,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.head = NIL;
         self.tail = NIL;
         self.used = 0;
+        self.pinned_bytes = 0;
         if let Some(ledger) = self.tenants.as_mut() {
             ledger.used.clear(); // quotas survive; usage resets with the contents
         }
@@ -767,6 +866,73 @@ mod tests {
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pinned_entries_survive_lru_pressure() {
+        let mut c: LruCache<u32> = LruCache::new(30);
+        assert!(c.put_pinned_tenant(0, None, 10, 0.0, None, 0));
+        assert_eq!(c.pinned_bytes(), 10);
+        // A scan of 10 unpinned entries churns past the pin.
+        for k in 1..11u32 {
+            c.put(k, 10, k as f64, None);
+        }
+        assert!(c.contains(&0, 20.0), "pinned entry evicted by scan");
+        assert!(c.used() <= 30);
+        // Unpin returns it to normal lifetime: the next pressure wave
+        // can take it.
+        assert!(c.unpin(&0));
+        assert_eq!(c.pinned_bytes(), 0);
+        for k in 20..24u32 {
+            c.put(k, 10, 100.0 + k as f64, None);
+        }
+        assert!(!c.contains(&0, 200.0));
+        assert!(!c.unpin(&99), "unpin of absent key is false");
+    }
+
+    #[test]
+    fn all_pinned_rejects_instead_of_evicting() {
+        let mut c: LruCache<u32> = LruCache::new(20);
+        assert!(c.put_pinned_tenant(1, None, 10, 0.0, None, 0));
+        assert!(c.put_pinned_tenant(2, None, 10, 0.0, None, 0));
+        // Nothing evictable remains: the insert must lose, not the pins.
+        assert!(!c.put(3, 10, 1.0, None));
+        assert_eq!(c.stats().rejected, 1);
+        assert!(c.contains(&1, 2.0) && c.contains(&2, 2.0));
+        assert_eq!(c.used(), 20);
+        // Re-inserting a pinned key replaces it (the owner writes a
+        // newer epoch) — that is not capacity pressure.
+        assert!(c.put_pinned_tenant(1, None, 10, 3.0, None, 0));
+        assert_eq!(c.used(), 20);
+        assert_eq!(c.pinned_bytes(), 20);
+        assert!(c.contains(&1, 4.0) && c.contains(&2, 4.0));
+    }
+
+    #[test]
+    fn pinned_respects_tenant_quota() {
+        let mut c: LruCache<u32> = LruCache::new(100);
+        c.set_tenant_quota(7, 30);
+        assert!(c.put_pinned_tenant(1, None, 20, 0.0, None, 7));
+        // Second pin would push tenant 7 past its quota and the first
+        // pin can't be evicted to make room: reject, quota holds.
+        assert!(!c.put_pinned_tenant(2, None, 20, 1.0, None, 7));
+        assert_eq!(c.tenant_used(7), 20);
+        assert!(c.contains(&1, 2.0));
+        // An unpinned sibling entry *can* be displaced by a pin.
+        assert!(c.put_value_tenant(3, None, 10, 2.0, None, 7));
+        assert!(c.put_pinned_tenant(4, None, 10, 3.0, None, 7));
+        assert_eq!(c.tenant_used(7), 30);
+    }
+
+    #[test]
+    fn pinned_entries_still_expire_and_invalidate() {
+        let mut c: LruCache<&str> = LruCache::new(100);
+        c.put_pinned_tenant("ttl", None, 10, 0.0, Some(5.0), 0);
+        assert_eq!(c.get(&"ttl", 6.0), None, "TTL still applies to pins");
+        assert_eq!(c.pinned_bytes(), 0);
+        c.put_pinned_tenant("inv", None, 10, 0.0, None, 0);
+        assert_eq!(c.invalidate(&"inv"), Some(10));
+        assert_eq!(c.pinned_bytes(), 0);
     }
 
     #[test]

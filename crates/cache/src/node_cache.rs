@@ -111,6 +111,36 @@ impl NodeCache {
         ok
     }
 
+    /// [`put_payload_tenant`](Self::put_payload_tenant) for **pinned**
+    /// entries — materialized epoch state that LRU pressure must never
+    /// evict (see [`LruCache::put_pinned_tenant`]). Quota-aware: a pin
+    /// that would bust the tenant's budget is rejected.
+    pub fn put_payload_pinned(
+        &mut self,
+        key: CacheKey,
+        data: Bytes,
+        now: f64,
+        ttl: Option<f64>,
+        tenant: u16,
+    ) -> bool {
+        let bytes = data.len() as u64;
+        let ok = self.lru.put_pinned_tenant(key.clone(), Some(data), bytes, now, ttl, tenant);
+        if ok {
+            self.stats_for(&key).insertions += 1;
+        }
+        ok
+    }
+
+    /// Return a pinned entry to normal LRU lifetime.
+    pub fn unpin(&mut self, key: &CacheKey) -> bool {
+        self.lru.unpin(key)
+    }
+
+    /// Resident bytes held by pinned entries.
+    pub fn pinned_bytes(&self) -> u64 {
+        self.lru.pinned_bytes()
+    }
+
     /// Give `tenant` a byte budget within this cache (applies from the
     /// next insert).
     pub fn set_tenant_quota(&mut self, tenant: u16, bytes: u64) {

@@ -108,6 +108,29 @@ impl ShardedNodeCache {
         self.shard_of(&key).lock().put_payload_tenant(key, data, now, ttl, tenant)
     }
 
+    /// Cache a **pinned** payload: materialized epoch state that LRU
+    /// pressure never evicts (see [`NodeCache::put_payload_pinned`]).
+    pub fn put_payload_pinned(
+        &self,
+        key: CacheKey,
+        data: Bytes,
+        now: f64,
+        ttl: Option<f64>,
+        tenant: u16,
+    ) -> bool {
+        self.shard_of(&key).lock().put_payload_pinned(key, data, now, ttl, tenant)
+    }
+
+    /// Return a pinned entry to normal LRU lifetime.
+    pub fn unpin(&self, key: &CacheKey) -> bool {
+        self.shard_of(key).lock().unpin(key)
+    }
+
+    /// Resident bytes held by pinned entries (sum over shards).
+    pub fn pinned_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().pinned_bytes()).sum()
+    }
+
     /// Give `tenant` a byte budget within this node's cache, split over
     /// shards the same way the capacity is (quota/shards, remainder one
     /// byte each to the low shards). Keys hash uniformly over shards,

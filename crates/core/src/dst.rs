@@ -41,6 +41,7 @@
 //! the same commit must wire it into the samplers here and give every
 //! preset an explicit rate for it (zero is a decision, not a default).
 
+use crate::epoch::{EpochDriver, StreamSpec};
 use crate::job::{JobError, ReusePolicy};
 use crate::live::{
     DstEvent, DstObserver, FaultPlan, LiveCluster, LiveConfig, LiveStats, MapReduce,
@@ -61,6 +62,11 @@ use std::sync::Arc;
 /// Owner string for DST uploads.
 pub const DST_USER: &str = "dst";
 const INPUT: &str = "input";
+
+/// Byte width of one line of epoch-mode input ("wNN wNN wNN wNN\n").
+/// Every sampled block size (256/512/1024) is a multiple, so block
+/// boundaries land on line boundaries in every delta layout.
+const ALIGNED_LINE: usize = 16;
 
 /// Transmissions the transport pays for per call (or windowed flush)
 /// before surfacing a typed failure: `RetryPolicy::default().max_attempts`.
@@ -171,6 +177,17 @@ pub struct FaultConfig {
     /// shuffle-dedup bleed or a recovery walk that misses a live run
     /// shows up as a sibling divergence.
     pub concurrent_jobs_max: u32,
+    /// Probability an epoch-mode seed crashes a node at an epoch
+    /// barrier — between the wave's last map commit and the snapshot
+    /// publish, the exact window where the fold and the materialized
+    /// oCache state are in flight. Calm pins this to zero.
+    pub epoch_crash_p: f64,
+    /// Probability of one graceful leave fired at an epoch barrier.
+    pub epoch_leave_p: f64,
+    /// Probability of one RPC-kind drop burst armed at an epoch
+    /// barrier (hits the publish `CachePut`s or the next wave's reads
+    /// and shuffle). Calm pins this to zero.
+    pub epoch_drop_p: f64,
 }
 
 impl FaultConfig {
@@ -195,6 +212,12 @@ impl FaultConfig {
             join_slots_max: 1,
             leave_slots_max: 1,
             concurrent_jobs_max: 2,
+            // Zero is a decision: calm epoch runs exercise timing
+            // pressure only, so every calm epoch seed must publish
+            // byte-identical snapshots.
+            epoch_crash_p: 0.0,
+            epoch_leave_p: 0.0,
+            epoch_drop_p: 0.0,
         }
     }
 
@@ -216,6 +239,9 @@ impl FaultConfig {
             join_slots_max: 1,
             leave_slots_max: 1,
             concurrent_jobs_max: 2,
+            epoch_crash_p: 0.3,
+            epoch_leave_p: 0.3,
+            epoch_drop_p: 0.5,
         }
     }
 
@@ -237,6 +263,9 @@ impl FaultConfig {
             join_slots_max: 2,
             leave_slots_max: 2,
             concurrent_jobs_max: 3,
+            epoch_crash_p: 0.5,
+            epoch_leave_p: 0.5,
+            epoch_drop_p: 0.7,
         }
     }
 }
@@ -317,6 +346,11 @@ pub struct DstWorkload {
     pub map_slots: usize,
     pub speculation: bool,
     pub replication: usize,
+    /// Epochs this seed runs: 1 = the classic one-shot batch flow;
+    /// ≥ 2 = a standing job ([`crate::EpochDriver`]) that folds the
+    /// input as that many barrier-aligned deltas and is judged against
+    /// a one-shot batch over the concatenation.
+    pub epochs: u32,
 }
 
 impl DstWorkload {
@@ -335,6 +369,10 @@ impl DstWorkload {
         // per node on low-core hosts (see DESIGN.md §8h).
         let map_slots =
             if speculation || replication > 1 { nodes } else { rng.random_range(1..3usize) };
+        // Sampled off its own stream so adding the continuous-job mode
+        // left every existing seed's workload and schedule untouched.
+        let mut erng = StdRng::seed_from_u64(seed ^ 0xE70C_4B12_0000_0004);
+        let epochs = if erng.random_bool(0.3) { erng.random_range(2..=4u32) } else { 1 };
         DstWorkload {
             seed,
             app,
@@ -348,6 +386,7 @@ impl DstWorkload {
             map_slots,
             speculation,
             replication,
+            epochs,
         }
     }
 
@@ -367,6 +406,47 @@ impl DstWorkload {
             s.push('\n');
         }
         s
+    }
+
+    /// Fixed-width-line input for epoch-mode seeds: every line is
+    /// exactly [`ALIGNED_LINE`] bytes (four 3-char words), and every
+    /// sampled block size is a multiple of it. Block boundaries
+    /// therefore never split a word — neither in the per-epoch delta
+    /// files nor in the concatenated oracle file, whose boundaries
+    /// fall at different input offsets. Without this alignment the
+    /// epoch-vs-batch comparison would diverge on word halves, not on
+    /// executor bugs.
+    pub fn aligned_input(&self) -> String {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xA119_0000_0000_0005);
+        let mut s = String::with_capacity(self.lines * ALIGNED_LINE);
+        for _ in 0..self.lines {
+            for i in 0..4 {
+                if i > 0 {
+                    s.push(' ');
+                }
+                let w = rng.random_range(0..self.vocab);
+                s.push_str(&format!("w{w:02}"));
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Split [`aligned_input`](Self::aligned_input) into `epochs`
+    /// contiguous line-aligned deltas (the last takes the remainder).
+    /// Concatenating them reproduces the aligned input byte for byte.
+    pub fn epoch_deltas(&self) -> Vec<String> {
+        let input = self.aligned_input();
+        let epochs = self.epochs.max(1) as usize;
+        let per = (self.lines / epochs).max(1) * ALIGNED_LINE;
+        let mut out = Vec::with_capacity(epochs);
+        let mut at = 0usize;
+        for e in 0..epochs {
+            let end = if e + 1 == epochs { input.len() } else { (at + per).min(input.len()) };
+            out.push(input[at..end].to_string());
+            at = end;
+        }
+        out
     }
 
     /// The cluster configuration this workload runs under.
@@ -403,6 +483,10 @@ pub enum Point {
     Maps(u64),
     /// After this many shuffle batches sent.
     Spills(u64),
+    /// At this epoch's barrier — between the wave's last map commit
+    /// and the snapshot publish ([`DstEvent::EpochBarrier`]). Only
+    /// standing jobs reach these points.
+    Epochs(u32),
 }
 
 /// One sampled fault. Crash/fail/slow ops compile into a [`FaultPlan`];
@@ -423,6 +507,15 @@ pub enum DstFault {
     JoinAtMaps { at: u64 },
     /// Gracefully retire `node` once `at` map tasks have committed.
     LeaveAtMaps { node: NodeId, at: u64 },
+    /// Crash `node` at epoch `epoch`'s barrier — after the wave's maps
+    /// committed, before the snapshot publish. Epoch-mode seeds only.
+    CrashAtEpoch { node: NodeId, epoch: u32 },
+    /// Gracefully retire `node` at epoch `epoch`'s barrier.
+    LeaveAtEpoch { node: NodeId, epoch: u32 },
+    /// Drop the next `n` RPCs of `kind` starting at epoch `epoch`'s
+    /// barrier: the burst lands on the publish `CachePut`s and the
+    /// next wave's reads, uploads, and shuffle.
+    DropAtEpoch { kind: RpcKind, epoch: u32, n: u32 },
 }
 
 const KINDS: [RpcKind; 10] = [
@@ -537,6 +630,8 @@ pub fn sample_schedule(
                 Some(match at {
                     Point::Maps(m) => Point::Maps(m + rng.random_range(1..4u64)),
                     Point::Spills(s) => Point::Spills(s + rng.random_range(1..4u64)),
+                    // sample_point never draws epoch points here.
+                    p => p,
                 })
             } else {
                 None
@@ -568,6 +663,94 @@ pub fn sample_schedule(
     out
 }
 
+/// RPC kinds a standing job actually exercises: delta uploads, cached
+/// block reads, the shuffle plane, the materialized-snapshot publish,
+/// and crash-recovery re-replication.
+const EPOCH_KINDS: [RpcKind; 6] = [
+    RpcKind::GetBlock,
+    RpcKind::PutBlock,
+    RpcKind::ReplicaSync,
+    RpcKind::CacheGet,
+    RpcKind::CachePut,
+    RpcKind::ShuffleBatch,
+];
+
+/// Sample a fault schedule for an epoch-mode seed: barrier-point node
+/// crashes, graceful leaves, and drop bursts (the new fault points),
+/// plus in-wave network ops keyed off the map-commit clock. Executor
+/// fault-plan ops (`CrashAtMaps`, `FailTask`, …) are deliberately
+/// absent — the pool path leaves the injected plan undrained, so a
+/// sampled-but-unfired fault would silently weaken the oracle.
+/// `wave_maps` is the smallest wave's map count, so every sampled
+/// in-wave point actually fires.
+pub fn sample_epoch_schedule(
+    rng: &mut StdRng,
+    cfg: &FaultConfig,
+    nodes: &[NodeId],
+    epochs: u32,
+    wave_maps: u64,
+) -> Vec<DstFault> {
+    let epochs = epochs.max(1);
+    let wave_maps = wave_maps.max(1);
+    let mut out = Vec::new();
+
+    // Barrier-point membership faults: distinct victims, and never
+    // below two survivors (nodes ≥ 4, at most one crash + one leave).
+    let mut avail: Vec<NodeId> = nodes.to_vec();
+    if rng.random_bool(cfg.epoch_crash_p) && avail.len() > 2 {
+        let node = avail.swap_remove(rng.random_range(0..avail.len()));
+        out.push(DstFault::CrashAtEpoch { node, epoch: rng.random_range(1..=epochs) });
+    }
+    if rng.random_bool(cfg.epoch_leave_p) && avail.len() > 2 {
+        let node = avail.swap_remove(rng.random_range(0..avail.len()));
+        out.push(DstFault::LeaveAtEpoch { node, epoch: rng.random_range(1..=epochs) });
+    }
+    if rng.random_bool(cfg.epoch_drop_p) {
+        out.push(DstFault::DropAtEpoch {
+            kind: EPOCH_KINDS[rng.random_range(0..EPOCH_KINDS.len())],
+            epoch: rng.random_range(1..=epochs),
+            n: rng.random_range(1..=cfg.drop_n_max.max(1)),
+        });
+    }
+
+    // In-wave network pressure on the map-commit clock, with the same
+    // per-target token budget that keeps calm under the retry budget.
+    let mut link_tokens: HashMap<(NodeId, NodeId), u32> = HashMap::new();
+    let total_w = cfg.cut_weight + cfg.delay_weight + cfg.drop_link_weight;
+    let ops = rng.random_range(0..=cfg.net_ops_max);
+    for salt in 0..ops {
+        if total_w == 0 {
+            break;
+        }
+        let at = Point::Maps(rng.random_range(1..=wave_maps));
+        let (from, to) = sample_link(rng, nodes);
+        let w = rng.random_range(0..total_w);
+        if w < cfg.cut_weight {
+            let heal_at = if rng.random_bool(cfg.heal_p) {
+                Some(match at {
+                    Point::Maps(m) => Point::Maps(m + rng.random_range(1..4u64)),
+                    p => p,
+                })
+            } else {
+                None
+            };
+            out.push(DstFault::CutLink { from, to, at, heal_at });
+        } else if w < cfg.cut_weight + cfg.delay_weight {
+            out.push(DstFault::DelayLink { from, to, at, salt: u64::from(salt) + 1 });
+        } else {
+            let used = *link_tokens.get(&(from, to)).unwrap_or(&0);
+            let budget = cfg.tokens_per_target_max.saturating_sub(used).min(cfg.drop_n_max);
+            if budget == 0 {
+                continue;
+            }
+            let n = rng.random_range(1..=budget);
+            *link_tokens.entry((from, to)).or_insert(0) += n;
+            out.push(DstFault::DropOnLink { from, to, at, n });
+        }
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Progress-keyed network fault injection
 // ---------------------------------------------------------------------------
@@ -582,20 +765,36 @@ pub enum NetOp {
     DropKind { kind: RpcKind, n: u32 },
 }
 
-#[derive(Clone, Copy, Debug)]
-struct NetAction {
-    at: Point,
-    act: NetOp,
+/// A fault a [`ChaosObserver`] can fire at a [`Point`]: a transport
+/// op, or — for epoch-mode runs that hold a cluster handle — a
+/// node-level membership fault at an epoch barrier.
+#[derive(Clone)]
+pub enum ChaosOp {
+    Net(NetOp),
+    /// Crash the node via [`LiveCluster::crash_node`].
+    Crash { node: NodeId },
+    /// Gracefully retire the node via [`LiveCluster::leave_node`].
+    Leave { node: NodeId },
 }
 
-/// A [`DstObserver`] that arms [`MemTransport`] faults and fires each
-/// one the first time the executor's logical clock reaches its
-/// [`Point`]. Counts fired actions for the `faults_injected` total.
-/// Also usable directly from tests to stage a hand-written
-/// progress-keyed net fault (see `tests/chaos.rs`).
+#[derive(Clone)]
+struct ChaosAction {
+    at: Point,
+    act: ChaosOp,
+}
+
+/// A [`DstObserver`] that arms [`MemTransport`] faults (and, given a
+/// cluster handle, node-level barrier faults) and fires each one the
+/// first time the executor's logical clock reaches its [`Point`].
+/// Counts fired actions for the `faults_injected` total. Also usable
+/// directly from tests to stage a hand-written progress-keyed net
+/// fault (see `tests/chaos.rs`).
 pub struct ChaosObserver {
     net: Arc<MemTransport>,
-    pending: Mutex<Vec<NetAction>>,
+    /// Needed only for node-level ops; the batch harness arms pure
+    /// transport faults and leaves this empty.
+    cluster: Option<Arc<LiveCluster>>,
+    pending: Mutex<Vec<ChaosAction>>,
     fired: AtomicU64,
 }
 
@@ -603,8 +802,29 @@ impl ChaosObserver {
     pub fn new(net: Arc<MemTransport>, armed: Vec<(Point, NetOp)>) -> ChaosObserver {
         ChaosObserver {
             net,
+            cluster: None,
             pending: Mutex::new(
-                armed.into_iter().map(|(at, act)| NetAction { at, act }).collect(),
+                armed
+                    .into_iter()
+                    .map(|(at, act)| ChaosAction { at, act: ChaosOp::Net(act) })
+                    .collect(),
+            ),
+            fired: AtomicU64::new(0),
+        }
+    }
+
+    /// Observer for epoch-mode runs: the cluster handle lets barrier
+    /// points crash or retire nodes, not just disturb the transport.
+    pub fn with_cluster(
+        net: Arc<MemTransport>,
+        cluster: Arc<LiveCluster>,
+        armed: Vec<(Point, ChaosOp)>,
+    ) -> ChaosObserver {
+        ChaosObserver {
+            net,
+            cluster: Some(cluster),
+            pending: Mutex::new(
+                armed.into_iter().map(|(at, act)| ChaosAction { at, act }).collect(),
             ),
             fired: AtomicU64::new(0),
         }
@@ -615,15 +835,30 @@ impl ChaosObserver {
         self.fired.load(Ordering::Relaxed)
     }
 
-    fn apply(&self, act: NetOp) {
+    fn apply(&self, act: ChaosOp) {
         match act {
-            NetOp::Cut { from, to } => self.net.cut_one_way(from, to),
-            NetOp::Heal { from, to } => self.net.heal_link(from, to),
-            NetOp::Delay { from, to, salt } => {
+            ChaosOp::Net(NetOp::Cut { from, to }) => self.net.cut_one_way(from, to),
+            ChaosOp::Net(NetOp::Heal { from, to }) => self.net.heal_link(from, to),
+            ChaosOp::Net(NetOp::Delay { from, to, salt }) => {
                 self.net.delay_link_seeded(from, to, salt);
             }
-            NetOp::DropLink { from, to, n } => self.net.drop_next_on_link(from, to, n),
-            NetOp::DropKind { kind, n } => self.net.drop_rpcs(kind, n),
+            ChaosOp::Net(NetOp::DropLink { from, to, n }) => {
+                self.net.drop_next_on_link(from, to, n)
+            }
+            ChaosOp::Net(NetOp::DropKind { kind, n }) => self.net.drop_rpcs(kind, n),
+            // Node-level barrier faults are best-effort by design: a
+            // recovery error here surfaces through the job's own typed
+            // result, which is what the oracle judges.
+            ChaosOp::Crash { node } => {
+                if let Some(c) = &self.cluster {
+                    let _ = c.crash_node(node);
+                }
+            }
+            ChaosOp::Leave { node } => {
+                if let Some(c) = &self.cluster {
+                    let _ = c.leave_node(node);
+                }
+            }
         }
     }
 }
@@ -637,10 +872,11 @@ impl DstObserver for ChaosObserver {
                 let fire = match (ev, a.at) {
                     (DstEvent::MapCommitted { done }, Point::Maps(m)) => m <= done,
                     (DstEvent::SpillSent { sent }, Point::Spills(s)) => s <= sent,
+                    (DstEvent::EpochBarrier { epoch }, Point::Epochs(e)) => e <= epoch,
                     _ => false,
                 };
                 if fire {
-                    due.push(a.act);
+                    due.push(a.act.clone());
                 }
                 !fire
             });
@@ -707,6 +943,21 @@ pub fn allowed_errors(schedule: &[DstFault]) -> Allowed {
             // so it counts toward the exhaustion arithmetic below.
             DstFault::JoinAtMaps { .. } => {}
             DstFault::LeaveAtMaps { .. } => leaves += 1,
+            // Barrier faults obey the same arithmetic: a crash is a
+            // crash (one alone still excuses nothing — barrier
+            // recovery must converge before the next wave), a leave is
+            // a leave, and a barrier drop burst spends kind tokens
+            // exactly like a mid-job one.
+            DstFault::CrashAtEpoch { node, .. } => {
+                if !victims.contains(&node) {
+                    victims.push(node);
+                }
+            }
+            DstFault::LeaveAtEpoch { .. } => leaves += 1,
+            DstFault::DropAtEpoch { kind, n, .. } => {
+                any_drop = true;
+                *kind_tokens.entry(kind).or_insert(0) += n;
+            }
         }
     }
     // Budget arithmetic: injected failures plus one possible
@@ -997,6 +1248,11 @@ fn run_schedule(
             }
             DstFault::JoinAtMaps { at } => plan = plan.join_at_maps(at),
             DstFault::LeaveAtMaps { node, at } => plan = plan.leave_at_maps(node, at),
+            DstFault::CrashAtEpoch { .. }
+            | DstFault::LeaveAtEpoch { .. }
+            | DstFault::DropAtEpoch { .. } => {
+                debug_assert!(false, "epoch fault {f:?} in a batch schedule");
+            }
         }
     }
     let planned = plan.len() as u64;
@@ -1124,6 +1380,186 @@ fn run_schedule(
     (outcome, injected, checks)
 }
 
+/// Fault-free one-shot batch over the concatenation of `deltas` — the
+/// reference an epoch run's materialized snapshot must match byte for
+/// byte, including the prefix folded before an excused mid-stream
+/// failure.
+fn epoch_oracle(w: &DstWorkload, deltas: &[String]) -> Result<Vec<(String, String)>, JobError> {
+    let c = LiveCluster::new(w.config());
+    let concat: String = deltas.concat();
+    c.upload(INPUT, DST_USER, concat.as_bytes());
+    c.try_run_job(&w.app, INPUT, DST_USER, w.reducers, ReusePolicy::default()).map(|(o, _)| o)
+}
+
+/// Execute an epoch-mode schedule: open a standing job, commit every
+/// delta as one epoch under injection, and judge the stream against
+/// the one-shot oracle. The oracle is layered: every committed wave's
+/// attempt ledger must balance, the publish board must advance exactly
+/// once per commit, a terminal error must come from the allowed set —
+/// and whatever epoch ends up published must read back byte-identical
+/// to a fault-free batch over exactly the deltas folded so far, even
+/// when a later epoch died to an excused fault (the
+/// readable-at-previous-epoch contract).
+fn run_epoch_schedule(
+    w: &DstWorkload,
+    deltas: &[String],
+    schedule: &[DstFault],
+    expect: &[(String, String)],
+) -> (Outcome, u64, u64) {
+    let c = Arc::new(LiveCluster::new(w.config()));
+    let net = c.mem_net().expect("DST drives the in-memory transport").clone();
+    net.seed_faults(w.seed);
+
+    let mut armed: Vec<(Point, ChaosOp)> = Vec::new();
+    for f in schedule {
+        match *f {
+            DstFault::CrashAtEpoch { node, epoch } => {
+                armed.push((Point::Epochs(epoch), ChaosOp::Crash { node }));
+            }
+            DstFault::LeaveAtEpoch { node, epoch } => {
+                armed.push((Point::Epochs(epoch), ChaosOp::Leave { node }));
+            }
+            DstFault::DropAtEpoch { kind, epoch, n } => {
+                armed.push((Point::Epochs(epoch), ChaosOp::Net(NetOp::DropKind { kind, n })));
+            }
+            DstFault::CutLink { from, to, at, heal_at } => {
+                armed.push((at, ChaosOp::Net(NetOp::Cut { from, to })));
+                if let Some(h) = heal_at {
+                    armed.push((h, ChaosOp::Net(NetOp::Heal { from, to })));
+                }
+            }
+            DstFault::DelayLink { from, to, at, salt } => {
+                armed.push((at, ChaosOp::Net(NetOp::Delay { from, to, salt })));
+            }
+            DstFault::DropOnLink { from, to, at, n } => {
+                armed.push((at, ChaosOp::Net(NetOp::DropLink { from, to, n })));
+            }
+            // The pool path never drains the executor fault plan, so
+            // plan-side ops have no business in an epoch schedule.
+            _ => debug_assert!(false, "non-epoch fault {f:?} in an epoch schedule"),
+        }
+    }
+    let obs = Arc::new(ChaosObserver::with_cluster(net.clone(), Arc::clone(&c), armed));
+    c.set_observer(Some(obs.clone() as Arc<dyn DstObserver>));
+
+    let driver = EpochDriver::new(
+        Arc::clone(&c),
+        StreamSpec {
+            app: Arc::new(w.app),
+            name: "dst-stream".to_string(),
+            user: DST_USER.to_string(),
+            reducers: w.reducers,
+        },
+    );
+    let mut checks = 0u64;
+    let mut terminal: Option<JobError> = None;
+    let mut board_fail: Option<String> = None;
+    for (i, delta) in deltas.iter().enumerate() {
+        match driver.commit_epoch(delta.as_bytes()) {
+            Ok(rep) => {
+                checks += 1;
+                if rep.epoch != i as u32 + 1 || driver.published() != rep.epoch {
+                    board_fail = Some(format!(
+                        "commit {} published board at {} (read-your-epoch broken)",
+                        i + 1,
+                        driver.published()
+                    ));
+                    break;
+                }
+                if let Err(e) = check_job_ledger(&rep.stats, &mut checks) {
+                    board_fail = Some(format!("epoch {} wave ledger violated: {e}", rep.epoch));
+                    break;
+                }
+            }
+            Err(e) => {
+                terminal = Some(e);
+                break;
+            }
+        }
+    }
+    // Break the observer↔cluster cycle and stop injecting before the
+    // oracle reads back through the (healed) transport.
+    c.set_observer(None);
+    net.heal_all();
+    let injected = obs.fired();
+
+    if let Some(msg) = board_fail {
+        return (Outcome::Fail(msg), injected, checks);
+    }
+    let allowed = allowed_errors(schedule);
+    if let Some(e) = &terminal {
+        checks += 1;
+        let excused = match e {
+            JobError::TaskFailed { .. } => allowed.task_failed,
+            JobError::DataLoss(_) => allowed.data_loss,
+            JobError::Open(_) | JobError::Cancelled => false,
+        };
+        if !excused {
+            return (
+                Outcome::Fail(format!(
+                    "disallowed terminal error at epoch {}: {e}",
+                    driver.published() + 1
+                )),
+                injected,
+                checks,
+            );
+        }
+    }
+    let k = driver.published();
+    checks += 1;
+    if terminal.is_none() && k as usize != deltas.len() {
+        return (
+            Outcome::Fail(format!(
+                "every epoch committed but the board stopped at {k} of {}",
+                deltas.len()
+            )),
+            injected,
+            checks,
+        );
+    }
+    if k > 0 {
+        let snap = match driver.snapshot(k) {
+            Some(s) => s,
+            None => {
+                return (Outcome::Fail(format!("published epoch {k} unreadable")), injected, checks)
+            }
+        };
+        let mut flat: Vec<(String, String)> = snap.iter().flatten().cloned().collect();
+        flat.sort();
+        let want = if k as usize == deltas.len() {
+            expect.to_vec()
+        } else {
+            match epoch_oracle(w, &deltas[..k as usize]) {
+                Ok(o) => o,
+                Err(e) => {
+                    return (
+                        Outcome::Fail(format!("fault-free partial oracle failed: {e}")),
+                        injected,
+                        checks,
+                    )
+                }
+            }
+        };
+        checks += 1;
+        if flat != want {
+            return (
+                Outcome::Fail(format!(
+                    "materialized epoch {k} diverged: {} rows vs {} expected",
+                    flat.len(),
+                    want.len()
+                )),
+                injected,
+                checks,
+            );
+        }
+    }
+    driver.close();
+    match terminal {
+        Some(e) => (Outcome::Allowed(e.to_string()), injected, checks),
+        None => (Outcome::Match, injected, checks),
+    }
+}
+
 /// Shrink a failing schedule to a (locally) minimal failing subset:
 /// bisect to the shortest failing prefix, then greedily drop single
 /// faults. `fails` re-executes a candidate and reports whether it
@@ -1171,6 +1607,9 @@ pub fn shrink_schedule(
 /// the oracle, and shrink + print a repro on failure.
 pub fn run_seed(seed: u64, preset: DstPreset) -> DstReport {
     let w = DstWorkload::sample(seed);
+    if w.epochs > 1 {
+        return run_epoch_seed(seed, preset, w);
+    }
     let input = w.input();
 
     let base = LiveCluster::new(w.config());
@@ -1222,6 +1661,68 @@ pub fn run_seed(seed: u64, preset: DstPreset) -> DstReport {
         faults_injected,
         oracle_checks,
         concurrent_jobs,
+    }
+}
+
+/// [`run_seed`] for an epoch-mode workload: the seed's input arrives
+/// as `w.epochs` barrier-aligned deltas through a standing job, the
+/// schedule is drawn from the epoch sampler (barrier crashes, leaves,
+/// drop bursts, in-wave net ops), and the verdict compares the
+/// materialized stream against a one-shot batch over the concatenated
+/// input. Reported as `concurrent_jobs = 1`: the stream itself is the
+/// standing tenant.
+fn run_epoch_seed(seed: u64, preset: DstPreset, w: DstWorkload) -> DstReport {
+    let deltas = w.epoch_deltas();
+
+    let base = LiveCluster::new(w.config());
+    base.upload(INPUT, DST_USER, w.aligned_input().as_bytes());
+    let (expect, _) = base
+        .try_run_job(&w.app, INPUT, DST_USER, w.reducers, ReusePolicy::default())
+        .unwrap_or_else(|e| panic!("DST seed {seed}: fault-free epoch oracle run failed: {e}"));
+    let nodes = base.ring().node_ids();
+    drop(base);
+
+    // The smallest wave bounds the in-wave injection range, so every
+    // sampled map-clock point fires in every epoch that reaches it.
+    let wave_maps = deltas
+        .iter()
+        .map(|d| (d.len() as u64).div_ceil(w.block_size))
+        .min()
+        .unwrap_or(1)
+        .max(1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17_5C8E_D01E_55ED);
+    let cfg = preset.config();
+    let schedule = sample_epoch_schedule(&mut rng, &cfg, &nodes, w.epochs, wave_maps);
+
+    let (outcome, faults_injected, oracle_checks) =
+        run_epoch_schedule(&w, &deltas, &schedule, &expect);
+    let verdict = match outcome {
+        Outcome::Match => Verdict::Match,
+        Outcome::Allowed(e) => Verdict::AllowedError(e),
+        Outcome::Fail(reason) => {
+            let minimal = shrink_schedule(&schedule, &mut |cand| {
+                matches!(run_epoch_schedule(&w, &deltas, cand, &expect).0, Outcome::Fail(_))
+            });
+            let repro = repro_line(seed, preset);
+            eprintln!(
+                "DST FAILURE seed={seed} preset={preset} (epochs={}): {reason}\n  \
+                 minimal schedule ({} of {} faults): {minimal:?}\n  replay: {repro}",
+                w.epochs,
+                minimal.len(),
+                schedule.len(),
+            );
+            Verdict::Fail { reason, minimal, repro }
+        }
+    };
+    DstReport {
+        seed,
+        preset,
+        workload: w,
+        schedule,
+        verdict,
+        faults_injected,
+        oracle_checks,
+        concurrent_jobs: 1,
     }
 }
 
@@ -1410,5 +1911,135 @@ mod tests {
         assert_eq!(a.workload, b.workload);
         assert_eq!(a.schedule, b.schedule);
         assert_eq!(a.verdict, b.verdict);
+    }
+
+    /// First seed (deterministically) sampling an epoch-mode workload.
+    fn epoch_seed() -> u64 {
+        (0u64..256)
+            .find(|&s| DstWorkload::sample(s).epochs > 1)
+            .expect("some seed under 256 samples an epoch-mode workload")
+    }
+
+    #[test]
+    fn every_preset_sets_epoch_rates_and_calm_pins_zero() {
+        for p in [DstPreset::Calm, DstPreset::Moderate, DstPreset::Chaos] {
+            let c = p.config();
+            for r in [c.epoch_crash_p, c.epoch_leave_p, c.epoch_drop_p] {
+                assert!((0.0..=1.0).contains(&r), "{p}: epoch rate {r} out of range");
+            }
+        }
+        let calm = FaultConfig::calm();
+        assert_eq!(
+            (calm.epoch_crash_p, calm.epoch_leave_p, calm.epoch_drop_p),
+            (0.0, 0.0, 0.0),
+            "calm epoch-boundary rates are explicit zeros"
+        );
+        assert!(FaultConfig::moderate().epoch_crash_p > 0.0);
+        assert!(FaultConfig::chaos().epoch_drop_p > 0.0);
+    }
+
+    #[test]
+    fn calm_epoch_schedules_are_benign_by_construction() {
+        let nodes: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let cfg = FaultConfig::calm();
+        for seed in 0..200u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let schedule = sample_epoch_schedule(&mut rng, &cfg, &nodes, 4, 10);
+            let allowed = allowed_errors(&schedule);
+            assert!(
+                !allowed.task_failed && !allowed.data_loss,
+                "calm epoch seed {seed} sampled a non-benign schedule: {schedule:?}"
+            );
+            assert!(
+                !schedule.iter().any(|f| matches!(
+                    f,
+                    DstFault::CrashAtEpoch { .. }
+                        | DstFault::LeaveAtEpoch { .. }
+                        | DstFault::DropAtEpoch { .. }
+                )),
+                "calm sampled a barrier fault despite its zero rates: {schedule:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_epoch_schedules_reach_every_barrier_fault_point() {
+        let nodes: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let cfg = FaultConfig::chaos();
+        let (mut crash, mut leave, mut drop) = (false, false, false);
+        for seed in 0..64u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for f in sample_epoch_schedule(&mut rng, &cfg, &nodes, 4, 10) {
+                match f {
+                    DstFault::CrashAtEpoch { .. } => crash = true,
+                    DstFault::LeaveAtEpoch { .. } => leave = true,
+                    DstFault::DropAtEpoch { .. } => drop = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(crash && leave && drop, "chaos sampler missed a barrier fault point");
+    }
+
+    #[test]
+    fn epoch_deltas_are_line_aligned_and_lossless() {
+        let seed = epoch_seed();
+        let w = DstWorkload::sample(seed);
+        let deltas = w.epoch_deltas();
+        assert_eq!(deltas.len(), w.epochs as usize);
+        for d in &deltas {
+            assert!(!d.is_empty());
+            assert_eq!(d.len() % ALIGNED_LINE, 0, "delta not line-aligned");
+        }
+        assert_eq!(deltas.concat(), w.aligned_input());
+        assert_eq!(w.block_size as usize % ALIGNED_LINE, 0);
+    }
+
+    #[test]
+    fn calm_epoch_seed_matches_one_shot_batch() {
+        let seed = epoch_seed();
+        let r = run_seed(seed, DstPreset::Calm);
+        assert!(r.workload.epochs > 1);
+        assert_eq!(
+            r.verdict,
+            Verdict::Match,
+            "calm epoch seed {seed} must publish byte-identical snapshots"
+        );
+        assert!(r.oracle_checks > r.workload.epochs as u64, "per-wave checks ran");
+    }
+
+    #[test]
+    fn epoch_seed_same_outcome_under_chaos() {
+        let seed = epoch_seed();
+        let a = run_seed(seed, DstPreset::Chaos);
+        let b = run_seed(seed, DstPreset::Chaos);
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.verdict, b.verdict);
+    }
+
+    #[test]
+    fn allowed_errors_classifies_epoch_schedules() {
+        let n = NodeId(1);
+        // One barrier crash alone: recovery must converge, no excuses.
+        let one = vec![DstFault::CrashAtEpoch { node: n, epoch: 2 }];
+        assert_eq!(allowed_errors(&one), Allowed { task_failed: false, data_loss: false });
+        // A barrier drop burst at the retry budget exhausts like any
+        // other kind burst.
+        let burst = vec![DstFault::DropAtEpoch {
+            kind: RpcKind::ShuffleBatch,
+            epoch: 1,
+            n: NET_BUDGET,
+        }];
+        assert_eq!(allowed_errors(&burst), Allowed { task_failed: true, data_loss: true });
+        // Crash + any drop can starve recovery of a replica.
+        let combo = vec![
+            DstFault::CrashAtEpoch { node: n, epoch: 1 },
+            DstFault::DropAtEpoch { kind: RpcKind::ReplicaSync, epoch: 1, n: 1 },
+        ];
+        assert!(allowed_errors(&combo).data_loss);
+        // A barrier leave alone excuses nothing.
+        let leave = vec![DstFault::LeaveAtEpoch { node: n, epoch: 3 }];
+        assert_eq!(allowed_errors(&leave), Allowed { task_failed: false, data_loss: false });
     }
 }

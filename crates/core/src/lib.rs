@@ -6,6 +6,7 @@
 //! map/reduce functions over real data with the same placement logic.
 
 pub mod dst;
+pub mod epoch;
 pub mod job;
 pub mod live;
 pub mod resource_manager;
@@ -18,6 +19,7 @@ pub use dst::{
     ChaosObserver, DstFault, DstPreset, DstReport, DstSweep, DstWorkload, FaultConfig, NetOp,
     Point, Verdict,
 };
+pub use epoch::{EpochDriver, EpochReport, EpochSnapshot, StreamSpec};
 pub use job::{JobError, JobId, JobReport, JobSpec, ReadSource, ReusePolicy};
 pub use live::{
     DstEvent, DstObserver, FaultPlan, LiveCluster, LiveConfig, LiveStats, MapReduce,
@@ -27,7 +29,9 @@ pub use live::{
 /// chaos API and stats types without a direct dependency).
 pub use eclipse_net as net;
 pub use resource_manager::{ResourceManager, RmError, TickOutcome};
-pub use server::{AdmissionPolicy, JobHandle, JobServer, JobServerConfig, PoolJobSpec};
+pub use server::{
+    AdmissionPolicy, JobHandle, JobServer, JobServerConfig, PoolJobSpec, StreamHandle,
+};
 pub use shuffle::{Spill, SpillBuffer};
 pub use timeline::{TaskEvent, TaskKind, Timeline};
 pub use sim_exec::{EclipseConfig, EclipseSim, SchedulerKind};

@@ -271,6 +271,11 @@ impl LiveConfig {
         self
     }
 
+    pub fn with_cache_per_node(mut self, bytes: u64) -> LiveConfig {
+        self.cache_per_node = bytes;
+        self
+    }
+
     pub fn with_replicas(mut self, replicas: usize) -> LiveConfig {
         self.replicas = replicas;
         self
@@ -526,6 +531,12 @@ pub enum DstEvent {
     /// The run finished (success or error); transport fault state
     /// installed by the observer should be torn down.
     JobEnd,
+    /// A standing job's epoch wave passed its barrier (every delta map
+    /// committed and drained) but has **not yet published**: the window
+    /// where a crash, leave or partition hits the materialized-state
+    /// fold itself. Fired by the epoch driver between barrier and
+    /// publish so DST can aim faults at exactly that edge.
+    EpochBarrier { epoch: u32 },
 }
 
 /// Observer hook for deterministic simulation testing: the DST harness
@@ -567,6 +578,10 @@ type AttemptOutcome = (Attempt, Vec<(SendTicket, usize)>, Vec<SendTicket>);
 /// Per-reducer output partitions paired with the run's [`LiveStats`]:
 /// what every partitioned `run_job*` entry point yields.
 pub type PartitionedOutput = (Vec<Vec<(String, String)>>, LiveStats);
+
+/// A drained job's grouped (pre-reduce) state: per reduce partition,
+/// each key's full value multiset, plus the wave's statistics.
+pub(crate) type GroupedOutput = (Vec<HashMap<String, Vec<String>>>, LiveStats);
 
 /// A shipped attempt whose windowed batches are still in flight: the
 /// worker holds it across the *next* attempt's map work (acks overlap
@@ -645,6 +660,12 @@ struct JobRoute {
     /// Home node per reduce partition. Re-homed when the home becomes
     /// unreachable.
     homes: Vec<NodeId>,
+    /// Execution epoch this route ingests (0 for batch jobs). A
+    /// standing job re-installs its route each epoch; batches tagged
+    /// with any other epoch are acknowledged and dropped — their wave
+    /// is over (commit happens-after acknowledged delivery, so a stale
+    /// epoch's batch is either already folded or its wave aborted).
+    epoch: u32,
 }
 
 /// The receiving half of the shuffle and control planes, shared by every
@@ -700,8 +721,24 @@ impl ShuffleRouter {
     }
 
     fn begin_job(&self, jid: u32, sinks: Vec<Sender<TaskBatch>>, homes: Vec<NodeId>) {
+        self.begin_epoch(jid, sinks, homes, 0);
+    }
+
+    /// Install (or re-install) `jid`'s route for one execution epoch of
+    /// a standing job. Pruning the jid's dedup state here is what lets
+    /// per-epoch task ids restart at 0: epoch N+1's `(gtid, attempt)`
+    /// trackers never collide with epoch N's, because N's were dropped
+    /// at this barrier and N's late batches are epoch-gated before they
+    /// can recreate one.
+    fn begin_epoch(
+        &self,
+        jid: u32,
+        sinks: Vec<Sender<TaskBatch>>,
+        homes: Vec<NodeId>,
+        epoch: u32,
+    ) {
         self.prune_job(jid);
-        self.jobs.write().insert(jid, JobRoute { sinks, homes });
+        self.jobs.write().insert(jid, JobRoute { sinks, homes, epoch });
     }
 
     fn end_job(&self, jid: u32) {
@@ -744,9 +781,19 @@ impl ShuffleRouter {
         task: u32,
         attempt: u32,
         seq: u32,
+        epoch: u32,
         partition: u32,
         records: Vec<(String, String)>,
     ) -> bool {
+        let jobs = self.jobs.read();
+        let Some(route) = jobs.get(&(task >> JOB_SHIFT)) else { return false };
+        // The epoch gate comes BEFORE dedup admission: a stale-epoch
+        // retransmission must not seed a fresh `seen` tracker that
+        // would then falsely dedup the current epoch's identically
+        // numbered batches (per-epoch task ids restart at 0).
+        if route.epoch != epoch {
+            return true; // ack-drop: that wave already committed or aborted
+        }
         if let Some(&winner) = self.settled.lock().get(&task) {
             if winner != attempt {
                 // A losing attempt of a settled task: acknowledge and
@@ -758,8 +805,6 @@ impl ShuffleRouter {
         if !self.seen.lock().entry((task, attempt)).or_default().admit(seq) {
             return true; // duplicate of a batch that already landed
         }
-        let jobs = self.jobs.read();
-        let Some(route) = jobs.get(&(task >> JOB_SHIFT)) else { return false };
         let Some(tx) = route.sinks.get(partition as usize) else { return false };
         tx.send(TaskBatch { task, attempt, records }).is_ok()
     }
@@ -866,12 +911,18 @@ fn bind_endpoint(
             Rpc::CacheGet { key } => {
                 RpcReply::CacheValue(cache.with_node(node, |c| c.get_payload(&key, 0.0)))
             }
-            Rpc::CachePut { key, data, ttl, tenant } => {
-                cache.with_node(node, |c| c.put_payload_tenant(key, data, 0.0, ttl, tenant));
+            Rpc::CachePut { key, data, ttl, tenant, pin } => {
+                cache.with_node(node, |c| {
+                    if pin {
+                        c.put_payload_pinned(key, data, 0.0, ttl, tenant)
+                    } else {
+                        c.put_payload_tenant(key, data, 0.0, ttl, tenant)
+                    }
+                });
                 RpcReply::Ack
             }
-            Rpc::ShuffleBatch { task, attempt, seq, partition, records } => {
-                if router.deliver(task, attempt, seq, partition, records) {
+            Rpc::ShuffleBatch { task, attempt, seq, epoch, partition, records } => {
+                if router.deliver(task, attempt, seq, epoch, partition, records) {
                     RpcReply::Ack
                 } else {
                     RpcReply::Error("no job accepting shuffle output".into())
@@ -1377,6 +1428,24 @@ impl LiveCluster {
         self.mem_net.as_ref()
     }
 
+    /// True while any node's send window is saturated: every slot
+    /// toward some destination is occupied by an unacknowledged frame.
+    /// The job server consults this at admission so a stalled shuffle
+    /// plane pushes back on `submit` instead of queueing more work
+    /// behind a wall of timed-out sends.
+    pub fn shuffle_backpressure(&self) -> bool {
+        self.ring.read().node_ids().iter().any(|&n| self.net.window_saturated(n))
+    }
+
+    /// Notify the registered DST observer directly (cluster-scope
+    /// events that do not belong to one run's ledger, e.g. epoch
+    /// barriers of a standing stream).
+    pub(crate) fn observe(&self, ev: DstEvent) {
+        if let Some(o) = &*self.observer.read() {
+            o.on_event(ev);
+        }
+    }
+
     /// Schedule faults for the next `run_job*` call. Multiple calls
     /// accumulate; the next job drains the whole schedule.
     pub fn inject_faults(&self, plan: FaultPlan) {
@@ -1393,20 +1462,36 @@ impl LiveCluster {
     /// Upload real data: partition into blocks, push every replica's
     /// payload to its holder as a `PutBlock` RPC from the driver.
     pub fn upload(&self, name: &str, owner: &str, data: &[u8]) {
+        if let Err(e) = self.try_upload(name, owner, data) {
+            panic!("upload {name:?} failed: {e}");
+        }
+    }
+
+    /// Fallible twin of [`upload`](Self::upload): maps a metadata
+    /// rejection through [`JobError::Open`] and a replica placement
+    /// that cannot reach any holder to [`JobError::DataLoss`]. The
+    /// epoch driver ingests every delta through this path — a fault
+    /// burst during ingestion must surface as a typed error on that
+    /// epoch, not tear the stream down.
+    pub fn try_upload(&self, name: &str, owner: &str, data: &[u8]) -> Result<(), JobError> {
         let mut fs = self.fs.write();
-        let meta = fs.upload(name, owner, data.len() as u64).expect("upload").clone();
+        let meta = fs.upload(name, owner, data.len() as u64).map_err(JobError::from)?.clone();
         for b in &meta.blocks {
             let lo = (b.id.index * meta.block_size) as usize;
             let hi = (lo + b.size as usize).min(data.len());
             let payload = Bytes::copy_from_slice(&data[lo..hi]);
+            let mut placed = 0usize;
             for &holder in fs.block_holders(b.id).expect("just uploaded") {
                 let put = Rpc::PutBlock { block: b.id, data: payload.clone() };
-                match self.net.call(CLIENT, holder, put) {
-                    Ok(RpcReply::Ack) => {}
-                    r => panic!("upload replica to node {} failed: {r:?}", holder.0),
+                if matches!(self.net.call(CLIENT, holder, put), Ok(RpcReply::Ack)) {
+                    placed += 1;
                 }
             }
+            if placed == 0 {
+                return Err(JobError::DataLoss(b.id));
+            }
         }
+        Ok(())
     }
 
     /// Fetch a block payload as `reader`: local shard first, then fall
@@ -1467,7 +1552,9 @@ impl LiveCluster {
             self.cache.with_node(owner, |c| c.put_payload_tenant(key, data, 0.0, None, tenant));
             return None;
         }
-        self.net.send(me, owner, Rpc::CachePut { key, data, ttl: None, tenant }).ok()
+        self.net
+            .send(me, owner, Rpc::CachePut { key, data, ttl: None, tenant, pin: false })
+            .ok()
     }
 
     /// Run a MapReduce job over `input`, returning the reduced output as
@@ -2227,6 +2314,7 @@ impl LiveCluster {
                                             task: gtid(tid),
                                             attempt,
                                             seq: s,
+                                            epoch: 0,
                                             partition: spill.partition as u32,
                                             records,
                                         },
@@ -2261,6 +2349,7 @@ impl LiveCluster {
                                         gtid(tid),
                                         attempt,
                                         s,
+                                        0,
                                         spill.partition as u32,
                                         records,
                                     ) {
@@ -3019,8 +3108,37 @@ impl LiveCluster {
     pub fn ocache_put(&self, app: &str, tag: &str, data: Bytes, ttl: Option<f64>) {
         let otag = OutputTag::new(app, tag);
         let home = self.cache.home_of(otag.hash_key());
-        let put = Rpc::CachePut { key: CacheKey::Output(otag), data, ttl, tenant: 0 };
+        let put = Rpc::CachePut { key: CacheKey::Output(otag), data, ttl, tenant: 0, pin: false };
         let _ = self.net.call(CLIENT, home, put);
+    }
+
+    /// [`ocache_put`](Self::ocache_put) for **pinned, tenant-tagged**
+    /// state — the epoch driver's materialized results. Pinned entries
+    /// are never LRU-evicted (but stay quota-accounted and explicitly
+    /// replaceable); returns false when the home rejected the insert
+    /// (quota exhausted by other pins) or was unreachable, so the
+    /// caller can fall back to its driver-side copy.
+    pub fn ocache_put_pinned(
+        &self,
+        app: &str,
+        tag: &str,
+        data: Bytes,
+        ttl: Option<f64>,
+        tenant: u16,
+    ) -> bool {
+        let otag = OutputTag::new(app, tag);
+        let home = self.cache.home_of(otag.hash_key());
+        let put = Rpc::CachePut { key: CacheKey::Output(otag), data, ttl, tenant, pin: true };
+        matches!(self.net.call(CLIENT, home, put), Ok(RpcReply::Ack))
+    }
+
+    /// Release a pinned oCache entry back to normal LRU lifetime
+    /// (stream close). Local operation against the tag's current home
+    /// shard; a re-homed entry simply ages out wherever it is.
+    pub fn ocache_unpin(&self, app: &str, tag: &str) {
+        let otag = OutputTag::new(app, tag);
+        let home = self.cache.home_of(otag.hash_key());
+        self.cache.with_node(home, |c| c.unpin(&CacheKey::Output(otag)));
     }
 
     /// Fetch a tagged object from oCache (a `CacheGet` RPC to the tag's
@@ -3347,6 +3465,44 @@ impl LiveCluster {
         reducers: usize,
         reuse: ReusePolicy,
     ) -> Result<Arc<PoolJob>, JobError> {
+        self.begin_wave(app, inputs, user, reducers, reuse, None)
+    }
+
+    /// Lease one **epoch wave** of a standing job to the pool: map only
+    /// the epoch's delta blocks, tagged so the shuffle plane can
+    /// ack-drop any straggler from a previous wave. The standing `jid`
+    /// is reused across epochs (a stream must not burn a job slot per
+    /// epoch); per-epoch task ids restart at 0, disambiguated by the
+    /// epoch tag plus the per-epoch dedup prune in
+    /// [`ShuffleRouter::begin_epoch`].
+    pub(crate) fn begin_epoch_wave(
+        &self,
+        app: Arc<dyn MapReduce>,
+        input: &str,
+        user: &str,
+        reducers: usize,
+        jid: u32,
+        epoch: u32,
+    ) -> Result<Arc<PoolJob>, JobError> {
+        self.begin_wave(app, &[input], user, reducers, ReusePolicy::default(), Some((jid, epoch)))
+    }
+
+    /// Claim a standing job slot for an epoch stream. The slot is
+    /// reserved through the same modulo window batch jobs draw from,
+    /// so a stream and a batch job never collide on a jid.
+    pub(crate) fn reserve_jid(&self) -> u32 {
+        self.next_jid.fetch_add(1, Ordering::Relaxed) % MAX_JOB_SLOTS
+    }
+
+    fn begin_wave(
+        &self,
+        app: Arc<dyn MapReduce>,
+        inputs: &[&str],
+        user: &str,
+        reducers: usize,
+        reuse: ReusePolicy,
+        standing: Option<(u32, u32)>,
+    ) -> Result<Arc<PoolJob>, JobError> {
         assert!(reducers > 0);
         assert!(!inputs.is_empty());
         let metas: Vec<_> = {
@@ -3389,7 +3545,10 @@ impl LiveCluster {
             }
         }
         assert!(tasks.len() <= TID_MASK as usize, "too many map tasks for one job");
-        let jid = self.next_jid.fetch_add(1, Ordering::Relaxed) % MAX_JOB_SLOTS;
+        let (jid, epoch) = match standing {
+            Some((jid, epoch)) => (jid, epoch),
+            None => (self.next_jid.fetch_add(1, Ordering::Relaxed) % MAX_JOB_SLOTS, 0),
+        };
         let tenant = self.tenant_of(user);
         let rt = Arc::new(RunRt::new(
             jid,
@@ -3408,9 +3567,10 @@ impl LiveCluster {
             senders.push(tx);
             receivers.push(rx);
         }
-        self.router.begin_job(jid, senders, homes);
+        self.router.begin_epoch(jid, senders, homes, epoch);
         Ok(Arc::new(PoolJob {
             jid,
+            epoch,
             rt,
             app,
             tasks,
@@ -3545,7 +3705,7 @@ impl LiveCluster {
                     self.router.set_home(job.jid, p, me);
                 }
                 let n = records.len() as u64;
-                if !self.router.deliver(gtid, attempt, seq, p as u32, records) {
+                if !self.router.deliver(gtid, attempt, seq, job.epoch, p as u32, records) {
                     return Ok(true); // job teardown
                 }
                 rt.local_shuffle_records.fetch_add(n, Ordering::Relaxed);
@@ -3554,6 +3714,7 @@ impl LiveCluster {
                     task: gtid,
                     attempt,
                     seq,
+                    epoch: job.epoch,
                     partition: p as u32,
                     records,
                 };
@@ -3588,12 +3749,18 @@ impl LiveCluster {
         Ok(true)
     }
 
-    /// Tear a pool job down and fold its output: deregister the run,
-    /// drain the reduce partitions (filtering each batch against the
-    /// commit board's winner), group, sort and reduce. Call only after
+    /// Tear a pool job down and drain its reduce partitions without
+    /// reducing: deregister the run, then collect each partition's
+    /// grouped multiset (filtering every batch against the commit
+    /// board's winner). Epoch drivers fold this grouped state into
+    /// their materialized result; batch jobs hand it straight to
+    /// [`LiveCluster::finish_pool_job`]. Call only after
     /// [`PoolJob::done`] reports true.
-    pub(crate) fn finish_pool_job(&self, job: &PoolJob) -> Result<PartitionedOutput, JobError> {
-        debug_assert!(job.done(), "finish_pool_job before the job settled");
+    pub(crate) fn drain_pool_job(
+        &self,
+        job: &PoolJob,
+    ) -> Result<GroupedOutput, JobError> {
+        debug_assert!(job.done(), "drain_pool_job before the job settled");
         // Remove the route first: late racing attempts deliver into the
         // void from here on, so the drain below sees a frozen stream.
         self.router.end_job(job.rt.jid);
@@ -3608,9 +3775,8 @@ impl LiveCluster {
                 .unwrap_or(JobError::TaskFailed { task: 0, attempts: 0 });
             return Err(e);
         }
-        let app = &*job.app;
         let receivers = std::mem::take(&mut *job.receivers.lock());
-        let mut parts_out: Vec<Vec<(String, String)>> = Vec::with_capacity(job.reducers);
+        let mut parts: Vec<HashMap<String, Vec<String>>> = Vec::with_capacity(job.reducers);
         for rx in receivers {
             let mut grouped: HashMap<String, Vec<String>> = HashMap::new();
             while let Ok(batch) = rx.try_recv() {
@@ -3621,6 +3787,20 @@ impl LiveCluster {
                     }
                 }
             }
+            parts.push(grouped);
+        }
+        let stats = self.pool_job_stats(job);
+        Ok((parts, stats))
+    }
+
+    /// Tear a pool job down and fold its output: drain the reduce
+    /// partitions via [`LiveCluster::drain_pool_job`], then group,
+    /// sort and reduce. Call only after [`PoolJob::done`] reports true.
+    pub(crate) fn finish_pool_job(&self, job: &PoolJob) -> Result<PartitionedOutput, JobError> {
+        let (parts, stats) = self.drain_pool_job(job)?;
+        let app = &*job.app;
+        let mut parts_out: Vec<Vec<(String, String)>> = Vec::with_capacity(parts.len());
+        for grouped in parts {
             let mut entries: Vec<(String, Vec<String>)> = grouped.into_iter().collect();
             entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
             let mut out = Vec::new();
@@ -3629,6 +3809,12 @@ impl LiveCluster {
             }
             parts_out.push(out);
         }
+        Ok((parts_out, stats))
+    }
+
+    /// Assemble the end-of-run statistics for a pool job.
+    fn pool_job_stats(&self, job: &PoolJob) -> LiveStats {
+        let rt = &*job.rt;
         let mut stats = job.stats0.clone();
         stats.cache_hits = job.hits.load(Ordering::Relaxed);
         stats.cache_misses = job.misses.load(Ordering::Relaxed);
@@ -3650,7 +3836,7 @@ impl LiveCluster {
         stats.rpcs = net.rpcs;
         stats.rpc_retries = net.rpc_retries;
         stats.timeouts = net.timeouts;
-        Ok((parts_out, stats))
+        stats
     }
 }
 
@@ -3659,6 +3845,10 @@ impl LiveCluster {
 /// driver and the pool workers executing its tasks.
 pub(crate) struct PoolJob {
     jid: u32,
+    /// Shuffle epoch this wave ships under (0 for one-shot batch jobs).
+    /// Standing jobs reuse one jid across waves; the tag lets the
+    /// router ack-drop late batches from an already-committed epoch.
+    epoch: u32,
     rt: Arc<RunRt>,
     app: Arc<dyn MapReduce>,
     tasks: Vec<MapTask>,
@@ -4020,8 +4210,8 @@ mod tests {
         router.begin_job(0, vec![tx], vec![NodeId(0)]);
         let rec = |s: &str| vec![(s.to_string(), "1".to_string())];
         // Two racing attempts of task 7 deliver batches.
-        assert!(router.deliver(7, 0, 0, 0, rec("a")));
-        assert!(router.deliver(7, 1, 0, 0, rec("b")));
+        assert!(router.deliver(7, 0, 0, 0, 0, rec("a")));
+        assert!(router.deliver(7, 1, 0, 0, 0, rec("b")));
         assert_eq!(router.seen.lock().len(), 2);
         // Attempt 1 wins: the loser's tracker is pruned immediately...
         router.settle_task(7, 1);
@@ -4029,10 +4219,10 @@ mod tests {
         assert!(router.seen.lock().contains_key(&(7, 1)));
         // ...and a late batch from the loser is ack-dropped without
         // growing the tracker map back.
-        assert!(router.deliver(7, 0, 1, 0, rec("c")));
+        assert!(router.deliver(7, 0, 1, 0, 0, rec("c")));
         assert_eq!(router.seen.lock().len(), 1);
         // The winner's own retransmits still dedup normally.
-        assert!(router.deliver(7, 1, 0, 0, rec("b")));
+        assert!(router.deliver(7, 1, 0, 0, 0, rec("b")));
         router.end_job(0);
     }
 
@@ -4144,5 +4334,91 @@ mod tests {
         c.ocache_put("app", "temp", Bytes::from_static(b"d"), Some(-1.0));
         // TTL in the past: the entry is dead on arrival.
         assert!(c.ocache_get("app", "temp").is_none());
+    }
+
+    mod epoch_dedup_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            /// Epoch-tagged shuffle dedup never double-folds a delta:
+            /// for every epoch, an arbitrary interleaving of the
+            /// epoch's batches, their retransmits, and straggler
+            /// batches from earlier (already-committed) epochs must
+            /// leave the reducer sink holding exactly one copy of each
+            /// current-epoch batch and nothing stale — per-epoch task
+            /// ids restart at 0, so a stale batch admitted into the
+            /// dedup tracker would silently eat a current one.
+            #[test]
+            fn epoch_tagged_dedup_never_double_folds_under_retransmit(
+                epochs in 1u32..=3,
+                tasks in 1u32..=3,
+                seqs in 1u32..=3,
+                dup_sel in proptest::collection::vec((0u32..3, 0u32..3), 0..24),
+                stale_sel in proptest::collection::vec((1u32..=2, 0u32..3, 0u32..3), 0..16),
+                shuffle_seed in any::<u64>(),
+            ) {
+                let router = ShuffleRouter::new();
+                for e in 1..=epochs {
+                    let (tx, rx) = unbounded();
+                    router.begin_epoch(0, vec![tx], vec![NodeId(0)], e);
+                    // (epoch, tid, seq): every current pair once, plus
+                    // retransmits, plus stale-epoch stragglers.
+                    let mut sends: Vec<(u32, u32, u32)> = Vec::new();
+                    for tid in 0..tasks {
+                        for s in 0..seqs {
+                            sends.push((e, tid, s));
+                        }
+                    }
+                    for &(tid, s) in &dup_sel {
+                        sends.push((e, tid % tasks, s % seqs));
+                    }
+                    for &(back, tid, s) in &stale_sel {
+                        if e > back {
+                            sends.push((e - back, tid % tasks, s % seqs));
+                        }
+                    }
+                    // Fisher–Yates off a proptest-chosen LCG stream.
+                    let mut st = shuffle_seed | 1;
+                    for i in (1..sends.len()).rev() {
+                        st = st
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let j = (st >> 33) as usize % (i + 1);
+                        sends.swap(i, j);
+                    }
+                    for (se, tid, s) in sends {
+                        // The record carries its *origin* epoch, so a
+                        // stale batch that leaked through would be
+                        // visible in the drained values.
+                        let rec = vec![(format!("k{tid}-{s}"), se.to_string())];
+                        // Everything acks: dup and stale are dropped,
+                        // never bounced back for retry.
+                        prop_assert!(router.deliver(tid, 0, s, se, 0, rec));
+                    }
+                    let mut got: Vec<(String, String)> = Vec::new();
+                    while let Ok(b) = rx.try_recv() {
+                        got.extend(b.records);
+                    }
+                    prop_assert_eq!(
+                        got.len() as u32,
+                        tasks * seqs,
+                        "epoch {} double-folded or lost a batch",
+                        e
+                    );
+                    prop_assert!(
+                        got.iter().all(|(_, v)| *v == e.to_string()),
+                        "a stale-epoch record leaked into epoch {}",
+                        e
+                    );
+                    let mut keys: Vec<&String> = got.iter().map(|(k, _)| k).collect();
+                    keys.sort();
+                    keys.dedup();
+                    prop_assert_eq!(keys.len() as u32, tasks * seqs);
+                }
+                router.end_job(0);
+            }
+        }
     }
 }

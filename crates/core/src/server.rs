@@ -18,6 +18,7 @@
 //! another (the same decision shape as the simulator's fair scheduler,
 //! applied to jobs instead of blocks).
 
+use crate::epoch::{EpochDriver, EpochReport, EpochSnapshot, StreamSpec};
 use crate::job::{JobError, ReusePolicy};
 use crate::live::{LiveCluster, LiveStats, MapReduce, PoolJob};
 use eclipse_ring::NodeId;
@@ -229,13 +230,26 @@ impl JobServer {
     }
 
     /// Queue a job, blocking while the admission queue is full — the
-    /// caller *is* the backpressure. Returns a handle to await.
+    /// caller *is* the backpressure. A saturated shuffle send window
+    /// anywhere in the cluster blocks admission too: once some
+    /// destination has a full wall of unacknowledged sends, queueing
+    /// more jobs only deepens the pile-up, so the stall is surfaced
+    /// here, at `submit`, instead of inside the workers. Returns a
+    /// handle to await.
     pub fn submit(&self, spec: PoolJobSpec) -> JobHandle {
         let mut q = self.shared.admit.lock().expect("admit lock");
-        while q.pending.len() >= self.shared.cfg.queue_depth
-            && !self.shared.shutdown.load(Ordering::Acquire)
+        while !self.shared.shutdown.load(Ordering::Acquire)
+            && (q.pending.len() >= self.shared.cfg.queue_depth
+                || self.shared.cluster.shuffle_backpressure())
         {
-            q = self.shared.admit_cv.wait(q).expect("admit lock");
+            // Timed wait: queue space is notified, but a send window
+            // draining (ack arrives, link heals) is not — re-check.
+            let (nq, _) = self
+                .shared
+                .admit_cv
+                .wait_timeout(q, Duration::from_millis(1))
+                .expect("admit lock");
+            q = nq;
         }
         self.enqueue(&mut q, spec)
     }
@@ -265,6 +279,18 @@ impl JobServer {
         self.shared.admit.lock().expect("admit lock").pending.len()
     }
 
+    /// Open a continuous job: a standing stream whose epochs execute on
+    /// this server's shared worker pool, coexisting with batch jobs at
+    /// the work-queue level. The returned handle commits deltas and
+    /// reads published snapshots; see [`EpochDriver`] for the
+    /// consistency contract.
+    pub fn open_stream(&self, spec: StreamSpec) -> StreamHandle {
+        StreamHandle {
+            driver: Arc::new(EpochDriver::new(Arc::clone(&self.shared.cluster), spec)),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// Stop the server: in-flight jobs complete, still-queued jobs are
     /// fulfilled with [`JobError::Cancelled`], and every thread is
     /// joined. Idempotent.
@@ -287,6 +313,52 @@ impl JobServer {
 impl Drop for JobServer {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// A continuous job opened on a [`JobServer`]: the server-pool face of
+/// one [`EpochDriver`]. Epoch waves are enqueued on the same per-node
+/// work queues as batch jobs — the pool workers drain both — while the
+/// committing caller self-drains work-conservingly, exactly like a
+/// batch driver thread. Dropping the handle closes the stream.
+pub struct StreamHandle {
+    driver: Arc<EpochDriver>,
+    shared: Arc<Shared>,
+}
+
+impl StreamHandle {
+    /// Ingest one delta and commit it as the stream's next epoch on
+    /// the server's worker pool. Serialized per stream; concurrent
+    /// batch jobs keep flowing while this blocks.
+    pub fn commit_epoch(&self, delta: &[u8]) -> Result<EpochReport, JobError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(JobError::Cancelled);
+        }
+        let s = &*self.shared;
+        self.driver.commit_epoch_via(delta, &|job| run_pool_job(s, job))
+    }
+
+    /// The newest published epoch (0 before the first commit).
+    pub fn published(&self) -> u32 {
+        self.driver.published()
+    }
+
+    /// Read a published epoch's materialized result; see
+    /// [`EpochDriver::snapshot`].
+    pub fn snapshot(&self, epoch: u32) -> Option<EpochSnapshot> {
+        self.driver.snapshot(epoch)
+    }
+
+    /// Close the stream: refuse further commits and release the
+    /// materialized cache pins.
+    pub fn close(&self) {
+        self.driver.close();
+    }
+}
+
+impl Drop for StreamHandle {
+    fn drop(&mut self) {
+        self.driver.close();
     }
 }
 
@@ -322,56 +394,59 @@ fn driver_loop(s: &Shared) {
                 continue;
             }
         };
-        {
-            let mut work = s.work.lock().expect("work lock");
-            let n = work.len();
-            for tid in 0..job.task_count() {
-                let qi = job.task_node(tid).index() % n;
-                work[qi].push_back((Arc::clone(&job), tid));
-            }
-        }
-        s.work_cv.notify_all();
-        // Work-conserving wait: drain this job's still-queued tasks on
-        // the driver itself (each executed at its assigned node, so
-        // locality is exact), racing the pool workers for them. This
-        // also guarantees an admitted job completes even if every
-        // worker has already exited on shutdown.
-        loop {
-            let unit = {
-                let mut work = s.work.lock().expect("work lock");
-                let n = work.len();
-                let mut found = None;
-                for q in work.iter_mut().take(n) {
-                    if let Some(pos) = q.iter().position(|(j, _)| Arc::ptr_eq(j, &job)) {
-                        found = q.remove(pos);
-                        break;
-                    }
-                }
-                found
-            };
-            match unit {
-                Some((j, tid)) => s.cluster.pool_exec_task(&j, tid, j.task_node(tid)),
-                None => break,
-            }
-        }
-        // Only tasks currently inside a pool worker remain; sleep until
-        // its notify (timeout guards the check-then-wait race).
-        {
-            let mut g = s.done_lock.lock().expect("done lock");
-            while !job.done() {
-                let (ng, _) = s
-                    .done_cv
-                    .wait_timeout(g, Duration::from_millis(1))
-                    .expect("done lock");
-                g = ng;
-            }
-        }
+        run_pool_job(s, &job);
         let res = s.cluster.finish_pool_job(&job).map(|(parts, stats)| {
             let mut out: Vec<(String, String)> = parts.into_iter().flatten().collect();
             out.sort();
             (out, stats)
         });
         p.handle.fulfill(res);
+    }
+}
+
+/// Lease one placed job to the pool and wait out its barrier: enqueue
+/// its tasks on the per-node queues, drain the still-queued ones on
+/// the calling thread (work-conserving — each executed at its assigned
+/// node, so locality is exact; this also guarantees an admitted job
+/// completes even if every worker has already exited on shutdown),
+/// then sleep until the last in-flight attempt commits. Shared by the
+/// batch driver loop and the epoch streams — a standing job's waves
+/// ride the same queues as batch jobs.
+fn run_pool_job(s: &Shared, job: &Arc<PoolJob>) {
+    {
+        let mut work = s.work.lock().expect("work lock");
+        let n = work.len();
+        for tid in 0..job.task_count() {
+            let qi = job.task_node(tid).index() % n;
+            work[qi].push_back((Arc::clone(job), tid));
+        }
+    }
+    s.work_cv.notify_all();
+    loop {
+        let unit = {
+            let mut work = s.work.lock().expect("work lock");
+            let n = work.len();
+            let mut found = None;
+            for q in work.iter_mut().take(n) {
+                if let Some(pos) = q.iter().position(|(j, _)| Arc::ptr_eq(j, job)) {
+                    found = q.remove(pos);
+                    break;
+                }
+            }
+            found
+        };
+        match unit {
+            Some((j, tid)) => s.cluster.pool_exec_task(&j, tid, j.task_node(tid)),
+            None => break,
+        }
+    }
+    // Only tasks currently inside a pool worker remain; sleep until
+    // its notify (timeout guards the check-then-wait race).
+    let mut g = s.done_lock.lock().expect("done lock");
+    while !job.done() {
+        let (ng, _) =
+            s.done_cv.wait_timeout(g, Duration::from_millis(1)).expect("done lock");
+        g = ng;
     }
 }
 
@@ -526,6 +601,92 @@ mod tests {
         })
         .collect();
         assert_eq!(fifo, ["a", "a", "a", "a", "b"]);
+    }
+
+    #[test]
+    fn stream_epochs_coexist_with_batch_jobs() {
+        // 19-byte lines + a block size that is a multiple keep block
+        // boundaries word-aligned in both the per-epoch delta files
+        // and the concatenated oracle file.
+        let data = "apple banana apple\n".repeat(64);
+        let c = Arc::new(LiveCluster::new(LiveConfig::small().with_block_size(19 * 8)));
+        c.upload("batchin", "tester", data.as_bytes());
+        let (baseline, _) =
+            c.run_job(&WordCount, "batchin", "tester", 4, ReusePolicy::default());
+        let server = JobServer::new(
+            Arc::clone(&c),
+            JobServerConfig { concurrency: 2, ..JobServerConfig::default() },
+        );
+        let stream = server.open_stream(StreamSpec {
+            app: Arc::new(WordCount),
+            name: "s".to_string(),
+            user: "tester".to_string(),
+            reducers: 4,
+        });
+        let deltas =
+            ["apple banana apple\n".repeat(16), "cherry banana pear\n".repeat(24)];
+        let mut concat = String::new();
+        for (i, delta) in deltas.iter().enumerate() {
+            concat.push_str(delta);
+            // A batch job in flight while the epoch commits: both ride
+            // the same worker pool and both must stay correct.
+            let h = server.submit(spec("batchin", "tester", 1));
+            let rep = stream.commit_epoch(delta.as_bytes()).expect("epoch commits");
+            assert_eq!(rep.epoch as usize, i + 1);
+            let (out, _) = h.wait().expect("batch job");
+            assert_eq!(out, baseline, "batch output drifted beside a stream");
+        }
+        c.upload("oracle", "tester", concat.as_bytes());
+        let (oracle, _) =
+            c.run_job_partitioned(&WordCount, "oracle", "tester", 4, ReusePolicy::default());
+        let snap = stream.snapshot(2).expect("published epoch readable");
+        assert_eq!(*snap, oracle, "materialized result != one-shot batch");
+        stream.close();
+    }
+
+    #[test]
+    fn submit_blocks_while_shuffle_window_saturated() {
+        use eclipse_net::{Rpc, Transport};
+        let data = "q r s\n".repeat(64);
+        let c = cluster_with(&data, &["input"]);
+        let mem = Arc::clone(c.mem_net().expect("memory transport"));
+        let ids = c.ring().node_ids();
+        let (a, b) = (ids[0], ids[1]);
+        // Saturate a→b: a full ack window of sends whose frames the cut
+        // link ate, none yet redeemed.
+        mem.cut_one_way(a, b);
+        let batch = || Rpc::ShuffleBatch {
+            task: u32::MAX,
+            attempt: 0,
+            seq: 0,
+            epoch: 0,
+            partition: 0,
+            records: Vec::new(),
+        };
+        let tickets: Vec<_> = (0..eclipse_net::RetryPolicy::default().ack_window)
+            .map(|_| mem.send(a, b, batch()).expect("send queues under a cut"))
+            .collect();
+        assert!(c.shuffle_backpressure(), "window toward b is saturated");
+        let server = Arc::new(JobServer::new(Arc::clone(&c), JobServerConfig::default()));
+        let admitted = Arc::new(AtomicBool::new(false));
+        let t = {
+            let (server, admitted) = (Arc::clone(&server), Arc::clone(&admitted));
+            std::thread::spawn(move || {
+                let h = server.submit(spec("input", "tester", 1));
+                admitted.store(true, Ordering::Release);
+                h.wait()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(
+            !admitted.load(Ordering::Acquire),
+            "submit must block while the shuffle plane is saturated"
+        );
+        // Heal and redeem: the window drains, admission resumes, the
+        // job completes.
+        mem.heal_all();
+        let _ = mem.flush(&tickets);
+        t.join().expect("submitter thread").expect("job completes after release");
     }
 
     #[test]

@@ -228,6 +228,16 @@ impl SendWindow {
         }
     }
 
+    /// True when every window slot is occupied by a live in-flight
+    /// send — the saturation signal admission control couples to (a
+    /// destination that stops acking shows up here long before
+    /// submitters would otherwise notice).
+    pub fn saturated(&self) -> bool {
+        let slots = self.slots.lock().unwrap();
+        let now = Instant::now();
+        slots.values().filter(|s| s.done.is_none() && s.deadline > now).count() >= self.limit
+    }
+
     /// Acknowledge (or fail) `corr`. False when the slot is unknown —
     /// a duplicate ack after retransmission, or a call-lane corr.
     pub fn settle(&self, corr: u64, res: Result<(), NetError>) -> bool {

@@ -297,6 +297,15 @@ pub trait Transport: Send + Sync {
     /// eagerly need no override.
     fn nudge(&self) {}
 
+    /// True when `to`'s one-way ack window is fully occupied by live
+    /// unacknowledged sends — the backpressure signal admission
+    /// control couples to ([`RetryPolicy::ack_window`] slots, all in
+    /// flight). Transports without a windowed lane never saturate.
+    fn window_saturated(&self, to: NodeId) -> bool {
+        let _ = to;
+        false
+    }
+
     /// Cheap reachability probe (stabilization uses this): can `from`
     /// currently exchange a frame with `to`? Counts as one RPC.
     fn probe(&self, from: NodeId, to: NodeId) -> bool;

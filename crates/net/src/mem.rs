@@ -323,6 +323,15 @@ impl MemTransport {
 }
 
 impl Transport for MemTransport {
+    fn window_saturated(&self, to: NodeId) -> bool {
+        // Delivery is inline, so a slot only stays unsettled when the
+        // fault machinery ate its frame; ack_window of those toward one
+        // destination is exactly TCP's full-window condition.
+        let sends = self.sends.lock().unwrap();
+        sends.values().filter(|s| s.to == to && s.done.is_none()).count()
+            >= self.policy.ack_window
+    }
+
     fn bind(&self, node: NodeId, handler: RpcHandler) {
         let mut st = self.state.lock().unwrap();
         st.endpoints.insert(node.0, handler);
@@ -586,6 +595,7 @@ mod tests {
             task: 1,
             attempt: 0,
             seq,
+            epoch: 0,
             partition: 0,
             records: vec![("k".into(), "1".into())],
         }
@@ -670,6 +680,7 @@ mod tests {
                 data: b"xyz".as_ref().into(),
                 ttl: None,
                 tenant: 0,
+                pin: false,
             },
             RpcKind::ShuffleBatch => batch(0),
             RpcKind::Heartbeat => {

@@ -55,14 +55,18 @@ pub enum Rpc {
     /// iCache/oCache lookup on the receiver's shard.
     CacheGet { key: CacheKey },
     /// iCache/oCache insert on the receiver's shard, attributed to
-    /// `tenant` for per-tenant quota accounting (0 = untagged).
-    CachePut { key: CacheKey, data: Bytes, ttl: Option<f64>, tenant: u16 },
+    /// `tenant` for per-tenant quota accounting (0 = untagged). `pin`
+    /// marks materialized epoch state the LRU must never evict.
+    CachePut { key: CacheKey, data: Bytes, ttl: Option<f64>, tenant: u16, pin: bool },
     /// One shuffle batch: the complete output of `(task, attempt)` for
     /// `partition`, `seq`-numbered within the attempt for dedup.
+    /// `epoch` scopes the batch to one wave of a continuous job (0 for
+    /// batch jobs); receivers ack-drop batches from stale epochs.
     ShuffleBatch {
         task: u32,
         attempt: u32,
         seq: u32,
+        epoch: u32,
         partition: u32,
         records: Vec<(String, String)>,
     },
@@ -156,7 +160,7 @@ impl Rpc {
                 w.u32(to.0);
             }
             Rpc::CacheGet { key } => put_cache_key(&mut w, key),
-            Rpc::CachePut { key, data, ttl, tenant } => {
+            Rpc::CachePut { key, data, ttl, tenant, pin } => {
                 put_cache_key(&mut w, key);
                 w.bytes(data);
                 match ttl {
@@ -167,11 +171,13 @@ impl Rpc {
                     }
                 }
                 w.u32(*tenant as u32);
+                w.u8(u8::from(*pin));
             }
-            Rpc::ShuffleBatch { task, attempt, seq, partition, records } => {
+            Rpc::ShuffleBatch { task, attempt, seq, epoch, partition, records } => {
                 w.u32(*task);
                 w.u32(*attempt);
                 w.u32(*seq);
+                w.u32(*epoch);
                 w.u32(*partition);
                 // Shuffle records dominate wire bytes, so they get the
                 // compact encoding: varint lengths, and keys front-coded
@@ -240,12 +246,18 @@ impl Rpc {
                 };
                 let tenant =
                     u16::try_from(r.u32()?).map_err(|_| CodecError::FieldOverrun)?;
-                Rpc::CachePut { key, data, ttl, tenant }
+                let pin = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(CodecError::BadTag(t)),
+                };
+                Rpc::CachePut { key, data, ttl, tenant, pin }
             }
             k if k == RpcKind::ShuffleBatch as u8 => {
                 let task = r.u32()?;
                 let attempt = r.u32()?;
                 let seq = r.u32()?;
+                let epoch = r.u32()?;
                 let partition = r.u32()?;
                 let n = usize::try_from(r.varint()?).map_err(|_| CodecError::FieldOverrun)?;
                 // Cap pre-allocation: a corrupt count must not OOM.
@@ -266,7 +278,7 @@ impl Rpc {
                         .map_err(|_| CodecError::BadUtf8)?;
                     records.push((key, value));
                 }
-                Rpc::ShuffleBatch { task, attempt, seq, partition, records }
+                Rpc::ShuffleBatch { task, attempt, seq, epoch, partition, records }
             }
             k if k == RpcKind::Heartbeat as u8 => {
                 let from = NodeId(r.u32()?);
@@ -466,19 +478,30 @@ mod tests {
             data: Bytes::from(vec![0; 100]),
             ttl: Some(2.5),
             tenant: 0,
+            pin: false,
         });
         roundtrip_rpc(Rpc::CachePut {
             key: CacheKey::Input(HashKey(10)),
             data: Bytes::new(),
             ttl: None,
             tenant: u16::MAX,
+            pin: true,
         });
         roundtrip_rpc(Rpc::ShuffleBatch {
             task: 4,
             attempt: 1,
             seq: 2,
+            epoch: 0,
             partition: 0,
             records: vec![("k".into(), "v".into()), ("".into(), "with space".into())],
+        });
+        roundtrip_rpc(Rpc::ShuffleBatch {
+            task: 4,
+            attempt: 0,
+            seq: 0,
+            epoch: u32::MAX,
+            partition: 3,
+            records: vec![],
         });
         roundtrip_rpc(Rpc::Heartbeat { from: NodeId(3), clock: u64::MAX, task: u32::MAX, progress: 0 });
         roundtrip_rpc(Rpc::Heartbeat { from: NodeId(3), clock: 0, task: 12, progress: 640 });

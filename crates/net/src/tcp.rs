@@ -446,6 +446,11 @@ fn reader_loop(
 }
 
 impl Transport for TcpTransport {
+    fn window_saturated(&self, to: NodeId) -> bool {
+        let w = self.state.lock().windows.get(&to.0).cloned();
+        w.is_some_and(|w| w.saturated())
+    }
+
     fn bind(&self, node: NodeId, handler: RpcHandler) {
         // Re-binding an open endpoint closes the old one first.
         if self.state.lock().addrs.contains_key(&node.0) {
@@ -839,6 +844,7 @@ mod tests {
                 task: 1,
                 attempt: 0,
                 seq,
+                epoch: 0,
                 partition: 0,
                 records: vec![("k".into(), "v".into())],
             };
@@ -863,6 +869,7 @@ mod tests {
                 data: Bytes::from_static(b"x"),
                 ttl: None,
                 tenant: 0,
+                pin: false,
             })
             .unwrap_err();
         assert_eq!(e, NetError::ConnectionClosed { to: NodeId(1) });
@@ -877,6 +884,7 @@ mod tests {
                 task: 0,
                 attempt: 0,
                 seq: 0,
+                epoch: 0,
                 partition: 0,
                 records: vec![],
             })

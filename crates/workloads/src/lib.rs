@@ -13,7 +13,9 @@ pub mod keydist;
 pub mod points;
 pub mod text;
 
-pub use arrivals::{arrivals, tenant_arrivals, ArrivalConfig, JobArrival, SizeClass, TenantSpec};
+pub use arrivals::{
+    arrivals, tenant_arrivals, ArrivalConfig, JobArrival, SizeClass, TenantSpec, TracePoint,
+};
 pub use cost::{AppKind, CostModel};
 pub use graph::WebGraph;
 pub use keydist::{KeyDist, KeySampler};

@@ -4,12 +4,13 @@
 # live-executor snapshots. Leaves results/BENCH_live.json,
 # results/BENCH_chaos.json, results/BENCH_net.json,
 # results/BENCH_cache.json, results/BENCH_straggler.json,
-# results/BENCH_elastic.json, results/BENCH_tenancy.json, and
+# results/BENCH_elastic.json, results/BENCH_tenancy.json,
+# results/BENCH_epoch.json, and
 # results/BENCH_dst.json behind so every pass records comparable
 # throughput, recovery-time, wire-overhead, cache-plane,
-# straggler-mitigation, elastic-membership, multi-tenancy, and
-# chaos-coverage numbers
-# (see DESIGN.md §8c–§8k). The full randomized DST sweep stays behind
+# straggler-mitigation, elastic-membership, multi-tenancy,
+# incremental-epoch, and chaos-coverage numbers
+# (see DESIGN.md §8c–§8l). The full randomized DST sweep stays behind
 # `dst_bench --runs N --preset chaos` (docs/DST.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -52,6 +53,9 @@ cargo run -q --release -p eclipse-bench --bin elastic_bench -- --quick --out res
 
 echo "== tier1: multi-tenant job server, pool vs serial + cache quotas (quick)"
 cargo run -q --release -p eclipse-bench --bin tenancy_bench -- --quick --out results/BENCH_tenancy.json
+
+echo "== tier1: incremental epochs, 1% delta commit vs batch re-run (quick)"
+cargo run -q --release -p eclipse-bench --bin epoch_bench -- --quick --out results/BENCH_epoch.json
 
 echo "== tier1: DST smoke sweep (50 fixed seeds, moderate preset)"
 cargo run -q --release -p eclipse-bench --bin dst_bench -- --runs 50 --seed0 1 --preset moderate --out results/BENCH_dst.json

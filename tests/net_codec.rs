@@ -74,21 +74,15 @@ fn arb_rpc() -> impl Strategy<Value = Rpc> {
         (arb_cache_key(), arb_bytes(), prop_oneof![
             Just(None),
             (0.0f64..1e6).prop_map(Some),
-        ], 0u16..=u16::MAX)
-        .prop_map(|(key, data, ttl, tenant)| Rpc::CachePut { key, data, ttl, tenant }),
+        ], 0u16..=u16::MAX, any::<bool>())
+        .prop_map(|(key, data, ttl, tenant, pin)| Rpc::CachePut { key, data, ttl, tenant, pin }),
         (
-            0u32..=u32::MAX,
-            0u32..8,
-            0u32..1000,
-            0u32..32,
+            (0u32..=u32::MAX, 0u32..8, 0u32..1000),
+            (0u32..16, 0u32..32),
             prop::collection::vec((arb_string(), arb_string()), 0..10),
         )
-            .prop_map(|(task, attempt, seq, partition, records)| Rpc::ShuffleBatch {
-                task,
-                attempt,
-                seq,
-                partition,
-                records,
+            .prop_map(|((task, attempt, seq), (epoch, partition), records)| {
+                Rpc::ShuffleBatch { task, attempt, seq, epoch, partition, records }
             }),
         (0u32..=u32::MAX, 0u64..=u64::MAX, 0u32..=u32::MAX, 0u32..=1000u32).prop_map(
             |(from, clock, task, progress)| Rpc::Heartbeat {
@@ -297,14 +291,16 @@ fn corrupt_shuffle_record_count_is_overrun_not_oom() {
         task: 1,
         attempt: 0,
         seq: 0,
+        epoch: 0,
         partition: 0,
         records: vec![("k".into(), "v".into())],
     };
     let raw = rpc.encode(7);
     let frame = wire::decode_frame(&raw).unwrap();
     let mut body = frame.body.clone();
-    // The record count sits after task/attempt/seq/partition (4 × u32).
-    body[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+    // The record count sits after task/attempt/seq/epoch/partition
+    // (5 × u32).
+    body[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
     let bad = frame_request(frame.kind, &body);
     assert_eq!(Rpc::decode(&bad).unwrap_err(), CodecError::FieldOverrun);
 }
@@ -329,13 +325,14 @@ fn unknown_option_tag_is_typed() {
         data: Bytes::from_static(b"x"),
         ttl: None,
         tenant: 0,
+        pin: false,
     };
     let raw = rpc.encode(7);
     let frame = wire::decode_frame(&raw).unwrap();
     let mut body = frame.body.clone();
     // The ttl option tag sits just before the trailing 4-byte tenant
-    // field: only 0 and 1 mean anything.
-    let tag_at = body.len() - 5;
+    // field and 1-byte pin flag: only 0 and 1 mean anything.
+    let tag_at = body.len() - 6;
     body[tag_at] = 9;
     let bad = frame_request(frame.kind, &body);
     assert_eq!(Rpc::decode(&bad).unwrap_err(), CodecError::BadTag(9));
@@ -350,14 +347,37 @@ fn cache_put_tenant_overflow_is_typed() {
         data: Bytes::from_static(b"x"),
         ttl: None,
         tenant: 0,
+        pin: false,
+    };
+    let raw = rpc.encode(7);
+    let frame = wire::decode_frame(&raw).unwrap();
+    let mut body = frame.body.clone();
+    // High byte of the little-endian tenant u32 (the pin flag is the
+    // final byte).
+    let hi = body.len() - 2;
+    body[hi] = 0xFF;
+    let bad = frame_request(frame.kind, &body);
+    assert_eq!(Rpc::decode(&bad).unwrap_err(), CodecError::FieldOverrun);
+}
+
+#[test]
+fn cache_put_pin_flag_tag_is_typed() {
+    // The trailing pin flag is a 0/1 tag like ttl's: anything else is
+    // a typed decode error, not a silent truthy cast.
+    let rpc = Rpc::CachePut {
+        key: CacheKey::Input(HashKey(9)),
+        data: Bytes::from_static(b"x"),
+        ttl: None,
+        tenant: 0,
+        pin: true,
     };
     let raw = rpc.encode(7);
     let frame = wire::decode_frame(&raw).unwrap();
     let mut body = frame.body.clone();
     let last = body.len() - 1;
-    body[last] = 0xFF; // high byte of the little-endian tenant u32
+    body[last] = 7;
     let bad = frame_request(frame.kind, &body);
-    assert_eq!(Rpc::decode(&bad).unwrap_err(), CodecError::FieldOverrun);
+    assert_eq!(Rpc::decode(&bad).unwrap_err(), CodecError::BadTag(7));
 }
 
 #[test]
